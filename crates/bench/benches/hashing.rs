@@ -1,0 +1,60 @@
+//! E6/E12 support: throughput of the four universal hash families.
+//!
+//! The hot path of both heavy-hitter algorithms evaluates one hash per
+//! sampled item (Algorithm 2: one per repetition); the family choice is
+//! a constant-factor knob this bench quantifies.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hh_hash::{
+    CarterWegmanFamily, HashFamily, HashFunction, MultiplyShiftFamily, PolynomialFamily,
+    TabulationFamily,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+
+const KEYS: usize = 1 << 14;
+
+fn bench_hashing(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let keys: Vec<u64> = (0..KEYS as u64).map(|i| i.wrapping_mul(0x9E3779B9)).collect();
+    let cw = CarterWegmanFamily::new(1 << 16).sample(&mut rng);
+    let ms = MultiplyShiftFamily::new_pow2(16).sample(&mut rng);
+    let p2 = PolynomialFamily::new(1 << 16, 2).sample(&mut rng);
+    let p4 = PolynomialFamily::new(1 << 16, 4).sample(&mut rng);
+    let tab = TabulationFamily::new_pow2(16).sample(&mut rng);
+
+    let mut g = c.benchmark_group("hashing");
+    g.throughput(Throughput::Elements(KEYS as u64));
+    g.bench_function("carter_wegman", |b| {
+        b.iter(|| keys.iter().map(|&k| cw.hash(black_box(k))).sum::<u64>())
+    });
+    g.bench_function("multiply_shift", |b| {
+        b.iter(|| keys.iter().map(|&k| ms.hash(black_box(k))).sum::<u64>())
+    });
+    g.bench_function("polynomial_k2", |b| {
+        b.iter(|| keys.iter().map(|&k| p2.hash(black_box(k))).sum::<u64>())
+    });
+    g.bench_function("polynomial_k4", |b| {
+        b.iter(|| keys.iter().map(|&k| p4.hash(black_box(k))).sum::<u64>())
+    });
+    g.bench_function("tabulation", |b| {
+        b.iter(|| keys.iter().map(|&k| tab.hash(black_box(k))).sum::<u64>())
+    });
+    g.finish();
+}
+
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_hashing
+}
+criterion_main!(benches);

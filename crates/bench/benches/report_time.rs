@@ -1,0 +1,63 @@
+//! E6 (part 2): reporting time — the paper claims reporting "linear in
+//! the output size" for Theorems 1 and 2.
+//!
+//! Benchmarks `report()` after identical streams while φ sweeps the
+//! output size: halving φ roughly doubles the number of reportable items,
+//! and report time should scale with the output, not with `m` or `1/ε`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hh_core::{HeavyHitters, HhParams, OptimalListHh, SimpleListHh, StreamSummary};
+use std::hint::black_box;
+use std::time::Duration;
+
+const M: u64 = 1 << 18;
+const N: u64 = 1 << 32;
+
+/// Graduated plant: 4 items at 8%, 8 at 3%, 12 at 1.5% — so the output
+/// size steps 0 / 4 / 12 / 24 as φ sweeps down.
+fn stream() -> Vec<u64> {
+    let mut heavy: Vec<(u64, f64)> = (0..4).map(|i| (i, 0.08)).collect();
+    heavy.extend((4..12).map(|i| (i, 0.03)));
+    heavy.extend((12..24).map(|i| (i, 0.015)));
+    hh_bench::planted_stream(M, &heavy, 99)
+}
+
+fn bench_report(c: &mut Criterion) {
+    let data = stream();
+    let mut g = c.benchmark_group("report_time");
+    for phi in [0.2, 0.06, 0.025, 0.012] {
+        let eps = phi / 2.0;
+        let params = HhParams::with_delta(eps, phi, 0.1).unwrap();
+        let mut a1 = SimpleListHh::new(params, N, M, 1).unwrap();
+        a1.insert_all(&data);
+        let out1 = a1.report().len();
+        g.bench_with_input(
+            BenchmarkId::new(format!("algo1_out{out1}"), phi),
+            &a1,
+            |b, a| b.iter(|| black_box(a.report())),
+        );
+        let mut a2 = OptimalListHh::new(params, N, M, 2).unwrap();
+        a2.insert_all(&data);
+        let out2 = a2.report().len();
+        g.bench_with_input(
+            BenchmarkId::new(format!("algo2_out{out2}"), phi),
+            &a2,
+            |b, a| b.iter(|| black_box(a.report())),
+        );
+    }
+    g.finish();
+}
+
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_report
+}
+criterion_main!(benches);

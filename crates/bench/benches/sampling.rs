@@ -1,0 +1,69 @@
+//! E6 (part 3): the sampling fast path.
+//!
+//! The `O(1)` worst-case update claim rests on the skip sampler doing a
+//! single decrement on the common (unsampled) path. This bench compares
+//! the per-item coin flip (a fresh random word per item) against the
+//! geometric skip, plus the Morris counter increment used by the
+//! unknown-length wrapper.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hh_sampling::{BernoulliSampler, MorrisCounter, SkipSampler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+
+const ITEMS: u64 = 1 << 16;
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sampling");
+    g.throughput(Throughput::Elements(ITEMS));
+
+    g.bench_function("coin_per_item_p2^-6", |b| {
+        let s = BernoulliSampler::with_exponent(6);
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| {
+            let mut hits = 0u64;
+            for _ in 0..ITEMS {
+                hits += u64::from(s.accept(black_box(&mut rng)));
+            }
+            hits
+        })
+    });
+    g.bench_function("skip_sampler_p2^-6", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| {
+            let mut s = SkipSampler::with_exponent(6);
+            let mut hits = 0u64;
+            for _ in 0..ITEMS {
+                hits += u64::from(s.accept(black_box(&mut rng)));
+            }
+            hits
+        })
+    });
+    g.bench_function("morris_increment", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| {
+            let mut m = MorrisCounter::new();
+            for _ in 0..ITEMS {
+                m.increment(black_box(&mut rng));
+            }
+            m.estimate()
+        })
+    });
+    g.finish();
+}
+
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(15)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_sampling
+}
+criterion_main!(benches);

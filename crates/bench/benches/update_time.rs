@@ -1,0 +1,130 @@
+//! E6 (part 1): per-item update time — the paper claims `O(1)` worst-case
+//! updates for Algorithms 1 and 2 under the stream-length assumption.
+//!
+//! Measures whole-stream insertion throughput (elements/second) for the
+//! paper's algorithms and every baseline on the same Zipf stream. The
+//! expected shape: the sampling-based algorithms beat the per-item
+//! baselines because the skip sampler does O(1) *arithmetic* on the
+//! common path (no table access at all), which is the operational content
+//! of the `O(1)` update claim.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use hh_baselines::{
+    CountMin, CountSketch, LossyCounting, MisraGriesBaseline, SpaceSaving, StickySampling,
+};
+use hh_core::{HhParams, OptimalListHh, SimpleListHh, StreamSummary};
+use std::hint::black_box;
+use std::time::Duration;
+
+const M: usize = 1 << 21;
+const N: u64 = 1 << 32;
+const EPS: f64 = 0.05;
+const PHI: f64 = 0.2;
+const DELTA: f64 = 0.1;
+
+fn stream() -> Vec<u64> {
+    hh_bench::zipf_stream(M, N, 1.2, 7)
+}
+
+fn bench_updates(c: &mut Criterion) {
+    let data = stream();
+    let params = HhParams::with_delta(EPS, PHI, DELTA).unwrap();
+    let mut g = c.benchmark_group("update_time");
+    g.throughput(Throughput::Elements(M as u64));
+
+    g.bench_function("algo1_simple", |b| {
+        b.iter_batched(
+            || SimpleListHh::new(params, N, M as u64, 1).unwrap(),
+            |mut a| {
+                a.insert_all(black_box(&data));
+                a
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("algo2_optimal", |b| {
+        b.iter_batched(
+            || OptimalListHh::new(params, N, M as u64, 2).unwrap(),
+            |mut a| {
+                a.insert_all(black_box(&data));
+                a
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("misra_gries", |b| {
+        b.iter_batched(
+            || MisraGriesBaseline::new(EPS, PHI, N),
+            |mut a| {
+                a.insert_all(black_box(&data));
+                a
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("space_saving", |b| {
+        b.iter_batched(
+            || SpaceSaving::new(EPS, PHI, N),
+            |mut a| {
+                a.insert_all(black_box(&data));
+                a
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("lossy_counting", |b| {
+        b.iter_batched(
+            || LossyCounting::new(EPS, PHI, N),
+            |mut a| {
+                a.insert_all(black_box(&data));
+                a
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("sticky_sampling", |b| {
+        b.iter_batched(
+            || StickySampling::new(EPS, PHI, DELTA, N, 3),
+            |mut a| {
+                a.insert_all(black_box(&data));
+                a
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("count_min", |b| {
+        b.iter_batched(
+            || CountMin::new(EPS, PHI, DELTA, N, 4),
+            |mut a| {
+                a.insert_all(black_box(&data));
+                a
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("count_sketch", |b| {
+        b.iter_batched(
+            || CountSketch::new(EPS, PHI, DELTA, N, 5),
+            |mut a| {
+                a.insert_all(black_box(&data));
+                a
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_updates
+}
+criterion_main!(benches);

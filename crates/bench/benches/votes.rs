@@ -1,0 +1,70 @@
+//! E6 (part 4): vote-stream update costs (Theorems 5 and 6).
+//!
+//! A Borda update touches all `n` counters of a sampled vote; a maximin
+//! update stores the vote. Both are benchmarked per vote across `n`,
+//! alongside the Mallows vote generator itself (workload cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hh_votes::{MallowsModel, Ranking, StreamingBorda, StreamingMaximin, VoteSummary};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+
+const VOTES: usize = 2_000;
+
+fn votes(n: usize, seed: u64) -> Vec<Ranking> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let model = MallowsModel::new(Ranking::identity(n), 0.8);
+    (0..VOTES).map(|_| model.sample(&mut rng)).collect()
+}
+
+fn bench_votes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vote_updates");
+    g.throughput(Throughput::Elements(VOTES as u64));
+    for n in [8usize, 32, 128] {
+        let data = votes(n, n as u64);
+        g.bench_with_input(BenchmarkId::new("borda_insert", n), &data, |b, data| {
+            b.iter(|| {
+                let mut a =
+                    StreamingBorda::new(n, 0.1, 0.5, 0.1, VOTES as u64, 1).unwrap();
+                a.insert_votes(black_box(data));
+                a.samples()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("maximin_insert", n), &data, |b, data| {
+            b.iter(|| {
+                let mut a =
+                    StreamingMaximin::new(n, 0.2, 0.5, 0.1, VOTES as u64, 2).unwrap();
+                a.insert_votes(black_box(data));
+                a.samples()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("mallows_sample", n), &n, |b, &n| {
+            let model = MallowsModel::new(Ranking::identity(n), 0.8);
+            let mut rng = StdRng::seed_from_u64(9);
+            b.iter(|| {
+                let mut acc = 0u64;
+                for _ in 0..VOTES {
+                    acc += model.sample(black_box(&mut rng)).top() as u64;
+                }
+                acc
+            })
+        });
+    }
+    g.finish();
+}
+
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_votes
+}
+criterion_main!(benches);

@@ -1,0 +1,150 @@
+//! Experiment E11: Definition-1 guarantee Monte Carlo.
+//!
+//! For each algorithm, runs many independent trials on planted streams
+//! with items straddling the φ / (φ−ε) thresholds and measures:
+//!
+//! * **recall** — fraction of trials reporting every item with `f > φm`,
+//! * **false positives** — fraction of trials reporting an item with
+//!   `f ≤ (φ−ε)m`,
+//! * **max |f̃−f|/m** — worst estimate error among reported items,
+//! * **violation rate** — trials violating any part of the guarantee;
+//!   the paper allows δ.
+//!
+//! Usage: `cargo run --release -p hh-bench --bin accuracy [trials]`
+
+use hh_bench::{planted_stream, Table};
+use hh_baselines::{
+    CountMin, CountSketch, LossyCounting, MisraGriesBaseline, SampleAndHold, SpaceSaving,
+    StickySampling,
+};
+use hh_core::{HeavyHitters, HhParams, OptimalListHh, Report, SimpleListHh, StreamSummary};
+use hh_streams::ExactCounts;
+
+const EPS: f64 = 0.05;
+const PHI: f64 = 0.2;
+const DELTA: f64 = 0.1;
+const M: u64 = 300_000;
+
+/// Planted design: two must-report items (30%, 21%), one forbidden item
+/// at exactly (φ−ε)m = 15%, and background.
+const HEAVY: [(u64, f64); 3] = [(1, 0.30), (2, 0.21), (3, 0.15)];
+const MUST: [u64; 2] = [1, 2];
+const FORBIDDEN: u64 = 3;
+
+struct TrialResult {
+    recall_ok: bool,
+    fp_ok: bool,
+    max_err: f64,
+}
+
+fn score(report: &Report, oracle: &ExactCounts) -> TrialResult {
+    let recall_ok = MUST.iter().all(|&i| report.contains(i));
+    let fp_ok = !report.contains(FORBIDDEN);
+    let max_err = report
+        .entries()
+        .iter()
+        .map(|e| (e.count - oracle.freq(e.item) as f64).abs() / M as f64)
+        .fold(0.0f64, f64::max);
+    TrialResult {
+        recall_ok,
+        fp_ok,
+        max_err,
+    }
+}
+
+fn run_algorithm<F>(name: &str, trials: u64, t: &mut Table, mut make_and_run: F)
+where
+    F: FnMut(&[u64], u64) -> Report,
+{
+    let mut recall = 0u64;
+    let mut fp = 0u64;
+    let mut violations = 0u64;
+    let mut worst_err = 0.0f64;
+    for trial in 0..trials {
+        let stream = planted_stream(M, &HEAVY, 0xACC0 + trial);
+        let oracle = ExactCounts::from_stream(&stream);
+        let report = make_and_run(&stream, trial);
+        let r = score(&report, &oracle);
+        recall += u64::from(r.recall_ok);
+        fp += u64::from(!r.fp_ok);
+        worst_err = worst_err.max(r.max_err);
+        if !r.recall_ok || !r.fp_ok || r.max_err > EPS {
+            violations += 1;
+        }
+    }
+    t.row(vec![
+        name.into(),
+        (recall as f64 / trials as f64).into(),
+        (fp as f64 / trials as f64).into(),
+        worst_err.into(),
+        (violations as f64 / trials as f64).into(),
+    ]);
+}
+
+fn main() {
+    let trials: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(40);
+    let params = HhParams::with_delta(EPS, PHI, DELTA).unwrap();
+    let n = 1u64 << 40;
+
+    println!("# E11: Definition-1 guarantees, {trials} trials");
+    println!(
+        "\neps={EPS}, phi={PHI}, delta={DELTA}, m={M}; planted 30%/21% (must\n\
+         report) and 15% = (phi-eps)m (must suppress). `violation rate` must\n\
+         stay at or below delta = {DELTA}.\n"
+    );
+    let mut t = Table::new(
+        "guarantee Monte Carlo",
+        &["algorithm", "recall", "false-pos rate", "worst |err|/m", "violation rate"],
+    );
+
+    run_algorithm("Algorithm 1 (simple)", trials, &mut t, |stream, seed| {
+        let mut a = SimpleListHh::new(params, n, M, seed).unwrap();
+        a.insert_all(stream);
+        a.report()
+    });
+    run_algorithm("Algorithm 2 (optimal)", trials, &mut t, |stream, seed| {
+        let mut a = OptimalListHh::new(params, n, M, seed).unwrap();
+        a.insert_all(stream);
+        a.report()
+    });
+    run_algorithm("Misra-Gries", trials, &mut t, |stream, _| {
+        let mut a = MisraGriesBaseline::new(EPS, PHI, n);
+        a.insert_all(stream);
+        a.report()
+    });
+    run_algorithm("Space-Saving", trials, &mut t, |stream, _| {
+        let mut a = SpaceSaving::new(EPS, PHI, n);
+        a.insert_all(stream);
+        a.report()
+    });
+    run_algorithm("Lossy Counting", trials, &mut t, |stream, _| {
+        let mut a = LossyCounting::new(EPS, PHI, n);
+        a.insert_all(stream);
+        a.report()
+    });
+    run_algorithm("Sticky Sampling", trials, &mut t, |stream, seed| {
+        let mut a = StickySampling::new(EPS, PHI, DELTA, n, seed);
+        a.insert_all(stream);
+        a.report()
+    });
+    run_algorithm("Count-Min", trials, &mut t, |stream, seed| {
+        let mut a = CountMin::new(EPS, PHI, DELTA, n, seed);
+        a.insert_all(stream);
+        a.report()
+    });
+    run_algorithm("CountSketch", trials, &mut t, |stream, seed| {
+        let mut a = CountSketch::new(EPS, PHI, DELTA, n, seed);
+        a.insert_all(stream);
+        a.report()
+    });
+    run_algorithm("Sample-and-Hold", trials, &mut t, |stream, seed| {
+        let mut a = SampleAndHold::new(EPS, PHI, DELTA, n, M, seed);
+        a.insert_all(stream);
+        a.report()
+    });
+
+    t.print();
+}

@@ -1,0 +1,105 @@
+//! Experiment E8: execute the §4 lower-bound reductions end to end.
+//!
+//! For each reduction: run many random instances with the *real*
+//! streaming algorithm as Alice's message, and report the decode success
+//! rate (the paper's protocols succeed with probability ≥ 1 − δ), the
+//! mean message length, the source problem's communication floor, and
+//! their ratio (which must stay ≥ 1 — the operational content of the
+//! lower bound).
+//!
+//! Usage: `cargo run --release -p hh-bench --bin lower_bounds [trials]`
+
+use hh_bench::Table;
+use hh_lower_bounds::reductions::{
+    borda_perm, greater_than, hh_indexing, max_indexing, maximin_distance, min_indexing,
+};
+use hh_lower_bounds::{EpsPermInstance, GreaterThanInstance, IndexingInstance, ReductionOutcome};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn summarize(name: &str, outcomes: &[ReductionOutcome], t: &mut Table) {
+    let trials = outcomes.len() as f64;
+    let rate = outcomes.iter().filter(|o| o.success).count() as f64 / trials;
+    let mean_msg = outcomes.iter().map(|o| o.message_bits as f64).sum::<f64>() / trials;
+    let mean_floor = outcomes.iter().map(|o| o.lower_bound_units).sum::<f64>() / trials;
+    t.row(vec![
+        name.into(),
+        (rate).into(),
+        hh_bench::Cell::Float(mean_msg, 0),
+        hh_bench::Cell::Float(mean_floor, 0),
+        (mean_msg / mean_floor.max(1.0)).into(),
+    ]);
+}
+
+fn main() {
+    let trials: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(60);
+    println!("# E8: lower-bound reductions, {trials} trials each\n");
+    let mut t = Table::new(
+        "reduction outcomes",
+        &["reduction (theorem)", "success rate", "mean msg bits", "floor units", "msg/floor"],
+    );
+
+    let outs: Vec<ReductionOutcome> = (0..trials)
+        .map(|s| {
+            let mut rng = StdRng::seed_from_u64(s);
+            let inst = IndexingInstance::random(8, 32, &mut rng);
+            hh_indexing::run(&inst, 600, 1200, s)
+        })
+        .collect();
+    summarize("Thm 9: Indexing -> HH", &outs, &mut t);
+
+    let outs: Vec<ReductionOutcome> = (0..trials)
+        .map(|s| {
+            let mut rng = StdRng::seed_from_u64(s ^ 0x10);
+            let inst = IndexingInstance::random(16, 16, &mut rng);
+            max_indexing::run(&inst, 500, s)
+        })
+        .collect();
+    summarize("Thm 10: Indexing -> Maximum", &outs, &mut t);
+
+    let outs: Vec<ReductionOutcome> = (0..trials)
+        .map(|s| {
+            let mut rng = StdRng::seed_from_u64(s ^ 0x11);
+            let inst = IndexingInstance::random(2, 25, &mut rng);
+            min_indexing::run(&inst, s)
+        })
+        .collect();
+    summarize("Thm 11: Indexing -> Minimum", &outs, &mut t);
+
+    let outs: Vec<ReductionOutcome> = (0..trials)
+        .map(|s| {
+            let mut rng = StdRng::seed_from_u64(s ^ 0x12);
+            let inst = EpsPermInstance::random(32, 8, &mut rng);
+            borda_perm::run(&inst, s)
+        })
+        .collect();
+    summarize("Thm 12: eps-Perm -> Borda", &outs, &mut t);
+
+    let outs: Vec<ReductionOutcome> = (0..trials)
+        .map(|s| {
+            let mut rng = StdRng::seed_from_u64(s ^ 0x13);
+            let inst = maximin_distance::DistanceInstance::random(64, 7, &mut rng);
+            maximin_distance::run(&inst, 3, s)
+        })
+        .collect();
+    summarize("Thm 13: Indexing -> Maximin", &outs, &mut t);
+
+    let outs: Vec<ReductionOutcome> = (0..trials.min(25))
+        .map(|s| {
+            let mut rng = StdRng::seed_from_u64(s ^ 0x14);
+            let inst = GreaterThanInstance::random(14, &mut rng);
+            greater_than::run(&inst, 14, s)
+        })
+        .collect();
+    summarize("Thm 14: Greater-Than -> loglog m", &outs, &mut t);
+
+    t.print();
+    println!(
+        "All success rates must clear 1 - delta = 0.9; msg/floor >= 1 is the\n\
+         operational statement of the lower bound (an algorithm beating the\n\
+         floor would beat the communication complexity of the source problem)."
+    );
+}

@@ -1,0 +1,309 @@
+//! Experiments E1–E5 + E10: reproduce Table 1 of the paper.
+//!
+//! For every row of Table 1 this binary sweeps each parameter that
+//! appears in the bound, measures the implementation's `model_bits()`,
+//! and prints the ratio `measured / bound`. The paper's claim is
+//! reproduced when the ratio stays flat (bounded) along every sweep —
+//! that is what "the algorithm is `O(bound)`" means operationally.
+//!
+//! Usage: `cargo run --release -p hh-bench --bin table1 [--csv DIR]`
+
+use hh_bench::{planted_stream, Table};
+use hh_core::{
+    EpsMaximum, EpsMinimum, HhParams, OptimalListHh, SimpleListHh, StreamSummary,
+};
+use hh_space::{bounds, SpaceUsage};
+use hh_votes::{MallowsModel, Ranking, StreamingBorda, StreamingMaximin, VoteSummary};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const HEAVY: [(u64, f64); 2] = [(7, 0.30), (8, 0.12)];
+
+fn csv_dir() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn maybe_csv(table: &Table, dir: &Option<String>, name: &str) {
+    if let Some(d) = dir {
+        let path = format!("{d}/{name}.csv");
+        table.write_csv(&path).expect("write csv");
+        eprintln!("wrote {path}");
+    }
+}
+
+/// E1: (ε, φ)-heavy hitters. The total bound is
+/// `ε⁻¹ log φ⁻¹ + φ⁻¹ log n + log log m`; because the three terms have
+/// very different constants, the reproduction validates **each term
+/// against its own formula**: Algorithm 2's counting tables against
+/// `ε⁻¹ log φ⁻¹`, its candidate table against `φ⁻¹ log n`, and the
+/// sampler against `log log m` (and Algorithm 1's tables against
+/// `ε⁻¹ log ε⁻¹` / `φ⁻¹ log n`). Flat per-term ratios along each sweep
+/// reproduce the bound.
+fn hh_rows(dir: &Option<String>) {
+    let lg = |x: f64| x.log2().max(1.0);
+    let mut t = Table::new(
+        "E1 - Table 1 row 1: (eps,phi)-Heavy Hitters, per-term ratios",
+        &[
+            "sweep",
+            "eps",
+            "phi",
+            "log2 n",
+            "log2 m",
+            "a2 count/(e^-1 lg phi^-1)",
+            "a2 t1/(phi^-1 lg n)",
+            "a2 sampler/lglg m",
+            "a1 t1/(e^-1 lg e^-1)",
+            "a1 t2/(phi^-1 lg n)",
+        ],
+    );
+    // Saturated sampling for the space measurement: a smaller ℓ than the
+    // accuracy-tuned default so that s reaches its cap within the test
+    // stream lengths (the bound regime is m >> ℓ).
+    let consts = hh_core::Constants {
+        a2_sample_factor: 500.0,
+        ..hh_core::Constants::default()
+    };
+    let mut run = |sweep: &str, eps: f64, phi: f64, log_n: u32, log_m: u32, seed: u64| {
+        let n = 1u64 << log_n;
+        let m = 1u64 << log_m;
+        let params = HhParams::with_delta(eps, phi, 0.1).unwrap();
+        let stream = planted_stream(m, &HEAVY, seed);
+        let mut a2 = OptimalListHh::with_constants(
+            params,
+            n,
+            m,
+            seed ^ 1,
+            consts,
+            hh_core::EpochMode::Accelerated,
+        )
+        .unwrap();
+        a2.insert_all(&stream);
+        let (a2_t1, a2_count, a2_samp) = a2.component_bits();
+        let mut a1 = SimpleListHh::new(params, n, m, seed ^ 2).unwrap();
+        a1.insert_all(&stream);
+        let (a1_t1, a1_t2, _) = a1.component_bits();
+        // The repetition count is Θ(log(12/φ)) by the paper's own
+        // formula; using the same inner constant keeps the φ sweep flat.
+        let term_count = (1.0 / eps) * lg(12.0 / phi);
+        let term_ids = (1.0 / phi) * lg(n as f64);
+        let term_samp = lg(lg(m as f64));
+        let term_a1 = (1.0 / eps) * lg(1.0 / eps);
+        t.row(vec![
+            sweep.into(),
+            eps.into(),
+            phi.into(),
+            u64::from(log_n).into(),
+            u64::from(log_m).into(),
+            (a2_count as f64 / term_count).into(),
+            (a2_t1 as f64 / term_ids).into(),
+            (a2_samp as f64 / term_samp).into(),
+            (a1_t1 as f64 / term_a1).into(),
+            (a1_t2 as f64 / term_ids).into(),
+        ]);
+    };
+    for (i, eps) in [0.1, 0.05, 0.025].into_iter().enumerate() {
+        run("eps", eps, 0.2, 40, 21, 100 + i as u64);
+    }
+    for (i, phi) in [0.5, 0.25, 0.125, 0.0625].into_iter().enumerate() {
+        run("phi", 0.02, phi, 40, 21, 200 + i as u64);
+    }
+    for (i, log_n) in [10u32, 20, 40, 59].into_iter().enumerate() {
+        run("n", 0.05, 0.2, log_n, 21, 300 + i as u64);
+    }
+    for (i, log_m) in [20u32, 22, 24].into_iter().enumerate() {
+        run("m", 0.1, 0.2, 40, log_m, 400 + i as u64);
+    }
+    t.print();
+    maybe_csv(&t, dir, "e1_heavy_hitters");
+}
+
+/// E2: ε-Maximum against `ε⁻¹ log ε⁻¹ + log n + log log m`.
+fn max_rows(dir: &Option<String>) {
+    let mut t = Table::new(
+        "E2 - Table 1 row 2: eps-Maximum [bits vs eps^-1 log eps^-1 + log n + loglog m]",
+        &["sweep", "eps", "log2 n", "log2 m", "bits", "bits/bound"],
+    );
+    let mut run = |sweep: &str, eps: f64, log_n: u32, log_m: u32, seed: u64| {
+        let n = 1u64 << log_n;
+        let m = 1u64 << log_m;
+        let stream = planted_stream(m, &HEAVY, seed);
+        let mut a = EpsMaximum::new(eps, 0.1, n, m, seed ^ 3).unwrap();
+        a.insert_all(&stream);
+        let bound = bounds::maximum(eps, n, m);
+        t.row(vec![
+            sweep.into(),
+            eps.into(),
+            u64::from(log_n).into(),
+            u64::from(log_m).into(),
+            a.model_bits().into(),
+            (a.model_bits() as f64 / bound).into(),
+        ]);
+    };
+    for (i, eps) in [0.1, 0.05, 0.025, 0.0125].into_iter().enumerate() {
+        run("eps", eps, 40, 21, 500 + i as u64);
+    }
+    for (i, log_n) in [10u32, 20, 40, 59].into_iter().enumerate() {
+        run("n", 0.05, log_n, 21, 600 + i as u64);
+    }
+    for (i, log_m) in [16u32, 20, 24].into_iter().enumerate() {
+        run("m", 0.05, 40, log_m, 700 + i as u64);
+    }
+    t.print();
+    maybe_csv(&t, dir, "e2_maximum");
+}
+
+/// E3: ε-Minimum against upper `ε⁻¹ log log (ε)⁻¹ + log log m` and lower
+/// `ε⁻¹ + log log m`.
+fn min_rows(dir: &Option<String>) {
+    let mut t = Table::new(
+        "E3 - Table 1 row 3: eps-Minimum [bits vs eps^-1 loglog eps^-1 + loglog m (UB), eps^-1 + loglog m (LB)]",
+        &["sweep", "eps", "universe", "log2 m", "bits", "bits/UB", "bits/LB"],
+    );
+    let mut run = |sweep: &str, eps: f64, log_m: u32, seed: u64| {
+        let m = 1u64 << log_m;
+        // The problem needs |U| < 1/((1−δ)ε) for the tracked regime.
+        let universe = ((0.5 / eps).ceil() as u64).max(4);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let counts: Vec<(u64, u64)> = (0..universe)
+            .map(|i| (i, if i == 2 { m / (4 * universe) } else { m / universe }))
+            .collect();
+        let stream = hh_streams::arrange(&counts, hh_streams::OrderPolicy::Shuffled, &mut rng);
+        let mut a = EpsMinimum::new(eps, 0.2, universe, m, seed ^ 4).unwrap();
+        a.insert_all(&stream);
+        let _ = a.min_estimate();
+        let ub = bounds::minimum_upper(eps, m);
+        let lb = bounds::minimum_lower(eps, m);
+        t.row(vec![
+            sweep.into(),
+            eps.into(),
+            universe.into(),
+            u64::from(log_m).into(),
+            a.model_bits().into(),
+            (a.model_bits() as f64 / ub).into(),
+            (a.model_bits() as f64 / lb).into(),
+        ]);
+    };
+    for (i, eps) in [0.1, 0.05, 0.025, 0.0125].into_iter().enumerate() {
+        run("eps", eps, 20, 800 + i as u64);
+    }
+    for (i, log_m) in [16u32, 20, 23].into_iter().enumerate() {
+        run("m", 0.05, log_m, 900 + i as u64);
+    }
+    t.print();
+    maybe_csv(&t, dir, "e3_minimum");
+}
+
+/// E4: ε-Borda against `n(log ε⁻¹ + log n) + log log m`.
+fn borda_rows(dir: &Option<String>) {
+    let mut t = Table::new(
+        "E4 - Table 1 row 4: eps-Borda [bits vs n(log eps^-1 + log n) + loglog m]",
+        &["sweep", "eps", "n", "votes", "bits", "bits/bound"],
+    );
+    let mut run = |sweep: &str, eps: f64, n: usize, m: u64, seed: u64| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = MallowsModel::new(Ranking::identity(n), 0.8);
+        let mut a = StreamingBorda::new(n, eps, 0.5, 0.1, m, seed ^ 5).unwrap();
+        for _ in 0..m {
+            a.insert_vote(&model.sample(&mut rng));
+        }
+        let bound = bounds::borda(eps, n as u64, m);
+        t.row(vec![
+            sweep.into(),
+            eps.into(),
+            n.into(),
+            m.into(),
+            a.model_bits().into(),
+            (a.model_bits() as f64 / bound).into(),
+        ]);
+    };
+    for (i, n) in [8usize, 16, 32, 64].into_iter().enumerate() {
+        run("n", 0.1, n, 50_000, 1000 + i as u64);
+    }
+    for (i, eps) in [0.2, 0.1, 0.05].into_iter().enumerate() {
+        run("eps", eps, 16, 50_000, 1100 + i as u64);
+    }
+    t.print();
+    maybe_csv(&t, dir, "e4_borda");
+}
+
+/// E5: ε-Maximin against upper `nε⁻² log² n + log log m` and lower
+/// `n(ε⁻² + log n) + log log m`.
+fn maximin_rows(dir: &Option<String>) {
+    let mut t = Table::new(
+        "E5 - Table 1 row 5: eps-Maximin [bits vs n eps^-2 log^2 n + loglog m (UB), n(eps^-2 + log n) (LB)]",
+        &["sweep", "eps", "n", "votes", "bits", "bits/UB", "bits/LB"],
+    );
+    let mut run = |sweep: &str, eps: f64, n: usize, m: u64, seed: u64| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = MallowsModel::new(Ranking::identity(n), 0.8);
+        let mut a = StreamingMaximin::new(n, eps, 0.5, 0.1, m, seed ^ 6).unwrap();
+        for _ in 0..m {
+            a.insert_vote(&model.sample(&mut rng));
+        }
+        let ub = bounds::maximin_upper(eps, n as u64, m);
+        let lb = bounds::maximin_lower(eps, n as u64, m);
+        t.row(vec![
+            sweep.into(),
+            eps.into(),
+            n.into(),
+            m.into(),
+            a.model_bits().into(),
+            (a.model_bits() as f64 / ub).into(),
+            (a.model_bits() as f64 / lb).into(),
+        ]);
+    };
+    for (i, n) in [4usize, 8, 16].into_iter().enumerate() {
+        run("n", 0.2, n, 200_000, 1200 + i as u64);
+    }
+    for (i, eps) in [0.4, 0.2, 0.1].into_iter().enumerate() {
+        run("eps", eps, 8, 200_000, 1300 + i as u64);
+    }
+    t.print();
+    maybe_csv(&t, dir, "e5_maximin");
+}
+
+/// E10: the §1.1 parameter example — at `ε⁻¹ = log₂ n`, ε-Maximum uses
+/// `O(log n · log log n)` bits where the previous best was `Ω(log² n)`.
+fn e10_rows(dir: &Option<String>) {
+    let mut t = Table::new(
+        "E10 - intro example: eps^-1 = log2 n [ours vs previous eps^-1 log n = log^2 n]",
+        &["log2 n", "eps", "ours bits", "prev bound bits", "ours/prev"],
+    );
+    for (i, log_n) in [16u32, 24, 32, 48].into_iter().enumerate() {
+        let n = 1u64 << log_n;
+        let eps = 1.0 / log_n as f64;
+        let m = 1u64 << 21;
+        let stream = planted_stream(m, &HEAVY, 1400 + i as u64);
+        let mut a = EpsMaximum::new(eps, 0.1, n, m, 1500 + i as u64).unwrap();
+        a.insert_all(&stream);
+        let prev = (1.0 / eps) * log_n as f64; // ε⁻¹ log n = log² n
+        t.row(vec![
+            u64::from(log_n).into(),
+            eps.into(),
+            a.model_bits().into(),
+            Into::<hh_bench::Cell>::into(prev),
+            (a.model_bits() as f64 / prev).into(),
+        ]);
+    }
+    t.print();
+    maybe_csv(&t, dir, "e10_intro_example");
+}
+
+fn main() {
+    let dir = csv_dir();
+    println!("# Table 1 reproduction (experiments E1-E5, E10)\n");
+    println!(
+        "Constants profile: practical (see hh_core::Constants). Ratios are\n\
+         measured model bits / bound units; a reproduced bound shows a flat\n\
+         ratio along each sweep.\n"
+    );
+    hh_rows(&dir);
+    max_rows(&dir);
+    min_rows(&dir);
+    borda_rows(&dir);
+    maximin_rows(&dir);
+    e10_rows(&dir);
+}

@@ -1,0 +1,97 @@
+//! Experiment E9: the unknown-stream-length wrapper (Theorem 7).
+//!
+//! Compares, across stream lengths spanning several epochs of the
+//! guessing schedule: the known-m Algorithm 1, the wrapper with exact
+//! position tracking (log m bits), and the wrapper with Morris tracking
+//! (log log m bits — the paper's construction). Reports correctness,
+//! estimate error and the space split.
+//!
+//! Usage: `cargo run --release -p hh-bench --bin unknown_length`
+
+use hh_bench::{planted_stream, Table};
+use hh_core::{
+    Constants, HeavyHitters, HhParams, PositionTracking, SimpleListHh, StreamSummary,
+    UnknownLengthHh,
+};
+use hh_space::SpaceUsage;
+
+const HEAVY: [(u64, f64); 2] = [(7, 0.40), (8, 0.30)];
+
+fn main() {
+    let params = HhParams::with_delta(0.1, 0.25, 0.1).unwrap();
+    let n = 1u64 << 40;
+    println!("# E9: unknown stream length (Theorem 7)\n");
+    let mut t = Table::new(
+        "wrapper vs known-m baseline (eps=0.1, phi=0.25; items 7:40% and 8:30% planted)",
+        &[
+            "m",
+            "variant",
+            "found both",
+            "max |err|/m",
+            "model bits",
+            "position bits",
+            "epoch",
+        ],
+    );
+
+    for (mi, m) in [5_000u64, 80_000, 1_200_000, 16_000_000].into_iter().enumerate() {
+        let stream = planted_stream(m, &HEAVY, 0xE9 + mi as u64);
+        let score = |r: &hh_core::Report| -> (bool, f64) {
+            let both = r.contains(7) && r.contains(8);
+            let err = [(7u64, 0.40f64), (8, 0.30)]
+                .iter()
+                .filter_map(|&(i, f)| r.estimate(i).map(|e| (e - f * m as f64).abs() / m as f64))
+                .fold(0.0f64, f64::max);
+            (both, err)
+        };
+
+        // Known-m Algorithm 1.
+        let mut known = SimpleListHh::new(params, n, m, 1).unwrap();
+        known.insert_all(&stream);
+        let (both, err) = score(&known.report());
+        t.row(vec![
+            m.into(),
+            "known-m algo1".into(),
+            if both { "yes" } else { "NO" }.into(),
+            err.into(),
+            known.model_bits().into(),
+            "-".into(),
+            "-".into(),
+        ]);
+
+        for (tracking, name) in [
+            (PositionTracking::Exact, "wrapper (exact pos)"),
+            (PositionTracking::Morris, "wrapper (Morris)"),
+        ] {
+            let mut w = UnknownLengthHh::with_options(
+                params,
+                n,
+                2 + mi as u64,
+                Constants::default(),
+                tracking,
+            )
+            .unwrap();
+            w.insert_all(&stream);
+            let (both, err) = score(&w.report());
+            t.row(vec![
+                m.into(),
+                name.into(),
+                if both { "yes" } else { "NO" }.into(),
+                err.into(),
+                w.model_bits().into(),
+                w.position_bits().to_string().into(),
+                u64::from(w.epoch()).into(),
+            ]);
+        }
+    }
+    t.print();
+    println!(
+        "The wrapper pays a constant factor over the known-m instance (two\n\
+         live instances with hash ranges sized for the epoch cap) and its\n\
+         space stays flat in m. Position tracking: the exact counter grows\n\
+         like 2 log m bits, the 32-copy Morris bank stays ~constant\n\
+         (O(log log m)); the asymptotic crossover sits near m = 2^100 for\n\
+         this copy count - the paper's point is the *growth rate*, which\n\
+         the m sweep shows directly."
+    );
+}

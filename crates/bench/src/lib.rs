@@ -1,0 +1,24 @@
+//! Shared experiment-harness code: workload construction, measurement
+//! records, and Markdown/CSV emitters used by the experiment binaries.
+//!
+//! Experiment binaries (one per DESIGN.md experiment family):
+//!
+//! | Binary | Experiments | Regenerates |
+//! |--------|-------------|-------------|
+//! | `table1` | E1–E5, E10 | Table 1, row by row: measured model bits vs bound formulas |
+//! | `accuracy` | E11 | Definition-1 guarantee Monte Carlo (recall / false positives / error / failure rate) |
+//! | `crossover` | E7 | space & accuracy vs the six baselines, crossover in `log n` |
+//! | `lower_bounds` | E8 | reduction success rates and message-vs-floor ratios |
+//! | `unknown_length` | E9 | Theorem-7 wrapper overhead and Morris accuracy |
+//! | `ablation` | E12 | accelerated vs flat counters, hashed vs raw ids, median width |
+//!
+//! Criterion benches (`benches/`) cover E6: per-update and report times.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod workloads;
+
+pub use report::{Cell, Table};
+pub use workloads::{planted_counts, planted_stream, zipf_stream};

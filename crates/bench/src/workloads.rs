@@ -1,0 +1,86 @@
+//! Shared workload builders used by the experiment binaries and the
+//! Criterion benches.
+
+use hh_streams::{arrange, collect_stream, OrderPolicy, ZipfGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// `(item, count)` pairs with planted heavy fractions over `light_ids`
+/// background singleton-ish ids, summing exactly to `m`.
+pub fn planted_counts(m: u64, heavy: &[(u64, f64)], light_ids: u64) -> Vec<(u64, u64)> {
+    let mut counts: Vec<(u64, u64)> = heavy
+        .iter()
+        .map(|&(id, frac)| (id, (frac * m as f64).round() as u64))
+        .collect();
+    let used: u64 = counts.iter().map(|&(_, c)| c).sum();
+    assert!(used <= m, "planted mass exceeds stream length");
+    let fill = m - used;
+    for j in 0..light_ids {
+        let c = fill / light_ids + u64::from(j < fill % light_ids);
+        if c > 0 {
+            counts.push((1_000_000 + j, c));
+        }
+    }
+    counts
+}
+
+/// A shuffled planted stream of length `m`.
+pub fn planted_stream(m: u64, heavy: &[(u64, f64)], seed: u64) -> Vec<u64> {
+    let counts = planted_counts(m, heavy, 4096);
+    let mut rng = StdRng::seed_from_u64(seed);
+    arrange(&counts, OrderPolicy::Shuffled, &mut rng)
+}
+
+/// A Zipf(`exponent`) stream over a scrambled `[0, n)` universe.
+pub fn zipf_stream(m: usize, n: u64, exponent: f64, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut gen = ZipfGenerator::new(n, exponent).scrambled(&mut rng);
+    collect_stream(&mut gen, m, &mut rng)
+}
+
+/// The top item id of the scrambled Zipf stream built with the same
+/// parameters (rank-1 id after scrambling).
+pub fn zipf_top_item(n: u64, exponent: f64, seed: u64) -> u64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let gen = ZipfGenerator::new(n, exponent).scrambled(&mut rng);
+    gen.id_of_rank(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planted_counts_sum_to_m() {
+        let counts = planted_counts(10_000, &[(1, 0.3), (2, 0.2)], 100);
+        let total: u64 = counts.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 10_000);
+        assert_eq!(counts[0], (1, 3000));
+        assert_eq!(counts[1], (2, 2000));
+    }
+
+    #[test]
+    fn planted_stream_has_exact_heavy_counts() {
+        let stream = planted_stream(5_000, &[(9, 0.5)], 3);
+        assert_eq!(stream.len(), 5_000);
+        let c9 = stream.iter().filter(|&&x| x == 9).count();
+        assert_eq!(c9, 2_500);
+    }
+
+    #[test]
+    fn zipf_top_item_is_consistent_with_stream() {
+        let n = 1 << 16;
+        let stream = zipf_stream(50_000, n, 1.2, 7);
+        let top = zipf_top_item(n, 1.2, 7);
+        let c_top = stream.iter().filter(|&&x| x == top).count();
+        // Rank-1 item should be the most frequent in a big sample.
+        let max_c = {
+            let mut counts = std::collections::HashMap::new();
+            for &x in &stream {
+                *counts.entry(x).or_insert(0usize) += 1;
+            }
+            counts.values().copied().max().unwrap()
+        };
+        assert!(c_top * 10 >= max_c * 8, "top item {c_top} vs max {max_c}");
+    }
+}

@@ -1,0 +1,550 @@
+//! Algorithm 2: the space-optimal (ε, φ)-List heavy hitters algorithm
+//! (Theorem 2).
+//!
+//! Same sampling front end as Algorithm 1, but the per-candidate counting
+//! machinery is replaced so the `ε⁻¹ log ε⁻¹` term drops to
+//! `ε⁻¹ log φ⁻¹`:
+//!
+//! * **T1** — Misra–Gries over *raw* ids with `Θ(1/φ)` counters. Its
+//!   counts are too coarse to use (error `Θ(φs)`), but its key set
+//!   contains every `φ`-heavy item: the candidates.
+//! * Per repetition `j` (there are `R = Θ(log φ⁻¹)` of them, driving the
+//!   per-candidate failure probability below `Θ(φ)` for a union bound):
+//!   * `h_j : [n] → [Θ(1/ε)]` hashes items to buckets; per-bucket counts
+//!     estimate per-item counts up to the `Θ(εs)` collision mass.
+//!   * **T2** — per-bucket subsampled counter (increment with probability
+//!     `ε̂`): a constant-factor running estimate `f̄_i ≈ T2/ε̂` of the
+//!     bucket count, used only to pick the *epoch*.
+//!   * **T3** — the **accelerated counters**: in epoch
+//!     `t = ⌊log₂(c·T2²)⌋`, increments are recorded with probability
+//!     `p_t = min(ε̂·2ᵗ, 1)`. As the bucket grows, the sampling
+//!     probability accelerates, keeping `Var[f̂] = O(ε⁻²)` *total* across
+//!     epochs (the geometric-decay argument of Claim 2) while a naive
+//!     fixed-rate counter would pay an extra `log ε⁻¹` factor.
+//! * The estimate `f̂_j = Σ_t T3[i,j,t]/p_t` is unbiased up to the
+//!   pre-epoch-0 mass; the median over `j` is compared against
+//!   `(φ − ε/2)s`.
+//!
+//! Because `ε̂` is a power of two (footnote 3), every `p_t = 2^{t−k}` is a
+//! power of two and each sampling decision is a masked test of one random
+//! word.
+//!
+//! [`EpochMode::Flat`] is the ablation knob for E12: it disables `T3` and
+//! estimates from `T2` alone, exhibiting the variance blow-up §3.1.2
+//! warns about.
+
+use crate::config::{Constants, HhParams};
+use crate::error::ParamError;
+use crate::mg::MisraGries;
+use crate::report::{ItemEstimate, Report};
+use crate::traits::{HeavyHitters, StreamSummary};
+use hh_hash::{CarterWegmanFamily, CarterWegmanHash, HashFamily, HashFunction};
+use hh_sampling::SkipSampler;
+use hh_space::{SpaceUsage, VarCounterArray};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Whether the accelerated epoch counters (the paper's T3) are active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpochMode {
+    /// Full Algorithm 2: epoch-indexed accelerated counters.
+    Accelerated,
+    /// Ablation: estimate from the flat ε̂-rate counter T2 alone. Same
+    /// space shape, but per-estimate variance `Θ(f/ε̂)` instead of
+    /// `O(ε̂⁻²)` — the failure §3.1.2's overview motivates T3 with.
+    Flat,
+}
+
+/// Epoch for a T2 value `v`: `⌊log₂(scale · v²)⌋` clamped to `[0, k]`, or
+/// `None` below epoch 0. Clamping at `k` is sound because the sampling
+/// probability `min(ε̂·2ᵗ, 1)` saturates at one there, making all higher
+/// epochs operationally identical (line 15 of the paper's pseudocode).
+fn epoch_of(v: u64, scale: f64, k: u32) -> Option<u32> {
+    if v == 0 {
+        return None;
+    }
+    let x = scale * (v as f64) * (v as f64);
+    if x < 1.0 {
+        return None;
+    }
+    Some((x.log2().floor() as u32).min(k))
+}
+
+/// One of the `R` independent repetitions.
+#[derive(Debug, Clone)]
+struct Repetition {
+    hash: CarterWegmanHash,
+    /// Subsampled bucket counters (`T2[·, j]`).
+    t2: VarCounterArray,
+    /// Epoch counters (`T3[·, j, ·]`), flattened as `bucket·(k+1) + t`.
+    t3: VarCounterArray,
+}
+
+/// Algorithm 2 of the paper (Theorem 2).
+#[derive(Debug, Clone)]
+pub struct OptimalListHh {
+    params: HhParams,
+    universe: u64,
+    sampler: SkipSampler,
+    p: f64,
+    /// T1: Misra–Gries candidate set over raw ids.
+    t1: MisraGries,
+    reps: Vec<Repetition>,
+    buckets: u64,
+    /// `ε̂ = 2^{-k_eps}`, the power-of-two rounding of the T2 rate.
+    k_eps: u32,
+    epoch_scale: f64,
+    mode: EpochMode,
+    samples: u64,
+    rng: StdRng,
+}
+
+impl OptimalListHh {
+    /// Creates the algorithm for a stream of advertised length `m` over
+    /// universe `[0, universe)`, default constants, accelerated mode.
+    pub fn new(params: HhParams, universe: u64, m: u64, seed: u64) -> Result<Self, ParamError> {
+        Self::with_constants(params, universe, m, seed, Constants::default(), EpochMode::Accelerated)
+    }
+
+    /// Full-control constructor (constants profile and epoch-mode
+    /// ablation knob).
+    pub fn with_constants(
+        params: HhParams,
+        universe: u64,
+        m: u64,
+        seed: u64,
+        consts: Constants,
+        mode: EpochMode,
+    ) -> Result<Self, ParamError> {
+        if universe == 0 {
+            return Err(ParamError::EmptyUniverse);
+        }
+        if m == 0 {
+            return Err(ParamError::ZeroLength);
+        }
+        let eps = params.eps();
+        let phi = params.phi();
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // ℓ = Θ(ε⁻²); constant from the profile (paper: 10⁵).
+        let ell = (consts.a2_sample_factor / (eps * eps)).ceil();
+        if !ell.is_finite() || ell < 1.0 {
+            return Err(ParamError::BadConstants("algorithm-2 sample budget"));
+        }
+        let p_target = (2.0 * ell / m as f64).min(1.0);
+        let sampler = SkipSampler::with_probability(p_target);
+        let p = sampler.probability();
+
+        // T1 capacity Θ(1/φ) over raw ids.
+        let t1_cap = (consts.a2_t1_factor / phi).ceil() as usize;
+        let t1 = MisraGries::new(t1_cap.max(1), hh_space::id_bits(universe));
+
+        // Repetitions R = Θ(log(1/φ)), forced odd for a clean median.
+        let mut r = ((consts.a2_rep_factor * (12.0 / phi).ln()).ceil() as usize)
+            .max(consts.a2_rep_min)
+            .max(1);
+        if r % 2 == 0 {
+            r += 1;
+        }
+
+        let buckets = ((consts.a2_bucket_factor / eps).ceil() as u64).max(2);
+        let k_eps = hh_sampling::bernoulli::pow2_exponent(eps);
+        let family = CarterWegmanFamily::new(buckets);
+        let reps = (0..r)
+            .map(|_| Repetition {
+                hash: family.sample(&mut rng),
+                t2: VarCounterArray::new(buckets as usize),
+                t3: VarCounterArray::new(buckets as usize * (k_eps as usize + 1)),
+            })
+            .collect();
+
+        Ok(Self {
+            params,
+            universe,
+            sampler,
+            p,
+            t1,
+            reps,
+            buckets,
+            k_eps,
+            epoch_scale: consts.a2_epoch_scale,
+            mode,
+            samples: 0,
+            rng,
+        })
+    }
+
+    /// The realized sampling probability.
+    pub fn sampling_probability(&self) -> f64 {
+        self.p
+    }
+
+    /// Number of sampled items (`s` in the paper).
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Number of repetitions `R`.
+    pub fn repetitions(&self) -> usize {
+        self.reps.len()
+    }
+
+    /// Number of hash buckets per repetition (`Θ(1/ε)`).
+    pub fn buckets(&self) -> u64 {
+        self.buckets
+    }
+
+    /// Problem parameters.
+    pub fn params(&self) -> HhParams {
+        self.params
+    }
+
+    /// Per-term space decomposition `(t1_bits, counting_bits,
+    /// sampler_bits)` matching the three terms of the Theorem-2 bound:
+    /// `φ⁻¹ log n` (candidate ids), `ε⁻¹ log φ⁻¹` (T2/T3 tables and hash
+    /// seeds across repetitions), `log log m` (sampler). Used by the
+    /// Table-1 experiment to validate each term against its own formula.
+    pub fn component_bits(&self) -> (u64, u64, u64) {
+        let counting: u64 = self
+            .reps
+            .iter()
+            .map(|r| r.t2.model_bits() + r.t3.sparse_model_bits() + r.hash.model_bits())
+            .sum();
+        (self.t1.model_bits(), counting, self.sampler.model_bits())
+    }
+
+    /// The power-of-two subsampling rate ε̂.
+    fn eps_hat(&self) -> f64 {
+        (0.5f64).powi(self.k_eps as i32)
+    }
+
+    /// Epoch for the current T2 value: `⌊log₂(c · v²)⌋`, or `None` below
+    /// epoch 0. Exposed for the ablation harness (E12).
+    pub fn epoch(&self, t2_value: u64) -> Option<u32> {
+        epoch_of(t2_value, self.epoch_scale, self.k_eps)
+    }
+
+    /// Per-repetition estimate `f̂_j(x)` of the sampled-stream count of
+    /// `x`'s bucket.
+    fn estimate_rep(&self, rep: &Repetition, item: u64) -> f64 {
+        let i = rep.hash.hash(item) as usize;
+        match self.mode {
+            EpochMode::Flat => rep.t2.get(i) as f64 / self.eps_hat(),
+            EpochMode::Accelerated => {
+                let base = i * (self.k_eps as usize + 1);
+                let t3_sum: f64 = (0..=self.k_eps)
+                    .map(|t| {
+                        let c = rep.t3.get(base + t as usize);
+                        // p_t = 2^{t−k}; divide by it ⇒ multiply by 2^{k−t}.
+                        c as f64 * (1u64 << (self.k_eps - t)) as f64
+                    })
+                    .sum();
+                if t3_sum > 0.0 {
+                    t3_sum
+                } else {
+                    // Below-epoch-0 fallback (implementation hardening,
+                    // documented in DESIGN.md): when the stream is shorter
+                    // than the paper's m = poly(1/ε) regime the bucket may
+                    // never reach epoch 0, leaving T3 empty. The ε̂-rate
+                    // tracker T2 is an unbiased (higher-variance) estimate
+                    // of the same count; using it beats reporting zero.
+                    rep.t2.get(i) as f64 / self.eps_hat()
+                }
+            }
+        }
+    }
+
+    /// Median-of-repetitions estimate of the sampled-stream count of
+    /// `item`'s buckets.
+    fn estimate_sampled(&self, item: u64) -> f64 {
+        let mut ests: Vec<f64> = self
+            .reps
+            .iter()
+            .map(|rep| self.estimate_rep(rep, item))
+            .collect();
+        ests.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        ests[ests.len() / 2]
+    }
+}
+
+impl StreamSummary for OptimalListHh {
+    fn insert(&mut self, item: u64) {
+        debug_assert!(item < self.universe, "item outside declared universe");
+        if !self.sampler.accept(&mut self.rng) {
+            return;
+        }
+        self.samples += 1;
+        self.t1.insert(item);
+
+        let k = self.k_eps;
+        for rep in &mut self.reps {
+            let i = rep.hash.hash(item) as usize;
+            // T2: increment with probability ε̂ = 2^{-k}.
+            let word: u64 = self.rng.gen();
+            let t2_mask = if k == 0 { 0 } else { (1u64 << k.min(63)) - 1 };
+            if word & t2_mask == 0 {
+                rep.t2.increment(i);
+            }
+            if self.mode == EpochMode::Flat {
+                continue;
+            }
+            // T3: epoch from the (possibly just-updated) T2 value.
+            let v = rep.t2.get(i);
+            let t = match epoch_of(v, self.epoch_scale, k) {
+                Some(t) => t,
+                None => continue,
+            };
+            // p_t = 2^{t−k}: accept iff (k − t) fresh bits are all zero.
+            let need = k - t;
+            let accept = if need == 0 {
+                true
+            } else {
+                let w: u64 = self.rng.gen();
+                w & ((1u64 << need) - 1) == 0
+            };
+            if accept {
+                rep.t3.increment(i * (k as usize + 1) + t as usize);
+            }
+        }
+    }
+}
+
+impl HeavyHitters for OptimalListHh {
+    fn report(&self) -> Report {
+        if self.samples == 0 {
+            return Report::default();
+        }
+        let threshold = (self.params.phi() - self.params.eps() / 2.0) * self.samples as f64;
+        self.t1
+            .entries()
+            .into_iter()
+            .filter_map(|(item, _)| {
+                let est = self.estimate_sampled(item);
+                (est >= threshold).then_some(ItemEstimate {
+                    item,
+                    count: est / self.p,
+                })
+            })
+            .collect()
+    }
+}
+
+impl crate::traits::FrequencyEstimator for OptimalListHh {
+    /// Point query: the median-of-repetitions bucket estimate scaled back
+    /// by the sampling rate. Unlike the report path this works for any
+    /// item, with accuracy `±(εm + collision mass of the item's buckets)`.
+    fn estimate(&self, item: u64) -> f64 {
+        self.estimate_sampled(item) / self.p
+    }
+}
+
+impl SpaceUsage for OptimalListHh {
+    fn model_bits(&self) -> u64 {
+        let reps: u64 = self
+            .reps
+            .iter()
+            .map(|r| {
+                // T2 dense (Θ(1) expected bits per bucket), T3 sparse
+                // (§3.1.2: "not all the allowed cells will actually be
+                // used"), plus the hash seed.
+                r.t2.model_bits() + r.t3.sparse_model_bits() + r.hash.model_bits()
+            })
+            .sum();
+        self.t1.model_bits() + reps + self.sampler.model_bits()
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.t1.heap_bytes()
+            + self
+                .reps
+                .iter()
+                .map(|r| r.t2.heap_bytes() + r.t3.heap_bytes())
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hh_streams::{arrange, OrderPolicy};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn planted_stream(m: u64, heavy: &[(u64, f64)], seed: u64) -> Vec<u64> {
+        let mut counts: Vec<(u64, u64)> = heavy
+            .iter()
+            .map(|&(id, frac)| (id, (frac * m as f64).round() as u64))
+            .collect();
+        let used: u64 = counts.iter().map(|&(_, c)| c).sum();
+        let fill = m - used;
+        let light_ids = 4096u64;
+        for j in 0..light_ids {
+            let c = fill / light_ids + u64::from(j < fill % light_ids);
+            if c > 0 {
+                counts.push((1_000_000 + j, c));
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        arrange(&counts, OrderPolicy::Shuffled, &mut rng)
+    }
+
+    fn run(
+        m: u64,
+        heavy: &[(u64, f64)],
+        eps: f64,
+        phi: f64,
+        seed: u64,
+        mode: EpochMode,
+    ) -> (OptimalListHh, Vec<u64>) {
+        let params = HhParams::with_delta(eps, phi, 0.1).unwrap();
+        let stream = planted_stream(m, heavy, seed);
+        let mut a = OptimalListHh::with_constants(
+            params,
+            1 << 40,
+            m,
+            seed ^ 0xABCD,
+            Constants::default(),
+            mode,
+        )
+        .unwrap();
+        a.insert_all(&stream);
+        (a, stream)
+    }
+
+    #[test]
+    fn finds_planted_heavy_hitters_with_estimates() {
+        let m = 600_000u64;
+        let heavy = [(7u64, 0.30), (8, 0.16), (9, 0.12)];
+        let (a, _) = run(m, &heavy, 0.05, 0.1, 1, EpochMode::Accelerated);
+        let r = a.report();
+        for (item, frac) in heavy {
+            assert!(r.contains(item), "missing heavy item {item}");
+            let est = r.estimate(item).unwrap();
+            let truth = frac * m as f64;
+            assert!(
+                (est - truth).abs() <= 0.05 * m as f64,
+                "item {item}: est {est} truth {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_items_below_phi_minus_eps() {
+        let m = 600_000u64;
+        // 55 sits at (φ−ε)m = 5%: must not be reported.
+        let (a, _) = run(m, &[(7, 0.30), (55, 0.05)], 0.05, 0.1, 2, EpochMode::Accelerated);
+        let r = a.report();
+        assert!(r.contains(7));
+        assert!(!r.contains(55), "item at (phi-eps)m must be suppressed");
+    }
+
+    #[test]
+    fn epoch_boundaries_move_with_t2() {
+        let params = HhParams::with_delta(0.05, 0.2, 0.1).unwrap();
+        let a = OptimalListHh::new(params, 1 << 20, 1 << 20, 3).unwrap();
+        assert_eq!(a.epoch(0), None);
+        // Below the epoch-0 threshold T2² · c < 1.
+        let thresh = (1.0 / a.epoch_scale).sqrt();
+        assert_eq!(a.epoch((thresh * 0.5) as u64), None);
+        // Above it, epochs increase and clamp at k_eps.
+        let t_lo = a.epoch((thresh * 1.5) as u64).unwrap();
+        let t_hi = a.epoch((thresh * 100.0) as u64).unwrap();
+        assert!(t_hi > t_lo);
+        assert!(t_hi <= a.k_eps);
+        assert_eq!(a.epoch(u32::MAX as u64), Some(a.k_eps));
+    }
+
+    #[test]
+    fn repetitions_are_odd_and_scale_with_phi() {
+        let p1 = HhParams::with_delta(0.01, 0.5, 0.1).unwrap();
+        let p2 = HhParams::with_delta(0.01, 0.02, 0.1).unwrap();
+        let a1 = OptimalListHh::new(p1, 1 << 20, 1 << 20, 0).unwrap();
+        let a2 = OptimalListHh::new(p2, 1 << 20, 1 << 20, 0).unwrap();
+        assert_eq!(a1.repetitions() % 2, 1);
+        assert_eq!(a2.repetitions() % 2, 1);
+        assert!(a2.repetitions() > a1.repetitions());
+    }
+
+    #[test]
+    fn flat_mode_still_counts_but_without_t3() {
+        let m = 300_000u64;
+        let (a, _) = run(m, &[(7, 0.40)], 0.05, 0.15, 4, EpochMode::Flat);
+        // T3 untouched in flat mode.
+        assert!(a.reps.iter().all(|r| r.t3.nonzero() == 0));
+        let r = a.report();
+        assert!(r.contains(7), "flat mode should still find a 40% item");
+    }
+
+    #[test]
+    fn per_repetition_tables_scale_as_inverse_eps() {
+        // Theorem 2's counting core: each repetition's T2+T3 cost is
+        // Θ(ε⁻¹) bits with an ε-independent constant (cell values stay
+        // Θ(1) in expectation because s ~ ε⁻², the subsample rate is ~ε
+        // and there are ~ε⁻¹ buckets). Check that bits·ε is flat across a
+        // 4x change in ε — this is what separates the optimal bound
+        // ε⁻¹·log φ⁻¹ from Algorithm 1's ε⁻¹·log ε⁻¹.
+        // Small sample budget keeps the test fast without changing shape.
+        let consts = Constants {
+            a2_sample_factor: 500.0,
+            ..Constants::default()
+        };
+        let per_rep_bits = |eps: f64, seed: u64| -> f64 {
+            let m = 1 << 21;
+            let params = HhParams::with_delta(eps, 0.25, 0.1).unwrap();
+            let stream = planted_stream(m, &[(1u64, 0.3)], seed);
+            let mut a = OptimalListHh::with_constants(
+                params,
+                1 << 40,
+                m,
+                seed,
+                consts,
+                EpochMode::Accelerated,
+            )
+            .unwrap();
+            a.insert_all(&stream);
+            a.reps
+                .iter()
+                .map(|r| r.t2.model_bits() + r.t3.sparse_model_bits())
+                .sum::<u64>() as f64
+                / a.reps.len() as f64
+        };
+        let coarse = per_rep_bits(0.1, 5);
+        let fine = per_rep_bits(0.025, 6);
+        let ratio = (fine * 0.025) / (coarse * 0.1);
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "bits*eps not flat: coarse {coarse}, fine {fine}, ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let m = 100_000u64;
+        let heavy = [(3u64, 0.5)];
+        let (a, _) = run(m, &heavy, 0.1, 0.3, 9, EpochMode::Accelerated);
+        let (b, _) = run(m, &heavy, 0.1, 0.3, 9, EpochMode::Accelerated);
+        assert_eq!(a.report().entries(), b.report().entries());
+    }
+
+    #[test]
+    fn point_queries_track_heavy_items() {
+        use crate::traits::FrequencyEstimator;
+        let m = 400_000u64;
+        let heavy = [(7u64, 0.35), (8, 0.2)];
+        let (a, _) = run(m, &heavy, 0.05, 0.15, 31, EpochMode::Accelerated);
+        for (item, frac) in heavy {
+            let est = a.estimate(item);
+            assert!(
+                (est - frac * m as f64).abs() <= 0.05 * m as f64,
+                "item {item}: est {est}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_stream_reports_nothing() {
+        let params = HhParams::new(0.1, 0.3).unwrap();
+        let a = OptimalListHh::new(params, 100, 1000, 0).unwrap();
+        assert!(a.report().is_empty());
+    }
+}

@@ -1,0 +1,64 @@
+//! Parameter-validation errors.
+
+use std::fmt;
+
+/// Rejected configuration for one of the streaming algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamError {
+    /// ε must lie in (0, 1).
+    EpsOutOfRange(f64),
+    /// φ must lie in (0, 1].
+    PhiOutOfRange(f64),
+    /// The problem definition requires ε < φ.
+    EpsNotBelowPhi {
+        /// Supplied ε.
+        eps: f64,
+        /// Supplied φ.
+        phi: f64,
+    },
+    /// δ must lie in (0, 1).
+    DeltaOutOfRange(f64),
+    /// The universe must be non-empty.
+    EmptyUniverse,
+    /// The advertised stream length must be positive.
+    ZeroLength,
+    /// A constants profile produced an unusable internal value.
+    BadConstants(&'static str),
+}
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamError::EpsOutOfRange(e) => write!(f, "epsilon {e} must be in (0, 1)"),
+            ParamError::PhiOutOfRange(p) => write!(f, "phi {p} must be in (0, 1]"),
+            ParamError::EpsNotBelowPhi { eps, phi } => {
+                write!(f, "epsilon {eps} must be strictly below phi {phi}")
+            }
+            ParamError::DeltaOutOfRange(d) => write!(f, "delta {d} must be in (0, 1)"),
+            ParamError::EmptyUniverse => write!(f, "universe size must be at least 1"),
+            ParamError::ZeroLength => write!(f, "stream length must be at least 1"),
+            ParamError::BadConstants(what) => write!(f, "constants profile error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ParamError::EpsNotBelowPhi { eps: 0.5, phi: 0.2 };
+        let s = e.to_string();
+        assert!(s.contains("0.5") && s.contains("0.2"));
+        assert!(ParamError::EmptyUniverse.to_string().contains("universe"));
+    }
+
+    #[test]
+    fn error_trait_object_works() {
+        let e: Box<dyn std::error::Error> = Box::new(ParamError::ZeroLength);
+        assert!(e.to_string().contains("stream length"));
+    }
+}

@@ -1,0 +1,274 @@
+//! The Misra–Gries frequent-items summary \[MG82\].
+//!
+//! Both of the paper's heavy-hitter algorithms embed a Misra–Gries table:
+//! Algorithm 1 runs it over *hashed* ids ("Instead of storing the id of
+//! any item x in the Misra-Gries table we only store the hash h(x)"),
+//! Algorithm 2 runs it over raw ids with `2/φ` counters to produce its
+//! candidate set. It is also the `O(ε⁻¹(log n + log m))`-bit baseline the
+//! paper improves on, re-exported as such by `hh-baselines`.
+//!
+//! Guarantee: after `s` insertions, every estimate satisfies
+//! `f_x − s/(k+1) ≤ estimate(x) ≤ f_x` where `k` is the capacity.
+//!
+//! The decrement-all step is implemented directly; each decrement is paid
+//! for by an earlier increment, so updates are amortized `O(1)` (worst-case
+//! `O(1)` variants exist via the \[DLOM02\] doubly-linked group structure;
+//! the paper's `O(1)` worst-case claim instead comes from spreading work
+//! across the gaps between *sampled* items, which is how Algorithm 1 uses
+//! this table).
+
+use crate::traits::StreamSummary;
+use hh_space::space::{gamma_bits, SpaceUsage};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A Misra–Gries table with `k` counters over `u64` keys.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MisraGries {
+    counters: HashMap<u64, u64>,
+    capacity: usize,
+    /// Bits charged per stored key (callers price raw ids at `log n` and
+    /// hashed ids at `log(hash range)`).
+    key_bits: u64,
+    processed: u64,
+}
+
+impl MisraGries {
+    /// Table with `capacity ≥ 1` counters, charging `key_bits` per stored
+    /// key in the space model.
+    pub fn new(capacity: usize, key_bits: u64) -> Self {
+        assert!(capacity >= 1, "capacity must be at least 1");
+        Self {
+            counters: HashMap::with_capacity(capacity + 1),
+            capacity,
+            key_bits,
+            processed: 0,
+        }
+    }
+
+    /// Convenience constructor pricing keys as ids from `[0, universe)`.
+    pub fn for_universe(capacity: usize, universe: u64) -> Self {
+        Self::new(capacity, hh_space::id_bits(universe))
+    }
+
+    /// Number of counters configured.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of keys currently held.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// Items inserted so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// The lower-bound estimate for `key` (0 if absent).
+    pub fn estimate(&self, key: u64) -> u64 {
+        self.counters.get(&key).copied().unwrap_or(0)
+    }
+
+    /// The worst-case undercount: `processed / (capacity + 1)`.
+    pub fn max_error(&self) -> u64 {
+        self.processed / (self.capacity as u64 + 1)
+    }
+
+    /// Current `(key, count)` pairs in decreasing count order.
+    pub fn entries(&self) -> Vec<(u64, u64)> {
+        let mut v: Vec<(u64, u64)> = self.counters.iter().map(|(&k, &c)| (k, c)).collect();
+        v.sort_unstable_by_key(|&(k, c)| (std::cmp::Reverse(c), k));
+        v
+    }
+
+    /// The key with the largest counter, if any.
+    pub fn argmax(&self) -> Option<(u64, u64)> {
+        self.counters
+            .iter()
+            .map(|(&k, &c)| (k, c))
+            .max_by_key(|&(k, c)| (c, std::cmp::Reverse(k)))
+    }
+
+    /// Merges another table into this one (sums counters, then reduces
+    /// back to capacity by subtracting the (k+1)-th largest count — the
+    /// standard mergeable-summaries construction, which preserves the
+    /// error bound `s/(k+1)` for the combined stream).
+    pub fn merge(&mut self, other: &MisraGries) {
+        for (&k, &c) in &other.counters {
+            *self.counters.entry(k).or_insert(0) += c;
+        }
+        self.processed += other.processed;
+        if self.counters.len() > self.capacity {
+            let mut counts: Vec<u64> = self.counters.values().copied().collect();
+            counts.sort_unstable_by(|a, b| b.cmp(a));
+            let cut = counts[self.capacity];
+            self.counters.retain(|_, c| {
+                if *c > cut {
+                    *c -= cut;
+                    true
+                } else {
+                    false
+                }
+            });
+        }
+    }
+}
+
+impl StreamSummary for MisraGries {
+    fn insert(&mut self, key: u64) {
+        self.processed += 1;
+        if let Some(c) = self.counters.get_mut(&key) {
+            *c += 1;
+            return;
+        }
+        if self.counters.len() < self.capacity {
+            self.counters.insert(key, 1);
+            return;
+        }
+        // Table full and key absent: decrement everything (the incoming
+        // item's single unit annihilates with one unit of every counter).
+        self.counters.retain(|_, c| {
+            *c -= 1;
+            *c > 0
+        });
+    }
+}
+
+impl SpaceUsage for MisraGries {
+    fn model_bits(&self) -> u64 {
+        let filled: u64 = self
+            .counters
+            .values()
+            .map(|&c| self.key_bits + gamma_bits(c))
+            .sum();
+        // Empty slots still need a presence bit; the stream-position
+        // counter is charged at its variable-length cost.
+        let empty = (self.capacity - self.counters.len()) as u64;
+        filled + empty + gamma_bits(self.processed)
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.counters.capacity() * (8 + 8 + 8) // key, value, bucket overhead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(capacity: usize, stream: &[u64]) -> MisraGries {
+        let mut mg = MisraGries::new(capacity, 16);
+        mg.insert_all(stream);
+        mg
+    }
+
+    #[test]
+    fn exact_when_under_capacity() {
+        let mg = run(10, &[1, 2, 2, 3, 3, 3]);
+        assert_eq!(mg.estimate(1), 1);
+        assert_eq!(mg.estimate(2), 2);
+        assert_eq!(mg.estimate(3), 3);
+        assert_eq!(mg.estimate(9), 0);
+        assert_eq!(mg.max_error(), 0);
+    }
+
+    #[test]
+    fn classic_error_bound_holds() {
+        // Stream: item 0 heavy (400), 200 singletons. k = 7.
+        let mut stream: Vec<u64> = std::iter::repeat_n(0, 400).collect();
+        stream.extend(1000..1200u64);
+        // Interleave adversarially: singleton after every other heavy copy.
+        let mut inter = Vec::new();
+        let mut singles = 1000..1200u64;
+        for (i, &x) in stream.iter().enumerate() {
+            if x == 0 {
+                inter.push(0);
+                if i % 2 == 0 {
+                    if let Some(s) = singles.next() {
+                        inter.push(s);
+                    }
+                }
+            }
+        }
+        let mg = run(7, &inter);
+        let s = mg.processed();
+        let est = mg.estimate(0);
+        assert!(est <= 400);
+        assert!(
+            est + s / 8 >= 400,
+            "undercount too large: est {est}, bound {}",
+            s / 8
+        );
+    }
+
+    #[test]
+    fn never_overestimates_on_random_streams() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        let stream: Vec<u64> = (0..5000).map(|_| rng.gen_range(0..50)).collect();
+        let mg = run(9, &stream);
+        for key in 0..50u64 {
+            let truth = stream.iter().filter(|&&x| x == key).count() as u64;
+            let est = mg.estimate(key);
+            assert!(est <= truth, "key {key}: est {est} > truth {truth}");
+            assert!(est + mg.max_error() >= truth, "key {key} undercount");
+        }
+    }
+
+    #[test]
+    fn table_never_exceeds_capacity() {
+        let mut mg = MisraGries::new(5, 16);
+        for x in 0..10_000u64 {
+            mg.insert(x % 97);
+            assert!(mg.len() <= 5);
+        }
+    }
+
+    #[test]
+    fn entries_sorted_descending() {
+        let mg = run(10, &[7, 7, 7, 8, 8, 9]);
+        let e = mg.entries();
+        assert_eq!(e[0], (7, 3));
+        assert_eq!(e[1], (8, 2));
+        assert_eq!(e[2], (9, 1));
+        assert_eq!(mg.argmax(), Some((7, 3)));
+    }
+
+    #[test]
+    fn merge_preserves_error_bound() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        let a_stream: Vec<u64> = (0..3000).map(|_| rng.gen_range(0..40)).collect();
+        let b_stream: Vec<u64> = (0..2000).map(|_| rng.gen_range(0..40)).collect();
+        let k = 9usize;
+        let mut a = run(k, &a_stream);
+        let b = run(k, &b_stream);
+        a.merge(&b);
+        assert!(a.len() <= k);
+        assert_eq!(a.processed(), 5000);
+        let bound = 5000 / (k as u64 + 1);
+        for key in 0..40u64 {
+            let truth = a_stream.iter().chain(&b_stream).filter(|&&x| x == key).count() as u64;
+            let est = a.estimate(key);
+            assert!(est <= truth, "key {key} overestimates after merge");
+            assert!(est + bound >= truth, "key {key} undercounts after merge");
+        }
+    }
+
+    #[test]
+    fn space_accounts_keys_and_counters() {
+        let mg = run(4, &[1, 1, 1]);
+        // One filled slot: 16 key bits + gamma(3) = 5 bits; 3 empty slots;
+        // processed = 3 → gamma(3) = 5.
+        assert_eq!(mg.model_bits(), 16 + 5 + 3 + 5);
+    }
+}

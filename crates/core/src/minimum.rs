@@ -1,0 +1,408 @@
+//! Algorithm 3: ε-Minimum — find an item whose frequency is within εm of
+//! the minimum over the whole universe (Theorem 4).
+//!
+//! The problem only makes sense for small universes ("This only makes
+//! sense for small universes, as otherwise outputting a random item
+//! typically works"), and the algorithm exploits exactly that. Its REPORT
+//! procedure (§3.3) cascades through four regimes:
+//!
+//! 1. **Huge universe** (`|U| ≥ 1/((1−δ)ε)`): a uniformly random item is,
+//!    with probability ≥ 1−δ, one of the many items of frequency < εm.
+//! 2. **Unsampled item exists** (`S1 ≠ U`): `S1` samples at rate
+//!    `Θ(ℓ₁/m)` with `ℓ₁ = Θ(ε⁻¹ log(εδ)⁻¹)`; any item missing from the
+//!    `S1` bit vector has frequency `O(εm / log(1/ε))` and is a valid
+//!    answer.
+//! 3. **Few distinct items** (`≤ 1/(ε log ε⁻¹)`): exact counts of a
+//!    `Θ(ε⁻² log δ⁻¹)`-size sample (`S2`) resolve the minimum to ±εm.
+//! 4. **Otherwise**: the minimum frequency is sandwiched in
+//!    `[Θ(εm/log ε⁻¹), Θ(εm·log ε⁻¹)]`, so the `S3` counters can be
+//!    **truncated** at `polylog(1/εδ)` — each costs only
+//!    `O(log log (εδ)⁻¹)` bits, which is where the improvement over
+//!    running an (ε, ε)-heavy-hitters algorithm comes from.
+//!
+//! Because the universe is small, `S2`/`S3` are dense arrays indexed by
+//! item id — no id storage at all (the paper stores ids; a dense array is
+//! never larger here since `|U| < 1/((1−δ)ε)`, see DESIGN.md).
+
+use crate::config::Constants;
+use crate::error::ParamError;
+use crate::report::ItemEstimate;
+use crate::traits::StreamSummary;
+use hh_sampling::SkipSampler;
+use hh_space::{BitVec, SpaceUsage, VarCounterArray};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The state for universes small enough to track.
+#[derive(Debug, Clone)]
+struct Tracked {
+    /// Bit per universe item: sampled into `S1`?
+    s1: BitVec,
+    s1_sampler: SkipSampler,
+    /// Bit per universe item: seen at all? (exact distinct tracking; the
+    /// universe is small so this costs `|U| < 1/((1−δ)ε)` bits).
+    seen: BitVec,
+    distinct: u64,
+    /// Case-3 threshold `1/(ε log(1/ε))`.
+    distinct_cap: u64,
+    /// Exact counts over the `S2` sample; frozen once `distinct` passes
+    /// the cap (lines 9–10 of the pseudocode).
+    s2: VarCounterArray,
+    s2_sampler: SkipSampler,
+    s2_active: bool,
+    /// Truncated counts over the `S3` sample.
+    s3: VarCounterArray,
+    s3_sampler: SkipSampler,
+    /// Truncation cap `Θ(log⁴(2/εδ))`.
+    cap3: u64,
+}
+
+#[derive(Debug, Clone)]
+enum Backend {
+    /// Case 1: universe too large — a pre-drawn random item is the answer.
+    RandomItem(u64),
+    Tracked(Box<Tracked>),
+}
+
+/// The ε-Minimum algorithm (Theorem 4).
+#[derive(Debug, Clone)]
+pub struct EpsMinimum {
+    eps: f64,
+    delta: f64,
+    universe: u64,
+    backend: Backend,
+    rng: StdRng,
+    p1: f64,
+    p2: f64,
+    p3: f64,
+}
+
+impl EpsMinimum {
+    /// Creates the algorithm over universe `[0, universe)` for a stream of
+    /// advertised length `m`.
+    pub fn new(eps: f64, delta: f64, universe: u64, m: u64, seed: u64) -> Result<Self, ParamError> {
+        Self::with_constants(eps, delta, universe, m, seed, Constants::default())
+    }
+
+    /// Creates the algorithm with an explicit constants profile.
+    pub fn with_constants(
+        eps: f64,
+        delta: f64,
+        universe: u64,
+        m: u64,
+        seed: u64,
+        consts: Constants,
+    ) -> Result<Self, ParamError> {
+        if !(eps > 0.0 && eps < 1.0 && eps.is_finite()) {
+            return Err(ParamError::EpsOutOfRange(eps));
+        }
+        if !(delta > 0.0 && delta < 1.0) {
+            return Err(ParamError::DeltaOutOfRange(delta));
+        }
+        if universe == 0 {
+            return Err(ParamError::EmptyUniverse);
+        }
+        if m == 0 {
+            return Err(ParamError::ZeroLength);
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // Case 1: |U| ≥ 1/((1−δ)ε) — answer with a random item (lines
+        // 14–15 of the pseudocode).
+        let cutoff = 1.0 / ((1.0 - delta) * eps);
+        if universe as f64 >= cutoff {
+            let span = (cutoff.ceil() as u64).min(universe);
+            let choice = rng.gen_range(0..span);
+            return Ok(Self {
+                eps,
+                delta,
+                universe,
+                backend: Backend::RandomItem(choice),
+                rng,
+                p1: 0.0,
+                p2: 0.0,
+                p3: 0.0,
+            });
+        }
+
+        let log_term = (6.0 / (eps * delta)).ln().max(1.0);
+        let l1 = (consts.min_l1_factor * log_term / eps).ceil();
+        let l2 = (consts.sample_factor * (6.0 / delta).ln() / (eps * eps)).ceil();
+        let l3 = (consts.min_l3_factor * log_term.powi(3) / eps).ceil();
+        let cap_log = (2.0 / (eps * delta)).ln().max(1.0);
+        let cap3 = (consts.min_cap_factor * cap_log.powi(4)).ceil() as u64;
+
+        let s1_sampler = SkipSampler::with_probability((2.0 * l1 / m as f64).min(1.0));
+        let s2_sampler = SkipSampler::with_probability((2.0 * l2 / m as f64).min(1.0));
+        let s3_sampler = SkipSampler::with_probability((2.0 * l3 / m as f64).min(1.0));
+        let (p1, p2, p3) = (
+            s1_sampler.probability(),
+            s2_sampler.probability(),
+            s3_sampler.probability(),
+        );
+
+        let ln_inv_eps = (1.0 / eps).ln().max(1.0);
+        let tracked = Tracked {
+            s1: BitVec::zeros(universe as usize),
+            s1_sampler,
+            seen: BitVec::zeros(universe as usize),
+            distinct: 0,
+            distinct_cap: (1.0 / (eps * ln_inv_eps)).ceil() as u64,
+            s2: VarCounterArray::new(universe as usize),
+            s2_sampler,
+            s2_active: true,
+            s3: VarCounterArray::new(universe as usize),
+            s3_sampler,
+            cap3,
+        };
+
+        Ok(Self {
+            eps,
+            delta,
+            universe,
+            backend: Backend::Tracked(Box::new(tracked)),
+            rng,
+            p1,
+            p2,
+            p3,
+        })
+    }
+
+    /// The reported ε-minimum item with its frequency estimate. Follows
+    /// the REPORT cascade of the pseudocode.
+    pub fn min_estimate(&self) -> ItemEstimate {
+        match &self.backend {
+            Backend::RandomItem(choice) => ItemEstimate {
+                item: *choice,
+                count: 0.0,
+            },
+            Backend::Tracked(t) => {
+                // Case 2: some item never entered S1.
+                if let Some(missing) = t.s1.first_zero() {
+                    return ItemEstimate {
+                        item: missing as u64,
+                        count: t.s2.get(missing) as f64 / self.p2.max(f64::MIN_POSITIVE),
+                    };
+                }
+                // Case 3: few distinct items — exact-count sample decides.
+                if t.distinct <= t.distinct_cap && t.s2_active {
+                    let idx = t.s2.argmin().unwrap_or(0);
+                    return ItemEstimate {
+                        item: idx as u64,
+                        count: t.s2.get(idx) as f64 / self.p2,
+                    };
+                }
+                // Case 4: truncated counters decide.
+                let idx = t.s3.argmin().unwrap_or(0);
+                ItemEstimate {
+                    item: idx as u64,
+                    count: t.s3.get(idx) as f64 / self.p3,
+                }
+            }
+        }
+    }
+
+    /// Universe size.
+    pub fn universe(&self) -> u64 {
+        self.universe
+    }
+
+    /// ε.
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// δ.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Whether the large-universe shortcut (case 1) is active.
+    pub fn is_random_mode(&self) -> bool {
+        matches!(self.backend, Backend::RandomItem(_))
+    }
+
+    /// Diagnostic: the three realized sampling probabilities `(p1,p2,p3)`.
+    pub fn probabilities(&self) -> (f64, f64, f64) {
+        (self.p1, self.p2, self.p3)
+    }
+}
+
+impl StreamSummary for EpsMinimum {
+    fn insert(&mut self, item: u64) {
+        debug_assert!(item < self.universe, "item outside declared universe");
+        let t = match &mut self.backend {
+            Backend::RandomItem(_) => return,
+            Backend::Tracked(t) => t,
+        };
+        let idx = item as usize;
+
+        // Exact distinct tracking (drives the S2 freeze).
+        if !t.seen.get(idx) {
+            t.seen.set(idx, true);
+            t.distinct += 1;
+            if t.distinct > t.distinct_cap {
+                t.s2_active = false;
+            }
+        }
+
+        // S1 membership bit (line 8).
+        if t.s1_sampler.accept(&mut self.rng) {
+            t.s1.set(idx, true);
+        }
+
+        // S2 exact counts while the distinct count is small (lines 9–10).
+        if t.s2_active && t.s2_sampler.accept(&mut self.rng) {
+            t.s2.increment(idx);
+        }
+
+        // S3 truncated counts (line 11).
+        if t.s3_sampler.accept(&mut self.rng) {
+            t.s3.increment(idx);
+            t.s3.truncate_at(idx, t.cap3);
+        }
+    }
+}
+
+impl SpaceUsage for EpsMinimum {
+    fn model_bits(&self) -> u64 {
+        match &self.backend {
+            // Case 1 stores one id out of the first ⌈1/((1−δ)ε)⌉ items.
+            Backend::RandomItem(_) => {
+                hh_space::id_bits((1.0 / ((1.0 - self.delta) * self.eps)).ceil() as u64)
+            }
+            Backend::Tracked(t) => {
+                t.s1.model_bits()
+                    + t.seen.model_bits()
+                    + if t.s2_active { t.s2.model_bits() } else { 0 }
+                    + t.s3.model_bits()
+                    + t.s1_sampler.model_bits()
+                    + t.s2_sampler.model_bits()
+                    + t.s3_sampler.model_bits()
+            }
+        }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        match &self.backend {
+            Backend::RandomItem(_) => 0,
+            Backend::Tracked(t) => {
+                t.s1.heap_bytes() + t.seen.heap_bytes() + t.s2.heap_bytes() + t.s3.heap_bytes()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hh_streams::{arrange, ExactCounts, OrderPolicy};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn large_universe_returns_random_light_item() {
+        // ε = 0.1, δ = 0.2 → cutoff 12.5; universe 1000 triggers case 1.
+        let a = EpsMinimum::new(0.1, 0.2, 1000, 10_000, 3).unwrap();
+        assert!(a.is_random_mode());
+        let e = a.min_estimate();
+        assert!(e.item < 13);
+    }
+
+    #[test]
+    fn finds_zero_frequency_item_when_one_exists() {
+        // Universe 10; stream never contains item 6.
+        let m = 100_000u64;
+        let mut counts: Vec<(u64, u64)> = (0..10u64)
+            .filter(|&i| i != 6)
+            .map(|i| (i, m / 9))
+            .collect();
+        let rem = m - counts.iter().map(|&(_, c)| c).sum::<u64>();
+        counts[0].1 += rem;
+        let mut rng = StdRng::seed_from_u64(5);
+        let stream = arrange(&counts, OrderPolicy::Shuffled, &mut rng);
+        let mut a = EpsMinimum::new(0.1, 0.2, 10, m, 6).unwrap();
+        assert!(!a.is_random_mode());
+        a.insert_all(&stream);
+        assert_eq!(a.min_estimate().item, 6);
+    }
+
+    #[test]
+    fn few_distinct_items_resolved_by_exact_sample() {
+        // Universe 8, only 3 distinct items, clear minimum at item 2.
+        let m = 200_000u64;
+        let counts = [(0u64, 120_000u64), (1, 70_000), (2, 10_000)];
+        let mut rng = StdRng::seed_from_u64(7);
+        let stream = arrange(&counts, OrderPolicy::Shuffled, &mut rng);
+        let mut a = EpsMinimum::new(0.05, 0.2, 8, m, 8).unwrap();
+        a.insert_all(&stream);
+        let e = a.min_estimate();
+        // Items 3..8 have frequency 0 — they are the true minima.
+        let oracle = ExactCounts::from_stream(&stream);
+        let slack = (0.05 * m as f64) as u64;
+        assert!(
+            oracle.is_eps_minimum(e.item, 8, slack),
+            "reported {} which is not an eps-minimum",
+            e.item
+        );
+    }
+
+    #[test]
+    fn full_support_minimum_within_eps() {
+        // Every universe item present; min planted at item 4.
+        let m = 400_000u64;
+        let universe = 12u64;
+        let mut counts: Vec<(u64, u64)> = (0..universe).map(|i| (i, 36_000)).collect();
+        counts[4].1 = 4_000; // the minimum
+        let planted: u64 = counts.iter().map(|&(_, c)| c).sum();
+        counts[0].1 += m - planted;
+        let mut rng = StdRng::seed_from_u64(9);
+        let stream = arrange(&counts, OrderPolicy::Shuffled, &mut rng);
+        let mut a = EpsMinimum::new(0.04, 0.2, universe, m, 10).unwrap();
+        a.insert_all(&stream);
+        let e = a.min_estimate();
+        let oracle = ExactCounts::from_stream(&stream);
+        let slack = (0.04 * m as f64) as u64;
+        assert!(
+            oracle.is_eps_minimum(e.item, universe, slack),
+            "reported item {} freq {} vs min {}",
+            e.item,
+            oracle.freq(e.item),
+            oracle.min_over_universe(universe)
+        );
+    }
+
+    #[test]
+    fn truncation_caps_are_enforced() {
+        let m = 1_000_000u64;
+        let mut a = EpsMinimum::new(0.05, 0.2, 8, m, 11).unwrap();
+        for i in 0..m {
+            a.insert(i % 8);
+        }
+        if let Backend::Tracked(t) = &a.backend {
+            let cap = t.cap3;
+            assert!(t.s3.iter().all(|c| c <= cap), "counter exceeded cap {cap}");
+        } else {
+            panic!("expected tracked backend");
+        }
+    }
+
+    #[test]
+    fn space_stays_small_even_for_long_streams() {
+        let m = 1 << 22;
+        let mut a = EpsMinimum::new(0.05, 0.2, 16, m, 12).unwrap();
+        for i in 0..(1 << 18) {
+            a.insert(i % 16);
+        }
+        // Budget shape: O(ε⁻¹ log log (εδ)⁻¹ + log log m); generous cap.
+        assert!(a.model_bits() < 4096, "model bits {}", a.model_bits());
+    }
+
+    #[test]
+    fn constructor_validates() {
+        assert!(EpsMinimum::new(0.0, 0.1, 10, 10, 0).is_err());
+        assert!(EpsMinimum::new(0.1, 0.0, 10, 10, 0).is_err());
+        assert!(EpsMinimum::new(0.1, 0.1, 0, 10, 0).is_err());
+        assert!(EpsMinimum::new(0.1, 0.1, 10, 0, 0).is_err());
+    }
+}

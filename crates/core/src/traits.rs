@@ -1,0 +1,74 @@
+//! Algorithm-facing traits shared across the workspace.
+
+use crate::report::Report;
+
+/// A one-pass insertion-stream summary (§2.1: the input is an
+/// insertion-only stream; there are no deletions).
+pub trait StreamSummary {
+    /// Processes one stream item.
+    fn insert(&mut self, item: u64);
+
+    /// Processes a slice of items.
+    fn insert_all(&mut self, items: &[u64]) {
+        for &x in items {
+            self.insert(x);
+        }
+    }
+}
+
+/// Summaries that can answer the (ε, φ)-heavy-hitters query of
+/// Definition 1 at the end of the stream.
+pub trait HeavyHitters: StreamSummary {
+    /// The output set `S` with estimates. Reporting time is linear in the
+    /// output size for the paper's algorithms (Theorems 1 and 2).
+    fn report(&self) -> Report;
+}
+
+/// Summaries that can estimate the frequency of an arbitrary item (the
+/// baselines support this; the paper's algorithms only estimate reported
+/// items).
+pub trait FrequencyEstimator {
+    /// Point estimate of the frequency of `item`, in stream counts.
+    fn estimate(&self, item: u64) -> f64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{ItemEstimate, Report};
+
+    struct CountOnes {
+        ones: u64,
+    }
+
+    impl StreamSummary for CountOnes {
+        fn insert(&mut self, item: u64) {
+            if item == 1 {
+                self.ones += 1;
+            }
+        }
+    }
+
+    impl HeavyHitters for CountOnes {
+        fn report(&self) -> Report {
+            Report::new(vec![ItemEstimate {
+                item: 1,
+                count: self.ones as f64,
+            }])
+        }
+    }
+
+    #[test]
+    fn insert_all_default_method() {
+        let mut c = CountOnes { ones: 0 };
+        c.insert_all(&[1, 2, 1, 1, 3]);
+        assert_eq!(c.report().estimate(1), Some(3.0));
+    }
+
+    #[test]
+    fn trait_objects_compose() {
+        let mut c: Box<dyn HeavyHitters> = Box::new(CountOnes { ones: 0 });
+        c.insert(1);
+        assert_eq!(c.report().len(), 1);
+    }
+}

@@ -1,0 +1,349 @@
+//! Unknown stream length: Theorem 7's instance-doubling wrapper.
+//!
+//! When `m` is not known in advance the sampling probability cannot be set
+//! up front. §3.5's fix: guess the length, run an Algorithm-1 instance per
+//! guess, and track the true position approximately with a Morris counter
+//! ("We use the approximate counting method of Morris to approximately
+//! count the length of the stream") so the position tracking costs
+//! `O(log log m + k)` bits instead of `log m`.
+//!
+//! Concretely, instance `k` samples at rate `p_k = min(1, 2g^{1−k})` and
+//! covers (i.e. is the one reported from) estimated positions
+//! `[τ_k, τ_{k+1})`, `τ_k = ℓ·gᵏ`. At most two instances are live: when
+//! the position estimate crosses `τ_{k+1}` the older instance is
+//! discarded and instance `k+2` is spawned ("At any point of time, we have
+//! at most two instances ... When the stream ends, we return the output of
+//! the older of the instances"). The items a fresh instance missed are a
+//! `≤ 1/g` fraction of the stream by the time it reports, which is folded
+//! into the ε budget by choosing `g = Θ(1/ε)` — the paper's powers-of-
+//! `1/ε` guessing schedule ("we are discarding at most εm many items ...
+//! by discarding a run of an instance").
+
+use crate::algo1::SimpleListHh;
+use crate::config::{Constants, HhParams};
+use crate::error::ParamError;
+use crate::report::Report;
+use crate::traits::{HeavyHitters, StreamSummary};
+use hh_sampling::MorrisCounter;
+use hh_space::SpaceUsage;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// How the wrapper tracks the stream position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PositionTracking {
+    /// Morris counter: `O(log log m)` bits, the paper's choice.
+    Morris,
+    /// Exact counter: `O(log m)` bits; the ablation baseline for E9.
+    Exact,
+}
+
+/// (ε, φ)-List heavy hitters without knowing the stream length
+/// (Theorem 7).
+#[derive(Debug, Clone)]
+pub struct UnknownLengthHh {
+    params: HhParams,
+    inner_params: HhParams,
+    universe: u64,
+    consts: Constants,
+    tracking: PositionTracking,
+    morris: MorrisCounter,
+    exact_position: u64,
+    /// Growth factor `g = Θ(1/ε)`.
+    g: f64,
+    /// Base budget ℓ (per the inner ε' = ε/2).
+    ell: f64,
+    /// Index of the older live instance.
+    epoch: u32,
+    older: SimpleListHh,
+    newer: SimpleListHh,
+    /// Position estimate that triggers the next hand-over.
+    next_trigger: f64,
+    seed: u64,
+    _rng: StdRng,
+}
+
+/// Safety margin on the Morris estimate before a hand-over fires; the
+/// counter is averaged enough to sit within a factor 2 w.h.p., so
+/// triggering at `2τ` guarantees the true position passed `τ`.
+const TRIGGER_MARGIN: f64 = 2.0;
+const MORRIS_COPIES: usize = 32;
+
+impl UnknownLengthHh {
+    /// Creates the wrapper with Morris position tracking.
+    pub fn new(params: HhParams, universe: u64, seed: u64) -> Result<Self, ParamError> {
+        Self::with_options(
+            params,
+            universe,
+            seed,
+            Constants::default(),
+            PositionTracking::Morris,
+        )
+    }
+
+    /// Full-control constructor.
+    pub fn with_options(
+        params: HhParams,
+        universe: u64,
+        seed: u64,
+        consts: Constants,
+        tracking: PositionTracking,
+    ) -> Result<Self, ParamError> {
+        if universe == 0 {
+            return Err(ParamError::EmptyUniverse);
+        }
+        // Inner instances run at ε' = ε/2 so the discarded-prefix error
+        // (≤ 4/g of the stream, with the trigger margin) plus the inner
+        // error stays within ε.
+        let inner_params =
+            HhParams::with_delta(params.eps() / 2.0, params.phi(), params.delta() / 2.0)?;
+        let eps_inner = inner_params.eps();
+        let ell =
+            (consts.sample_factor * (6.0 / inner_params.delta()).ln() / (eps_inner * eps_inner))
+                .ceil();
+        let g = (16.0 / params.eps()).max(consts.growth_factor_min);
+
+        let older = Self::spawn(inner_params, universe, seed, consts, 0, g, ell)?;
+        let newer = Self::spawn(inner_params, universe, seed.wrapping_add(1), consts, 1, g, ell)?;
+
+        Ok(Self {
+            params,
+            inner_params,
+            universe,
+            consts,
+            tracking,
+            morris: MorrisCounter::with_copies(2.0, MORRIS_COPIES),
+            exact_position: 0,
+            g,
+            ell,
+            epoch: 0,
+            older,
+            newer,
+            next_trigger: TRIGGER_MARGIN * ell * g,
+            seed,
+            _rng: StdRng::seed_from_u64(seed ^ 0x5EED),
+        })
+    }
+
+    /// Builds instance `k`: sampling rate `p_k = min(1, 2g^{1−k})`, hash
+    /// range sized for its maximum expected sample count `≈ 2ℓg²`.
+    fn spawn(
+        inner: HhParams,
+        universe: u64,
+        seed: u64,
+        consts: Constants,
+        k: u32,
+        g: f64,
+        ell: f64,
+    ) -> Result<SimpleListHh, ParamError> {
+        let p_k = (2.0 * g.powi(1 - k as i32)).min(1.0);
+        let exponent = hh_sampling::bernoulli::pow2_exponent(p_k);
+        let s_cap = 4.0 * ell * g * g + 64.0;
+        SimpleListHh::with_sampling_exponent(
+            inner,
+            universe,
+            seed.wrapping_mul(0x9E37_79B9).wrapping_add(k as u64),
+            consts,
+            exponent,
+            s_cap,
+        )
+    }
+
+    /// Current position estimate (Morris or exact, per configuration).
+    pub fn position_estimate(&self) -> f64 {
+        match self.tracking {
+            PositionTracking::Morris => self.morris.estimate(),
+            PositionTracking::Exact => self.exact_position as f64,
+        }
+    }
+
+    /// The epoch (guess index) currently reported from.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Outer problem parameters.
+    pub fn params(&self) -> HhParams {
+        self.params
+    }
+
+    /// Bits spent on position tracking alone (the `log log m` vs `log m`
+    /// comparison of experiment E9).
+    pub fn position_bits(&self) -> u64 {
+        match self.tracking {
+            PositionTracking::Morris => self.morris.model_bits(),
+            PositionTracking::Exact => hh_space::space::gamma_bits(self.exact_position),
+        }
+    }
+
+    fn maybe_advance(&mut self) {
+        while self.position_estimate() >= self.next_trigger {
+            self.epoch += 1;
+            let k_new = self.epoch + 1;
+            let spawned = Self::spawn(
+                self.inner_params,
+                self.universe,
+                self.seed.wrapping_add(k_new as u64),
+                self.consts,
+                k_new,
+                self.g,
+                self.ell,
+            )
+            .expect("inner parameters were validated at construction");
+            self.older = std::mem::replace(&mut self.newer, spawned);
+            self.next_trigger *= self.g;
+        }
+    }
+}
+
+impl StreamSummary for UnknownLengthHh {
+    fn insert(&mut self, item: u64) {
+        match self.tracking {
+            PositionTracking::Morris => self.morris.increment(&mut self._rng),
+            PositionTracking::Exact => self.exact_position += 1,
+        }
+        self.older.insert(item);
+        self.newer.insert(item);
+        self.maybe_advance();
+    }
+}
+
+impl HeavyHitters for UnknownLengthHh {
+    fn report(&self) -> Report {
+        self.older.report()
+    }
+}
+
+impl SpaceUsage for UnknownLengthHh {
+    fn model_bits(&self) -> u64 {
+        let position = match self.tracking {
+            PositionTracking::Morris => self.morris.model_bits(),
+            PositionTracking::Exact => hh_space::space::gamma_bits(self.exact_position),
+        };
+        self.older.model_bits() + self.newer.model_bits() + position
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.older.heap_bytes() + self.newer.heap_bytes() + self.morris.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hh_streams::{arrange, OrderPolicy};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn planted_stream(m: u64, heavy: &[(u64, f64)], seed: u64) -> Vec<u64> {
+        let mut counts: Vec<(u64, u64)> = heavy
+            .iter()
+            .map(|&(id, frac)| (id, (frac * m as f64).round() as u64))
+            .collect();
+        let used: u64 = counts.iter().map(|&(_, c)| c).sum();
+        let fill = m - used;
+        let light = 2048u64;
+        for j in 0..light {
+            let c = fill / light + u64::from(j < fill % light);
+            if c > 0 {
+                counts.push((500_000 + j, c));
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        arrange(&counts, OrderPolicy::Shuffled, &mut rng)
+    }
+
+    fn check(tracking: PositionTracking, m: u64, seed: u64) {
+        let params = HhParams::with_delta(0.1, 0.25, 0.1).unwrap();
+        let heavy = [(7u64, 0.4), (8, 0.3)];
+        let stream = planted_stream(m, &heavy, seed);
+        let mut a =
+            UnknownLengthHh::with_options(params, 1 << 40, seed, Constants::default(), tracking)
+                .unwrap();
+        a.insert_all(&stream);
+        let r = a.report();
+        for (item, frac) in heavy {
+            assert!(r.contains(item), "{tracking:?} m={m}: missing {item}");
+            let est = r.estimate(item).unwrap();
+            let truth = frac * m as f64;
+            assert!(
+                (est - truth).abs() <= 0.1 * m as f64,
+                "{tracking:?} m={m} item {item}: est {est} truth {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn works_across_lengths_exact_tracking() {
+        // Lengths spanning several epochs of the guessing schedule.
+        for (m, seed) in [(5_000u64, 1u64), (80_000, 2), (600_000, 3)] {
+            check(PositionTracking::Exact, m, seed);
+        }
+    }
+
+    #[test]
+    fn works_with_morris_tracking() {
+        check(PositionTracking::Morris, 300_000, 4);
+    }
+
+    #[test]
+    fn epochs_advance_with_stream_growth() {
+        let params = HhParams::with_delta(0.1, 0.3, 0.1).unwrap();
+        let mut a = UnknownLengthHh::with_options(
+            params,
+            1 << 20,
+            5,
+            Constants::default(),
+            PositionTracking::Exact,
+        )
+        .unwrap();
+        assert_eq!(a.epoch(), 0);
+        let trigger = a.next_trigger as u64 + 8;
+        for i in 0..trigger {
+            a.insert(i % 100);
+        }
+        assert!(a.epoch() >= 1, "epoch should have advanced");
+    }
+
+    #[test]
+    fn morris_position_is_loglog_space() {
+        let params = HhParams::with_delta(0.1, 0.3, 0.1).unwrap();
+        let mut a = UnknownLengthHh::new(params, 1 << 20, 6).unwrap();
+        for i in 0..100_000u64 {
+            a.insert(i % 50);
+        }
+        // 32 Morris copies, each a gamma-coded exponent: well under 512
+        // bits, and crucially NOT growing like log m.
+        assert!(a.morris.model_bits() < 512);
+        let est = a.position_estimate();
+        assert!(
+            est > 25_000.0 && est < 400_000.0,
+            "position estimate {est} too far from 100k"
+        );
+    }
+
+    #[test]
+    fn short_stream_uses_exact_instance() {
+        // Stream far below ℓ: instance 0 samples everything (p = 1), so
+        // even tiny streams are answered exactly.
+        let params = HhParams::with_delta(0.2, 0.5, 0.1).unwrap();
+        let mut a = UnknownLengthHh::with_options(
+            params,
+            1024,
+            7,
+            Constants::default(),
+            PositionTracking::Exact,
+        )
+        .unwrap();
+        for _ in 0..60 {
+            a.insert(3);
+        }
+        for i in 0..40u64 {
+            a.insert(i + 10);
+        }
+        let r = a.report();
+        assert!(r.contains(3));
+        let est = r.estimate(3).unwrap();
+        assert!((est - 60.0).abs() <= 0.2 * 100.0, "est {est}");
+    }
+}

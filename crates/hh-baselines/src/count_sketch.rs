@@ -1,0 +1,227 @@
+//! CountSketch \[CCFC04\]: the signed median sketch.
+//!
+//! Each of `d` rows carries a bucket hash `h_j` and a sign hash `s_j`;
+//! an arrival adds `s_j(x)` to `C[j][h_j(x)]`, and the point estimate is
+//! the median over rows of `s_j(x)·C[j][h_j(x)]`. Unlike Count-Min the
+//! error is two-sided but scales with `√F₂` instead of `F₁ = m`, so
+//! CountSketch wins on skewed streams — the trade-off experiment E7
+//! exhibits against both Count-Min and the paper's algorithms.
+
+use hh_core::{FrequencyEstimator, HeavyHitters, ItemEstimate, Report, StreamSummary};
+use hh_hash::{HashFamily, HashFunction, PolynomialFamily, PolynomialHash};
+use hh_space::space::{gamma_bits, SpaceUsage};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// The CountSketch summary with heavy-hitter candidate tracking.
+#[derive(Debug, Clone)]
+pub struct CountSketch {
+    /// Per row: (bucket-and-sign hash, signed counters).
+    rows: Vec<(PolynomialHash, Vec<i64>)>,
+    width: u64,
+    candidates: HashMap<u64, ()>,
+    candidate_cap: usize,
+    key_bits: u64,
+    processed: u64,
+    phi: f64,
+}
+
+impl CountSketch {
+    /// Sketch with width `⌈4/ε²⌉` clamped to `[16, 2²⁰]` and odd depth
+    /// `⌈ln(1/δ)⌉`, reporting at `φ`.
+    ///
+    /// The `1/ε²` width targets the ℓ2 guarantee `±ε√F₂ ≤ εm`; for large
+    /// widths prefer [`CountSketch::with_dimensions`].
+    pub fn new(eps: f64, phi: f64, delta: f64, universe: u64, seed: u64) -> Self {
+        assert!(eps > 0.0 && eps < 1.0, "eps must be in (0,1)");
+        assert!(phi > eps && phi <= 1.0, "need eps < phi <= 1");
+        let width = ((4.0 / (eps * eps)).ceil() as u64).clamp(16, 1 << 20);
+        let mut depth = ((1.0 / delta).ln().ceil() as usize).max(3);
+        if depth % 2 == 0 {
+            depth += 1;
+        }
+        Self::with_dimensions(width, depth, phi, universe, seed)
+    }
+
+    /// Fully parameterized constructor (odd `depth` enforced).
+    pub fn with_dimensions(width: u64, depth: usize, phi: f64, universe: u64, seed: u64) -> Self {
+        assert!(width >= 2 && depth >= 1);
+        let depth = if depth % 2 == 0 { depth + 1 } else { depth };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let family = PolynomialFamily::new(width, 2);
+        let rows = (0..depth)
+            .map(|_| (family.sample(&mut rng), vec![0i64; width as usize]))
+            .collect();
+        Self {
+            rows,
+            width,
+            candidates: HashMap::new(),
+            candidate_cap: ((8.0 / phi).ceil() as usize).max(8),
+            key_bits: hh_space::id_bits(universe),
+            processed: 0,
+            phi,
+        }
+    }
+
+    /// Width of each row.
+    pub fn width(&self) -> u64 {
+        self.width
+    }
+
+    /// Number of rows.
+    pub fn depth(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Items processed.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    fn query(&self, item: u64) -> f64 {
+        let mut ests: Vec<i64> = self
+            .rows
+            .iter()
+            .map(|(h, row)| h.sign(item) * row[h.hash(item) as usize])
+            .collect();
+        ests.sort_unstable();
+        ests[ests.len() / 2] as f64
+    }
+
+    fn prune_candidates(&mut self) {
+        let bar = self.phi * self.processed as f64;
+        let ests: Vec<(u64, f64)> = self
+            .candidates
+            .keys()
+            .map(|&i| (i, self.query(i)))
+            .collect();
+        for (i, est) in ests {
+            if est < bar {
+                self.candidates.remove(&i);
+            }
+        }
+    }
+}
+
+impl StreamSummary for CountSketch {
+    fn insert(&mut self, item: u64) {
+        self.processed += 1;
+        for (h, row) in &mut self.rows {
+            let idx = h.hash(item) as usize;
+            row[idx] += h.sign(item);
+        }
+        let est = self.query(item);
+        if est >= self.phi * self.processed as f64 {
+            self.candidates.insert(item, ());
+            if self.candidates.len() > self.candidate_cap {
+                self.prune_candidates();
+            }
+        }
+    }
+}
+
+impl HeavyHitters for CountSketch {
+    fn report(&self) -> Report {
+        let threshold = self.phi * self.processed as f64;
+        self.candidates
+            .keys()
+            .filter_map(|&item| {
+                let est = self.query(item);
+                (est >= threshold).then_some(ItemEstimate { item, count: est })
+            })
+            .collect()
+    }
+}
+
+impl FrequencyEstimator for CountSketch {
+    fn estimate(&self, item: u64) -> f64 {
+        self.query(item)
+    }
+}
+
+impl SpaceUsage for CountSketch {
+    fn model_bits(&self) -> u64 {
+        let matrix: u64 = self
+            .rows
+            .iter()
+            .map(|(h, row)| {
+                h.model_bits()
+                    + row
+                        .iter()
+                        .map(|&c| 1 + gamma_bits(c.unsigned_abs()))
+                        .sum::<u64>()
+            })
+            .sum();
+        matrix + self.candidates.len() as u64 * self.key_bits + gamma_bits(self.processed)
+    }
+    fn heap_bytes(&self) -> usize {
+        self.rows.iter().map(|(_, r)| r.capacity() * 8).sum::<usize>()
+            + self.candidates.capacity() * 16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::seq::SliceRandom;
+    use rand::Rng;
+
+    fn skewed_stream(m: usize, seed: u64) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut stream = Vec::with_capacity(m);
+        stream.extend(std::iter::repeat_n(1u64, m * 3 / 10));
+        stream.extend(std::iter::repeat_n(2u64, m / 10));
+        for _ in 0..(m - m * 3 / 10 - m / 10) {
+            stream.push(rng.gen_range(1000..500_000));
+        }
+        stream.shuffle(&mut rng);
+        stream
+    }
+
+    #[test]
+    fn estimates_heavy_items_accurately() {
+        let m = 50_000;
+        let stream = skewed_stream(m, 1);
+        let mut cs = CountSketch::with_dimensions(1024, 5, 0.2, 1 << 40, 2);
+        cs.insert_all(&stream);
+        let truth = (m * 3 / 10) as f64;
+        let est = cs.estimate(1);
+        assert!(
+            (est - truth).abs() <= 0.05 * m as f64,
+            "est {est} truth {truth}"
+        );
+    }
+
+    #[test]
+    fn unbiased_for_absent_items() {
+        let m = 50_000;
+        let stream = skewed_stream(m, 3);
+        let mut cs = CountSketch::with_dimensions(1024, 5, 0.2, 1 << 40, 4);
+        cs.insert_all(&stream);
+        // Absent items: median estimate should hover near zero, far below
+        // the heavy item's count (two-sided error is the point vs CM).
+        let mut worst: f64 = 0.0;
+        for probe in 0..50u64 {
+            worst = worst.max(cs.estimate(900_000 + probe).abs());
+        }
+        assert!(worst <= 0.02 * m as f64, "absent-item error {worst}");
+    }
+
+    #[test]
+    fn reports_heavy_hitters() {
+        let m = 60_000;
+        let stream = skewed_stream(m, 5);
+        let mut cs = CountSketch::new(0.1, 0.2, 0.1, 1 << 40, 6);
+        cs.insert_all(&stream);
+        let r = cs.report();
+        assert!(r.contains(1), "30% item missing at phi=20%");
+        assert!(!r.contains(2), "10% item must not be reported at 20%");
+    }
+
+    #[test]
+    fn depth_is_forced_odd() {
+        let cs = CountSketch::with_dimensions(64, 4, 0.2, 1 << 20, 1);
+        assert_eq!(cs.depth() % 2, 1);
+    }
+}

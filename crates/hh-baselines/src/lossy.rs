@@ -1,0 +1,193 @@
+//! Lossy Counting \[MM02\]: deterministic windowed pruning.
+//!
+//! The stream is cut into windows of width `w = ⌈1/ε'⌉`. Each tracked item
+//! carries `(count, Δ)` where `Δ` is the maximum number of occurrences it
+//! could have had before being tracked (the window index at insertion
+//! minus one). At every window boundary, entries with
+//! `count + Δ ≤ current_window` are pruned. Guarantees:
+//!
+//! * estimates undercount by at most `ε'm`,
+//! * at most `(1/ε')·log(ε'm)` entries are live (the paper's bound), so
+//!   space is `O(ε'⁻¹ log(ε'm) (log n + log m))` bits — *worse* than
+//!   Misra–Gries by a log factor, which experiment E7 shows.
+
+use hh_core::{FrequencyEstimator, HeavyHitters, ItemEstimate, Report, StreamSummary};
+use hh_space::space::{gamma_bits, SpaceUsage};
+use std::collections::HashMap;
+
+/// The Lossy Counting summary.
+#[derive(Debug, Clone)]
+pub struct LossyCounting {
+    /// item → (count since tracked, Δ).
+    entries: HashMap<u64, (u64, u64)>,
+    window: u64,
+    current_window: u64,
+    in_window: u64,
+    key_bits: u64,
+    processed: u64,
+    eps: f64,
+    phi: f64,
+}
+
+impl LossyCounting {
+    /// Lossy counting with internal error `ε/2` (leaving threshold slack)
+    /// reporting at `φ`.
+    pub fn new(eps: f64, phi: f64, universe: u64) -> Self {
+        assert!(eps > 0.0 && eps < 1.0, "eps must be in (0,1)");
+        assert!(phi > eps && phi <= 1.0, "need eps < phi <= 1");
+        Self {
+            entries: HashMap::new(),
+            window: (2.0 / eps).ceil() as u64,
+            current_window: 1,
+            in_window: 0,
+            key_bits: hh_space::id_bits(universe),
+            processed: 0,
+            eps,
+            phi,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Items processed.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    fn prune(&mut self) {
+        let b = self.current_window;
+        self.entries.retain(|_, &mut (c, d)| c + d > b);
+    }
+}
+
+impl StreamSummary for LossyCounting {
+    fn insert(&mut self, item: u64) {
+        self.processed += 1;
+        self.in_window += 1;
+        match self.entries.get_mut(&item) {
+            Some((c, _)) => *c += 1,
+            None => {
+                self.entries.insert(item, (1, self.current_window - 1));
+            }
+        }
+        if self.in_window == self.window {
+            self.prune();
+            self.current_window += 1;
+            self.in_window = 0;
+        }
+    }
+}
+
+impl HeavyHitters for LossyCounting {
+    fn report(&self) -> Report {
+        // Standard rule: output items with count ≥ (φ − ε')m; estimates
+        // compensated upward by Δ/2 would bias both ways, so report the
+        // undercounting estimate and a threshold at (φ − ε/2 − ε'(=ε/2)).
+        let m = self.processed as f64;
+        let threshold = (self.phi - self.eps) * m;
+        self.entries
+            .iter()
+            .filter(|&(_, &(c, _))| c as f64 >= threshold)
+            .map(|(&item, &(c, _))| ItemEstimate {
+                item,
+                count: c as f64,
+            })
+            .collect()
+    }
+}
+
+impl FrequencyEstimator for LossyCounting {
+    fn estimate(&self, item: u64) -> f64 {
+        self.entries.get(&item).map(|&(c, _)| c as f64).unwrap_or(0.0)
+    }
+}
+
+impl SpaceUsage for LossyCounting {
+    fn model_bits(&self) -> u64 {
+        let entries: u64 = self
+            .entries
+            .iter()
+            .map(|(_, &(c, d))| self.key_bits + gamma_bits(c) + gamma_bits(d))
+            .sum();
+        entries + gamma_bits(self.processed)
+    }
+    fn heap_bytes(&self) -> usize {
+        self.entries.capacity() * 32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn undercount_bounded_by_eps_m() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let stream: Vec<u64> = (0..50_000)
+            .map(|_| {
+                if rng.gen_bool(0.25) {
+                    3
+                } else {
+                    rng.gen_range(0..5000)
+                }
+            })
+            .collect();
+        let eps = 0.02;
+        let mut lc = LossyCounting::new(eps, 0.1, 1 << 20);
+        lc.insert_all(&stream);
+        let truth = stream.iter().filter(|&&x| x == 3).count() as f64;
+        let est = lc.estimate(3);
+        assert!(est <= truth);
+        assert!(
+            est >= truth - eps * 50_000.0,
+            "undercount too large: {est} vs {truth}"
+        );
+    }
+
+    #[test]
+    fn prunes_infrequent_items() {
+        let mut lc = LossyCounting::new(0.1, 0.3, 1 << 20);
+        // 10000 distinct singletons: table must stay near 1/ε' after
+        // pruning, not grow linearly.
+        for i in 0..10_000u64 {
+            lc.insert(i);
+        }
+        assert!(lc.len() <= 2 * lc.window as usize, "len {}", lc.len());
+    }
+
+    #[test]
+    fn report_keeps_heavy_drops_light() {
+        let mut lc = LossyCounting::new(0.1, 0.3, 1 << 20);
+        let mut stream = Vec::new();
+        stream.extend(std::iter::repeat_n(1u64, 4000)); // 40%
+        stream.extend(std::iter::repeat_n(2u64, 1500)); // 15% ≤ (φ−ε)m = 20%
+        stream.extend((0..4500).map(|i| 100 + i % 1000));
+        let mut rng = StdRng::seed_from_u64(4);
+        use rand::seq::SliceRandom;
+        stream.shuffle(&mut rng);
+        lc.insert_all(&stream);
+        let r = lc.report();
+        assert!(r.contains(1));
+        assert!(!r.contains(2));
+    }
+
+    #[test]
+    fn deterministic() {
+        let stream: Vec<u64> = (0..5000).map(|i| i % 97).collect();
+        let mut a = LossyCounting::new(0.05, 0.2, 128);
+        let mut b = LossyCounting::new(0.05, 0.2, 128);
+        a.insert_all(&stream);
+        b.insert_all(&stream);
+        assert_eq!(a.report().entries(), b.report().entries());
+    }
+}

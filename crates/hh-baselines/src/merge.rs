@@ -1,0 +1,172 @@
+//! Mergeable summaries and the shard-and-merge parallel runner (extension
+//! S19 in DESIGN.md).
+//!
+//! Misra–Gries and Space-Saving summaries are *mergeable* (Agarwal,
+//! Cormode, Huang, Phillips, Wei, Yi 2012): two summaries of capacity `k`
+//! built on streams `A` and `B` combine into one capacity-`k` summary of
+//! `A ⊎ B` with the same `(|A|+|B|)/(k+1)` error bound. That turns a
+//! single-pass algorithm into a data-parallel one: shard the stream,
+//! summarize shards on separate threads (crossbeam scoped threads),
+//! merge. The property test in this module is the correctness story; the
+//! `crossover` experiment uses the runner for throughput numbers.
+
+use crate::misra_gries::MisraGriesBaseline;
+use crate::space_saving::SpaceSaving;
+use hh_core::StreamSummary;
+
+/// Summaries of disjoint substreams that can be combined into a summary
+/// of the concatenation, preserving their error guarantee.
+pub trait Mergeable: Sized {
+    /// Folds `other` (a summary of a disjoint substream) into `self`.
+    fn merge_from(&mut self, other: Self);
+}
+
+impl Mergeable for MisraGriesBaseline {
+    fn merge_from(&mut self, other: Self) {
+        self.table_mut().merge(other.table());
+    }
+}
+
+impl Mergeable for SpaceSaving {
+    /// The \[ACH+12\] Space-Saving merge. For each item, each summary
+    /// contributes its monitored `(count, err)`, or `(min_count,
+    /// min_count)` if the item is unmonitored — sound because an
+    /// unmonitored item's true count is at most `min_count`, so charging
+    /// exactly that keeps both the overestimate (`f ≤ count`) and the
+    /// error (`count − err ≤ f`) invariants. The top `k` combined triples
+    /// are kept.
+    fn merge_from(&mut self, other: Self) {
+        use std::collections::HashMap;
+        let self_min = self.min_count();
+        let other_min = other.min_count();
+        let a: HashMap<u64, (u64, u64)> =
+            self.entries().into_iter().map(|(i, c, e)| (i, (c, e))).collect();
+        let b: HashMap<u64, (u64, u64)> =
+            other.entries().into_iter().map(|(i, c, e)| (i, (c, e))).collect();
+        let mut combined: Vec<(u64, u64, u64)> = a
+            .keys()
+            .chain(b.keys())
+            .collect::<std::collections::HashSet<_>>()
+            .into_iter()
+            .map(|&item| {
+                let (ca, ea) = a.get(&item).copied().unwrap_or((self_min, self_min));
+                let (cb, eb) = b.get(&item).copied().unwrap_or((other_min, other_min));
+                (item, ca + cb, ea + eb)
+            })
+            .collect();
+        combined.sort_unstable_by_key(|&(i, c, _)| (std::cmp::Reverse(c), i));
+        combined.truncate(self.capacity());
+        let total = self.processed() + other.processed();
+        let mut fresh = self.clone_empty();
+        fresh.restore_entries(combined, total);
+        *self = fresh;
+    }
+}
+
+/// Summarizes `stream` with `shards` parallel workers, each building an
+/// independent summary with `make()`, then merges left to right.
+///
+/// The merged summary has the union stream's guarantee (see
+/// [`Mergeable`]); the test suite verifies estimates against a
+/// single-summary run.
+pub fn shard_and_merge<S, F>(stream: &[u64], shards: usize, make: F) -> S
+where
+    S: StreamSummary + Mergeable + Send,
+    F: Fn() -> S + Send + Sync,
+{
+    assert!(shards >= 1, "need at least one shard");
+    let chunk = stream.len().div_ceil(shards).max(1);
+    let make = &make;
+    let mut summaries: Vec<S> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = stream
+            .chunks(chunk)
+            .map(|part| {
+                scope.spawn(move |_| {
+                    let mut s = make();
+                    s.insert_all(part);
+                    s
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("shard worker")).collect()
+    })
+    .expect("crossbeam scope");
+    let mut acc = summaries.remove(0);
+    for s in summaries {
+        acc.merge_from(s);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hh_core::FrequencyEstimator;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_stream(m: usize, universe: u64, seed: u64) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..m)
+            .map(|_| {
+                if rng.gen_bool(0.25) {
+                    7
+                } else {
+                    rng.gen_range(0..universe)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn merged_misra_gries_keeps_error_bound() {
+        let stream = random_stream(40_000, 500, 1);
+        let merged = shard_and_merge(&stream, 4, || MisraGriesBaseline::new(0.05, 0.2, 1 << 20));
+        let bound = stream.len() as f64 * 0.05 / 2.0 + 1.0; // k = 2/ε
+        for probe in [7u64, 0, 100, 499] {
+            let truth = stream.iter().filter(|&&x| x == probe).count() as f64;
+            let est = merged.estimate(probe);
+            assert!(est <= truth, "probe {probe} overestimated");
+            assert!(est + bound >= truth, "probe {probe} undercount too big");
+        }
+    }
+
+    #[test]
+    fn merged_space_saving_keeps_bounds() {
+        let stream = random_stream(40_000, 500, 2);
+        let merged = shard_and_merge(&stream, 4, || SpaceSaving::with_capacity(64, 0.2, 1 << 20));
+        let bound = 2.0 * stream.len() as f64 / 64.0;
+        for (item, count, err) in merged.entries() {
+            let truth = stream.iter().filter(|&&x| x == item).count() as f64;
+            assert!(
+                count as f64 + 1.0 >= truth,
+                "item {item}: merged count {count} < truth {truth}"
+            );
+            assert!(
+                (count - err) as f64 <= truth + bound,
+                "item {item}: lower bound violated"
+            );
+        }
+        // Heavy item must survive the merge.
+        assert!(merged.entries().iter().any(|&(i, _, _)| i == 7));
+    }
+
+    #[test]
+    fn single_shard_equals_sequential() {
+        let stream = random_stream(10_000, 100, 3);
+        let merged = shard_and_merge(&stream, 1, || MisraGriesBaseline::new(0.1, 0.3, 1 << 10));
+        let mut seq = MisraGriesBaseline::new(0.1, 0.3, 1 << 10);
+        seq.insert_all(&stream);
+        for probe in 0..100u64 {
+            assert_eq!(merged.estimate(probe), seq.estimate(probe), "probe {probe}");
+        }
+    }
+
+    #[test]
+    fn many_shards_still_find_heavy_item() {
+        let stream = random_stream(60_000, 2000, 4);
+        let merged = shard_and_merge(&stream, 8, || SpaceSaving::with_capacity(40, 0.2, 1 << 20));
+        use hh_core::HeavyHitters;
+        assert!(merged.report().contains(7));
+    }
+}

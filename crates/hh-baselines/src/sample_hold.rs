@@ -1,0 +1,202 @@
+//! Sample-and-Hold \[EV03\] — the last of §1's cited prior art.
+//!
+//! Estan–Varghese's router algorithm: every *byte* (here: item) is
+//! sampled with probability `p`; once an item is sampled it is **held** —
+//! counted exactly from then on. Heavy flows are caught early and counted
+//! almost exactly; mice rarely enter the table. Estimates add back the
+//! expected pre-hold miss (`1/p − 1`), making them roughly unbiased for
+//! held items. Guarantees are probabilistic: an item with `f ≥ φm` is
+//! missed only if its first `φm·(fraction)` occurrences all fail the coin,
+//! probability `(1−p)^{φm}` — driven below δ by `p = ln(1/δ)/(φm)`
+//! oversampled by the usual factor.
+
+use hh_core::{FrequencyEstimator, HeavyHitters, ItemEstimate, Report, StreamSummary};
+use hh_space::space::{gamma_bits, SpaceUsage};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// The Sample-and-Hold summary.
+#[derive(Debug, Clone)]
+pub struct SampleAndHold {
+    /// Held items with their exact counts since being held.
+    held: HashMap<u64, u64>,
+    /// Sampling exponent: admission probability `2^{-k}`.
+    k: u32,
+    key_bits: u64,
+    processed: u64,
+    eps: f64,
+    phi: f64,
+    rng: StdRng,
+}
+
+impl SampleAndHold {
+    /// Summary for an advertised stream length `m`: admission probability
+    /// `p ≈ 8·ln(1/δ)/(εm)` (so even `εm`-sized flows are held w.h.p.
+    /// within their first quarter), reporting at `φ`.
+    pub fn new(eps: f64, phi: f64, delta: f64, universe: u64, m: u64, seed: u64) -> Self {
+        assert!(eps > 0.0 && eps < 1.0, "eps must be in (0,1)");
+        assert!(phi > eps && phi <= 1.0, "need eps < phi <= 1");
+        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+        assert!(m >= 1, "stream length must be positive");
+        let p = (8.0 * (1.0 / delta).ln() / (eps * m as f64)).min(1.0);
+        Self {
+            held: HashMap::new(),
+            k: hh_sampling::bernoulli::pow2_exponent(p),
+            key_bits: hh_space::id_bits(universe),
+            processed: 0,
+            eps,
+            phi,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Number of held items.
+    pub fn len(&self) -> usize {
+        self.held.len()
+    }
+
+    /// Whether nothing is held.
+    pub fn is_empty(&self) -> bool {
+        self.held.is_empty()
+    }
+
+    /// Items processed.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// The admission probability `2^{-k}`.
+    pub fn admission_probability(&self) -> f64 {
+        (0.5f64).powi(self.k as i32)
+    }
+
+    /// Expected occurrences missed before an item was held: `1/p − 1`.
+    fn hold_bias(&self) -> f64 {
+        (1u64 << self.k.min(63)) as f64 - 1.0
+    }
+}
+
+impl StreamSummary for SampleAndHold {
+    fn insert(&mut self, item: u64) {
+        self.processed += 1;
+        if let Some(c) = self.held.get_mut(&item) {
+            *c += 1; // held: exact counting
+            return;
+        }
+        let accept = if self.k == 0 {
+            true
+        } else {
+            self.rng.gen::<u64>() & ((1u64 << self.k.min(63)) - 1) == 0
+        };
+        if accept {
+            self.held.insert(item, 1);
+        }
+    }
+}
+
+impl HeavyHitters for SampleAndHold {
+    fn report(&self) -> Report {
+        let m = self.processed as f64;
+        let threshold = (self.phi - self.eps / 2.0) * m;
+        self.held
+            .iter()
+            .filter_map(|(&item, &c)| {
+                let est = c as f64 + self.hold_bias();
+                (est >= threshold).then_some(ItemEstimate { item, count: est })
+            })
+            .collect()
+    }
+}
+
+impl FrequencyEstimator for SampleAndHold {
+    fn estimate(&self, item: u64) -> f64 {
+        self.held
+            .get(&item)
+            .map(|&c| c as f64 + self.hold_bias())
+            .unwrap_or(0.0)
+    }
+}
+
+impl SpaceUsage for SampleAndHold {
+    fn model_bits(&self) -> u64 {
+        let held: u64 = self
+            .held
+            .values()
+            .map(|&c| self.key_bits + gamma_bits(c))
+            .sum();
+        held + gamma_bits(self.processed) + gamma_bits(self.k as u64)
+    }
+    fn heap_bytes(&self) -> usize {
+        self.held.capacity() * 24
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::seq::SliceRandom;
+
+    fn planted(m: usize, seed: u64) -> Vec<u64> {
+        let mut stream = Vec::with_capacity(m);
+        stream.extend(std::iter::repeat_n(1u64, m * 3 / 10)); // 30%
+        stream.extend(std::iter::repeat_n(2u64, m / 10)); // 10%
+        stream.extend((0..m as u64 * 6 / 10).map(|i| 10_000 + (i % 50_000)));
+        let mut rng = StdRng::seed_from_u64(seed);
+        stream.shuffle(&mut rng);
+        stream
+    }
+
+    #[test]
+    fn holds_and_reports_heavy_flows() {
+        let m = 200_000usize;
+        let stream = planted(m, 1);
+        let mut sh = SampleAndHold::new(0.05, 0.2, 0.1, 1 << 40, m as u64, 2);
+        sh.insert_all(&stream);
+        let r = sh.report();
+        assert!(r.contains(1), "30% flow must be held and reported");
+        assert!(!r.contains(2), "10% flow is below (phi-eps/2)");
+        // Estimate accuracy for the held heavy flow.
+        let est = r.estimate(1).unwrap();
+        assert!(
+            (est - 0.3 * m as f64).abs() <= 0.05 * m as f64,
+            "est {est}"
+        );
+    }
+
+    #[test]
+    fn table_stays_near_expected_size() {
+        // E[held] ≈ p · distinct-ish mass; must be far below distinct
+        // count.
+        let m = 200_000usize;
+        let stream = planted(m, 3);
+        let mut sh = SampleAndHold::new(0.05, 0.2, 0.1, 1 << 40, m as u64, 4);
+        sh.insert_all(&stream);
+        let p = sh.admission_probability();
+        let bound = (p * m as f64 * 4.0) as usize + 16;
+        assert!(sh.len() <= bound, "held {} > bound {bound}", sh.len());
+        assert!(sh.len() < 50_000, "must be far below distinct count");
+    }
+
+    #[test]
+    fn held_items_counted_exactly_after_admission() {
+        // With k = 0 everything is held at first sight: exact counting.
+        let mut sh = SampleAndHold::new(0.2, 0.5, 0.1, 1 << 10, 4, 5);
+        assert_eq!(sh.k, 0, "tiny m forces p = 1");
+        for x in [9u64, 9, 9, 8] {
+            sh.insert(x);
+        }
+        assert_eq!(sh.estimate(9), 3.0);
+        assert_eq!(sh.estimate(8), 1.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let stream = planted(50_000, 6);
+        let mut a = SampleAndHold::new(0.05, 0.2, 0.1, 1 << 20, 50_000, 7);
+        let mut b = SampleAndHold::new(0.05, 0.2, 0.1, 1 << 20, 50_000, 7);
+        a.insert_all(&stream);
+        b.insert_all(&stream);
+        assert_eq!(a.report().entries(), b.report().entries());
+    }
+}

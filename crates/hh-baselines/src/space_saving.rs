@@ -1,0 +1,519 @@
+//! Space-Saving \[MAE05\] with the Stream-Summary data structure.
+//!
+//! Space-Saving keeps exactly `k` monitored items. A monitored item's
+//! counter is incremented in place; an unmonitored arrival *evicts* the
+//! current minimum, inheriting its counter plus one and recording the
+//! inherited value as its overestimation error. Guarantees after `m`
+//! items:
+//!
+//! * `f_x ≤ count(x)` for monitored `x` (never undercounts),
+//! * `count(x) − err(x) ≤ f_x` (the error field bounds the overshoot),
+//! * `count(min) ≤ m/k`, so any item with `f > m/k` is monitored.
+//!
+//! The *Stream-Summary* structure (Figure 1 of \[MAE05\]) makes every
+//! operation `O(1)`: items hang off *buckets* that hold their exact count;
+//! buckets form a doubly-linked list in increasing count order, so "the
+//! minimum item" and "move to count+1" are pointer operations. We
+//! implement it slab-style (index-linked, no unsafe).
+
+use hh_core::{FrequencyEstimator, HeavyHitters, ItemEstimate, Report, StreamSummary};
+use hh_space::space::{gamma_bits, SpaceUsage};
+use std::collections::HashMap;
+
+const NONE: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct Node {
+    item: u64,
+    /// Overestimation error inherited at eviction time.
+    err: u64,
+    /// Bucket this node belongs to (bucket holds the count).
+    bucket: u32,
+    prev: u32,
+    next: u32,
+}
+
+#[derive(Debug, Clone)]
+struct Bucket {
+    count: u64,
+    /// First node in this bucket's item list.
+    head: u32,
+    prev: u32,
+    next: u32,
+}
+
+/// The Space-Saving summary with `k` monitored items.
+#[derive(Debug, Clone)]
+pub struct SpaceSaving {
+    capacity: usize,
+    key_bits: u64,
+    map: HashMap<u64, u32>,
+    nodes: Vec<Node>,
+    buckets: Vec<Bucket>,
+    free_buckets: Vec<u32>,
+    /// Bucket with the smallest count (list head), NONE when empty.
+    min_bucket: u32,
+    processed: u64,
+    phi: f64,
+}
+
+impl SpaceSaving {
+    /// Summary with `⌈1/ε⌉` monitored items reporting at threshold `φ`.
+    pub fn new(eps: f64, phi: f64, universe: u64) -> Self {
+        assert!(eps > 0.0 && eps < 1.0, "eps must be in (0,1)");
+        assert!(phi > eps && phi <= 1.0, "need eps < phi <= 1");
+        Self::with_capacity((1.0 / eps).ceil() as usize, phi, universe)
+    }
+
+    /// Summary with an explicit number of monitored items.
+    pub fn with_capacity(capacity: usize, phi: f64, universe: u64) -> Self {
+        assert!(capacity >= 1, "capacity must be at least 1");
+        Self {
+            capacity,
+            key_bits: hh_space::id_bits(universe),
+            map: HashMap::with_capacity(capacity),
+            nodes: Vec::with_capacity(capacity),
+            buckets: Vec::new(),
+            free_buckets: Vec::new(),
+            min_bucket: NONE,
+            processed: 0,
+            phi,
+        }
+    }
+
+    /// Number of monitored items.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether nothing is monitored yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Monitored capacity `k`.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items processed.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// `(item, count, err)` for every monitored item, by decreasing count.
+    pub fn entries(&self) -> Vec<(u64, u64, u64)> {
+        let mut v: Vec<(u64, u64, u64)> = self
+            .map
+            .values()
+            .map(|&ni| {
+                let n = &self.nodes[ni as usize];
+                (n.item, self.buckets[n.bucket as usize].count, n.err)
+            })
+            .collect();
+        v.sort_unstable_by_key(|&(i, c, _)| (std::cmp::Reverse(c), i));
+        v
+    }
+
+    /// The current minimum monitored count (`≤ m/k`), 0 when not full.
+    pub fn min_count(&self) -> u64 {
+        if self.map.len() < self.capacity {
+            0
+        } else {
+            self.buckets[self.min_bucket as usize].count
+        }
+    }
+
+    fn alloc_bucket(&mut self, count: u64) -> u32 {
+        let b = Bucket {
+            count,
+            head: NONE,
+            prev: NONE,
+            next: NONE,
+        };
+        if let Some(i) = self.free_buckets.pop() {
+            self.buckets[i as usize] = b;
+            i
+        } else {
+            self.buckets.push(b);
+            (self.buckets.len() - 1) as u32
+        }
+    }
+
+    /// Unlinks `ni` from its bucket's item list; frees the bucket if it
+    /// becomes empty. Returns the bucket index it was in.
+    fn detach_node(&mut self, ni: u32) -> u32 {
+        let (bi, prev, next) = {
+            let n = &self.nodes[ni as usize];
+            (n.bucket, n.prev, n.next)
+        };
+        if prev != NONE {
+            self.nodes[prev as usize].next = next;
+        } else {
+            self.buckets[bi as usize].head = next;
+        }
+        if next != NONE {
+            self.nodes[next as usize].prev = prev;
+        }
+        if self.buckets[bi as usize].head == NONE {
+            // Unlink the now-empty bucket from the bucket list.
+            let (bprev, bnext) = {
+                let b = &self.buckets[bi as usize];
+                (b.prev, b.next)
+            };
+            if bprev != NONE {
+                self.buckets[bprev as usize].next = bnext;
+            } else {
+                self.min_bucket = bnext;
+            }
+            if bnext != NONE {
+                self.buckets[bnext as usize].prev = bprev;
+            }
+            self.free_buckets.push(bi);
+        }
+        bi
+    }
+
+    /// Attaches node `ni` to the bucket with exact count `count`, which
+    /// must sit at or right after position `after` in the bucket list
+    /// (`after == NONE` means list head).
+    fn attach_node(&mut self, ni: u32, count: u64, after: u32) {
+        // Find or create the bucket.
+        let next_of_after = if after == NONE {
+            self.min_bucket
+        } else {
+            self.buckets[after as usize].next
+        };
+        let bi = if next_of_after != NONE && self.buckets[next_of_after as usize].count == count {
+            next_of_after
+        } else {
+            let nb = self.alloc_bucket(count);
+            // Splice between `after` and `next_of_after`.
+            self.buckets[nb as usize].prev = after;
+            self.buckets[nb as usize].next = next_of_after;
+            if after == NONE {
+                self.min_bucket = nb;
+            } else {
+                self.buckets[after as usize].next = nb;
+            }
+            if next_of_after != NONE {
+                self.buckets[next_of_after as usize].prev = nb;
+            }
+            nb
+        };
+        // Push node at the head of the bucket's item list.
+        let head = self.buckets[bi as usize].head;
+        {
+            let n = &mut self.nodes[ni as usize];
+            n.bucket = bi;
+            n.prev = NONE;
+            n.next = head;
+        }
+        if head != NONE {
+            self.nodes[head as usize].prev = ni;
+        }
+        self.buckets[bi as usize].head = ni;
+    }
+
+    /// An empty structure with the same parameters (for merge rebuilds).
+    pub fn clone_empty(&self) -> Self {
+        Self {
+            capacity: self.capacity,
+            key_bits: self.key_bits,
+            map: HashMap::with_capacity(self.capacity),
+            nodes: Vec::with_capacity(self.capacity),
+            buckets: Vec::new(),
+            free_buckets: Vec::new(),
+            min_bucket: NONE,
+            processed: 0,
+            phi: self.phi,
+        }
+    }
+
+    /// Restores `(item, count, err)` triples into an empty structure
+    /// (merge rebuild). Triples may arrive in any order; they are sorted
+    /// ascending so each bucket is appended at the tail.
+    ///
+    /// # Panics
+    /// If the structure is non-empty or the triples exceed capacity.
+    pub fn restore_entries(&mut self, mut triples: Vec<(u64, u64, u64)>, processed: u64) {
+        assert!(self.map.is_empty(), "restore requires an empty structure");
+        assert!(triples.len() <= self.capacity, "too many entries");
+        triples.sort_unstable_by_key(|&(_, c, _)| c);
+        let mut tail = NONE; // current maximum bucket
+        let mut tail_count = 0u64;
+        for (item, count, err) in triples {
+            assert!(count > 0, "restored counts must be positive");
+            let ni = self.nodes.len() as u32;
+            self.nodes.push(Node {
+                item,
+                err,
+                bucket: NONE,
+                prev: NONE,
+                next: NONE,
+            });
+            // Anchor so attach_node finds (or creates) the right bucket:
+            // a repeated count must anchor *before* the existing tail.
+            let after = if count == tail_count && tail != NONE {
+                self.buckets[tail as usize].prev
+            } else {
+                tail
+            };
+            self.attach_node(ni, count, after);
+            tail = self.nodes[ni as usize].bucket;
+            tail_count = count;
+            self.map.insert(item, ni);
+        }
+        self.processed = processed;
+    }
+
+    /// Increments a monitored node: detach, then attach at count+1. The
+    /// destination bucket is adjacent in the bucket list, so this is O(1).
+    fn increment(&mut self, ni: u32) {
+        let old_bucket = self.nodes[ni as usize].bucket;
+        let count = self.buckets[old_bucket as usize].count;
+        let bucket_survives = {
+            // Does the old bucket still hold other items after detach?
+            let n = &self.nodes[ni as usize];
+            n.prev != NONE || n.next != NONE
+        };
+        self.detach_node(ni);
+        // The attach anchor: if the old bucket survived it precedes the
+        // count+1 bucket; otherwise its predecessor does.
+        let after = if bucket_survives {
+            old_bucket
+        } else {
+            // detach freed the bucket; anchor at the bucket before the
+            // free slot's old position. We saved nothing, so re-find from
+            // min_bucket — but the freed bucket's prev pointer is intact
+            // in its slab slot until reused, and detach pushed it to the
+            // free list without clearing links.
+            self.buckets[old_bucket as usize].prev
+        };
+        self.attach_node(ni, count + 1, after);
+    }
+}
+
+impl StreamSummary for SpaceSaving {
+    fn insert(&mut self, item: u64) {
+        self.processed += 1;
+        if let Some(&ni) = self.map.get(&item) {
+            self.increment(ni);
+            return;
+        }
+        if self.map.len() < self.capacity {
+            let ni = self.nodes.len() as u32;
+            self.nodes.push(Node {
+                item,
+                err: 0,
+                bucket: NONE,
+                prev: NONE,
+                next: NONE,
+            });
+            self.attach_node(ni, 1, NONE);
+            // A count-1 bucket is always the minimum: verify the anchor.
+            debug_assert_eq!(self.buckets[self.nodes[ni as usize].bucket as usize].count, 1);
+            self.map.insert(item, ni);
+            return;
+        }
+        // Evict the minimum: reuse its node for the new item.
+        let min_b = self.min_bucket;
+        let ni = self.buckets[min_b as usize].head;
+        let min_count = self.buckets[min_b as usize].count;
+        let old_item = self.nodes[ni as usize].item;
+        self.map.remove(&old_item);
+        self.nodes[ni as usize].item = item;
+        self.nodes[ni as usize].err = min_count;
+        self.map.insert(item, ni);
+        self.increment(ni); // moves it to min_count + 1
+    }
+}
+
+impl HeavyHitters for SpaceSaving {
+    fn report(&self) -> Report {
+        let threshold = self.phi * self.processed as f64;
+        self.entries()
+            .into_iter()
+            .filter(|&(_, c, _)| c as f64 > threshold)
+            .map(|(item, c, _)| ItemEstimate {
+                item,
+                count: c as f64,
+            })
+            .collect()
+    }
+}
+
+impl FrequencyEstimator for SpaceSaving {
+    fn estimate(&self, item: u64) -> f64 {
+        self.map
+            .get(&item)
+            .map(|&ni| self.buckets[self.nodes[ni as usize].bucket as usize].count as f64)
+            .unwrap_or(0.0)
+    }
+}
+
+impl SpaceUsage for SpaceSaving {
+    fn model_bits(&self) -> u64 {
+        // Per monitored item: id + count + err. Pointers are a word-RAM
+        // artifact of the O(1) structure; the information content is the
+        // (id, count, err) triples plus the stream position.
+        let items: u64 = self
+            .map
+            .values()
+            .map(|&ni| {
+                let n = &self.nodes[ni as usize];
+                self.key_bits + gamma_bits(self.buckets[n.bucket as usize].count) + gamma_bits(n.err)
+            })
+            .sum();
+        items + (self.capacity - self.map.len()) as u64 + gamma_bits(self.processed)
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.map.capacity() * 24
+            + self.nodes.capacity() * std::mem::size_of::<Node>()
+            + self.buckets.capacity() * std::mem::size_of::<Bucket>()
+            + self.free_buckets.capacity() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn truth(stream: &[u64], item: u64) -> u64 {
+        stream.iter().filter(|&&x| x == item).count() as u64
+    }
+
+    /// Validates the structural invariants of the bucket list.
+    fn check_invariants(ss: &SpaceSaving) {
+        let mut bi = ss.min_bucket;
+        let mut last_count = 0u64;
+        let mut items = 0usize;
+        let mut seen_buckets = 0usize;
+        while bi != NONE {
+            let b = &ss.buckets[bi as usize];
+            assert!(b.count > last_count, "bucket counts must increase");
+            last_count = b.count;
+            assert_ne!(b.head, NONE, "live bucket must be non-empty");
+            let mut ni = b.head;
+            let mut prev = NONE;
+            while ni != NONE {
+                let n = &ss.nodes[ni as usize];
+                assert_eq!(n.bucket, bi, "node bucket pointer");
+                assert_eq!(n.prev, prev, "node prev pointer");
+                items += 1;
+                prev = ni;
+                ni = n.next;
+            }
+            seen_buckets += 1;
+            assert!(seen_buckets <= ss.buckets.len(), "bucket list cycle");
+            bi = b.next;
+        }
+        assert_eq!(items, ss.map.len(), "every mapped node is linked");
+    }
+
+    #[test]
+    fn exact_below_capacity() {
+        let mut ss = SpaceSaving::with_capacity(10, 0.3, 100);
+        for x in [1u64, 2, 2, 3, 3, 3] {
+            ss.insert(x);
+            check_invariants(&ss);
+        }
+        assert_eq!(ss.estimate(3), 3.0);
+        assert_eq!(ss.estimate(2), 2.0);
+        assert_eq!(ss.estimate(1), 1.0);
+        assert_eq!(ss.estimate(9), 0.0);
+    }
+
+    #[test]
+    fn never_undercounts_and_error_bounds_hold() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let stream: Vec<u64> = (0..20_000)
+            .map(|_| {
+                if rng.gen_bool(0.3) {
+                    7
+                } else {
+                    rng.gen_range(0..200)
+                }
+            })
+            .collect();
+        let k = 20usize;
+        let mut ss = SpaceSaving::with_capacity(k, 0.2, 1 << 20);
+        ss.insert_all(&stream);
+        check_invariants(&ss);
+        for (item, count, err) in ss.entries() {
+            let f = truth(&stream, item);
+            assert!(count >= f, "item {item}: count {count} < truth {f}");
+            assert!(count - err <= f, "item {item}: count-err exceeds truth");
+        }
+        // min count ≤ m/k.
+        assert!(ss.min_count() <= 20_000 / k as u64);
+        // The heavy item must be monitored and nearly exact.
+        let f7 = truth(&stream, 7);
+        let e7 = ss.estimate(7);
+        assert!(e7 >= f7 as f64 && e7 <= f7 as f64 + 20_000.0 / k as f64);
+    }
+
+    #[test]
+    fn report_obeys_both_sides_of_definition_one() {
+        // Planted frequencies around the φ threshold.
+        let mut stream = Vec::new();
+        stream.extend(std::iter::repeat_n(1u64, 15_000)); // 30%
+        stream.extend(std::iter::repeat_n(2u64, 4_000)); // 8% ≤ (φ−ε)m with φ=0.2,ε=0.1
+        for i in 0..31_000u64 {
+            stream.push(1000 + (i % 8000));
+        }
+        let mut rng = StdRng::seed_from_u64(6);
+        use rand::seq::SliceRandom;
+        stream.shuffle(&mut rng);
+        let mut ss = SpaceSaving::new(0.1, 0.2, 1 << 20);
+        ss.insert_all(&stream);
+        let r = ss.report();
+        assert!(r.contains(1));
+        assert!(!r.contains(2), "8% item must not be reported at phi=20%");
+    }
+
+    #[test]
+    fn eviction_cycles_preserve_structure() {
+        // Tiny capacity, many distinct items: constant evictions.
+        let mut ss = SpaceSaving::with_capacity(3, 0.5, 1 << 20);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..5000 {
+            ss.insert(rng.gen_range(0..50));
+            check_invariants(&ss);
+            assert!(ss.len() <= 3);
+        }
+    }
+
+    #[test]
+    fn adversarial_min_rotation() {
+        // Round-robin over k+1 items forces an eviction every arrival once
+        // the table is full — the worst case for the bucket list.
+        let mut ss = SpaceSaving::with_capacity(4, 0.5, 64);
+        for i in 0..10_000u64 {
+            ss.insert(i % 5);
+        }
+        check_invariants(&ss);
+        // Counts stay within [m/(k+1), m/(k+1) + m/k]-ish; the real check
+        // is the overestimate bound:
+        for (item, count, _) in ss.entries() {
+            let f = 10_000 / 5;
+            assert!(count >= f, "item {item} undercounted");
+            assert!(count <= f + 10_000 / 4, "item {item} overshoots bound");
+        }
+    }
+
+    #[test]
+    fn space_accounting_counts_triples() {
+        let mut ss = SpaceSaving::with_capacity(4, 0.5, 1 << 16);
+        ss.insert(1);
+        ss.insert(1);
+        ss.insert(2);
+        // Two items: (16-bit id + gamma(count) + gamma(0)) each, 2 empty
+        // slots, gamma(3) position.
+        let expect = (16 + gamma_bits(2) + 1) + (16 + gamma_bits(1) + 1) + 2 + gamma_bits(3);
+        assert_eq!(ss.model_bits(), expect);
+    }
+}

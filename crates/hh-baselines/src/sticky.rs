@@ -1,0 +1,212 @@
+//! Sticky Sampling \[MM02\]: probabilistic counting with rate doubling.
+//!
+//! The first `2t` items are counted exactly; thereafter the sampling rate
+//! halves every time the window doubles (`t = ε'⁻¹·ln(1/(φδ))`). When the
+//! rate halves, each existing counter is atrophied by a sequence of coin
+//! flips (geometric shrink), keeping the invariant that every counter is
+//! distributed as if its item had been sampled at the *current* rate from
+//! the start. Tracked counts undercount by `ε'm` with probability `1 − δ`.
+
+use hh_core::{FrequencyEstimator, HeavyHitters, ItemEstimate, Report, StreamSummary};
+use hh_space::space::{gamma_bits, SpaceUsage};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// The Sticky Sampling summary.
+#[derive(Debug, Clone)]
+pub struct StickySampling {
+    entries: HashMap<u64, u64>,
+    /// Current sampling rate is `1/2^rate_exp`.
+    rate_exp: u32,
+    /// End position (exclusive) of the current rate window.
+    window_end: u64,
+    /// Base window parameter `t`.
+    t: u64,
+    key_bits: u64,
+    processed: u64,
+    eps: f64,
+    phi: f64,
+    rng: StdRng,
+}
+
+impl StickySampling {
+    /// Sticky sampling with internal error `ε/2`, failure probability
+    /// `delta`, reporting at `φ`.
+    pub fn new(eps: f64, phi: f64, delta: f64, universe: u64, seed: u64) -> Self {
+        assert!(eps > 0.0 && eps < 1.0, "eps must be in (0,1)");
+        assert!(phi > eps && phi <= 1.0, "need eps < phi <= 1");
+        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+        let eps_int = eps / 2.0;
+        let t = ((1.0 / eps_int) * (1.0 / (phi * delta)).ln()).ceil() as u64;
+        Self {
+            entries: HashMap::new(),
+            rate_exp: 0,
+            window_end: 2 * t.max(1),
+            t: t.max(1),
+            key_bits: hh_space::id_bits(universe),
+            processed: 0,
+            eps,
+            phi,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Number of tracked items.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Items processed.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// The base window parameter `t = ε'⁻¹·ln(1/(φδ))`: the first `2t`
+    /// items are counted exactly, and the expected tracked-set size stays
+    /// `O(t)` thereafter.
+    pub fn window_base(&self) -> u64 {
+        self.t
+    }
+
+    /// Current sampling rate `2^{-rate_exp}`.
+    pub fn rate(&self) -> f64 {
+        (0.5f64).powi(self.rate_exp as i32)
+    }
+
+    /// Halves the rate and atrophies existing counters: for each entry,
+    /// repeatedly flip a fair coin while it comes up tails, decrementing;
+    /// drop entries that reach zero (\[MM02\] §4.2).
+    fn halve_rate(&mut self) {
+        self.rate_exp += 1;
+        let rng = &mut self.rng;
+        self.entries.retain(|_, c| {
+            while *c > 0 && rng.gen_bool(0.5) {
+                *c -= 1;
+            }
+            *c > 0
+        });
+    }
+}
+
+impl StreamSummary for StickySampling {
+    fn insert(&mut self, item: u64) {
+        self.processed += 1;
+        if self.processed > self.window_end {
+            self.halve_rate();
+            self.window_end *= 2;
+        }
+        if let Some(c) = self.entries.get_mut(&item) {
+            *c += 1;
+            return;
+        }
+        // New items enter with probability = current rate.
+        let accept = if self.rate_exp == 0 {
+            true
+        } else {
+            let mask = (1u64 << self.rate_exp.min(63)) - 1;
+            self.rng.gen::<u64>() & mask == 0
+        };
+        if accept {
+            self.entries.insert(item, 1);
+        }
+    }
+}
+
+impl HeavyHitters for StickySampling {
+    fn report(&self) -> Report {
+        let m = self.processed as f64;
+        let threshold = (self.phi - self.eps) * m;
+        self.entries
+            .iter()
+            .filter(|&(_, &c)| c as f64 >= threshold)
+            .map(|(&item, &c)| ItemEstimate {
+                item,
+                count: c as f64,
+            })
+            .collect()
+    }
+}
+
+impl FrequencyEstimator for StickySampling {
+    fn estimate(&self, item: u64) -> f64 {
+        self.entries.get(&item).copied().unwrap_or(0) as f64
+    }
+}
+
+impl SpaceUsage for StickySampling {
+    fn model_bits(&self) -> u64 {
+        let entries: u64 = self
+            .entries
+            .values()
+            .map(|&c| self.key_bits + gamma_bits(c))
+            .sum();
+        entries + gamma_bits(self.processed) + gamma_bits(self.rate_exp as u64)
+    }
+    fn heap_bytes(&self) -> usize {
+        self.entries.capacity() * 24
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::seq::SliceRandom;
+
+    #[test]
+    fn heavy_item_survives_rate_halving() {
+        let m = 100_000usize;
+        let mut stream: Vec<u64> = Vec::with_capacity(m);
+        stream.extend(std::iter::repeat_n(9u64, m * 3 / 10));
+        stream.extend((0..m as u64 * 7 / 10).map(|i| 1000 + (i % 20_000)));
+        let mut rng = StdRng::seed_from_u64(3);
+        stream.shuffle(&mut rng);
+        let mut ss = StickySampling::new(0.1, 0.2, 0.1, 1 << 20, 7);
+        ss.insert_all(&stream);
+        let r = ss.report();
+        assert!(r.contains(9), "30% item must be reported at phi=20%");
+        let est = ss.estimate(9);
+        let truth = (m * 3 / 10) as f64;
+        assert!(est <= truth + 1.0);
+        assert!(est >= truth - 0.1 * m as f64, "est {est} truth {truth}");
+    }
+
+    #[test]
+    fn table_stays_bounded_on_distinct_stream() {
+        // All-distinct stream: expected tracked entries stay O(t), not
+        // O(m), because the admission rate keeps halving.
+        let mut ss = StickySampling::new(0.05, 0.2, 0.1, 1 << 40, 11);
+        for i in 0..200_000u64 {
+            ss.insert(i);
+        }
+        let bound = 6 * ss.window_base() as usize;
+        assert!(ss.len() <= bound, "len {} vs bound {bound}", ss.len());
+        assert!(ss.rate() < 1.0, "rate should have halved at least once");
+    }
+
+    #[test]
+    fn exact_during_initial_window() {
+        let mut ss = StickySampling::new(0.1, 0.3, 0.1, 1 << 10, 1);
+        for x in [1u64, 1, 2, 1, 3] {
+            ss.insert(x);
+        }
+        assert_eq!(ss.estimate(1), 3.0);
+        assert_eq!(ss.estimate(2), 1.0);
+        assert_eq!(ss.rate(), 1.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let stream: Vec<u64> = (0..30_000).map(|i| i % 500).collect();
+        let mut a = StickySampling::new(0.05, 0.2, 0.1, 1 << 20, 42);
+        let mut b = StickySampling::new(0.05, 0.2, 0.1, 1 << 20, 42);
+        a.insert_all(&stream);
+        b.insert_all(&stream);
+        assert_eq!(a.report().entries(), b.report().entries());
+    }
+}

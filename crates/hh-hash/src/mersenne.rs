@@ -1,0 +1,127 @@
+//! Arithmetic over the Mersenne prime field `F_p`, `p = 2⁶¹ − 1`.
+//!
+//! Reduction mod a Mersenne prime needs no division: for
+//! `x < 2¹²²`, `x mod p` is computed with two shift-add folds. All hash
+//! families with algebraic structure ([`crate::CarterWegmanFamily`],
+//! [`crate::PolynomialFamily`]) work over this field, which comfortably
+//! contains any `u64`-universe item after one fold.
+
+/// The Mersenne prime `2⁶¹ − 1`.
+pub const P: u64 = (1 << 61) - 1;
+
+/// Reduces a 64-bit value into `[0, p)`.
+#[inline]
+pub fn reduce64(x: u64) -> u64 {
+    // x = hi·2^61 + lo  ⇒  x ≡ hi + lo (mod p)
+    let folded = (x >> 61) + (x & P);
+    if folded >= P {
+        folded - P
+    } else {
+        folded
+    }
+}
+
+/// Reduces a 128-bit value into `[0, p)`.
+#[inline]
+pub fn reduce128(x: u128) -> u64 {
+    let lo = (x & ((1 << 61) - 1)) as u64;
+    let mid = ((x >> 61) & ((1 << 61) - 1)) as u64;
+    let hi = (x >> 122) as u64;
+    let mut s = lo as u128 + mid as u128 + hi as u128;
+    // s < 3·2^61, two conditional subtractions suffice.
+    if s >= P as u128 {
+        s -= P as u128;
+    }
+    if s >= P as u128 {
+        s -= P as u128;
+    }
+    s as u64
+}
+
+/// `(a + b) mod p` for `a, b < p`.
+#[inline]
+pub fn add(a: u64, b: u64) -> u64 {
+    debug_assert!(a < P && b < P);
+    let s = a + b;
+    if s >= P {
+        s - P
+    } else {
+        s
+    }
+}
+
+/// `(a · b) mod p` for `a, b < p`.
+#[inline]
+pub fn mul(a: u64, b: u64) -> u64 {
+    debug_assert!(a < P && b < P);
+    reduce128(a as u128 * b as u128)
+}
+
+/// Horner evaluation of a polynomial with coefficients `coeffs` (constant
+/// term last) at `x`, everything mod p.
+#[inline]
+pub fn poly_eval(coeffs: &[u64], x: u64) -> u64 {
+    let mut acc = 0u64;
+    for &c in coeffs {
+        acc = add(mul(acc, x), c);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p_is_mersenne() {
+        assert_eq!(P, 2_305_843_009_213_693_951);
+        assert_eq!(P, (1u64 << 61) - 1);
+    }
+
+    #[test]
+    fn reduce64_agrees_with_modulo() {
+        for x in [0u64, 1, P - 1, P, P + 1, 2 * P, u64::MAX] {
+            assert_eq!(reduce64(x), x % P, "x={x}");
+        }
+    }
+
+    #[test]
+    fn reduce128_agrees_with_modulo() {
+        let cases: [u128; 7] = [
+            0,
+            P as u128,
+            (P as u128) * 2 + 5,
+            u64::MAX as u128,
+            u128::MAX,
+            (P as u128) * (P as u128),
+            (P as u128 - 1) * (P as u128 - 1),
+        ];
+        for x in cases {
+            assert_eq!(reduce128(x) as u128, x % P as u128, "x={x}");
+        }
+    }
+
+    #[test]
+    fn field_ops_match_u128_reference() {
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state % P
+        };
+        for _ in 0..1000 {
+            let a = next();
+            let b = next();
+            assert_eq!(add(a, b) as u128, (a as u128 + b as u128) % P as u128);
+            assert_eq!(mul(a, b) as u128, (a as u128 * b as u128) % P as u128);
+        }
+    }
+
+    #[test]
+    fn poly_eval_matches_naive() {
+        // 3x^2 + 5x + 7 at x = 11 → 3*121 + 55 + 7 = 425
+        assert_eq!(poly_eval(&[3, 5, 7], 11), 425);
+        // Degenerate cases.
+        assert_eq!(poly_eval(&[], 5), 0);
+        assert_eq!(poly_eval(&[42], 5), 42);
+    }
+}

@@ -1,0 +1,135 @@
+//! Dietzfelbinger's multiply-shift family for power-of-two ranges.
+//!
+//! `h_{a,b}(x) = ((a·x + b) mod 2¹²⁸) >> (128 − ℓ)` with uniformly random
+//! 128-bit `a` (odd in the plain-universal variant) and `b` is strongly
+//! universal onto `ℓ`-bit outputs. It needs no modular reduction, making it
+//! the fastest family here — appropriate for the `O(1)` worst-case update
+//! claim of Theorems 1 and 2.
+
+use crate::{HashFamily, HashFunction};
+use hh_space::SpaceUsage;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The multiply-shift family producing `ℓ`-bit outputs (range `2^ℓ`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MultiplyShiftFamily {
+    out_bits: u32,
+}
+
+impl MultiplyShiftFamily {
+    /// Family with codomain `[0, 2^out_bits)`.
+    ///
+    /// # Panics
+    /// If `out_bits` is zero or exceeds 64.
+    pub fn new_pow2(out_bits: u32) -> Self {
+        assert!((1..=64).contains(&out_bits), "out_bits must be in 1..=64");
+        Self { out_bits }
+    }
+
+    /// Family whose range is the smallest power of two `≥ min_range`.
+    pub fn covering(min_range: u64) -> Self {
+        Self::new_pow2(hh_space::ceil_log2(min_range).max(1) as u32)
+    }
+}
+
+impl HashFamily for MultiplyShiftFamily {
+    type Fun = MultiplyShiftHash;
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> MultiplyShiftHash {
+        let a = ((rng.gen::<u64>() as u128) << 64) | rng.gen::<u64>() as u128;
+        let b = ((rng.gen::<u64>() as u128) << 64) | rng.gen::<u64>() as u128;
+        MultiplyShiftHash {
+            a: a | 1, // odd multiplier
+            b,
+            out_bits: self.out_bits,
+        }
+    }
+}
+
+/// A sampled multiply-shift function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MultiplyShiftHash {
+    a: u128,
+    b: u128,
+    out_bits: u32,
+}
+
+impl HashFunction for MultiplyShiftHash {
+    #[inline]
+    fn hash(&self, x: u64) -> u64 {
+        let v = self.a.wrapping_mul(x as u128).wrapping_add(self.b);
+        (v >> (128 - self.out_bits)) as u64
+    }
+
+    #[inline]
+    fn range(&self) -> u64 {
+        if self.out_bits == 64 {
+            u64::MAX // 2^64 does not fit; callers with 64-bit ranges know this
+        } else {
+            1u64 << self.out_bits
+        }
+    }
+}
+
+impl SpaceUsage for MultiplyShiftHash {
+    fn model_bits(&self) -> u64 {
+        2 * 128
+    }
+    fn heap_bytes(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn output_fits_out_bits() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for bits in [1u32, 5, 16, 63] {
+            let fam = MultiplyShiftFamily::new_pow2(bits);
+            let h = fam.sample(&mut rng);
+            for _ in 0..500 {
+                let y = h.hash(rng.gen());
+                assert!(y < (1u64 << bits), "bits={bits} y={y}");
+            }
+        }
+    }
+
+    #[test]
+    fn covering_picks_enough_bits() {
+        assert_eq!(MultiplyShiftFamily::covering(100).out_bits, 7);
+        assert_eq!(MultiplyShiftFamily::covering(128).out_bits, 7);
+        assert_eq!(MultiplyShiftFamily::covering(129).out_bits, 8);
+        assert_eq!(MultiplyShiftFamily::covering(1).out_bits, 1);
+    }
+
+    #[test]
+    fn distribution_roughly_uniform() {
+        // A single fixed function applied to sequential keys should spread
+        // across buckets (this catches e.g. forgetting the shift).
+        let mut rng = StdRng::seed_from_u64(17);
+        let fam = MultiplyShiftFamily::new_pow2(4);
+        let h = fam.sample(&mut rng);
+        let mut buckets = [0u32; 16];
+        for x in 0..16_000u64 {
+            buckets[h.hash(x) as usize] += 1;
+        }
+        for (i, &c) in buckets.iter().enumerate() {
+            assert!((500..=1500).contains(&c), "bucket {i} count {c}");
+        }
+    }
+
+    #[test]
+    fn multiplier_is_forced_odd() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let h = MultiplyShiftFamily::new_pow2(8).sample(&mut rng);
+            assert_eq!(h.a & 1, 1);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Executable lower-bound reductions (§4 of the paper).
+//!
+//! A space lower bound cannot be "measured", but a reduction can be
+//! *executed*: the paper's §4 arguments all have the same operational
+//! shape — Alice encodes her input as a stream prefix, runs the streaming
+//! algorithm, and sends its state to Bob, who extends the stream and
+//! decodes his answer from the report. If the algorithm used fewer bits
+//! than the communication complexity of the source problem, the protocol
+//! would beat a proven communication bound; contrapositive: the algorithm
+//! must use at least that much space.
+//!
+//! This crate makes every reduction runnable with the *real* algorithms
+//! from `hh-core`/`hh-votes` as the message:
+//!
+//! | Module | Paper | Source problem | Target |
+//! |--------|-------|----------------|--------|
+//! | [`reductions::hh_indexing`] | Thm 9 | Indexing | (ε,φ)-heavy hitters |
+//! | [`reductions::max_indexing`] | Thm 10 | Indexing | ε-Maximum |
+//! | [`reductions::min_indexing`] | Thm 11 | Indexing | ε-Minimum |
+//! | [`reductions::borda_perm`] | Thm 12 | ε-Perm | ε-Borda |
+//! | [`reductions::maximin_distance`] | Thm 13 | Indexing via \[VWWZ15\] distance matrices | ε-Maximin |
+//! | [`reductions::greater_than`] | Thm 14 | Greater-Than | log log m term |
+//!
+//! Each run reports the decoded answer, whether it matched, the message
+//! length (the algorithm's `model_bits` plus any auxiliary payload the
+//! protocol sends), and the source problem's communication-complexity
+//! shape for comparison. Experiment E8 sweeps these over many random
+//! instances.
+//!
+//! # Example
+//!
+//! ```
+//! use hh_lower_bounds::{IndexingInstance, reductions::hh_indexing};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(11);
+//! let instance = IndexingInstance::random(8, 32, &mut rng);
+//! let outcome = hh_indexing::run(&instance, 600, 1200, 1);
+//! assert!(outcome.success);                       // Bob decodes x_i
+//! assert!(outcome.message_bits as f64 >= outcome.lower_bound_units);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod problems;
+pub mod protocol;
+pub mod reductions;
+
+pub use problems::{EpsPermInstance, GreaterThanInstance, IndexingInstance};
+pub use protocol::ReductionOutcome;

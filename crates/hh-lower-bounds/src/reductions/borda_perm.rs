@@ -1,0 +1,136 @@
+//! Theorem 12: `ε-Perm → ε-Borda`, giving the `Ω(n log ε⁻¹)` term.
+//!
+//! Alice's permutation σ over `[n]` is cut into `1/ε` blocks. She builds
+//! **one** vote `v` over `N = 3n` candidates (the `n` σ-items plus `2n`
+//! dummies): block `B_j` lays out `εn` dummies, the `j`-th block of σ,
+//! and `εn` more dummies — so an item's position inside `v` (hence its
+//! Borda contribution `N−1−pos`) pins down its block, with a `2εn`-wide
+//! guard band of dummies between consecutive blocks. Bob adds four votes
+//! ranking his item `i` first (two with the rest ascending, two
+//! descending, which cancels for every other candidate), making `i`'s
+//! total Borda score `4(N−1) + v`-contribution. An `εmn`-accurate Borda
+//! estimate of `i` therefore reveals `i`'s block in σ.
+
+use crate::problems::EpsPermInstance;
+use crate::protocol::ReductionOutcome;
+use hh_space::SpaceUsage;
+use hh_votes::{Ranking, StreamingBorda, VoteSummary};
+
+/// Builds Alice's vote `v` from the ε-Perm instance. Candidates `0..n`
+/// are σ-items; `n..3n` are dummies.
+fn alice_vote(instance: &EpsPermInstance) -> Ranking {
+    let n = instance.n();
+    let blocks = instance.blocks;
+    let eps_n = instance.block_size();
+    let mut order: Vec<u32> = Vec::with_capacity(3 * n);
+    let mut dummy = n as u32;
+    for j in 0..blocks {
+        for _ in 0..eps_n {
+            order.push(dummy);
+            dummy += 1;
+        }
+        for pos in (j * eps_n)..((j + 1) * eps_n) {
+            order.push(instance.sigma[pos]);
+        }
+        for _ in 0..eps_n {
+            order.push(dummy);
+            dummy += 1;
+        }
+    }
+    Ranking::new(order).expect("constructed vote is a permutation")
+}
+
+/// Executes the Theorem-12 protocol once.
+pub fn run(instance: &EpsPermInstance, seed: u64) -> ReductionOutcome {
+    let n = instance.n();
+    let big_n = 3 * n;
+    let eps_n = instance.block_size();
+    let m = 5u64;
+
+    // Decode needs Borda error below εn (half the 2εn dummy guard band):
+    // ε_algo·m·N = 15·ε_algo·n < εn ⇒ ε_algo < ε/15; take ε/20.
+    let eps_algo = 1.0 / (20.0 * instance.blocks as f64);
+    let mut algo = StreamingBorda::new(big_n, eps_algo, 0.5, 0.1, m, seed ^ 0x7E12)
+        .expect("valid parameters");
+
+    algo.insert_vote(&alice_vote(instance));
+
+    let message_bits = algo.model_bits();
+
+    // Bob: i first, then the rest ascending (×2) and descending (×2).
+    let i = instance.query;
+    let mut rest: Vec<u32> = (0..big_n as u32).filter(|&c| c != i).collect();
+    let mut fwd = vec![i];
+    fwd.extend(rest.iter().copied());
+    rest.reverse();
+    let mut rev = vec![i];
+    rev.extend(rest.iter().copied());
+    let fwd = Ranking::new(fwd).expect("forward vote");
+    let rev = Ranking::new(rev).expect("reverse vote");
+    for _ in 0..2 {
+        algo.insert_vote(&fwd);
+        algo.insert_vote(&rev);
+    }
+
+    // Decode: v-contribution = total − 4(N−1); position = N−1−contrib;
+    // block = position / 3εn (σ items sit in the middle third).
+    let est = algo.score_estimates()[i as usize];
+    let v_contrib = (est - 4.0 * (big_n as f64 - 1.0)).round();
+    let pos = (big_n as f64 - 1.0) - v_contrib;
+    let decoded = if pos >= 0.0 {
+        Some((pos as usize) / (3 * eps_n))
+    } else {
+        None
+    };
+
+    ReductionOutcome {
+        message_bits,
+        lower_bound_units: instance.lower_bound_units(),
+        success: decoded == Some(instance.block_of(instance.query)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::success_rate;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn alice_vote_is_valid_and_block_structured() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let inst = EpsPermInstance::random(16, 4, &mut rng);
+        let v = alice_vote(&inst);
+        assert_eq!(v.len(), 48);
+        // σ items of block j occupy vote positions j·12+4 .. j·12+8.
+        for j in 0..4usize {
+            for off in 0..4usize {
+                let c = v.at(j * 12 + 4 + off);
+                assert!((c as usize) < 16, "middle third holds sigma items");
+                assert_eq!(inst.block_of(c), j);
+            }
+        }
+    }
+
+    #[test]
+    fn decodes_every_block_deterministically() {
+        // m = 5 votes means sampling probability 1: exact scores, so the
+        // decode must always succeed.
+        let rate = success_rate(25, |seed| {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xCC);
+            let inst = EpsPermInstance::random(32, 8, &mut rng);
+            run(&inst, seed)
+        });
+        assert_eq!(rate, 1.0, "exact decode expected");
+    }
+
+    #[test]
+    fn floor_is_n_log_blocks() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let inst = EpsPermInstance::random(32, 8, &mut rng);
+        assert_eq!(inst.lower_bound_units(), 32.0 * 3.0);
+        let out = run(&inst, 3);
+        assert!(out.message_bits as f64 >= out.lower_bound_units);
+    }
+}

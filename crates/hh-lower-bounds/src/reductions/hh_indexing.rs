@@ -1,0 +1,147 @@
+//! Theorem 9: `Indexing → (ε, φ)-heavy hitters`, giving the
+//! `Ω(ε⁻¹ log φ⁻¹)` term.
+//!
+//! Alice holds `x ∈ [A]^t` with `A ≈ 1/(2(φ−ε))`, `t ≈ 1/(2ε)`. She
+//! streams `εm` copies of the pair `(x_j, j)` for every `j`; Bob appends
+//! `(φ−ε)m` copies of `(a, i)` for every `a ∈ [A]`. Now `(x_i, i)` has
+//! frequency exactly `φm` while every other pair has `(φ−ε)m` or `εm` —
+//! so a correct heavy-hitters report contains `(x_i, i)` and no other
+//! pair ending in `i`, letting Bob read off `x_i`.
+
+use crate::problems::IndexingInstance;
+use crate::protocol::ReductionOutcome;
+use hh_core::{HeavyHitters, HhParams, SimpleListHh, StreamSummary};
+use hh_space::SpaceUsage;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Pair encoding: `(a, j) ↦ a·t + j` over universe `[A·t]`.
+fn encode(a: u64, j: u64, t: u64) -> u64 {
+    a * t + j
+}
+
+/// Executes the Theorem-9 protocol once.
+///
+/// `copies_alice` is `εm` (per `(x_j, j)` pair) and `copies_bob` is
+/// `(φ−ε)m` (per `(a, i)` pair); the effective `ε, φ` follow from them.
+pub fn run(
+    instance: &IndexingInstance,
+    copies_alice: u64,
+    copies_bob: u64,
+    seed: u64,
+) -> ReductionOutcome {
+    let t = instance.t() as u64;
+    let a_size = instance.alphabet;
+    let m = copies_alice * t + copies_bob * a_size;
+    let eps_eff = copies_alice as f64 / m as f64;
+    let phi_eff = (copies_alice + copies_bob) as f64 / m as f64;
+    let params = HhParams::with_delta(0.9 * eps_eff, phi_eff, 0.1)
+        .expect("copies must give 0 < 0.9ε < φ");
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut algo = SimpleListHh::new(params, a_size * t, m, seed ^ 0x7E09).expect("valid params");
+
+    // Alice's half: εm copies of (x_j, j) for every j, shuffled.
+    let mut alice: Vec<u64> = Vec::with_capacity((copies_alice * t) as usize);
+    for (j, &xj) in instance.x.iter().enumerate() {
+        alice.extend(std::iter::repeat_n(
+            encode(xj, j as u64, t),
+            copies_alice as usize,
+        ));
+    }
+    alice.shuffle(&mut rng);
+    algo.insert_all(&alice);
+
+    // --- the one-way message: the algorithm's state ---
+    let message_bits = algo.model_bits();
+
+    // Bob's half: (φ−ε)m copies of (a, i) for every a, shuffled.
+    let i = instance.i as u64;
+    let mut bob: Vec<u64> = Vec::with_capacity((copies_bob * a_size) as usize);
+    for a in 0..a_size {
+        bob.extend(std::iter::repeat_n(encode(a, i, t), copies_bob as usize));
+    }
+    bob.shuffle(&mut rng);
+    algo.insert_all(&bob);
+
+    // Decode: among reported pairs ending in i, the heaviest names x_i.
+    let report = algo.report();
+    let decoded = report
+        .entries()
+        .iter()
+        .filter(|e| e.item % t == i)
+        .max_by(|a, b| a.count.total_cmp(&b.count))
+        .map(|e| e.item / t);
+
+    ReductionOutcome {
+        message_bits,
+        lower_bound_units: instance.lower_bound_units(),
+        success: decoded == Some(instance.answer()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::success_rate;
+
+    #[test]
+    fn decodes_random_instances_reliably() {
+        let rate = success_rate(30, |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let inst = IndexingInstance::random(8, 32, &mut rng);
+            run(&inst, 600, 1200, seed)
+        });
+        assert!(rate >= 0.9, "success rate {rate}");
+    }
+
+    #[test]
+    fn message_respects_lower_bound_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let inst = IndexingInstance::random(8, 32, &mut rng);
+        let out = run(&inst, 600, 1200, 2);
+        // Upper bound must sit above the proven floor (ratio ≥ 1 up to
+        // the constant the algorithm pays).
+        assert!(
+            out.message_bits as f64 >= out.lower_bound_units,
+            "message {} below floor {}",
+            out.message_bits,
+            out.lower_bound_units
+        );
+    }
+
+    #[test]
+    fn larger_alphabet_means_larger_floor() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let small = IndexingInstance::random(4, 32, &mut rng);
+        let large = IndexingInstance::random(16, 32, &mut rng);
+        assert!(large.lower_bound_units() > small.lower_bound_units());
+    }
+
+    #[test]
+    fn message_grows_with_one_over_eps() {
+        // The Ω(ε⁻¹ log φ⁻¹) *shape*, exercised: quadrupling t = 1/(2ε)
+        // quadruples the floor, and the algorithm's message must scale
+        // along (it cannot stay flat, or it would beat Indexing).
+        let mut msg_bits = Vec::new();
+        let mut floors = Vec::new();
+        for (i, t) in [16usize, 64].into_iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(40 + i as u64);
+            let inst = IndexingInstance::random(8, t, &mut rng);
+            let out = run(&inst, 400, 800, 41 + i as u64);
+            assert!(out.success, "t={t} decode failed");
+            msg_bits.push(out.message_bits as f64);
+            floors.push(out.lower_bound_units);
+        }
+        assert!((floors[1] / floors[0] - 4.0).abs() < 1e-9);
+        assert!(
+            msg_bits[1] > 1.5 * msg_bits[0],
+            "message failed to scale with 1/eps: {msg_bits:?}"
+        );
+        assert!(
+            msg_bits[0] >= floors[0] && msg_bits[1] >= floors[1],
+            "message below floor"
+        );
+    }
+}

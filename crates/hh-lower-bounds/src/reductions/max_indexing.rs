@@ -1,0 +1,91 @@
+//! Theorem 10: `Indexing → ε-Maximum`, giving the `Ω(ε⁻¹ log ε⁻¹)` term.
+//!
+//! Alphabet and index range are both `1/ε`. Alice streams `εm/2` copies
+//! of `(x_j, j)` per `j`; Bob appends `εm/2` copies of `(a, i)` per `a`.
+//! The pair `(x_i, i)` reaches `εm` while everything else stays at
+//! `εm/2`, so an `ε/5`-Maximum witness must be `(x_i, i)`.
+
+use crate::problems::IndexingInstance;
+use crate::protocol::ReductionOutcome;
+use hh_core::{EpsMaximum, StreamSummary};
+use hh_space::SpaceUsage;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Executes the Theorem-10 protocol once; `copies` is `εm/2`.
+pub fn run(instance: &IndexingInstance, copies: u64, seed: u64) -> ReductionOutcome {
+    let t = instance.t() as u64;
+    assert_eq!(
+        instance.alphabet, t,
+        "Theorem 10 uses alphabet = index range = 1/eps"
+    );
+    let m = 2 * copies * t;
+    // Gap between max (2·copies) and runner-up (copies) is εm/2; run the
+    // algorithm at ε/5 so its additive error cannot bridge the gap.
+    let eps_algo = 1.0 / (5.0 * t as f64);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut algo =
+        EpsMaximum::new(eps_algo, 0.1, t * t, m, seed ^ 0x7E10).expect("valid parameters");
+
+    let mut alice: Vec<u64> = Vec::with_capacity((copies * t) as usize);
+    for (j, &xj) in instance.x.iter().enumerate() {
+        alice.extend(std::iter::repeat_n(xj * t + j as u64, copies as usize));
+    }
+    alice.shuffle(&mut rng);
+    algo.insert_all(&alice);
+
+    let message_bits = algo.model_bits();
+
+    let i = instance.i as u64;
+    let mut bob: Vec<u64> = Vec::with_capacity((copies * t) as usize);
+    for a in 0..t {
+        bob.extend(std::iter::repeat_n(a * t + i, copies as usize));
+    }
+    bob.shuffle(&mut rng);
+    algo.insert_all(&bob);
+
+    let decoded = algo
+        .max_estimate()
+        .filter(|e| e.item % t == i)
+        .map(|e| e.item / t);
+
+    ReductionOutcome {
+        message_bits,
+        lower_bound_units: instance.lower_bound_units(),
+        success: decoded == Some(instance.answer()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::success_rate;
+
+    #[test]
+    fn decodes_random_instances_reliably() {
+        let rate = success_rate(30, |seed| {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xAA);
+            let inst = IndexingInstance::random(16, 16, &mut rng);
+            run(&inst, 500, seed)
+        });
+        assert!(rate >= 0.9, "success rate {rate}");
+    }
+
+    #[test]
+    fn floor_is_t_log_t() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let inst = IndexingInstance::random(16, 16, &mut rng);
+        assert_eq!(inst.lower_bound_units(), 16.0 * 4.0);
+        let out = run(&inst, 400, 2);
+        assert!(out.message_bits as f64 >= out.lower_bound_units);
+    }
+
+    #[test]
+    #[should_panic(expected = "alphabet = index range")]
+    fn mismatched_instance_rejected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let inst = IndexingInstance::random(8, 16, &mut rng);
+        run(&inst, 100, 3);
+    }
+}

@@ -1,0 +1,117 @@
+//! Theorem 11: `Indexing → ε-Minimum`, giving the `Ω(ε⁻¹)` term.
+//!
+//! Alice holds `x ∈ {0,1}^T` with `T = 5/ε`. Universe `[T+1]`: item
+//! `j < T` encodes bit `j`, item `T` is a sentinel. Alice inserts two
+//! copies of every `j` with `x_j = 1`; Bob inserts two copies of every
+//! `j ∈ [T] \ {i}` and a *single* copy of the sentinel. Final
+//! frequencies: `f_j ∈ {2, 4}` for `j ≠ i`, `f_i = 2x_i`,
+//! `f_sentinel = 1`. If `x_i = 0` the unique minimum is `i` (frequency
+//! 0); if `x_i = 1` it is the sentinel — so the reported ε-minimum item
+//! decodes `x_i`.
+
+use crate::problems::IndexingInstance;
+use crate::protocol::ReductionOutcome;
+use hh_core::{EpsMinimum, StreamSummary};
+use hh_space::SpaceUsage;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Executes the Theorem-11 protocol once. The instance must be binary
+/// (`alphabet == 2`).
+pub fn run(instance: &IndexingInstance, seed: u64) -> ReductionOutcome {
+    assert_eq!(instance.alphabet, 2, "Theorem 11 uses a binary string");
+    let t = instance.t() as u64;
+    let universe = t + 1;
+    let sentinel = t;
+    let support = instance.x.iter().filter(|&&b| b == 1).count() as u64;
+    let m = 2 * support + 2 * (t - 1) + 1;
+
+    // Distinguishing frequencies 0/1/2 needs additive error < 1: run the
+    // algorithm well below 1/m. Small universe keeps it in tracked mode.
+    let eps_algo = (0.4 / m as f64).min(1.0 / (2.0 * universe as f64));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut algo =
+        EpsMinimum::new(eps_algo, 0.2, universe, m, seed ^ 0x7E11).expect("valid parameters");
+    assert!(!algo.is_random_mode(), "universe must be tracked");
+
+    let mut alice: Vec<u64> = Vec::new();
+    for (j, &bit) in instance.x.iter().enumerate() {
+        if bit == 1 {
+            alice.push(j as u64);
+            alice.push(j as u64);
+        }
+    }
+    alice.shuffle(&mut rng);
+    algo.insert_all(&alice);
+
+    let message_bits = algo.model_bits();
+
+    let i = instance.i as u64;
+    let mut bob: Vec<u64> = Vec::new();
+    for j in 0..t {
+        if j != i {
+            bob.push(j);
+            bob.push(j);
+        }
+    }
+    bob.push(sentinel);
+    bob.shuffle(&mut rng);
+    algo.insert_all(&bob);
+
+    let reported = algo.min_estimate().item;
+    let decoded = if reported == i {
+        Some(0u64)
+    } else if reported == sentinel {
+        Some(1u64)
+    } else {
+        None
+    };
+
+    ReductionOutcome {
+        message_bits,
+        lower_bound_units: t as f64, // Ω(t) bits for binary Indexing
+        success: decoded == Some(instance.answer()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::success_rate;
+
+    #[test]
+    fn decodes_random_instances_reliably() {
+        let rate = success_rate(40, |seed| {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xBB);
+            let inst = IndexingInstance::random(2, 25, &mut rng);
+            run(&inst, seed)
+        });
+        assert!(rate >= 0.9, "success rate {rate}");
+    }
+
+    #[test]
+    fn both_bit_values_decode() {
+        // Force x_i = 0 and x_i = 1 explicitly.
+        let zero = IndexingInstance {
+            alphabet: 2,
+            x: vec![1, 0, 1, 1, 0, 1, 1, 1],
+            i: 1,
+        };
+        let one = IndexingInstance {
+            alphabet: 2,
+            x: vec![1, 0, 1, 1, 0, 1, 1, 1],
+            i: 0,
+        };
+        assert!(run(&zero, 1).success, "x_i = 0 case");
+        assert!(run(&one, 2).success, "x_i = 1 case");
+    }
+
+    #[test]
+    fn message_exceeds_floor() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let inst = IndexingInstance::random(2, 25, &mut rng);
+        let out = run(&inst, 6);
+        assert!(out.message_bits as f64 >= out.lower_bound_units);
+    }
+}

@@ -1,0 +1,8 @@
+//! The six reductions of §4.2, executable with the real algorithms.
+
+pub mod borda_perm;
+pub mod greater_than;
+pub mod hh_indexing;
+pub mod max_indexing;
+pub mod maximin_distance;
+pub mod min_indexing;

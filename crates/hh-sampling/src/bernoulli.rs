@@ -1,0 +1,216 @@
+//! Per-item Bernoulli sampling with power-of-two probabilities, and the
+//! geometric-skip equivalent.
+//!
+//! Footnote 3 of the paper: *"whenever we pick an item with probability
+//! p > 0, we can assume, without loss of generality, that 1/p is a power of
+//! two"*. [`BernoulliSampler`] implements exactly that coin; its state is
+//! the exponent, `O(log log m)` bits.
+//!
+//! [`SkipSampler`] draws the *gap* to the next sampled item from the
+//! geometric distribution instead of flipping a coin per item. The two are
+//! distributionally identical, but the skip form does constant work per
+//! stream position with no random draw at unsampled positions — this is
+//! how the algorithms keep `O(1)` worst-case update time (§3.1: work is
+//! "spread out" because samples are `Θ(1/ε)` positions apart on average).
+
+use crate::lemma1::Lemma1Sampler;
+use hh_space::space::{delta_bits, gamma_bits, SpaceUsage};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Rounds probability `p` to `2^{-k}` with `k = round(−log₂ p)` clamped to
+/// `[0, 64]`, per footnote 3.
+pub fn pow2_exponent(p: f64) -> u32 {
+    assert!(p > 0.0 && p <= 1.0, "probability must be in (0, 1]");
+    (-p.log2()).round().clamp(0.0, 64.0) as u32
+}
+
+/// Independent coin with probability `2^{-k}` per offered item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BernoulliSampler {
+    inner: Lemma1Sampler,
+}
+
+impl BernoulliSampler {
+    /// Coin with probability `2^{-k}`.
+    pub fn with_exponent(k: u32) -> Self {
+        Self {
+            inner: Lemma1Sampler::with_log_denominator(k),
+        }
+    }
+
+    /// Coin with probability `p` rounded to the nearest power of two.
+    pub fn with_probability(p: f64) -> Self {
+        Self::with_exponent(pow2_exponent(p))
+    }
+
+    /// The (rounded) inclusion probability.
+    pub fn probability(&self) -> f64 {
+        self.inner.probability()
+    }
+
+    /// Flips the coin.
+    #[inline]
+    pub fn accept<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        self.inner.decide(rng)
+    }
+}
+
+impl SpaceUsage for BernoulliSampler {
+    fn model_bits(&self) -> u64 {
+        self.inner.model_bits()
+    }
+    fn heap_bytes(&self) -> usize {
+        0
+    }
+}
+
+/// Geometric-gap sampler: behaves like [`BernoulliSampler`] but only draws
+/// randomness when a sample fires.
+///
+/// State: the exponent `k` plus a countdown of at most `O(log(1/p))` bits
+/// in expectation (the gap value), still `O(log log m + log(1/p))` — within
+/// the paper's budget since `1/p = O(m/ℓ)` and the countdown is charged to
+/// the `log log m` term in expectation by footnote 3's power-of-two form.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SkipSampler {
+    k: u32,
+    /// Items remaining to skip before the next accept; `0` means the next
+    /// offer accepts.
+    remaining: u64,
+    primed: bool,
+}
+
+impl SkipSampler {
+    /// Skip sampler with probability `2^{-k}`.
+    pub fn with_exponent(k: u32) -> Self {
+        assert!(k <= 64, "k must be at most 64");
+        Self {
+            k,
+            remaining: 0,
+            primed: false,
+        }
+    }
+
+    /// Skip sampler with probability `p` rounded to a power of two.
+    pub fn with_probability(p: f64) -> Self {
+        Self::with_exponent(pow2_exponent(p))
+    }
+
+    /// The inclusion probability.
+    pub fn probability(&self) -> f64 {
+        (0.5f64).powi(self.k as i32)
+    }
+
+    fn draw_gap<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        // Geometric(p): number of failures before the first success.
+        // Inversion: floor(ln U / ln(1−p)) is exact for f64-representable
+        // p = 2^-k; for k = 0 the gap is always 0.
+        if self.k == 0 {
+            self.remaining = 0;
+        } else {
+            let p = self.probability();
+            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let g = (u.ln() / (1.0 - p).ln()).floor();
+            self.remaining = if g >= u64::MAX as f64 { u64::MAX } else { g as u64 };
+        }
+        self.primed = true;
+    }
+
+    /// Offers one item; returns whether it is sampled.
+    #[inline]
+    pub fn accept<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool {
+        if !self.primed {
+            self.draw_gap(rng);
+        }
+        if self.remaining == 0 {
+            self.draw_gap(rng);
+            true
+        } else {
+            self.remaining -= 1;
+            false
+        }
+    }
+}
+
+impl SpaceUsage for SkipSampler {
+    fn model_bits(&self) -> u64 {
+        delta_bits(self.k as u64) + gamma_bits(self.remaining) + 1
+    }
+    fn heap_bytes(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pow2_exponent_rounds() {
+        assert_eq!(pow2_exponent(1.0), 0);
+        assert_eq!(pow2_exponent(0.5), 1);
+        assert_eq!(pow2_exponent(0.25), 2);
+        assert_eq!(pow2_exponent(0.3), 2); // -log2(0.3) ≈ 1.74 → 2
+        assert_eq!(pow2_exponent(0.4), 1); // -log2(0.4) ≈ 1.32 → 1
+        assert_eq!(pow2_exponent(1e-30), 64); // clamped
+    }
+
+    #[test]
+    fn skip_and_coin_have_same_rate() {
+        let mut rng = StdRng::seed_from_u64(1234);
+        let n = 1 << 18;
+        for k in [2u32, 5] {
+            let coin = BernoulliSampler::with_exponent(k);
+            let mut skip = SkipSampler::with_exponent(k);
+            let coin_hits = (0..n).filter(|_| coin.accept(&mut rng)).count() as f64;
+            let skip_hits = (0..n).filter(|_| skip.accept(&mut rng)).count() as f64;
+            let expect = n as f64 * (0.5f64).powi(k as i32);
+            for (name, hits) in [("coin", coin_hits), ("skip", skip_hits)] {
+                assert!(
+                    (hits - expect).abs() < 6.0 * expect.sqrt() + 6.0,
+                    "k={k} {name}: {hits} vs {expect}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn skip_gaps_are_geometric() {
+        // Mean gap between accepts should be 1/p.
+        let mut rng = StdRng::seed_from_u64(7);
+        let k = 4u32;
+        let mut s = SkipSampler::with_exponent(k);
+        let mut gaps = Vec::new();
+        let mut since = 0u64;
+        for _ in 0..1 << 18 {
+            if s.accept(&mut rng) {
+                gaps.push(since);
+                since = 0;
+            } else {
+                since += 1;
+            }
+        }
+        let mean = gaps.iter().sum::<u64>() as f64 / gaps.len() as f64;
+        let expect = (1u64 << k) as f64 - 1.0; // failures before a success
+        assert!(
+            (mean - expect).abs() < 0.1 * expect,
+            "mean gap {mean} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn probability_one_accepts_everything() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut s = SkipSampler::with_exponent(0);
+        assert!((0..100).all(|_| s.accept(&mut rng)));
+    }
+
+    #[test]
+    fn space_stays_tiny() {
+        let s = BernoulliSampler::with_probability(1.0 / (1 << 20) as f64);
+        assert!(s.model_bits() < 16);
+    }
+}

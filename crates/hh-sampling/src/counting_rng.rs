@@ -1,0 +1,128 @@
+//! Randomness accounting: a wrapper RNG that counts the bits it hands
+//! out.
+//!
+//! Proposition 2 (appendix B of the paper) shows any algorithm sampling
+//! with probability `p ≤ 1/n` must use `Ω(log log m)` bits of *memory* —
+//! while consuming `Θ(log m)` bits of *randomness* per decision. The two
+//! resources are distinct, and [`CountingRng`] makes the distinction
+//! measurable: wrap any RNG, run a sampler, and compare
+//! [`CountingRng::bits_drawn`] (randomness, large) against the sampler's
+//! `model_bits` (memory, tiny). The test in this module is the
+//! executable form of the Lemma 1 / Proposition 2 pairing.
+
+use rand::{Error, RngCore};
+
+/// An [`RngCore`] adapter counting the bits drawn through it.
+#[derive(Debug, Clone)]
+pub struct CountingRng<R> {
+    inner: R,
+    bits: u64,
+}
+
+impl<R: RngCore> CountingRng<R> {
+    /// Wraps an RNG with a zeroed counter.
+    pub fn new(inner: R) -> Self {
+        Self { inner, bits: 0 }
+    }
+
+    /// Total bits drawn since construction (32 per `next_u32`, 64 per
+    /// `next_u64`, 8 per byte filled).
+    pub fn bits_drawn(&self) -> u64 {
+        self.bits
+    }
+
+    /// Resets the counter.
+    pub fn reset(&mut self) {
+        self.bits = 0;
+    }
+
+    /// Unwraps the inner RNG.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+}
+
+impl<R: RngCore> RngCore for CountingRng<R> {
+    fn next_u32(&mut self) -> u32 {
+        self.bits += 32;
+        self.inner.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.bits += 64;
+        self.inner.next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.bits += dest.len() as u64 * 8;
+        self.inner.fill_bytes(dest)
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.bits += dest.len() as u64 * 8;
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Lemma1Sampler, SkipSampler};
+    use hh_space::SpaceUsage;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn counts_words_and_bytes() {
+        let mut rng = CountingRng::new(StdRng::seed_from_u64(1));
+        let _ = rng.next_u32();
+        let _ = rng.next_u64();
+        let mut buf = [0u8; 5];
+        rng.fill_bytes(&mut buf);
+        assert_eq!(rng.bits_drawn(), 32 + 64 + 40);
+        rng.reset();
+        assert_eq!(rng.bits_drawn(), 0);
+    }
+
+    #[test]
+    fn lemma1_randomness_vs_memory_gap() {
+        // Proposition 2, operationally: the sampler consumes Θ(log m)
+        // random bits per decision but its *state* is Θ(log log m) bits.
+        let sampler = Lemma1Sampler::with_denominator(1 << 30);
+        let mut rng = CountingRng::new(StdRng::seed_from_u64(2));
+        let decisions = 1_000u64;
+        for _ in 0..decisions {
+            let _ = sampler.decide(&mut rng);
+        }
+        let per_decision = rng.bits_drawn() / decisions;
+        assert!(per_decision >= 30, "draws at least log m bits: {per_decision}");
+        assert!(
+            sampler.model_bits() < 16,
+            "but stores only loglog m: {}",
+            sampler.model_bits()
+        );
+    }
+
+    #[test]
+    fn skip_sampler_amortizes_randomness() {
+        // The skip form draws randomness only at accepted positions:
+        // total bits ≈ (expected accepts) · 64, far below one draw per
+        // item.
+        let k = 8u32; // p = 1/256
+        let items = 1u64 << 16;
+        let mut s = SkipSampler::with_exponent(k);
+        let mut rng = CountingRng::new(StdRng::seed_from_u64(3));
+        let mut accepts = 0u64;
+        for _ in 0..items {
+            accepts += u64::from(s.accept(&mut rng));
+        }
+        let expected_accepts = items >> k;
+        assert!(
+            rng.bits_drawn() < 4 * 64 * expected_accepts.max(1),
+            "skip sampling drew {} bits for ~{expected_accepts} accepts",
+            rng.bits_drawn()
+        );
+        // Sanity: it actually sampled about the right number.
+        assert!(accepts > expected_accepts / 2 && accepts < expected_accepts * 2);
+    }
+}

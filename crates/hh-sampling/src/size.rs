@@ -1,0 +1,124 @@
+//! Sample-size calculators (Lemma 3 and the Chernoff bounds the proofs
+//! use).
+//!
+//! Lemma 3 (via the DKW inequality \[DKW56\]): `r ≥ 2ε⁻² log(2δ⁻¹)` samples
+//! preserve **every** relative frequency to within an additive ε
+//! simultaneously, with probability 1 − δ. The individual algorithms then
+//! pick constants: Algorithm 1 uses `ℓ = 6 log(6/δ)/ε²`, Algorithm 2 uses
+//! `ℓ = 10⁵/ε²`, Theorem 5 uses `ℓ = 6ε⁻² log(6n/δ)`, Theorem 6 uses
+//! `ℓ = (8/ε²) ln(6n/δ)`. Those constants live in `hh-core`'s `Constants`;
+//! this module provides the underlying formulas.
+
+/// Lemma 3 / DKW sample size: enough samples for *all* frequencies to be
+/// ε-accurate simultaneously with probability `1 − δ`.
+pub fn dkw_sample_size(eps: f64, delta: f64) -> u64 {
+    check(eps, delta);
+    (2.0 / (eps * eps) * (2.0 / delta).ln()).ceil() as u64
+}
+
+/// Chernoff sample size for a **single** frequency to be ε-accurate with
+/// probability `1 − δ` (no union bound over the universe).
+pub fn chernoff_sample_size(eps: f64, delta: f64) -> u64 {
+    check(eps, delta);
+    ((2.0 / delta).ln() / (2.0 * eps * eps)).ceil() as u64
+}
+
+/// Chernoff sample size with a union bound over `k` events (used by the
+/// voting algorithms, which union-bound over `n` candidates or `n²`
+/// candidate pairs).
+pub fn union_sample_size(eps: f64, delta: f64, k: u64) -> u64 {
+    check(eps, delta);
+    assert!(k >= 1);
+    ((2.0 * k as f64 / delta).ln() / (2.0 * eps * eps)).ceil() as u64
+}
+
+/// Two-sided multiplicative Chernoff bound:
+/// `Pr[|X − μ| ≥ γμ] ≤ 2·exp(−γ²μ/3)` for sums of independent indicators.
+pub fn chernoff_tail(mu: f64, gamma: f64) -> f64 {
+    assert!(mu >= 0.0 && gamma >= 0.0);
+    (2.0 * (-gamma * gamma * mu / 3.0).exp()).min(1.0)
+}
+
+fn check(eps: f64, delta: f64) {
+    assert!(eps > 0.0 && eps < 1.0, "eps must be in (0,1)");
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dkw_matches_formula() {
+        // ε = 0.1, δ = 0.05 → 2·100·ln 40 ≈ 737.7 → 738.
+        assert_eq!(dkw_sample_size(0.1, 0.05), 738);
+    }
+
+    #[test]
+    fn sizes_shrink_with_looser_parameters() {
+        assert!(dkw_sample_size(0.01, 0.1) > dkw_sample_size(0.1, 0.1));
+        assert!(dkw_sample_size(0.1, 0.01) > dkw_sample_size(0.1, 0.1));
+        assert!(chernoff_sample_size(0.1, 0.1) < dkw_sample_size(0.1, 0.1));
+    }
+
+    #[test]
+    fn union_bound_grows_logarithmically() {
+        let base = union_sample_size(0.1, 0.1, 1);
+        let big = union_sample_size(0.1, 0.1, 1 << 20);
+        assert!(big > base);
+        // 2^20 events only multiply the size by ~(ln(2^21/δ)/ln(2/δ)) ≈ 5.
+        assert!(big < base * 8);
+    }
+
+    #[test]
+    fn chernoff_tail_monotone() {
+        assert!(chernoff_tail(100.0, 0.5) < chernoff_tail(100.0, 0.1));
+        assert!(chernoff_tail(1000.0, 0.1) < chernoff_tail(10.0, 0.1));
+        assert_eq!(chernoff_tail(0.0, 0.5), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "eps must be in (0,1)")]
+    fn bad_eps_rejected() {
+        dkw_sample_size(0.0, 0.1);
+    }
+
+    #[test]
+    fn dkw_sample_size_empirically_sufficient() {
+        // Lemma 3, executed: draw r = dkw_sample_size(ε, δ) samples from a
+        // skewed distribution; the event "every item's sample fraction is
+        // within ε of its true fraction" must hold in at least (1−δ) of
+        // trials (with head-room for Monte-Carlo noise).
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let (eps, delta) = (0.05, 0.1);
+        let r = dkw_sample_size(eps, delta) as usize;
+        // Distribution over 8 items: geometric-ish masses.
+        let probs = [0.4, 0.2, 0.15, 0.1, 0.06, 0.04, 0.03, 0.02];
+        let trials = 120;
+        let mut failures = 0;
+        let mut rng = StdRng::seed_from_u64(0xD1C);
+        for _ in 0..trials {
+            let mut counts = [0u32; 8];
+            for _ in 0..r {
+                let mut u: f64 = rng.gen();
+                let mut pick = 7;
+                for (i, &p) in probs.iter().enumerate() {
+                    if u < p {
+                        pick = i;
+                        break;
+                    }
+                    u -= p;
+                }
+                counts[pick] += 1;
+            }
+            let all_ok = counts
+                .iter()
+                .zip(&probs)
+                .all(|(&c, &p)| (c as f64 / r as f64 - p).abs() <= eps);
+            failures += u32::from(!all_ok);
+        }
+        let rate = failures as f64 / trials as f64;
+        assert!(rate <= delta + 0.05, "DKW failure rate {rate} > delta {delta}");
+    }
+}

@@ -1,0 +1,189 @@
+//! The [`SpaceUsage`] trait and bit-cost helpers shared by the workspace.
+
+/// Number of bits needed to store one identifier drawn from a range of the
+/// given size, i.e. `⌈log₂ range⌉` (with a floor of 1 bit so that even a
+/// unary range is addressable).
+///
+/// This is the cost the paper charges for storing an element of `[n]`
+/// (`log n` bits) or a hashed identifier in `[⌈4ℓ²/δ⌉]`.
+#[inline]
+pub fn id_bits(range: u64) -> u64 {
+    ceil_log2(range).max(1)
+}
+
+/// `⌈log₂ x⌉` for `x ≥ 1`; returns 0 for `x ∈ {0, 1}`.
+#[inline]
+pub fn ceil_log2(x: u64) -> u64 {
+    if x <= 1 {
+        0
+    } else {
+        64 - (x - 1).leading_zeros() as u64
+    }
+}
+
+/// `⌊log₂ x⌋` for `x ≥ 1`; returns 0 for `x ∈ {0, 1}`.
+#[inline]
+pub fn floor_log2(x: u64) -> u64 {
+    if x == 0 {
+        0
+    } else {
+        63 - x.leading_zeros() as u64
+    }
+}
+
+/// Cost in bits of storing a counter with current value `c` in the
+/// variable-length representation of Blandford–Blelloch \[BB08\], which the
+/// paper invokes in §2.3 ("We store an integer C ... in O(log C) bits").
+///
+/// We charge the Elias-gamma cost `2⌊log₂(c+1)⌋ + 1`: a concrete,
+/// self-delimiting code with the right asymptotics that we also actually
+/// implement in [`crate::gamma`]. A zero counter costs 1 bit.
+#[inline]
+pub fn gamma_bits(c: u64) -> u64 {
+    2 * floor_log2(c + 1) + 1
+}
+
+/// Cost in bits of storing `c` in the Elias-delta code,
+/// `⌊log₂(c+1)⌋ + 2⌊log₂(⌊log₂(c+1)⌋+1)⌋ + 1`. Slightly cheaper than gamma
+/// for large counters; used by the `log log` accounting of Lemma 1.
+#[inline]
+pub fn delta_bits(c: u64) -> u64 {
+    let n = floor_log2(c + 1);
+    n + 2 * floor_log2(n + 1) + 1
+}
+
+/// Space accounting implemented by every summary/data structure in the
+/// workspace.
+///
+/// `model_bits` is the paper's accounting (see crate docs); `heap_bytes` is
+/// the actual allocation of the Rust representation.
+pub trait SpaceUsage {
+    /// Bits under the paper's storage model (§2.3).
+    fn model_bits(&self) -> u64;
+
+    /// Bytes of heap memory actually allocated by this structure
+    /// (excluding the inline `size_of::<Self>()` footprint).
+    fn heap_bytes(&self) -> usize;
+
+    /// Total bytes: inline size plus heap allocation.
+    fn total_bytes(&self) -> usize
+    where
+        Self: Sized,
+    {
+        core::mem::size_of::<Self>() + self.heap_bytes()
+    }
+}
+
+impl<T: SpaceUsage> SpaceUsage for &T {
+    fn model_bits(&self) -> u64 {
+        (**self).model_bits()
+    }
+    fn heap_bytes(&self) -> usize {
+        (**self).heap_bytes()
+    }
+}
+
+impl<T: SpaceUsage> SpaceUsage for Option<T> {
+    fn model_bits(&self) -> u64 {
+        // One presence bit plus the payload.
+        1 + self.as_ref().map_or(0, SpaceUsage::model_bits)
+    }
+    fn heap_bytes(&self) -> usize {
+        self.as_ref().map_or(0, SpaceUsage::heap_bytes)
+    }
+}
+
+impl<T: SpaceUsage> SpaceUsage for Vec<T> {
+    fn model_bits(&self) -> u64 {
+        self.iter().map(SpaceUsage::model_bits).sum()
+    }
+    fn heap_bytes(&self) -> usize {
+        self.capacity() * core::mem::size_of::<T>()
+            + self.iter().map(SpaceUsage::heap_bytes).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_log2_small_values() {
+        assert_eq!(ceil_log2(0), 0);
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(1 << 20), 20);
+        assert_eq!(ceil_log2((1 << 20) + 1), 21);
+    }
+
+    #[test]
+    fn floor_log2_small_values() {
+        assert_eq!(floor_log2(0), 0);
+        assert_eq!(floor_log2(1), 0);
+        assert_eq!(floor_log2(2), 1);
+        assert_eq!(floor_log2(3), 1);
+        assert_eq!(floor_log2(4), 2);
+        assert_eq!(floor_log2(u64::MAX), 63);
+    }
+
+    #[test]
+    fn id_bits_floors_at_one() {
+        assert_eq!(id_bits(1), 1);
+        assert_eq!(id_bits(2), 1);
+        assert_eq!(id_bits(3), 2);
+        assert_eq!(id_bits(1024), 10);
+    }
+
+    #[test]
+    fn gamma_bits_matches_code_length() {
+        // gamma(c) encodes c+1 in 2*floor(log2(c+1)) + 1 bits.
+        assert_eq!(gamma_bits(0), 1);
+        assert_eq!(gamma_bits(1), 3);
+        assert_eq!(gamma_bits(2), 3);
+        assert_eq!(gamma_bits(3), 5);
+        assert_eq!(gamma_bits(6), 5);
+        assert_eq!(gamma_bits(7), 7);
+    }
+
+    #[test]
+    fn delta_bits_beats_gamma_eventually() {
+        // For large counters delta is shorter than gamma.
+        assert!(delta_bits(1_000_000) < gamma_bits(1_000_000));
+        // And both grow like log.
+        assert!(delta_bits(1 << 40) < 60);
+    }
+
+    #[test]
+    fn option_accounting_adds_presence_bit() {
+        struct One;
+        impl SpaceUsage for One {
+            fn model_bits(&self) -> u64 {
+                7
+            }
+            fn heap_bytes(&self) -> usize {
+                0
+            }
+        }
+        assert_eq!(Some(One).model_bits(), 8);
+        assert_eq!(None::<One>.model_bits(), 1);
+    }
+
+    #[test]
+    fn vec_accounting_sums_members() {
+        struct K(u64);
+        impl SpaceUsage for K {
+            fn model_bits(&self) -> u64 {
+                self.0
+            }
+            fn heap_bytes(&self) -> usize {
+                0
+            }
+        }
+        let v = vec![K(1), K(2), K(3)];
+        assert_eq!(v.model_bits(), 6);
+        assert!(v.heap_bytes() >= 3 * core::mem::size_of::<K>());
+    }
+}

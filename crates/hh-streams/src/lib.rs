@@ -1,0 +1,57 @@
+//! Workload generators and ground-truth oracles for the evaluation
+//! harness.
+//!
+//! The paper's guarantees are distribution-free ("We do not make any
+//! assumption on the ordering of the stream"), so the experiments exercise
+//! the algorithms on:
+//!
+//! * [`ZipfGenerator`] — the skewed distributions that motivate heavy
+//!   hitters in practice (iceberg queries, elephant flows),
+//! * [`UniformGenerator`] — the no-signal baseline,
+//! * [`PlantedGenerator`] — explicit heavy items at chosen frequencies over
+//!   a uniform background, the workload used for the guarantee experiments
+//!   because its ground truth is designed rather than sampled,
+//! * [`arrange`]/[`OrderPolicy`] — adversarial stream *orders* (sorted,
+//!   round-robin, bursts) over a fixed frequency vector, probing the
+//!   order-independence claim,
+//! * [`ExactCounts`] — a hash-map oracle providing exact frequencies, true
+//!   heavy-hitter sets, maxima and minima for every experiment's scoring.
+//!
+//! # Example
+//!
+//! ```
+//! use hh_streams::{ZipfGenerator, ItemSource, ExactCounts, collect_stream};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(3);
+//! let mut zipf = ZipfGenerator::new(1 << 20, 1.2).scrambled(&mut rng);
+//! let stream = collect_stream(&mut zipf, 20_000, &mut rng);
+//! let oracle = ExactCounts::from_stream(&stream);
+//! // The rank-1 item dominates a skewed stream.
+//! assert!(oracle.max().unwrap().1 > 1_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generators;
+pub mod oracle;
+pub mod zipf;
+
+pub use generators::{
+    arrange, collect_stream, threshold_adversary, OrderPolicy, PlantedGenerator,
+    UniformGenerator,
+};
+pub use oracle::ExactCounts;
+pub use zipf::ZipfGenerator;
+
+use rand::Rng;
+
+/// An infinite item source; the workload side of every experiment.
+pub trait ItemSource {
+    /// Draws the next stream item.
+    fn next_item<R: Rng + ?Sized>(&mut self, rng: &mut R) -> u64;
+
+    /// Universe size `n` this source draws from (items are in `[0, n)`).
+    fn universe(&self) -> u64;
+}

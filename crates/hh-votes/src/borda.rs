@@ -1,0 +1,231 @@
+//! Streaming (ε, φ)-List Borda (Theorem 5).
+//!
+//! The algorithm is sampling plus exact per-candidate counting: select
+//! each vote with probability `p = Θ(ℓ/m)` where
+//! `ℓ = 6ε⁻² log(6n/δ)` and "store for every i ∈ \[n\], the number of
+//! candidates that candidate i beats in the vote" — i.e. `n` exact Borda
+//! counters over the sampled votes. A Chernoff + union bound over the `n`
+//! candidates gives every score to ±εmn simultaneously. Space:
+//! `O(n(log n + log ε⁻¹ + log log δ⁻¹) + log log m)` bits — the counters
+//! hold values up to `11ℓn`, hence the `log` terms.
+
+use crate::ranking::Ranking;
+use crate::VoteSummary;
+use hh_core::{ItemEstimate, ParamError, Report};
+use hh_sampling::SkipSampler;
+use hh_space::{SpaceUsage, VarCounterArray};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Theorem 5's streaming Borda-score estimator.
+#[derive(Debug, Clone)]
+pub struct StreamingBorda {
+    n: usize,
+    eps: f64,
+    phi: f64,
+    sampler: SkipSampler,
+    p: f64,
+    /// Per-candidate Borda score over the sampled votes.
+    scores: VarCounterArray,
+    samples: u64,
+    rng: StdRng,
+}
+
+impl StreamingBorda {
+    /// Estimator for `n` candidates over an advertised `m`-vote stream:
+    /// every Borda score to ±εmn with probability 1 − δ; the list query
+    /// reports at threshold φmn.
+    pub fn new(
+        n: usize,
+        eps: f64,
+        phi: f64,
+        delta: f64,
+        m: u64,
+        seed: u64,
+    ) -> Result<Self, ParamError> {
+        if n == 0 {
+            return Err(ParamError::EmptyUniverse);
+        }
+        if m == 0 {
+            return Err(ParamError::ZeroLength);
+        }
+        if !(eps > 0.0 && eps < 1.0 && eps.is_finite()) {
+            return Err(ParamError::EpsOutOfRange(eps));
+        }
+        if !(phi > eps && phi <= 1.0) {
+            return Err(ParamError::PhiOutOfRange(phi));
+        }
+        if !(delta > 0.0 && delta < 1.0) {
+            return Err(ParamError::DeltaOutOfRange(delta));
+        }
+        // ℓ = 6ε⁻² ln(6n/δ) (Theorem 5), with the same 2× pre-rounding
+        // margin used throughout the workspace.
+        let ell = (6.0 * (6.0 * n as f64 / delta).ln() / (eps * eps)).ceil();
+        let sampler = SkipSampler::with_probability((2.0 * ell / m as f64).min(1.0));
+        let p = sampler.probability();
+        Ok(Self {
+            n,
+            eps,
+            phi,
+            sampler,
+            p,
+            scores: VarCounterArray::new(n),
+            samples: 0,
+            rng: StdRng::seed_from_u64(seed),
+        })
+    }
+
+    /// Number of candidates.
+    pub fn candidates(&self) -> usize {
+        self.n
+    }
+
+    /// Votes sampled so far.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// The realized sampling probability.
+    pub fn sampling_probability(&self) -> f64 {
+        self.p
+    }
+
+    /// Estimated Borda score of every candidate (scaled to the full
+    /// stream): `ŝ(i) = score_in_sample(i) / p`.
+    pub fn score_estimates(&self) -> Vec<f64> {
+        self.scores.iter().map(|c| c as f64 / self.p).collect()
+    }
+
+    /// The estimated Borda winner with its score — the ε-Borda output
+    /// (Definition 7).
+    pub fn winner(&self) -> Option<ItemEstimate> {
+        if self.samples == 0 {
+            return None;
+        }
+        self.scores.argmax().map(|i| ItemEstimate {
+            item: i as u64,
+            count: self.scores.get(i) as f64 / self.p,
+        })
+    }
+
+    /// The (ε, φ)-List Borda output (Definition 6): every candidate whose
+    /// estimated score clears `(φ − ε/2)·ŝ_max_norm` where the
+    /// normalization is `s·n` over the sampled votes.
+    pub fn list_report(&self) -> Report {
+        if self.samples == 0 {
+            return Report::default();
+        }
+        let threshold = (self.phi - self.eps / 2.0) * self.samples as f64 * self.n as f64;
+        (0..self.n)
+            .filter_map(|i| {
+                let c = self.scores.get(i) as f64;
+                (c >= threshold).then_some(ItemEstimate {
+                    item: i as u64,
+                    count: c / self.p,
+                })
+            })
+            .collect()
+    }
+}
+
+impl VoteSummary for StreamingBorda {
+    fn insert_vote(&mut self, vote: &Ranking) {
+        assert_eq!(vote.len(), self.n, "vote arity mismatch");
+        if !self.sampler.accept(&mut self.rng) {
+            return;
+        }
+        self.samples += 1;
+        // Exact Borda update: candidate at rank i beats n−1−i others.
+        for (i, &c) in vote.order().iter().enumerate() {
+            self.scores.add(c as usize, (self.n - 1 - i) as u64);
+        }
+    }
+}
+
+impl SpaceUsage for StreamingBorda {
+    fn model_bits(&self) -> u64 {
+        // n gamma-coded counters (values ≤ s·n ⇒ Θ(log n + log ℓ) bits
+        // each) plus the sampler.
+        self.scores.model_bits() + self.sampler.model_bits()
+    }
+    fn heap_bytes(&self) -> usize {
+        self.scores.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::election::Election;
+    use crate::ranking::MallowsModel;
+
+    fn mallows_votes(n: usize, m: usize, dispersion: f64, seed: u64) -> Vec<Ranking> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = MallowsModel::new(Ranking::identity(n), dispersion);
+        (0..m).map(|_| model.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn scores_within_eps_mn_of_truth() {
+        let n = 10usize;
+        let m = 30_000usize;
+        let votes = mallows_votes(n, m, 0.7, 1);
+        let truth = Election::from_votes(n, &votes);
+        let mut sb = StreamingBorda::new(n, 0.05, 0.5, 0.1, m as u64, 2).unwrap();
+        sb.insert_votes(&votes);
+        let est = sb.score_estimates();
+        let budget = 0.05 * m as f64 * n as f64;
+        for (c, &e) in est.iter().enumerate() {
+            let t = truth.borda_scores()[c] as f64;
+            assert!((e - t).abs() <= budget, "candidate {c}: est {e} truth {t}");
+        }
+    }
+
+    #[test]
+    fn winner_matches_exact_on_concentrated_votes() {
+        let n = 8usize;
+        let m = 20_000usize;
+        let votes = mallows_votes(n, m, 0.5, 3);
+        let truth = Election::from_votes(n, &votes);
+        let mut sb = StreamingBorda::new(n, 0.05, 0.5, 0.1, m as u64, 4).unwrap();
+        sb.insert_votes(&votes);
+        assert_eq!(
+            sb.winner().unwrap().item,
+            truth.borda_winner().unwrap() as u64,
+            "Mallows center should win both exactly and in the stream"
+        );
+    }
+
+    #[test]
+    fn list_reports_only_high_scorers() {
+        // Two-candidate election: with all votes 0 ≻ 1, candidate 0 has
+        // the full score mass.
+        let n = 2usize;
+        let m = 5_000usize;
+        let votes: Vec<Ranking> = (0..m).map(|_| Ranking::identity(2)).collect();
+        let mut sb = StreamingBorda::new(n, 0.1, 0.4, 0.1, m as u64, 5).unwrap();
+        sb.insert_votes(&votes);
+        let r = sb.list_report();
+        assert!(r.contains(0), "dominant candidate missing");
+        assert!(!r.contains(1), "zero-score candidate reported");
+    }
+
+    #[test]
+    fn space_is_linear_in_n_not_in_m() {
+        let n = 64usize;
+        let m = 1 << 22;
+        let mut sb = StreamingBorda::new(n, 0.1, 0.5, 0.1, m, 6).unwrap();
+        let votes = mallows_votes(n, 2000, 1.0, 7);
+        sb.insert_votes(&votes);
+        // Counters: n × O(log n + log ℓ); generous cap at 64 bits each.
+        assert!(sb.model_bits() < (n as u64) * 64 + 64);
+    }
+
+    #[test]
+    fn constructor_validates() {
+        assert!(StreamingBorda::new(0, 0.1, 0.3, 0.1, 10, 0).is_err());
+        assert!(StreamingBorda::new(5, 0.0, 0.3, 0.1, 10, 0).is_err());
+        assert!(StreamingBorda::new(5, 0.4, 0.3, 0.1, 10, 0).is_err());
+        assert!(StreamingBorda::new(5, 0.1, 0.3, 0.1, 0, 0).is_err());
+    }
+}

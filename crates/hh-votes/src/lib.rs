@@ -1,0 +1,72 @@
+//! Rank-aggregation substrate and the paper's voting-stream algorithms.
+//!
+//! §1.2 and §3.4 of the paper extend heavy hitters to streams whose
+//! elements are *rankings* (total orders) of `n` candidates — the setting
+//! of rank aggregation on the web and of voting streams. This crate
+//! provides:
+//!
+//! * [`Ranking`] — validated permutations of `[n]`, with uniform
+//!   (impartial-culture), [`MallowsModel`] and [`PlackettLuce`] vote
+//!   generators as realistic workloads,
+//! * [`election`] — exact Borda / maximin / plurality / veto tallies (the
+//!   ground-truth oracle),
+//! * [`StreamingBorda`] — Theorem 5: every candidate's Borda score to
+//!   ±εmn in `O(n(log n + log ε⁻¹ + log log δ⁻¹) + log log m)` bits,
+//! * [`StreamingMaximin`] — Theorem 6: every candidate's maximin score to
+//!   ±εm in `O(nε⁻² log n (log n + log δ⁻¹) + log log m)` bits,
+//! * [`adapters`] — plurality and veto winners as instances of
+//!   ε-Maximum / ε-Minimum over the first- and last-ranked items ("Finding
+//!   items with maximum and minimum frequencies in a stream correspond to
+//!   finding winners under plurality and veto voting rules"),
+//! * [`UnknownBorda`] — the Theorem 8 instance-doubling variant for
+//!   unknown stream length.
+//!
+//! # Example
+//!
+//! ```
+//! use hh_votes::{MallowsModel, Ranking, StreamingBorda, VoteSummary};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(5);
+//! let model = MallowsModel::new(Ranking::identity(6), 0.5);
+//! let m = 20_000u64;
+//! let mut borda = StreamingBorda::new(6, 0.1, 0.5, 0.1, m, 9).unwrap();
+//! for _ in 0..m {
+//!     borda.insert_vote(&model.sample(&mut rng));
+//! }
+//! // The Mallows center tops the Borda count.
+//! assert_eq!(borda.winner().unwrap().item, 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adapters;
+pub mod borda;
+pub mod election;
+pub mod maximin;
+pub mod pairwise;
+pub mod ranking;
+pub mod unknown;
+
+pub use adapters::{PluralityAdapter, VetoAdapter};
+pub use borda::StreamingBorda;
+pub use election::Election;
+pub use maximin::StreamingMaximin;
+pub use pairwise::PairwiseMaximin;
+pub use ranking::{MallowsModel, PlackettLuce, Ranking};
+pub use unknown::UnknownBorda;
+
+/// A one-pass summary over a stream of rankings (the voting analogue of
+/// `hh_core::StreamSummary`).
+pub trait VoteSummary {
+    /// Processes one vote.
+    fn insert_vote(&mut self, vote: &Ranking);
+
+    /// Processes a slice of votes.
+    fn insert_votes(&mut self, votes: &[Ranking]) {
+        for v in votes {
+            self.insert_vote(v);
+        }
+    }
+}

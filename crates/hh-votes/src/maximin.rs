@@ -1,0 +1,246 @@
+//! Streaming (ε, φ)-List Maximin (Theorem 6).
+//!
+//! "Let ℓ = (8/ε²) ln(6n/δ) ... We put the current vote in a set S with
+//! probability p" — the algorithm stores the sampled votes themselves
+//! (each `Θ(n log n)` bits) and computes all pairwise defeat counts
+//! `D_S(x, y)` at report time; a Chernoff + union bound over the `n²`
+//! candidate pairs gives `|D_S(x,y)·(1/p) − D(x,y)| ≤ εm/2` for all
+//! pairs, hence every maximin score to ±εm. Space
+//! `O(nε⁻² log n (log n + log δ⁻¹) + log log m)` bits — Table 1's most
+//! expensive row, and provably so (Theorem 13's `Ω(nε⁻²)`).
+
+use crate::election::Election;
+use crate::ranking::Ranking;
+use crate::VoteSummary;
+use hh_core::{ItemEstimate, ParamError, Report};
+use hh_sampling::SkipSampler;
+use hh_space::SpaceUsage;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Theorem 6's streaming maximin-score estimator.
+#[derive(Debug, Clone)]
+pub struct StreamingMaximin {
+    n: usize,
+    eps: f64,
+    phi: f64,
+    sampler: SkipSampler,
+    p: f64,
+    /// The sampled votes `S` (the paper stores them verbatim).
+    sampled: Vec<Ranking>,
+    rng: StdRng,
+}
+
+impl StreamingMaximin {
+    /// Estimator for `n` candidates over an advertised `m`-vote stream:
+    /// every maximin score to ±εm with probability 1 − δ.
+    pub fn new(
+        n: usize,
+        eps: f64,
+        phi: f64,
+        delta: f64,
+        m: u64,
+        seed: u64,
+    ) -> Result<Self, ParamError> {
+        if n == 0 {
+            return Err(ParamError::EmptyUniverse);
+        }
+        if m == 0 {
+            return Err(ParamError::ZeroLength);
+        }
+        if !(eps > 0.0 && eps < 1.0 && eps.is_finite()) {
+            return Err(ParamError::EpsOutOfRange(eps));
+        }
+        if !(phi > eps && phi <= 1.0) {
+            return Err(ParamError::PhiOutOfRange(phi));
+        }
+        if !(delta > 0.0 && delta < 1.0) {
+            return Err(ParamError::DeltaOutOfRange(delta));
+        }
+        // ℓ = (8/ε²) ln(6n/δ) (Theorem 6).
+        let ell = (8.0 * (6.0 * n as f64 / delta).ln() / (eps * eps)).ceil();
+        let sampler = SkipSampler::with_probability((2.0 * ell / m as f64).min(1.0));
+        let p = sampler.probability();
+        Ok(Self {
+            n,
+            eps,
+            phi,
+            sampler,
+            p,
+            sampled: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+        })
+    }
+
+    /// Number of candidates.
+    pub fn candidates(&self) -> usize {
+        self.n
+    }
+
+    /// Votes sampled.
+    pub fn samples(&self) -> u64 {
+        self.sampled.len() as u64
+    }
+
+    /// The realized sampling probability.
+    pub fn sampling_probability(&self) -> f64 {
+        self.p
+    }
+
+    /// Estimated maximin score of every candidate (scaled to the full
+    /// stream).
+    pub fn score_estimates(&self) -> Vec<f64> {
+        let tally = Election::from_votes(self.n, &self.sampled);
+        tally
+            .maximin_scores()
+            .into_iter()
+            .map(|s| s as f64 / self.p)
+            .collect()
+    }
+
+    /// The ε-maximin output (Definition 9): the estimated maximum maximin
+    /// score and its witness.
+    pub fn winner(&self) -> Option<ItemEstimate> {
+        if self.sampled.is_empty() {
+            return None;
+        }
+        let est = self.score_estimates();
+        let best = (0..self.n).max_by(|&a, &b| est[a].total_cmp(&est[b]))?;
+        Some(ItemEstimate {
+            item: best as u64,
+            count: est[best],
+        })
+    }
+
+    /// The (ε, φ)-List maximin output (Definition 8): candidates whose
+    /// sampled maximin clears `(φ − ε/2)s`.
+    pub fn list_report(&self) -> Report {
+        if self.sampled.is_empty() {
+            return Report::default();
+        }
+        let s = self.sampled.len() as f64;
+        let tally = Election::from_votes(self.n, &self.sampled);
+        let threshold = (self.phi - self.eps / 2.0) * s;
+        tally
+            .maximin_scores()
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, sc)| {
+                (sc as f64 >= threshold).then_some(ItemEstimate {
+                    item: i as u64,
+                    count: sc as f64 / self.p,
+                })
+            })
+            .collect()
+    }
+}
+
+impl VoteSummary for StreamingMaximin {
+    fn insert_vote(&mut self, vote: &Ranking) {
+        assert_eq!(vote.len(), self.n, "vote arity mismatch");
+        if self.sampler.accept(&mut self.rng) {
+            self.sampled.push(vote.clone());
+        }
+    }
+}
+
+impl SpaceUsage for StreamingMaximin {
+    fn model_bits(&self) -> u64 {
+        // Each stored vote is a permutation of [n]: n·⌈log₂ n⌉ bits.
+        let per_vote = self.n as u64 * hh_space::id_bits(self.n as u64);
+        self.sampled.len() as u64 * per_vote + self.sampler.model_bits()
+    }
+    fn heap_bytes(&self) -> usize {
+        self.sampled.iter().map(|v| v.len() * 4).sum::<usize>() + self.sampled.capacity() * 24
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ranking::MallowsModel;
+
+    fn mallows_votes(n: usize, m: usize, dispersion: f64, seed: u64) -> Vec<Ranking> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = MallowsModel::new(Ranking::identity(n), dispersion);
+        (0..m).map(|_| model.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn scores_within_eps_m_of_truth() {
+        let n = 6usize;
+        let m = 20_000usize;
+        let votes = mallows_votes(n, m, 0.8, 1);
+        let truth = Election::from_votes(n, &votes);
+        let mut sm = StreamingMaximin::new(n, 0.1, 0.5, 0.1, m as u64, 2).unwrap();
+        sm.insert_votes(&votes);
+        let est = sm.score_estimates();
+        let exact = truth.maximin_scores();
+        for c in 0..n {
+            assert!(
+                (est[c] - exact[c] as f64).abs() <= 0.1 * m as f64,
+                "candidate {c}: est {} truth {}",
+                est[c],
+                exact[c]
+            );
+        }
+    }
+
+    #[test]
+    fn winner_is_condorcet_when_one_exists() {
+        let n = 5usize;
+        let m = 15_000usize;
+        let votes = mallows_votes(n, m, 0.4, 3);
+        let truth = Election::from_votes(n, &votes);
+        // Concentrated Mallows: candidate 0 is a Condorcet winner, and
+        // the Condorcet winner maximizes maximin.
+        assert_eq!(truth.condorcet_winner(), Some(0));
+        let mut sm = StreamingMaximin::new(n, 0.1, 0.5, 0.1, m as u64, 4).unwrap();
+        sm.insert_votes(&votes);
+        assert_eq!(sm.winner().unwrap().item, 0);
+    }
+
+    #[test]
+    fn list_reports_respect_threshold() {
+        // All votes identical: candidate 0 beats everyone in every vote
+        // (maximin = m); candidate n−1 never beats anyone (maximin = 0).
+        let n = 4usize;
+        let m = 8_000usize;
+        let votes: Vec<Ranking> = (0..m).map(|_| Ranking::identity(n)).collect();
+        let mut sm = StreamingMaximin::new(n, 0.1, 0.6, 0.1, m as u64, 5).unwrap();
+        sm.insert_votes(&votes);
+        let r = sm.list_report();
+        assert!(r.contains(0));
+        assert!(!r.contains(3));
+        let est = r.estimate(0).unwrap();
+        assert!((est - m as f64).abs() <= 0.1 * m as f64);
+    }
+
+    #[test]
+    fn sample_count_concentrates() {
+        let n = 4usize;
+        let m = 1 << 18;
+        let mut sm = StreamingMaximin::new(n, 0.2, 0.5, 0.1, m, 6).unwrap();
+        let votes = mallows_votes(n, m as usize, 1.0, 7);
+        sm.insert_votes(&votes);
+        let expect = sm.sampling_probability() * m as f64;
+        let got = sm.samples() as f64;
+        assert!(
+            (got - expect).abs() < 6.0 * expect.sqrt() + 6.0,
+            "samples {got} vs expected {expect}"
+        );
+    }
+
+    #[test]
+    fn space_charges_votes_at_n_log_n() {
+        let n = 16usize;
+        let mut sm = StreamingMaximin::new(n, 0.2, 0.5, 0.1, 1 << 20, 8).unwrap();
+        let votes = mallows_votes(n, 5000, 1.0, 9);
+        sm.insert_votes(&votes);
+        let per_vote = (n as u64) * 4; // n·log₂(16)
+        assert_eq!(
+            sm.model_bits(),
+            sm.samples() * per_vote + sm.sampler.model_bits()
+        );
+    }
+}

@@ -1,0 +1,262 @@
+//! The pairwise-matrix realization of streaming maximin (Theorem 6).
+//!
+//! Theorem 6's proof stores the sampled votes (`ℓ · n log n` bits) and
+//! computes the defeat counts `D_S(x, y)` at report time. The same
+//! analysis supports a second realization: maintain the `n×n` defeat
+//! matrix *incrementally* and store no votes at all. Space becomes
+//! `n² · O(log ℓ)` bits — smaller than the vote store whenever
+//! `n < ℓ·log n / log ℓ` — at `O(n²)` update cost per sampled vote
+//! instead of `O(n)`. Both realizations answer identically (they count
+//! the same sample); [`PairwiseMaximin`] is the matrix form, letting the
+//! ablation harness expose the space/time trade within one theorem.
+
+use crate::ranking::Ranking;
+use crate::VoteSummary;
+use hh_core::{ItemEstimate, ParamError, Report};
+use hh_sampling::SkipSampler;
+use hh_space::{SpaceUsage, VarCounterArray};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Streaming maximin with an incrementally-maintained defeat matrix.
+#[derive(Debug, Clone)]
+pub struct PairwiseMaximin {
+    n: usize,
+    eps: f64,
+    phi: f64,
+    sampler: SkipSampler,
+    p: f64,
+    /// Row-major `n×n` defeat counts over the sampled votes:
+    /// `matrix[x·n + y]` = sampled votes ranking `x` ahead of `y`.
+    matrix: VarCounterArray,
+    samples: u64,
+    rng: StdRng,
+}
+
+impl PairwiseMaximin {
+    /// Same contract as [`crate::StreamingMaximin::new`]: every maximin
+    /// score to ±εm with probability 1 − δ over an advertised `m`-vote
+    /// stream.
+    pub fn new(
+        n: usize,
+        eps: f64,
+        phi: f64,
+        delta: f64,
+        m: u64,
+        seed: u64,
+    ) -> Result<Self, ParamError> {
+        if n == 0 {
+            return Err(ParamError::EmptyUniverse);
+        }
+        if m == 0 {
+            return Err(ParamError::ZeroLength);
+        }
+        if !(eps > 0.0 && eps < 1.0 && eps.is_finite()) {
+            return Err(ParamError::EpsOutOfRange(eps));
+        }
+        if !(phi > eps && phi <= 1.0) {
+            return Err(ParamError::PhiOutOfRange(phi));
+        }
+        if !(delta > 0.0 && delta < 1.0) {
+            return Err(ParamError::DeltaOutOfRange(delta));
+        }
+        let ell = (8.0 * (6.0 * n as f64 / delta).ln() / (eps * eps)).ceil();
+        let sampler = SkipSampler::with_probability((2.0 * ell / m as f64).min(1.0));
+        let p = sampler.probability();
+        Ok(Self {
+            n,
+            eps,
+            phi,
+            sampler,
+            p,
+            matrix: VarCounterArray::new(n * n),
+            samples: 0,
+            rng: StdRng::seed_from_u64(seed),
+        })
+    }
+
+    /// Number of candidates.
+    pub fn candidates(&self) -> usize {
+        self.n
+    }
+
+    /// Votes sampled.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Sampled defeat count `D_S(x, y)`.
+    pub fn defeats(&self, x: u32, y: u32) -> u64 {
+        self.matrix.get(x as usize * self.n + y as usize)
+    }
+
+    /// Estimated maximin score of every candidate, scaled to the full
+    /// stream.
+    pub fn score_estimates(&self) -> Vec<f64> {
+        (0..self.n)
+            .map(|x| {
+                let min = (0..self.n)
+                    .filter(|&y| y != x)
+                    .map(|y| self.matrix.get(x * self.n + y))
+                    .min()
+                    .unwrap_or(self.samples);
+                min as f64 / self.p
+            })
+            .collect()
+    }
+
+    /// The ε-maximin winner (Definition 9).
+    pub fn winner(&self) -> Option<ItemEstimate> {
+        if self.samples == 0 {
+            return None;
+        }
+        let est = self.score_estimates();
+        let best = (0..self.n).max_by(|&a, &b| est[a].total_cmp(&est[b]))?;
+        Some(ItemEstimate {
+            item: best as u64,
+            count: est[best],
+        })
+    }
+
+    /// The (ε, φ)-List maximin output (Definition 8).
+    pub fn list_report(&self) -> Report {
+        if self.samples == 0 {
+            return Report::default();
+        }
+        let threshold = (self.phi - self.eps / 2.0) * self.samples as f64;
+        (0..self.n)
+            .filter_map(|x| {
+                let min = (0..self.n)
+                    .filter(|&y| y != x)
+                    .map(|y| self.matrix.get(x * self.n + y))
+                    .min()
+                    .unwrap_or(self.samples);
+                (min as f64 >= threshold).then_some(ItemEstimate {
+                    item: x as u64,
+                    count: min as f64 / self.p,
+                })
+            })
+            .collect()
+    }
+}
+
+impl VoteSummary for PairwiseMaximin {
+    fn insert_vote(&mut self, vote: &Ranking) {
+        assert_eq!(vote.len(), self.n, "vote arity mismatch");
+        if !self.sampler.accept(&mut self.rng) {
+            return;
+        }
+        self.samples += 1;
+        let order = vote.order();
+        for (i, &x) in order.iter().enumerate() {
+            let row = x as usize * self.n;
+            for &y in &order[i + 1..] {
+                self.matrix.increment(row + y as usize);
+            }
+        }
+    }
+}
+
+impl SpaceUsage for PairwiseMaximin {
+    fn model_bits(&self) -> u64 {
+        self.matrix.model_bits() + self.sampler.model_bits()
+    }
+    fn heap_bytes(&self) -> usize {
+        self.matrix.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maximin::StreamingMaximin;
+    use crate::ranking::MallowsModel;
+
+    fn mallows_votes(n: usize, m: usize, dispersion: f64, seed: u64) -> Vec<Ranking> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = MallowsModel::new(Ranking::identity(n), dispersion);
+        (0..m).map(|_| model.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn matches_vote_storing_realization_exactly_at_p_one() {
+        // Short stream forces p = 1 in both: identical samples, so the
+        // two realizations of Theorem 6 must agree bit for bit.
+        let n = 6usize;
+        let m = 2_000usize;
+        let votes = mallows_votes(n, m, 0.8, 1);
+        let mut matrix = PairwiseMaximin::new(n, 0.1, 0.5, 0.1, m as u64, 2).unwrap();
+        let mut stored = StreamingMaximin::new(n, 0.1, 0.5, 0.1, m as u64, 2).unwrap();
+        assert_eq!(matrix.p, stored.sampling_probability());
+        for v in &votes {
+            matrix.insert_vote(v);
+            stored.insert_vote(v);
+        }
+        if matrix.samples() == stored.samples() {
+            // Same sampler seed and probability: same sample set.
+            assert_eq!(matrix.score_estimates(), stored.score_estimates());
+        }
+        assert_eq!(
+            matrix.winner().unwrap().item,
+            stored.winner().unwrap().item
+        );
+    }
+
+    #[test]
+    fn scores_within_eps_m() {
+        let n = 6usize;
+        let m = 20_000usize;
+        let votes = mallows_votes(n, m, 0.8, 3);
+        let exact = crate::Election::from_votes(n, &votes);
+        let mut pm = PairwiseMaximin::new(n, 0.1, 0.5, 0.1, m as u64, 4).unwrap();
+        pm.insert_votes(&votes);
+        let est = pm.score_estimates();
+        let truth = exact.maximin_scores();
+        for c in 0..n {
+            assert!(
+                (est[c] - truth[c] as f64).abs() <= 0.1 * m as f64,
+                "candidate {c}: est {} truth {}",
+                est[c],
+                truth[c]
+            );
+        }
+    }
+
+    #[test]
+    fn matrix_is_smaller_for_many_sampled_votes() {
+        // With many sampled votes, n² counters beat storing the votes.
+        let n = 8usize;
+        let m = 60_000usize;
+        let votes = mallows_votes(n, m, 1.0, 5);
+        let mut pm = PairwiseMaximin::new(n, 0.1, 0.5, 0.1, m as u64, 6).unwrap();
+        let mut sm = StreamingMaximin::new(n, 0.1, 0.5, 0.1, m as u64, 6).unwrap();
+        for v in &votes {
+            pm.insert_vote(v);
+            sm.insert_vote(v);
+        }
+        assert!(
+            pm.model_bits() < sm.model_bits(),
+            "matrix {} !< votes {}",
+            pm.model_bits(),
+            sm.model_bits()
+        );
+    }
+
+    #[test]
+    fn defeat_counts_are_antisymmetric() {
+        let n = 5usize;
+        let votes = mallows_votes(n, 500, 1.0, 7);
+        let mut pm = PairwiseMaximin::new(n, 0.2, 0.5, 0.1, 500, 8).unwrap();
+        pm.insert_votes(&votes);
+        let s = pm.samples();
+        for x in 0..n as u32 {
+            for y in (x + 1)..n as u32 {
+                assert_eq!(
+                    pm.defeats(x, y) + pm.defeats(y, x),
+                    s,
+                    "every sampled vote ranks one of ({x},{y}) first"
+                );
+            }
+        }
+    }
+}

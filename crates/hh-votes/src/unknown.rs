@@ -1,0 +1,195 @@
+//! Unknown stream length for the voting algorithms (Theorem 8).
+//!
+//! "There are randomized one-pass algorithms for ε-Minimum, (ε,φ)-Borda,
+//! and (ε,φ)-Maximin problems ... even when the length of the stream is
+//! not known beforehand" — by the same instance-doubling technique as
+//! Theorem 7. [`UnknownBorda`] implements it for Borda: two live
+//! [`StreamingBorda`] instances at geometrically spaced sampling rates, a
+//! Morris counter tracking the position in `O(log log m)` bits, reporting
+//! from the older instance.
+
+use crate::borda::StreamingBorda;
+use crate::ranking::Ranking;
+use crate::VoteSummary;
+use hh_core::{ItemEstimate, ParamError};
+use hh_sampling::MorrisCounter;
+use hh_space::SpaceUsage;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Theorem 8's unknown-length (ε, φ)-Borda estimator.
+#[derive(Debug, Clone)]
+pub struct UnknownBorda {
+    n: usize,
+    eps: f64,
+    phi: f64,
+    delta: f64,
+    morris: MorrisCounter,
+    g: f64,
+    epoch: u32,
+    older: StreamingBorda,
+    newer: StreamingBorda,
+    next_trigger: f64,
+    base: f64,
+    seed: u64,
+    rng: StdRng,
+}
+
+const TRIGGER_MARGIN: f64 = 2.0;
+
+impl UnknownBorda {
+    /// Estimator for `n` candidates with unknown stream length.
+    pub fn new(n: usize, eps: f64, phi: f64, delta: f64, seed: u64) -> Result<Self, ParamError> {
+        // Inner instances at ε/2; growth g = Θ(1/ε) bounds the discarded
+        // prefix below ε/4 of the stream.
+        let eps_inner = eps / 2.0;
+        let base = (6.0 * (6.0 * n as f64 / delta).ln() / (eps_inner * eps_inner)).ceil();
+        let g = (16.0 / eps).max(4.0);
+        let older = Self::spawn(n, eps_inner, phi, delta, seed, 0, g, base)?;
+        let newer = Self::spawn(n, eps_inner, phi, delta, seed, 1, g, base)?;
+        Ok(Self {
+            n,
+            eps,
+            phi,
+            delta,
+            morris: MorrisCounter::with_copies(2.0, 32),
+            g,
+            epoch: 0,
+            older,
+            newer,
+            next_trigger: TRIGGER_MARGIN * base * g,
+            base,
+            seed,
+            rng: StdRng::seed_from_u64(seed ^ 0xB0DA),
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)] // private helper mirroring the paper's parameter list
+    fn spawn(
+        n: usize,
+        eps_inner: f64,
+        phi: f64,
+        delta: f64,
+        seed: u64,
+        k: u32,
+        g: f64,
+        base: f64,
+    ) -> Result<StreamingBorda, ParamError> {
+        // Advertised length for instance k: τ_{k+1}/2 so its probability
+        // lands at p_k = min(1, 2·2ℓ/τ_{k+1}) ≈ 2g^{1−k}-flavored rates.
+        let m_k = (base * g.powi(k as i32)).max(1.0) as u64;
+        StreamingBorda::new(
+            n,
+            eps_inner,
+            phi,
+            delta / 2.0,
+            m_k,
+            seed.wrapping_mul(0x5851_F42D).wrapping_add(k as u64),
+        )
+    }
+
+    /// Position estimate from the Morris counter.
+    pub fn position_estimate(&self) -> f64 {
+        self.morris.estimate()
+    }
+
+    /// Current epoch index.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Estimated Borda winner (Definition 7's ε-Borda output).
+    pub fn winner(&self) -> Option<ItemEstimate> {
+        self.older.winner()
+    }
+
+    /// Estimated Borda scores for every candidate.
+    pub fn score_estimates(&self) -> Vec<f64> {
+        self.older.score_estimates()
+    }
+
+    fn maybe_advance(&mut self) {
+        while self.morris.estimate() >= self.next_trigger {
+            self.epoch += 1;
+            let spawned = Self::spawn(
+                self.n,
+                self.eps / 2.0,
+                self.phi,
+                self.delta,
+                self.seed,
+                self.epoch + 1,
+                self.g,
+                self.base,
+            )
+            .expect("parameters validated at construction");
+            self.older = std::mem::replace(&mut self.newer, spawned);
+            self.next_trigger *= self.g;
+        }
+    }
+}
+
+impl VoteSummary for UnknownBorda {
+    fn insert_vote(&mut self, vote: &Ranking) {
+        self.morris.increment(&mut self.rng);
+        self.older.insert_vote(vote);
+        self.newer.insert_vote(vote);
+        self.maybe_advance();
+    }
+}
+
+impl SpaceUsage for UnknownBorda {
+    fn model_bits(&self) -> u64 {
+        self.older.model_bits() + self.newer.model_bits() + self.morris.model_bits()
+    }
+    fn heap_bytes(&self) -> usize {
+        self.older.heap_bytes() + self.newer.heap_bytes() + self.morris.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::election::Election;
+    use crate::ranking::MallowsModel;
+
+    fn mallows_votes(n: usize, m: usize, dispersion: f64, seed: u64) -> Vec<Ranking> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = MallowsModel::new(Ranking::identity(n), dispersion);
+        (0..m).map(|_| model.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn finds_winner_without_knowing_length() {
+        let n = 6usize;
+        for m in [3_000usize, 60_000] {
+            let votes = mallows_votes(n, m, 0.5, m as u64);
+            let truth = Election::from_votes(n, &votes);
+            let mut ub = UnknownBorda::new(n, 0.1, 0.5, 0.1, 7).unwrap();
+            ub.insert_votes(&votes);
+            let w = ub.winner().unwrap();
+            assert_eq!(
+                w.item,
+                truth.borda_winner().unwrap() as u64,
+                "m={m}: wrong winner"
+            );
+            // Score within εmn.
+            let exact = truth.borda_scores()[w.item as usize] as f64;
+            assert!(
+                (w.count - exact).abs() <= 0.1 * (m * n) as f64,
+                "m={m}: est {} exact {exact}",
+                w.count
+            );
+        }
+    }
+
+    #[test]
+    fn position_tracking_is_loglog() {
+        let n = 4usize;
+        let votes = mallows_votes(n, 50_000, 1.0, 1);
+        let mut ub = UnknownBorda::new(n, 0.2, 0.6, 0.1, 2).unwrap();
+        ub.insert_votes(&votes);
+        assert!(ub.morris.model_bits() < 512);
+        let est = ub.position_estimate();
+        assert!(est > 12_000.0 && est < 200_000.0, "position {est}");
+    }
+}

@@ -1,0 +1,25 @@
+//! Shared pretty-printing helpers for the example binaries.
+
+#![forbid(unsafe_code)]
+
+/// Prints a section banner.
+pub fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Formats a count with its fraction of the stream.
+pub fn count_with_share(count: f64, m: u64) -> String {
+    format!("{:>12.0}  ({:5.2}% of stream)", count, 100.0 * count / m as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn share_formatting() {
+        let s = count_with_share(250.0, 1000);
+        assert!(s.contains("250"));
+        assert!(s.contains("25.00%"));
+    }
+}

@@ -1,0 +1,93 @@
+//! Anomaly detection with ε-Minimum — §1.2's sensor scenario.
+//!
+//! ```text
+//! cargo run --release -p hh-examples --bin sensor_health
+//! ```
+//!
+//! "Suppose one has a known set of sensors broadcasting information and
+//! one observes the 'From:' field in the broadcasted packets. Sensors
+//! which send a small number of packets may be down or defective, and an
+//! algorithm for the ε-Minimum problem could find such sensors."
+//!
+//! Sixteen sensors broadcast at a common rate; one is degraded (sends at
+//! a twentieth of the rate) and one is dead. The ε-Minimum tracker
+//! (Algorithm 3) runs in a few hundred bits and must point at a
+//! defective sensor.
+
+use hh_core::{EpsMinimum, StreamSummary};
+use hh_examples::banner;
+use hh_space::SpaceUsage;
+use hh_streams::ExactCounts;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SENSORS: u64 = 16;
+const DEGRADED: u64 = 11;
+const DEAD: u64 = 5;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(47);
+    let m: u64 = 1_000_000;
+
+    banner("fleet");
+    println!("  {SENSORS} sensors; #{DEAD} is dead, #{DEGRADED} sends at 1/20 rate");
+
+    // Weights: healthy sensors 20, degraded 1, dead 0.
+    let weights: Vec<f64> = (0..SENSORS)
+        .map(|s| match s {
+            DEAD => 0.0,
+            DEGRADED => 1.0,
+            _ => 20.0,
+        })
+        .collect();
+    let total: f64 = weights.iter().sum();
+
+    banner("tracker");
+    let eps = 0.02;
+    let delta = 0.2;
+    let mut tracker = EpsMinimum::new(eps, delta, SENSORS, m, 9).expect("valid parameters");
+    println!(
+        "  eps-Minimum with eps = {eps}, delta = {delta} (universe of {SENSORS} ids)"
+    );
+
+    let mut oracle = ExactCounts::new();
+    for _ in 0..m {
+        // Draw the sender proportional to its weight.
+        let mut u = rng.gen::<f64>() * total;
+        let mut sender = SENSORS - 1;
+        for (s, &w) in weights.iter().enumerate() {
+            if u < w {
+                sender = s as u64;
+                break;
+            }
+            u -= w;
+        }
+        tracker.insert(sender);
+        oracle.insert(sender);
+    }
+    println!("  observed {m} packets");
+
+    banner("diagnosis");
+    let suspect = tracker.min_estimate();
+    println!(
+        "  quietest sensor: #{} (estimated {:.0} packets)",
+        suspect.item, suspect.count
+    );
+    for s in 0..SENSORS {
+        let marker = if s == suspect.item { " <-- reported" } else { "" };
+        println!("  sensor {s:>2}: {:>8} packets{marker}", oracle.freq(s));
+    }
+
+    // The guarantee: the reported sensor's packet count is within eps*m
+    // of the true minimum (the dead sensor's 0).
+    let slack = (eps * m as f64) as u64;
+    assert!(
+        oracle.is_eps_minimum(suspect.item, SENSORS, slack),
+        "reported sensor is not an eps-minimum"
+    );
+    println!(
+        "\n  verdict: sensor #{} needs a technician (within {slack} packets of the true minimum)",
+        suspect.item
+    );
+    println!("  tracker state: {} model bits", tracker.model_bits());
+}

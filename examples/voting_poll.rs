@@ -1,0 +1,108 @@
+//! Streaming election night: the rank-aggregation problems of §1.2/§3.4.
+//!
+//! ```text
+//! cargo run --release -p hh-examples --bin voting_poll
+//! ```
+//!
+//! A stream of ranked ballots (Mallows-distributed around a hidden
+//! consensus) arrives one at a time — the "online polling" / "voters
+//! providing their votes in a streaming fashion" scenario. We track four
+//! winners simultaneously in small space: Borda (Theorem 5), maximin
+//! (Theorem 6), plurality (ε-Maximum on first places) and veto
+//! (ε-Minimum on last places), then audit against exact tallies.
+
+use hh_examples::banner;
+use hh_space::SpaceUsage;
+use hh_votes::{
+    Election, MallowsModel, PluralityAdapter, Ranking, StreamingBorda, StreamingMaximin,
+    VetoAdapter, VoteSummary,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const CANDIDATES: [&str; 8] = [
+    "Ada", "Blaise", "Claude", "Dijkstra", "Erdos", "Fourier", "Gauss", "Hopper",
+];
+
+fn main() {
+    let n = CANDIDATES.len();
+    let m: u64 = 200_000;
+    let mut rng = StdRng::seed_from_u64(1936);
+
+    banner("electorate model");
+    // Hidden consensus: alphabetical order, moderate dispersion.
+    let consensus = Ranking::identity(n);
+    let model = MallowsModel::new(consensus, 0.75);
+    println!("  {m} ballots, Mallows dispersion 0.75 around a hidden consensus");
+
+    banner("streaming trackers");
+    let eps = 0.02;
+    let delta = 0.05;
+    let mut borda = StreamingBorda::new(n, eps, 0.5, delta, m, 1).expect("valid parameters");
+    let mut maximin = StreamingMaximin::new(n, 0.05, 0.5, delta, m, 2).expect("valid parameters");
+    let mut plurality = PluralityAdapter::new(n, eps, delta, m, 3).expect("valid parameters");
+    let mut veto = VetoAdapter::new(n, eps, delta, m, 4).expect("valid parameters");
+    println!("  Borda / maximin / plurality / veto, all one-pass");
+
+    let mut exact = Election::new(n);
+    for _ in 0..m {
+        let ballot = model.sample(&mut rng);
+        borda.insert_vote(&ballot);
+        maximin.insert_vote(&ballot);
+        plurality.insert_vote(&ballot);
+        veto.insert_vote(&ballot);
+        exact.add_vote(&ballot);
+    }
+
+    banner("winners (streaming vs exact)");
+    let name = |c: u64| CANDIDATES[c as usize];
+    let b = borda.winner().expect("non-empty stream");
+    println!(
+        "  Borda     : {:<9} (est score {:.0}; exact winner {})",
+        name(b.item),
+        b.count,
+        name(exact.borda_winner().unwrap() as u64)
+    );
+    let mm = maximin.winner().expect("non-empty stream");
+    println!(
+        "  Maximin   : {:<9} (est score {:.0}; exact winner {})",
+        name(mm.item),
+        mm.count,
+        name(exact.maximin_winner().unwrap() as u64)
+    );
+    let p = plurality.winner().expect("non-empty stream");
+    println!(
+        "  Plurality : {:<9} (est first places {:.0}; exact winner {})",
+        name(p.item),
+        p.count,
+        name(exact.plurality_winner().unwrap() as u64)
+    );
+    let v = veto.winner();
+    println!(
+        "  Veto      : {:<9} (est last places {:.0}; exact winner {})",
+        name(v.item),
+        v.count,
+        name(exact.veto_winner().unwrap() as u64)
+    );
+
+    banner("full Borda scoreboard (est vs exact, budget = eps*m*n)");
+    let est = borda.score_estimates();
+    let budget = eps * (m as f64) * n as f64;
+    for c in 0..n {
+        let e = est[c];
+        let x = exact.borda_scores()[c] as f64;
+        let flag = if (e - x).abs() <= budget { "ok" } else { "VIOLATION" };
+        println!("  {:<9} est {e:>12.0}  exact {x:>12.0}  {flag}", CANDIDATES[c]);
+        assert!((e - x).abs() <= budget);
+    }
+
+    banner("space");
+    println!("  Borda tracker   : {:>8} model bits", borda.model_bits());
+    println!("  Maximin tracker : {:>8} model bits", maximin.model_bits());
+    println!("  Plurality       : {:>8} model bits", plurality.model_bits());
+    println!("  Veto            : {:>8} model bits", veto.model_bits());
+    println!(
+        "  (exact tallies would hold all {m} ballots = {} bits)",
+        m * (n as u64) * 3
+    );
+}

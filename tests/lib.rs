@@ -1,0 +1,34 @@
+//! Shared helpers for the cross-crate integration tests.
+
+#![forbid(unsafe_code)]
+
+use hh_streams::{arrange, OrderPolicy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Builds a shuffled stream of length `m` with planted heavy fractions
+/// over a light-id background (the integration suite's standard
+/// workload).
+pub fn planted(m: u64, heavy: &[(u64, f64)], seed: u64) -> Vec<u64> {
+    let mut counts: Vec<(u64, u64)> = heavy
+        .iter()
+        .map(|&(id, frac)| (id, (frac * m as f64).round() as u64))
+        .collect();
+    let used: u64 = counts.iter().map(|&(_, c)| c).sum();
+    assert!(used <= m);
+    let light = 2048u64;
+    let fill = m - used;
+    for j in 0..light {
+        let c = fill / light + u64::from(j < fill % light);
+        if c > 0 {
+            counts.push((9_000_000 + j, c));
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    arrange(&counts, OrderPolicy::Shuffled, &mut rng)
+}
+
+/// Counts how many of `trials` runs of `f` return false.
+pub fn failures<F: FnMut(u64) -> bool>(trials: u64, mut f: F) -> u64 {
+    (0..trials).filter(|&s| !f(s)).count() as u64
+}

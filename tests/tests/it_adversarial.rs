@@ -1,0 +1,98 @@
+//! Threshold-adversary stress: frequency vectors designed so that any
+//! algorithm blurring counts by more than εm must either miss a heavy
+//! item or report a forbidden one.
+
+use hh_baselines::{MisraGriesBaseline, SpaceSaving};
+use hh_core::{HeavyHitters, HhParams, OptimalListHh, SimpleListHh, StreamSummary};
+use hh_streams::{arrange, threshold_adversary, OrderPolicy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const M: u64 = 400_000;
+const EPS: f64 = 0.05;
+const PHI: f64 = 0.2;
+const N: u64 = 1 << 40;
+
+fn adversarial_stream(seed: u64) -> (Vec<u64>, Vec<u64>, Vec<u64>) {
+    // 2 items just above φm, 3 at exactly (φ−ε)m, singleton filler.
+    let (counts, heavy, boundary) = threshold_adversary(M, PHI, EPS, 2, 3);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (
+        arrange(&counts, OrderPolicy::Shuffled, &mut rng),
+        heavy,
+        boundary,
+    )
+}
+
+fn assert_separates(name: &str, report: &hh_core::Report, heavy: &[u64], boundary: &[u64]) {
+    for &h in heavy {
+        assert!(report.contains(h), "{name}: missed heavy item {h}");
+    }
+    for &b in boundary {
+        assert!(!report.contains(b), "{name}: leaked boundary item {b}");
+    }
+}
+
+#[test]
+fn algo1_separates_threshold_adversary() {
+    let params = HhParams::with_delta(EPS, PHI, 0.1).unwrap();
+    let mut misses = 0;
+    for seed in 0..6u64 {
+        let (stream, heavy, boundary) = adversarial_stream(seed);
+        let mut a = SimpleListHh::new(params, N, M, seed ^ 0xADE1).unwrap();
+        a.insert_all(&stream);
+        let r = a.report();
+        let ok = heavy.iter().all(|&h| r.contains(h))
+            && boundary.iter().all(|&b| !r.contains(b));
+        misses += u64::from(!ok);
+    }
+    assert!(misses <= 1, "{misses}/6 adversarial trials failed (delta=0.1)");
+}
+
+#[test]
+fn algo2_separates_threshold_adversary() {
+    let params = HhParams::with_delta(EPS, PHI, 0.1).unwrap();
+    let mut misses = 0;
+    for seed in 0..6u64 {
+        let (stream, heavy, boundary) = adversarial_stream(seed);
+        let mut a = OptimalListHh::new(params, N, M, seed ^ 0xADE2).unwrap();
+        a.insert_all(&stream);
+        let r = a.report();
+        let ok = heavy.iter().all(|&h| r.contains(h))
+            && boundary.iter().all(|&b| !r.contains(b));
+        misses += u64::from(!ok);
+    }
+    assert!(misses <= 1, "{misses}/6 adversarial trials failed (delta=0.1)");
+}
+
+#[test]
+fn deterministic_baselines_separate_exactly() {
+    // The deterministic summaries have no δ: they must separate every
+    // time.
+    let (stream, heavy, boundary) = adversarial_stream(99);
+    let mut mg = MisraGriesBaseline::new(EPS, PHI, N);
+    mg.insert_all(&stream);
+    assert_separates("misra-gries", &mg.report(), &heavy, &boundary);
+    let mut ss = SpaceSaving::new(EPS, PHI, N);
+    ss.insert_all(&stream);
+    assert_separates("space-saving", &ss.report(), &heavy, &boundary);
+}
+
+#[test]
+fn singleton_flood_does_not_evict_heavy_items() {
+    // A hostile tail of ~200k distinct singletons churns every table; the
+    // heavy items must survive in all summaries.
+    let (stream, heavy, _) = adversarial_stream(7);
+    let distinct_singletons = stream
+        .iter()
+        .filter(|&&x| x >= 1_000_000)
+        .collect::<std::collections::HashSet<_>>()
+        .len();
+    assert!(distinct_singletons > 40_000, "flood is real: {distinct_singletons}");
+    let params = HhParams::with_delta(EPS, PHI, 0.1).unwrap();
+    let mut a = SimpleListHh::new(params, N, M, 13).unwrap();
+    a.insert_all(&stream);
+    for &h in &heavy {
+        assert!(a.report().contains(h), "heavy item {h} evicted by flood");
+    }
+}

@@ -1,0 +1,199 @@
+//! End-to-end Definition-1 guarantees across algorithms, workloads,
+//! orders and seeds — the executable statement of the paper's main
+//! theorem suite.
+
+use hh_baselines::{
+    CountMin, CountSketch, LossyCounting, MisraGriesBaseline, SampleAndHold, SpaceSaving,
+    StickySampling,
+};
+use hh_core::{
+    EpsMaximum, EpsMinimum, HeavyHitters, HhParams, OptimalListHh, Report, SimpleListHh,
+    StreamSummary,
+};
+use hh_integration::{failures, planted};
+use hh_streams::{arrange, ExactCounts, OrderPolicy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const EPS: f64 = 0.05;
+const PHI: f64 = 0.2;
+const M: u64 = 250_000;
+const N: u64 = 1 << 40;
+/// Must-report at 30% and 22%; forbidden at exactly (φ−ε)m = 15%.
+const HEAVY: [(u64, f64); 3] = [(1, 0.30), (2, 0.22), (3, 0.15)];
+
+fn satisfies_definition_one(report: &Report, oracle: &ExactCounts) -> bool {
+    let recall = report.contains(1) && report.contains(2);
+    let no_fp = !report.contains(3);
+    let errs_ok = report
+        .entries()
+        .iter()
+        .all(|e| (e.count - oracle.freq(e.item) as f64).abs() <= EPS * M as f64);
+    recall && no_fp && errs_ok
+}
+
+fn check_failure_budget<F>(name: &str, trials: u64, budget: u64, mut run: F)
+where
+    F: FnMut(&[u64], u64) -> Report,
+{
+    let bad = failures(trials, |seed| {
+        let stream = planted(M, &HEAVY, 0x600D + seed);
+        let oracle = ExactCounts::from_stream(&stream);
+        satisfies_definition_one(&run(&stream, seed), &oracle)
+    });
+    assert!(
+        bad <= budget,
+        "{name}: {bad}/{trials} trials violated Definition 1 (budget {budget})"
+    );
+}
+
+#[test]
+fn algo1_meets_definition_one_across_seeds() {
+    let params = HhParams::with_delta(EPS, PHI, 0.1).unwrap();
+    check_failure_budget("algo1", 12, 1, |stream, seed| {
+        let mut a = SimpleListHh::new(params, N, M, seed).unwrap();
+        a.insert_all(stream);
+        a.report()
+    });
+}
+
+#[test]
+fn algo2_meets_definition_one_across_seeds() {
+    let params = HhParams::with_delta(EPS, PHI, 0.1).unwrap();
+    check_failure_budget("algo2", 12, 1, |stream, seed| {
+        let mut a = OptimalListHh::new(params, N, M, seed).unwrap();
+        a.insert_all(stream);
+        a.report()
+    });
+}
+
+#[test]
+fn all_baselines_meet_definition_one() {
+    check_failure_budget("misra-gries", 4, 0, |stream, _| {
+        let mut a = MisraGriesBaseline::new(EPS, PHI, N);
+        a.insert_all(stream);
+        a.report()
+    });
+    check_failure_budget("space-saving", 4, 0, |stream, _| {
+        let mut a = SpaceSaving::new(EPS, PHI, N);
+        a.insert_all(stream);
+        a.report()
+    });
+    check_failure_budget("lossy", 4, 0, |stream, _| {
+        let mut a = LossyCounting::new(EPS, PHI, N);
+        a.insert_all(stream);
+        a.report()
+    });
+    check_failure_budget("sticky", 6, 1, |stream, seed| {
+        let mut a = StickySampling::new(EPS, PHI, 0.1, N, seed);
+        a.insert_all(stream);
+        a.report()
+    });
+    check_failure_budget("count-min", 6, 1, |stream, seed| {
+        let mut a = CountMin::new(EPS, PHI, 0.1, N, seed);
+        a.insert_all(stream);
+        a.report()
+    });
+    check_failure_budget("countsketch", 6, 1, |stream, seed| {
+        let mut a = CountSketch::new(EPS, PHI, 0.1, N, seed);
+        a.insert_all(stream);
+        a.report()
+    });
+    check_failure_budget("sample-and-hold", 6, 1, |stream, seed| {
+        let mut a = SampleAndHold::new(EPS, PHI, 0.1, N, M, seed);
+        a.insert_all(stream);
+        a.report()
+    });
+}
+
+#[test]
+fn guarantees_hold_under_adversarial_orders() {
+    // The same multiset under four orders; the guarantee is
+    // order-independent ("We do not make any assumption on the ordering
+    // of the stream").
+    let params = HhParams::with_delta(EPS, PHI, 0.1).unwrap();
+    let mut counts: Vec<(u64, u64)> = vec![
+        (1, (0.30 * M as f64) as u64),
+        (2, (0.22 * M as f64) as u64),
+        (3, (0.15 * M as f64) as u64),
+    ];
+    let used: u64 = counts.iter().map(|&(_, c)| c).sum();
+    for j in 0..1000u64 {
+        counts.push((9_000_000 + j, (M - used) / 1000));
+    }
+    for policy in [
+        OrderPolicy::Sorted,
+        OrderPolicy::RoundRobin,
+        OrderPolicy::HeavyLast,
+        OrderPolicy::Shuffled,
+    ] {
+        let mut rng = StdRng::seed_from_u64(0x0DE8);
+        let stream = arrange(&counts, policy, &mut rng);
+        let oracle = ExactCounts::from_stream(&stream);
+        let mut a1 = SimpleListHh::new(params, N, stream.len() as u64, 5).unwrap();
+        a1.insert_all(&stream);
+        assert!(
+            satisfies_definition_one(&a1.report(), &oracle),
+            "algo1 under {policy:?}"
+        );
+        let mut a2 = OptimalListHh::new(params, N, stream.len() as u64, 6).unwrap();
+        a2.insert_all(&stream);
+        assert!(
+            satisfies_definition_one(&a2.report(), &oracle),
+            "algo2 under {policy:?}"
+        );
+    }
+}
+
+#[test]
+fn maximum_tracks_the_top_item() {
+    let bad = failures(10, |seed| {
+        let stream = planted(M, &[(42, 0.35), (43, 0.20)], 0xAA00 + seed);
+        let oracle = ExactCounts::from_stream(&stream);
+        let mut a = EpsMaximum::new(0.04, 0.1, N, M, seed).unwrap();
+        a.insert_all(&stream);
+        let est = match a.max_estimate() {
+            Some(e) => e,
+            None => return false,
+        };
+        let (_, true_max) = oracle.max().unwrap();
+        // Value within εm; witness within εm of the max.
+        (est.count - true_max as f64).abs() <= 0.04 * M as f64
+            && oracle.freq(est.item) as f64 >= true_max as f64 - 0.04 * M as f64
+    });
+    assert!(bad <= 1, "{bad}/10 maximum trials failed");
+}
+
+#[test]
+fn minimum_finds_rare_universe_items() {
+    let universe = 12u64;
+    let bad = failures(10, |seed| {
+        // Item 4 planted at ~0.4%; everything else near-uniform.
+        let mut counts: Vec<(u64, u64)> = (0..universe).map(|i| (i, M / 12)).collect();
+        counts[4].1 = M / 250;
+        let total: u64 = counts.iter().map(|&(_, c)| c).sum();
+        counts[0].1 += M - total;
+        let mut rng = StdRng::seed_from_u64(0xB000 + seed);
+        let stream = arrange(&counts, OrderPolicy::Shuffled, &mut rng);
+        let oracle = ExactCounts::from_stream(&stream);
+        let mut a = EpsMinimum::new(0.04, 0.2, universe, M, seed).unwrap();
+        a.insert_all(&stream);
+        oracle.is_eps_minimum(a.min_estimate().item, universe, (0.04 * M as f64) as u64)
+    });
+    assert!(bad <= 2, "{bad}/10 minimum trials failed");
+}
+
+#[test]
+fn reports_are_sorted_and_deduplicated() {
+    let params = HhParams::with_delta(EPS, PHI, 0.1).unwrap();
+    let stream = planted(M, &HEAVY, 0x50FA);
+    let mut a = SimpleListHh::new(params, N, M, 3).unwrap();
+    a.insert_all(&stream);
+    let r = a.report();
+    let counts: Vec<f64> = r.entries().iter().map(|e| e.count).collect();
+    assert!(counts.windows(2).all(|w| w[0] >= w[1]), "sorted descending");
+    let mut items = r.items();
+    items.sort_unstable();
+    items.dedup();
+    assert_eq!(items.len(), r.len(), "no duplicate items");
+}

@@ -1,0 +1,86 @@
+//! The §4 reductions executed end to end with the real algorithms — if
+//! any of these decoding protocols stopped working, the corresponding
+//! lower-bound argument would no longer be exercised by the codebase.
+
+use hh_lower_bounds::protocol::success_rate;
+use hh_lower_bounds::reductions::{
+    borda_perm, greater_than, hh_indexing, max_indexing, maximin_distance, min_indexing,
+};
+use hh_lower_bounds::{EpsPermInstance, GreaterThanInstance, IndexingInstance};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn theorem_9_indexing_to_heavy_hitters() {
+    let rate = success_rate(20, |seed| {
+        let mut rng = StdRng::seed_from_u64(0x900 + seed);
+        let inst = IndexingInstance::random(8, 32, &mut rng);
+        hh_indexing::run(&inst, 600, 1200, seed)
+    });
+    assert!(rate >= 0.9, "Thm 9 success rate {rate}");
+}
+
+#[test]
+fn theorem_10_indexing_to_maximum() {
+    let rate = success_rate(20, |seed| {
+        let mut rng = StdRng::seed_from_u64(0xA00 + seed);
+        let inst = IndexingInstance::random(16, 16, &mut rng);
+        max_indexing::run(&inst, 500, seed)
+    });
+    assert!(rate >= 0.9, "Thm 10 success rate {rate}");
+}
+
+#[test]
+fn theorem_11_indexing_to_minimum() {
+    let rate = success_rate(20, |seed| {
+        let mut rng = StdRng::seed_from_u64(0xB00 + seed);
+        let inst = IndexingInstance::random(2, 25, &mut rng);
+        min_indexing::run(&inst, seed)
+    });
+    assert!(rate >= 0.9, "Thm 11 success rate {rate}");
+}
+
+#[test]
+fn theorem_12_perm_to_borda() {
+    let rate = success_rate(15, |seed| {
+        let mut rng = StdRng::seed_from_u64(0xC00 + seed);
+        let inst = EpsPermInstance::random(32, 8, &mut rng);
+        borda_perm::run(&inst, seed)
+    });
+    assert!((rate - 1.0).abs() < f64::EPSILON, "Thm 12 decodes exactly");
+}
+
+#[test]
+fn theorem_13_distance_to_maximin() {
+    let rate = success_rate(15, |seed| {
+        let mut rng = StdRng::seed_from_u64(0xD00 + seed);
+        let inst = maximin_distance::DistanceInstance::random(64, 6, &mut rng);
+        maximin_distance::run(&inst, 3, seed)
+    });
+    assert!(rate >= 0.9, "Thm 13 success rate {rate}");
+}
+
+#[test]
+fn theorem_14_greater_than_loglog() {
+    let rate = success_rate(12, |seed| {
+        let mut rng = StdRng::seed_from_u64(0xE00 + seed);
+        let inst = GreaterThanInstance::random(13, &mut rng);
+        greater_than::run(&inst, 13, seed)
+    });
+    assert!(rate >= 0.9, "Thm 14 success rate {rate}");
+}
+
+#[test]
+fn messages_always_dominate_floors() {
+    // Ratio ≥ 1 for every reduction on a handful of instances: the upper
+    // bounds cannot undercut the proven communication floors.
+    let mut rng = StdRng::seed_from_u64(0xF00);
+    let o = hh_indexing::run(&IndexingInstance::random(8, 32, &mut rng), 600, 1200, 1);
+    assert!(o.ratio() >= 1.0, "Thm 9 ratio {}", o.ratio());
+    let o = max_indexing::run(&IndexingInstance::random(16, 16, &mut rng), 400, 2);
+    assert!(o.ratio() >= 1.0, "Thm 10 ratio {}", o.ratio());
+    let o = min_indexing::run(&IndexingInstance::random(2, 25, &mut rng), 3);
+    assert!(o.ratio() >= 1.0, "Thm 11 ratio {}", o.ratio());
+    let o = borda_perm::run(&EpsPermInstance::random(32, 8, &mut rng), 4);
+    assert!(o.ratio() >= 1.0, "Thm 12 ratio {}", o.ratio());
+}

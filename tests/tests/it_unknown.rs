@@ -1,0 +1,94 @@
+//! Unknown-stream-length integration (Theorem 7/8): the wrappers must
+//! match their known-length counterparts across orders of magnitude of m,
+//! on realistic (Zipf) workloads, without ever being told m.
+
+use hh_core::{
+    Constants, HeavyHitters, HhParams, PositionTracking, SimpleListHh, StreamSummary,
+    UnknownLengthHh,
+};
+use hh_space::SpaceUsage;
+use hh_streams::{collect_stream, ExactCounts, ZipfGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn zipf(m: usize, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = ZipfGenerator::new(1 << 32, 1.5).scrambled(&mut rng);
+    collect_stream(&mut g, m, &mut rng)
+}
+
+#[test]
+fn wrapper_matches_known_length_on_zipf() {
+    let params = HhParams::with_delta(0.1, 0.3, 0.1).unwrap();
+    for m in [4_000usize, 400_000] {
+        let stream = zipf(m, m as u64);
+        let oracle = ExactCounts::from_stream(&stream);
+        let truth: Vec<u64> = oracle.heavy_hitters(0.3).iter().map(|&(i, _)| i).collect();
+
+        let mut known = SimpleListHh::new(params, 1 << 32, m as u64, 1).unwrap();
+        known.insert_all(&stream);
+        let mut unknown = UnknownLengthHh::new(params, 1 << 32, 2).unwrap();
+        unknown.insert_all(&stream);
+
+        for &item in &truth {
+            assert!(known.report().contains(item), "known m={m}: missed {item}");
+            assert!(
+                unknown.report().contains(item),
+                "unknown m={m}: missed {item}"
+            );
+        }
+        // Neither reports forbidden items.
+        for &f in oracle.forbidden(0.3, 0.1).iter().take(50) {
+            assert!(!unknown.report().contains(f), "unknown m={m}: leaked {f}");
+        }
+    }
+}
+
+#[test]
+fn wrapper_space_is_length_insensitive() {
+    // Growing m by 100x must not grow the wrapper's space accordingly —
+    // that is the whole point of Theorem 7.
+    let params = HhParams::with_delta(0.1, 0.3, 0.1).unwrap();
+    let mut bits = Vec::new();
+    for m in [10_000usize, 1_000_000] {
+        let stream = zipf(m, 77);
+        let mut w = UnknownLengthHh::with_options(
+            params,
+            1 << 32,
+            3,
+            Constants::default(),
+            PositionTracking::Morris,
+        )
+        .unwrap();
+        w.insert_all(&stream);
+        bits.push(w.model_bits());
+    }
+    let ratio = bits[1] as f64 / bits[0] as f64;
+    assert!(
+        ratio < 3.0,
+        "100x longer stream grew space {ratio}x: {bits:?}"
+    );
+}
+
+#[test]
+fn morris_tracking_stays_sublogarithmic() {
+    let params = HhParams::with_delta(0.15, 0.4, 0.1).unwrap();
+    let mut w = UnknownLengthHh::new(params, 1 << 20, 4).unwrap();
+    let mut previous = 0u64;
+    // Position-tracking bits may only crawl (gamma of the Morris
+    // exponent), even as the stream multiplies.
+    for chunk in 0..4 {
+        for i in 0..200_000u64 {
+            w.insert(i % 64);
+        }
+        let bits = w.position_bits();
+        if chunk > 0 {
+            assert!(
+                bits <= previous + 64,
+                "position bits jumped {previous} -> {bits}"
+            );
+        }
+        previous = bits;
+    }
+    assert!(previous < 512, "Morris bank stays small: {previous}");
+}

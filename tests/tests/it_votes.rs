@@ -1,0 +1,159 @@
+//! Cross-crate voting-stream integration: streaming Borda/maximin vs the
+//! exact election oracle under three vote models, plus the adapters and
+//! the unknown-length variant.
+
+use hh_space::SpaceUsage;
+use hh_votes::{
+    Election, MallowsModel, PlackettLuce, PluralityAdapter, Ranking, StreamingBorda,
+    StreamingMaximin, UnknownBorda, VetoAdapter, VoteSummary,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn mallows(n: usize, m: usize, dispersion: f64, seed: u64) -> Vec<Ranking> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let model = MallowsModel::new(Ranking::identity(n), dispersion);
+    (0..m).map(|_| model.sample(&mut rng)).collect()
+}
+
+fn plackett(n: usize, m: usize, seed: u64) -> Vec<Ranking> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let weights: Vec<f64> = (0..n).map(|c| 1.0 + (n - c) as f64).collect();
+    let model = PlackettLuce::new(weights);
+    (0..m).map(|_| model.sample(&mut rng)).collect()
+}
+
+fn impartial(n: usize, m: usize, seed: u64) -> Vec<Ranking> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..m).map(|_| Ranking::random(n, &mut rng)).collect()
+}
+
+#[test]
+fn borda_scores_accurate_under_three_vote_models() {
+    let n = 9usize;
+    let m = 25_000usize;
+    let eps = 0.05;
+    for (name, votes) in [
+        ("mallows", mallows(n, m, 0.7, 1)),
+        ("plackett-luce", plackett(n, m, 2)),
+        ("impartial", impartial(n, m, 3)),
+    ] {
+        let exact = Election::from_votes(n, &votes);
+        let mut sb = StreamingBorda::new(n, eps, 0.5, 0.1, m as u64, 4).unwrap();
+        sb.insert_votes(&votes);
+        let est = sb.score_estimates();
+        for (c, &e) in est.iter().enumerate() {
+            let truth = exact.borda_scores()[c] as f64;
+            assert!(
+                (e - truth).abs() <= eps * (m * n) as f64,
+                "{name} candidate {c}: est {e} truth {truth}"
+            );
+        }
+    }
+}
+
+#[test]
+fn maximin_scores_accurate_under_three_vote_models() {
+    let n = 6usize;
+    let m = 20_000usize;
+    let eps = 0.1;
+    for (name, votes) in [
+        ("mallows", mallows(n, m, 0.8, 5)),
+        ("plackett-luce", plackett(n, m, 6)),
+        ("impartial", impartial(n, m, 7)),
+    ] {
+        let exact = Election::from_votes(n, &votes);
+        let mut sm = StreamingMaximin::new(n, eps, 0.5, 0.1, m as u64, 8).unwrap();
+        sm.insert_votes(&votes);
+        let est = sm.score_estimates();
+        let truth = exact.maximin_scores();
+        for c in 0..n {
+            assert!(
+                (est[c] - truth[c] as f64).abs() <= eps * m as f64,
+                "{name} candidate {c}: est {} truth {}",
+                est[c],
+                truth[c]
+            );
+        }
+    }
+}
+
+#[test]
+fn all_four_rules_agree_with_exact_on_concentrated_votes() {
+    // Tight Mallows: candidate 0 wins under every rule, streaming and
+    // exact alike.
+    let n = 7usize;
+    let m = 30_000usize;
+    let votes = mallows(n, m, 0.45, 9);
+    let exact = Election::from_votes(n, &votes);
+    assert_eq!(exact.borda_winner(), Some(0));
+    assert_eq!(exact.condorcet_winner(), Some(0));
+
+    let mut sb = StreamingBorda::new(n, 0.05, 0.5, 0.1, m as u64, 10).unwrap();
+    let mut sm = StreamingMaximin::new(n, 0.1, 0.5, 0.1, m as u64, 11).unwrap();
+    let mut pa = PluralityAdapter::new(n, 0.05, 0.1, m as u64, 12).unwrap();
+    let mut va = VetoAdapter::new(n, 0.05, 0.2, m as u64, 13).unwrap();
+    for v in &votes {
+        sb.insert_vote(v);
+        sm.insert_vote(v);
+        pa.insert_vote(v);
+        va.insert_vote(v);
+    }
+    assert_eq!(sb.winner().unwrap().item, 0, "borda");
+    assert_eq!(sm.winner().unwrap().item, 0, "maximin");
+    assert_eq!(pa.winner().unwrap().item, 0, "plurality");
+    // Veto winner: fewest last places — also the consensus top candidate.
+    let veto_item = va.winner().item;
+    let min_last = exact.veto_scores().iter().min().copied().unwrap();
+    assert!(
+        exact.veto_scores()[veto_item as usize] as f64 <= min_last as f64 + 0.05 * m as f64,
+        "veto winner {veto_item} too disliked"
+    );
+}
+
+#[test]
+fn unknown_length_borda_matches_known_length() {
+    let n = 6usize;
+    let m = 40_000usize;
+    let votes = mallows(n, m, 0.6, 20);
+    let exact = Election::from_votes(n, &votes);
+    let mut ub = UnknownBorda::new(n, 0.1, 0.5, 0.1, 21).unwrap();
+    ub.insert_votes(&votes);
+    assert_eq!(
+        ub.winner().unwrap().item,
+        exact.borda_winner().unwrap() as u64
+    );
+}
+
+#[test]
+fn streaming_summaries_are_far_smaller_than_vote_storage() {
+    let n = 10usize;
+    let m = 50_000usize;
+    let votes = mallows(n, m, 0.9, 30);
+    let mut sb = StreamingBorda::new(n, 0.1, 0.5, 0.1, m as u64, 31).unwrap();
+    sb.insert_votes(&votes);
+    // Exact storage: m votes × n⌈log n⌉ bits.
+    let exact_bits = (m * n * 4) as u64;
+    assert!(
+        sb.model_bits() * 100 < exact_bits,
+        "borda summary {} should be <1% of exact {exact_bits}",
+        sb.model_bits()
+    );
+}
+
+#[test]
+fn borda_conservation_survives_streaming() {
+    // Σ estimated scores ≈ s·n(n−1)/2 / p — the streaming analogue of the
+    // conservation law, exact over the sampled sub-election.
+    let n = 8usize;
+    let m = 30_000usize;
+    let votes = impartial(n, m, 40);
+    let mut sb = StreamingBorda::new(n, 0.1, 0.5, 0.1, m as u64, 41).unwrap();
+    sb.insert_votes(&votes);
+    let total: f64 = sb.score_estimates().iter().sum();
+    let expected = sb.samples() as f64 * (n * (n - 1) / 2) as f64 / sb.sampling_probability();
+    assert!(
+        (total - expected).abs() < 1e-6 * expected.max(1.0),
+        "conservation: {total} vs {expected}"
+    );
+}
