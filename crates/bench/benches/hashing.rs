@@ -18,7 +18,9 @@ const KEYS: usize = 1 << 14;
 
 fn bench_hashing(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
-    let keys: Vec<u64> = (0..KEYS as u64).map(|i| i.wrapping_mul(0x9E3779B9)).collect();
+    let keys: Vec<u64> = (0..KEYS as u64)
+        .map(|i| i.wrapping_mul(0x9E3779B9))
+        .collect();
     let cw = CarterWegmanFamily::new(1 << 16).sample(&mut rng);
     let ms = MultiplyShiftFamily::new_pow2(16).sample(&mut rng);
     let p2 = PolynomialFamily::new(1 << 16, 2).sample(&mut rng);

@@ -26,16 +26,14 @@ fn bench_votes(c: &mut Criterion) {
         let data = votes(n, n as u64);
         g.bench_with_input(BenchmarkId::new("borda_insert", n), &data, |b, data| {
             b.iter(|| {
-                let mut a =
-                    StreamingBorda::new(n, 0.1, 0.5, 0.1, VOTES as u64, 1).unwrap();
+                let mut a = StreamingBorda::new(n, 0.1, 0.5, 0.1, VOTES as u64, 1).unwrap();
                 a.insert_votes(black_box(data));
                 a.samples()
             })
         });
         g.bench_with_input(BenchmarkId::new("maximin_insert", n), &data, |b, data| {
             b.iter(|| {
-                let mut a =
-                    StreamingMaximin::new(n, 0.2, 0.5, 0.1, VOTES as u64, 2).unwrap();
+                let mut a = StreamingMaximin::new(n, 0.2, 0.5, 0.1, VOTES as u64, 2).unwrap();
                 a.insert_votes(black_box(data));
                 a.samples()
             })

@@ -13,8 +13,8 @@
 //!
 //! Usage: `cargo run --release -p hh-bench --bin ablation [trials]`
 
-use hh_bench::{planted_stream, Table};
 use hh_baselines::CountMin;
+use hh_bench::{planted_stream, Table};
 use hh_core::{
     Constants, EpochMode, HeavyHitters, HhParams, MisraGries, OptimalListHh, SimpleListHh,
     StreamSummary,
@@ -28,7 +28,12 @@ fn epoch_mode_ablation(trials: u64) {
     let params = HhParams::with_delta(0.05, 0.15, 0.1).unwrap();
     let mut t = Table::new(
         "E12a - Algorithm 2: accelerated (T3) vs flat (T2-only) estimation",
-        &["mode", "rms err/m (item 1)", "worst err/m", "counter bits/rep"],
+        &[
+            "mode",
+            "rms err/m (item 1)",
+            "worst err/m",
+            "counter bits/rep",
+        ],
     );
     for (mode, name) in [
         (EpochMode::Accelerated, "accelerated"),
@@ -98,8 +103,7 @@ fn median_width_ablation(trials: u64) {
             let r = a.report();
             let ok = r.contains(1)
                 && r.contains(2)
-                && r
-                    .estimate(1)
+                && r.estimate(1)
                     .is_some_and(|e| (e - 0.30 * M as f64).abs() <= 0.05 * M as f64);
             violations += u64::from(!ok);
         }
@@ -147,8 +151,7 @@ fn conservative_update_ablation() {
     );
     let stream = planted_stream(M, &HEAVY, 0xAB4);
     for (conservative, name) in [(false, "plain"), (true, "conservative")] {
-        let mut cm =
-            CountMin::with_dimensions(256, 4, 0.05, 0.15, 1 << 40, 77, conservative);
+        let mut cm = CountMin::with_dimensions(256, 4, 0.05, 0.15, 1 << 40, 77, conservative);
         cm.insert_all(&stream);
         use hh_core::FrequencyEstimator;
         let probes: Vec<u64> = (0..200).map(|i| 1_000_000 + i * 17).collect();

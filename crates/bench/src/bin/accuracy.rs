@@ -12,11 +12,11 @@
 //!
 //! Usage: `cargo run --release -p hh-bench --bin accuracy [trials]`
 
-use hh_bench::{planted_stream, Table};
 use hh_baselines::{
     CountMin, CountSketch, LossyCounting, MisraGriesBaseline, SampleAndHold, SpaceSaving,
     StickySampling,
 };
+use hh_bench::{planted_stream, Table};
 use hh_core::{HeavyHitters, HhParams, OptimalListHh, Report, SimpleListHh, StreamSummary};
 use hh_streams::ExactCounts;
 
@@ -97,7 +97,13 @@ fn main() {
     );
     let mut t = Table::new(
         "guarantee Monte Carlo",
-        &["algorithm", "recall", "false-pos rate", "worst |err|/m", "violation rate"],
+        &[
+            "algorithm",
+            "recall",
+            "false-pos rate",
+            "worst |err|/m",
+            "violation rate",
+        ],
     );
 
     run_algorithm("Algorithm 1 (simple)", trials, &mut t, |stream, seed| {

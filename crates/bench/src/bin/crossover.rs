@@ -12,11 +12,11 @@
 //!
 //! Usage: `cargo run --release -p hh-bench --bin crossover`
 
-use hh_bench::{zipf_stream, Table};
 use hh_baselines::{
     shard_and_merge, CountMin, CountSketch, LossyCounting, MisraGriesBaseline, SpaceSaving,
     StickySampling,
 };
+use hh_bench::{zipf_stream, Table};
 use hh_core::{HeavyHitters, HhParams, OptimalListHh, SimpleListHh, StreamSummary};
 use hh_space::SpaceUsage;
 use hh_streams::ExactCounts;
@@ -92,7 +92,13 @@ fn space_vs_log_n() {
     // (about 1/phi = 5 id slots here); Misra-Gries-style baselines pay
     // ~2/eps = 40 id slots, so their slope must be ~8x steeper.
     let names = [
-        "algo1", "algo2", "misra-gries", "space-saving", "lossy", "sticky", "count-min",
+        "algo1",
+        "algo2",
+        "misra-gries",
+        "space-saving",
+        "lossy",
+        "sticky",
+        "count-min",
         "countsketch",
     ];
     let mut s = Table::new(
@@ -195,9 +201,7 @@ fn shard_and_merge_correctness() {
     let seq_est = seq.estimate(top);
     for shards in [1usize, 2, 4, 8] {
         let start = Instant::now();
-        let merged = shard_and_merge(&stream, shards, || {
-            MisraGriesBaseline::new(EPS, PHI, n)
-        });
+        let merged = shard_and_merge(&stream, shards, || MisraGriesBaseline::new(EPS, PHI, n));
         let ms = start.elapsed().as_secs_f64() * 1e3;
         let found = merged.report().contains(top);
         let gap = (merged.estimate(top) - seq_est).abs() / m as f64;

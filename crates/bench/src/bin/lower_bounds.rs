@@ -39,7 +39,13 @@ fn main() {
     println!("# E8: lower-bound reductions, {trials} trials each\n");
     let mut t = Table::new(
         "reduction outcomes",
-        &["reduction (theorem)", "success rate", "mean msg bits", "floor units", "msg/floor"],
+        &[
+            "reduction (theorem)",
+            "success rate",
+            "mean msg bits",
+            "floor units",
+            "msg/floor",
+        ],
     );
 
     let outs: Vec<ReductionOutcome> = (0..trials)

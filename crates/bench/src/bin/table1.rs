@@ -9,9 +9,7 @@
 //! Usage: `cargo run --release -p hh-bench --bin table1 [--csv DIR]`
 
 use hh_bench::{planted_stream, Table};
-use hh_core::{
-    EpsMaximum, EpsMinimum, HhParams, OptimalListHh, SimpleListHh, StreamSummary,
-};
+use hh_core::{EpsMaximum, EpsMinimum, HhParams, OptimalListHh, SimpleListHh, StreamSummary};
 use hh_space::{bounds, SpaceUsage};
 use hh_votes::{MallowsModel, Ranking, StreamingBorda, StreamingMaximin, VoteSummary};
 use rand::rngs::StdRng;
@@ -168,7 +166,16 @@ fn min_rows(dir: &Option<String>) {
         let universe = ((0.5 / eps).ceil() as u64).max(4);
         let mut rng = StdRng::seed_from_u64(seed);
         let counts: Vec<(u64, u64)> = (0..universe)
-            .map(|i| (i, if i == 2 { m / (4 * universe) } else { m / universe }))
+            .map(|i| {
+                (
+                    i,
+                    if i == 2 {
+                        m / (4 * universe)
+                    } else {
+                        m / universe
+                    },
+                )
+            })
             .collect();
         let stream = hh_streams::arrange(&counts, hh_streams::OrderPolicy::Shuffled, &mut rng);
         let mut a = EpsMinimum::new(eps, 0.2, universe, m, seed ^ 4).unwrap();

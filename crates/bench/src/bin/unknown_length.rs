@@ -34,7 +34,10 @@ fn main() {
         ],
     );
 
-    for (mi, m) in [5_000u64, 80_000, 1_200_000, 16_000_000].into_iter().enumerate() {
+    for (mi, m) in [5_000u64, 80_000, 1_200_000, 16_000_000]
+        .into_iter()
+        .enumerate()
+    {
         let stream = planted_stream(m, &HEAVY, 0xE9 + mi as u64);
         let score = |r: &hh_core::Report| -> (bool, f64) {
             let both = r.contains(7) && r.contains(8);

@@ -115,8 +115,8 @@ impl SimpleListHh {
         let p = sampler.probability();
 
         let s_cap = expected_samples_cap.max(64.0);
-        let hash_range = ((consts.hash_range_factor * s_cap * s_cap / delta).ceil() as u64)
-            .clamp(64, 1 << 60);
+        let hash_range =
+            ((consts.hash_range_factor * s_cap * s_cap / delta).ceil() as u64).clamp(64, 1 << 60);
         let hash = CarterWegmanFamily::new(hash_range).sample(&mut rng);
 
         let k = (consts.mg_capacity_factor / eps).ceil() as usize;
@@ -317,10 +317,11 @@ mod tests {
     fn order_independence() {
         let m = 200_000u64;
         let params = HhParams::with_delta(0.04, 0.2, 0.1).unwrap();
-        let counts: Vec<(u64, u64)> = vec![(5, (0.4 * m as f64) as u64), (6, (0.25 * m as f64) as u64)]
-            .into_iter()
-            .chain((0..2000).map(|j| (100_000 + j, (m as f64 * 0.35 / 2000.0) as u64)))
-            .collect();
+        let counts: Vec<(u64, u64)> =
+            vec![(5, (0.4 * m as f64) as u64), (6, (0.25 * m as f64) as u64)]
+                .into_iter()
+                .chain((0..2000).map(|j| (100_000 + j, (m as f64 * 0.35 / 2000.0) as u64)))
+                .collect();
         for policy in [
             OrderPolicy::Sorted,
             OrderPolicy::RoundRobin,

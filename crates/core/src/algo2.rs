@@ -103,7 +103,14 @@ impl OptimalListHh {
     /// Creates the algorithm for a stream of advertised length `m` over
     /// universe `[0, universe)`, default constants, accelerated mode.
     pub fn new(params: HhParams, universe: u64, m: u64, seed: u64) -> Result<Self, ParamError> {
-        Self::with_constants(params, universe, m, seed, Constants::default(), EpochMode::Accelerated)
+        Self::with_constants(
+            params,
+            universe,
+            m,
+            seed,
+            Constants::default(),
+            EpochMode::Accelerated,
+        )
     }
 
     /// Full-control constructor (constants profile and epoch-mode
@@ -432,7 +439,14 @@ mod tests {
     fn rejects_items_below_phi_minus_eps() {
         let m = 600_000u64;
         // 55 sits at (φ−ε)m = 5%: must not be reported.
-        let (a, _) = run(m, &[(7, 0.30), (55, 0.05)], 0.05, 0.1, 2, EpochMode::Accelerated);
+        let (a, _) = run(
+            m,
+            &[(7, 0.30), (55, 0.05)],
+            0.05,
+            0.1,
+            2,
+            EpochMode::Accelerated,
+        );
         let r = a.report();
         assert!(r.contains(7));
         assert!(!r.contains(55), "item at (phi-eps)m must be suppressed");

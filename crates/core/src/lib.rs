@@ -74,3 +74,22 @@ pub use minimum::EpsMinimum;
 pub use report::{ItemEstimate, Report};
 pub use traits::{FrequencyEstimator, HeavyHitters, StreamSummary};
 pub use unknown::{PositionTracking, UnknownLengthHh};
+
+pub mod prelude {
+    //! One-line import for downstream crates: the three summary traits
+    //! plus the five paper algorithms and their parameter type.
+    //!
+    //! ```
+    //! use hh_core::prelude::*;
+    //!
+    //! let params = HhParams::new(0.01, 0.05).unwrap();
+    //! let mut algo = SimpleListHh::new(params, 1 << 20, 1000, 42).unwrap();
+    //! algo.insert(7);
+    //! assert!(algo.report().estimate(7).is_some());
+    //! ```
+
+    pub use crate::config::HhParams;
+    pub use crate::report::{ItemEstimate, Report};
+    pub use crate::traits::{FrequencyEstimator, HeavyHitters, StreamSummary};
+    pub use crate::{EpsMaximum, EpsMinimum, OptimalListHh, SimpleListHh, UnknownLengthHh};
+}

@@ -257,7 +257,11 @@ mod tests {
         assert_eq!(a.processed(), 5000);
         let bound = 5000 / (k as u64 + 1);
         for key in 0..40u64 {
-            let truth = a_stream.iter().chain(&b_stream).filter(|&&x| x == key).count() as u64;
+            let truth = a_stream
+                .iter()
+                .chain(&b_stream)
+                .filter(|&&x| x == key)
+                .count() as u64;
             let est = a.estimate(key);
             assert!(est <= truth, "key {key} overestimates after merge");
             assert!(est + bound >= truth, "key {key} undercounts after merge");

@@ -313,10 +313,8 @@ mod tests {
     fn finds_zero_frequency_item_when_one_exists() {
         // Universe 10; stream never contains item 6.
         let m = 100_000u64;
-        let mut counts: Vec<(u64, u64)> = (0..10u64)
-            .filter(|&i| i != 6)
-            .map(|i| (i, m / 9))
-            .collect();
+        let mut counts: Vec<(u64, u64)> =
+            (0..10u64).filter(|&i| i != 6).map(|i| (i, m / 9)).collect();
         let rem = m - counts.iter().map(|&(_, c)| c).sum::<u64>();
         counts[0].1 += rem;
         let mut rng = StdRng::seed_from_u64(5);

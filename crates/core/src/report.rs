@@ -56,7 +56,10 @@ impl Report {
 
     /// The estimate for `item`, if reported.
     pub fn estimate(&self, item: u64) -> Option<f64> {
-        self.entries.iter().find(|e| e.item == item).map(|e| e.count)
+        self.entries
+            .iter()
+            .find(|e| e.item == item)
+            .map(|e| e.count)
     }
 
     /// The items only, heaviest first.

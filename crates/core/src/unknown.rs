@@ -98,13 +98,21 @@ impl UnknownLengthHh {
         let inner_params =
             HhParams::with_delta(params.eps() / 2.0, params.phi(), params.delta() / 2.0)?;
         let eps_inner = inner_params.eps();
-        let ell =
-            (consts.sample_factor * (6.0 / inner_params.delta()).ln() / (eps_inner * eps_inner))
-                .ceil();
+        let ell = (consts.sample_factor * (6.0 / inner_params.delta()).ln()
+            / (eps_inner * eps_inner))
+            .ceil();
         let g = (16.0 / params.eps()).max(consts.growth_factor_min);
 
         let older = Self::spawn(inner_params, universe, seed, consts, 0, g, ell)?;
-        let newer = Self::spawn(inner_params, universe, seed.wrapping_add(1), consts, 1, g, ell)?;
+        let newer = Self::spawn(
+            inner_params,
+            universe,
+            seed.wrapping_add(1),
+            consts,
+            1,
+            g,
+            ell,
+        )?;
 
         Ok(Self {
             params,

@@ -61,7 +61,12 @@ impl CountMin {
         let mut rng = StdRng::seed_from_u64(seed);
         let family = CarterWegmanFamily::new(width);
         let rows = (0..depth)
-            .map(|_| (family.sample(&mut rng), VarCounterArray::new(width as usize)))
+            .map(|_| {
+                (
+                    family.sample(&mut rng),
+                    VarCounterArray::new(width as usize),
+                )
+            })
             .collect();
         Self {
             rows,
@@ -174,7 +179,11 @@ impl FrequencyEstimator for CountMin {
 
 impl SpaceUsage for CountMin {
     fn model_bits(&self) -> u64 {
-        let matrix: u64 = self.rows.iter().map(|(h, row)| h.model_bits() + row.model_bits()).sum();
+        let matrix: u64 = self
+            .rows
+            .iter()
+            .map(|(h, row)| h.model_bits() + row.model_bits())
+            .sum();
         matrix + self.candidates.len() as u64 * self.key_bits + gamma_bits(self.processed)
     }
     fn heap_bytes(&self) -> usize {

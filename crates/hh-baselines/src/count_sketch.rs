@@ -156,7 +156,10 @@ impl SpaceUsage for CountSketch {
         matrix + self.candidates.len() as u64 * self.key_bits + gamma_bits(self.processed)
     }
     fn heap_bytes(&self) -> usize {
-        self.rows.iter().map(|(_, r)| r.capacity() * 8).sum::<usize>()
+        self.rows
+            .iter()
+            .map(|(_, r)| r.capacity() * 8)
+            .sum::<usize>()
             + self.candidates.capacity() * 16
     }
 }

@@ -106,7 +106,10 @@ impl HeavyHitters for LossyCounting {
 
 impl FrequencyEstimator for LossyCounting {
     fn estimate(&self, item: u64) -> f64 {
-        self.entries.get(&item).map(|&(c, _)| c as f64).unwrap_or(0.0)
+        self.entries
+            .get(&item)
+            .map(|&(c, _)| c as f64)
+            .unwrap_or(0.0)
     }
 }
 

@@ -6,8 +6,8 @@
 //! built on streams `A` and `B` combine into one capacity-`k` summary of
 //! `A ⊎ B` with the same `(|A|+|B|)/(k+1)` error bound. That turns a
 //! single-pass algorithm into a data-parallel one: shard the stream,
-//! summarize shards on separate threads (crossbeam scoped threads),
-//! merge. The property test in this module is the correctness story; the
+//! summarize shards on separate threads (std scoped threads), merge.
+//! The property test in this module is the correctness story; the
 //! `crossover` experiment uses the runner for throughput numbers.
 
 use crate::misra_gries::MisraGriesBaseline;
@@ -39,10 +39,16 @@ impl Mergeable for SpaceSaving {
         use std::collections::HashMap;
         let self_min = self.min_count();
         let other_min = other.min_count();
-        let a: HashMap<u64, (u64, u64)> =
-            self.entries().into_iter().map(|(i, c, e)| (i, (c, e))).collect();
-        let b: HashMap<u64, (u64, u64)> =
-            other.entries().into_iter().map(|(i, c, e)| (i, (c, e))).collect();
+        let a: HashMap<u64, (u64, u64)> = self
+            .entries()
+            .into_iter()
+            .map(|(i, c, e)| (i, (c, e)))
+            .collect();
+        let b: HashMap<u64, (u64, u64)> = other
+            .entries()
+            .into_iter()
+            .map(|(i, c, e)| (i, (c, e)))
+            .collect();
         let mut combined: Vec<(u64, u64, u64)> = a
             .keys()
             .chain(b.keys())
@@ -77,20 +83,22 @@ where
     assert!(shards >= 1, "need at least one shard");
     let chunk = stream.len().div_ceil(shards).max(1);
     let make = &make;
-    let mut summaries: Vec<S> = crossbeam::thread::scope(|scope| {
+    let mut summaries: Vec<S> = std::thread::scope(|scope| {
         let handles: Vec<_> = stream
             .chunks(chunk)
             .map(|part| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut s = make();
                     s.insert_all(part);
                     s
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("shard worker")).collect()
-    })
-    .expect("crossbeam scope");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker"))
+            .collect()
+    });
     let mut acc = summaries.remove(0);
     for s in summaries {
         acc.merge_from(s);

@@ -158,10 +158,7 @@ mod tests {
         assert!(!r.contains(2), "10% flow is below (phi-eps/2)");
         // Estimate accuracy for the held heavy flow.
         let est = r.estimate(1).unwrap();
-        assert!(
-            (est - 0.3 * m as f64).abs() <= 0.05 * m as f64,
-            "est {est}"
-        );
+        assert!((est - 0.3 * m as f64).abs() <= 0.05 * m as f64, "est {est}");
     }
 
     #[test]

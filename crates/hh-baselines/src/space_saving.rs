@@ -312,7 +312,10 @@ impl StreamSummary for SpaceSaving {
             });
             self.attach_node(ni, 1, NONE);
             // A count-1 bucket is always the minimum: verify the anchor.
-            debug_assert_eq!(self.buckets[self.nodes[ni as usize].bucket as usize].count, 1);
+            debug_assert_eq!(
+                self.buckets[self.nodes[ni as usize].bucket as usize].count,
+                1
+            );
             self.map.insert(item, ni);
             return;
         }
@@ -362,7 +365,9 @@ impl SpaceUsage for SpaceSaving {
             .values()
             .map(|&ni| {
                 let n = &self.nodes[ni as usize];
-                self.key_bits + gamma_bits(self.buckets[n.bucket as usize].count) + gamma_bits(n.err)
+                self.key_bits
+                    + gamma_bits(self.buckets[n.bucket as usize].count)
+                    + gamma_bits(n.err)
             })
             .sum();
         items + (self.capacity - self.map.len()) as u64 + gamma_bits(self.processed)

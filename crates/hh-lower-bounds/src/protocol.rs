@@ -48,7 +48,9 @@ impl AuxPayload {
         for v in values {
             buf.extend_from_slice(&v.to_le_bytes());
         }
-        Self { data: Bytes::from(buf) }
+        Self {
+            data: Bytes::from(buf),
+        }
     }
 
     /// Decodes the payload back into `u64`s.

@@ -50,8 +50,8 @@ pub fn run(instance: &EpsPermInstance, seed: u64) -> ReductionOutcome {
     // Decode needs Borda error below εn (half the 2εn dummy guard band):
     // ε_algo·m·N = 15·ε_algo·n < εn ⇒ ε_algo < ε/15; take ε/20.
     let eps_algo = 1.0 / (20.0 * instance.blocks as f64);
-    let mut algo = StreamingBorda::new(big_n, eps_algo, 0.5, 0.1, m, seed ^ 0x7E12)
-        .expect("valid parameters");
+    let mut algo =
+        StreamingBorda::new(big_n, eps_algo, 0.5, 0.1, m, seed ^ 0x7E12).expect("valid parameters");
 
     algo.insert_vote(&alice_vote(instance));
 

@@ -36,8 +36,8 @@ pub fn run(
     let m = copies_alice * t + copies_bob * a_size;
     let eps_eff = copies_alice as f64 / m as f64;
     let phi_eff = (copies_alice + copies_bob) as f64 / m as f64;
-    let params = HhParams::with_delta(0.9 * eps_eff, phi_eff, 0.1)
-        .expect("copies must give 0 < 0.9ε < φ");
+    let params =
+        HhParams::with_delta(0.9 * eps_eff, phi_eff, 0.1).expect("copies must give 0 < 0.9ε < φ");
 
     let mut rng = StdRng::seed_from_u64(seed);
     let mut algo = SimpleListHh::new(params, a_size * t, m, seed ^ 0x7E09).expect("valid params");

@@ -165,11 +165,7 @@ mod tests {
         let inst = DistanceInstance::random(64, 6, &mut rng);
         let p = build_matrix(&inst, &mut rng);
         for (jm1, &bit) in inst.bits.iter().enumerate() {
-            let d: usize = p[0]
-                .iter()
-                .zip(&p[jm1 + 1])
-                .filter(|(a, b)| a != b)
-                .count();
+            let d: usize = p[0].iter().zip(&p[jm1 + 1]).filter(|(a, b)| a != b).count();
             let expect = if bit == 1 { 32 + 8 } else { 32 - 8 };
             assert_eq!(d, expect, "row {}", jm1 + 1);
         }

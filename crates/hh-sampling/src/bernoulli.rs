@@ -112,7 +112,11 @@ impl SkipSampler {
             let p = self.probability();
             let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
             let g = (u.ln() / (1.0 - p).ln()).floor();
-            self.remaining = if g >= u64::MAX as f64 { u64::MAX } else { g as u64 };
+            self.remaining = if g >= u64::MAX as f64 {
+                u64::MAX
+            } else {
+                g as u64
+            };
         }
         self.primed = true;
     }

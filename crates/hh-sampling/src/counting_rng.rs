@@ -95,7 +95,10 @@ mod tests {
             let _ = sampler.decide(&mut rng);
         }
         let per_decision = rng.bits_drawn() / decisions;
-        assert!(per_decision >= 30, "draws at least log m bits: {per_decision}");
+        assert!(
+            per_decision >= 30,
+            "draws at least log m bits: {per_decision}"
+        );
         assert!(
             sampler.model_bits() < 16,
             "but stores only loglog m: {}",

@@ -119,6 +119,9 @@ mod tests {
             failures += u32::from(!all_ok);
         }
         let rate = failures as f64 / trials as f64;
-        assert!(rate <= delta + 0.05, "DKW failure rate {rate} > delta {delta}");
+        assert!(
+            rate <= delta + 0.05,
+            "DKW failure rate {rate} > delta {delta}"
+        );
     }
 }

@@ -48,7 +48,7 @@ impl DeltaVec {
             .checked_add(1)
             .expect("DeltaVec cannot encode u64::MAX");
         let n = 63 - v.leading_zeros(); // ⌊log₂ v⌋; v needs n+1 bits
-        // Gamma-code (n+1), then the low n bits of v (MSB first).
+                                        // Gamma-code (n+1), then the low n bits of v (MSB first).
         let l = n + 1;
         let ll = 31 - l.leading_zeros(); // ⌊log₂ l⌋
         for _ in 0..ll {

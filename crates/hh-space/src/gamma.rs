@@ -47,7 +47,7 @@ impl GammaVec {
             .checked_add(1)
             .expect("GammaVec cannot encode u64::MAX");
         let n = 63 - v.leading_zeros(); // floor(log2(v))
-        // n zeros, then the n+1 significant bits of v from MSB to LSB.
+                                        // n zeros, then the n+1 significant bits of v from MSB to LSB.
         for _ in 0..n {
             self.bits.push(false);
         }

@@ -130,7 +130,11 @@ mod tests {
                 pv.set(i, (i as u64 * 2_654_435_761) & max);
             }
             for i in 0..50 {
-                assert_eq!(pv.get(i), (i as u64 * 2_654_435_761) & max, "w={width} i={i}");
+                assert_eq!(
+                    pv.get(i),
+                    (i as u64 * 2_654_435_761) & max,
+                    "w={width} i={i}"
+                );
             }
         }
     }

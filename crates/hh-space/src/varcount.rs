@@ -216,8 +216,7 @@ mod tests {
         a.set(17, 3);
         a.set(9_000, 1);
         assert_eq!(a.nonzero(), 2);
-        let expected =
-            gamma_bits(17) + gamma_bits(3) + gamma_bits(9_000 - 18) + gamma_bits(1) + 1;
+        let expected = gamma_bits(17) + gamma_bits(3) + gamma_bits(9_000 - 18) + gamma_bits(1) + 1;
         assert_eq!(a.sparse_model_bits(), expected);
         // Sparse is far below dense for a nearly-empty table.
         assert!(a.sparse_model_bits() < a.model_bits() / 50);
@@ -235,7 +234,9 @@ mod tests {
         let mut a = VarCounterArray::new(16);
         let mut x = 12345u64;
         for step in 0..10_000u64 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let i = (x >> 33) as usize % 16;
             match step % 3 {
                 0 => {

@@ -39,8 +39,7 @@ pub mod oracle;
 pub mod zipf;
 
 pub use generators::{
-    arrange, collect_stream, threshold_adversary, OrderPolicy, PlantedGenerator,
-    UniformGenerator,
+    arrange, collect_stream, threshold_adversary, OrderPolicy, PlantedGenerator, UniformGenerator,
 };
 pub use oracle::ExactCounts;
 pub use zipf::ZipfGenerator;

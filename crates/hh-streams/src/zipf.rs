@@ -90,9 +90,7 @@ impl ZipfGenerator {
     pub fn id_of_rank(&self, rank: u64) -> u64 {
         let raw = rank - 1;
         match self.scramble {
-            Some((a, b)) => {
-                ((raw as u128 * a as u128 + b as u128) % self.n as u128) as u64
-            }
+            Some((a, b)) => ((raw as u128 * a as u128 + b as u128) % self.n as u128) as u64,
             None => raw,
         }
     }

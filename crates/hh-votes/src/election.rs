@@ -113,7 +113,9 @@ impl Election {
 
     /// The veto winner: *fewest* last places (lowest id on ties).
     pub fn veto_winner(&self) -> Option<u32> {
-        (0..self.n).min_by_key(|&c| (self.veto[c], c)).map(|c| c as u32)
+        (0..self.n)
+            .min_by_key(|&c| (self.veto[c], c))
+            .map(|c| c as u32)
     }
 
     /// The Condorcet winner (beats every other candidate pairwise), if

@@ -196,10 +196,7 @@ mod tests {
             // Same sampler seed and probability: same sample set.
             assert_eq!(matrix.score_estimates(), stored.score_estimates());
         }
-        assert_eq!(
-            matrix.winner().unwrap().item,
-            stored.winner().unwrap().item
-        );
+        assert_eq!(matrix.winner().unwrap().item, stored.winner().unwrap().item);
     }
 
     #[test]

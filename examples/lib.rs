@@ -9,7 +9,11 @@ pub fn banner(title: &str) {
 
 /// Formats a count with its fraction of the stream.
 pub fn count_with_share(count: f64, m: u64) -> String {
-    format!("{:>12.0}  ({:5.2}% of stream)", count, 100.0 * count / m as f64)
+    format!(
+        "{:>12.0}  ({:5.2}% of stream)",
+        count,
+        100.0 * count / m as f64
+    )
 }
 
 #[cfg(test)]

@@ -44,12 +44,40 @@ fn main() {
     banner("traffic model");
     // Three elephants: a backup job, a video stream, a database sync.
     let elephants = [
-        (Flow { src: 0x0A00_0001, dst: 0x0A00_0102, dst_port: 873 }, 0.18, "backup (rsync)"),
-        (Flow { src: 0xC0A8_0005, dst: 0x0A00_0207, dst_port: 1935 }, 0.09, "video (rtmp)"),
-        (Flow { src: 0x0A00_0030, dst: 0x0A00_0A0A, dst_port: 5432 }, 0.05, "db sync"),
+        (
+            Flow {
+                src: 0x0A00_0001,
+                dst: 0x0A00_0102,
+                dst_port: 873,
+            },
+            0.18,
+            "backup (rsync)",
+        ),
+        (
+            Flow {
+                src: 0xC0A8_0005,
+                dst: 0x0A00_0207,
+                dst_port: 1935,
+            },
+            0.09,
+            "video (rtmp)",
+        ),
+        (
+            Flow {
+                src: 0x0A00_0030,
+                dst: 0x0A00_0A0A,
+                dst_port: 5432,
+            },
+            0.05,
+            "db sync",
+        ),
     ];
     for (flow, share, label) in &elephants {
-        println!("  elephant {:016x}  {:>4.1}%  {label}", flow.id(), share * 100.0);
+        println!(
+            "  elephant {:016x}  {:>4.1}%  {label}",
+            flow.id(),
+            share * 100.0
+        );
     }
     println!("  plus ~200k mouse flows sharing the rest");
 

@@ -33,15 +33,14 @@ fn main() {
 
     banner("workload");
     // 25% coffee, 18% tea, 9% soda, the rest spread over ~60k slow movers.
-    let mut counts = vec![
-        (COFFEE, m / 4),
-        (TEA, m * 18 / 100),
-        (SODA, m * 9 / 100),
-    ];
+    let mut counts = vec![(COFFEE, m / 4), (TEA, m * 18 / 100), (SODA, m * 9 / 100)];
     let rest = m - counts.iter().map(|&(_, c)| c).sum::<u64>();
     let slow_movers = 60_000u64;
     for j in 0..slow_movers {
-        counts.push((4_000_000_000 + j, rest / slow_movers + u64::from(j < rest % slow_movers)));
+        counts.push((
+            4_000_000_000 + j,
+            rest / slow_movers + u64::from(j < rest % slow_movers),
+        ));
     }
     let mut rng = StdRng::seed_from_u64(2016);
     let stream = arrange(&counts, OrderPolicy::Shuffled, &mut rng);
@@ -56,9 +55,7 @@ fn main() {
             count_with_share(oracle.freq(item) as f64, m)
         );
     }
-    println!(
-        "  must report: coffee, tea (> phi = 15%); must suppress: soda (<= phi - eps = 10%)"
-    );
+    println!("  must report: coffee, tea (> phi = 15%); must suppress: soda (<= phi - eps = 10%)");
 
     let audit = |name: &str, report: &hh_core::Report, bits: u64| {
         let coffee_ok = report.contains(COFFEE);
@@ -75,28 +72,43 @@ fn main() {
             100.0 * worst,
             100.0 * params.eps(),
         );
-        assert!(coffee_ok && tea_ok && soda_suppressed, "{name} violated Definition 1");
+        assert!(
+            coffee_ok && tea_ok && soda_suppressed,
+            "{name} violated Definition 1"
+        );
     };
 
     banner("Algorithm 1 (Theorem 1, simple near-optimal)");
     let mut a1 = SimpleListHh::new(params, universe, m, 7).expect("valid parameters");
     a1.insert_all(&stream);
     for e in a1.report().entries() {
-        println!("  item {:>12}  est {}", e.item, count_with_share(e.count, m));
+        println!(
+            "  item {:>12}  est {}",
+            e.item,
+            count_with_share(e.count, m)
+        );
     }
 
     banner("Algorithm 2 (Theorem 2, optimal)");
     let mut a2 = OptimalListHh::new(params, universe, m, 8).expect("valid parameters");
     a2.insert_all(&stream);
     for e in a2.report().entries() {
-        println!("  item {:>12}  est {}", e.item, count_with_share(e.count, m));
+        println!(
+            "  item {:>12}  est {}",
+            e.item,
+            count_with_share(e.count, m)
+        );
     }
 
     banner("Misra-Gries baseline (the prior art)");
     let mut mg = MisraGriesBaseline::new(params.eps(), params.phi(), universe);
     mg.insert_all(&stream);
     for e in mg.report().entries() {
-        println!("  item {:>12}  est {}", e.item, count_with_share(e.count, m));
+        println!(
+            "  item {:>12}  est {}",
+            e.item,
+            count_with_share(e.count, m)
+        );
     }
 
     banner("scorecard (Definition 1 audit)");

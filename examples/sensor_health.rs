@@ -46,9 +46,7 @@ fn main() {
     let eps = 0.02;
     let delta = 0.2;
     let mut tracker = EpsMinimum::new(eps, delta, SENSORS, m, 9).expect("valid parameters");
-    println!(
-        "  eps-Minimum with eps = {eps}, delta = {delta} (universe of {SENSORS} ids)"
-    );
+    println!("  eps-Minimum with eps = {eps}, delta = {delta} (universe of {SENSORS} ids)");
 
     let mut oracle = ExactCounts::new();
     for _ in 0..m {
@@ -74,7 +72,11 @@ fn main() {
         suspect.item, suspect.count
     );
     for s in 0..SENSORS {
-        let marker = if s == suspect.item { " <-- reported" } else { "" };
+        let marker = if s == suspect.item {
+            " <-- reported"
+        } else {
+            ""
+        };
         println!("  sensor {s:>2}: {:>8} packets{marker}", oracle.freq(s));
     }
 

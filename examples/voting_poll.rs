@@ -91,15 +91,25 @@ fn main() {
     for c in 0..n {
         let e = est[c];
         let x = exact.borda_scores()[c] as f64;
-        let flag = if (e - x).abs() <= budget { "ok" } else { "VIOLATION" };
-        println!("  {:<9} est {e:>12.0}  exact {x:>12.0}  {flag}", CANDIDATES[c]);
+        let flag = if (e - x).abs() <= budget {
+            "ok"
+        } else {
+            "VIOLATION"
+        };
+        println!(
+            "  {:<9} est {e:>12.0}  exact {x:>12.0}  {flag}",
+            CANDIDATES[c]
+        );
         assert!((e - x).abs() <= budget);
     }
 
     banner("space");
     println!("  Borda tracker   : {:>8} model bits", borda.model_bits());
     println!("  Maximin tracker : {:>8} model bits", maximin.model_bits());
-    println!("  Plurality       : {:>8} model bits", plurality.model_bits());
+    println!(
+        "  Plurality       : {:>8} model bits",
+        plurality.model_bits()
+    );
     println!("  Veto            : {:>8} model bits", veto.model_bits());
     println!(
         "  (exact tallies would hold all {m} ballots = {} bits)",

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Runs the per-item update-time bench (experiment E6) on its fixed
+# Zipf(1.2) workload and records the results as JSON, so the repo's
+# performance trajectory is measurable across PRs.
+#
+# Usage: scripts/bench.sh [output.json]   (default: BENCH_1.json)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_1.json}"
+
+# The vendored mini-criterion writes a JSON array of
+# {group, id, mean_ns, best_ns, samples, throughput} records to the
+# path named by CRITERION_JSON. cargo changes directory, so relative
+# output paths must be anchored to the invoker's intent (repo root).
+case "${out}" in
+/*) json="${out}" ;;
+*) json="$(pwd)/${out}" ;;
+esac
+
+CRITERION_JSON="${json}" cargo bench -p hh-bench --bench update_time
+
+if [ ! -s "${json}" ]; then
+    echo "error: no benchmark records at ${json}" >&2
+    exit 1
+fi
+echo "benchmark records written to ${out}"

@@ -42,11 +42,13 @@ fn algo1_separates_threshold_adversary() {
         let mut a = SimpleListHh::new(params, N, M, seed ^ 0xADE1).unwrap();
         a.insert_all(&stream);
         let r = a.report();
-        let ok = heavy.iter().all(|&h| r.contains(h))
-            && boundary.iter().all(|&b| !r.contains(b));
+        let ok = heavy.iter().all(|&h| r.contains(h)) && boundary.iter().all(|&b| !r.contains(b));
         misses += u64::from(!ok);
     }
-    assert!(misses <= 1, "{misses}/6 adversarial trials failed (delta=0.1)");
+    assert!(
+        misses <= 1,
+        "{misses}/6 adversarial trials failed (delta=0.1)"
+    );
 }
 
 #[test]
@@ -58,11 +60,13 @@ fn algo2_separates_threshold_adversary() {
         let mut a = OptimalListHh::new(params, N, M, seed ^ 0xADE2).unwrap();
         a.insert_all(&stream);
         let r = a.report();
-        let ok = heavy.iter().all(|&h| r.contains(h))
-            && boundary.iter().all(|&b| !r.contains(b));
+        let ok = heavy.iter().all(|&h| r.contains(h)) && boundary.iter().all(|&b| !r.contains(b));
         misses += u64::from(!ok);
     }
-    assert!(misses <= 1, "{misses}/6 adversarial trials failed (delta=0.1)");
+    assert!(
+        misses <= 1,
+        "{misses}/6 adversarial trials failed (delta=0.1)"
+    );
 }
 
 #[test]
@@ -88,7 +92,10 @@ fn singleton_flood_does_not_evict_heavy_items() {
         .filter(|&&x| x >= 1_000_000)
         .collect::<std::collections::HashSet<_>>()
         .len();
-    assert!(distinct_singletons > 40_000, "flood is real: {distinct_singletons}");
+    assert!(
+        distinct_singletons > 40_000,
+        "flood is real: {distinct_singletons}"
+    );
     let params = HhParams::with_delta(EPS, PHI, 0.1).unwrap();
     let mut a = SimpleListHh::new(params, N, M, 13).unwrap();
     a.insert_all(&stream);

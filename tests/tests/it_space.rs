@@ -64,8 +64,14 @@ fn upper_bounds_sit_above_lower_bound_formulas() {
             for &n in &[1u64 << 10, 1 << 40] {
                 let m = 1u64 << 30;
                 assert!(bounds::heavy_hitters(eps, phi, n, m) > 0.0);
-                assert!(bounds::minimum_upper(eps, m) >= 0.9 * bounds::minimum_lower(eps, m).min(bounds::minimum_upper(eps, m)));
-                assert!(bounds::maximin_upper(eps, n.min(1024), m) >= bounds::maximin_lower(eps, n.min(1024), m));
+                assert!(
+                    bounds::minimum_upper(eps, m)
+                        >= 0.9 * bounds::minimum_lower(eps, m).min(bounds::minimum_upper(eps, m))
+                );
+                assert!(
+                    bounds::maximin_upper(eps, n.min(1024), m)
+                        >= bounds::maximin_lower(eps, n.min(1024), m)
+                );
             }
         }
     }

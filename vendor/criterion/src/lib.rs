@@ -1,0 +1,617 @@
+//! Offline vendored mini-`criterion`: a functional benchmark harness
+//! exposing the subset of the criterion 0.5 API this workspace uses
+//! (`Criterion`, groups, `Throughput`, `BenchmarkId`, `iter` /
+//! `iter_batched`, the `criterion_group!` / `criterion_main!` macros).
+//!
+//! Unlike upstream it does no statistical analysis — each benchmark
+//! reports the mean and best wall-clock time over `sample_size`
+//! samples, with warm-up. Results print to stdout; set the
+//! `CRITERION_JSON` environment variable to a path to also write them
+//! as a JSON array (one object per benchmark), which `scripts/bench.sh`
+//! uses to record the perf trajectory.
+//!
+//! Passing `--test` (as `cargo test` does for bench targets) runs each
+//! routine once and skips measurement.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::fs;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+struct Record {
+    group: String,
+    id: String,
+    mean_ns: f64,
+    best_ns: f64,
+    samples: usize,
+    throughput: Option<Throughput>,
+}
+
+/// The benchmark driver: configuration plus collected results.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    records: Vec<Record>,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        Self {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+            records: Vec::new(),
+            test_mode: args.iter().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the measurement-time budget per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the warm-up time per benchmark.
+    #[must_use]
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Applies command-line filters (a no-op beyond `--test` detection,
+    /// which [`Criterion::default`] already performs).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+            measurement_time: None,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let cfg = RunCfg {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+        };
+        self.run_one(String::new(), id.to_string(), None, cfg, f);
+        self
+    }
+
+    fn run_one<F>(
+        &mut self,
+        group: String,
+        id: String,
+        throughput: Option<Throughput>,
+        cfg: RunCfg,
+        mut f: F,
+    ) where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            sample_size: cfg.sample_size,
+            measurement_time: cfg.measurement_time,
+            warm_up_time: self.warm_up_time,
+            test_mode: self.test_mode,
+            samples_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        if self.test_mode {
+            println!("test-mode ok: {group}/{id}");
+            return;
+        }
+        let samples = &bencher.samples_ns;
+        assert!(
+            !samples.is_empty(),
+            "benchmark {group}/{id} never called Bencher::iter"
+        );
+        let mean_ns = samples.iter().sum::<f64>() / samples.len() as f64;
+        let best_ns = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let record = Record {
+            group: group.clone(),
+            id: id.clone(),
+            mean_ns,
+            best_ns,
+            samples: samples.len(),
+            throughput,
+        };
+        let label = if group.is_empty() {
+            id
+        } else {
+            format!("{group}/{id}")
+        };
+        match throughput {
+            Some(Throughput::Elements(n)) => {
+                let rate = n as f64 / (mean_ns * 1e-9);
+                println!(
+                    "{label:<40} {:>12.1} ns/iter  {:>14.0} elem/s",
+                    mean_ns, rate
+                );
+            }
+            Some(Throughput::Bytes(n)) => {
+                let rate = n as f64 / (mean_ns * 1e-9);
+                println!("{label:<40} {:>12.1} ns/iter  {:>14.0} B/s", mean_ns, rate);
+            }
+            None => println!("{label:<40} {:>12.1} ns/iter", mean_ns),
+        }
+        self.records.push(record);
+    }
+
+    /// One record as a JSON object (no trailing comma/newline).
+    fn render_record(r: &Record) -> String {
+        let (tp_kind, tp_count) = match r.throughput {
+            Some(Throughput::Elements(n)) => ("\"elements\"".to_string(), n.to_string()),
+            Some(Throughput::Bytes(n)) => ("\"bytes\"".to_string(), n.to_string()),
+            None => ("null".to_string(), "null".to_string()),
+        };
+        format!(
+            "{{\"group\": {:?}, \"id\": {:?}, \"mean_ns\": {:.1}, \"best_ns\": {:.1}, \
+             \"samples\": {}, \"throughput_kind\": {}, \"throughput\": {}}}",
+            r.group, r.id, r.mean_ns, r.best_ns, r.samples, tp_kind, tp_count,
+        )
+    }
+
+    /// The `(group, id)` key of a rendered record line, if it is one.
+    /// Only parses this module's own one-record-per-line output; group
+    /// and id are benchmark names, which contain no quotes.
+    fn record_key(line: &str) -> Option<(String, String)> {
+        let group = line.split("\"group\": \"").nth(1)?.split('\"').next()?;
+        let id = line.split("\"id\": \"").nth(1)?.split('\"').next()?;
+        Some((group.to_string(), id.to_string()))
+    }
+
+    /// Writes collected results as JSON to `path`. If `path` already
+    /// holds records from an earlier run or another bench target, they
+    /// are kept and records with the same `(group, id)` are replaced —
+    /// so `CRITERION_JSON=perf.json cargo bench` accumulates across
+    /// all bench binaries instead of keeping only the last one's.
+    fn write_json(&self, path: &str) -> std::io::Result<()> {
+        let fresh: Vec<(String, String)> = self
+            .records
+            .iter()
+            .map(|r| (r.group.clone(), r.id.clone()))
+            .collect();
+        let mut lines: Vec<String> = match fs::read_to_string(path) {
+            Ok(existing) => existing
+                .lines()
+                .filter_map(|l| {
+                    let key = Self::record_key(l)?;
+                    if fresh.contains(&key) {
+                        None
+                    } else {
+                        Some(l.trim().trim_end_matches(',').to_string())
+                    }
+                })
+                .collect(),
+            Err(_) => Vec::new(),
+        };
+        lines.extend(self.records.iter().map(Self::render_record));
+        let mut out = String::from("[\n");
+        for (i, line) in lines.iter().enumerate() {
+            out.push_str("  ");
+            out.push_str(line);
+            if i + 1 != lines.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("]\n");
+        fs::write(path, out)
+    }
+
+    /// Prints the summary and honors `CRITERION_JSON`. Called by
+    /// [`criterion_main!`] after all groups have run.
+    ///
+    /// # Panics
+    /// If `CRITERION_JSON` names a path that cannot be written — a
+    /// silently missing perf record is worse than a failed bench run.
+    pub fn final_summary(&self) {
+        if self.test_mode {
+            return;
+        }
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            if !path.is_empty() {
+                match self.write_json(&path) {
+                    Ok(()) => println!("wrote {} benchmark records to {path}", self.records.len()),
+                    Err(e) => panic!("CRITERION_JSON write to {path} failed: {e}"),
+                }
+            }
+        }
+    }
+}
+
+/// How work per iteration is counted for rate reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Batch-size hint for [`Bencher::iter_batched`]; the mini harness
+/// takes it as documentation only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input (setup dominates; batches of one).
+    LargeInput,
+    /// Input of the same order as the routine's working set.
+    PerIteration,
+}
+
+/// A benchmark identifier: a function name plus a parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    rendered: String,
+}
+
+impl BenchmarkId {
+    /// Builds `"{function_name}/{parameter}"`.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        Self {
+            rendered: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Builds an id from the parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            rendered: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything accepted in benchmark-id position.
+pub trait IntoBenchmarkId {
+    /// Renders the id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.rendered
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Effective per-run measurement settings.
+#[derive(Clone, Copy)]
+struct RunCfg {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+/// A named group of benchmarks sharing throughput and measurement
+/// configuration. Overrides are scoped to the group, as in upstream
+/// criterion — they never leak into later groups.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput counting for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the sample count for this group only.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Overrides the measurement budget for this group only.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = Some(t);
+        self
+    }
+
+    fn cfg(&self) -> RunCfg {
+        RunCfg {
+            sample_size: self.sample_size.unwrap_or(self.criterion.sample_size),
+            measurement_time: self
+                .measurement_time
+                .unwrap_or(self.criterion.measurement_time),
+        }
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<I: IntoBenchmarkId, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let throughput = self.throughput;
+        let cfg = self.cfg();
+        self.criterion
+            .run_one(self.name.clone(), id.into_id(), throughput, cfg, f);
+        self
+    }
+
+    /// Benchmarks `f` under `id` with a borrowed input.
+    pub fn bench_with_input<I: IntoBenchmarkId, T: ?Sized, F>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &T),
+    {
+        let throughput = self.throughput;
+        let cfg = self.cfg();
+        self.criterion
+            .run_one(self.name.clone(), id.into_id(), throughput, cfg, |b| {
+                f(b, input)
+            });
+        self
+    }
+
+    /// Ends the group (display bookkeeping only).
+    pub fn finish(&mut self) {}
+}
+
+/// Runs and times one benchmark routine.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    test_mode: bool,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, called in timed batches after warm-up.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            self.samples_ns.push(0.0);
+            return;
+        }
+        // Warm-up, and estimate the per-call cost to size timing batches.
+        let warm_start = Instant::now();
+        let mut warm_calls = 0u64;
+        while warm_start.elapsed() < self.warm_up_time || warm_calls == 0 {
+            black_box(routine());
+            warm_calls += 1;
+        }
+        let per_call = warm_start.elapsed().as_secs_f64() / warm_calls as f64;
+        // Size batches so one sample costs ≈ 1ms and the whole
+        // measurement fits the time budget.
+        let batch = ((1e-3 / per_call.max(1e-9)) as u64).clamp(1, 1 << 20);
+        let budget = Instant::now();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            self.samples_ns.push(elapsed * 1e9 / batch as f64);
+            if budget.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup cost is
+    /// excluded from the timing.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            black_box(routine(setup()));
+            self.samples_ns.push(0.0);
+            return;
+        }
+        // One warm-up call.
+        black_box(routine(setup()));
+        let budget = Instant::now();
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples_ns.push(start.elapsed().as_secs_f64() * 1e9);
+            if budget.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+    }
+
+    /// Like [`Bencher::iter_batched`] but passes the input by `&mut`.
+    pub fn iter_batched_ref<I, O, S, F>(&mut self, setup: S, mut routine: F, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(&mut I) -> O,
+    {
+        self.iter_batched(setup, |mut input| routine(&mut input), size);
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's two
+/// macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() -> $crate::Criterion {
+            let mut criterion: $crate::Criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+            criterion
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                let criterion = $group();
+                criterion.final_summary();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_samples_and_json() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(5));
+        // Force measurement even under `cargo test` (which passes --test
+        // to the harness binary, not to unit tests, but stay explicit).
+        c.test_mode = false;
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.bench_with_input(BenchmarkId::new("param", 4), &4u64, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.finish();
+        assert_eq!(c.records.len(), 2);
+        assert_eq!(c.records[1].id, "param/4");
+        assert!(c.records.iter().all(|r| r.mean_ns >= 0.0));
+
+        let path = std::env::temp_dir().join("mini_criterion_test.json");
+        c.write_json(path.to_str().unwrap()).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"group\": \"g\""));
+        assert!(text.trim_start().starts_with('['));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn json_merge_accumulates_across_instances() {
+        let path = std::env::temp_dir().join("mini_criterion_merge_test.json");
+        let path = path.to_str().unwrap();
+        let _ = std::fs::remove_file(path);
+
+        let make = |group: &str, mean: f64| {
+            let mut c = Criterion {
+                test_mode: false,
+                ..Criterion::default()
+            };
+            c.records.push(Record {
+                group: group.to_string(),
+                id: "r".to_string(),
+                mean_ns: mean,
+                best_ns: mean,
+                samples: 1,
+                throughput: None,
+            });
+            c
+        };
+        // Two bench targets writing to the same file must both survive.
+        make("first", 1.0).write_json(path).unwrap();
+        make("second", 2.0).write_json(path).unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        assert!(
+            text.contains("\"first\"") && text.contains("\"second\""),
+            "{text}"
+        );
+        // Re-running a target replaces its own records instead of duplicating.
+        make("second", 3.0).write_json(path).unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        assert_eq!(text.matches("\"second\"").count(), 1, "{text}");
+        assert!(text.contains("\"mean_ns\": 3.0"), "{text}");
+        assert!(text.trim_end().ends_with(']'));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn group_overrides_stay_group_scoped() {
+        let mut c = Criterion::default()
+            .sample_size(4)
+            .measurement_time(Duration::from_secs(1))
+            .warm_up_time(Duration::from_millis(1));
+        c.test_mode = false;
+        let mut g = c.benchmark_group("a");
+        g.sample_size(2);
+        g.bench_function("x", |b| b.iter(|| black_box(1)));
+        g.finish();
+        let mut g = c.benchmark_group("b");
+        g.bench_function("y", |b| b.iter(|| black_box(1)));
+        g.finish();
+        assert_eq!(c.records[0].samples, 2, "group override applies");
+        assert_eq!(c.records[1].samples, 4, "later group gets the default back");
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut b = Bencher {
+            sample_size: 2,
+            measurement_time: Duration::from_millis(50),
+            warm_up_time: Duration::from_millis(1),
+            test_mode: false,
+            samples_ns: Vec::new(),
+        };
+        b.iter_batched(
+            || vec![1u64; 10],
+            |v| v.iter().sum::<u64>(),
+            BatchSize::LargeInput,
+        );
+        assert!(!b.samples_ns.is_empty());
+    }
+}

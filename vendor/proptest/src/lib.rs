@@ -1,0 +1,335 @@
+//! Offline vendored mini-`proptest`: deterministic random-case testing
+//! with the `proptest!` macro shape this workspace uses.
+//!
+//! Differences from upstream: cases are drawn from a fixed per-test
+//! seed (derived from the test name) so runs are exactly reproducible,
+//! and there is **no shrinking** — a failing case reports its number
+//! and message but is not minimized. Strategies cover ranges, tuples
+//! of strategies, and [`collection::vec`].
+
+#![forbid(unsafe_code)]
+
+pub mod strategy {
+    //! The [`Strategy`] trait and range/tuple instances.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A recipe for generating random values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Draws one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.start..self.end)
+                }
+            }
+        )*};
+    }
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            (self.0.sample(rng), self.1.sample(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+        }
+    }
+
+    /// A strategy producing a constant.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Vectors of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(!size.is_empty() || size.start == 0, "empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = if self.size.is_empty() {
+                self.size.start
+            } else {
+                rng.gen_range(self.size.start..self.size.end)
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Configuration and failure reporting.
+
+    use std::fmt;
+
+    /// Per-block configuration; only `cases` is interpreted.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases per test.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    /// A failed property, carried from `prop_assert!` to the harness.
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Builds a failure with a message.
+        pub fn fail<M: Into<String>>(message: M) -> Self {
+            Self {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+}
+
+#[doc(hidden)]
+pub mod macro_support {
+    //! Internals used by the expansion of [`proptest!`].
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Deterministic per-test generator: FNV-1a over the test name,
+    /// overridable globally via `PROPTEST_SEED`.
+    pub fn rng_for(test_name: &str) -> StdRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        if let Ok(seed) = std::env::var("PROPTEST_SEED") {
+            if let Ok(s) = seed.parse::<u64>() {
+                h ^= s;
+            }
+        }
+        StdRng::seed_from_u64(h)
+    }
+}
+
+/// Declares property tests: each `fn name(binding in strategy, ...)`
+/// expands to a `#[test]` that samples `config.cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($config:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default())
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; `$config` is captured once
+/// so it can be repeated per generated test.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        ($config:expr)
+        $(
+            $(#[$attr:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config = $config;
+                let mut proptest_rng = $crate::macro_support::rng_for(stringify!($name));
+                for proptest_case in 0..config.cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample(&($strat), &mut proptest_rng);
+                    )+
+                    let result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            #[allow(unreachable_code)]
+                            ::core::result::Result::Ok(())
+                        })();
+                    if let ::core::result::Result::Err(e) = result {
+                        panic!(
+                            "proptest {}: case {} of {} failed: {e}\n\
+                             (vendored mini-proptest: no shrinking; \
+                             rerun is deterministic per test name)",
+                            stringify!($name),
+                            proptest_case + 1,
+                            config.cases,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not
+/// panicking directly) so the harness can report the case number.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(left == right, $($fmt)+);
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: both sides equal `{:?}`",
+            left
+        );
+    }};
+}
+
+/// Commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::collection::vec;
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3u64..17, y in 0usize..5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 5);
+        }
+
+        #[test]
+        fn vec_of_tuples(pairs in vec((0u32..10, 0u64..100), 0..20)) {
+            prop_assert!(pairs.len() < 20);
+            for &(a, b) in &pairs {
+                prop_assert!(a < 10 && b < 100);
+            }
+        }
+
+        #[test]
+        fn eq_and_trailing_comma(
+            v in vec(0u64..4, 1..10),
+        ) {
+            let doubled: Vec<u64> = v.iter().map(|x| x * 2).collect();
+            prop_assert_eq!(doubled.len(), v.len());
+        }
+    }
+
+    #[test]
+    fn determinism_same_name_same_stream() {
+        use crate::strategy::Strategy;
+        let s = vec(0u64..1000, 1..50);
+        let a = s.sample(&mut crate::macro_support::rng_for("fixed"));
+        let b = s.sample(&mut crate::macro_support::rng_for("fixed"));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "case")]
+    fn failing_property_panics_with_case_number() {
+        proptest! {
+            fn always_fails(x in 0u64..10) { prop_assert!(x > 100); }
+        }
+        always_fails();
+    }
+}

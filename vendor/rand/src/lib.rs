@@ -1,0 +1,580 @@
+//! Offline vendored mini-`rand`: a deterministic, dependency-free
+//! re-implementation of the subset of the `rand 0.8` API this workspace
+//! uses. The container has no network access to crates.io, so the real
+//! crate cannot be fetched; this stand-in keeps the exact module paths
+//! and trait signatures (`Rng`, `RngCore`, `SeedableRng`,
+//! `rngs::StdRng`, `seq::SliceRandom`, `distributions::{Distribution,
+//! Standard, Uniform}`) so sources compile unmodified against either.
+//!
+//! `StdRng` here is xoshiro256++ seeded through SplitMix64 — not the
+//! ChaCha12 generator of upstream `rand`, so seed-for-seed streams
+//! differ from upstream, but all determinism guarantees (same seed ⇒
+//! same stream) hold identically.
+
+#![forbid(unsafe_code)]
+
+use core::fmt;
+use core::ops::{Range, RangeInclusive};
+
+/// Error type for fallible RNG operations. The vendored generators are
+/// infallible; this exists to satisfy the `try_fill_bytes` signature.
+#[derive(Debug)]
+pub struct Error {
+    msg: &'static str,
+}
+
+impl Error {
+    /// Creates an error with a static message.
+    pub fn new(msg: &'static str) -> Self {
+        Self { msg }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rand error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator: uniformly random words.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fills `dest` with random bytes, reporting failure as an error.
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        (**self).try_fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        (**self).try_fill_bytes(dest)
+    }
+}
+
+/// A generator that can be deterministically seeded.
+pub trait SeedableRng: Sized {
+    /// Raw seed material.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Builds the generator from raw seed bytes.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanded via SplitMix64 —
+    /// every distinct `state` yields an unrelated stream.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64 { state };
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let word = sm.next().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&word[..n]);
+        }
+        Self::from_seed(seed)
+    }
+
+    /// Builds the generator from another RNG's output.
+    fn from_rng<R: RngCore>(mut rng: R) -> Result<Self, Error> {
+        let mut seed = Self::Seed::default();
+        rng.try_fill_bytes(seed.as_mut())?;
+        Ok(Self::from_seed(seed))
+    }
+}
+
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// User-facing convenience methods layered over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from the [`distributions::Standard`]
+    /// distribution (uniform over the type's full value range; `[0,1)`
+    /// for floats).
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        distributions::Distribution::sample(&distributions::Standard, self)
+    }
+
+    /// Samples uniformly from `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    /// If the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    /// If `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// Samples from an explicit distribution.
+    fn sample<T, D: distributions::Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+
+    /// Fills a byte slice with random data (alias of `fill_bytes`).
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Converts a random `u64` into a uniform `f64` in `[0, 1)` with 53
+/// bits of precision.
+#[inline]
+fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A range that [`Rng::gen_range`] can sample from, producing `T`.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform `u64` in `[0, len)` by rejection sampling, bias-free.
+#[inline]
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, len: u64) -> u64 {
+    debug_assert!(len > 0);
+    if len.is_power_of_two() {
+        return rng.next_u64() & (len - 1);
+    }
+    // Widening-multiply rejection (Lemire): unbiased, at most one
+    // extra draw in expectation.
+    let zone = u64::MAX - (u64::MAX % len) - 1;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return ((v as u128 * len as u128) >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let len = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(uniform_below(rng, len) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range on empty range");
+                let len = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                if len == 0 {
+                    // Full u64 domain.
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add(uniform_below(rng, len) as $t)
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_sample_range {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let len = (self.end as $u).wrapping_sub(self.start as $u) as u64;
+                self.start.wrapping_add(uniform_below(rng, len) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range on empty range");
+                let len = ((end as $u).wrapping_sub(start as $u) as u64).wrapping_add(1);
+                if len == 0 {
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add(uniform_below(rng, len) as $t)
+            }
+        }
+    )*};
+}
+
+signed_sample_range!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range on empty range");
+        // Rounding in `start + len * unit` can land exactly on `end`
+        // (certainly for f32, and for f64 at extreme magnitudes);
+        // resample to keep the half-open contract. Rejection probability
+        // is ~2^-53, so this virtually never loops.
+        loop {
+            let v = self.start + (self.end - self.start) * unit_f64(rng.next_u64());
+            if v < self.end {
+                return v;
+            }
+        }
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "gen_range on empty range");
+        // `unit_f64(..) as f32` rounds up to 1.0 with probability ~3e-8;
+        // resample so the result stays strictly below `end`.
+        loop {
+            let v = self.start + (self.end - self.start) * unit_f64(rng.next_u64()) as f32;
+            if v < self.end {
+                return v;
+            }
+        }
+    }
+}
+
+pub mod distributions {
+    //! The standard distribution and the [`Distribution`] trait.
+
+    use super::{uniform_below, unit_f64, RngCore, SampleRange};
+
+    /// A distribution over values of type `T`.
+    pub trait Distribution<T> {
+        /// Draws one sample.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "natural" distribution per type: uniform over the full value
+    /// range for integers and `bool`, uniform in `[0, 1)` for floats.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    macro_rules! standard_int {
+        ($($t:ty),*) => {$(
+            impl Distribution<$t> for Standard {
+                fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Distribution<u128> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+            (rng.next_u64() as u128) << 64 | rng.next_u64() as u128
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            unit_f64(rng.next_u64())
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            unit_f64(rng.next_u64()) as f32
+        }
+    }
+
+    /// Uniform distribution over a half-open integer range, resampled
+    /// on every draw.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Uniform<T> {
+        low: T,
+        high: T,
+    }
+
+    impl Uniform<u64> {
+        /// Uniform over `[low, high)`.
+        pub fn new(low: u64, high: u64) -> Self {
+            assert!(low < high, "Uniform::new on empty range");
+            Self { low, high }
+        }
+
+        /// Uniform over `[low, high]`.
+        pub fn new_inclusive(low: u64, high: u64) -> Self {
+            assert!(low <= high, "Uniform::new_inclusive on empty range");
+            Self {
+                low,
+                high: high.checked_add(1).expect("inclusive range overflow"),
+            }
+        }
+    }
+
+    impl Distribution<u64> for Uniform<u64> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+            self.low + uniform_below(rng, self.high - self.low)
+        }
+    }
+
+    impl Uniform<f64> {
+        /// Uniform over `[low, high)`.
+        pub fn new(low: f64, high: f64) -> Self {
+            assert!(low < high, "Uniform::new on empty range");
+            Self { low, high }
+        }
+    }
+
+    impl Distribution<f64> for Uniform<f64> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            (self.low..self.high).sample_from(rng)
+        }
+    }
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    ///
+    /// Not the ChaCha12 of upstream `rand` — streams differ seed-for-seed
+    /// from upstream, but determinism (same seed ⇒ same stream) and
+    /// statistical quality suitable for these experiments hold.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++ step.
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let word = self.next_u64().to_le_bytes();
+                let n = chunk.len();
+                chunk.copy_from_slice(&word[..n]);
+            }
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                let mut bytes = [0u8; 8];
+                bytes.copy_from_slice(&seed[i * 8..i * 8 + 8]);
+                *word = u64::from_le_bytes(bytes);
+            }
+            // An all-zero state is a fixed point of xoshiro; nudge it.
+            if s == [0; 4] {
+                s = [
+                    0x9E37_79B9_7F4A_7C15,
+                    0x6A09_E667_F3BC_C909,
+                    0xBB67_AE85_84CA_A73B,
+                    0x3C6E_F372_FE94_F82B,
+                ];
+            }
+            Self { s }
+        }
+    }
+
+    /// Alias of [`StdRng`]; upstream's `SmallRng` is also a xoshiro.
+    pub type SmallRng = StdRng;
+}
+
+pub mod seq {
+    //! Sequence-related extensions.
+
+    use super::{uniform_below, RngCore};
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// Element type of the slice.
+        type Item;
+
+        /// Fisher–Yates shuffle, uniform over permutations.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Uniformly random element, or `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = uniform_below(rng, i as u64 + 1) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[uniform_below(rng, self.len() as u64) as usize])
+            }
+        }
+    }
+}
+
+/// Commonly used traits and types, mirroring `rand::prelude`.
+pub mod prelude {
+    pub use super::distributions::Distribution;
+    pub use super::rngs::{SmallRng, StdRng};
+    pub use super::seq::SliceRandom;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn determinism_same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_bounds_and_coverage() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let x = rng.gen_range(0..10u64);
+            assert!(x < 10);
+            seen[x as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues hit: {seen:?}");
+        for _ in 0..1000 {
+            let x = rng.gen_range(3..=5u32);
+            assert!((3..=5).contains(&x));
+            let f = rng.gen_range(0.25..0.75f64);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_frequency() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "p=0.25 hit {hits}/10000");
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut v: Vec<u64> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements virtually never shuffle to identity");
+    }
+
+    #[test]
+    fn fill_bytes_covers_tail() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn rng_usable_through_mut_ref() {
+        fn draw<R: super::Rng + ?Sized>(rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = draw(&mut rng);
+        let mut r: &mut StdRng = &mut rng;
+        let _ = draw(&mut r);
+    }
+}

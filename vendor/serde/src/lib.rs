@@ -1,0 +1,501 @@
+//! Offline vendored mini-`serde`: the trait surface this workspace
+//! compiles against, reimplemented without network access to crates.io.
+//!
+//! The data model is deliberately smaller than upstream serde's
+//! 29-method visitor architecture: a [`Serializer`] is a writer of
+//! primitive values and sequence markers, a [`Deserializer`] is the
+//! matching reader. Call sites that only *bound* on the traits and
+//! recurse through `Serialize::serialize` / `Deserialize::deserialize`
+//! (which is all this workspace does) compile unmodified.
+//!
+//! `#[derive(Serialize, Deserialize)]` is re-exported from the
+//! companion `serde_derive` proc-macro crate. The derived impls are
+//! compile-time stubs: they satisfy trait bounds and accept `#[serde]`
+//! field attributes but return an error if invoked at runtime (nothing
+//! in the workspace serializes derived types yet — the in-repo
+//! [`bincode`]-style codec below is exercised only through the manual
+//! impls).
+
+#![forbid(unsafe_code)]
+
+use core::fmt::Display;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A value that can be written into a [`Serializer`].
+pub trait Serialize {
+    /// Writes `self` into `serializer`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A value that can be read back out of a [`Deserializer`].
+///
+/// The `'de` lifetime mirrors upstream serde; the mini data model has
+/// no zero-copy types, so it is unconstrained here.
+pub trait Deserialize<'de>: Sized {
+    /// Reads a value from `deserializer`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A writer for the mini serde data model.
+pub trait Serializer: Sized {
+    /// Value returned on success by the outermost `serialize` call.
+    type Ok;
+    /// Error type for this serializer.
+    type Error: ser::Error;
+
+    /// Writes a `bool`.
+    fn write_bool(&mut self, v: bool) -> Result<(), Self::Error>;
+    /// Writes a `u64` (all unsigned integers widen to this).
+    fn write_u64(&mut self, v: u64) -> Result<(), Self::Error>;
+    /// Writes an `i64` (all signed integers widen to this).
+    fn write_i64(&mut self, v: i64) -> Result<(), Self::Error>;
+    /// Writes an `f64`.
+    fn write_f64(&mut self, v: f64) -> Result<(), Self::Error>;
+    /// Writes a string.
+    fn write_str(&mut self, v: &str) -> Result<(), Self::Error>;
+    /// Marks the start of a sequence of `len` elements.
+    fn write_seq_len(&mut self, len: usize) -> Result<(), Self::Error>;
+    /// Finishes serialization and produces the `Ok` value.
+    fn done(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Writing through a mutable reference leaves completion to the owner:
+/// `Ok` is `()` and [`Serializer::done`] is a no-op. This is what lets
+/// container impls recurse (`element.serialize(&mut *self_serializer)`).
+impl<S: Serializer> Serializer for &mut S {
+    type Ok = ();
+    type Error = S::Error;
+
+    fn write_bool(&mut self, v: bool) -> Result<(), Self::Error> {
+        (**self).write_bool(v)
+    }
+    fn write_u64(&mut self, v: u64) -> Result<(), Self::Error> {
+        (**self).write_u64(v)
+    }
+    fn write_i64(&mut self, v: i64) -> Result<(), Self::Error> {
+        (**self).write_i64(v)
+    }
+    fn write_f64(&mut self, v: f64) -> Result<(), Self::Error> {
+        (**self).write_f64(v)
+    }
+    fn write_str(&mut self, v: &str) -> Result<(), Self::Error> {
+        (**self).write_str(v)
+    }
+    fn write_seq_len(&mut self, len: usize) -> Result<(), Self::Error> {
+        (**self).write_seq_len(len)
+    }
+    fn done(self) -> Result<(), Self::Error> {
+        Ok(())
+    }
+}
+
+/// A reader for the mini serde data model.
+pub trait Deserializer<'de>: Sized {
+    /// Error type for this deserializer.
+    type Error: de::Error;
+
+    /// Reads a `bool`.
+    fn read_bool(&mut self) -> Result<bool, Self::Error>;
+    /// Reads a `u64`.
+    fn read_u64(&mut self) -> Result<u64, Self::Error>;
+    /// Reads an `i64`.
+    fn read_i64(&mut self) -> Result<i64, Self::Error>;
+    /// Reads an `f64`.
+    fn read_f64(&mut self) -> Result<f64, Self::Error>;
+    /// Reads a string.
+    fn read_string(&mut self) -> Result<String, Self::Error>;
+    /// Reads a sequence-length marker.
+    fn read_seq_len(&mut self) -> Result<usize, Self::Error>;
+}
+
+impl<'de, D: Deserializer<'de>> Deserializer<'de> for &mut D {
+    type Error = D::Error;
+
+    fn read_bool(&mut self) -> Result<bool, Self::Error> {
+        (**self).read_bool()
+    }
+    fn read_u64(&mut self) -> Result<u64, Self::Error> {
+        (**self).read_u64()
+    }
+    fn read_i64(&mut self) -> Result<i64, Self::Error> {
+        (**self).read_i64()
+    }
+    fn read_f64(&mut self) -> Result<f64, Self::Error> {
+        (**self).read_f64()
+    }
+    fn read_string(&mut self) -> Result<String, Self::Error> {
+        (**self).read_string()
+    }
+    fn read_seq_len(&mut self) -> Result<usize, Self::Error> {
+        (**self).read_seq_len()
+    }
+}
+
+pub mod ser {
+    //! Serialization-side error trait, mirroring `serde::ser`.
+
+    use core::fmt::Display;
+
+    /// Errors a [`crate::Serializer`] can produce.
+    pub trait Error: Sized + Display {
+        /// Builds an error from an arbitrary message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+pub mod de {
+    //! Deserialization-side error trait, mirroring `serde::de`.
+
+    use core::fmt::Display;
+
+    /// Errors a [`crate::Deserializer`] can produce.
+    pub trait Error: Sized + Display {
+        /// Builds an error from an arbitrary message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, mut serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.write_u64(*self as u64)?;
+                serializer.done()
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(mut deserializer: D) -> Result<Self, D::Error> {
+                let v = deserializer.read_u64()?;
+                <$t>::try_from(v).map_err(|_| de::Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, mut serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.write_i64(*self as i64)?;
+                serializer.done()
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(mut deserializer: D) -> Result<Self, D::Error> {
+                let v = deserializer.read_i64()?;
+                <$t>::try_from(v).map_err(|_| de::Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, mut serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.write_bool(*self)?;
+        serializer.done()
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(mut deserializer: D) -> Result<Self, D::Error> {
+        deserializer.read_bool()
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, mut serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.write_f64(*self)?;
+        serializer.done()
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(mut deserializer: D) -> Result<Self, D::Error> {
+        deserializer.read_f64()
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, mut serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.write_f64(f64::from(*self))?;
+        serializer.done()
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(mut deserializer: D) -> Result<Self, D::Error> {
+        Ok(deserializer.read_f64()? as f32)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, mut serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.write_str(self)?;
+        serializer.done()
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, mut serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.write_str(self)?;
+        serializer.done()
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(mut deserializer: D) -> Result<Self, D::Error> {
+        deserializer.read_string()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, mut serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.write_seq_len(self.len())?;
+        for item in self {
+            item.serialize(&mut serializer)?;
+        }
+        serializer.done()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(mut deserializer: D) -> Result<Self, D::Error> {
+        let len = deserializer.read_seq_len()?;
+        let mut out = Vec::new();
+        for _ in 0..len {
+            out.push(T::deserialize(&mut deserializer)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, mut serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.write_seq_len(self.len())?;
+        for item in self {
+            item.serialize(&mut serializer)?;
+        }
+        serializer.done()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, mut serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => serializer.write_seq_len(0)?,
+            Some(v) => {
+                serializer.write_seq_len(1)?;
+                v.serialize(&mut serializer)?;
+            }
+        }
+        serializer.done()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(mut deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.read_seq_len()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::deserialize(&mut deserializer)?)),
+            _ => Err(de::Error::custom("invalid Option tag")),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize<S: Serializer>(&self, mut serializer: S) -> Result<S::Ok, S::Error> {
+        self.0.serialize(&mut serializer)?;
+        self.1.serialize(&mut serializer)?;
+        serializer.done()
+    }
+}
+
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {
+    fn deserialize<D: Deserializer<'de>>(mut deserializer: D) -> Result<Self, D::Error> {
+        let a = A::deserialize(&mut deserializer)?;
+        let b = B::deserialize(&mut deserializer)?;
+        Ok((a, b))
+    }
+}
+
+/// A ready-made binary codec over the mini data model, so round-trip
+/// tests have something concrete to drive (little-endian fixed-width
+/// primitives, `u64` length prefixes).
+pub mod bincode {
+    use super::{de, ser, Deserialize, Deserializer, Serialize, Serializer};
+    use core::fmt;
+
+    /// Codec error (message only).
+    #[derive(Debug)]
+    pub struct Error(String);
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "bincode: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    impl ser::Error for Error {
+        fn custom<T: fmt::Display>(msg: T) -> Self {
+            Self(msg.to_string())
+        }
+    }
+
+    impl de::Error for Error {
+        fn custom<T: fmt::Display>(msg: T) -> Self {
+            Self(msg.to_string())
+        }
+    }
+
+    /// Byte-buffer serializer.
+    #[derive(Default)]
+    pub struct Writer {
+        buf: Vec<u8>,
+    }
+
+    impl Serializer for Writer {
+        type Ok = Vec<u8>;
+        type Error = Error;
+
+        fn write_bool(&mut self, v: bool) -> Result<(), Error> {
+            self.buf.push(u8::from(v));
+            Ok(())
+        }
+        fn write_u64(&mut self, v: u64) -> Result<(), Error> {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+            Ok(())
+        }
+        fn write_i64(&mut self, v: i64) -> Result<(), Error> {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+            Ok(())
+        }
+        fn write_f64(&mut self, v: f64) -> Result<(), Error> {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+            Ok(())
+        }
+        fn write_str(&mut self, v: &str) -> Result<(), Error> {
+            self.write_u64(v.len() as u64)?;
+            self.buf.extend_from_slice(v.as_bytes());
+            Ok(())
+        }
+        fn write_seq_len(&mut self, len: usize) -> Result<(), Error> {
+            self.write_u64(len as u64)
+        }
+        fn done(self) -> Result<Vec<u8>, Error> {
+            Ok(self.buf)
+        }
+    }
+
+    /// Byte-buffer deserializer.
+    pub struct Reader<'a> {
+        buf: &'a [u8],
+    }
+
+    impl<'a> Reader<'a> {
+        /// Reader over a byte buffer.
+        pub fn new(buf: &'a [u8]) -> Self {
+            Self { buf }
+        }
+
+        fn take(&mut self, n: usize) -> Result<&'a [u8], Error> {
+            if self.buf.len() < n {
+                return Err(Error("unexpected end of input".into()));
+            }
+            let (head, tail) = self.buf.split_at(n);
+            self.buf = tail;
+            Ok(head)
+        }
+
+        fn word(&mut self) -> Result<[u8; 8], Error> {
+            let bytes = self.take(8)?;
+            let mut w = [0u8; 8];
+            w.copy_from_slice(bytes);
+            Ok(w)
+        }
+    }
+
+    impl<'de> Deserializer<'de> for Reader<'_> {
+        type Error = Error;
+
+        fn read_bool(&mut self) -> Result<bool, Error> {
+            Ok(self.take(1)?[0] != 0)
+        }
+        fn read_u64(&mut self) -> Result<u64, Error> {
+            Ok(u64::from_le_bytes(self.word()?))
+        }
+        fn read_i64(&mut self) -> Result<i64, Error> {
+            Ok(i64::from_le_bytes(self.word()?))
+        }
+        fn read_f64(&mut self) -> Result<f64, Error> {
+            Ok(f64::from_le_bytes(self.word()?))
+        }
+        fn read_string(&mut self) -> Result<String, Error> {
+            let len = self.read_u64()? as usize;
+            let bytes = self.take(len)?;
+            String::from_utf8(bytes.to_vec()).map_err(|_| Error("invalid utf-8".into()))
+        }
+        fn read_seq_len(&mut self) -> Result<usize, Error> {
+            Ok(self.read_u64()? as usize)
+        }
+    }
+
+    /// Serializes `value` to bytes.
+    pub fn to_bytes<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+        value.serialize(Writer::default())
+    }
+
+    /// Deserializes a value from `bytes`.
+    pub fn from_bytes<'de, T: Deserialize<'de>>(bytes: &[u8]) -> Result<T, Error> {
+        T::deserialize(Reader { buf: bytes })
+    }
+}
+
+/// Builds a deserialization error from a message; free-function form of
+/// [`de::Error::custom`] used by `?`-style call sites.
+pub fn custom_de_error<E: de::Error, M: Display>(msg: M) -> E {
+    E::custom(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::bincode;
+
+    #[test]
+    fn primitive_and_vec_round_trip() {
+        let v: Vec<u64> = vec![0, 1, 2, u64::MAX];
+        let bytes = bincode::to_bytes(&v).unwrap();
+        assert_eq!(bytes.len(), 8 + 4 * 8);
+        let back: Vec<u64> = bincode::from_bytes(&bytes).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn nested_tuple_round_trip() {
+        let v: Vec<(u32, f64)> = vec![(1, 0.5), (9, -3.25)];
+        let bytes = bincode::to_bytes(&v).unwrap();
+        let back: Vec<(u32, f64)> = bincode::from_bytes(&bytes).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let bytes = bincode::to_bytes(&vec![7u64; 3]).unwrap();
+        let r: Result<Vec<u64>, _> = bincode::from_bytes(&bytes[..bytes.len() - 1]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn string_and_option_round_trip() {
+        let s = String::from("heavy hitters");
+        let back: String = bincode::from_bytes(&bincode::to_bytes(&s).unwrap()).unwrap();
+        assert_eq!(back, s);
+        let some: Option<u64> = Some(42);
+        let back: Option<u64> = bincode::from_bytes(&bincode::to_bytes(&some).unwrap()).unwrap();
+        assert_eq!(back, Some(42));
+    }
+}

@@ -1,0 +1,184 @@
+//! Offline vendored `serde_derive`: `#[derive(Serialize, Deserialize)]`
+//! without `syn`/`quote` (neither is available offline).
+//!
+//! The emitted impls are *compile-time stubs*: they satisfy `Serialize`
+//! / `Deserialize` trait bounds (and accept `#[serde(...)]` helper
+//! attributes) but error at runtime if actually invoked. That is the
+//! contract this workspace needs today — derives exist so summaries are
+//! declared serializable at the type level; every serialization that
+//! actually runs goes through hand-written impls. Upgrading these to
+//! field-wise impls is purely local to this crate.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Name and generics of the deriving type.
+struct Target {
+    name: String,
+    /// Verbatim generic parameter list (without angle brackets), e.g.
+    /// `'a, T: Clone`.
+    params: String,
+    /// Parameter names only, for the `for Name<...>` position, e.g.
+    /// `'a, T`.
+    args: String,
+}
+
+/// Extracts the type name and generics from the derive input. Panics
+/// (a compile error in derive position) on shapes the mini-parser does
+/// not understand; the error text says to extend it.
+fn parse_target(input: TokenStream) -> Target {
+    let mut iter = input.into_iter().peekable();
+    // Skip attributes (`# [ ... ]`) and visibility (`pub`, `pub(...)`).
+    let name = loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                let bracket = iter.next();
+                assert!(
+                    matches!(
+                        bracket,
+                        Some(TokenTree::Group(ref g)) if g.delimiter() == Delimiter::Bracket
+                    ),
+                    "serde_derive stub: malformed attribute"
+                );
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if matches!(id.to_string().as_str(), "struct" | "enum") => {
+                match iter.next() {
+                    Some(TokenTree::Ident(name)) => break name.to_string(),
+                    other => panic!("serde_derive stub: expected type name, got {other:?}"),
+                }
+            }
+            Some(TokenTree::Ident(_)) => {
+                // Other modifiers (e.g. `union` is unsupported and will
+                // fall through to the end-of-input panic below).
+            }
+            Some(tt) => panic!("serde_derive stub: unexpected token {tt}"),
+            None => panic!("serde_derive stub: no struct/enum found"),
+        }
+    };
+
+    let mut params = String::new();
+    let mut args = String::new();
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        iter.next();
+        let mut depth = 1usize;
+        let mut raw: Vec<TokenTree> = Vec::new();
+        for tt in iter.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            raw.push(tt);
+        }
+        assert!(depth == 0, "serde_derive stub: unbalanced generics");
+        params = raw
+            .iter()
+            .map(|tt| tt.to_string())
+            .collect::<Vec<_>>()
+            .join(" ");
+        // Parameter names: per top-level comma segment, the tokens
+        // before the first `:` (handles `T`, `'a`, and `T: Bound`;
+        // const generics are not needed by this workspace).
+        let mut segments: Vec<String> = Vec::new();
+        let mut current = String::new();
+        let mut bound = false;
+        let mut seg_depth = 0usize;
+        for tt in &raw {
+            if let TokenTree::Punct(p) = tt {
+                match p.as_char() {
+                    '<' => seg_depth += 1,
+                    '>' => seg_depth -= 1,
+                    ',' if seg_depth == 0 => {
+                        segments.push(current.trim().to_string());
+                        current.clear();
+                        bound = false;
+                        continue;
+                    }
+                    ':' if seg_depth == 0 => {
+                        bound = true;
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            if !bound && seg_depth == 0 {
+                current.push_str(&tt.to_string());
+            }
+        }
+        if !current.trim().is_empty() {
+            segments.push(current.trim().to_string());
+        }
+        args = segments.join(", ");
+    }
+
+    Target { name, params, args }
+}
+
+fn type_path(target: &Target) -> String {
+    if target.args.is_empty() {
+        target.name.clone()
+    } else {
+        format!("{}<{}>", target.name, target.args)
+    }
+}
+
+/// Derives a stub [`serde::Serialize`] impl (see crate docs).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let target = parse_target(input);
+    let generics = if target.params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", target.params)
+    };
+    format!(
+        "impl{generics} ::serde::Serialize for {path} {{\n\
+             fn serialize<__S: ::serde::Serializer>(&self, _serializer: __S)\n\
+                 -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                 ::core::result::Result::Err(<__S::Error as ::serde::ser::Error>::custom(\n\
+                     \"vendored serde stub: derived Serialize for `{name}` is compile-time only\"))\n\
+             }}\n\
+         }}",
+        path = type_path(&target),
+        name = target.name,
+    )
+    .parse()
+    .expect("serde_derive stub: generated impl must parse")
+}
+
+/// Derives a stub [`serde::Deserialize`] impl (see crate docs).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let target = parse_target(input);
+    let generics = if target.params.is_empty() {
+        "<'de>".to_string()
+    } else {
+        format!("<'de, {}>", target.params)
+    };
+    format!(
+        "impl{generics} ::serde::Deserialize<'de> for {path} {{\n\
+             fn deserialize<__D: ::serde::Deserializer<'de>>(_deserializer: __D)\n\
+                 -> ::core::result::Result<Self, __D::Error> {{\n\
+                 ::core::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\n\
+                     \"vendored serde stub: derived Deserialize for `{name}` is compile-time only\"))\n\
+             }}\n\
+         }}",
+        path = type_path(&target),
+        name = target.name,
+    )
+    .parse()
+    .expect("serde_derive stub: generated impl must parse")
+}
