@@ -1,0 +1,174 @@
+//! Diffs two BENCH_N.json files (the mini-criterion records emitted by
+//! `scripts/bench.sh`) and prints per-benchmark speedup or regression.
+//!
+//! Usage: `bench_compare [old.json new.json]`
+//! With no arguments, compares the two highest-numbered `BENCH_<N>.json`
+//! files in the current directory (the benchmark-trajectory convention:
+//! each perf PR appends the next `BENCH_N`).
+//!
+//! Exit code is 1 if any benchmark regressed by more than 10% — the
+//! budget the repo's perf acceptance criteria allow — so CI or a
+//! pre-merge check can gate on it.
+
+use std::process::ExitCode;
+
+/// One record of the flat JSON array `scripts/bench.sh` writes.
+#[derive(Debug, Clone, PartialEq)]
+struct Record {
+    group: String,
+    id: String,
+    mean_ns: f64,
+}
+
+/// Pulls `"key": <string>` out of a JSON object line.
+fn str_field(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\":");
+    let rest = &line[line.find(&tag)? + tag.len()..];
+    let open = rest.find('"')?;
+    let rest = &rest[open + 1..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Pulls `"key": <number>` out of a JSON object line.
+fn num_field(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\":");
+    let rest = line[line.find(&tag)? + tag.len()..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parses the benchmark records out of a `scripts/bench.sh` JSON file.
+/// The format is one object per line inside a flat array — a shape this
+/// repo controls — so a line-oriented field scan is exact and keeps the
+/// vendored serde stub out of the loop.
+fn parse(path: &str) -> Result<Vec<Record>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut out = Vec::new();
+    for line in text.lines() {
+        if !line.trim_start().starts_with('{') {
+            continue;
+        }
+        let (group, id, mean_ns) = match (
+            str_field(line, "group"),
+            str_field(line, "id"),
+            num_field(line, "mean_ns"),
+        ) {
+            (Some(g), Some(i), Some(m)) => (g, i, m),
+            _ => return Err(format!("{path}: malformed record: {line}")),
+        };
+        out.push(Record { group, id, mean_ns });
+    }
+    if out.is_empty() {
+        return Err(format!("{path}: no benchmark records"));
+    }
+    Ok(out)
+}
+
+/// Finds the two highest-numbered BENCH_<N>.json files in `.`.
+fn latest_pair() -> Option<(String, String)> {
+    let mut numbered: Vec<(u64, String)> = std::fs::read_dir(".")
+        .ok()?
+        .filter_map(|e| {
+            let name = e.ok()?.file_name().into_string().ok()?;
+            let n: u64 = name
+                .strip_prefix("BENCH_")?
+                .strip_suffix(".json")?
+                .parse()
+                .ok()?;
+            Some((n, name))
+        })
+        .collect();
+    numbered.sort_unstable();
+    match numbered.len() {
+        0 | 1 => None,
+        n => Some((numbered[n - 2].1.clone(), numbered[n - 1].1.clone())),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (old_path, new_path) = match args.as_slice() {
+        [a, b] => (a.clone(), b.clone()),
+        [] => match latest_pair() {
+            Some(pair) => pair,
+            None => {
+                eprintln!("bench_compare: need two BENCH_N.json files (or pass paths)");
+                return ExitCode::FAILURE;
+            }
+        },
+        _ => {
+            eprintln!("usage: bench_compare [old.json new.json]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (old, new) = match (parse(&old_path), parse(&new_path)) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_compare: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("# {old_path} -> {new_path}\n");
+    println!(
+        "{:<14} {:<16} {:>12} {:>12} {:>9}  verdict",
+        "group", "id", "old mean", "new mean", "speedup"
+    );
+    let mut regressed = false;
+    for n in &new {
+        let Some(o) = old.iter().find(|o| o.group == n.group && o.id == n.id) else {
+            println!(
+                "{:<14} {:<16} {:>12} {:>12.0} {:>9}  new",
+                n.group, n.id, "-", n.mean_ns, "-"
+            );
+            continue;
+        };
+        let speedup = o.mean_ns / n.mean_ns;
+        let verdict = if speedup < 1.0 / 1.10 {
+            regressed = true;
+            "REGRESSION"
+        } else if speedup > 1.10 {
+            "faster"
+        } else {
+            "flat"
+        };
+        println!(
+            "{:<14} {:<16} {:>12.0} {:>12.0} {:>8.2}x  {verdict}",
+            n.group, n.id, o.mean_ns, n.mean_ns, speedup
+        );
+    }
+    for o in &old {
+        if !new.iter().any(|n| n.group == o.group && n.id == o.id) {
+            println!(
+                "{:<14} {:<16} {:>12.0} {:>12} {:>9}  removed",
+                o.group, o.id, o.mean_ns, "-", "-"
+            );
+        }
+    }
+    if regressed {
+        eprintln!("\nbench_compare: at least one benchmark regressed by more than 10%");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_bench_lines() {
+        let line = r#"  {"group": "update_time", "id": "algo2_optimal", "mean_ns": 57523745.3, "best_ns": 1.0, "samples": 3, "throughput_kind": "elements", "throughput": 2097152},"#;
+        assert_eq!(str_field(line, "group").unwrap(), "update_time");
+        assert_eq!(str_field(line, "id").unwrap(), "algo2_optimal");
+        assert_eq!(num_field(line, "mean_ns").unwrap(), 57523745.3);
+    }
+
+    #[test]
+    fn missing_fields_are_detected() {
+        assert_eq!(str_field("{}", "group"), None);
+        assert_eq!(num_field(r#"{"mean_ns": }"#, "mean_ns"), None);
+    }
+}

@@ -1,13 +1,21 @@
 //! Experiment E7: the paper's algorithms against the six baselines.
 //!
-//! Three views:
+//! Four views:
 //! 1. **Space vs log n** — the crossover study. The prior art pays
 //!    `Θ(ε⁻¹(log n + log m))` bits; Theorems 1 and 2 pay `φ⁻¹ log n`
 //!    only. As the universe grows, the paper's algorithms must win, and
 //!    the table locates the crossover.
 //! 2. **Accuracy on a Zipf stream** — recall/precision parity check at
 //!    equal (ε, φ), confirming the space win is not bought with accuracy.
-//! 3. **Shard-and-merge throughput** — the mergeable-summaries extension
+//! 3. **Update throughput** — the space/time tradeoff between the two
+//!    paper algorithms and the Misra–Gries baseline on the E6 workload.
+//!    Since the PR-2 hot-path rebuild (bit-budgeted RNG, multiply-shift
+//!    repetition hashing, integer epochs, deferred accounting — see
+//!    DESIGN.md), both algorithms run in the sampled regime the paper's
+//!    O(1)-amortized analysis describes, so the old "optimal space costs
+//!    80× in update time" artifact is gone: the remaining gap is the
+//!    constant factor of the R-repetition counting machinery.
+//! 4. **Shard-and-merge throughput** — the mergeable-summaries extension
 //!    (S19): wall-clock speedup of sharded Misra–Gries over 1..8 threads.
 //!
 //! Usage: `cargo run --release -p hh-bench --bin crossover`
@@ -184,6 +192,66 @@ fn accuracy_on_zipf() {
     t.print();
 }
 
+fn update_time_tradeoff() {
+    // The E6 workload (Zipf(1.2), m = 2^21): wall-clock insert throughput
+    // next to the model bits each algorithm holds at stream end — the
+    // space/time tradeoff in one table.
+    let m = 1usize << 21;
+    let n = 1u64 << 32;
+    let params = HhParams::with_delta(EPS, PHI, DELTA).unwrap();
+    let stream = zipf_stream(m, n, 1.2, 7);
+    let mut t = Table::new(
+        "E7c - update time vs space on the E6 workload (Zipf 1.2, m = 2^21)",
+        &["algorithm", "ns/item", "Melem/s", "model bits"],
+    );
+    let mut row = |name: &str, ns_per_item: f64, bits: u64| {
+        t.row(vec![
+            name.into(),
+            hh_bench::Cell::Float(ns_per_item, 1),
+            hh_bench::Cell::Float(1e3 / ns_per_item, 1),
+            bits.into(),
+        ]);
+    };
+    // Two timed repetitions each; report the better (first run warms the
+    // stream and tables into cache).
+    let mut best_a1 = f64::MAX;
+    let mut bits_a1 = 0;
+    let mut best_a2 = f64::MAX;
+    let mut bits_a2 = 0;
+    let mut best_mg = f64::MAX;
+    let mut bits_mg = 0;
+    for _ in 0..2 {
+        let start = Instant::now();
+        let mut a1 = SimpleListHh::new(params, n, m as u64, 1).unwrap();
+        a1.insert_all(&stream);
+        best_a1 = best_a1.min(start.elapsed().as_secs_f64() * 1e9 / m as f64);
+        bits_a1 = a1.model_bits();
+
+        let start = Instant::now();
+        let mut a2 = OptimalListHh::new(params, n, m as u64, 2).unwrap();
+        a2.insert_all(&stream);
+        best_a2 = best_a2.min(start.elapsed().as_secs_f64() * 1e9 / m as f64);
+        bits_a2 = a2.model_bits();
+
+        let start = Instant::now();
+        let mut mg = MisraGriesBaseline::new(EPS, PHI, n);
+        mg.insert_all(&stream);
+        best_mg = best_mg.min(start.elapsed().as_secs_f64() * 1e9 / m as f64);
+        bits_mg = mg.model_bits();
+    }
+    row("algo1", best_a1, bits_a1);
+    row("algo2", best_a2, bits_a2);
+    row("misra-gries", best_mg, bits_mg);
+    t.print();
+    println!(
+        "Both paper algorithms now sit within a small constant factor of\n\
+         each other in update time (the sampled-regime skip path does O(1)\n\
+         work on unsampled items); algo2 buys its smaller eps-term space\n\
+         bound with the R = Theta(log 1/phi) repetition pass it runs on\n\
+         each sampled item.\n"
+    );
+}
+
 fn shard_and_merge_correctness() {
     // With Zipf(1.5) the rank-1 item holds ~38% of the stream - a clear
     // heavy hitter at phi = 0.2.
@@ -192,7 +260,7 @@ fn shard_and_merge_correctness() {
     let stream = zipf_stream(m, n, 1.5, 31);
     let top = hh_bench::workloads::zipf_top_item(n, 1.5, 31);
     let mut t = Table::new(
-        "E7c - shard-and-merge Misra-Gries (mergeable-summaries extension; single-CPU box, so the claim is correctness, not speedup)",
+        "E7d - shard-and-merge Misra-Gries (mergeable-summaries extension; single-CPU box, so the claim is correctness, not speedup)",
         &["shards", "wall ms", "heavy item found", "estimate gap vs sequential"],
     );
     let mut seq = MisraGriesBaseline::new(EPS, PHI, n);
@@ -224,5 +292,6 @@ fn main() {
     println!("# E7: paper algorithms vs baselines\n");
     space_vs_log_n();
     accuracy_on_zipf();
+    update_time_tradeoff();
     shard_and_merge_correctness();
 }

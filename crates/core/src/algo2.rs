@@ -26,8 +26,33 @@
 //!   `(φ − ε/2)s`.
 //!
 //! Because `ε̂` is a power of two (footnote 3), every `p_t = 2^{t−k}` is a
-//! power of two and each sampling decision is a masked test of one random
-//! word.
+//! power of two and each sampling decision is a test of `k − t` fresh
+//! random bits.
+//!
+//! # Hot-path engineering (see DESIGN.md)
+//!
+//! The paper's headline is `O(1)` update time, so the insert path is
+//! built to run at memory speed:
+//!
+//! * randomness is **bit-budgeted**: T2 coins come from a geometric-skip
+//!   Bernoulli(2⁻ᵏ) sampler ([`hh_sampling::BitSkipSampler`], one counter
+//!   decrement per trial) and T3 coins from `k − t`-bit slices of a
+//!   buffered word ([`hh_sampling::BitBudget`]) — no fresh RNG word per
+//!   repetition;
+//! * the epoch `⌊log₂(c·T2²)⌋` is never recomputed with float math:
+//!   an integer **threshold table** (`epoch_thresholds`) plus a per-bucket
+//!   cached epoch byte make it a table lookup refreshed only when T2
+//!   increments;
+//! * tables are **flat arrays** (`t2`, `t3`, `epochs` indexed by
+//!   `rep · buckets + bucket`) and the per-repetition hash is the
+//!   single-multiply plain-universal multiply-shift
+//!   ([`MultiplyShift64Family`], one `u64` multiply and a shift), drawn
+//!   over a doubled power-of-two range so the Definition-2 collision
+//!   bound of the bucket analysis is preserved;
+//! * space accounting is **deferred**: updates touch raw counters only,
+//!   and the gamma-bit sums the model charges are recomputed from the
+//!   tables when a space query is made (`hh_space::gamma_sum_bits` /
+//!   `sparse_slice_bits`).
 //!
 //! [`EpochMode::Flat`] is the ablation knob for E12: it disables `T3` and
 //! estimates from `T2` alone, exhibiting the variance blow-up §3.1.2
@@ -38,11 +63,11 @@ use crate::error::ParamError;
 use crate::mg::MisraGries;
 use crate::report::{ItemEstimate, Report};
 use crate::traits::{HeavyHitters, StreamSummary};
-use hh_hash::{CarterWegmanFamily, CarterWegmanHash, HashFamily, HashFunction};
-use hh_sampling::SkipSampler;
-use hh_space::{SpaceUsage, VarCounterArray};
+use hh_hash::{HashFamily, HashFunction, MultiplyShift64Family, MultiplyShift64Hash};
+use hh_sampling::{BitBudget, BitSkipSampler};
+use hh_space::{gamma_sum_bits, sparse_slice_bits, SpaceUsage};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 
 /// Whether the accelerated epoch counters (the paper's T3) are active.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,11 +80,14 @@ pub enum EpochMode {
     Flat,
 }
 
-/// Epoch for a T2 value `v`: `⌊log₂(scale · v²)⌋` clamped to `[0, k]`, or
-/// `None` below epoch 0. Clamping at `k` is sound because the sampling
-/// probability `min(ε̂·2ᵗ, 1)` saturates at one there, making all higher
-/// epochs operationally identical (line 15 of the paper's pseudocode).
-fn epoch_of(v: u64, scale: f64, k: u32) -> Option<u32> {
+/// Cached-epoch sentinel for "below epoch 0" (T2 too small for any
+/// accelerated counter to be active).
+const EPOCH_NONE: u8 = u8::MAX;
+
+/// Reference epoch formula, unclamped: `⌊log₂(scale · v²)⌋`, or `None`
+/// below epoch 0. Used only to build the integer threshold table at
+/// construction; the hot path and all queries go through the table.
+fn raw_epoch(v: u64, scale: f64) -> Option<u32> {
     if v == 0 {
         return None;
     }
@@ -67,33 +95,81 @@ fn epoch_of(v: u64, scale: f64, k: u32) -> Option<u32> {
     if x < 1.0 {
         return None;
     }
-    Some((x.log2().floor() as u32).min(k))
+    Some(x.log2().floor() as u32)
 }
 
-/// One of the `R` independent repetitions.
-#[derive(Debug, Clone)]
-struct Repetition {
-    hash: CarterWegmanHash,
-    /// Subsampled bucket counters (`T2[·, j]`).
-    t2: VarCounterArray,
-    /// Epoch counters (`T3[·, j, ·]`), flattened as `bucket·(k+1) + t`.
-    t3: VarCounterArray,
+/// `thresholds[t] =` smallest T2 value whose (unclamped) epoch is at
+/// least `t`, for `t ∈ [0, k]`. The epoch of `v` is then the largest `t`
+/// with `v ≥ thresholds[t]` (or `None` below `thresholds[0]`), which
+/// clamps at `k` by construction — clamping is sound because the sampling
+/// probability `min(ε̂·2ᵗ, 1)` saturates there (line 15 of the paper's
+/// pseudocode).
+fn epoch_thresholds(scale: f64, k: u32) -> Vec<u64> {
+    (0..=k)
+        .map(|t| {
+            // Seed the search a touch below √(2ᵗ/scale), then advance to
+            // the first value the *reference formula* maps to epoch ≥ t,
+            // so table and formula agree exactly at every boundary.
+            let target = ((2f64).powi(t as i32) / scale).sqrt();
+            let mut v = (target as u64).saturating_sub(2).max(1);
+            while raw_epoch(v, scale).is_none_or(|e| e < t) {
+                v += 1;
+            }
+            v
+        })
+        .collect()
 }
 
 /// Algorithm 2 of the paper (Theorem 2).
+///
+/// Per-repetition state lives in flat rep-major arrays (`t2`, `t3`,
+/// `epochs`) rather than per-repetition structs; see the module docs for
+/// the hot-path layout.
 #[derive(Debug, Clone)]
 pub struct OptimalListHh {
     params: HhParams,
     universe: u64,
-    sampler: SkipSampler,
+    /// Stream-sampling front end (bit-driven geometric skip, identical
+    /// in distribution and space accounting to the ln-based form).
+    sampler: BitSkipSampler,
     p: f64,
     /// T1: Misra–Gries candidate set over raw ids.
     t1: MisraGries,
-    reps: Vec<Repetition>,
+    /// Per-repetition hash functions `h_j`: single-multiply plain-universal
+    /// multiply-shift, drawn with a doubled power-of-two range so the
+    /// per-bucket collision bound matches the `Θ(1/ε)`-bucket analysis
+    /// (see `MultiplyShift64Family::covering_universal` and DESIGN.md).
+    hashes: Vec<MultiplyShift64Hash>,
+    /// `T2[j, i]` at `j · buckets + i`.
+    t2: Vec<u64>,
+    /// `T3[j, i, t]` at `(j · buckets + i) · (k+1) + t`, plus `R` trailing
+    /// *sink* cells (one per repetition) that absorb the unconditional
+    /// increment of failed trials (see `insert`); the sinks are excluded
+    /// from estimates and accounting. Per-repetition sinks keep
+    /// consecutive failed trials from forming a store-forward dependency
+    /// chain on a single cell.
+    t3: Vec<u64>,
+    /// Cached epoch of `T2[j, i]` (`EPOCH_NONE` below epoch 0),
+    /// refreshed only when T2 increments.
+    epochs: Vec<u8>,
+    /// Integer epoch boundaries; see [`epoch_thresholds`].
+    epoch_thresholds: Vec<u64>,
+    /// Branchless T3 trial tables indexed by the cached epoch byte
+    /// (`e ∈ [0, k]` or `EPOCH_NONE`): a fresh k-bit slice `w` accepts
+    /// iff `(w & t3_mask[e]) + t3_add[e] == 0`. For an active epoch the
+    /// mask keeps the low `k − e` bits (probability `2^{e−k}`, saturating
+    /// at 1 when `e = k`); for `EPOCH_NONE` the add of 1 vetoes
+    /// unconditionally. `t3_slot[e]` is the in-bounds T3 slot.
+    t3_mask: Box<[u64; 256]>,
+    t3_add: Box<[u64; 256]>,
+    t3_slot: Box<[u8; 256]>,
     buckets: u64,
     /// `ε̂ = 2^{-k_eps}`, the power-of-two rounding of the T2 rate.
     k_eps: u32,
-    epoch_scale: f64,
+    /// Geometric-skip source of the per-repetition Bernoulli(ε̂) T2 coins.
+    t2_skip: BitSkipSampler,
+    /// Buffered k-bit slices for the T3 coins.
+    bits: BitBudget,
     mode: EpochMode,
     samples: u64,
     rng: StdRng,
@@ -138,8 +214,15 @@ impl OptimalListHh {
         if !ell.is_finite() || ell < 1.0 {
             return Err(ParamError::BadConstants("algorithm-2 sample budget"));
         }
+        // A non-positive or non-finite epoch scale would make the
+        // threshold-table search below loop forever.
+        let scale_ok = consts.a2_epoch_scale > 0.0 && consts.a2_epoch_scale.is_finite();
+        if !scale_ok {
+            return Err(ParamError::BadConstants("algorithm-2 epoch scale"));
+        }
         let p_target = (2.0 * ell / m as f64).min(1.0);
-        let sampler = SkipSampler::with_probability(p_target);
+        let sampler =
+            BitSkipSampler::with_exponent(hh_sampling::bernoulli::pow2_exponent(p_target));
         let p = sampler.probability();
 
         // T1 capacity Θ(1/φ) over raw ids.
@@ -154,16 +237,26 @@ impl OptimalListHh {
             r += 1;
         }
 
-        let buckets = ((consts.a2_bucket_factor / eps).ceil() as u64).max(2);
+        // Θ(1/ε) buckets, realized as the doubled power of two that keeps
+        // the plain-universal multiply-shift within the per-bucket
+        // collision budget of the analysis.
+        let min_buckets = ((consts.a2_bucket_factor / eps).ceil() as u64).max(2);
         let k_eps = hh_sampling::bernoulli::pow2_exponent(eps);
-        let family = CarterWegmanFamily::new(buckets);
-        let reps = (0..r)
-            .map(|_| Repetition {
-                hash: family.sample(&mut rng),
-                t2: VarCounterArray::new(buckets as usize),
-                t3: VarCounterArray::new(buckets as usize * (k_eps as usize + 1)),
-            })
-            .collect();
+        let family = MultiplyShift64Family::covering_universal(min_buckets);
+        let hashes: Vec<MultiplyShift64Hash> = (0..r).map(|_| family.sample(&mut rng)).collect();
+        let buckets = hashes[0].range();
+        let cells = r * buckets as usize;
+
+        let mut t3_mask = Box::new([0u64; 256]);
+        let mut t3_add = Box::new([1u64; 256]);
+        let mut t3_slot = Box::new([k_eps as u8; 256]);
+        for e in 0..=k_eps.min(255) {
+            // Low (k − e) bits of a k-bit slice; u128 shift handles the
+            // full-width k = 64, e = 0 corner.
+            t3_mask[e as usize] = (((1u128) << (k_eps - e)) - 1) as u64;
+            t3_add[e as usize] = 0;
+            t3_slot[e as usize] = e as u8;
+        }
 
         Ok(Self {
             params,
@@ -171,10 +264,19 @@ impl OptimalListHh {
             sampler,
             p,
             t1,
-            reps,
+            hashes,
+            t2: vec![0; cells],
+            // R extra trailing cells: the per-repetition failed-trial sinks.
+            t3: vec![0; cells * (k_eps as usize + 1) + r],
+            epochs: vec![EPOCH_NONE; cells],
+            epoch_thresholds: epoch_thresholds(consts.a2_epoch_scale, k_eps),
+            t3_mask,
+            t3_add,
+            t3_slot,
             buckets,
             k_eps,
-            epoch_scale: consts.a2_epoch_scale,
+            t2_skip: BitSkipSampler::with_exponent(k_eps),
+            bits: BitBudget::new(),
             mode,
             samples: 0,
             rng,
@@ -193,7 +295,7 @@ impl OptimalListHh {
 
     /// Number of repetitions `R`.
     pub fn repetitions(&self) -> usize {
-        self.reps.len()
+        self.hashes.len()
     }
 
     /// Number of hash buckets per repetition (`Θ(1/ε)`).
@@ -208,42 +310,73 @@ impl OptimalListHh {
 
     /// Per-term space decomposition `(t1_bits, counting_bits,
     /// sampler_bits)` matching the three terms of the Theorem-2 bound:
-    /// `φ⁻¹ log n` (candidate ids), `ε⁻¹ log φ⁻¹` (T2/T3 tables and hash
-    /// seeds across repetitions), `log log m` (sampler). Used by the
-    /// Table-1 experiment to validate each term against its own formula.
+    /// `φ⁻¹ log n` (candidate ids), `ε⁻¹ log φ⁻¹` (T2/T3 tables, hash
+    /// seeds, and the coin state — T2 skip countdown plus the buffered
+    /// T3 bit word — across repetitions), `log log m` (sampler). Used by
+    /// the Table-1 experiment to validate each term against its own
+    /// formula.
     pub fn component_bits(&self) -> (u64, u64, u64) {
-        let counting: u64 = self
-            .reps
-            .iter()
-            .map(|r| r.t2.model_bits() + r.t3.sparse_model_bits() + r.hash.model_bits())
-            .sum();
+        let counting: u64 = (0..self.hashes.len())
+            .map(|j| self.rep_counting_bits(j) + self.hashes[j].model_bits())
+            .sum::<u64>()
+            + self.t2_skip.model_bits()
+            + self.bits.model_bits();
         (self.t1.model_bits(), counting, self.sampler.model_bits())
     }
 
-    /// The power-of-two subsampling rate ε̂.
-    fn eps_hat(&self) -> f64 {
-        (0.5f64).powi(self.k_eps as i32)
+    /// Deferred accounting for repetition `j`: dense gamma bits for its
+    /// T2 row plus sparse bits for its T3 row (§3.1.2: "not all the
+    /// allowed cells will actually be used"). Recomputed from the raw
+    /// tables on demand — the insert path never maintains bit sums.
+    fn rep_counting_bits(&self, j: usize) -> u64 {
+        let b = self.buckets as usize;
+        let kp1 = self.k_eps as usize + 1;
+        gamma_sum_bits(&self.t2[j * b..(j + 1) * b])
+            + sparse_slice_bits(&self.t3[j * b * kp1..(j + 1) * b * kp1])
     }
 
-    /// Epoch for the current T2 value: `⌊log₂(c · v²)⌋`, or `None` below
-    /// epoch 0. Exposed for the ablation harness (E12).
+    /// Epoch for a T2 value: the largest `t ≤ k` with
+    /// `value ≥ thresholds[t]`, i.e. `⌊log₂(c · v²)⌋` clamped to `[0, k]`,
+    /// or `None` below epoch 0. Exposed for the ablation harness (E12).
     pub fn epoch(&self, t2_value: u64) -> Option<u32> {
-        epoch_of(t2_value, self.epoch_scale, self.k_eps)
+        let n = self
+            .epoch_thresholds
+            .partition_point(|&thr| thr <= t2_value);
+        n.checked_sub(1).map(|e| e as u32)
+    }
+
+    /// Refreshes a cached epoch after its T2 counter reached `v`. The old
+    /// value is a valid starting hint because epochs only grow, so the
+    /// scan is O(1) amortized over a counter's lifetime.
+    #[inline]
+    fn advance_epoch(thresholds: &[u64], cached: u8, v: u64) -> u8 {
+        let mut idx = match cached {
+            EPOCH_NONE => 0,
+            e => e as usize + 1,
+        };
+        while idx < thresholds.len() && v >= thresholds[idx] {
+            idx += 1;
+        }
+        match idx {
+            0 => EPOCH_NONE,
+            _ => (idx - 1) as u8,
+        }
     }
 
     /// Per-repetition estimate `f̂_j(x)` of the sampled-stream count of
     /// `x`'s bucket.
-    fn estimate_rep(&self, rep: &Repetition, item: u64) -> f64 {
-        let i = rep.hash.hash(item) as usize;
+    fn estimate_rep(&self, j: usize, item: u64) -> f64 {
+        let cell = j * self.buckets as usize + self.hashes[j].hash(item) as usize;
+        // 1/ε̂ = 2^k (exact in f64 for every admissible k).
+        let inv_eps_hat = (2f64).powi(self.k_eps as i32);
         match self.mode {
-            EpochMode::Flat => rep.t2.get(i) as f64 / self.eps_hat(),
+            EpochMode::Flat => self.t2[cell] as f64 * inv_eps_hat,
             EpochMode::Accelerated => {
-                let base = i * (self.k_eps as usize + 1);
+                let base = cell * (self.k_eps as usize + 1);
                 let t3_sum: f64 = (0..=self.k_eps)
                     .map(|t| {
-                        let c = rep.t3.get(base + t as usize);
                         // p_t = 2^{t−k}; divide by it ⇒ multiply by 2^{k−t}.
-                        c as f64 * (1u64 << (self.k_eps - t)) as f64
+                        self.t3[base + t as usize] as f64 * (2f64).powi((self.k_eps - t) as i32)
                     })
                     .sum();
                 if t3_sum > 0.0 {
@@ -255,64 +388,119 @@ impl OptimalListHh {
                     // never reach epoch 0, leaving T3 empty. The ε̂-rate
                     // tracker T2 is an unbiased (higher-variance) estimate
                     // of the same count; using it beats reporting zero.
-                    rep.t2.get(i) as f64 / self.eps_hat()
+                    self.t2[cell] as f64 * inv_eps_hat
                 }
             }
         }
     }
 
     /// Median-of-repetitions estimate of the sampled-stream count of
-    /// `item`'s buckets.
+    /// `item`'s buckets. A stack scratch buffer and a linear-time
+    /// selection replace the per-query allocation and full sort; queries
+    /// stay `&self`-pure (no interior mutability), so concurrent
+    /// read-only reporting over a shared reference keeps compiling.
     fn estimate_sampled(&self, item: u64) -> f64 {
-        let mut ests: Vec<f64> = self
-            .reps
-            .iter()
-            .map(|rep| self.estimate_rep(rep, item))
-            .collect();
-        ests.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-        ests[ests.len() / 2]
+        let r = self.hashes.len();
+        // R = Θ(log φ⁻¹): 64 covers every reachable configuration down
+        // to φ ≈ 3·10⁻⁵; the heap fallback keeps smaller φ correct.
+        let mut stack = [0f64; 64];
+        let mut heap: Vec<f64>;
+        let ests: &mut [f64] = if r <= 64 {
+            &mut stack[..r]
+        } else {
+            heap = vec![0.0; r];
+            &mut heap
+        };
+        for (j, e) in ests.iter_mut().enumerate() {
+            *e = self.estimate_rep(j, item);
+        }
+        let mid = r / 2;
+        let (_, med, _) = ests.select_nth_unstable_by(mid, |a, b| a.total_cmp(b));
+        *med
     }
 }
 
 impl StreamSummary for OptimalListHh {
+    #[inline]
     fn insert(&mut self, item: u64) {
         debug_assert!(item < self.universe, "item outside declared universe");
-        if !self.sampler.accept(&mut self.rng) {
-            return;
+        // The common case — at realistic stream lengths `p ≪ 1` — is
+        // "not sampled": one skip-counter decrement and out. Keeping the
+        // heavy sampled body out of line lets this path inline into
+        // callers' insert loops.
+        if self.sampler.accept(&mut self.rng) {
+            self.sampled_insert(item);
         }
+    }
+}
+
+impl OptimalListHh {
+    /// Full per-sample update: T1 candidate tracking plus the R-repetition
+    /// T2/T3 pass.
+    #[inline(never)]
+    fn sampled_insert(&mut self, item: u64) {
         self.samples += 1;
         self.t1.insert(item);
 
+        let b = self.buckets as usize;
         let k = self.k_eps;
-        for rep in &mut self.reps {
-            let i = rep.hash.hash(item) as usize;
-            // T2: increment with probability ε̂ = 2^{-k}.
-            let word: u64 = self.rng.gen();
-            let t2_mask = if k == 0 { 0 } else { (1u64 << k.min(63)) - 1 };
-            if word & t2_mask == 0 {
-                rep.t2.increment(i);
+        let kp1 = k as usize + 1;
+        let accelerated = self.mode == EpochMode::Accelerated;
+        // Split the borrows so each table is its own (non-aliasing) slice
+        // and keep the two sampler states in registers across the loop:
+        // through `&mut self` every store could alias the next
+        // repetition's loads, which serializes the otherwise-independent
+        // per-repetition chains.
+        let Self {
+            hashes,
+            t2,
+            t3,
+            epochs,
+            epoch_thresholds,
+            t3_mask,
+            t3_add,
+            t3_slot,
+            t2_skip,
+            bits,
+            rng,
+            ..
+        } = self;
+        let thresholds = epoch_thresholds.as_slice();
+        let sink_base = t3.len() - hashes.len();
+        let mut skip = *t2_skip;
+        let mut buf = *bits;
+        for (j, h) in hashes.iter().enumerate() {
+            let cell = j * b + h.hash(item) as usize;
+            // T2: increment with probability ε̂ = 2^{-k}; the geometric
+            // skip makes the (1 − ε̂) common case one decrement.
+            if skip.accept(rng) {
+                let v = t2[cell] + 1;
+                t2[cell] = v;
+                epochs[cell] = Self::advance_epoch(thresholds, epochs[cell], v);
             }
-            if self.mode == EpochMode::Flat {
+            if !accelerated {
                 continue;
             }
-            // T3: epoch from the (possibly just-updated) T2 value.
-            let v = rep.t2.get(i);
-            let t = match epoch_of(v, self.epoch_scale, k) {
-                Some(t) => t,
-                None => continue,
-            };
-            // p_t = 2^{t−k}: accept iff (k − t) fresh bits are all zero.
-            let need = k - t;
-            let accept = if need == 0 {
-                true
+            // T3 trial at p_t = 2^{t−k} for the cached epoch t. The whole
+            // decision is branchless — the epoch class of a bucket is
+            // data-random across repetitions, so a branch here
+            // mispredicts its way to dominating the update cost. A fixed
+            // k-bit slice is drawn either way (failed and below-epoch-0
+            // trials just discard it), the mask/veto tables turn the
+            // epoch byte into an accept bit, and failed trials bounce
+            // their increment into the always-hot sink cell.
+            let slice = buf.take(k, rng);
+            let e = epochs[cell] as usize;
+            let accept = (slice & t3_mask[e]).wrapping_add(t3_add[e]) == 0;
+            let idx = if accept {
+                cell * kp1 + t3_slot[e] as usize
             } else {
-                let w: u64 = self.rng.gen();
-                w & ((1u64 << need) - 1) == 0
+                sink_base + j
             };
-            if accept {
-                rep.t3.increment(i * (k as usize + 1) + t as usize);
-            }
+            t3[idx] += 1;
         }
+        *t2_skip = skip;
+        *bits = buf;
     }
 }
 
@@ -347,26 +535,19 @@ impl crate::traits::FrequencyEstimator for OptimalListHh {
 
 impl SpaceUsage for OptimalListHh {
     fn model_bits(&self) -> u64 {
-        let reps: u64 = self
-            .reps
-            .iter()
-            .map(|r| {
-                // T2 dense (Θ(1) expected bits per bucket), T3 sparse
-                // (§3.1.2: "not all the allowed cells will actually be
-                // used"), plus the hash seed.
-                r.t2.model_bits() + r.t3.sparse_model_bits() + r.hash.model_bits()
-            })
-            .sum();
-        self.t1.model_bits() + reps + self.sampler.model_bits()
+        let (t1, counting, sampler) = self.component_bits();
+        t1 + counting + sampler
     }
 
     fn heap_bytes(&self) -> usize {
         self.t1.heap_bytes()
-            + self
-                .reps
-                .iter()
-                .map(|r| r.t2.heap_bytes() + r.t3.heap_bytes())
-                .sum::<usize>()
+            + self.t2.capacity() * 8
+            + self.t3.capacity() * 8
+            + self.epochs.capacity()
+            + self.epoch_thresholds.capacity() * 8
+            + self.hashes.capacity() * core::mem::size_of::<MultiplyShift64Hash>()
+            // The boxed 256-entry trial tables.
+            + 256 * (8 + 8 + 1)
     }
 }
 
@@ -458,7 +639,7 @@ mod tests {
         let a = OptimalListHh::new(params, 1 << 20, 1 << 20, 3).unwrap();
         assert_eq!(a.epoch(0), None);
         // Below the epoch-0 threshold T2² · c < 1.
-        let thresh = (1.0 / a.epoch_scale).sqrt();
+        let thresh = (1.0 / Constants::default().a2_epoch_scale).sqrt();
         assert_eq!(a.epoch((thresh * 0.5) as u64), None);
         // Above it, epochs increase and clamp at k_eps.
         let t_lo = a.epoch((thresh * 1.5) as u64).unwrap();
@@ -466,6 +647,39 @@ mod tests {
         assert!(t_hi > t_lo);
         assert!(t_hi <= a.k_eps);
         assert_eq!(a.epoch(u32::MAX as u64), Some(a.k_eps));
+    }
+
+    #[test]
+    fn epoch_table_matches_reference_formula() {
+        // The integer threshold table must agree with the float formula
+        // it replaced, including exactly at every boundary.
+        let params = HhParams::with_delta(0.05, 0.2, 0.1).unwrap();
+        let a = OptimalListHh::new(params, 1 << 20, 1 << 20, 3).unwrap();
+        let scale = Constants::default().a2_epoch_scale;
+        let reference = |v: u64| raw_epoch(v, scale).map(|e| e.min(a.k_eps));
+        for v in 0..5000u64 {
+            assert_eq!(a.epoch(v), reference(v), "v={v}");
+        }
+        for &thr in &a.epoch_thresholds {
+            for v in [thr.saturating_sub(1), thr, thr + 1] {
+                assert_eq!(a.epoch(v), reference(v), "boundary v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn cached_epoch_advance_matches_lookup() {
+        let params = HhParams::with_delta(0.02, 0.1, 0.1).unwrap();
+        let a = OptimalListHh::new(params, 1 << 20, 1 << 20, 5).unwrap();
+        let mut cached = EPOCH_NONE;
+        for v in 1..20_000u64 {
+            cached = OptimalListHh::advance_epoch(&a.epoch_thresholds, cached, v);
+            let expect = match a.epoch(v) {
+                None => EPOCH_NONE,
+                Some(e) => e as u8,
+            };
+            assert_eq!(cached, expect, "v={v}");
+        }
     }
 
     #[test]
@@ -484,7 +698,7 @@ mod tests {
         let m = 300_000u64;
         let (a, _) = run(m, &[(7, 0.40)], 0.05, 0.15, 4, EpochMode::Flat);
         // T3 untouched in flat mode.
-        assert!(a.reps.iter().all(|r| r.t3.nonzero() == 0));
+        assert!(a.t3.iter().all(|&c| c == 0));
         let r = a.report();
         assert!(r.contains(7), "flat mode should still find a 40% item");
     }
@@ -516,11 +730,10 @@ mod tests {
             )
             .unwrap();
             a.insert_all(&stream);
-            a.reps
-                .iter()
-                .map(|r| r.t2.model_bits() + r.t3.sparse_model_bits())
+            (0..a.repetitions())
+                .map(|j| a.rep_counting_bits(j))
                 .sum::<u64>() as f64
-                / a.reps.len() as f64
+                / a.repetitions() as f64
         };
         let coarse = per_rep_bits(0.1, 5);
         let fine = per_rep_bits(0.025, 6);
@@ -552,6 +765,28 @@ mod tests {
                 (est - frac * m as f64).abs() <= 0.05 * m as f64,
                 "item {item}: est {est}"
             );
+        }
+    }
+
+    #[test]
+    fn degenerate_epoch_scale_is_rejected_not_hung() {
+        // A non-positive or NaN scale would make the threshold search
+        // loop forever; construction must error instead.
+        let params = HhParams::with_delta(0.05, 0.2, 0.1).unwrap();
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let consts = Constants {
+                a2_epoch_scale: bad,
+                ..Constants::default()
+            };
+            let r = OptimalListHh::with_constants(
+                params,
+                1 << 20,
+                1 << 20,
+                0,
+                consts,
+                EpochMode::Accelerated,
+            );
+            assert!(r.is_err(), "scale {bad} must be rejected");
         }
     }
 

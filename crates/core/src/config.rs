@@ -80,7 +80,9 @@ pub struct Constants {
     /// (paper: 10⁵).
     pub a2_sample_factor: f64,
     /// Algorithm 2 bucket count: `⌈a2_bucket_factor / ε⌉` hash buckets per
-    /// repetition (paper: 100).
+    /// repetition (paper: 100), realized as the doubled power of two that
+    /// keeps the plain-universal repetition hash within the `1/buckets`
+    /// collision budget (see `MultiplyShift64Family::covering_universal`).
     pub a2_bucket_factor: f64,
     /// Algorithm 2 repetitions: `max(a2_rep_min, ⌈a2_rep_factor·ln(12/φ)⌉)`
     /// (paper: 200·log(12/φ)).
@@ -133,13 +135,29 @@ impl Constants {
 
     /// Smaller multipliers with the same asymptotics; validated
     /// empirically by experiment E11. This is the default profile.
+    ///
+    /// On `a2_sample_factor`: the paper's 10⁵ (and this profile's earlier
+    /// 4·10³) keeps `ℓ = Θ(ε⁻²)` so conservative that `p = min(2ℓ/m, 1)`
+    /// saturates at 1 on any stream short of m ≈ 10⁸, which silently
+    /// moves Algorithm 2 out of the sampled regime its O(1)-amortized
+    /// update analysis (§3.1) describes — every item then pays the full
+    /// `R` repetitions. 250 keeps ℓ ≈ 5× Algorithm 1's effective
+    /// per-sample budget (`6·ln(6/δ) ≈ 46` per ε⁻²), which leaves the
+    /// (φ − ε)-separation margins at tens of standard deviations on the
+    /// E11 workloads while letting realistic stream lengths actually
+    /// sample (see DESIGN.md).
     pub fn practical() -> Self {
         Self {
             sample_factor: 16.0,
             mg_capacity_factor: 4.0,
             hash_range_factor: 1.0,
-            a2_sample_factor: 4e3,
-            a2_bucket_factor: 32.0,
+            a2_sample_factor: 250.0,
+            // 24 (not 32): after the ×2 universality rounding the bucket
+            // count lands one power of two lower across the working ε
+            // range, which keeps the per-repetition epoch cache L1-sized;
+            // the realized collision bound 2/2^l ≤ ε/24 still clears the
+            // ε-budget share the bucket analysis allots.
+            a2_bucket_factor: 24.0,
             a2_rep_factor: 5.0,
             a2_rep_min: 7,
             a2_epoch_scale: 4e-4,

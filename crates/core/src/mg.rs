@@ -10,6 +10,16 @@
 //! Guarantee: after `s` insertions, every estimate satisfies
 //! `f_x − s/(k+1) ≤ estimate(x) ≤ f_x` where `k` is the capacity.
 //!
+//! The table is a small open-addressed array (multiplicative hash, linear
+//! probing, ≤ 50% load) rather than a `HashMap`: this insert sits on the
+//! per-sampled-item path of both heavy-hitter algorithms and *is* the
+//! `misra_gries` baseline, so the hit path must be a multiply, a masked
+//! probe, and one increment. A slot is live iff its count is nonzero —
+//! Misra–Gries removes entries exactly when their counter hits zero, so
+//! no tombstones are needed: the decrement-all step rebuilds the (tiny)
+//! table, which the standard argument amortizes against earlier
+//! increments.
+//!
 //! The decrement-all step is implemented directly; each decrement is paid
 //! for by an earlier increment, so updates are amortized `O(1)` (worst-case
 //! `O(1)` variants exist via the \[DLOM02\] doubly-linked group structure;
@@ -20,17 +30,31 @@
 use crate::traits::StreamSummary;
 use hh_space::space::{gamma_bits, SpaceUsage};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+
+/// Multiplicative-hash constant (2⁶⁴/φ, odd).
+const SEED: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// A Misra–Gries table with `k` counters over `u64` keys.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MisraGries {
-    counters: HashMap<u64, u64>,
+    /// Open-addressed parallel arrays; `counts[i] == 0` marks an empty
+    /// slot. Power-of-two length `> 2·capacity`, so probe chains stay
+    /// short and an empty slot always terminates a scan.
+    keys: Vec<u64>,
+    counts: Vec<u64>,
+    /// `keys.len() - 1` (power-of-two mask).
+    mask: usize,
+    /// `64 − log₂(keys.len())`, the multiplicative-hash shift.
+    shift: u32,
+    /// Live entries.
+    len: usize,
     capacity: usize,
     /// Bits charged per stored key (callers price raw ids at `log n` and
     /// hashed ids at `log(hash range)`).
     key_bits: u64,
     processed: u64,
+    /// Reused survivor buffer for decrement-all / merge rebuilds.
+    scratch: Vec<(u64, u64)>,
 }
 
 impl MisraGries {
@@ -38,11 +62,19 @@ impl MisraGries {
     /// key in the space model.
     pub fn new(capacity: usize, key_bits: u64) -> Self {
         assert!(capacity >= 1, "capacity must be at least 1");
+        // ≥ 2·(capacity+1) slots: at most ~50% load, so probes stay short
+        // and an empty slot always exists to stop them.
+        let slots = ((capacity + 1) * 2).next_power_of_two().max(4);
         Self {
-            counters: HashMap::with_capacity(capacity + 1),
+            keys: vec![0; slots],
+            counts: vec![0; slots],
+            mask: slots - 1,
+            shift: 64 - slots.trailing_zeros(),
+            len: 0,
             capacity,
             key_bits,
             processed: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -58,12 +90,12 @@ impl MisraGries {
 
     /// Number of keys currently held.
     pub fn len(&self) -> usize {
-        self.counters.len()
+        self.len
     }
 
     /// Whether the table is empty.
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty()
+        self.len == 0
     }
 
     /// Items inserted so far.
@@ -71,9 +103,24 @@ impl MisraGries {
         self.processed
     }
 
+    #[inline]
+    fn home_slot(&self, key: u64) -> usize {
+        (key.wrapping_mul(SEED) >> self.shift) as usize
+    }
+
     /// The lower-bound estimate for `key` (0 if absent).
     pub fn estimate(&self, key: u64) -> u64 {
-        self.counters.get(&key).copied().unwrap_or(0)
+        let mut i = self.home_slot(key);
+        loop {
+            let c = self.counts[i];
+            if c == 0 {
+                return 0;
+            }
+            if self.keys[i] == key {
+                return c;
+            }
+            i = (i + 1) & self.mask;
+        }
     }
 
     /// The worst-case undercount: `processed / (capacity + 1)`.
@@ -81,35 +128,80 @@ impl MisraGries {
         self.processed / (self.capacity as u64 + 1)
     }
 
+    /// Live `(key, count)` pairs in slot order (unsorted).
+    fn live(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.keys
+            .iter()
+            .zip(&self.counts)
+            .filter(|&(_, &c)| c > 0)
+            .map(|(&k, &c)| (k, c))
+    }
+
     /// Current `(key, count)` pairs in decreasing count order.
     pub fn entries(&self) -> Vec<(u64, u64)> {
-        let mut v: Vec<(u64, u64)> = self.counters.iter().map(|(&k, &c)| (k, c)).collect();
+        let mut v: Vec<(u64, u64)> = self.live().collect();
         v.sort_unstable_by_key(|&(k, c)| (std::cmp::Reverse(c), k));
         v
     }
 
     /// The key with the largest counter, if any.
     pub fn argmax(&self) -> Option<(u64, u64)> {
-        self.counters
-            .iter()
-            .map(|(&k, &c)| (k, c))
-            .max_by_key(|&(k, c)| (c, std::cmp::Reverse(k)))
+        self.live().max_by_key(|&(k, c)| (c, std::cmp::Reverse(k)))
+    }
+
+    /// Places a key known to be absent, without capacity bookkeeping.
+    fn place(&mut self, key: u64, count: u64) {
+        debug_assert!(count > 0);
+        let mut i = self.home_slot(key);
+        while self.counts[i] != 0 {
+            debug_assert_ne!(self.keys[i], key, "place() requires an absent key");
+            i = (i + 1) & self.mask;
+        }
+        self.keys[i] = key;
+        self.counts[i] = count;
+        self.len += 1;
+    }
+
+    /// Rebuilds the table from `scratch` (survivor pairs). Clearing and
+    /// re-placing sidesteps linear-probing tombstones: the table is at
+    /// most `2·capacity` entries and rebuilds are amortized against the
+    /// increments that funded the removed counts.
+    fn rebuild_from_scratch(&mut self) {
+        self.counts.fill(0);
+        self.len = 0;
+        let mut survivors = std::mem::take(&mut self.scratch);
+        for &(k, c) in &survivors {
+            self.place(k, c);
+        }
+        survivors.clear();
+        self.scratch = survivors;
     }
 
     /// Merges another table into this one (sums counters, then reduces
     /// back to capacity by subtracting the (k+1)-th largest count — the
     /// standard mergeable-summaries construction, which preserves the
     /// error bound `s/(k+1)` for the combined stream).
+    ///
+    /// The combined multiset is assembled in a side list, reduced, and
+    /// only then placed into the fixed-size slot array: `other` may hold
+    /// more live entries than this table has slots (capacities need not
+    /// match), so merging in-table could fill every slot and leave the
+    /// probe loops nowhere to terminate.
     pub fn merge(&mut self, other: &MisraGries) {
-        for (&k, &c) in &other.counters {
-            *self.counters.entry(k).or_insert(0) += c;
+        let mut combined: Vec<(u64, u64)> = self.live().collect();
+        combined.sort_unstable();
+        for (k, c) in other.live() {
+            match combined.binary_search_by_key(&k, |&(key, _)| key) {
+                Ok(i) => combined[i].1 += c,
+                Err(i) => combined.insert(i, (k, c)),
+            }
         }
         self.processed += other.processed;
-        if self.counters.len() > self.capacity {
-            let mut counts: Vec<u64> = self.counters.values().copied().collect();
+        if combined.len() > self.capacity {
+            let mut counts: Vec<u64> = combined.iter().map(|&(_, c)| c).collect();
             counts.sort_unstable_by(|a, b| b.cmp(a));
             let cut = counts[self.capacity];
-            self.counters.retain(|_, c| {
+            combined.retain_mut(|(_, c)| {
                 if *c > cut {
                     *c -= cut;
                     true
@@ -118,44 +210,70 @@ impl MisraGries {
                 }
             });
         }
+        self.scratch = combined;
+        self.rebuild_from_scratch();
     }
 }
+
+impl PartialEq for MisraGries {
+    /// Content equality (same entries, parameters, and stream position);
+    /// the physical slot layout is history-dependent and irrelevant.
+    fn eq(&self, other: &Self) -> bool {
+        self.capacity == other.capacity
+            && self.key_bits == other.key_bits
+            && self.processed == other.processed
+            && self.entries() == other.entries()
+    }
+}
+
+impl Eq for MisraGries {}
 
 impl StreamSummary for MisraGries {
     fn insert(&mut self, key: u64) {
         self.processed += 1;
-        if let Some(c) = self.counters.get_mut(&key) {
-            *c += 1;
-            return;
+        let mut i = self.home_slot(key);
+        loop {
+            let c = self.counts[i];
+            if c == 0 {
+                break;
+            }
+            if self.keys[i] == key {
+                self.counts[i] = c + 1;
+                return;
+            }
+            i = (i + 1) & self.mask;
         }
-        if self.counters.len() < self.capacity {
-            self.counters.insert(key, 1);
+        if self.len < self.capacity {
+            self.keys[i] = key;
+            self.counts[i] = 1;
+            self.len += 1;
             return;
         }
         // Table full and key absent: decrement everything (the incoming
-        // item's single unit annihilates with one unit of every counter).
-        self.counters.retain(|_, c| {
-            *c -= 1;
-            *c > 0
-        });
+        // item's single unit annihilates with one unit of every counter)
+        // and rebuild from the survivors.
+        let mut survivors = std::mem::take(&mut self.scratch);
+        survivors.clear();
+        survivors.extend(self.live().filter(|&(_, c)| c > 1).map(|(k, c)| (k, c - 1)));
+        self.scratch = survivors;
+        self.rebuild_from_scratch();
     }
 }
 
 impl SpaceUsage for MisraGries {
     fn model_bits(&self) -> u64 {
         let filled: u64 = self
-            .counters
-            .values()
-            .map(|&c| self.key_bits + gamma_bits(c))
+            .live()
+            .map(|(_, c)| self.key_bits + gamma_bits(c))
             .sum();
         // Empty slots still need a presence bit; the stream-position
         // counter is charged at its variable-length cost.
-        let empty = (self.capacity - self.counters.len()) as u64;
+        let empty = (self.capacity - self.len.min(self.capacity)) as u64;
         filled + empty + gamma_bits(self.processed)
     }
 
     fn heap_bytes(&self) -> usize {
-        self.counters.capacity() * (8 + 8 + 8) // key, value, bucket overhead
+        (self.keys.capacity() + self.counts.capacity()) * 8 + self.scratch.capacity() * 16
     }
 }
 
@@ -243,6 +361,21 @@ mod tests {
     }
 
     #[test]
+    fn content_equality_ignores_probe_history() {
+        // Same multiset of counters via different histories (one table
+        // went through decrement churn) must compare equal.
+        let a = run(3, &[5, 5, 6]);
+        let b = run(3, &[9, 7, 8, 5, 5, 6, 9, 7, 8]);
+        // a: {5: 2, 6: 1}; b ends with the same survivors only if the
+        // churn removed the rest — verify and compare content.
+        assert_eq!(a.entries(), vec![(5, 2), (6, 1)]);
+        let mut c = run(3, &[6, 5, 5]);
+        c.processed = a.processed; // align stream position for Eq
+        assert_eq!(a, c);
+        assert_ne!(a, b);
+    }
+
+    #[test]
     fn merge_preserves_error_bound() {
         use rand::rngs::StdRng;
         use rand::{Rng, SeedableRng};
@@ -269,10 +402,43 @@ mod tests {
     }
 
     #[test]
+    fn merge_from_larger_capacity_table_terminates_and_reduces() {
+        // `other` holds more live entries than `a` has slots; the merge
+        // must reduce to `a`'s capacity, not hang probing a full table.
+        let mut a = run(4, &[1, 1, 1, 2, 2, 3, 4]);
+        let mut b = MisraGries::new(32, 16);
+        for k in 100..130u64 {
+            for _ in 0..=(k - 100) {
+                b.insert(k);
+            }
+        }
+        assert!(b.len() > a.keys.len());
+        a.merge(&b);
+        assert!(a.len() <= 4);
+        assert_eq!(a.processed(), 7 + b.processed());
+        // The heaviest incoming key survives the cut.
+        assert!(a.estimate(129) > 0);
+    }
+
+    #[test]
     fn space_accounts_keys_and_counters() {
         let mg = run(4, &[1, 1, 1]);
         // One filled slot: 16 key bits + gamma(3) = 5 bits; 3 empty slots;
         // processed = 3 → gamma(3) = 5.
         assert_eq!(mg.model_bits(), 16 + 5 + 3 + 5);
+    }
+
+    #[test]
+    fn heavy_survivor_outlives_decrement_churn() {
+        // A genuinely heavy key must survive many decrement-all rebuilds
+        // with the classic bound intact.
+        let mut stream = Vec::new();
+        for i in 0..4000u64 {
+            stream.push(42);
+            stream.push(10_000 + i); // fresh singleton every step
+        }
+        let mg = run(4, &stream);
+        assert!(mg.estimate(42) >= 4000 - mg.max_error());
+        assert!(mg.estimate(42) <= 4000);
     }
 }

@@ -13,12 +13,12 @@
 //! beats.
 
 use hh_core::{FrequencyEstimator, HeavyHitters, ItemEstimate, Report, StreamSummary};
+use hh_hash::FastMap;
 use hh_hash::{CarterWegmanFamily, CarterWegmanHash, HashFamily, HashFunction};
 use hh_space::space::{gamma_bits, SpaceUsage};
 use hh_space::VarCounterArray;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::HashMap;
 
 /// The Count-Min sketch with heavy-hitter candidate tracking.
 #[derive(Debug, Clone)]
@@ -28,7 +28,7 @@ pub struct CountMin {
     /// Conservative update: only raise the minimal counters. Halves the
     /// overestimate in practice at no space cost (an ablation knob).
     conservative: bool,
-    candidates: HashMap<u64, ()>,
+    candidates: FastMap<u64, ()>,
     candidate_cap: usize,
     key_bits: u64,
     processed: u64,
@@ -72,7 +72,7 @@ impl CountMin {
             rows,
             width,
             conservative,
-            candidates: HashMap::new(),
+            candidates: FastMap::default(),
             candidate_cap: ((8.0 / phi).ceil() as usize).max(8),
             key_bits: hh_space::id_bits(universe),
             processed: 0,

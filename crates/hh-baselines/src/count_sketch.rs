@@ -8,11 +8,11 @@
 //! exhibits against both Count-Min and the paper's algorithms.
 
 use hh_core::{FrequencyEstimator, HeavyHitters, ItemEstimate, Report, StreamSummary};
+use hh_hash::FastMap;
 use hh_hash::{HashFamily, HashFunction, PolynomialFamily, PolynomialHash};
 use hh_space::space::{gamma_bits, SpaceUsage};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::HashMap;
 
 /// The CountSketch summary with heavy-hitter candidate tracking.
 #[derive(Debug, Clone)]
@@ -20,7 +20,7 @@ pub struct CountSketch {
     /// Per row: (bucket-and-sign hash, signed counters).
     rows: Vec<(PolynomialHash, Vec<i64>)>,
     width: u64,
-    candidates: HashMap<u64, ()>,
+    candidates: FastMap<u64, ()>,
     candidate_cap: usize,
     key_bits: u64,
     processed: u64,
@@ -56,7 +56,7 @@ impl CountSketch {
         Self {
             rows,
             width,
-            candidates: HashMap::new(),
+            candidates: FastMap::default(),
             candidate_cap: ((8.0 / phi).ceil() as usize).max(8),
             key_bits: hh_space::id_bits(universe),
             processed: 0,

@@ -12,14 +12,14 @@
 //!   Misra–Gries by a log factor, which experiment E7 shows.
 
 use hh_core::{FrequencyEstimator, HeavyHitters, ItemEstimate, Report, StreamSummary};
+use hh_hash::FastMap;
 use hh_space::space::{gamma_bits, SpaceUsage};
-use std::collections::HashMap;
 
 /// The Lossy Counting summary.
 #[derive(Debug, Clone)]
 pub struct LossyCounting {
     /// item → (count since tracked, Δ).
-    entries: HashMap<u64, (u64, u64)>,
+    entries: FastMap<u64, (u64, u64)>,
     window: u64,
     current_window: u64,
     in_window: u64,
@@ -36,7 +36,7 @@ impl LossyCounting {
         assert!(eps > 0.0 && eps < 1.0, "eps must be in (0,1)");
         assert!(phi > eps && phi <= 1.0, "need eps < phi <= 1");
         Self {
-            entries: HashMap::new(),
+            entries: FastMap::default(),
             window: (2.0 / eps).ceil() as u64,
             current_window: 1,
             in_window: 0,

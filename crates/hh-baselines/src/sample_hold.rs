@@ -11,16 +11,16 @@
 //! oversampled by the usual factor.
 
 use hh_core::{FrequencyEstimator, HeavyHitters, ItemEstimate, Report, StreamSummary};
+use hh_hash::FastMap;
 use hh_space::space::{gamma_bits, SpaceUsage};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
 
 /// The Sample-and-Hold summary.
 #[derive(Debug, Clone)]
 pub struct SampleAndHold {
     /// Held items with their exact counts since being held.
-    held: HashMap<u64, u64>,
+    held: FastMap<u64, u64>,
     /// Sampling exponent: admission probability `2^{-k}`.
     k: u32,
     key_bits: u64,
@@ -41,7 +41,7 @@ impl SampleAndHold {
         assert!(m >= 1, "stream length must be positive");
         let p = (8.0 * (1.0 / delta).ln() / (eps * m as f64)).min(1.0);
         Self {
-            held: HashMap::new(),
+            held: FastMap::default(),
             k: hh_sampling::bernoulli::pow2_exponent(p),
             key_bits: hh_space::id_bits(universe),
             processed: 0,

@@ -17,8 +17,8 @@
 //! implement it slab-style (index-linked, no unsafe).
 
 use hh_core::{FrequencyEstimator, HeavyHitters, ItemEstimate, Report, StreamSummary};
+use hh_hash::FastMap;
 use hh_space::space::{gamma_bits, SpaceUsage};
-use std::collections::HashMap;
 
 const NONE: u32 = u32::MAX;
 
@@ -47,7 +47,7 @@ struct Bucket {
 pub struct SpaceSaving {
     capacity: usize,
     key_bits: u64,
-    map: HashMap<u64, u32>,
+    map: FastMap<u64, u32>,
     nodes: Vec<Node>,
     buckets: Vec<Bucket>,
     free_buckets: Vec<u32>,
@@ -71,7 +71,7 @@ impl SpaceSaving {
         Self {
             capacity,
             key_bits: hh_space::id_bits(universe),
-            map: HashMap::with_capacity(capacity),
+            map: hh_hash::fast_map_with_capacity(capacity),
             nodes: Vec::with_capacity(capacity),
             buckets: Vec::new(),
             free_buckets: Vec::new(),
@@ -220,7 +220,7 @@ impl SpaceSaving {
         Self {
             capacity: self.capacity,
             key_bits: self.key_bits,
-            map: HashMap::with_capacity(self.capacity),
+            map: hh_hash::fast_map_with_capacity(self.capacity),
             nodes: Vec::with_capacity(self.capacity),
             buckets: Vec::new(),
             free_buckets: Vec::new(),

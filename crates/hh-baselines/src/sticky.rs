@@ -8,15 +8,15 @@
 //! the start. Tracked counts undercount by `ε'm` with probability `1 − δ`.
 
 use hh_core::{FrequencyEstimator, HeavyHitters, ItemEstimate, Report, StreamSummary};
+use hh_hash::FastMap;
 use hh_space::space::{gamma_bits, SpaceUsage};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
 
 /// The Sticky Sampling summary.
 #[derive(Debug, Clone)]
 pub struct StickySampling {
-    entries: HashMap<u64, u64>,
+    entries: FastMap<u64, u64>,
     /// Current sampling rate is `1/2^rate_exp`.
     rate_exp: u32,
     /// End position (exclusive) of the current rate window.
@@ -40,7 +40,7 @@ impl StickySampling {
         let eps_int = eps / 2.0;
         let t = ((1.0 / eps_int) * (1.0 / (phi * delta)).ln()).ceil() as u64;
         Self {
-            entries: HashMap::new(),
+            entries: FastMap::default(),
             rate_exp: 0,
             window_end: 2 * t.max(1),
             t: t.max(1),

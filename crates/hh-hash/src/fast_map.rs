@@ -1,0 +1,144 @@
+//! A deterministic, multiply-based `std::hash::Hasher` for `u64`-keyed
+//! hash maps on hot paths.
+//!
+//! `std::collections::HashMap`'s default SipHash costs more per lookup
+//! (~20 ns) than this repo's entire per-item time budget for the
+//! optimized Algorithm 2. For *internal* tables keyed by stream item ids
+//! (Misra–Gries candidate tables, baseline summaries) the DoS-resistance
+//! of SipHash buys nothing — keys are bounded integers, the tables are
+//! size-capped by construction, and the algorithms already assume only
+//! universal hashing — so a fixed multiply-mix hasher in the style of
+//! rustc's FxHash is the right trade.
+//!
+//! This is *not* a [`crate::HashFamily`]: there is no seed, no
+//! universality guarantee, and it must never back any structure whose
+//! analysis needs pairwise independence. It exists solely to make
+//! `HashMap<u64, _>` fast and deterministic.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-mix hasher specialized for integer keys.
+///
+/// Each `write_*` folds the value in with a rotate-xor and a
+/// multiplication by a 64-bit odd constant, which diffuses low-bit
+/// patterns into the high bits `HashMap` uses for bucket selection.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxU64Hasher {
+    state: u64,
+}
+
+/// The multiplicative constant: ≈ 2⁶⁴/π, the mixer rustc's FxHash uses.
+/// (Distinct from the 2⁶⁴/φ golden-ratio constant `0x9E37…7C15` used by
+/// the Misra–Gries slot hash; both are fine mixers — just don't "unify"
+/// them to match a comment.)
+const SEED: u64 = 0x517c_c1b7_2722_0a95;
+
+impl FxU64Hasher {
+    #[inline]
+    fn mix(&mut self, v: u64) {
+        self.state = (self.state.rotate_left(5) ^ v).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxU64Hasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback: fold 8-byte words, then the tail.
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.mix(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            self.mix(u64::from_le_bytes(tail) ^ rem.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxU64Hasher`]; plug into
+/// `HashMap::with_capacity_and_hasher` or use [`FastMap`].
+pub type FxBuildHasher = BuildHasherDefault<FxU64Hasher>;
+
+/// A `HashMap` wired to the fast integer hasher.
+pub type FastMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// Creates an empty [`FastMap`] with at least `cap` capacity.
+pub fn fast_map_with_capacity<K, V>(cap: usize) -> FastMap<K, V> {
+    FastMap::with_capacity_and_hasher(cap, FxBuildHasher::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_one(v: u64) -> u64 {
+        let mut h = FxU64Hasher::default();
+        h.write_u64(v);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        assert_eq!(hash_one(42), hash_one(42));
+        assert_ne!(hash_one(42), hash_one(43));
+    }
+
+    #[test]
+    fn sequential_keys_spread_over_high_bits() {
+        // HashMap derives the bucket from the high bits; sequential ids
+        // must not collapse there.
+        let tops: std::collections::HashSet<u64> =
+            (0..1024u64).map(|v| hash_one(v) >> 57).collect();
+        assert!(
+            tops.len() > 64,
+            "only {} distinct high-7 values",
+            tops.len()
+        );
+    }
+
+    #[test]
+    fn map_works_end_to_end() {
+        let mut m: FastMap<u64, u64> = fast_map_with_capacity(16);
+        for k in 0..1000u64 {
+            *m.entry(k % 37).or_insert(0) += 1;
+        }
+        assert_eq!(m.len(), 37);
+        assert_eq!(m[&0], 28);
+    }
+
+    #[test]
+    fn byte_fallback_differs_by_length() {
+        let mut a = FxU64Hasher::default();
+        a.write(&[1, 2, 3]);
+        let mut b = FxU64Hasher::default();
+        b.write(&[1, 2, 3, 0]);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -6,9 +6,10 @@
 //! storing `h` costs `O(log |A|)` bits. This crate provides four
 //! interchangeable constructions:
 //!
-//! * [`CarterWegmanFamily`] — `((a·x + b) mod p) mod r` over the Mersenne
-//!   prime `p = 2⁶¹ − 1`; pairwise independent, the textbook family the
-//!   paper cites (\[LRSC01\]).
+//! * [`CarterWegmanFamily`] — `fastrange((a·x + b) mod p, r)` over the
+//!   Mersenne prime `p = 2⁶¹ − 1`; pairwise independent, the textbook
+//!   family the paper cites (\[LRSC01\]), with a division-free Lemire
+//!   range reduction.
 //! * [`MultiplyShiftFamily`] — Dietzfelbinger's multiply-shift scheme for
 //!   power-of-two ranges; 2-universal, fastest in practice, the natural
 //!   choice in the unit-cost RAM model of §2.3 (\[DHKP97\] is by the same
@@ -39,13 +40,17 @@
 #![warn(missing_docs)]
 
 pub mod carter_wegman;
+pub mod fast_map;
 pub mod mersenne;
 pub mod multiply_shift;
 pub mod polynomial;
 pub mod tabulation;
 
 pub use carter_wegman::{CarterWegmanFamily, CarterWegmanHash};
-pub use multiply_shift::{MultiplyShiftFamily, MultiplyShiftHash};
+pub use fast_map::{fast_map_with_capacity, FastMap, FxBuildHasher, FxU64Hasher};
+pub use multiply_shift::{
+    MultiplyShift64Family, MultiplyShift64Hash, MultiplyShiftFamily, MultiplyShiftHash,
+};
 pub use polynomial::{PolynomialFamily, PolynomialHash};
 pub use tabulation::{TabulationFamily, TabulationHash};
 

@@ -57,6 +57,22 @@ pub fn mul(a: u64, b: u64) -> u64 {
     reduce128(a as u128 * b as u128)
 }
 
+/// Lemire's multiply-shift fast-range reduction of a field element
+/// `v ∈ [0, 2⁶¹)` into `[0, range)`: `⌊v · range / 2⁶¹⌋`.
+///
+/// This replaces the hardware division of `v % range` with one widening
+/// multiply and a shift. Like `mod`, it partitions `[0, p)` into `range`
+/// preimage classes whose sizes differ by at most one, so for a
+/// pairwise-independent `v` the collision bound
+/// `Pr[bucket(a) = bucket(b)] ≤ ⌈p/range⌉/p ≤ (1 + range/p)/range`
+/// is unchanged — the Carter–Wegman guarantee survives, only the
+/// bucket *labels* differ from the `mod` version.
+#[inline]
+pub fn fast_range(v: u64, range: u64) -> u64 {
+    debug_assert!(v < (1u64 << 61));
+    ((v as u128 * range as u128) >> 61) as u64
+}
+
 /// Horner evaluation of a polynomial with coefficients `coeffs` (constant
 /// term last) at `x`, everything mod p.
 #[inline]
@@ -114,6 +130,27 @@ mod tests {
             assert_eq!(add(a, b) as u128, (a as u128 + b as u128) % P as u128);
             assert_eq!(mul(a, b) as u128, (a as u128 * b as u128) % P as u128);
         }
+    }
+
+    #[test]
+    fn fast_range_stays_in_range_and_is_balanced() {
+        // Always lands in [0, range).
+        for range in [1u64, 2, 3, 17, 100, 1 << 20] {
+            for v in [0u64, 1, P / 2, P - 1] {
+                assert!(fast_range(v, range) < range, "v={v} range={range}");
+            }
+        }
+        // Preimage classes over [0, p) differ in size by at most one:
+        // check on a small exhaustive sub-problem with the same formula
+        // shape (width 2^7 standing in for 2^61).
+        let bits = 7u32;
+        let range = 10u64;
+        let mut sizes = vec![0u64; range as usize];
+        for v in 0..(1u64 << bits) {
+            sizes[((v as u128 * range as u128) >> bits) as usize] += 1;
+        }
+        let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        assert!(max - min <= 1, "unbalanced: {sizes:?}");
     }
 
     #[test]

@@ -79,7 +79,12 @@ impl PolynomialHash {
 impl HashFunction for PolynomialHash {
     #[inline]
     fn hash(&self, x: u64) -> u64 {
-        mersenne::poly_eval(&self.coeffs, mersenne::reduce64(x)) % self.range
+        // Fast-range instead of `% range`: same near-equal preimage
+        // classes, no hardware division (see carter_wegman.rs).
+        mersenne::fast_range(
+            mersenne::poly_eval(&self.coeffs, mersenne::reduce64(x)),
+            self.range,
+        )
     }
 
     #[inline]

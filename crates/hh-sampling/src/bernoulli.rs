@@ -25,6 +25,28 @@ pub fn pow2_exponent(p: f64) -> u32 {
     (-p.log2()).round().clamp(0.0, 64.0) as u32
 }
 
+/// Draws a Geometric(2⁻ᵏ) failure count — the gap before the next
+/// success of a Bernoulli(2⁻ᵏ) trial sequence — by inversion in O(1):
+/// `⌊ln U / ln(1 − 2⁻ᵏ)⌋`, `k ≥ 1`.
+///
+/// The denominator is computed as `(-p).ln_1p()`, which stays exact when
+/// `1 − 2⁻ᵏ` rounds to 1.0 in f64 (`k ≥ 54`); the naive
+/// `(1.0 - p).ln()` form divides by zero there and degenerates into an
+/// accept-everything sampler. Shared by [`SkipSampler`] and
+/// [`crate::BitSkipSampler`] so the math exists (and is fixed) in
+/// exactly one place.
+pub(crate) fn geometric_gap<R: Rng + ?Sized>(k: u32, rng: &mut R) -> u64 {
+    debug_assert!((1..=64).contains(&k));
+    let p = (0.5f64).powi(k as i32);
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let g = (u.ln() / (-p).ln_1p()).floor();
+    if g >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        g as u64
+    }
+}
+
 /// Independent coin with probability `2^{-k}` per offered item.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BernoulliSampler {
@@ -103,21 +125,13 @@ impl SkipSampler {
     }
 
     fn draw_gap<R: Rng + ?Sized>(&mut self, rng: &mut R) {
-        // Geometric(p): number of failures before the first success.
-        // Inversion: floor(ln U / ln(1−p)) is exact for f64-representable
-        // p = 2^-k; for k = 0 the gap is always 0.
-        if self.k == 0 {
-            self.remaining = 0;
+        // Geometric(p): number of failures before the first success; for
+        // k = 0 the gap is always 0.
+        self.remaining = if self.k == 0 {
+            0
         } else {
-            let p = self.probability();
-            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-            let g = (u.ln() / (1.0 - p).ln()).floor();
-            self.remaining = if g >= u64::MAX as f64 {
-                u64::MAX
-            } else {
-                g as u64
-            };
-        }
+            geometric_gap(self.k, rng)
+        };
         self.primed = true;
     }
 
@@ -210,6 +224,20 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let mut s = SkipSampler::with_exponent(0);
         assert!((0..100).all(|_| s.accept(&mut rng)));
+    }
+
+    #[test]
+    fn huge_exponents_accept_essentially_never() {
+        // Regression: the naive ln(1 - p) gap denominator is exactly 0.0
+        // once 1 - 2^-k rounds to 1.0 (k >= 54), which turned the skip
+        // sampler into an accept-everything sampler at the top of its
+        // domain. geometric_gap's ln_1p form keeps the rate at ~2^-k.
+        for k in [54u32, 64] {
+            let mut s = SkipSampler::with_exponent(k);
+            let mut rng = StdRng::seed_from_u64(k as u64);
+            let hits = (0..10_000).filter(|_| s.accept(&mut rng)).count();
+            assert_eq!(hits, 0, "k={k} accepted {hits}/10000");
+        }
     }
 
     #[test]

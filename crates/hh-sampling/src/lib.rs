@@ -10,6 +10,10 @@
 //!   power-of-two probabilities (footnote 3 of the paper) and the
 //!   geometric-gap variant that only does work at sampled positions — the
 //!   mechanism behind the `O(1)` update-time discussion in §3.1.
+//! * [`BitBudget`] / [`BitSkipSampler`] — bit-budgeted randomness for the
+//!   per-repetition coins of Algorithm 2's hot path: buffered `k`-bit
+//!   slices of one drawn word, and an exact geometric-skip
+//!   Bernoulli(2⁻ᵏ) sampler whose common-path cost is one decrement.
 //! * [`MorrisCounter`] — the approximate counter of Morris \[Mor78\] analyzed
 //!   by Flajolet \[Fla85\], used by the unknown-stream-length constructions
 //!   of §3.5 (Theorems 7 and 8).
@@ -42,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod bernoulli;
+pub mod bitbudget;
 pub mod counting_rng;
 pub mod lemma1;
 pub mod morris;
@@ -49,6 +54,7 @@ pub mod reservoir;
 pub mod size;
 
 pub use bernoulli::{BernoulliSampler, SkipSampler};
+pub use bitbudget::{BitBudget, BitSkipSampler};
 pub use counting_rng::CountingRng;
 pub use lemma1::Lemma1Sampler;
 pub use morris::MorrisCounter;

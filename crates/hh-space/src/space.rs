@@ -43,6 +43,34 @@ pub fn gamma_bits(c: u64) -> u64 {
     2 * floor_log2(c + 1) + 1
 }
 
+/// Sum of [`gamma_bits`] over a slice of counters: the dense
+/// variable-length accounting for a whole table, computed on demand.
+///
+/// This is the *deferred* form of the incremental `model_bit_sum` kept by
+/// [`crate::VarCounterArray`]: hot paths that own raw `&[u64]` tables can
+/// skip all per-update accounting and pay one linear scan at query time
+/// instead (space queries are rare; updates are the hot path).
+#[inline]
+pub fn gamma_sum_bits(counts: &[u64]) -> u64 {
+    counts.iter().map(|&c| gamma_bits(c)).sum()
+}
+
+/// Sparse accounting over a slice: gamma-coded gaps between nonzero
+/// positions plus gamma-coded values, plus a terminator bit. The deferred
+/// slice form of [`crate::VarCounterArray::sparse_model_bits`], for
+/// mostly-empty tables held as raw `&[u64]`.
+pub fn sparse_slice_bits(counts: &[u64]) -> u64 {
+    let mut bits = 0u64;
+    let mut last = 0usize;
+    for (i, &c) in counts.iter().enumerate() {
+        if c > 0 {
+            bits += gamma_bits((i - last) as u64) + gamma_bits(c);
+            last = i + 1;
+        }
+    }
+    bits + 1
+}
+
 /// Cost in bits of storing `c` in the Elias-delta code,
 /// `⌊log₂(c+1)⌋ + 2⌊log₂(⌊log₂(c+1)⌋+1)⌋ + 1`. Slightly cheaper than gamma
 /// for large counters; used by the `log log` accounting of Lemma 1.
@@ -146,6 +174,25 @@ mod tests {
         assert_eq!(gamma_bits(3), 5);
         assert_eq!(gamma_bits(6), 5);
         assert_eq!(gamma_bits(7), 7);
+    }
+
+    #[test]
+    fn gamma_sum_bits_matches_elementwise() {
+        let counts = [0u64, 1, 2, 3, 100, 0, 7];
+        let expected: u64 = counts.iter().map(|&c| gamma_bits(c)).sum();
+        assert_eq!(gamma_sum_bits(&counts), expected);
+        assert_eq!(gamma_sum_bits(&[]), 0);
+    }
+
+    #[test]
+    fn sparse_slice_bits_matches_gap_formula() {
+        let mut counts = vec![0u64; 100];
+        counts[17] = 3;
+        counts[90] = 1;
+        let expected = gamma_bits(17) + gamma_bits(3) + gamma_bits(90 - 18) + gamma_bits(1) + 1;
+        assert_eq!(sparse_slice_bits(&counts), expected);
+        assert_eq!(sparse_slice_bits(&[0u64; 10]), 1);
+        assert_eq!(sparse_slice_bits(&[]), 1);
     }
 
     #[test]

@@ -51,9 +51,22 @@ impl VarCounterArray {
     }
 
     /// Adds one to counter `i` and returns the new value.
+    ///
+    /// Fast path of [`VarCounterArray::add`]: a `+1` changes the gamma
+    /// cost `2⌊log₂(c+1)⌋+1` only when `c+1` crosses a power-of-two
+    /// boundary, i.e. when `old + 2` is a power of two — and then by
+    /// exactly 2 bits. Checking that is one add and one popcount-style
+    /// test instead of two `gamma_bits` evaluations, which matters to
+    /// callers incrementing on every stream item.
     #[inline]
     pub fn increment(&mut self, i: usize) -> u64 {
-        self.add(i, 1)
+        let old = self.counts[i];
+        let new = old + 1;
+        self.counts[i] = new;
+        if (old + 2).is_power_of_two() {
+            self.model_bit_sum += 2;
+        }
+        new
     }
 
     /// Adds `delta` to counter `i` and returns the new value.
@@ -132,15 +145,7 @@ impl VarCounterArray {
     /// be used"), where charging a bit per empty cell would overstate the
     /// cost by orders of magnitude.
     pub fn sparse_model_bits(&self) -> u64 {
-        let mut bits = 0u64;
-        let mut last = 0usize;
-        for (i, &c) in self.counts.iter().enumerate() {
-            if c > 0 {
-                bits += gamma_bits((i - last) as u64) + gamma_bits(c);
-                last = i + 1;
-            }
-        }
-        bits + 1
+        crate::space::sparse_slice_bits(&self.counts)
     }
 
     /// Number of nonzero counters.
@@ -227,6 +232,22 @@ mod tests {
         let a = VarCounterArray::new(1000);
         assert_eq!(a.sparse_model_bits(), 1);
         assert_eq!(a.nonzero(), 0);
+    }
+
+    #[test]
+    fn increment_fast_path_tracks_gamma_boundaries() {
+        // Walk one counter across several power-of-two boundaries and
+        // check the incremental sum against a recompute at every step.
+        let mut a = VarCounterArray::new(2);
+        for expected in 1..=200u64 {
+            a.increment(0);
+            assert_eq!(a.get(0), expected);
+            assert_eq!(
+                a.model_bits(),
+                gamma_bits(expected) + gamma_bits(0),
+                "at value {expected}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! Property suite for the optimized Algorithm 2 hot path (proptest):
+//! after the bit-budgeted-RNG / fast-hash / integer-epoch rewrite, the
+//! algorithm must still find planted heavy hitters and suppress
+//! (φ−ε)-light items across orderings and Zipf workloads, and same-seed
+//! runs must stay bit-identical (determinism survives the RNG
+//! restructuring).
+
+use hh_core::{HeavyHitters, HhParams, OptimalListHh, StreamSummary};
+use hh_space::SpaceUsage;
+use hh_streams::{arrange, collect_stream, ExactCounts, OrderPolicy, ZipfGenerator};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const ORDERS: [OrderPolicy; 4] = [
+    OrderPolicy::Shuffled,
+    OrderPolicy::Sorted,
+    OrderPolicy::RoundRobin,
+    OrderPolicy::HeavyLast,
+];
+
+/// Planted workload: two clear heavy hitters, one item pinned just
+/// under (φ−ε)m, and a light-id tail filling the rest.
+fn planted_with_boundary(m: u64, phi: f64, eps: f64, seed: u64, order: OrderPolicy) -> Vec<u64> {
+    let light_frac = phi - eps - 0.02;
+    let mut counts: Vec<(u64, u64)> = vec![
+        (1, (0.30 * m as f64) as u64),
+        (2, (phi * m as f64) as u64 + m / 200),
+        (3, (light_frac * m as f64) as u64),
+    ];
+    let used: u64 = counts.iter().map(|&(_, c)| c).sum();
+    let tail_ids = 2048u64;
+    let fill = m - used;
+    for j in 0..tail_ids {
+        let c = fill / tail_ids + u64::from(j < fill % tail_ids);
+        if c > 0 {
+            counts.push((1_000_000 + j, c));
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    arrange(&counts, order, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn planted_heavy_found_light_suppressed_all_orderings(
+        seed in 0u64..1 << 32,
+        order_idx in 0usize..4,
+    ) {
+        let (m, phi, eps) = (400_000u64, 0.15, 0.05);
+        let stream = planted_with_boundary(m, phi, eps, seed, ORDERS[order_idx]);
+        let params = HhParams::with_delta(eps, phi, 0.1).unwrap();
+        let mut a = OptimalListHh::new(params, 1 << 40, m, seed ^ 0x51C2).unwrap();
+        a.insert_all(&stream);
+        let r = a.report();
+        prop_assert!(r.contains(1), "missing 30% item ({:?})", ORDERS[order_idx]);
+        prop_assert!(r.contains(2), "missing phi-heavy item ({:?})", ORDERS[order_idx]);
+        prop_assert!(
+            !r.contains(3),
+            "(phi-eps)-light item reported ({:?})",
+            ORDERS[order_idx]
+        );
+        // Reported estimates stay within the eps*m guarantee.
+        let est = r.estimate(1).unwrap();
+        prop_assert!(
+            (est - 0.30 * m as f64).abs() <= eps * m as f64,
+            "estimate {est} off by more than eps*m"
+        );
+    }
+
+    #[test]
+    fn zipf_recall_and_suppression(seed in 0u64..1 << 32) {
+        let (m, phi, eps) = (300_000usize, 0.1, 0.04);
+        let mut gen = ZipfGenerator::new(1 << 30, 1.3);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let stream = collect_stream(&mut gen, m, &mut rng);
+        let oracle = ExactCounts::from_stream(&stream);
+        let params = HhParams::with_delta(eps, phi, 0.1).unwrap();
+        let mut a = OptimalListHh::new(params, 1 << 30, m as u64, seed ^ 0xBEEF).unwrap();
+        a.insert_all(&stream);
+        let r = a.report();
+        for (item, f) in oracle.heavy_hitters(phi) {
+            prop_assert!(r.contains(item), "missing zipf HH {item} (f = {f})");
+        }
+        for item in oracle.forbidden(phi, eps) {
+            prop_assert!(!r.contains(item), "forbidden zipf item {item} reported");
+        }
+    }
+
+    #[test]
+    fn same_seed_runs_are_bit_identical(
+        seed in 0u64..1 << 32,
+        algo_seed in 0u64..1 << 32,
+    ) {
+        let (m, phi, eps) = (150_000u64, 0.2, 0.05);
+        let stream = planted_with_boundary(m, phi, eps, seed, OrderPolicy::Shuffled);
+        let params = HhParams::with_delta(eps, phi, 0.1).unwrap();
+        let run = || {
+            let mut a = OptimalListHh::new(params, 1 << 40, m, algo_seed).unwrap();
+            a.insert_all(&stream);
+            a
+        };
+        let (a, b) = (run(), run());
+        // Bit-identical externals: report, sample count, and the full
+        // space accounting (which hashes every table cell).
+        let (ra, rb) = (a.report(), b.report());
+        prop_assert_eq!(ra.entries(), rb.entries());
+        prop_assert_eq!(a.samples(), b.samples());
+        prop_assert_eq!(a.model_bits(), b.model_bits());
+        prop_assert_eq!(a.component_bits(), b.component_bits());
+    }
+}
