@@ -1,18 +1,13 @@
-//! E6 (part 1): per-item update time — the paper claims `O(1)` worst-case
-//! updates for Algorithms 1 and 2 under the stream-length assumption.
+//! Batched-ingestion throughput: the same summaries, parameters, and
+//! Zipf stream as the `update_time` group, driven through
+//! `StreamSummary::insert_batch` in realistic-sized chunks.
 //!
-//! Measures whole-stream insertion throughput (elements/second) for the
-//! paper's algorithms and every baseline on the same Zipf stream. The
-//! expected shape: the sampling-based algorithms beat the per-item
-//! baselines because the skip sampler does O(1) *arithmetic* on the
-//! common path (no table access at all), which is the operational content
-//! of the `O(1)` update claim.
-//!
-//! This group deliberately drives the **scalar** `insert` path (an
-//! explicit per-element loop — `insert_all` now routes to the batch
-//! overrides): it is the like-for-like continuation of the BENCH_N
-//! per-item trajectory, and the scalar-vs-batch gap is exactly what the
-//! `batch_update_time` group exists to measure.
+//! The per-id ratio against `update_time` is the payoff of the batch
+//! restructurings — skip-ahead over unsampled runs (Algorithms 1 and 2),
+//! the hash-pass/update-pass split (Count-Min, CountSketch, Misra–Gries),
+//! the singleton-bucket bump (Space-Saving), and hoisted window checks
+//! (Lossy, Sticky). `scripts/bench_compare` tracks both groups in the
+//! BENCH_N trajectory.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use hh_baselines::{
@@ -27,110 +22,80 @@ const N: u64 = 1 << 32;
 const EPS: f64 = 0.05;
 const PHI: f64 = 0.2;
 const DELTA: f64 = 0.1;
+/// Ingestion batch size: large enough to amortize per-batch setup, small
+/// enough to model a network receive buffer rather than a stored file.
+const BATCH: usize = 1 << 14;
 
 fn stream() -> Vec<u64> {
     hh_bench::zipf_stream(M, N, 1.2, 7)
 }
 
-fn bench_updates(c: &mut Criterion) {
+fn drive<S: StreamSummary>(mut s: S, data: &[u64]) -> S {
+    for chunk in data.chunks(BATCH) {
+        s.insert_batch(chunk);
+    }
+    s
+}
+
+fn bench_batch_updates(c: &mut Criterion) {
     let data = stream();
     let params = HhParams::with_delta(EPS, PHI, DELTA).unwrap();
-    let mut g = c.benchmark_group("update_time");
+    let mut g = c.benchmark_group("batch_update_time");
     g.throughput(Throughput::Elements(M as u64));
 
     g.bench_function("algo1_simple", |b| {
         b.iter_batched(
             || SimpleListHh::new(params, N, M as u64, 1).unwrap(),
-            |mut a| {
-                for &x in black_box(&data) {
-                    a.insert(x);
-                }
-                a
-            },
+            |a| drive(a, black_box(&data)),
             BatchSize::LargeInput,
         )
     });
     g.bench_function("algo2_optimal", |b| {
         b.iter_batched(
             || OptimalListHh::new(params, N, M as u64, 2).unwrap(),
-            |mut a| {
-                for &x in black_box(&data) {
-                    a.insert(x);
-                }
-                a
-            },
+            |a| drive(a, black_box(&data)),
             BatchSize::LargeInput,
         )
     });
     g.bench_function("misra_gries", |b| {
         b.iter_batched(
             || MisraGriesBaseline::new(EPS, PHI, N),
-            |mut a| {
-                for &x in black_box(&data) {
-                    a.insert(x);
-                }
-                a
-            },
+            |a| drive(a, black_box(&data)),
             BatchSize::LargeInput,
         )
     });
     g.bench_function("space_saving", |b| {
         b.iter_batched(
             || SpaceSaving::new(EPS, PHI, N),
-            |mut a| {
-                for &x in black_box(&data) {
-                    a.insert(x);
-                }
-                a
-            },
+            |a| drive(a, black_box(&data)),
             BatchSize::LargeInput,
         )
     });
     g.bench_function("lossy_counting", |b| {
         b.iter_batched(
             || LossyCounting::new(EPS, PHI, N),
-            |mut a| {
-                for &x in black_box(&data) {
-                    a.insert(x);
-                }
-                a
-            },
+            |a| drive(a, black_box(&data)),
             BatchSize::LargeInput,
         )
     });
     g.bench_function("sticky_sampling", |b| {
         b.iter_batched(
             || StickySampling::new(EPS, PHI, DELTA, N, 3),
-            |mut a| {
-                for &x in black_box(&data) {
-                    a.insert(x);
-                }
-                a
-            },
+            |a| drive(a, black_box(&data)),
             BatchSize::LargeInput,
         )
     });
     g.bench_function("count_min", |b| {
         b.iter_batched(
             || CountMin::new(EPS, PHI, DELTA, N, 4),
-            |mut a| {
-                for &x in black_box(&data) {
-                    a.insert(x);
-                }
-                a
-            },
+            |a| drive(a, black_box(&data)),
             BatchSize::LargeInput,
         )
     });
     g.bench_function("count_sketch", |b| {
         b.iter_batched(
             || CountSketch::new(EPS, PHI, DELTA, N, 5),
-            |mut a| {
-                for &x in black_box(&data) {
-                    a.insert(x);
-                }
-                a
-            },
+            |a| drive(a, black_box(&data)),
             BatchSize::LargeInput,
         )
     });
@@ -147,6 +112,6 @@ fn short() -> Criterion {
 criterion_group! {
     name = benches;
     config = short();
-    targets = bench_updates
+    targets = bench_batch_updates
 }
 criterion_main!(benches);

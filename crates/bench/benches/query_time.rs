@@ -1,0 +1,95 @@
+//! E6 (part 3): query time — `report()` extraction cost for every
+//! summary in the workspace at three universe sizes.
+//!
+//! The paper claims reporting "linear in the output size" for its
+//! algorithms; the baselines' reports scan candidate structures whose
+//! size depends on (ε, φ) but not on `n`. Benchmarking all eight on the
+//! same Zipf workload at n = 2¹⁶, 2²⁴, 2³² makes query-path regressions
+//! visible in the BENCH_N trajectory (the `report_time` group already
+//! tracks the paper algorithms' output-size scaling; this group tracks
+//! every summary's absolute extraction cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hh_baselines::{
+    CountMin, CountSketch, LossyCounting, MisraGriesBaseline, SpaceSaving, StickySampling,
+};
+use hh_core::{HeavyHitters, HhParams, OptimalListHh, SimpleListHh, StreamSummary};
+use std::hint::black_box;
+use std::time::Duration;
+
+const M: usize = 1 << 19;
+const EPS: f64 = 0.05;
+const PHI: f64 = 0.2;
+const DELTA: f64 = 0.1;
+
+fn bench_query(c: &mut Criterion) {
+    let params = HhParams::with_delta(EPS, PHI, DELTA).unwrap();
+    let mut g = c.benchmark_group("query_time");
+    for log_n in [16u32, 24, 32] {
+        let n = 1u64 << log_n;
+        let data = hh_bench::zipf_stream(M, n, 1.2, 11);
+
+        let mut algo1 = SimpleListHh::new(params, n, M as u64, 1).unwrap();
+        algo1.insert_all(&data);
+        g.bench_function(format!("algo1_n{log_n}"), |b| {
+            b.iter(|| black_box(algo1.report()))
+        });
+
+        let mut algo2 = OptimalListHh::new(params, n, M as u64, 2).unwrap();
+        algo2.insert_all(&data);
+        g.bench_function(format!("algo2_n{log_n}"), |b| {
+            b.iter(|| black_box(algo2.report()))
+        });
+
+        let mut mg = MisraGriesBaseline::new(EPS, PHI, n);
+        mg.insert_all(&data);
+        g.bench_function(format!("misra_gries_n{log_n}"), |b| {
+            b.iter(|| black_box(mg.report()))
+        });
+
+        let mut ss = SpaceSaving::new(EPS, PHI, n);
+        ss.insert_all(&data);
+        g.bench_function(format!("space_saving_n{log_n}"), |b| {
+            b.iter(|| black_box(ss.report()))
+        });
+
+        let mut lossy = LossyCounting::new(EPS, PHI, n);
+        lossy.insert_all(&data);
+        g.bench_function(format!("lossy_counting_n{log_n}"), |b| {
+            b.iter(|| black_box(lossy.report()))
+        });
+
+        let mut sticky = StickySampling::new(EPS, PHI, DELTA, n, 3);
+        sticky.insert_all(&data);
+        g.bench_function(format!("sticky_sampling_n{log_n}"), |b| {
+            b.iter(|| black_box(sticky.report()))
+        });
+
+        let mut cm = CountMin::new(EPS, PHI, DELTA, n, 4);
+        cm.insert_all(&data);
+        g.bench_function(format!("count_min_n{log_n}"), |b| {
+            b.iter(|| black_box(cm.report()))
+        });
+
+        let mut cs = CountSketch::new(EPS, PHI, DELTA, n, 5);
+        cs.insert_all(&data);
+        g.bench_function(format!("count_sketch_n{log_n}"), |b| {
+            b.iter(|| black_box(cs.report()))
+        });
+    }
+    g.finish();
+}
+
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(200))
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_query
+}
+criterion_main!(benches);

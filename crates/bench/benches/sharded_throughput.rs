@@ -1,0 +1,74 @@
+//! Key-sharded pipeline throughput: whole-stream ingestion through
+//! `hh_pipeline::ShardedPipeline` at 1, 2, and 4 shards for both of the
+//! paper's algorithms.
+//!
+//! Each shard runs the unmodified algorithm on the substream of its keys
+//! (batch path, full advertised length, so the sampled work of the whole
+//! pipeline equals one unsharded run split across shards); scaling is
+//! the partition pass plus `std::thread::scope` fan-out. Shard scaling
+//! is bounded by the cores the host actually exposes — on a single-core
+//! container the 2- and 4-shard rates collapse onto the 1-shard rate
+//! plus partition overhead (the recorded BENCH_N notes the host's core
+//! count for exactly this reason).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hh_core::HhParams;
+use hh_pipeline::{sharded_algo1, sharded_algo2};
+use std::hint::black_box;
+use std::time::Duration;
+
+const M: usize = 1 << 21;
+const N: u64 = 1 << 32;
+const EPS: f64 = 0.05;
+const PHI: f64 = 0.2;
+const DELTA: f64 = 0.1;
+const BATCH: usize = 1 << 16;
+
+fn stream() -> Vec<u64> {
+    hh_bench::zipf_stream(M, N, 1.2, 7)
+}
+
+fn bench_sharded(c: &mut Criterion) {
+    let data = stream();
+    let params = HhParams::with_delta(EPS, PHI, DELTA).unwrap();
+    let mut g = c.benchmark_group("sharded_throughput");
+    g.throughput(Throughput::Elements(M as u64));
+
+    for shards in [1usize, 2, 4] {
+        g.bench_function(format!("algo2_shards{shards}"), |b| {
+            b.iter(|| {
+                let mut pipe = sharded_algo2(params, N, M as u64, shards, 2).unwrap();
+                for chunk in black_box(&data).chunks(BATCH) {
+                    pipe.ingest(chunk);
+                }
+                pipe
+            })
+        });
+    }
+    for shards in [1usize, 4] {
+        g.bench_function(format!("algo1_shards{shards}"), |b| {
+            b.iter(|| {
+                let mut pipe = sharded_algo1(params, N, M as u64, shards, 1).unwrap();
+                for chunk in black_box(&data).chunks(BATCH) {
+                    pipe.ingest(chunk);
+                }
+                pipe
+            })
+        });
+    }
+    g.finish();
+}
+
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_sharded
+}
+criterion_main!(benches);

@@ -8,7 +8,11 @@
 //!
 //! Exit code is 1 if any benchmark regressed by more than 10% — the
 //! budget the repo's perf acceptance criteria allow — so CI or a
-//! pre-merge check can gate on it.
+//! pre-merge check can gate on it. Benchmarks (or whole groups) that
+//! exist only in the newer record are *tolerated*: they print as `new`
+//! and never regress — a perf PR that adds a bench group must not have
+//! to backfill history. Benchmarks present only in the older record
+//! print as `removed`, also without failing.
 
 use std::process::ExitCode;
 
@@ -113,16 +117,48 @@ fn main() -> ExitCode {
 
     println!("# {old_path} -> {new_path}\n");
     println!(
-        "{:<14} {:<16} {:>12} {:>12} {:>9}  verdict",
+        "{:<20} {:<18} {:>12} {:>12} {:>9}  verdict",
         "group", "id", "old mean", "new mean", "speedup"
     );
+    let diff = diff(&old, &new);
+    for line in &diff.lines {
+        println!("{line}");
+    }
+    if diff.added > 0 {
+        println!(
+            "\n{} benchmark(s) have no baseline in {old_path} (tolerated as new)",
+            diff.added
+        );
+    }
+    if diff.regressed {
+        eprintln!("\nbench_compare: at least one benchmark regressed by more than 10%");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Result of comparing two record sets.
+struct Diff {
+    lines: Vec<String>,
+    regressed: bool,
+    /// Benchmarks present only in the newer record (tolerated).
+    added: usize,
+}
+
+/// Compares `new` against `old` per (group, id). Only benchmarks present
+/// in *both* can regress; new and removed ones are reported but never
+/// fail the gate.
+fn diff(old: &[Record], new: &[Record]) -> Diff {
+    let mut lines = Vec::new();
     let mut regressed = false;
-    for n in &new {
+    let mut added = 0usize;
+    for n in new {
         let Some(o) = old.iter().find(|o| o.group == n.group && o.id == n.id) else {
-            println!(
-                "{:<14} {:<16} {:>12} {:>12.0} {:>9}  new",
+            added += 1;
+            lines.push(format!(
+                "{:<20} {:<18} {:>12} {:>12.0} {:>9}  new",
                 n.group, n.id, "-", n.mean_ns, "-"
-            );
+            ));
             continue;
         };
         let speedup = o.mean_ns / n.mean_ns;
@@ -134,24 +170,24 @@ fn main() -> ExitCode {
         } else {
             "flat"
         };
-        println!(
-            "{:<14} {:<16} {:>12.0} {:>12.0} {:>8.2}x  {verdict}",
+        lines.push(format!(
+            "{:<20} {:<18} {:>12.0} {:>12.0} {:>8.2}x  {verdict}",
             n.group, n.id, o.mean_ns, n.mean_ns, speedup
-        );
+        ));
     }
-    for o in &old {
+    for o in old {
         if !new.iter().any(|n| n.group == o.group && n.id == o.id) {
-            println!(
-                "{:<14} {:<16} {:>12.0} {:>12} {:>9}  removed",
+            lines.push(format!(
+                "{:<20} {:<18} {:>12.0} {:>12} {:>9}  removed",
                 o.group, o.id, o.mean_ns, "-", "-"
-            );
+            ));
         }
     }
-    if regressed {
-        eprintln!("\nbench_compare: at least one benchmark regressed by more than 10%");
-        return ExitCode::FAILURE;
+    Diff {
+        lines,
+        regressed,
+        added,
     }
-    ExitCode::SUCCESS
 }
 
 #[cfg(test)]
@@ -170,5 +206,48 @@ mod tests {
     fn missing_fields_are_detected() {
         assert_eq!(str_field("{}", "group"), None);
         assert_eq!(num_field(r#"{"mean_ns": }"#, "mean_ns"), None);
+    }
+
+    fn rec(group: &str, id: &str, mean_ns: f64) -> Record {
+        Record {
+            group: group.into(),
+            id: id.into(),
+            mean_ns,
+        }
+    }
+
+    #[test]
+    fn new_groups_are_tolerated_not_regressions() {
+        // A record whose group exists only in the newer file must be
+        // reported as `new` and must not trip the regression gate.
+        let old = vec![rec("update_time", "algo2", 100.0)];
+        let new = vec![
+            rec("update_time", "algo2", 101.0),
+            rec("batch_update_time", "algo2", 55.0),
+            rec("sharded_throughput", "algo2_shards4", 30.0),
+        ];
+        let d = diff(&old, &new);
+        assert!(!d.regressed);
+        assert_eq!(d.added, 2);
+        assert!(d.lines.iter().any(|l| l.contains("new")));
+    }
+
+    #[test]
+    fn regression_detected_only_on_shared_benchmarks() {
+        let old = vec![rec("g", "fast", 100.0), rec("g", "slow", 100.0)];
+        let new = vec![rec("g", "fast", 105.0), rec("g", "slow", 120.0)];
+        let d = diff(&old, &new);
+        assert!(d.regressed, "20% slowdown must fail the gate");
+        let ok = vec![rec("g", "fast", 105.0), rec("g", "slow", 109.0)];
+        assert!(!diff(&old, &ok).regressed, "9% is within budget");
+    }
+
+    #[test]
+    fn removed_benchmarks_are_reported_without_failing() {
+        let old = vec![rec("g", "gone", 100.0), rec("g", "kept", 100.0)];
+        let new = vec![rec("g", "kept", 90.0)];
+        let d = diff(&old, &new);
+        assert!(!d.regressed);
+        assert!(d.lines.iter().any(|l| l.contains("removed")));
     }
 }

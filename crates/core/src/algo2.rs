@@ -432,6 +432,32 @@ impl StreamSummary for OptimalListHh {
             self.sampled_insert(item);
         }
     }
+
+    /// Batch ingestion: the front-end sampler jumps directly to the next
+    /// sampled position ([`BitSkipSampler::next_within`]), so an
+    /// unsampled run costs one subtraction — its elements are never
+    /// loaded — and all per-element work concentrates on the `s ≈ p·n`
+    /// sampled items, which is the literal shape of the paper's
+    /// O(1)-amortized argument. RNG draw order matches the element-wise
+    /// path exactly: same-seed batch runs are bit-identical.
+    fn insert_batch(&mut self, items: &[u64]) {
+        debug_assert!(
+            items.iter().all(|&x| x < self.universe),
+            "item outside declared universe"
+        );
+        let mut i = 0usize;
+        let n = items.len();
+        while i < n {
+            match self.sampler.next_within((n - i) as u64, &mut self.rng) {
+                None => break,
+                Some(off) => {
+                    i += off as usize;
+                    self.sampled_insert(items[i]);
+                    i += 1;
+                }
+            }
+        }
+    }
 }
 
 impl OptimalListHh {
@@ -751,6 +777,24 @@ mod tests {
         let (a, _) = run(m, &heavy, 0.1, 0.3, 9, EpochMode::Accelerated);
         let (b, _) = run(m, &heavy, 0.1, 0.3, 9, EpochMode::Accelerated);
         assert_eq!(a.report().entries(), b.report().entries());
+    }
+
+    #[test]
+    fn batch_insert_is_bit_identical_to_element_wise() {
+        let m = 200_000u64;
+        let params = HhParams::with_delta(0.05, 0.15, 0.1).unwrap();
+        let stream = planted_stream(m, &[(7, 0.30), (8, 0.18)], 21);
+        let mut a = OptimalListHh::new(params, 1 << 40, m, 6).unwrap();
+        for &x in &stream {
+            a.insert(x);
+        }
+        let mut b = OptimalListHh::new(params, 1 << 40, m, 6).unwrap();
+        for chunk in stream.chunks(4099) {
+            b.insert_batch(chunk);
+        }
+        assert_eq!(a.report().entries(), b.report().entries());
+        assert_eq!(a.samples(), b.samples());
+        assert_eq!(a.component_bits(), b.component_bits());
     }
 
     #[test]

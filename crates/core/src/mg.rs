@@ -228,10 +228,14 @@ impl PartialEq for MisraGries {
 
 impl Eq for MisraGries {}
 
-impl StreamSummary for MisraGries {
-    fn insert(&mut self, key: u64) {
-        self.processed += 1;
-        let mut i = self.home_slot(key);
+impl MisraGries {
+    /// The insert body after the stream-position increment, with the
+    /// home slot already computed (shared by the scalar and batch paths;
+    /// the home slot depends only on the key and the fixed table shape,
+    /// so precomputed slots stay valid across decrement rebuilds).
+    #[inline]
+    fn insert_at(&mut self, key: u64, home: usize) {
+        let mut i = home;
         loop {
             let c = self.counts[i];
             if c == 0 {
@@ -257,6 +261,32 @@ impl StreamSummary for MisraGries {
         survivors.extend(self.live().filter(|&(_, c)| c > 1).map(|(k, c)| (k, c - 1)));
         self.scratch = survivors;
         self.rebuild_from_scratch();
+    }
+}
+
+impl StreamSummary for MisraGries {
+    fn insert(&mut self, key: u64) {
+        self.processed += 1;
+        self.insert_at(key, self.home_slot(key));
+    }
+
+    /// Batch ingestion: a hash pass fills a tile of home slots (a tight
+    /// multiply/shift loop the compiler can pipeline, free of the probe
+    /// loop's dependent loads), then the update pass probes in element
+    /// order. State after the batch is bit-identical to element-wise
+    /// insertion.
+    fn insert_batch(&mut self, items: &[u64]) {
+        const TILE: usize = 256;
+        let mut slots = [0u32; TILE];
+        for tile in items.chunks(TILE) {
+            for (s, &key) in slots.iter_mut().zip(tile) {
+                *s = self.home_slot(key) as u32;
+            }
+            self.processed += tile.len() as u64;
+            for (&key, &home) in tile.iter().zip(&slots) {
+                self.insert_at(key, home as usize);
+            }
+        }
     }
 }
 
@@ -426,6 +456,23 @@ mod tests {
         // One filled slot: 16 key bits + gamma(3) = 5 bits; 3 empty slots;
         // processed = 3 → gamma(3) = 5.
         assert_eq!(mg.model_bits(), 16 + 5 + 3 + 5);
+    }
+
+    #[test]
+    fn batch_insert_matches_element_wise() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(17);
+        let stream: Vec<u64> = (0..20_000).map(|_| rng.gen_range(0..500)).collect();
+        let mut scalar = MisraGries::new(13, 16);
+        for &x in &stream {
+            scalar.insert(x);
+        }
+        let mut batch = MisraGries::new(13, 16);
+        for chunk in stream.chunks(777) {
+            batch.insert_batch(chunk);
+        }
+        assert_eq!(scalar, batch);
     }
 
     #[test]

@@ -8,11 +8,28 @@ pub trait StreamSummary {
     /// Processes one stream item.
     fn insert(&mut self, item: u64);
 
-    /// Processes a slice of items.
-    fn insert_all(&mut self, items: &[u64]) {
+    /// Processes a batch of consecutive stream items.
+    ///
+    /// Observationally equivalent to calling [`StreamSummary::insert`]
+    /// once per element in order — same final summary state, and for
+    /// randomized summaries the same backing-RNG draw sequence, so
+    /// same-seed runs are interchangeable between the two entry points
+    /// (the `prop_batch` suite enforces this for every summary in the
+    /// workspace). Implementors override it to restructure the loop in
+    /// ways the per-element API forbids: splitting a hash/sample pass
+    /// over a scratch buffer from the table-update pass, skipping whole
+    /// runs of unsampled items in one arithmetic step, or hoisting
+    /// window-boundary checks out of the inner loop.
+    fn insert_batch(&mut self, items: &[u64]) {
         for &x in items {
             self.insert(x);
         }
+    }
+
+    /// Processes a slice of items (alias for [`StreamSummary::insert_batch`],
+    /// kept for call-site readability when the slice is a whole stream).
+    fn insert_all(&mut self, items: &[u64]) {
+        self.insert_batch(items);
     }
 }
 
@@ -63,6 +80,18 @@ mod tests {
         let mut c = CountOnes { ones: 0 };
         c.insert_all(&[1, 2, 1, 1, 3]);
         assert_eq!(c.report().estimate(1), Some(3.0));
+    }
+
+    #[test]
+    fn insert_batch_default_matches_element_loop() {
+        let stream = [1u64, 1, 2, 1, 3, 1];
+        let mut batch = CountOnes { ones: 0 };
+        batch.insert_batch(&stream);
+        let mut scalar = CountOnes { ones: 0 };
+        for &x in &stream {
+            scalar.insert(x);
+        }
+        assert_eq!(batch.ones, scalar.ones);
     }
 
     #[test]

@@ -53,6 +53,10 @@ impl StreamSummary for MisraGriesBaseline {
     fn insert(&mut self, item: u64) {
         self.table.insert(item);
     }
+
+    fn insert_batch(&mut self, items: &[u64]) {
+        self.table.insert_batch(items);
+    }
 }
 
 impl HeavyHitters for MisraGriesBaseline {

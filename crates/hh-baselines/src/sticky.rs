@@ -116,6 +116,44 @@ impl StreamSummary for StickySampling {
             self.entries.insert(item, 1);
         }
     }
+
+    /// Batch ingestion: the batch is cut at rate-halving boundaries, so
+    /// the inner loop is map work plus (for new items) one admission
+    /// coin — the boundary test, the admission mask, and the
+    /// stream-position accounting are hoisted to once per chunk. RNG
+    /// draw order matches the element-wise path exactly, so same-seed
+    /// batch runs are bit-identical.
+    fn insert_batch(&mut self, items: &[u64]) {
+        let mut rest = items;
+        while !rest.is_empty() {
+            // Items that cannot trigger a halving: the scalar path halves
+            // when the post-increment position exceeds window_end, i.e.
+            // at position window_end (pre-increment).
+            let safe = (self.window_end - self.processed) as usize;
+            if safe == 0 {
+                let (&first, later) = rest.split_first().unwrap();
+                self.insert(first);
+                rest = later;
+                continue;
+            }
+            let (now, later) = rest.split_at(safe.min(rest.len()));
+            let mask = (1u64 << self.rate_exp.min(63)) - 1;
+            for &x in now {
+                if let Some(c) = self.entries.get_mut(&x) {
+                    *c += 1;
+                    continue;
+                }
+                // Same draw discipline as the scalar path: no RNG word is
+                // consumed while the exact-counting initial rate is live.
+                let accept = self.rate_exp == 0 || self.rng.gen::<u64>() & mask == 0;
+                if accept {
+                    self.entries.insert(x, 1);
+                }
+            }
+            self.processed += now.len() as u64;
+            rest = later;
+        }
+    }
 }
 
 impl HeavyHitters for StickySampling {
@@ -208,5 +246,25 @@ mod tests {
         a.insert_all(&stream);
         b.insert_all(&stream);
         assert_eq!(a.report().entries(), b.report().entries());
+    }
+
+    #[test]
+    fn batch_insert_is_bit_identical_to_element_wise() {
+        // Distinct-heavy stream forces several rate halvings, exercising
+        // the chunk-boundary path and the coin-draw ordering.
+        let stream: Vec<u64> = (0..80_000).map(|i| i % 40_000).collect();
+        let mut scalar = StickySampling::new(0.05, 0.2, 0.1, 1 << 20, 77);
+        for &x in &stream {
+            scalar.insert(x);
+        }
+        let mut batch = StickySampling::new(0.05, 0.2, 0.1, 1 << 20, 77);
+        for chunk in stream.chunks(1789) {
+            batch.insert_batch(chunk);
+        }
+        assert_eq!(scalar.len(), batch.len());
+        assert_eq!(scalar.rate(), batch.rate());
+        for probe in (0..40_000u64).step_by(97) {
+            assert_eq!(scalar.estimate(probe), batch.estimate(probe), "{probe}");
+        }
     }
 }

@@ -60,15 +60,31 @@ pub struct PolynomialHash {
 }
 
 impl PolynomialHash {
-    /// A `{−1, +1}` sign derived from the low bit of a secondary
-    /// evaluation; used by CountSketch, which needs a 2-wise independent
-    /// sign stream alongside the bucket hash.
+    /// Bucket and a `{−1, +1}` sign from **one** polynomial evaluation.
+    ///
+    /// The bucket is the fast-range of the field value `v` (driven by
+    /// `v`'s high bits) and the sign is `v`'s low bit — a spare bit the
+    /// range reduction all but ignores. This halves CountSketch's hash
+    /// work versus evaluating a second polynomial for the sign, and the
+    /// pair is still sound for the CountSketch analysis: `v` is k-wise
+    /// independent across keys, and within each fast-range preimage
+    /// class (a contiguous interval of ~`p/range` field values) the low
+    /// bit alternates, so `|E[sign · 1[bucket = b]]| ≤ 1/p ≈ 2⁻⁶¹` —
+    /// sign and bucket are unbiased and cross-key independent to within
+    /// the field's own rounding.
+    #[inline]
+    pub fn hash_and_sign(&self, x: u64) -> (u64, i64) {
+        let v = mersenne::poly_eval(&self.coeffs, mersenne::reduce64(x));
+        let sign = if v & 1 == 1 { 1 } else { -1 };
+        (mersenne::fast_range(v, self.range), sign)
+    }
+
+    /// The `{−1, +1}` sign alone (the same bit
+    /// [`PolynomialHash::hash_and_sign`] returns).
     #[inline]
     pub fn sign(&self, x: u64) -> i64 {
-        // Evaluate the polynomial at a decorrelated point (x ⊕ golden) and
-        // use the parity bit.
-        let y = mersenne::poly_eval(&self.coeffs, mersenne::reduce64(x ^ 0x9E3779B97F4A7C15));
-        if y & 1 == 1 {
+        let v = mersenne::poly_eval(&self.coeffs, mersenne::reduce64(x));
+        if v & 1 == 1 {
             1
         } else {
             -1
@@ -141,6 +157,17 @@ mod tests {
         }
         let frac = plus as f64 / n as f64;
         assert!((0.45..0.55).contains(&frac), "sign balance {frac}");
+    }
+
+    #[test]
+    fn hash_and_sign_agrees_with_separate_calls() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let fam = PolynomialFamily::new(1000, 2);
+        let h = fam.sample(&mut rng);
+        for _ in 0..2000 {
+            let x: u64 = rng.gen();
+            assert_eq!(h.hash_and_sign(x), (h.hash(x), h.sign(x)));
+        }
     }
 
     #[test]

@@ -1,0 +1,387 @@
+//! Key-sharded parallel ingestion: one summary per shard, whole keys per
+//! shard, union-of-reports at query time.
+//!
+//! The workspace's summaries are single-threaded by construction (the
+//! paper's model is one pass, one machine word at a time). To saturate
+//! more than one core the pipeline shards the stream **by key**, not by
+//! position: a shared universal hash routes every occurrence of an item
+//! to the same shard, so each shard's summary sees a complete substream
+//! — every key's entire count lands on exactly one summary. That choice
+//! buys two things a position-sharded split (summarize chunks, merge)
+//! cannot:
+//!
+//! * **No merge semantics.** The global report is the union of per-shard
+//!   reports re-thresholded against the *global* stream length. Nothing
+//!   is ever combined across summaries, so summaries without a sound
+//!   merge (Algorithm 2's sampled, hashed, epoch-coupled tables) shard
+//!   as-is.
+//! * **Per-shard analyses survive verbatim.** Each shard runs the
+//!   unmodified algorithm on the substream of its keys; sampling,
+//!   collision, and Misra–Gries error arguments apply per shard with the
+//!   shard's (smaller) sample and stream counts, which only tightens
+//!   them. See DESIGN.md §"Key-sharded parallel pipeline" for the full
+//!   (φ, ε) argument.
+//!
+//! Ingestion is batch-oriented: [`ShardedPipeline::ingest`] partitions a
+//! batch into per-shard scratch buffers with a fast-range over the shared
+//! hash, then drives every shard's
+//! [`StreamSummary::insert_batch`] on its own scoped thread
+//! (`std::thread::scope` — no detached state, panics propagate).
+//!
+//! # Example
+//!
+//! ```
+//! use hh_core::{HeavyHitters, HhParams};
+//! use hh_pipeline::sharded_algo2;
+//!
+//! let params = HhParams::new(0.05, 0.2).unwrap();
+//! let m = 200_000u64;
+//! let mut pipe = sharded_algo2(params, 1 << 30, m, 4, 42).unwrap();
+//! let batch: Vec<u64> = (0..m).map(|i| if i % 2 == 0 { 7 } else { i }).collect();
+//! pipe.ingest(&batch);
+//! assert!(pipe.report().contains(7)); // 50% item at phi = 20%
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use hh_core::{HeavyHitters, HhParams, ItemEstimate, OptimalListHh, ParamError, Report};
+use hh_core::{SimpleListHh, StreamSummary};
+
+/// SplitMix64 finalizer: turns any seed (including 0) into a well-mixed
+/// word for the router multiplier and per-shard summary seeds.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A key-sharded bank of summaries behind a batch ingestion front end.
+///
+/// `S` is any [`StreamSummary`]; reporting additionally needs
+/// [`HeavyHitters`]. Construction takes a factory so each shard gets its
+/// own (independently seeded) summary.
+#[derive(Debug)]
+pub struct ShardedPipeline<S> {
+    shards: Vec<S>,
+    /// Per-shard partition buffers, reused across `ingest` calls.
+    scratch: Vec<Vec<u64>>,
+    /// Odd multiplier of the shared routing hash (Dietzfelbinger's
+    /// plain-universal multiply: `h(x) = a·x mod 2⁶⁴`, then a fast-range
+    /// of the full word onto the shard count).
+    multiplier: u64,
+    /// Union-report threshold as a fraction of the total ingested stream
+    /// (callers pass the `φ − ε/2` of their summary's reporting rule).
+    threshold: f64,
+    total: u64,
+}
+
+impl<S: StreamSummary + Send> ShardedPipeline<S> {
+    /// A pipeline of `num_shards ≥ 1` summaries built by `make(shard)`,
+    /// routing keys with a universal hash drawn from `seed`. The final
+    /// report keeps union entries with at least `threshold · total`
+    /// estimated occurrences.
+    pub fn new(
+        num_shards: usize,
+        seed: u64,
+        threshold: f64,
+        mut make: impl FnMut(usize) -> S,
+    ) -> Self {
+        assert!(num_shards >= 1, "need at least one shard");
+        Self::from_summaries((0..num_shards).map(&mut make).collect(), seed, threshold)
+    }
+
+    /// A pipeline over prebuilt shard summaries (one per shard, in shard
+    /// order); see [`ShardedPipeline::new`] for the routing and
+    /// threshold conventions.
+    pub fn from_summaries(shards: Vec<S>, seed: u64, threshold: f64) -> Self {
+        assert!(!shards.is_empty(), "need at least one shard");
+        assert!(threshold >= 0.0, "threshold is a fraction of the stream");
+        let scratch = vec![Vec::new(); shards.len()];
+        Self {
+            shards,
+            scratch,
+            multiplier: mix64(seed) | 1,
+            threshold,
+            total: 0,
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Items ingested so far (across all shards).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The shard that owns `item` — every occurrence routes here.
+    #[inline]
+    pub fn shard_of(&self, item: u64) -> usize {
+        let h = self.multiplier.wrapping_mul(item);
+        // Lemire fast-range of the full hashed word onto the shard count:
+        // the same near-equal preimage classes as `h % shards` without
+        // the division, and universality is inherited from the multiply.
+        ((h as u128 * self.shards.len() as u128) >> 64) as usize
+    }
+
+    /// The per-shard summaries (read-only; shard `j` holds exactly the
+    /// keys with `shard_of(key) == j`).
+    pub fn summaries(&self) -> &[S] {
+        &self.shards
+    }
+
+    /// Ingests one batch: a partition pass scatters the batch into
+    /// per-shard buffers, then every shard with work runs its
+    /// [`StreamSummary::insert_batch`] on its own scoped thread. Calls
+    /// may be any size; summaries see their keys in stream order across
+    /// calls.
+    pub fn ingest(&mut self, batch: &[u64]) {
+        self.total += batch.len() as u64;
+        if self.shards.len() == 1 {
+            // Single shard: the partition pass would be a copy.
+            self.shards[0].insert_batch(batch);
+            return;
+        }
+        let k = self.shards.len();
+        for buf in &mut self.scratch {
+            buf.clear();
+            buf.reserve(batch.len() / k + batch.len() / (4 * k) + 16);
+        }
+        let mul = self.multiplier;
+        for &x in batch {
+            let s = ((mul.wrapping_mul(x) as u128 * k as u128) >> 64) as usize;
+            self.scratch[s].push(x);
+        }
+        std::thread::scope(|scope| {
+            for (shard, buf) in self.shards.iter_mut().zip(&self.scratch) {
+                if !buf.is_empty() {
+                    scope.spawn(move || shard.insert_batch(buf));
+                }
+            }
+        });
+    }
+}
+
+impl<S: StreamSummary + HeavyHitters + Send> ShardedPipeline<S> {
+    /// The global report: the union of per-shard reports, re-thresholded
+    /// against the global stream length. Shard reports threshold against
+    /// their *own* (shorter) substreams, so they may include keys that
+    /// are shard-heavy but globally light; the global cut removes them.
+    /// Keys are disjoint across shards, so the union needs no combining.
+    pub fn report(&self) -> Report {
+        let bar = self.threshold * self.total as f64;
+        self.shards
+            .iter()
+            .flat_map(|s| s.report().entries().to_vec())
+            .filter(|e| e.count >= bar)
+            .collect::<Vec<ItemEstimate>>()
+            .into_iter()
+            .collect()
+    }
+
+    /// The raw per-shard reports (before the global threshold), for
+    /// diagnostics and tests.
+    pub fn shard_reports(&self) -> Vec<Report> {
+        self.shards.iter().map(HeavyHitters::report).collect()
+    }
+}
+
+/// A key-sharded bank of Algorithm 1 instances ([`SimpleListHh`]).
+///
+/// Every shard advertises the **full** stream length `m`, so each keeps
+/// the unsharded sampling rate `p = Θ(ℓ/m)`: the sampled work of the
+/// whole pipeline equals one unsharded run, split across shards. The
+/// union report thresholds at the algorithm's own `(φ − ε/2)` rule
+/// against the global stream.
+pub fn sharded_algo1(
+    params: HhParams,
+    universe: u64,
+    m: u64,
+    shards: usize,
+    seed: u64,
+) -> Result<ShardedPipeline<SimpleListHh>, ParamError> {
+    let summaries = (0..shards)
+        .map(|j| SimpleListHh::new(params, universe, m, mix64(seed).wrapping_add(j as u64)))
+        .collect::<Result<Vec<_>, _>>()?;
+    let threshold = params.phi() - params.eps() / 2.0;
+    Ok(ShardedPipeline::from_summaries(
+        summaries,
+        mix64(seed ^ 0xA1),
+        threshold,
+    ))
+}
+
+/// A key-sharded bank of Algorithm 2 instances ([`OptimalListHh`]); see
+/// [`sharded_algo1`] for the advertised-length and threshold conventions.
+pub fn sharded_algo2(
+    params: HhParams,
+    universe: u64,
+    m: u64,
+    shards: usize,
+    seed: u64,
+) -> Result<ShardedPipeline<OptimalListHh>, ParamError> {
+    let summaries = (0..shards)
+        .map(|j| OptimalListHh::new(params, universe, m, mix64(seed).wrapping_add(j as u64)))
+        .collect::<Result<Vec<_>, _>>()?;
+    let threshold = params.phi() - params.eps() / 2.0;
+    Ok(ShardedPipeline::from_summaries(
+        summaries,
+        mix64(seed ^ 0xA2),
+        threshold,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hh_baselines::{MisraGriesBaseline, SpaceSaving};
+    use hh_core::FrequencyEstimator;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn planted(m: u64, heavy: &[(u64, f64)], seed: u64) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut stream = Vec::with_capacity(m as usize);
+        for &(id, frac) in heavy {
+            stream.extend(std::iter::repeat_n(id, (frac * m as f64) as usize));
+        }
+        while stream.len() < m as usize {
+            stream.push(1_000_000 + rng.gen_range(0..4096u64));
+        }
+        use rand::seq::SliceRandom;
+        stream.shuffle(&mut rng);
+        stream
+    }
+
+    #[test]
+    fn keys_route_to_exactly_one_shard() {
+        let pipe = ShardedPipeline::new(4, 7, 0.0, |_| MisraGriesBaseline::new(0.1, 0.3, 1 << 20));
+        for x in 0..10_000u64 {
+            let s = pipe.shard_of(x);
+            assert!(s < 4);
+            assert_eq!(s, pipe.shard_of(x), "routing must be stable");
+        }
+    }
+
+    #[test]
+    fn routing_spreads_keys_roughly_evenly() {
+        let pipe = ShardedPipeline::new(4, 3, 0.0, |_| MisraGriesBaseline::new(0.1, 0.3, 1 << 20));
+        let mut loads = [0usize; 4];
+        for x in 0..40_000u64 {
+            loads[pipe.shard_of(x)] += 1;
+        }
+        for (s, &l) in loads.iter().enumerate() {
+            assert!((6_000..14_000).contains(&l), "shard {s} load {l}");
+        }
+    }
+
+    #[test]
+    fn single_shard_pipeline_equals_direct_summary() {
+        let stream = planted(50_000, &[(7, 0.4)], 1);
+        let mut pipe =
+            ShardedPipeline::new(1, 9, 0.0, |_| MisraGriesBaseline::new(0.05, 0.2, 1 << 21));
+        for chunk in stream.chunks(4096) {
+            pipe.ingest(chunk);
+        }
+        let mut direct = MisraGriesBaseline::new(0.05, 0.2, 1 << 21);
+        direct.insert_all(&stream);
+        for probe in [7u64, 1_000_001, 1_002_222] {
+            assert_eq!(pipe.summaries()[0].estimate(probe), direct.estimate(probe));
+        }
+        assert_eq!(pipe.total(), 50_000);
+    }
+
+    #[test]
+    fn shards_see_complete_per_key_substreams() {
+        // Deterministic summaries: a key's count in its shard must be its
+        // full stream count (never split), so the exact MG guarantee
+        // applies to the shard substream.
+        let stream = planted(60_000, &[(7, 0.3), (8, 0.2)], 2);
+        let mut pipe = ShardedPipeline::new(4, 11, 0.15, |_| {
+            SpaceSaving::with_capacity(64, 0.2, 1 << 21)
+        });
+        for chunk in stream.chunks(8192) {
+            pipe.ingest(chunk);
+        }
+        for item in [7u64, 8] {
+            let shard = pipe.shard_of(item);
+            let truth = stream.iter().filter(|&&x| x == item).count() as f64;
+            let est = pipe.summaries()[shard].estimate(item);
+            // Space-Saving never undercounts and its overshoot is bounded
+            // by the SHARD substream length over capacity.
+            assert!(est >= truth, "item {item}: {est} < {truth}");
+            assert!(est <= truth + 60_000.0 / 64.0, "item {item}: {est}");
+            // Other shards know nothing about the key.
+            for (j, s) in pipe.summaries().iter().enumerate() {
+                if j != shard {
+                    assert_eq!(s.estimate(item), 0.0, "key leaked to shard {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn union_report_finds_heavy_and_drops_shard_local_noise() {
+        let m = 120_000u64;
+        let stream = planted(m, &[(7, 0.35), (8, 0.22)], 3);
+        for shards in [1usize, 2, 4] {
+            let mut pipe = ShardedPipeline::new(shards, 13, 0.15, |_| {
+                SpaceSaving::with_capacity(64, 0.2, 1 << 21)
+            });
+            for chunk in stream.chunks(4096) {
+                pipe.ingest(chunk);
+            }
+            let r = pipe.report();
+            assert!(r.contains(7), "{shards} shards: missing 35% item");
+            assert!(r.contains(8), "{shards} shards: missing 22% item");
+            // Background ids are ~0.03% each: nothing below the global
+            // threshold survives the union cut.
+            for e in r.entries() {
+                assert!(e.count >= 0.15 * m as f64);
+                assert!([7, 8].contains(&e.item), "spurious item {}", e.item);
+            }
+        }
+    }
+
+    #[test]
+    fn algo2_preset_reports_planted_heavy_hitters() {
+        let m = 400_000u64;
+        let stream = planted(m, &[(7, 0.30), (8, 0.16)], 4);
+        let params = HhParams::with_delta(0.05, 0.1, 0.1).unwrap();
+        let mut pipe = sharded_algo2(params, 1 << 40, m, 4, 99).unwrap();
+        for chunk in stream.chunks(16 * 1024) {
+            pipe.ingest(chunk);
+        }
+        let r = pipe.report();
+        for (item, frac) in [(7u64, 0.30), (8, 0.16)] {
+            assert!(r.contains(item), "missing heavy item {item}");
+            let est = r.estimate(item).unwrap();
+            assert!(
+                (est - frac * m as f64).abs() <= 0.05 * m as f64,
+                "item {item}: est {est}"
+            );
+        }
+    }
+
+    #[test]
+    fn algo1_preset_reports_planted_heavy_hitters() {
+        let m = 300_000u64;
+        let stream = planted(m, &[(7, 0.30)], 5);
+        let params = HhParams::with_delta(0.04, 0.12, 0.1).unwrap();
+        let mut pipe = sharded_algo1(params, 1 << 40, m, 2, 17).unwrap();
+        for chunk in stream.chunks(16 * 1024) {
+            pipe.ingest(chunk);
+        }
+        assert!(pipe.report().contains(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = ShardedPipeline::new(0, 1, 0.1, |_| MisraGriesBaseline::new(0.1, 0.3, 16));
+    }
+}

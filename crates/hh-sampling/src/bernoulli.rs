@@ -149,6 +149,31 @@ impl SkipSampler {
             false
         }
     }
+
+    /// Offers `n` consecutive items at once; returns the offset of the
+    /// first sampled one (consuming its trial), or `None` if none of the
+    /// `n` are sampled.
+    ///
+    /// Exactly equivalent — including the backing-RNG draw sequence — to
+    /// calling [`SkipSampler::accept`] up to `n` times and stopping at
+    /// the first `true`: the pre-drawn gap either covers the whole batch
+    /// (one subtraction, no RNG) or lands inside it (the success is
+    /// consumed and the next gap pre-drawn, as `accept` would). This is
+    /// the batch-ingestion fast path: unsampled runs cost one arithmetic
+    /// step instead of one decrement per item.
+    #[inline]
+    pub fn next_within<R: Rng + ?Sized>(&mut self, n: u64, rng: &mut R) -> Option<u64> {
+        if !self.primed {
+            self.draw_gap(rng);
+        }
+        if self.remaining >= n {
+            self.remaining -= n;
+            return None;
+        }
+        let offset = self.remaining;
+        self.draw_gap(rng);
+        Some(offset)
+    }
 }
 
 impl SpaceUsage for SkipSampler {
@@ -224,6 +249,38 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let mut s = SkipSampler::with_exponent(0);
         assert!((0..100).all(|_| s.accept(&mut rng)));
+    }
+
+    #[test]
+    fn next_within_matches_per_trial_accept() {
+        // Same seed, same exponent: driving the sampler with batched
+        // next_within over arbitrary chunk sizes must reproduce the
+        // per-trial accept sequence exactly (positions and RNG draws).
+        for k in [0u32, 1, 3, 6] {
+            let n_trials = 50_000u64;
+            let mut scalar = SkipSampler::with_exponent(k);
+            let mut rng_a = StdRng::seed_from_u64(99);
+            let scalar_hits: Vec<u64> = (0..n_trials)
+                .filter(|_| scalar.accept(&mut rng_a))
+                .collect();
+            let mut batch = SkipSampler::with_exponent(k);
+            let mut rng_b = StdRng::seed_from_u64(99);
+            let mut batch_hits = Vec::new();
+            let mut pos = 0u64;
+            let chunks = [1u64, 2, 7, 64, 1000, 4096];
+            let mut ci = 0usize;
+            while pos < n_trials {
+                let len = chunks[ci % chunks.len()].min(n_trials - pos);
+                ci += 1;
+                let mut off = 0u64;
+                while let Some(j) = batch.next_within(len - off, &mut rng_b) {
+                    batch_hits.push(pos + off + j);
+                    off += j + 1;
+                }
+                pos += len;
+            }
+            assert_eq!(batch_hits, scalar_hits, "k={k}");
+        }
     }
 
     #[test]

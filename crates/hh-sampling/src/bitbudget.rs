@@ -202,6 +202,28 @@ impl BitSkipSampler {
             false
         }
     }
+
+    /// Runs up to `n` consecutive trials; returns the offset of the
+    /// first success (consuming it), or `None` if all `n` fail.
+    ///
+    /// Exactly equivalent — including the backing-RNG draw sequence — to
+    /// calling [`BitSkipSampler::accept`] up to `n` times and stopping at
+    /// the first `true`; see [`crate::SkipSampler::next_within`]. Batch
+    /// callers use it to step over whole unsampled runs in one
+    /// subtraction.
+    #[inline]
+    pub fn next_within<R: RngCore + ?Sized>(&mut self, n: u64, rng: &mut R) -> Option<u64> {
+        if !self.primed {
+            self.draw_gap(rng);
+        }
+        if self.remaining >= n {
+            self.remaining -= n;
+            return None;
+        }
+        let offset = self.remaining;
+        self.draw_gap(rng);
+        Some(offset)
+    }
 }
 
 impl SpaceUsage for BitSkipSampler {
@@ -409,6 +431,37 @@ mod tests {
             (0..1000).map(|_| s.accept(&mut rng)).collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn next_within_matches_per_trial_accept() {
+        // Batched skipping must reproduce the per-trial accept sequence
+        // bit-for-bit (both scan-path and inversion-path exponents).
+        for k in [1u32, 4, 6, 9] {
+            let n_trials = 60_000u64;
+            let mut scalar = BitSkipSampler::with_exponent(k);
+            let mut rng_a = StdRng::seed_from_u64(7 + k as u64);
+            let scalar_hits: Vec<u64> = (0..n_trials)
+                .filter(|_| scalar.accept(&mut rng_a))
+                .collect();
+            let mut batch = BitSkipSampler::with_exponent(k);
+            let mut rng_b = StdRng::seed_from_u64(7 + k as u64);
+            let mut batch_hits = Vec::new();
+            let mut pos = 0u64;
+            for len in std::iter::repeat([3u64, 1, 513, 8192]).flatten() {
+                if pos >= n_trials {
+                    break;
+                }
+                let len = len.min(n_trials - pos);
+                let mut off = 0u64;
+                while let Some(j) = batch.next_within(len - off, &mut rng_b) {
+                    batch_hits.push(pos + off + j);
+                    off += j + 1;
+                }
+                pos += len;
+            }
+            assert_eq!(batch_hits, scalar_hits, "k={k}");
+        }
     }
 
     #[test]

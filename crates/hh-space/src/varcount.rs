@@ -69,6 +69,26 @@ impl VarCounterArray {
         new
     }
 
+    /// Adds one to counter `i` **without** touching the incremental
+    /// model-bit sum, returning the new value. Batch update loops use it
+    /// to keep gamma accounting out of their inner pass; the caller must
+    /// restore the invariant with [`VarCounterArray::resync_model_bits`]
+    /// before the next space query.
+    #[inline]
+    pub fn increment_raw(&mut self, i: usize) -> u64 {
+        let new = self.counts[i] + 1;
+        self.counts[i] = new;
+        new
+    }
+
+    /// Recomputes the model-bit sum from the raw counters (the deferred
+    /// half of [`VarCounterArray::increment_raw`]): the result is exactly
+    /// the value incremental maintenance would have reached. O(len), so
+    /// callers amortize it over a batch of raw increments.
+    pub fn resync_model_bits(&mut self) {
+        self.model_bit_sum = self.counts.iter().map(|&c| gamma_bits(c)).sum();
+    }
+
     /// Adds `delta` to counter `i` and returns the new value.
     #[inline]
     pub fn add(&mut self, i: usize, delta: u64) -> u64 {
@@ -166,6 +186,19 @@ impl SpaceUsage for VarCounterArray {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn raw_increments_resync_to_incremental_accounting() {
+        let mut incremental = VarCounterArray::new(8);
+        let mut raw = VarCounterArray::new(8);
+        for i in 0..200usize {
+            incremental.increment(i % 8);
+            raw.increment_raw(i % 8);
+        }
+        raw.resync_model_bits();
+        assert_eq!(incremental, raw);
+        assert_eq!(incremental.model_bits(), raw.model_bits());
+    }
 
     #[test]
     fn model_bits_tracks_gamma_sum() {

@@ -1,7 +1,12 @@
 #!/usr/bin/env bash
-# Runs the per-item update-time bench (experiment E6) on its fixed
-# Zipf(1.2) workload and records the results as JSON, so the repo's
-# performance trajectory is measurable across PRs.
+# Runs the benchmark trajectory groups on their fixed workloads and
+# records the results as JSON, so the repo's performance is measurable
+# across PRs:
+#
+#   update_time         E6: scalar per-item insertion (all summaries)
+#   batch_update_time   insert_batch on the same workload
+#   sharded_throughput  hh-pipeline key-sharded ingestion, 1/2/4 shards
+#   query_time          report() extraction at three universe sizes
 #
 # Usage: scripts/bench.sh [output.json]   (default: BENCH_1.json)
 set -euo pipefail
@@ -11,14 +16,19 @@ out="${1:-BENCH_1.json}"
 
 # The vendored mini-criterion writes a JSON array of
 # {group, id, mean_ns, best_ns, samples, throughput} records to the
-# path named by CRITERION_JSON. cargo changes directory, so relative
-# output paths must be anchored to the invoker's intent (repo root).
+# path named by CRITERION_JSON, merging across bench binaries (records
+# with the same group/id are replaced, others kept). cargo changes
+# directory, so relative output paths must be anchored to the invoker's
+# intent (repo root). Start fresh so removed benchmarks do not linger.
 case "${out}" in
 /*) json="${out}" ;;
 *) json="$(pwd)/${out}" ;;
 esac
+rm -f "${json}"
 
-CRITERION_JSON="${json}" cargo bench -p hh-bench --bench update_time
+for bench in update_time batch_update_time sharded_throughput query_time; do
+    CRITERION_JSON="${json}" cargo bench -p hh-bench --bench "${bench}"
+done
 
 if [ ! -s "${json}" ]; then
     echo "error: no benchmark records at ${json}" >&2

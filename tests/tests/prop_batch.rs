@@ -1,0 +1,147 @@
+//! Property suite for batched ingestion: `insert_batch` must be
+//! observationally equivalent to element-wise `insert` for every summary
+//! in the workspace, across random streams and random batch sizes.
+//!
+//! "Observationally equivalent" is checked at the strongest level each
+//! summary supports: identical reports, identical point estimates on
+//! heavy/light/absent probes, and — because every batch override either
+//! is deterministic or preserves the backing-RNG draw order — this holds
+//! under a *shared seed*, i.e. batch and scalar runs are interchangeable
+//! bit-for-bit, not merely statistically.
+
+use hh_baselines::{
+    CountMin, CountSketch, LossyCounting, MisraGriesBaseline, SpaceSaving, StickySampling,
+};
+use hh_core::StreamSummary;
+use hh_core::{FrequencyEstimator, HeavyHitters, HhParams, OptimalListHh, SimpleListHh};
+use hh_streams::{collect_stream, ZipfGenerator};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const M: usize = 60_000;
+const N: u64 = 1 << 32;
+const EPS: f64 = 0.05;
+const PHI: f64 = 0.2;
+const DELTA: f64 = 0.1;
+
+/// A Zipf stream plus probe ids: the two top (scrambled) ranks, a tail
+/// id, and an absent id.
+fn workload(seed: u64) -> (Vec<u64>, Vec<u64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut gen = ZipfGenerator::new(N, 1.2).scrambled(&mut rng);
+    let stream = collect_stream(&mut gen, M, &mut rng);
+    let probes = vec![
+        gen.id_of_rank(1),
+        gen.id_of_rank(2),
+        gen.id_of_rank(1000),
+        stream.iter().max().unwrap() + 1,
+    ];
+    (stream, probes)
+}
+
+/// Drives `scalar` element-wise and `batch` through chunked
+/// `insert_batch`, then asserts observational equivalence.
+fn assert_equiv<S>(mut scalar: S, mut batch: S, stream: &[u64], chunk: usize, probes: &[u64])
+where
+    S: StreamSummary + HeavyHitters + FrequencyEstimator,
+{
+    for &x in stream {
+        scalar.insert(x);
+    }
+    for part in stream.chunks(chunk) {
+        batch.insert_batch(part);
+    }
+    assert_eq!(
+        scalar.report().entries(),
+        batch.report().entries(),
+        "reports diverge"
+    );
+    for &p in probes {
+        assert_eq!(scalar.estimate(p), batch.estimate(p), "estimate({p})");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn all_eight_summaries_batch_equals_element_wise(
+        seed in 0u64..1 << 32,
+        chunk in 1usize..20_000,
+    ) {
+        let (stream, probes) = workload(seed);
+        let params = HhParams::with_delta(EPS, PHI, DELTA).unwrap();
+
+        assert_equiv(
+            SimpleListHh::new(params, N, M as u64, seed).unwrap(),
+            SimpleListHh::new(params, N, M as u64, seed).unwrap(),
+            &stream, chunk, &probes,
+        );
+        assert_equiv(
+            OptimalListHh::new(params, N, M as u64, seed).unwrap(),
+            OptimalListHh::new(params, N, M as u64, seed).unwrap(),
+            &stream, chunk, &probes,
+        );
+        assert_equiv(
+            MisraGriesBaseline::new(EPS, PHI, N),
+            MisraGriesBaseline::new(EPS, PHI, N),
+            &stream, chunk, &probes,
+        );
+        assert_equiv(
+            SpaceSaving::new(EPS, PHI, N),
+            SpaceSaving::new(EPS, PHI, N),
+            &stream, chunk, &probes,
+        );
+        assert_equiv(
+            LossyCounting::new(EPS, PHI, N),
+            LossyCounting::new(EPS, PHI, N),
+            &stream, chunk, &probes,
+        );
+        assert_equiv(
+            StickySampling::new(EPS, PHI, DELTA, N, seed),
+            StickySampling::new(EPS, PHI, DELTA, N, seed),
+            &stream, chunk, &probes,
+        );
+        assert_equiv(
+            CountMin::new(EPS, PHI, DELTA, N, seed),
+            CountMin::new(EPS, PHI, DELTA, N, seed),
+            &stream, chunk, &probes,
+        );
+        assert_equiv(
+            CountSketch::new(EPS, PHI, DELTA, N, seed),
+            CountSketch::new(EPS, PHI, DELTA, N, seed),
+            &stream, chunk, &probes,
+        );
+    }
+
+    #[test]
+    fn degenerate_batch_shapes_are_safe(seed in 0u64..1 << 32) {
+        // Empty batches, single-element batches, and a batch larger than
+        // the stream must all be handled by every override.
+        let (stream, probes) = workload(seed ^ 0x5A5A);
+        let short = &stream[..4096];
+        let params = HhParams::with_delta(EPS, PHI, DELTA).unwrap();
+
+        let mut a = OptimalListHh::new(params, N, M as u64, seed).unwrap();
+        let mut b = OptimalListHh::new(params, N, M as u64, seed).unwrap();
+        a.insert_batch(&[]);
+        for &x in short {
+            a.insert_batch(std::slice::from_ref(&x));
+        }
+        b.insert_batch(short);
+        prop_assert_eq!(a.samples(), b.samples());
+        for &p in &probes {
+            prop_assert_eq!(a.estimate(p), b.estimate(p));
+        }
+
+        let mut c = SpaceSaving::new(EPS, PHI, N);
+        let mut d = SpaceSaving::new(EPS, PHI, N);
+        c.insert_batch(&[]);
+        c.insert_batch(short);
+        for &x in short {
+            d.insert(x);
+        }
+        prop_assert_eq!(c.entries(), d.entries());
+    }
+}

@@ -1,0 +1,141 @@
+//! Property suite for the key-sharded pipeline: the union-of-shards
+//! report must satisfy the (φ, ε) recall and suppression guarantees of
+//! Definition 1 on planted-heavy-hitter and Zipf streams at 1, 2, and 4
+//! shards — the shard count is an executor knob, not a semantics knob.
+
+use hh_core::{HhParams, StreamSummary};
+use hh_pipeline::{sharded_algo1, sharded_algo2, ShardedPipeline};
+use hh_streams::{arrange, collect_stream, ExactCounts, OrderPolicy, ZipfGenerator};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Planted workload: a 30% item, an item just over φ, an item pinned
+/// just under (φ−ε), and a light-id tail.
+fn planted_with_boundary(m: u64, phi: f64, eps: f64, seed: u64) -> Vec<u64> {
+    let light_frac = phi - eps - 0.02;
+    let mut counts: Vec<(u64, u64)> = vec![
+        (1, (0.30 * m as f64) as u64),
+        (2, (phi * m as f64) as u64 + m / 200),
+        (3, (light_frac * m as f64) as u64),
+    ];
+    let used: u64 = counts.iter().map(|&(_, c)| c).sum();
+    let tail_ids = 2048u64;
+    let fill = m - used;
+    for j in 0..tail_ids {
+        let c = fill / tail_ids + u64::from(j < fill % tail_ids);
+        if c > 0 {
+            counts.push((1_000_000 + j, c));
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    arrange(&counts, OrderPolicy::Shuffled, &mut rng)
+}
+
+fn ingest_chunked<S: StreamSummary + Send>(
+    pipe: &mut ShardedPipeline<S>,
+    stream: &[u64],
+    chunk: usize,
+) {
+    for part in stream.chunks(chunk.max(1)) {
+        pipe.ingest(part);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn planted_guarantees_hold_at_every_shard_count(
+        seed in 0u64..1 << 32,
+        chunk in 1024usize..65_536,
+    ) {
+        let (m, phi, eps) = (400_000u64, 0.15, 0.05);
+        let stream = planted_with_boundary(m, phi, eps, seed);
+        let params = HhParams::with_delta(eps, phi, 0.1).unwrap();
+        for shards in SHARD_COUNTS {
+            let mut pipe =
+                sharded_algo2(params, 1 << 40, m, shards, seed ^ 0xD1CE).unwrap();
+            ingest_chunked(&mut pipe, &stream, chunk);
+            let r = pipe.report();
+            prop_assert!(r.contains(1), "{shards} shards: missing 30% item");
+            prop_assert!(r.contains(2), "{shards} shards: missing phi-heavy item");
+            prop_assert!(
+                !r.contains(3),
+                "{shards} shards: (phi-eps)-light item reported"
+            );
+            let est = r.estimate(1).unwrap();
+            prop_assert!(
+                (est - 0.30 * m as f64).abs() <= eps * m as f64,
+                "{shards} shards: estimate {est} off by more than eps*m"
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_recall_and_suppression_at_every_shard_count(seed in 0u64..1 << 32) {
+        let (m, phi, eps) = (300_000usize, 0.1, 0.04);
+        let mut gen = ZipfGenerator::new(1 << 30, 1.3);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let stream = collect_stream(&mut gen, m, &mut rng);
+        let oracle = ExactCounts::from_stream(&stream);
+        let params = HhParams::with_delta(eps, phi, 0.1).unwrap();
+        for shards in SHARD_COUNTS {
+            let mut pipe =
+                sharded_algo2(params, 1 << 30, m as u64, shards, seed ^ 0xBEEF).unwrap();
+            ingest_chunked(&mut pipe, &stream, 16 * 1024);
+            let r = pipe.report();
+            for (item, f) in oracle.heavy_hitters(phi) {
+                prop_assert!(
+                    r.contains(item),
+                    "{shards} shards: missing zipf HH {item} (f = {f})"
+                );
+            }
+            for item in oracle.forbidden(phi, eps) {
+                prop_assert!(
+                    !r.contains(item),
+                    "{shards} shards: forbidden zipf item {item} reported"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn algo1_pipeline_guarantees_hold(seed in 0u64..1 << 32) {
+        let (m, phi, eps) = (300_000u64, 0.15, 0.05);
+        let stream = planted_with_boundary(m, phi, eps, seed);
+        let params = HhParams::with_delta(eps, phi, 0.1).unwrap();
+        for shards in SHARD_COUNTS {
+            let mut pipe =
+                sharded_algo1(params, 1 << 40, m, shards, seed ^ 0xFA11).unwrap();
+            ingest_chunked(&mut pipe, &stream, 32 * 1024);
+            let r = pipe.report();
+            prop_assert!(r.contains(1), "{shards} shards: missing 30% item");
+            prop_assert!(r.contains(2), "{shards} shards: missing phi-heavy item");
+            prop_assert!(
+                !r.contains(3),
+                "{shards} shards: (phi-eps)-light item reported"
+            );
+        }
+    }
+
+    #[test]
+    fn same_seed_pipeline_runs_are_bit_identical(seed in 0u64..1 << 32) {
+        let (m, phi, eps) = (150_000u64, 0.2, 0.05);
+        let stream = planted_with_boundary(m, phi, eps, seed);
+        let params = HhParams::with_delta(eps, phi, 0.1).unwrap();
+        let run = || {
+            let mut pipe = sharded_algo2(params, 1 << 40, m, 4, seed).unwrap();
+            ingest_chunked(&mut pipe, &stream, 8192);
+            pipe
+        };
+        let (a, b) = (run(), run());
+        // Thread scheduling must not leak into results: shards are
+        // independent, so the union report is schedule-free.
+        let (ra, rb) = (a.report(), b.report());
+        prop_assert_eq!(ra.entries(), rb.entries());
+        prop_assert_eq!(a.total(), b.total());
+    }
+}
