@@ -8,11 +8,24 @@
 //!
 //! Exit code is 1 if any benchmark regressed by more than 10% — the
 //! budget the repo's perf acceptance criteria allow — so CI or a
-//! pre-merge check can gate on it. Benchmarks (or whole groups) that
-//! exist only in the newer record are *tolerated*: they print as `new`
-//! and never regress — a perf PR that adds a bench group must not have
-//! to backfill history. Benchmarks present only in the older record
-//! print as `removed`, also without failing.
+//! pre-merge check can gate on it.
+//!
+//! **What counts as a regression.** Records are snapshots from
+//! whatever host recorded them, and the trajectory hosts are shared
+//! single-vCPU boxes where scheduler contention inflates individual
+//! samples by 2–10× (steal time only ever *adds* latency). The mean is
+//! therefore contaminated noise-first, while the best-of-N sample is
+//! the contention-robust floor — a real code slowdown shifts the floor
+//! and the mean together, noise shifts only the mean. The gate flags a
+//! benchmark only when **both** the mean ratio and the best ratio
+//! exceed the 10% budget; the printed table shows both so a
+//! mean-only drift is still visible as `noisy`.
+//!
+//! Benchmarks (or whole groups) that exist only in the newer record are
+//! *tolerated*: they print as `new` and never regress — a perf PR that
+//! adds a bench group must not have to backfill history. Benchmarks
+//! present only in the older record print as `removed`, also without
+//! failing.
 
 use std::process::ExitCode;
 
@@ -22,6 +35,7 @@ struct Record {
     group: String,
     id: String,
     mean_ns: f64,
+    best_ns: f64,
 }
 
 /// Pulls `"key": <string>` out of a JSON object line.
@@ -46,7 +60,8 @@ fn num_field(line: &str, key: &str) -> Option<f64> {
 /// Parses the benchmark records out of a `scripts/bench.sh` JSON file.
 /// The format is one object per line inside a flat array — a shape this
 /// repo controls — so a line-oriented field scan is exact and keeps the
-/// vendored serde stub out of the loop.
+/// vendored serde stub out of the loop. `best_ns` falls back to
+/// `mean_ns` for hand-built records that omit it.
 fn parse(path: &str) -> Result<Vec<Record>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let mut out = Vec::new();
@@ -62,7 +77,13 @@ fn parse(path: &str) -> Result<Vec<Record>, String> {
             (Some(g), Some(i), Some(m)) => (g, i, m),
             _ => return Err(format!("{path}: malformed record: {line}")),
         };
-        out.push(Record { group, id, mean_ns });
+        let best_ns = num_field(line, "best_ns").unwrap_or(mean_ns);
+        out.push(Record {
+            group,
+            id,
+            mean_ns,
+            best_ns,
+        });
     }
     if out.is_empty() {
         return Err(format!("{path}: no benchmark records"));
@@ -70,7 +91,7 @@ fn parse(path: &str) -> Result<Vec<Record>, String> {
     Ok(out)
 }
 
-/// Finds the two highest-numbered BENCH_<N>.json files in `.`.
+/// Finds the two highest-numbered `BENCH_<N>.json` files in `.`.
 fn latest_pair() -> Option<(String, String)> {
     let mut numbered: Vec<(u64, String)> = std::fs::read_dir(".")
         .ok()?
@@ -117,8 +138,8 @@ fn main() -> ExitCode {
 
     println!("# {old_path} -> {new_path}\n");
     println!(
-        "{:<20} {:<18} {:>12} {:>12} {:>9}  verdict",
-        "group", "id", "old mean", "new mean", "speedup"
+        "{:<20} {:<18} {:>12} {:>12} {:>9} {:>9}  verdict",
+        "group", "id", "old mean", "new mean", "mean", "best"
     );
     let diff = diff(&old, &new);
     for line in &diff.lines {
@@ -145,9 +166,13 @@ struct Diff {
     added: usize,
 }
 
+/// The regression budget: fail at more than 10% slower.
+const BUDGET: f64 = 1.10;
+
 /// Compares `new` against `old` per (group, id). Only benchmarks present
-/// in *both* can regress; new and removed ones are reported but never
-/// fail the gate.
+/// in *both* can regress, and only when the mean ratio **and** the
+/// best-of-N ratio both blow the budget (see module docs); new and
+/// removed ones are reported but never fail the gate.
 fn diff(old: &[Record], new: &[Record]) -> Diff {
     let mut lines = Vec::new();
     let mut regressed = false;
@@ -156,30 +181,33 @@ fn diff(old: &[Record], new: &[Record]) -> Diff {
         let Some(o) = old.iter().find(|o| o.group == n.group && o.id == n.id) else {
             added += 1;
             lines.push(format!(
-                "{:<20} {:<18} {:>12} {:>12.0} {:>9}  new",
-                n.group, n.id, "-", n.mean_ns, "-"
+                "{:<20} {:<18} {:>12} {:>12.0} {:>9} {:>9}  new",
+                n.group, n.id, "-", n.mean_ns, "-", "-"
             ));
             continue;
         };
-        let speedup = o.mean_ns / n.mean_ns;
-        let verdict = if speedup < 1.0 / 1.10 {
+        let mean_speedup = o.mean_ns / n.mean_ns;
+        let best_speedup = o.best_ns / n.best_ns;
+        let verdict = if mean_speedup < 1.0 / BUDGET && best_speedup < 1.0 / BUDGET {
             regressed = true;
             "REGRESSION"
-        } else if speedup > 1.10 {
+        } else if mean_speedup < 1.0 / BUDGET || best_speedup < 1.0 / BUDGET {
+            "noisy"
+        } else if mean_speedup > BUDGET {
             "faster"
         } else {
             "flat"
         };
         lines.push(format!(
-            "{:<20} {:<18} {:>12.0} {:>12.0} {:>8.2}x  {verdict}",
-            n.group, n.id, o.mean_ns, n.mean_ns, speedup
+            "{:<20} {:<18} {:>12.0} {:>12.0} {:>8.2}x {:>8.2}x  {verdict}",
+            n.group, n.id, o.mean_ns, n.mean_ns, mean_speedup, best_speedup
         ));
     }
     for o in old {
         if !new.iter().any(|n| n.group == o.group && n.id == o.id) {
             lines.push(format!(
-                "{:<20} {:<18} {:>12.0} {:>12} {:>9}  removed",
-                o.group, o.id, o.mean_ns, "-", "-"
+                "{:<20} {:<18} {:>12.0} {:>12} {:>9} {:>9}  removed",
+                o.group, o.id, o.mean_ns, "-", "-", "-"
             ));
         }
     }
@@ -200,6 +228,7 @@ mod tests {
         assert_eq!(str_field(line, "group").unwrap(), "update_time");
         assert_eq!(str_field(line, "id").unwrap(), "algo2_optimal");
         assert_eq!(num_field(line, "mean_ns").unwrap(), 57523745.3);
+        assert_eq!(num_field(line, "best_ns").unwrap(), 1.0);
     }
 
     #[test]
@@ -208,11 +237,12 @@ mod tests {
         assert_eq!(num_field(r#"{"mean_ns": }"#, "mean_ns"), None);
     }
 
-    fn rec(group: &str, id: &str, mean_ns: f64) -> Record {
+    fn rec(group: &str, id: &str, mean_ns: f64, best_ns: f64) -> Record {
         Record {
             group: group.into(),
             id: id.into(),
             mean_ns,
+            best_ns,
         }
     }
 
@@ -220,11 +250,11 @@ mod tests {
     fn new_groups_are_tolerated_not_regressions() {
         // A record whose group exists only in the newer file must be
         // reported as `new` and must not trip the regression gate.
-        let old = vec![rec("update_time", "algo2", 100.0)];
+        let old = vec![rec("update_time", "algo2", 100.0, 95.0)];
         let new = vec![
-            rec("update_time", "algo2", 101.0),
-            rec("batch_update_time", "algo2", 55.0),
-            rec("sharded_throughput", "algo2_shards4", 30.0),
+            rec("update_time", "algo2", 101.0, 96.0),
+            rec("batch_update_time", "algo2", 55.0, 50.0),
+            rec("sharded_throughput", "algo2_shards4", 30.0, 28.0),
         ];
         let d = diff(&old, &new);
         assert!(!d.regressed);
@@ -233,19 +263,26 @@ mod tests {
     }
 
     #[test]
-    fn regression_detected_only_on_shared_benchmarks() {
-        let old = vec![rec("g", "fast", 100.0), rec("g", "slow", 100.0)];
-        let new = vec![rec("g", "fast", 105.0), rec("g", "slow", 120.0)];
-        let d = diff(&old, &new);
-        assert!(d.regressed, "20% slowdown must fail the gate");
-        let ok = vec![rec("g", "fast", 105.0), rec("g", "slow", 109.0)];
-        assert!(!diff(&old, &ok).regressed, "9% is within budget");
+    fn regression_requires_mean_and_best_to_agree() {
+        // Mean blew the budget but the best sample held: contention
+        // noise, not a code slowdown — reported as `noisy`, gate green.
+        let old = vec![rec("g", "x", 100.0, 95.0)];
+        let noisy = vec![rec("g", "x", 130.0, 97.0)];
+        let d = diff(&old, &noisy);
+        assert!(!d.regressed);
+        assert!(d.lines.iter().any(|l| l.contains("noisy")));
+        // Mean and best both slowed: a real regression.
+        let slow = vec![rec("g", "x", 130.0, 120.0)];
+        assert!(diff(&old, &slow).regressed);
+        // Both within budget: flat.
+        let ok = vec![rec("g", "x", 109.0, 104.0)];
+        assert!(!diff(&old, &ok).regressed);
     }
 
     #[test]
     fn removed_benchmarks_are_reported_without_failing() {
-        let old = vec![rec("g", "gone", 100.0), rec("g", "kept", 100.0)];
-        let new = vec![rec("g", "kept", 90.0)];
+        let old = vec![rec("g", "gone", 100.0, 90.0), rec("g", "kept", 100.0, 90.0)];
+        let new = vec![rec("g", "kept", 90.0, 85.0)];
         let d = diff(&old, &new);
         assert!(!d.regressed);
         assert!(d.lines.iter().any(|l| l.contains("removed")));

@@ -26,7 +26,8 @@
 //! free).
 
 use crate::config::{Constants, HhParams};
-use crate::error::ParamError;
+use crate::error::{MergeError, ParamError, SnapshotError};
+use crate::mergeable::{check_compatible, snapshot, MergeableSummary};
 use crate::mg::MisraGries;
 use crate::report::{ItemEstimate, Report};
 use crate::traits::{HeavyHitters, StreamSummary};
@@ -35,6 +36,7 @@ use hh_sampling::SkipSampler;
 use hh_space::SpaceUsage;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 
 /// Algorithm 1 of the paper (Theorem 1).
 #[derive(Debug, Clone)]
@@ -138,6 +140,25 @@ impl SimpleListHh {
             samples: 0,
             rng,
         })
+    }
+
+    /// Creates a **seed-aligned** instance for merge-based pipelines:
+    /// the hash function is drawn from `structure_seed` while the
+    /// sampling coins run off `stream_seed`. Instances sharing a
+    /// structure seed agree on their hashed-id space — the precondition
+    /// for [`MergeableSummary::merge_from`] — while distinct stream
+    /// seeds keep their sampling decisions independent across shards.
+    pub fn with_seeds(
+        params: HhParams,
+        universe: u64,
+        m: u64,
+        structure_seed: u64,
+        stream_seed: u64,
+    ) -> Result<Self, ParamError> {
+        let mut a =
+            Self::with_constants(params, universe, m, structure_seed, Constants::default())?;
+        a.rng = StdRng::seed_from_u64(stream_seed);
+        Ok(a)
     }
 
     /// The realized sampling probability (after power-of-two rounding).
@@ -280,6 +301,101 @@ impl SpaceUsage for SimpleListHh {
 
     fn heap_bytes(&self) -> usize {
         self.t1.heap_bytes() + self.t2.capacity() * 16
+    }
+}
+
+/// Snapshot format version tag.
+const A1_TAG: &str = "hh.algo1.v1";
+
+/// Full-state snapshot: parameters, hash seed, both tables, the sample
+/// count, and the sampler/RNG state, so a restored instance reports
+/// bit-identically *and* continues ingesting exactly as the original
+/// would have.
+impl Serialize for SimpleListHh {
+    fn serialize<S: serde::Serializer>(&self, mut serializer: S) -> Result<S::Ok, S::Error> {
+        self.params.serialize(&mut serializer)?;
+        serializer.write_u64(self.universe)?;
+        self.sampler.serialize(&mut serializer)?;
+        self.hash.serialize(&mut serializer)?;
+        self.t1.serialize(&mut serializer)?;
+        self.t2.serialize(&mut serializer)?;
+        serializer.write_u64(self.t2_cap as u64)?;
+        serializer.write_u64(self.samples)?;
+        snapshot::write_rng_state(self.rng.to_state(), &mut serializer)?;
+        serializer.done()
+    }
+}
+
+impl<'de> Deserialize<'de> for SimpleListHh {
+    fn deserialize<D: serde::Deserializer<'de>>(mut deserializer: D) -> Result<Self, D::Error> {
+        let params = HhParams::deserialize(&mut deserializer)?;
+        let universe = deserializer.read_u64()?;
+        if universe == 0 {
+            return Err(serde::de::Error::custom("empty universe"));
+        }
+        let sampler = SkipSampler::deserialize(&mut deserializer)?;
+        let hash = CarterWegmanHash::deserialize(&mut deserializer)?;
+        let t1 = MisraGries::deserialize(&mut deserializer)?;
+        let t2: Vec<(u64, u64)> = Vec::deserialize(&mut deserializer)?;
+        let t2_cap = deserializer.read_u64()? as usize;
+        if t2_cap == 0 || t2.len() > t2_cap {
+            return Err(serde::de::Error::custom("T2 overflows its capacity"));
+        }
+        let samples = deserializer.read_u64()?;
+        let rng = StdRng::from_state(snapshot::read_rng_state(&mut deserializer)?);
+        let p = sampler.probability();
+        Ok(Self {
+            params,
+            universe,
+            sampler,
+            p,
+            hash,
+            t1,
+            t2,
+            t2_cap,
+            samples,
+            rng,
+        })
+    }
+}
+
+impl MergeableSummary for SimpleListHh {
+    /// Seed-aligned merge: requires both instances to share the hash
+    /// seed and sampling rate (build them with
+    /// [`SimpleListHh::with_seeds`] under one structure seed). The
+    /// hashed-id Misra–Gries tables merge counter-wise, the raw-id
+    /// tables union and keep the `Θ(1/φ)` heaviest keys of the merged
+    /// `T1`, and the sample counts add — afterwards `self` summarizes
+    /// the concatenated sampled stream with the combined `s`.
+    fn merge_from(&mut self, other: &Self) -> Result<(), MergeError> {
+        check_compatible(&self.params, &other.params, "parameters")?;
+        check_compatible(&self.universe, &other.universe, "universes")?;
+        check_compatible(&self.hash, &other.hash, "hash seeds")?;
+        check_compatible(&self.p, &other.p, "sampling rates")?;
+        check_compatible(&self.t2_cap, &other.t2_cap, "T2 capacities")?;
+        self.t1.merge_from(&other.t1)?;
+        self.samples += other.samples;
+        // Union of tracked raw ids, re-ranked by the merged T1 counts.
+        let mut merged = std::mem::take(&mut self.t2);
+        for &(hashed, raw) in &other.t2 {
+            if !merged.iter().any(|&(h, _)| h == hashed) {
+                merged.push((hashed, raw));
+            }
+        }
+        if merged.len() > self.t2_cap {
+            merged.sort_unstable_by_key(|&(h, _)| (std::cmp::Reverse(self.t1.estimate(h)), h));
+            merged.truncate(self.t2_cap);
+        }
+        self.t2 = merged;
+        Ok(())
+    }
+
+    fn to_bytes(&self) -> bytes::Bytes {
+        snapshot::encode(A1_TAG, self)
+    }
+
+    fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        snapshot::decode(A1_TAG, bytes)
     }
 }
 
@@ -447,6 +563,67 @@ mod tests {
         let params = HhParams::new(0.1, 0.3).unwrap();
         let a = SimpleListHh::new(params, 100, 1000, 0).unwrap();
         assert!(a.report().is_empty());
+    }
+
+    #[test]
+    fn merged_partitions_find_the_heavy_hitters() {
+        let m = 400_000u64;
+        let params = HhParams::with_delta(0.04, 0.12, 0.1).unwrap();
+        let stream = planted_stream(m, &[(7, 0.30), (8, 0.15), (55, 0.06)], 31);
+        let mut parts: Vec<SimpleListHh> = (0..3)
+            .map(|j| SimpleListHh::with_seeds(params, 1 << 40, m, 9, 100 + j).unwrap())
+            .collect();
+        // Arbitrary position-based partition: round-robin over the parts.
+        for (i, &x) in stream.iter().enumerate() {
+            parts[i % 3].insert(x);
+        }
+        let mut merged = parts.remove(0);
+        for p in &parts {
+            merged.merge_from(p).unwrap();
+        }
+        let r = merged.report();
+        assert!(
+            r.contains(7) && r.contains(8),
+            "merged report misses heavy items"
+        );
+        assert!(!r.contains(55), "(phi-eps)-light item must stay suppressed");
+        for (item, frac) in [(7u64, 0.30), (8, 0.15)] {
+            let est = r.estimate(item).unwrap();
+            assert!(
+                (est - frac * m as f64).abs() <= 0.04 * m as f64,
+                "item {item}: est {est}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_rejects_differently_seeded_instances() {
+        use crate::error::MergeError;
+        let params = HhParams::new(0.05, 0.2).unwrap();
+        let mut a = SimpleListHh::with_seeds(params, 1 << 20, 10_000, 1, 10).unwrap();
+        let b = SimpleListHh::with_seeds(params, 1 << 20, 10_000, 2, 11).unwrap();
+        assert_eq!(
+            a.merge_from(&b),
+            Err(MergeError::Incompatible("hash seeds"))
+        );
+    }
+
+    #[test]
+    fn snapshot_restores_report_and_resumes_bit_identically() {
+        let m = 150_000u64;
+        let params = HhParams::with_delta(0.05, 0.2, 0.1).unwrap();
+        let stream = planted_stream(m, &[(7, 0.4)], 8);
+        let (head, tail) = stream.split_at(stream.len() / 2);
+        let mut a = SimpleListHh::new(params, 1 << 40, m, 3).unwrap();
+        a.insert_batch(head);
+        let mut restored = SimpleListHh::from_bytes(&a.to_bytes()).unwrap();
+        assert_eq!(a.report().entries(), restored.report().entries());
+        assert_eq!(a.model_bits(), restored.model_bits());
+        // Resuming the stream on the restored copy matches the original.
+        a.insert_batch(tail);
+        restored.insert_batch(tail);
+        assert_eq!(a.report().entries(), restored.report().entries());
+        assert_eq!(a.samples(), restored.samples());
     }
 
     #[test]

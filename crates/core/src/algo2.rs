@@ -59,7 +59,8 @@
 //! warns about.
 
 use crate::config::{Constants, HhParams};
-use crate::error::ParamError;
+use crate::error::{MergeError, ParamError, SnapshotError};
+use crate::mergeable::{check_compatible, snapshot, MergeableSummary};
 use crate::mg::MisraGries;
 use crate::report::{ItemEstimate, Report};
 use crate::traits::{HeavyHitters, StreamSummary};
@@ -68,6 +69,7 @@ use hh_sampling::{BitBudget, BitSkipSampler};
 use hh_space::{gamma_sum_bits, sparse_slice_bits, SpaceUsage};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 
 /// Whether the accelerated epoch counters (the paper's T3) are active.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -118,6 +120,24 @@ fn epoch_thresholds(scale: f64, k: u32) -> Vec<u64> {
             v
         })
         .collect()
+}
+
+/// Builds the branchless T3 trial tables for a given `ε̂ = 2^{-k}`
+/// exponent (shared by the constructor and snapshot restore; the tables
+/// are pure functions of `k`, so they are never serialized).
+#[allow(clippy::type_complexity)]
+fn trial_tables(k_eps: u32) -> (Box<[u64; 256]>, Box<[u64; 256]>, Box<[u8; 256]>) {
+    let mut t3_mask = Box::new([0u64; 256]);
+    let mut t3_add = Box::new([1u64; 256]);
+    let mut t3_slot = Box::new([k_eps as u8; 256]);
+    for e in 0..=k_eps.min(255) {
+        // Low (k − e) bits of a k-bit slice; u128 shift handles the
+        // full-width k = 64, e = 0 corner.
+        t3_mask[e as usize] = (((1u128) << (k_eps - e)) - 1) as u64;
+        t3_add[e as usize] = 0;
+        t3_slot[e as usize] = e as u8;
+    }
+    (t3_mask, t3_add, t3_slot)
 }
 
 /// Algorithm 2 of the paper (Theorem 2).
@@ -247,16 +267,7 @@ impl OptimalListHh {
         let buckets = hashes[0].range();
         let cells = r * buckets as usize;
 
-        let mut t3_mask = Box::new([0u64; 256]);
-        let mut t3_add = Box::new([1u64; 256]);
-        let mut t3_slot = Box::new([k_eps as u8; 256]);
-        for e in 0..=k_eps.min(255) {
-            // Low (k − e) bits of a k-bit slice; u128 shift handles the
-            // full-width k = 64, e = 0 corner.
-            t3_mask[e as usize] = (((1u128) << (k_eps - e)) - 1) as u64;
-            t3_add[e as usize] = 0;
-            t3_slot[e as usize] = e as u8;
-        }
+        let (t3_mask, t3_add, t3_slot) = trial_tables(k_eps);
 
         Ok(Self {
             params,
@@ -281,6 +292,32 @@ impl OptimalListHh {
             samples: 0,
             rng,
         })
+    }
+
+    /// Creates a **seed-aligned** instance for merge-based pipelines:
+    /// the `R` repetition hashes are drawn from `structure_seed` while
+    /// the sampling coins (stream sampler, T2 skip, T3 bit budget) run
+    /// off `stream_seed`. Instances sharing a structure seed agree
+    /// bucket-for-bucket across repetitions — the precondition for
+    /// [`MergeableSummary::merge_from`] — while distinct stream seeds
+    /// keep their subsampling independent across shards.
+    pub fn with_seeds(
+        params: HhParams,
+        universe: u64,
+        m: u64,
+        structure_seed: u64,
+        stream_seed: u64,
+    ) -> Result<Self, ParamError> {
+        let mut a = Self::with_constants(
+            params,
+            universe,
+            m,
+            structure_seed,
+            Constants::default(),
+            EpochMode::Accelerated,
+        )?;
+        a.rng = StdRng::seed_from_u64(stream_seed);
+        Ok(a)
     }
 
     /// The realized sampling probability.
@@ -577,6 +614,175 @@ impl SpaceUsage for OptimalListHh {
     }
 }
 
+/// Snapshot format version tag.
+const A2_TAG: &str = "hh.algo2.v1";
+
+/// Full-state snapshot: parameters, every hash seed, the T1/T2/T3
+/// tables with their epoch caches, and the three randomness sources
+/// (front-end sampler, T2 skip, T3 bit budget, backing RNG). The
+/// branchless trial tables and the Lemire constants are derived from
+/// `ε̂` at restore time, not stored.
+impl Serialize for OptimalListHh {
+    fn serialize<S: serde::Serializer>(&self, mut serializer: S) -> Result<S::Ok, S::Error> {
+        self.params.serialize(&mut serializer)?;
+        serializer.write_u64(self.universe)?;
+        self.sampler.serialize(&mut serializer)?;
+        self.t1.serialize(&mut serializer)?;
+        self.hashes.serialize(&mut serializer)?;
+        self.t2.serialize(&mut serializer)?;
+        self.t3.serialize(&mut serializer)?;
+        self.epochs.serialize(&mut serializer)?;
+        self.epoch_thresholds.serialize(&mut serializer)?;
+        serializer.write_u64(self.k_eps as u64)?;
+        self.t2_skip.serialize(&mut serializer)?;
+        self.bits.serialize(&mut serializer)?;
+        serializer.write_bool(self.mode == EpochMode::Accelerated)?;
+        serializer.write_u64(self.samples)?;
+        snapshot::write_rng_state(self.rng.to_state(), &mut serializer)?;
+        serializer.done()
+    }
+}
+
+impl<'de> Deserialize<'de> for OptimalListHh {
+    fn deserialize<D: serde::Deserializer<'de>>(mut deserializer: D) -> Result<Self, D::Error> {
+        let params = HhParams::deserialize(&mut deserializer)?;
+        let universe = deserializer.read_u64()?;
+        if universe == 0 {
+            return Err(serde::de::Error::custom("empty universe"));
+        }
+        let sampler = BitSkipSampler::deserialize(&mut deserializer)?;
+        let t1 = MisraGries::deserialize(&mut deserializer)?;
+        let hashes: Vec<MultiplyShift64Hash> = Vec::deserialize(&mut deserializer)?;
+        let t2: Vec<u64> = Vec::deserialize(&mut deserializer)?;
+        let t3: Vec<u64> = Vec::deserialize(&mut deserializer)?;
+        let epochs: Vec<u8> = Vec::deserialize(&mut deserializer)?;
+        let epoch_thresholds: Vec<u64> = Vec::deserialize(&mut deserializer)?;
+        let k_eps = deserializer.read_u64()?;
+        if k_eps > 64 {
+            return Err(serde::de::Error::custom("epsilon exponent above 64"));
+        }
+        let k_eps = k_eps as u32;
+        let t2_skip = BitSkipSampler::deserialize(&mut deserializer)?;
+        let bits = BitBudget::deserialize(&mut deserializer)?;
+        let accelerated = deserializer.read_bool()?;
+        let samples = deserializer.read_u64()?;
+        let rng = StdRng::from_state(snapshot::read_rng_state(&mut deserializer)?);
+
+        let r = hashes.len();
+        if r == 0 {
+            return Err(serde::de::Error::custom("no repetitions"));
+        }
+        let buckets = hashes[0].range();
+        if hashes.iter().any(|h| h.range() != buckets) {
+            return Err(serde::de::Error::custom("repetition ranges disagree"));
+        }
+        let cells = r * buckets as usize;
+        if t2.len() != cells
+            || epochs.len() != cells
+            || t3.len() != cells * (k_eps as usize + 1) + r
+        {
+            return Err(serde::de::Error::custom("table shapes inconsistent"));
+        }
+        if epoch_thresholds.len() != k_eps as usize + 1 {
+            return Err(serde::de::Error::custom("epoch table shape inconsistent"));
+        }
+        let (t3_mask, t3_add, t3_slot) = trial_tables(k_eps);
+        Ok(Self {
+            params,
+            universe,
+            sampler,
+            p: sampler.probability(),
+            t1,
+            hashes,
+            t2,
+            t3,
+            epochs,
+            epoch_thresholds,
+            t3_mask,
+            t3_add,
+            t3_slot,
+            buckets,
+            k_eps,
+            t2_skip,
+            bits,
+            mode: if accelerated {
+                EpochMode::Accelerated
+            } else {
+                EpochMode::Flat
+            },
+            samples,
+            rng,
+        })
+    }
+}
+
+impl MergeableSummary for OptimalListHh {
+    /// The seed-aligned repetition-wise merge (BDW Algorithm 2): when
+    /// both instances drew the same `h_j` per repetition, bucket `i` of
+    /// repetition `j` counts the same item set in both, so `T2` and
+    /// `T3` add cell-wise; each `T3[i, j, t]` remains a rate-`p_t`
+    /// subsample of its bucket's arrivals, so the unbiased estimator
+    /// `Σ_t T3[i,j,t]/p_t` and the Claim-2 variance argument carry over
+    /// with the combined sample count. The candidate table merges as
+    /// Misra–Gries, the epoch caches advance to the merged `T2` values
+    /// (epochs are monotone in `T2`, so the cached value is a valid
+    /// starting hint), and sample counts add.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use hh_core::{HeavyHitters, HhParams, MergeableSummary, OptimalListHh, StreamSummary};
+    ///
+    /// let params = HhParams::new(0.05, 0.2).unwrap();
+    /// let m = 200_000u64;
+    /// let mut a = OptimalListHh::with_seeds(params, 1 << 30, m, 7, 1).unwrap();
+    /// let mut b = OptimalListHh::with_seeds(params, 1 << 30, m, 7, 2).unwrap();
+    /// for i in 0..m {
+    ///     let x = if i % 2 == 0 { 42 } else { i };
+    ///     if i < m / 2 { a.insert(x) } else { b.insert(x) }
+    /// }
+    /// a.merge_from(&b).unwrap(); // halves combine into the full stream
+    /// assert!(a.report().contains(42));
+    /// ```
+    fn merge_from(&mut self, other: &Self) -> Result<(), MergeError> {
+        check_compatible(&self.params, &other.params, "parameters")?;
+        check_compatible(&self.universe, &other.universe, "universes")?;
+        check_compatible(&self.hashes, &other.hashes, "repetition hash seeds")?;
+        check_compatible(&self.k_eps, &other.k_eps, "epsilon exponents")?;
+        check_compatible(&self.p, &other.p, "sampling rates")?;
+        check_compatible(
+            &self.epoch_thresholds,
+            &other.epoch_thresholds,
+            "epoch thresholds",
+        )?;
+        check_compatible(&self.mode, &other.mode, "epoch modes")?;
+        self.t1.merge_from(&other.t1)?;
+        self.samples += other.samples;
+        for (c, &o) in self.t2.iter_mut().zip(&other.t2) {
+            *c += o;
+        }
+        // T3 adds cell-wise; the trailing per-repetition sink cells add
+        // too, which keeps them what they are — discarded trials.
+        for (c, &o) in self.t3.iter_mut().zip(&other.t3) {
+            *c += o;
+        }
+        // Epoch caches: merged T2 only grew, so advancing from the
+        // cached epoch re-establishes the cache invariant.
+        for (e, &v) in self.epochs.iter_mut().zip(&self.t2) {
+            *e = Self::advance_epoch(&self.epoch_thresholds, *e, v);
+        }
+        Ok(())
+    }
+
+    fn to_bytes(&self) -> bytes::Bytes {
+        snapshot::encode(A2_TAG, self)
+    }
+
+    fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        snapshot::decode(A2_TAG, bytes)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -839,5 +1045,102 @@ mod tests {
         let params = HhParams::new(0.1, 0.3).unwrap();
         let a = OptimalListHh::new(params, 100, 1000, 0).unwrap();
         assert!(a.report().is_empty());
+    }
+
+    #[test]
+    fn merged_partitions_find_the_heavy_hitters() {
+        let m = 600_000u64;
+        let params = HhParams::with_delta(0.05, 0.1, 0.1).unwrap();
+        let stream = planted_stream(m, &[(7, 0.30), (8, 0.16), (55, 0.05)], 41);
+        let mut parts: Vec<OptimalListHh> = (0..4)
+            .map(|j| OptimalListHh::with_seeds(params, 1 << 40, m, 13, 500 + j).unwrap())
+            .collect();
+        for (i, chunk) in stream.chunks(1024).enumerate() {
+            parts[i % 4].insert_batch(chunk);
+        }
+        let mut merged = parts.remove(0);
+        let first_samples = merged.samples();
+        for p in &parts {
+            merged.merge_from(p).unwrap();
+        }
+        assert_eq!(
+            merged.samples(),
+            first_samples + parts.iter().map(|p| p.samples()).sum::<u64>()
+        );
+        let r = merged.report();
+        assert!(
+            r.contains(7) && r.contains(8),
+            "merged report misses heavy items"
+        );
+        assert!(!r.contains(55), "(phi-eps)-light item must stay suppressed");
+        for (item, frac) in [(7u64, 0.30), (8, 0.16)] {
+            let est = r.estimate(item).unwrap();
+            assert!(
+                (est - frac * m as f64).abs() <= 0.05 * m as f64,
+                "item {item}: est {est}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_restores_epoch_cache_invariant() {
+        // After a merge, every cached epoch byte must equal the table
+        // lookup for the merged T2 value.
+        let m = 300_000u64;
+        let params = HhParams::with_delta(0.05, 0.15, 0.1).unwrap();
+        let mut a = OptimalListHh::with_seeds(params, 1 << 40, m, 3, 30).unwrap();
+        let mut b = OptimalListHh::with_seeds(params, 1 << 40, m, 3, 31).unwrap();
+        a.insert_batch(&planted_stream(m / 2, &[(7, 0.4)], 1));
+        b.insert_batch(&planted_stream(m / 2, &[(7, 0.4)], 2));
+        a.merge_from(&b).unwrap();
+        for (cell, &v) in a.t2.iter().enumerate() {
+            let expect = match a.epoch(v) {
+                None => EPOCH_NONE,
+                Some(e) => e as u8,
+            };
+            assert_eq!(a.epochs[cell], expect, "cell {cell} cache stale");
+        }
+    }
+
+    #[test]
+    fn merge_rejects_differently_seeded_instances() {
+        use crate::error::MergeError;
+        let params = HhParams::new(0.05, 0.2).unwrap();
+        let mut a = OptimalListHh::with_seeds(params, 1 << 20, 10_000, 1, 10).unwrap();
+        let b = OptimalListHh::with_seeds(params, 1 << 20, 10_000, 2, 11).unwrap();
+        assert_eq!(
+            a.merge_from(&b),
+            Err(MergeError::Incompatible("repetition hash seeds"))
+        );
+    }
+
+    #[test]
+    fn snapshot_restores_report_and_resumes_bit_identically() {
+        let m = 200_000u64;
+        let params = HhParams::with_delta(0.05, 0.15, 0.1).unwrap();
+        let stream = planted_stream(m, &[(7, 0.35), (8, 0.2)], 17);
+        let (head, tail) = stream.split_at(stream.len() / 3);
+        let mut a = OptimalListHh::new(params, 1 << 40, m, 5).unwrap();
+        a.insert_batch(head);
+        let mut restored = OptimalListHh::from_bytes(&a.to_bytes()).unwrap();
+        assert_eq!(a.report().entries(), restored.report().entries());
+        assert_eq!(a.component_bits(), restored.component_bits());
+        // Resuming ingestion from the snapshot matches the original,
+        // sample for sample (RNG and sampler state travel too).
+        a.insert_batch(tail);
+        restored.insert_batch(tail);
+        assert_eq!(a.report().entries(), restored.report().entries());
+        assert_eq!(a.samples(), restored.samples());
+        assert_eq!(a.t2, restored.t2);
+        assert_eq!(a.t3, restored.t3);
+    }
+
+    #[test]
+    fn snapshot_rejects_cross_type_buffers() {
+        use crate::SimpleListHh;
+        let params = HhParams::new(0.1, 0.3).unwrap();
+        let a1 = SimpleListHh::new(params, 1 << 20, 1000, 0).unwrap();
+        let err = OptimalListHh::from_bytes(&a1.to_bytes()).unwrap_err();
+        assert!(matches!(err, crate::SnapshotError::WrongTag { .. }));
     }
 }

@@ -5,11 +5,32 @@ use serde::{Deserialize, Serialize};
 
 /// The `(ε, φ, δ)` triple of Definition 1: additive error `εm`, report
 /// threshold `φm`, failure probability `δ`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HhParams {
     eps: f64,
     phi: f64,
     delta: f64,
+}
+
+/// Field-wise snapshot of the validated `(ε, φ, δ)` triple; restore
+/// re-runs the constructor validation, so a corrupted buffer cannot
+/// smuggle in an invalid configuration.
+impl Serialize for HhParams {
+    fn serialize<S: serde::Serializer>(&self, mut serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.write_f64(self.eps)?;
+        serializer.write_f64(self.phi)?;
+        serializer.write_f64(self.delta)?;
+        serializer.done()
+    }
+}
+
+impl<'de> Deserialize<'de> for HhParams {
+    fn deserialize<D: serde::Deserializer<'de>>(mut deserializer: D) -> Result<Self, D::Error> {
+        let eps = deserializer.read_f64()?;
+        let phi = deserializer.read_f64()?;
+        let delta = deserializer.read_f64()?;
+        Self::with_delta(eps, phi, delta).map_err(serde::de::Error::custom)
+    }
 }
 
 impl HhParams {

@@ -44,6 +44,68 @@ impl fmt::Display for ParamError {
 
 impl std::error::Error for ParamError {}
 
+/// Rejected merge of two summaries (see
+/// [`crate::MergeableSummary::merge_from`]).
+///
+/// Merging is only defined between summaries of *disjoint substreams of
+/// the same logical stream* built with the *same structural randomness*
+/// — identical parameters and identical hash/sampler seeds. A mismatch
+/// is a caller bug (summaries from different deployments or differently
+/// seeded factories), reported rather than silently producing garbage
+/// estimates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeError {
+    /// The two summaries disagree on a structural field; the payload
+    /// names which one.
+    Incompatible(&'static str),
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::Incompatible(what) => {
+                write!(f, "summaries are not merge-compatible: {what} differ")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// Rejected snapshot restore (see
+/// [`crate::MergeableSummary::from_bytes`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The buffer does not start with the expected type tag — it is a
+    /// snapshot of a different summary type, a different format
+    /// version, or not a snapshot at all.
+    WrongTag {
+        /// The tag the caller's type writes.
+        expected: &'static str,
+        /// What the buffer actually started with (truncated).
+        found: String,
+    },
+    /// The payload after the tag is malformed (truncated buffer,
+    /// out-of-range field, inconsistent table shapes).
+    Malformed(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::WrongTag { expected, found } => {
+                write!(
+                    f,
+                    "snapshot tag mismatch: expected {expected:?}, found {found:?}"
+                )
+            }
+            SnapshotError::Malformed(why) => write!(f, "malformed snapshot: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

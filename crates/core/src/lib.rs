@@ -58,6 +58,7 @@ pub mod algo2;
 pub mod config;
 pub mod error;
 pub mod maximum;
+pub mod mergeable;
 pub mod mg;
 pub mod minimum;
 pub mod report;
@@ -67,8 +68,9 @@ pub mod unknown;
 pub use algo1::SimpleListHh;
 pub use algo2::{EpochMode, OptimalListHh};
 pub use config::{Constants, HhParams};
-pub use error::ParamError;
+pub use error::{MergeError, ParamError, SnapshotError};
 pub use maximum::EpsMaximum;
+pub use mergeable::MergeableSummary;
 pub use mg::MisraGries;
 pub use minimum::EpsMinimum;
 pub use report::{ItemEstimate, Report};
@@ -76,8 +78,9 @@ pub use traits::{FrequencyEstimator, HeavyHitters, StreamSummary};
 pub use unknown::{PositionTracking, UnknownLengthHh};
 
 pub mod prelude {
-    //! One-line import for downstream crates: the three summary traits
-    //! plus the five paper algorithms and their parameter type.
+    //! One-line import for downstream crates: the summary traits
+    //! (including [`MergeableSummary`]) plus the five paper algorithms
+    //! and their parameter type.
     //!
     //! ```
     //! use hh_core::prelude::*;
@@ -89,6 +92,7 @@ pub mod prelude {
     //! ```
 
     pub use crate::config::HhParams;
+    pub use crate::mergeable::MergeableSummary;
     pub use crate::report::{ItemEstimate, Report};
     pub use crate::traits::{FrequencyEstimator, HeavyHitters, StreamSummary};
     pub use crate::{EpsMaximum, EpsMinimum, OptimalListHh, SimpleListHh, UnknownLengthHh};

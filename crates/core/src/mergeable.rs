@@ -1,0 +1,219 @@
+//! Mergeable summaries and binary snapshot/restore.
+//!
+//! A streaming summary is *mergeable* when summaries built over an
+//! arbitrary partition of a stream can be combined into one summary of
+//! the whole stream with the same guarantee — the standard route
+//! (Agarwal–Cormode–Huang–Phillips–Wei–Yi 2012) to distributed
+//! aggregation, checkpoint/resume, and windowed reporting. The
+//! deterministic counter summaries (Misra–Gries, Space-Saving, Lossy
+//! Counting) merge unconditionally; the randomized ones (the paper's
+//! Algorithms 1 and 2, Count-Min, CountSketch) merge **only between
+//! seed-aligned instances**: both sides must have drawn the same hash
+//! functions, so that "bucket `i` of repetition `j`" means the same
+//! item set in both tables and cell-wise addition is meaningful. The
+//! `hh-pipeline` presets construct such instances by splitting the
+//! *structure seed* (hash draws, shared) from the *stream seed*
+//! (sampling coins, per-shard); see DESIGN.md §"Mergeable summaries".
+//!
+//! Snapshots are the persistence half of the same contract: a summary
+//! serializes to a tagged binary buffer ([`MergeableSummary::to_bytes`],
+//! a vendored-[`bytes::Bytes`] value) that restores to a bit-identical
+//! summary — same future reports, same space accounting, and, because
+//! the RNG and sampler states are captured too, the same behavior under
+//! continued ingestion.
+//!
+//! # Example: partition, merge, snapshot, restore
+//!
+//! ```
+//! use hh_core::{HeavyHitters, MergeableSummary, MisraGries, StreamSummary};
+//!
+//! let stream: Vec<u64> = (0..9_000u64).map(|i| if i % 3 == 0 { 7 } else { i }).collect();
+//! let (left, right) = stream.split_at(4_000);
+//!
+//! // Summarize the two partitions independently (e.g. on two machines).
+//! let mut a = MisraGries::new(16, 32);
+//! a.insert_batch(left);
+//! let mut b = MisraGries::new(16, 32);
+//! b.insert_batch(right);
+//!
+//! // Ship `b` as bytes, restore it, and fold it into `a`.
+//! let wire = b.to_bytes();
+//! let restored = MisraGries::from_bytes(&wire).unwrap();
+//! a.merge_from(&restored).unwrap();
+//!
+//! // The merged summary covers the whole stream: the 33% item is the
+//! // undisputed maximum, with the combined stream's error bound.
+//! assert_eq!(a.processed(), 9_000);
+//! assert_eq!(a.argmax().unwrap().0, 7);
+//! ```
+
+use crate::error::{MergeError, SnapshotError};
+use crate::traits::StreamSummary;
+use bytes::Bytes;
+
+/// A summary of a substream that can be merged with summaries of
+/// disjoint substreams, and checkpointed to bytes.
+///
+/// # Contract
+///
+/// * **Merge soundness.** If `self` summarizes substream `A` and
+///   `other` summarizes a disjoint substream `B` (and the two are
+///   structurally compatible — same parameters, same hash/sampler
+///   seeds), then after `self.merge_from(&other)` the receiver
+///   summarizes `A ⊎ B` with its type's error guarantee evaluated at
+///   the combined stream length. The `prop_merge` suite enforces this
+///   for every implementation in the workspace.
+/// * **Snapshot fidelity.** `Self::from_bytes(&s.to_bytes())` succeeds
+///   and reproduces `s.report()` (where applicable), `s`'s estimates,
+///   and `s`'s space accounting bit-for-bit; randomized summaries also
+///   restore their RNG/sampler state, so continued ingestion behaves
+///   exactly as the original would have.
+/// * **Tagging.** Buffers are tagged with a type-and-version string;
+///   feeding one type's snapshot to another type's `from_bytes` returns
+///   [`SnapshotError::WrongTag`] instead of misinterpreting bytes.
+///
+/// # Example
+///
+/// ```
+/// use hh_core::{HhParams, HeavyHitters, MergeableSummary, SimpleListHh, StreamSummary};
+///
+/// let params = HhParams::new(0.05, 0.2).unwrap();
+/// let m = 100_000u64;
+/// // Seed-aligned instances: same structure seed (hash draws), distinct
+/// // stream seeds (sampling coins) — the shape the pipeline presets build.
+/// let mut a = SimpleListHh::with_seeds(params, 1 << 30, m, 7, 1).unwrap();
+/// let mut b = SimpleListHh::with_seeds(params, 1 << 30, m, 7, 2).unwrap();
+/// for i in 0..m {
+///     let x = if i % 2 == 0 { 42 } else { i };
+///     // An arbitrary position-based partition (not key-based): every
+///     // third item goes left, the rest go right.
+///     if i % 3 == 0 { a.insert(x) } else { b.insert(x) }
+/// }
+/// a.merge_from(&b).unwrap();
+/// assert!(a.report().contains(42)); // the 50% item, found after merging
+/// ```
+pub trait MergeableSummary: StreamSummary + Sized {
+    /// Folds `other` — a summary of a **disjoint** substream — into
+    /// `self`, so that `self` afterwards summarizes the concatenation.
+    ///
+    /// # Errors
+    /// [`MergeError::Incompatible`] if the two summaries were not built
+    /// with the same parameters and structural seeds; `self` is left
+    /// unchanged in that case.
+    fn merge_from(&mut self, other: &Self) -> Result<(), MergeError>;
+
+    /// Serializes the full summary state (tables, counters, hash seeds,
+    /// RNG and sampler state) into a tagged binary buffer.
+    fn to_bytes(&self) -> Bytes;
+
+    /// Restores a summary from a buffer produced by
+    /// [`MergeableSummary::to_bytes`].
+    ///
+    /// # Errors
+    /// [`SnapshotError`] if the buffer carries another type's tag or a
+    /// malformed payload.
+    fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError>;
+}
+
+/// Shared snapshot plumbing: the tagged-buffer encode/decode helpers
+/// every [`MergeableSummary`] implementation routes through.
+pub mod snapshot {
+    use super::{Bytes, SnapshotError};
+    use serde::bincode;
+    use serde::{Deserialize, Serialize};
+
+    /// Encodes `value` behind `tag` (a `"hh.<type>.v<N>"` string that
+    /// names the summary type and snapshot-format version).
+    pub fn encode<T: Serialize>(tag: &str, value: &T) -> Bytes {
+        let mut w = bincode::Writer::default();
+        use serde::Serializer as _;
+        w.write_str(tag).expect("in-memory write cannot fail");
+        value
+            .serialize(&mut w)
+            .expect("in-memory write cannot fail");
+        Bytes::from(w.done().expect("in-memory write cannot fail"))
+    }
+
+    /// Decodes a buffer produced by [`encode`] with the same `tag`.
+    pub fn decode<T: for<'de> Deserialize<'de>>(
+        tag: &'static str,
+        bytes: &[u8],
+    ) -> Result<T, SnapshotError> {
+        let mut r = bincode::Reader::new(bytes);
+        use serde::Deserializer as _;
+        let found = r
+            .read_string()
+            .map_err(|e| SnapshotError::Malformed(e.to_string()))?;
+        if found != tag {
+            let mut found = found;
+            found.truncate(64);
+            return Err(SnapshotError::WrongTag {
+                expected: tag,
+                found,
+            });
+        }
+        T::deserialize(&mut r).map_err(|e| SnapshotError::Malformed(e.to_string()))
+    }
+
+    /// Serializes a `[u64; 4]` RNG state (helper for the manual serde
+    /// impls of the randomized summaries).
+    pub fn write_rng_state<S: serde::Serializer>(
+        state: [u64; 4],
+        serializer: &mut S,
+    ) -> Result<(), S::Error> {
+        for w in state {
+            serializer.write_u64(w)?;
+        }
+        Ok(())
+    }
+
+    /// Reads back a `[u64; 4]` RNG state written by [`write_rng_state`].
+    pub fn read_rng_state<'de, D: serde::Deserializer<'de>>(
+        deserializer: &mut D,
+    ) -> Result<[u64; 4], D::Error> {
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = deserializer.read_u64()?;
+        }
+        Ok(s)
+    }
+}
+
+/// Equality check helper for merge compatibility: returns the
+/// incompatibility error when the two values differ.
+pub(crate) fn check_compatible<T: PartialEq>(
+    a: &T,
+    b: &T,
+    what: &'static str,
+) -> Result<(), MergeError> {
+    if a == b {
+        Ok(())
+    } else {
+        Err(MergeError::Incompatible(what))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_roundtrip_and_tag_mismatch() {
+        let v: Vec<u64> = vec![1, 2, 3];
+        let buf = snapshot::encode("hh.test.v1", &v);
+        let back: Vec<u64> = snapshot::decode("hh.test.v1", &buf).unwrap();
+        assert_eq!(back, v);
+        let err = snapshot::decode::<Vec<u64>>("hh.other.v1", &buf).unwrap_err();
+        assert!(matches!(err, SnapshotError::WrongTag { .. }));
+        let err = snapshot::decode::<Vec<u64>>("hh.test.v1", &buf[..buf.len() - 3]).unwrap_err();
+        assert!(matches!(err, SnapshotError::Malformed(_)));
+    }
+
+    #[test]
+    fn compatibility_helper_reports_field_name() {
+        assert!(check_compatible(&1u64, &1u64, "x").is_ok());
+        let err = check_compatible(&1u64, &2u64, "stream seeds").unwrap_err();
+        assert_eq!(err, MergeError::Incompatible("stream seeds"));
+        assert!(err.to_string().contains("stream seeds"));
+    }
+}

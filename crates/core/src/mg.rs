@@ -27,6 +27,8 @@
 //! across the gaps between *sampled* items, which is how Algorithm 1 uses
 //! this table).
 
+use crate::error::{MergeError, SnapshotError};
+use crate::mergeable::{check_compatible, snapshot, MergeableSummary};
 use crate::traits::StreamSummary;
 use hh_space::space::{gamma_bits, SpaceUsage};
 use serde::{Deserialize, Serialize};
@@ -35,7 +37,7 @@ use serde::{Deserialize, Serialize};
 const SEED: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// A Misra–Gries table with `k` counters over `u64` keys.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MisraGries {
     /// Open-addressed parallel arrays; `counts[i] == 0` marks an empty
     /// slot. Power-of-two length `> 2·capacity`, so probe chains stay
@@ -212,6 +214,95 @@ impl MisraGries {
         }
         self.scratch = combined;
         self.rebuild_from_scratch();
+    }
+}
+
+/// Snapshot format version tag (see [`MergeableSummary::to_bytes`]).
+const MG_TAG: &str = "hh.misra-gries.v1";
+
+/// Content snapshot: parameters, stream position, and the live
+/// `(key, count)` entries. The physical slot layout is probe-history
+/// noise and is deliberately not captured — restore rebuilds a fresh
+/// table with identical content, estimates, and space accounting
+/// (equality on this type is content-based for the same reason).
+impl Serialize for MisraGries {
+    fn serialize<S: serde::Serializer>(&self, mut serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.write_u64(self.capacity as u64)?;
+        serializer.write_u64(self.key_bits)?;
+        serializer.write_u64(self.processed)?;
+        self.entries().serialize(&mut serializer)?;
+        serializer.done()
+    }
+}
+
+impl<'de> Deserialize<'de> for MisraGries {
+    fn deserialize<D: serde::Deserializer<'de>>(mut deserializer: D) -> Result<Self, D::Error> {
+        // The table allocates 2·capacity slots eagerly, so the bound must
+        // be tight enough that a crafted buffer cannot provoke a huge
+        // allocation: 2^20 counters covers eps down to ~10^-6, far past
+        // any configuration the constructors produce.
+        let capacity = deserializer.read_u64()?;
+        if capacity == 0 || capacity > (1 << 20) {
+            return Err(serde::de::Error::custom("MisraGries capacity out of range"));
+        }
+        let key_bits = deserializer.read_u64()?;
+        let processed = deserializer.read_u64()?;
+        let entries: Vec<(u64, u64)> = Vec::deserialize(&mut deserializer)?;
+        if entries.len() > capacity as usize {
+            return Err(serde::de::Error::custom(
+                "MisraGries entries exceed capacity",
+            ));
+        }
+        if entries.iter().any(|&(_, c)| c == 0) {
+            return Err(serde::de::Error::custom("MisraGries zero-count entry"));
+        }
+        let mut keys: Vec<u64> = entries.iter().map(|&(k, _)| k).collect();
+        keys.sort_unstable();
+        if keys.windows(2).any(|w| w[0] == w[1]) {
+            return Err(serde::de::Error::custom("MisraGries duplicate keys"));
+        }
+        let mut table = MisraGries::new(capacity as usize, key_bits);
+        for &(k, c) in &entries {
+            table.place(k, c);
+        }
+        table.processed = processed;
+        Ok(table)
+    }
+}
+
+impl MergeableSummary for MisraGries {
+    /// The classic mergeable-summaries counter merge (see
+    /// [`MisraGries::merge`]): sum counters, subtract the `(k+1)`-th
+    /// largest. Requires equal capacity and key pricing, so the merged
+    /// table carries the combined stream's `s/(k+1)` bound at the same
+    /// `k`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use hh_core::{MergeableSummary, MisraGries, StreamSummary};
+    ///
+    /// let mut a = MisraGries::new(4, 16);
+    /// a.insert_batch(&[7, 7, 7, 1]);
+    /// let mut b = MisraGries::new(4, 16);
+    /// b.insert_batch(&[7, 2, 2]);
+    /// a.merge_from(&b).unwrap();
+    /// assert_eq!(a.processed(), 7);
+    /// assert_eq!(a.argmax().unwrap().0, 7);
+    /// ```
+    fn merge_from(&mut self, other: &Self) -> Result<(), MergeError> {
+        check_compatible(&self.capacity, &other.capacity, "capacities")?;
+        check_compatible(&self.key_bits, &other.key_bits, "key widths")?;
+        self.merge(other);
+        Ok(())
+    }
+
+    fn to_bytes(&self) -> bytes::Bytes {
+        snapshot::encode(MG_TAG, self)
+    }
+
+    fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        snapshot::decode(MG_TAG, bytes)
     }
 }
 
@@ -473,6 +564,37 @@ mod tests {
             batch.insert_batch(chunk);
         }
         assert_eq!(scalar, batch);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_is_content_identical() {
+        use crate::mergeable::MergeableSummary;
+        let mg = run(7, &(0..5000u64).map(|i| i % 61).collect::<Vec<_>>());
+        let back = MisraGries::from_bytes(&mg.to_bytes()).unwrap();
+        assert_eq!(mg, back);
+        assert_eq!(mg.entries(), back.entries());
+        assert_eq!(mg.model_bits(), back.model_bits());
+        // Wrong tag and truncation are rejected.
+        assert!(MisraGries::from_bytes(b"junk").is_err());
+        let buf = mg.to_bytes();
+        assert!(MisraGries::from_bytes(&buf[..buf.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn trait_merge_rejects_mismatched_tables() {
+        use crate::error::MergeError;
+        use crate::mergeable::MergeableSummary;
+        let mut a = MisraGries::new(4, 16);
+        let b = MisraGries::new(5, 16);
+        assert_eq!(
+            a.merge_from(&b),
+            Err(MergeError::Incompatible("capacities"))
+        );
+        let c = MisraGries::new(4, 20);
+        assert_eq!(
+            a.merge_from(&c),
+            Err(MergeError::Incompatible("key widths"))
+        );
     }
 
     #[test]

@@ -20,6 +20,23 @@ pub trait StreamSummary {
     /// over a scratch buffer from the table-update pass, skipping whole
     /// runs of unsampled items in one arithmetic step, or hoisting
     /// window-boundary checks out of the inner loop.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use hh_core::{HeavyHitters, HhParams, SimpleListHh, StreamSummary};
+    ///
+    /// let params = HhParams::new(0.05, 0.2).unwrap();
+    /// let m = 100_000u64;
+    /// let stream: Vec<u64> = (0..m).map(|i| if i % 2 == 0 { 7 } else { i }).collect();
+    /// let mut algo = SimpleListHh::new(params, 1 << 20, m, 42).unwrap();
+    /// // Feed the stream in arbitrary-size batches — same final state
+    /// // as inserting element by element, and measurably faster.
+    /// for chunk in stream.chunks(4096) {
+    ///     algo.insert_batch(chunk);
+    /// }
+    /// assert!(algo.report().contains(7));
+    /// ```
     fn insert_batch(&mut self, items: &[u64]) {
         for &x in items {
             self.insert(x);

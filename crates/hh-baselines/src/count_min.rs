@@ -12,13 +12,18 @@
 //! candidate ids — the `Θ(ε⁻¹ log m)` shape that Table 1's optimal bound
 //! beats.
 
-use hh_core::{FrequencyEstimator, HeavyHitters, ItemEstimate, Report, StreamSummary};
+use hh_core::mergeable::snapshot;
+use hh_core::{
+    FrequencyEstimator, HeavyHitters, ItemEstimate, MergeError, MergeableSummary, Report,
+    SnapshotError, StreamSummary,
+};
 use hh_hash::FastMap;
 use hh_hash::{CarterWegmanFamily, CarterWegmanHash, HashFamily, HashFunction};
 use hh_space::space::{gamma_bits, SpaceUsage};
 use hh_space::VarCounterArray;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 
 /// The Count-Min sketch with heavy-hitter candidate tracking.
 #[derive(Debug, Clone)]
@@ -225,6 +230,133 @@ impl HeavyHitters for CountMin {
 impl FrequencyEstimator for CountMin {
     fn estimate(&self, item: u64) -> f64 {
         self.query(item) as f64
+    }
+}
+
+/// Snapshot format version tag.
+const TAG: &str = "hh.baseline.count-min.v1";
+
+impl Serialize for CountMin {
+    fn serialize<S: serde::Serializer>(&self, mut serializer: S) -> Result<S::Ok, S::Error> {
+        self.rows.serialize(&mut serializer)?;
+        serializer.write_u64(self.width)?;
+        serializer.write_bool(self.conservative)?;
+        self.sorted_candidates().serialize(&mut serializer)?;
+        serializer.write_u64(self.candidate_cap as u64)?;
+        serializer.write_u64(self.key_bits)?;
+        serializer.write_u64(self.processed)?;
+        serializer.write_f64(self.eps)?;
+        serializer.write_f64(self.phi)?;
+        serializer.done()
+    }
+}
+
+impl<'de> Deserialize<'de> for CountMin {
+    fn deserialize<D: serde::Deserializer<'de>>(mut deserializer: D) -> Result<Self, D::Error> {
+        let rows: Vec<(CarterWegmanHash, VarCounterArray)> = Vec::deserialize(&mut deserializer)?;
+        let width = deserializer.read_u64()?;
+        if rows.is_empty() {
+            return Err(serde::de::Error::custom("CountMin needs at least one row"));
+        }
+        if rows
+            .iter()
+            .any(|(h, row)| h.range() != width || row.len() as u64 != width)
+        {
+            return Err(serde::de::Error::custom("CountMin row shapes inconsistent"));
+        }
+        let conservative = deserializer.read_bool()?;
+        let cand: Vec<u64> = Vec::deserialize(&mut deserializer)?;
+        let candidate_cap = deserializer.read_u64()? as usize;
+        if candidate_cap == 0 || cand.len() > candidate_cap {
+            return Err(serde::de::Error::custom("CountMin candidates overflow"));
+        }
+        let key_bits = deserializer.read_u64()?;
+        let processed = deserializer.read_u64()?;
+        let eps = deserializer.read_f64()?;
+        let phi = deserializer.read_f64()?;
+        if !(eps > 0.0 && eps < phi && phi <= 1.0) {
+            return Err(serde::de::Error::custom("invalid (eps, phi) in snapshot"));
+        }
+        let mut candidates = FastMap::default();
+        for item in cand {
+            candidates.insert(item, ());
+        }
+        Ok(Self {
+            rows,
+            width,
+            conservative,
+            candidates,
+            candidate_cap,
+            key_bits,
+            processed,
+            eps,
+            phi,
+        })
+    }
+}
+
+impl CountMin {
+    /// Candidate ids in sorted order (deterministic wire format and
+    /// merge ordering; the map iteration order is hasher-dependent).
+    fn sorted_candidates(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.candidates.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+impl MergeableSummary for CountMin {
+    /// Seed-aligned merge: both sketches must share every row hash
+    /// (same constructor seed), so each cell counts the same preimage
+    /// class and the matrices add cell-wise. Per row,
+    /// `c₁[i] + c₂[i] ≥ f₁(x) + f₂(x)` for every `x` in the cell, so
+    /// the min-over-rows estimate still never undercounts, and the
+    /// expected overshoot is `(e/w)·(m₁+m₂)` — the sketch guarantee at
+    /// the combined length. Candidate sets union and re-prune against
+    /// the combined threshold.
+    fn merge_from(&mut self, other: &Self) -> Result<(), MergeError> {
+        if self.width != other.width || self.rows.len() != other.rows.len() {
+            return Err(MergeError::Incompatible("sketch dimensions"));
+        }
+        if self
+            .rows
+            .iter()
+            .zip(&other.rows)
+            .any(|((ha, _), (hb, _))| ha != hb)
+        {
+            return Err(MergeError::Incompatible("row hash seeds"));
+        }
+        if self.conservative != other.conservative {
+            return Err(MergeError::Incompatible("update modes"));
+        }
+        if self.eps != other.eps || self.phi != other.phi {
+            return Err(MergeError::Incompatible("(eps, phi) parameters"));
+        }
+        if self.key_bits != other.key_bits {
+            return Err(MergeError::Incompatible("key widths"));
+        }
+        for ((_, row), (_, orow)) in self.rows.iter_mut().zip(&other.rows) {
+            row.merge_add(orow);
+        }
+        self.processed += other.processed;
+        for item in other.sorted_candidates() {
+            self.candidates.insert(item, ());
+        }
+        // The union can exceed the cap; one prune against the combined
+        // stream restores it (and drops keys that were only heavy in
+        // one shard's shorter substream).
+        if self.candidates.len() > self.candidate_cap {
+            self.prune_candidates();
+        }
+        Ok(())
+    }
+
+    fn to_bytes(&self) -> bytes::Bytes {
+        snapshot::encode(TAG, self)
+    }
+
+    fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        snapshot::decode(TAG, bytes)
     }
 }
 

@@ -7,12 +7,17 @@
 //! CountSketch wins on skewed streams — the trade-off experiment E7
 //! exhibits against both Count-Min and the paper's algorithms.
 
-use hh_core::{FrequencyEstimator, HeavyHitters, ItemEstimate, Report, StreamSummary};
+use hh_core::mergeable::snapshot;
+use hh_core::{
+    FrequencyEstimator, HeavyHitters, ItemEstimate, MergeError, MergeableSummary, Report,
+    SnapshotError, StreamSummary,
+};
 use hh_hash::FastMap;
-use hh_hash::{HashFamily, PolynomialFamily, PolynomialHash};
+use hh_hash::{HashFamily, HashFunction, PolynomialFamily, PolynomialHash};
 use hh_space::space::{gamma_bits, SpaceUsage};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 
 /// The CountSketch summary with heavy-hitter candidate tracking.
 #[derive(Debug, Clone)]
@@ -204,6 +209,123 @@ impl HeavyHitters for CountSketch {
 impl FrequencyEstimator for CountSketch {
     fn estimate(&self, item: u64) -> f64 {
         self.query(item)
+    }
+}
+
+/// Snapshot format version tag.
+const TAG: &str = "hh.baseline.count-sketch.v1";
+
+impl Serialize for CountSketch {
+    fn serialize<S: serde::Serializer>(&self, mut serializer: S) -> Result<S::Ok, S::Error> {
+        self.rows.serialize(&mut serializer)?;
+        serializer.write_u64(self.width)?;
+        self.sorted_candidates().serialize(&mut serializer)?;
+        serializer.write_u64(self.candidate_cap as u64)?;
+        serializer.write_u64(self.key_bits)?;
+        serializer.write_u64(self.processed)?;
+        serializer.write_f64(self.phi)?;
+        serializer.done()
+    }
+}
+
+impl<'de> Deserialize<'de> for CountSketch {
+    fn deserialize<D: serde::Deserializer<'de>>(mut deserializer: D) -> Result<Self, D::Error> {
+        let rows: Vec<(PolynomialHash, Vec<i64>)> = Vec::deserialize(&mut deserializer)?;
+        let width = deserializer.read_u64()?;
+        if rows.is_empty() || rows.len() % 2 == 0 {
+            return Err(serde::de::Error::custom("CountSketch depth must be odd"));
+        }
+        if rows
+            .iter()
+            .any(|(h, row)| h.range() != width || row.len() as u64 != width)
+        {
+            return Err(serde::de::Error::custom(
+                "CountSketch row shapes inconsistent",
+            ));
+        }
+        let cand: Vec<u64> = Vec::deserialize(&mut deserializer)?;
+        let candidate_cap = deserializer.read_u64()? as usize;
+        if candidate_cap == 0 || cand.len() > candidate_cap {
+            return Err(serde::de::Error::custom("CountSketch candidates overflow"));
+        }
+        let key_bits = deserializer.read_u64()?;
+        let processed = deserializer.read_u64()?;
+        let phi = deserializer.read_f64()?;
+        if !(phi > 0.0 && phi <= 1.0) {
+            return Err(serde::de::Error::custom("invalid phi in snapshot"));
+        }
+        let mut candidates = FastMap::default();
+        for item in cand {
+            candidates.insert(item, ());
+        }
+        Ok(Self {
+            rows,
+            width,
+            candidates,
+            candidate_cap,
+            key_bits,
+            processed,
+            phi,
+        })
+    }
+}
+
+impl CountSketch {
+    /// Candidate ids in sorted order (deterministic wire format and
+    /// merge ordering).
+    fn sorted_candidates(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.candidates.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+impl MergeableSummary for CountSketch {
+    /// Seed-aligned merge: with shared row hashes (bucket *and* sign
+    /// come from the same polynomial draw), the signed counters add
+    /// cell-wise and each row's estimate remains
+    /// `s_j(x)·C[j][h_j(x)] = f₁(x) + f₂(x) + noise`, unbiased with the
+    /// combined stream's `√F₂` error — the median over rows is the
+    /// sketch guarantee at the merged length.
+    fn merge_from(&mut self, other: &Self) -> Result<(), MergeError> {
+        if self.width != other.width || self.rows.len() != other.rows.len() {
+            return Err(MergeError::Incompatible("sketch dimensions"));
+        }
+        if self
+            .rows
+            .iter()
+            .zip(&other.rows)
+            .any(|((ha, _), (hb, _))| ha != hb)
+        {
+            return Err(MergeError::Incompatible("row hash seeds"));
+        }
+        if self.phi != other.phi {
+            return Err(MergeError::Incompatible("phi thresholds"));
+        }
+        if self.key_bits != other.key_bits {
+            return Err(MergeError::Incompatible("key widths"));
+        }
+        for ((_, row), (_, orow)) in self.rows.iter_mut().zip(&other.rows) {
+            for (c, &o) in row.iter_mut().zip(orow) {
+                *c += o;
+            }
+        }
+        self.processed += other.processed;
+        for item in other.sorted_candidates() {
+            self.candidates.insert(item, ());
+        }
+        if self.candidates.len() > self.candidate_cap {
+            self.prune_candidates();
+        }
+        Ok(())
+    }
+
+    fn to_bytes(&self) -> bytes::Bytes {
+        snapshot::encode(TAG, self)
+    }
+
+    fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        snapshot::decode(TAG, bytes)
     }
 }
 

@@ -20,9 +20,11 @@
 //! * [`CountSketch`] — signed median sketch \[CCFC04\].
 //! * [`SampleAndHold`] — sample once, count exactly thereafter \[EV03\].
 //!
-//! [`merge`] adds the mergeability layer (shard a stream across threads,
-//! merge the summaries) used by the parallel-runner extension (S19 in
-//! DESIGN.md).
+//! The mergeable baselines (Misra–Gries, Space-Saving, Lossy Counting,
+//! Count-Min, CountSketch) implement [`hh_core::MergeableSummary`] —
+//! merge plus binary snapshot/restore — next to their definitions;
+//! [`merge`] keeps the thread-per-shard [`shard_and_merge`] runner
+//! built on that trait (DESIGN.md §7).
 //!
 //! # Example
 //!

@@ -11,9 +11,14 @@
 //!   space is `O(ε'⁻¹ log(ε'm) (log n + log m))` bits — *worse* than
 //!   Misra–Gries by a log factor, which experiment E7 shows.
 
-use hh_core::{FrequencyEstimator, HeavyHitters, ItemEstimate, Report, StreamSummary};
+use hh_core::mergeable::snapshot;
+use hh_core::{
+    FrequencyEstimator, HeavyHitters, ItemEstimate, MergeError, MergeableSummary, Report,
+    SnapshotError, StreamSummary,
+};
 use hh_hash::FastMap;
 use hh_space::space::{gamma_bits, SpaceUsage};
+use serde::{Deserialize, Serialize};
 
 /// The Lossy Counting summary.
 #[derive(Debug, Clone)]
@@ -140,6 +145,139 @@ impl FrequencyEstimator for LossyCounting {
             .get(&item)
             .map(|&(c, _)| c as f64)
             .unwrap_or(0.0)
+    }
+}
+
+/// Snapshot format version tag.
+const TAG: &str = "hh.baseline.lossy-counting.v1";
+
+impl Serialize for LossyCounting {
+    fn serialize<S: serde::Serializer>(&self, mut serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.write_u64(self.window)?;
+        serializer.write_u64(self.current_window)?;
+        serializer.write_u64(self.in_window)?;
+        serializer.write_u64(self.key_bits)?;
+        serializer.write_u64(self.processed)?;
+        serializer.write_f64(self.eps)?;
+        serializer.write_f64(self.phi)?;
+        self.sorted_entries().serialize(&mut serializer)?;
+        serializer.done()
+    }
+}
+
+impl<'de> Deserialize<'de> for LossyCounting {
+    fn deserialize<D: serde::Deserializer<'de>>(mut deserializer: D) -> Result<Self, D::Error> {
+        let window = deserializer.read_u64()?;
+        if window == 0 {
+            return Err(serde::de::Error::custom(
+                "LossyCounting window must be positive",
+            ));
+        }
+        let current_window = deserializer.read_u64()?;
+        let in_window = deserializer.read_u64()?;
+        if in_window >= window || current_window == 0 {
+            return Err(serde::de::Error::custom(
+                "LossyCounting window state inconsistent",
+            ));
+        }
+        let key_bits = deserializer.read_u64()?;
+        let processed = deserializer.read_u64()?;
+        let eps = deserializer.read_f64()?;
+        let phi = deserializer.read_f64()?;
+        if !(eps > 0.0 && eps < phi && phi <= 1.0) {
+            return Err(serde::de::Error::custom("invalid (eps, phi) in snapshot"));
+        }
+        let pairs: Vec<(u64, (u64, u64))> = Vec::deserialize(&mut deserializer)?;
+        let mut entries = FastMap::default();
+        for (item, cd) in pairs {
+            if cd.0 == 0 {
+                return Err(serde::de::Error::custom("LossyCounting zero-count entry"));
+            }
+            if entries.insert(item, cd).is_some() {
+                return Err(serde::de::Error::custom("LossyCounting duplicate items"));
+            }
+        }
+        Ok(Self {
+            entries,
+            window,
+            current_window,
+            in_window,
+            key_bits,
+            processed,
+            eps,
+            phi,
+        })
+    }
+}
+
+impl LossyCounting {
+    /// Entries in sorted item order (deterministic wire format; the map
+    /// iteration order is hasher-dependent).
+    fn sorted_entries(&self) -> Vec<(u64, (u64, u64))> {
+        let mut v: Vec<(u64, (u64, u64))> = self.entries.iter().map(|(&i, &cd)| (i, cd)).collect();
+        v.sort_unstable_by_key(|&(i, _)| i);
+        v
+    }
+}
+
+impl MergeableSummary for LossyCounting {
+    /// The mergeable-summaries Lossy Counting merge: counts add for
+    /// items tracked on both sides (`Δ`s add too), while an item
+    /// tracked on only one side inherits the *other* side's untracked
+    /// bound — its current window index — as extra `Δ`. The merged
+    /// window index is the sum, so the invariants survive: tracked
+    /// items keep `c ≤ f ≤ c + Δ` with `Δ ≤ b₁ + b₂ ≈ ε'(m₁+m₂)`, and
+    /// untracked items keep `f ≤ b₁ + b₂`. One prune against the
+    /// combined index restores the live-entry bound.
+    fn merge_from(&mut self, other: &Self) -> Result<(), MergeError> {
+        if self.window != other.window {
+            return Err(MergeError::Incompatible("window widths"));
+        }
+        if self.eps != other.eps || self.phi != other.phi {
+            return Err(MergeError::Incompatible("(eps, phi) parameters"));
+        }
+        if self.key_bits != other.key_bits {
+            return Err(MergeError::Incompatible("key widths"));
+        }
+        // Untracked-mass bounds: an item absent from a summary has at
+        // most (current_window) occurrences in its substream (the prune
+        // invariant, counting the partial window conservatively).
+        let b_self = self.current_window;
+        let b_other = other.current_window;
+        for (item, &(c, d)) in other.entries.iter() {
+            match self.entries.get_mut(item) {
+                Some((sc, sd)) => {
+                    *sc += c;
+                    *sd += d;
+                }
+                None => {
+                    self.entries.insert(*item, (c, d + b_self));
+                }
+            }
+        }
+        // Items tracked only on our side could have had up to b_other
+        // occurrences in the other substream.
+        for (item, entry) in self.entries.iter_mut() {
+            if !other.entries.contains_key(item) {
+                entry.1 += b_other;
+            }
+        }
+        self.processed += other.processed;
+        // Combined window position: completed windows add; the partial
+        // windows coalesce (their items are all accounted in c/Δ).
+        self.in_window = (self.in_window + other.in_window) % self.window;
+        self.current_window = self.processed / self.window + 1;
+        let b = self.current_window;
+        self.entries.retain(|_, &mut (c, d)| c + d > b);
+        Ok(())
+    }
+
+    fn to_bytes(&self) -> bytes::Bytes {
+        snapshot::encode(TAG, self)
+    }
+
+    fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        snapshot::decode(TAG, bytes)
     }
 }
 

@@ -1,5 +1,4 @@
-//! Mergeable summaries and the shard-and-merge parallel runner (extension
-//! S19 in DESIGN.md).
+//! The shard-and-merge parallel runner over [`MergeableSummary`].
 //!
 //! Misra–Gries and Space-Saving summaries are *mergeable* (Agarwal,
 //! Cormode, Huang, Phillips, Wei, Yi 2012): two summaries of capacity `k`
@@ -7,77 +6,39 @@
 //! `A ⊎ B` with the same `(|A|+|B|)/(k+1)` error bound. That turns a
 //! single-pass algorithm into a data-parallel one: shard the stream,
 //! summarize shards on separate threads (std scoped threads), merge.
-//! The property test in this module is the correctness story; the
-//! `crossover` experiment uses the runner for throughput numbers.
+//!
+//! The merge implementations themselves live with their summaries —
+//! [`crate::SpaceSaving`], [`crate::MisraGriesBaseline`],
+//! [`crate::CountMin`], [`crate::CountSketch`], and
+//! [`crate::LossyCounting`] all implement
+//! [`hh_core::MergeableSummary`], as do the paper algorithms in
+//! `hh-core`. `hh-pipeline` builds the general partition-and-merge and
+//! windowed runners on the same trait; this module keeps the original
+//! thread-per-shard convenience runner the `crossover` experiment and
+//! the property suites drive.
 
-use crate::misra_gries::MisraGriesBaseline;
-use crate::space_saving::SpaceSaving;
-use hh_core::StreamSummary;
+use hh_core::{MergeableSummary, StreamSummary};
 
-/// Summaries of disjoint substreams that can be combined into a summary
-/// of the concatenation, preserving their error guarantee.
-pub trait Mergeable: Sized {
-    /// Folds `other` (a summary of a disjoint substream) into `self`.
-    fn merge_from(&mut self, other: Self);
-}
-
-impl Mergeable for MisraGriesBaseline {
-    fn merge_from(&mut self, other: Self) {
-        self.table_mut().merge(other.table());
-    }
-}
-
-impl Mergeable for SpaceSaving {
-    /// The \[ACH+12\] Space-Saving merge. For each item, each summary
-    /// contributes its monitored `(count, err)`, or `(min_count,
-    /// min_count)` if the item is unmonitored — sound because an
-    /// unmonitored item's true count is at most `min_count`, so charging
-    /// exactly that keeps both the overestimate (`f ≤ count`) and the
-    /// error (`count − err ≤ f`) invariants. The top `k` combined triples
-    /// are kept.
-    fn merge_from(&mut self, other: Self) {
-        use std::collections::HashMap;
-        let self_min = self.min_count();
-        let other_min = other.min_count();
-        let a: HashMap<u64, (u64, u64)> = self
-            .entries()
-            .into_iter()
-            .map(|(i, c, e)| (i, (c, e)))
-            .collect();
-        let b: HashMap<u64, (u64, u64)> = other
-            .entries()
-            .into_iter()
-            .map(|(i, c, e)| (i, (c, e)))
-            .collect();
-        let mut combined: Vec<(u64, u64, u64)> = a
-            .keys()
-            .chain(b.keys())
-            .collect::<std::collections::HashSet<_>>()
-            .into_iter()
-            .map(|&item| {
-                let (ca, ea) = a.get(&item).copied().unwrap_or((self_min, self_min));
-                let (cb, eb) = b.get(&item).copied().unwrap_or((other_min, other_min));
-                (item, ca + cb, ea + eb)
-            })
-            .collect();
-        combined.sort_unstable_by_key(|&(i, c, _)| (std::cmp::Reverse(c), i));
-        combined.truncate(self.capacity());
-        let total = self.processed() + other.processed();
-        let mut fresh = self.clone_empty();
-        fresh.restore_entries(combined, total);
-        *self = fresh;
-    }
-}
+/// Re-export of the workspace-wide mergeability trait (the former
+/// baseline-local `Mergeable` trait grew into it; see
+/// [`hh_core::MergeableSummary`]).
+pub use hh_core::MergeableSummary as Mergeable;
 
 /// Summarizes `stream` with `shards` parallel workers, each building an
 /// independent summary with `make()`, then merges left to right.
 ///
 /// The merged summary has the union stream's guarantee (see
-/// [`Mergeable`]); the test suite verifies estimates against a
+/// [`MergeableSummary`]); the test suite verifies estimates against a
 /// single-summary run.
+///
+/// # Panics
+/// If `shards` is zero, or if `make()` produces summaries that are not
+/// merge-compatible (a factory closure that seeds randomized summaries
+/// differently per call — build seed-aligned instances instead, e.g.
+/// via `with_seeds`).
 pub fn shard_and_merge<S, F>(stream: &[u64], shards: usize, make: F) -> S
 where
-    S: StreamSummary + Mergeable + Send,
+    S: StreamSummary + MergeableSummary + Send,
     F: Fn() -> S + Send + Sync,
 {
     assert!(shards >= 1, "need at least one shard");
@@ -100,8 +61,9 @@ where
             .collect()
     });
     let mut acc = summaries.remove(0);
-    for s in summaries {
-        acc.merge_from(s);
+    for s in &summaries {
+        acc.merge_from(s)
+            .expect("factory summaries must be merge-compatible");
     }
     acc
 }
@@ -109,6 +71,8 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::misra_gries::MisraGriesBaseline;
+    use crate::space_saving::SpaceSaving;
     use hh_core::FrequencyEstimator;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -176,5 +140,69 @@ mod tests {
         let merged = shard_and_merge(&stream, 8, || SpaceSaving::with_capacity(40, 0.2, 1 << 20));
         use hh_core::HeavyHitters;
         assert!(merged.report().contains(7));
+    }
+
+    #[test]
+    fn merged_lossy_counting_keeps_undercount_bound() {
+        use crate::lossy::LossyCounting;
+        let stream = random_stream(50_000, 3000, 5);
+        let eps = 0.02;
+        let merged = shard_and_merge(&stream, 4, || LossyCounting::new(eps, 0.1, 1 << 20));
+        let m = stream.len() as f64;
+        let truth = stream.iter().filter(|&&x| x == 7).count() as f64;
+        let est = merged.estimate(7);
+        assert!(est <= truth, "lossy merge must never overcount");
+        // ε'(= ε/2) per part plus the untracked-bound slack of the merge.
+        assert!(
+            est + eps * m + 8.0 >= truth,
+            "undercount too large: {est} vs {truth}"
+        );
+        use hh_core::HeavyHitters;
+        assert!(merged.report().contains(7));
+    }
+
+    #[test]
+    fn merged_count_min_never_undercounts() {
+        use crate::count_min::CountMin;
+        let stream = random_stream(40_000, 2000, 6);
+        // Seed-aligned: every shard summary draws the same row hashes.
+        let merged = shard_and_merge(&stream, 4, || CountMin::new(0.02, 0.1, 0.05, 1 << 20, 77));
+        let m = stream.len() as f64;
+        for probe in [7u64, 0, 1000, 1999] {
+            let truth = stream.iter().filter(|&&x| x == probe).count() as f64;
+            let est = merged.estimate(probe);
+            assert!(est >= truth, "probe {probe}: merged CM undercounts");
+            assert!(est <= truth + 0.04 * m, "probe {probe}: overshoot {est}");
+        }
+        use hh_core::HeavyHitters;
+        assert!(merged.report().contains(7));
+    }
+
+    #[test]
+    fn merged_count_sketch_stays_accurate() {
+        use crate::count_sketch::CountSketch;
+        let stream = random_stream(40_000, 2000, 8);
+        let merged = shard_and_merge(&stream, 4, || CountSketch::new(0.1, 0.2, 0.1, 1 << 20, 88));
+        let truth = stream.iter().filter(|&&x| x == 7).count() as f64;
+        let est = merged.estimate(7);
+        assert!(
+            (est - truth).abs() <= 0.05 * stream.len() as f64,
+            "merged CS estimate {est} vs {truth}"
+        );
+        use hh_core::HeavyHitters;
+        assert!(merged.report().contains(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "merge-compatible")]
+    fn differently_seeded_sketches_refuse_to_merge() {
+        use crate::count_min::CountMin;
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let stream = random_stream(10_000, 200, 9);
+        let seed = AtomicU64::new(0);
+        // A factory that (incorrectly) reseeds per shard.
+        let _ = shard_and_merge(&stream, 2, || {
+            CountMin::new(0.05, 0.2, 0.1, 1 << 20, seed.fetch_add(1, Ordering::SeqCst))
+        });
     }
 }

@@ -1,8 +1,13 @@
 //! The Misra–Gries baseline as the paper's point of comparison:
 //! `O(ε⁻¹(log n + log m))` bits, deterministic.
 
-use hh_core::{HeavyHitters, ItemEstimate, MisraGries, Report, StreamSummary};
+use hh_core::mergeable::snapshot;
+use hh_core::{
+    HeavyHitters, ItemEstimate, MergeError, MergeableSummary, MisraGries, Report, SnapshotError,
+    StreamSummary,
+};
 use hh_space::SpaceUsage;
+use serde::{Deserialize, Serialize};
 
 /// Misra–Gries run over raw ids with `⌈1/ε⌉` counters, reporting at the
 /// `(φ − ε/2)m` threshold.
@@ -89,6 +94,50 @@ impl SpaceUsage for MisraGriesBaseline {
     }
     fn heap_bytes(&self) -> usize {
         self.table.heap_bytes()
+    }
+}
+
+/// Snapshot format version tag.
+const TAG: &str = "hh.baseline.misra-gries.v1";
+
+impl Serialize for MisraGriesBaseline {
+    fn serialize<S: serde::Serializer>(&self, mut serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.write_f64(self.eps)?;
+        serializer.write_f64(self.phi)?;
+        self.table.serialize(&mut serializer)?;
+        serializer.done()
+    }
+}
+
+impl<'de> Deserialize<'de> for MisraGriesBaseline {
+    fn deserialize<D: serde::Deserializer<'de>>(mut deserializer: D) -> Result<Self, D::Error> {
+        let eps = deserializer.read_f64()?;
+        let phi = deserializer.read_f64()?;
+        if !(eps > 0.0 && eps < phi && phi <= 1.0) {
+            return Err(serde::de::Error::custom("invalid (eps, phi) in snapshot"));
+        }
+        let table = MisraGries::deserialize(&mut deserializer)?;
+        Ok(Self { table, eps, phi })
+    }
+}
+
+impl MergeableSummary for MisraGriesBaseline {
+    /// Counter merge of the underlying tables ([`MisraGries::merge`]);
+    /// deterministic, so any two instances with the same `(ε, φ)` are
+    /// compatible.
+    fn merge_from(&mut self, other: &Self) -> Result<(), MergeError> {
+        if self.eps != other.eps || self.phi != other.phi {
+            return Err(MergeError::Incompatible("(eps, phi) parameters"));
+        }
+        self.table.merge_from(other.table())
+    }
+
+    fn to_bytes(&self) -> bytes::Bytes {
+        snapshot::encode(TAG, self)
+    }
+
+    fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        snapshot::decode(TAG, bytes)
     }
 }
 

@@ -16,9 +16,14 @@
 //! minimum item" and "move to count+1" are pointer operations. We
 //! implement it slab-style (index-linked, no unsafe).
 
-use hh_core::{FrequencyEstimator, HeavyHitters, ItemEstimate, Report, StreamSummary};
+use hh_core::mergeable::snapshot;
+use hh_core::{
+    FrequencyEstimator, HeavyHitters, ItemEstimate, MergeError, MergeableSummary, Report,
+    SnapshotError, StreamSummary,
+};
 use hh_hash::FastMap;
 use hh_space::space::{gamma_bits, SpaceUsage};
+use serde::{Deserialize, Serialize};
 
 const NONE: u32 = u32::MAX;
 
@@ -415,6 +420,136 @@ impl FrequencyEstimator for SpaceSaving {
             .get(&item)
             .map(|&ni| self.buckets[self.nodes[ni as usize].bucket as usize].count as f64)
             .unwrap_or(0.0)
+    }
+}
+
+/// Snapshot format version tag.
+const TAG: &str = "hh.baseline.space-saving.v1";
+
+/// Content snapshot: parameters, stream position, and the monitored
+/// `(item, count, err)` triples. The slab/bucket pointer graph is a
+/// word-RAM artifact and is rebuilt on restore; every query observes
+/// identical state.
+impl Serialize for SpaceSaving {
+    fn serialize<S: serde::Serializer>(&self, mut serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.write_u64(self.capacity as u64)?;
+        serializer.write_u64(self.key_bits)?;
+        serializer.write_f64(self.phi)?;
+        serializer.write_u64(self.processed)?;
+        let triples: Vec<(u64, (u64, u64))> = self
+            .entries()
+            .into_iter()
+            .map(|(i, c, e)| (i, (c, e)))
+            .collect();
+        triples.serialize(&mut serializer)?;
+        serializer.done()
+    }
+}
+
+impl<'de> Deserialize<'de> for SpaceSaving {
+    fn deserialize<D: serde::Deserializer<'de>>(mut deserializer: D) -> Result<Self, D::Error> {
+        // Capacity drives eager map/slab allocation; keep the accepted
+        // range tight (2^20 monitored items covers eps down to ~10^-6)
+        // so a crafted buffer cannot provoke a huge allocation.
+        let capacity = deserializer.read_u64()? as usize;
+        if capacity == 0 || capacity > (1 << 20) {
+            return Err(serde::de::Error::custom(
+                "SpaceSaving capacity out of range",
+            ));
+        }
+        let key_bits = deserializer.read_u64()?;
+        let phi = deserializer.read_f64()?;
+        if !(phi > 0.0 && phi <= 1.0) {
+            return Err(serde::de::Error::custom("invalid phi in snapshot"));
+        }
+        let processed = deserializer.read_u64()?;
+        let triples: Vec<(u64, (u64, u64))> = Vec::deserialize(&mut deserializer)?;
+        if triples.len() > capacity {
+            return Err(serde::de::Error::custom(
+                "SpaceSaving entries exceed capacity",
+            ));
+        }
+        if triples.iter().any(|&(_, (c, e))| c == 0 || e > c) {
+            return Err(serde::de::Error::custom("SpaceSaving malformed triple"));
+        }
+        let mut keys: Vec<u64> = triples.iter().map(|&(i, _)| i).collect();
+        keys.sort_unstable();
+        if keys.windows(2).any(|w| w[0] == w[1]) {
+            return Err(serde::de::Error::custom("SpaceSaving duplicate items"));
+        }
+        let mut ss = SpaceSaving {
+            capacity,
+            key_bits,
+            map: hh_hash::fast_map_with_capacity(capacity),
+            nodes: Vec::with_capacity(capacity),
+            buckets: Vec::new(),
+            free_buckets: Vec::new(),
+            min_bucket: NONE,
+            processed: 0,
+            phi,
+        };
+        ss.restore_entries(
+            triples.into_iter().map(|(i, (c, e))| (i, c, e)).collect(),
+            processed,
+        );
+        Ok(ss)
+    }
+}
+
+impl MergeableSummary for SpaceSaving {
+    /// The \[ACH+12\] Space-Saving merge. For each item, each summary
+    /// contributes its monitored `(count, err)`, or `(min_count,
+    /// min_count)` if the item is unmonitored — sound because an
+    /// unmonitored item's true count is at most `min_count`, so charging
+    /// exactly that keeps both the overestimate (`f ≤ count`) and the
+    /// error (`count − err ≤ f`) invariants. The top `k` combined
+    /// triples are kept. Deterministic, so any two instances with the
+    /// same capacity and pricing are compatible.
+    fn merge_from(&mut self, other: &Self) -> Result<(), MergeError> {
+        if self.capacity != other.capacity {
+            return Err(MergeError::Incompatible("capacities"));
+        }
+        if self.key_bits != other.key_bits {
+            return Err(MergeError::Incompatible("key widths"));
+        }
+        let self_min = self.min_count();
+        let other_min = other.min_count();
+        let a: std::collections::HashMap<u64, (u64, u64)> = self
+            .entries()
+            .into_iter()
+            .map(|(i, c, e)| (i, (c, e)))
+            .collect();
+        let b: std::collections::HashMap<u64, (u64, u64)> = other
+            .entries()
+            .into_iter()
+            .map(|(i, c, e)| (i, (c, e)))
+            .collect();
+        let mut combined: Vec<(u64, u64, u64)> = a
+            .keys()
+            .chain(b.keys())
+            .collect::<std::collections::HashSet<_>>()
+            .into_iter()
+            .map(|&item| {
+                let (ca, ea) = a.get(&item).copied().unwrap_or((self_min, self_min));
+                let (cb, eb) = b.get(&item).copied().unwrap_or((other_min, other_min));
+                (item, ca + cb, ea + eb)
+            })
+            .collect();
+        combined.sort_unstable_by_key(|&(i, c, _)| (std::cmp::Reverse(c), i));
+        combined.truncate(self.capacity);
+        let total = self.processed + other.processed;
+        let mut fresh = self.clone_empty();
+        fresh.restore_entries(combined, total);
+        *self = fresh;
+        Ok(())
+    }
+
+    fn to_bytes(&self) -> bytes::Bytes {
+        snapshot::encode(TAG, self)
+    }
+
+    fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        snapshot::decode(TAG, bytes)
     }
 }
 

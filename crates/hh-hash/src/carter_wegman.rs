@@ -51,11 +51,37 @@ impl HashFamily for CarterWegmanFamily {
 }
 
 /// A sampled function `x ↦ fastrange((a·x + b) mod p, range)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CarterWegmanHash {
     a: u64,
     b: u64,
     range: u64,
+}
+
+/// Field-wise snapshot of the drawn coefficients and the structural
+/// range, so a restored function hashes identically — the seed-sharing
+/// contract that makes summaries built on this family mergeable.
+impl Serialize for CarterWegmanHash {
+    fn serialize<S: serde::Serializer>(&self, mut serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.write_u64(self.a)?;
+        serializer.write_u64(self.b)?;
+        serializer.write_u64(self.range)?;
+        serializer.done()
+    }
+}
+
+impl<'de> Deserialize<'de> for CarterWegmanHash {
+    fn deserialize<D: serde::Deserializer<'de>>(mut deserializer: D) -> Result<Self, D::Error> {
+        let a = deserializer.read_u64()?;
+        let b = deserializer.read_u64()?;
+        let range = deserializer.read_u64()?;
+        if !(1..P).contains(&a) || b >= P || range == 0 || range >= P {
+            return Err(serde::de::Error::custom(
+                "CarterWegmanHash snapshot outside the field",
+            ));
+        }
+        Ok(Self::from_coefficients(a, b, range))
+    }
 }
 
 impl CarterWegmanHash {

@@ -129,10 +129,37 @@ impl HashFamily for MultiplyShift64Family {
 }
 
 /// A sampled single-multiply function (see [`MultiplyShift64Family`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MultiplyShift64Hash {
     a: u64,
     shift: u32,
+}
+
+/// Field-wise snapshot: the odd multiplier and the shift. A restored
+/// function hashes identically, which is what lets seed-aligned
+/// Algorithm-2 repetitions merge bucket-wise.
+impl Serialize for MultiplyShift64Hash {
+    fn serialize<S: serde::Serializer>(&self, mut serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.write_u64(self.a)?;
+        serializer.write_u64(self.shift as u64)?;
+        serializer.done()
+    }
+}
+
+impl<'de> Deserialize<'de> for MultiplyShift64Hash {
+    fn deserialize<D: serde::Deserializer<'de>>(mut deserializer: D) -> Result<Self, D::Error> {
+        let a = deserializer.read_u64()?;
+        let shift = deserializer.read_u64()?;
+        if a & 1 == 0 || !(1..=63).contains(&shift) {
+            return Err(serde::de::Error::custom(
+                "MultiplyShift64Hash snapshot malformed",
+            ));
+        }
+        Ok(Self {
+            a,
+            shift: shift as u32,
+        })
+    }
 }
 
 impl HashFunction for MultiplyShift64Hash {

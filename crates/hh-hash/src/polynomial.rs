@@ -53,10 +53,34 @@ impl HashFamily for PolynomialFamily {
 }
 
 /// A sampled polynomial hash function.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PolynomialHash {
     coeffs: Vec<u64>,
     range: u64,
+}
+
+/// Field-wise snapshot: the coefficient vector and the structural range.
+/// A restored function hashes (and signs) identically, preserving the
+/// shared-seed contract sketch merging relies on.
+impl Serialize for PolynomialHash {
+    fn serialize<S: serde::Serializer>(&self, mut serializer: S) -> Result<S::Ok, S::Error> {
+        self.coeffs.serialize(&mut serializer)?;
+        serializer.write_u64(self.range)?;
+        serializer.done()
+    }
+}
+
+impl<'de> Deserialize<'de> for PolynomialHash {
+    fn deserialize<D: serde::Deserializer<'de>>(mut deserializer: D) -> Result<Self, D::Error> {
+        let coeffs: Vec<u64> = Vec::deserialize(&mut deserializer)?;
+        let range = deserializer.read_u64()?;
+        if coeffs.is_empty() || coeffs.iter().any(|&c| c >= P) || range == 0 || range >= P {
+            return Err(serde::de::Error::custom(
+                "PolynomialHash snapshot outside the field",
+            ));
+        }
+        Ok(Self { coeffs, range })
+    }
 }
 
 impl PolynomialHash {

@@ -1,10 +1,32 @@
-//! Key-sharded parallel ingestion: one summary per shard, whole keys per
-//! shard, union-of-reports at query time.
+//! Parallel ingestion pipelines: key-sharded (union-of-reports),
+//! merge-based (arbitrary partitioning), and windowed (time decay).
 //!
 //! The workspace's summaries are single-threaded by construction (the
-//! paper's model is one pass, one machine word at a time). To saturate
-//! more than one core the pipeline shards the stream **by key**, not by
-//! position: a shared universal hash routes every occurrence of an item
+//! paper's model is one pass, one machine word at a time). This crate
+//! offers two complementary ways to scale them out, plus a windowing
+//! layer:
+//!
+//! * [`ShardedPipeline`] shards the stream **by key** and unions
+//!   per-shard reports — no merge semantics needed, works for any
+//!   summary, but requires a router in front of every summary (one
+//!   process, or one routing tier).
+//! * [`partition_and_merge`] / [`PartitionedPipeline`] split the stream
+//!   **by position** — any chunking whatsoever — and combine the
+//!   per-part summaries through [`MergeableSummary`]. This is the shape
+//!   distributed aggregation actually has (each ingest node summarizes
+//!   whatever traffic reached it, a combiner merges), at the price that
+//!   randomized summaries must be **seed-aligned**: build them with the
+//!   [`seed_aligned_algo1`] / [`seed_aligned_algo2`] presets, which
+//!   share one *structure seed* (hash draws) across parts while giving
+//!   every part its own *stream seed* (sampling coins). See DESIGN.md
+//!   §"Mergeable summaries".
+//! * [`WindowedHh`] rotates per-window summaries and merges the live
+//!   ones at query time — tumbling or sliding heavy hitters from the
+//!   same merge contract.
+//!
+//! # Key-sharded mode
+//!
+//! A shared universal hash routes every occurrence of an item
 //! to the same shard, so each shard's summary sees a complete substream
 //! — every key's entire count lands on exactly one summary. That choice
 //! buys two things a position-sharded split (summarize chunks, merge)
@@ -46,7 +68,8 @@
 #![warn(missing_docs)]
 
 use hh_core::{HeavyHitters, HhParams, ItemEstimate, OptimalListHh, ParamError, Report};
-use hh_core::{SimpleListHh, StreamSummary};
+use hh_core::{MergeError, MergeableSummary, SimpleListHh, StreamSummary};
+use std::collections::VecDeque;
 
 /// SplitMix64 finalizer: turns any seed (including 0) into a well-mixed
 /// word for the router multiplier and per-shard summary seeds.
@@ -235,6 +258,367 @@ pub fn sharded_algo2(
     ))
 }
 
+/// SplitMix64-derived stream seed for part `j` of a seed-aligned bank.
+fn stream_seed(seed: u64, j: usize) -> u64 {
+    mix64(mix64(seed ^ 0x57AE).wrapping_add(j as u64))
+}
+
+/// A bank of **seed-aligned** Algorithm 1 instances for merge-based
+/// pipelines: every part draws its hash from the same structure seed
+/// (so the summaries are merge-compatible) and its sampling coins from
+/// a per-part stream seed (so parts sample independently). Parts
+/// advertise the full stream length `m`, keeping the unsharded rate.
+pub fn seed_aligned_algo1(
+    params: HhParams,
+    universe: u64,
+    m: u64,
+    parts: usize,
+    seed: u64,
+) -> Result<Vec<SimpleListHh>, ParamError> {
+    (0..parts)
+        .map(|j| SimpleListHh::with_seeds(params, universe, m, mix64(seed), stream_seed(seed, j)))
+        .collect()
+}
+
+/// A bank of seed-aligned Algorithm 2 instances; see
+/// [`seed_aligned_algo1`] for the seeding conventions. All parts share
+/// their `R` repetition hashes, which is exactly the precondition for
+/// the bucket-wise [`MergeableSummary::merge_from`] of `OptimalListHh`.
+pub fn seed_aligned_algo2(
+    params: HhParams,
+    universe: u64,
+    m: u64,
+    parts: usize,
+    seed: u64,
+) -> Result<Vec<OptimalListHh>, ParamError> {
+    (0..parts)
+        .map(|j| OptimalListHh::with_seeds(params, universe, m, mix64(seed), stream_seed(seed, j)))
+        .collect()
+}
+
+/// Splits `stream` into one positional chunk per summary, ingests every
+/// chunk on its own scoped thread, and merges the results left to
+/// right. This is the merge-based counterpart of [`ShardedPipeline`]:
+/// the partition is arbitrary (chunks here; any split works), so it
+/// models distributed ingestion where each node summarizes whatever
+/// reached it.
+///
+/// # Errors
+/// [`MergeError`] if the summaries are not merge-compatible (randomized
+/// summaries must be seed-aligned; use the `seed_aligned_*` presets).
+///
+/// # Panics
+/// If `summaries` is empty.
+///
+/// # Example
+///
+/// ```
+/// use hh_core::{HeavyHitters, HhParams};
+/// use hh_pipeline::{partition_and_merge, seed_aligned_algo2};
+///
+/// let m = 200_000u64;
+/// let stream: Vec<u64> = (0..m).map(|i| if i % 2 == 0 { 7 } else { i }).collect();
+/// let params = HhParams::new(0.05, 0.2).unwrap();
+/// let parts = seed_aligned_algo2(params, 1 << 30, m, 4, 42).unwrap();
+/// let merged = partition_and_merge(parts, &stream).unwrap();
+/// assert!(merged.report().contains(7)); // 50% item at phi = 20%
+/// ```
+pub fn partition_and_merge<S>(mut summaries: Vec<S>, stream: &[u64]) -> Result<S, MergeError>
+where
+    S: StreamSummary + MergeableSummary + Send,
+{
+    assert!(!summaries.is_empty(), "need at least one part");
+    let chunk = stream.len().div_ceil(summaries.len()).max(1);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = summaries
+            .iter_mut()
+            .zip(stream.chunks(chunk))
+            .map(|(s, part)| scope.spawn(move || s.insert_batch(part)))
+            .collect();
+        for h in handles {
+            h.join().expect("partition worker");
+        }
+    });
+    let mut acc = summaries.remove(0);
+    for s in &summaries {
+        acc.merge_from(s)?;
+    }
+    Ok(acc)
+}
+
+/// An incremental merge-based pipeline: a fixed bank of seed-aligned
+/// summaries that ingests batches round-robin (each call lands on the
+/// next part, simulating independent ingest nodes) and merges on
+/// demand. Unlike [`partition_and_merge`] the stream does not need to
+/// be materialized up front.
+#[derive(Debug)]
+pub struct PartitionedPipeline<S> {
+    parts: Vec<S>,
+    next: usize,
+    total: u64,
+}
+
+impl<S: StreamSummary + MergeableSummary + Clone> PartitionedPipeline<S> {
+    /// A pipeline over a prebuilt bank of merge-compatible summaries.
+    ///
+    /// # Panics
+    /// If `parts` is empty.
+    pub fn new(parts: Vec<S>) -> Self {
+        assert!(!parts.is_empty(), "need at least one part");
+        Self {
+            parts,
+            next: 0,
+            total: 0,
+        }
+    }
+
+    /// Number of parts in the bank.
+    pub fn num_parts(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Items ingested so far across all parts.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Ingests one batch into the next part (round-robin).
+    pub fn ingest(&mut self, batch: &[u64]) {
+        self.total += batch.len() as u64;
+        self.parts[self.next].insert_batch(batch);
+        self.next = (self.next + 1) % self.parts.len();
+    }
+
+    /// The per-part summaries (read-only).
+    pub fn parts(&self) -> &[S] {
+        &self.parts
+    }
+
+    /// Merges the bank into one summary of everything ingested so far
+    /// (the parts are left untouched, so ingestion can continue).
+    pub fn merged(&self) -> Result<S, MergeError> {
+        let mut acc = self.parts[0].clone();
+        for s in &self.parts[1..] {
+            acc.merge_from(s)?;
+        }
+        Ok(acc)
+    }
+
+    /// The merged report (see [`PartitionedPipeline::merged`]).
+    pub fn report(&self) -> Result<Report, MergeError>
+    where
+        S: HeavyHitters,
+    {
+        Ok(self.merged()?.report())
+    }
+}
+
+/// Tumbling/sliding-window heavy hitters over any mergeable summary.
+///
+/// The stream is cut into fixed-length windows. Each window gets a
+/// fresh summary from the factory; at a boundary the active summary is
+/// *rotated* into a ring of completed windows and the ring is trimmed
+/// to the configured depth. Queries merge the retained summaries — the
+/// active window plus the `depth − 1` most recent completed ones — so
+/// the report always covers the last `≤ depth` windows and old traffic
+/// ages out with its window.
+///
+/// `depth = 1` gives tumbling windows (the report covers only the
+/// in-progress window); larger depths give a sliding window with
+/// window-granular eviction.
+///
+/// The factory receives the window index and **must** produce
+/// merge-compatible summaries — deterministic summaries qualify as-is;
+/// randomized ones must share a structure seed (vary only the stream
+/// seed by window index, as the presets do).
+///
+/// # Example
+///
+/// ```
+/// use hh_core::HeavyHitters;
+/// use hh_pipeline::windowed_algo2;
+/// use hh_core::HhParams;
+///
+/// let params = HhParams::new(0.05, 0.2).unwrap();
+/// // 3-window sliding report over 100k-item windows.
+/// let mut win = windowed_algo2(params, 1 << 30, 100_000, 3, 7).unwrap();
+/// // Item 9 dominates early traffic, item 4 dominates late traffic.
+/// let early: Vec<u64> = (0..150_000u64).map(|i| if i % 2 == 0 { 9 } else { i }).collect();
+/// let late: Vec<u64> = (0..400_000u64).map(|i| if i % 2 == 0 { 4 } else { i }).collect();
+/// win.ingest(&early);
+/// win.ingest(&late);
+/// let r = win.report().unwrap();
+/// assert!(r.contains(4));   // current traffic is heavy
+/// assert!(!r.contains(9));  // early traffic aged out with its windows
+/// ```
+#[derive(Debug)]
+pub struct WindowedHh<S, F> {
+    window_len: u64,
+    depth: usize,
+    /// Completed windows, oldest first; at most `depth − 1` retained.
+    completed: VecDeque<S>,
+    active: S,
+    in_window: u64,
+    window_index: u64,
+    total: u64,
+    make: F,
+}
+
+impl<S, F> WindowedHh<S, F>
+where
+    S: StreamSummary + MergeableSummary,
+    F: FnMut(u64) -> S,
+{
+    /// A windowed pipeline with `window_len ≥ 1` items per window,
+    /// reporting over the last `depth ≥ 1` windows.
+    ///
+    /// # Panics
+    /// If `window_len` or `depth` is zero.
+    pub fn new(window_len: u64, depth: usize, mut make: F) -> Self {
+        assert!(window_len >= 1, "windows must hold at least one item");
+        assert!(depth >= 1, "need at least one window in the report");
+        let active = make(0);
+        Self {
+            window_len,
+            depth,
+            completed: VecDeque::new(),
+            active,
+            in_window: 0,
+            window_index: 0,
+            total: 0,
+            make,
+        }
+    }
+
+    /// Items per window.
+    pub fn window_len(&self) -> u64 {
+        self.window_len
+    }
+
+    /// Number of windows a report covers (active window included).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Index of the in-progress window (0-based).
+    pub fn window_index(&self) -> u64 {
+        self.window_index
+    }
+
+    /// Items ingested into the in-progress window so far.
+    pub fn in_window(&self) -> u64 {
+        self.in_window
+    }
+
+    /// Items ingested over the pipeline's lifetime (including aged-out
+    /// windows).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Closes the active window and opens a fresh one.
+    fn rotate(&mut self) {
+        self.window_index += 1;
+        let fresh = (self.make)(self.window_index);
+        let done = std::mem::replace(&mut self.active, fresh);
+        self.completed.push_back(done);
+        while self.completed.len() > self.depth.saturating_sub(1) {
+            self.completed.pop_front();
+        }
+        self.in_window = 0;
+    }
+
+    /// Ingests one batch, rotating at every window boundary it crosses
+    /// (a batch may span several windows).
+    pub fn ingest(&mut self, batch: &[u64]) {
+        let mut rest = batch;
+        while !rest.is_empty() {
+            let room = (self.window_len - self.in_window) as usize;
+            let (now, later) = rest.split_at(room.min(rest.len()));
+            self.active.insert_batch(now);
+            self.total += now.len() as u64;
+            self.in_window += now.len() as u64;
+            if self.in_window == self.window_len {
+                self.rotate();
+            }
+            rest = later;
+        }
+    }
+
+    /// The summaries a report would merge: retained completed windows,
+    /// oldest first, then the active window.
+    pub fn live_windows(&self) -> impl Iterator<Item = &S> {
+        self.completed.iter().chain(std::iter::once(&self.active))
+    }
+
+    /// Merges the live windows into one summary of the last `≤ depth`
+    /// windows' traffic (windows are left untouched).
+    pub fn merged(&self) -> Result<S, MergeError>
+    where
+        S: Clone,
+    {
+        let mut acc = self.completed.front().unwrap_or(&self.active).clone();
+        for s in self.live_windows().skip(1) {
+            acc.merge_from(s)?;
+        }
+        Ok(acc)
+    }
+
+    /// The heavy hitters of the last `≤ depth` windows (see
+    /// [`WindowedHh::merged`]).
+    pub fn report(&self) -> Result<Report, MergeError>
+    where
+        S: HeavyHitters + Clone,
+    {
+        Ok(self.merged()?.report())
+    }
+}
+
+impl<S: hh_space::SpaceUsage, F> hh_space::SpaceUsage for WindowedHh<S, F> {
+    fn model_bits(&self) -> u64 {
+        self.completed
+            .iter()
+            .map(hh_space::SpaceUsage::model_bits)
+            .sum::<u64>()
+            + self.active.model_bits()
+    }
+    fn heap_bytes(&self) -> usize {
+        self.completed
+            .iter()
+            .map(hh_space::SpaceUsage::heap_bytes)
+            .sum::<usize>()
+            + self.active.heap_bytes()
+    }
+}
+
+/// A [`WindowedHh`] over seed-aligned Algorithm 2 instances: one
+/// structure seed for every window (merge-compatible), per-window
+/// stream seeds. Each window advertises `window_len · depth` as its
+/// stream length so the sampling rate matches the report span.
+pub fn windowed_algo2(
+    params: HhParams,
+    universe: u64,
+    window_len: u64,
+    depth: usize,
+    seed: u64,
+) -> Result<WindowedHh<OptimalListHh, impl FnMut(u64) -> OptimalListHh>, ParamError> {
+    let m = window_len.saturating_mul(depth as u64).max(1);
+    // Validate the configuration once, eagerly; the factory then only
+    // varies the stream seed, which cannot fail.
+    OptimalListHh::with_seeds(params, universe, m, mix64(seed), 0)?;
+    let make = move |w: u64| {
+        OptimalListHh::with_seeds(
+            params,
+            universe,
+            m,
+            mix64(seed),
+            stream_seed(seed, w as usize),
+        )
+        .expect("validated at construction")
+    };
+    Ok(WindowedHh::new(window_len, depth, make))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -383,5 +767,115 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_rejected() {
         let _ = ShardedPipeline::new(0, 1, 0.1, |_| MisraGriesBaseline::new(0.1, 0.3, 16));
+    }
+
+    #[test]
+    fn partition_and_merge_matches_definition_one() {
+        let m = 400_000u64;
+        let stream = planted(m, &[(7, 0.30), (8, 0.16)], 11);
+        let params = HhParams::with_delta(0.05, 0.1, 0.1).unwrap();
+        for parts in [1usize, 2, 5] {
+            let bank = seed_aligned_algo2(params, 1 << 40, m, parts, 77).unwrap();
+            let merged = partition_and_merge(bank, &stream).unwrap();
+            let r = merged.report();
+            for (item, frac) in [(7u64, 0.30), (8, 0.16)] {
+                assert!(r.contains(item), "{parts} parts: missing {item}");
+                let est = r.estimate(item).unwrap();
+                assert!(
+                    (est - frac * m as f64).abs() <= 0.05 * m as f64,
+                    "{parts} parts: item {item} est {est}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_pipeline_accumulates_across_batches() {
+        let m = 300_000u64;
+        let stream = planted(m, &[(7, 0.35)], 12);
+        let params = HhParams::with_delta(0.04, 0.12, 0.1).unwrap();
+        let bank = seed_aligned_algo1(params, 1 << 40, m, 3, 5).unwrap();
+        let mut pipe = PartitionedPipeline::new(bank);
+        for chunk in stream.chunks(8192) {
+            pipe.ingest(chunk);
+        }
+        assert_eq!(pipe.total(), m);
+        assert_eq!(pipe.num_parts(), 3);
+        let r = pipe.report().unwrap();
+        assert!(r.contains(7));
+        // Parts are untouched by reporting: a second merge agrees.
+        assert_eq!(pipe.report().unwrap().entries(), r.entries());
+    }
+
+    #[test]
+    fn partition_and_merge_rejects_misaligned_banks() {
+        let params = HhParams::new(0.05, 0.2).unwrap();
+        let a = hh_core::OptimalListHh::with_seeds(params, 1 << 20, 10_000, 1, 1).unwrap();
+        let b = hh_core::OptimalListHh::with_seeds(params, 1 << 20, 10_000, 2, 2).unwrap();
+        let stream: Vec<u64> = (0..10_000).collect();
+        assert!(partition_and_merge(vec![a, b], &stream).is_err());
+    }
+
+    #[test]
+    fn windowed_summary_ages_out_old_heavy_hitters() {
+        // Deterministic summary for an exact aging check.
+        let window = 10_000u64;
+        let mut win = WindowedHh::new(window, 2, |_| MisraGriesBaseline::new(0.05, 0.2, 1 << 20));
+        // Window 0 and 1 traffic: item 9 heavy.
+        let old: Vec<u64> = (0..2 * window)
+            .map(|i| if i % 2 == 0 { 9 } else { i })
+            .collect();
+        win.ingest(&old);
+        assert!(win.report().unwrap().contains(9));
+        // Three more windows of item-4 traffic push 9 out of the ring.
+        let new: Vec<u64> = (0..3 * window)
+            .map(|i| if i % 2 == 0 { 4 } else { 100_000 + i })
+            .collect();
+        win.ingest(&new);
+        let r = win.report().unwrap();
+        assert!(r.contains(4));
+        assert!(!r.contains(9), "aged-out window still reported");
+        assert_eq!(win.total(), 5 * window);
+        assert_eq!(win.window_index(), 5);
+        assert_eq!(win.in_window(), 0);
+    }
+
+    #[test]
+    fn windowed_algo2_preset_slides_over_traffic() {
+        let params = HhParams::with_delta(0.05, 0.2, 0.1).unwrap();
+        let window = 50_000u64;
+        let mut win = windowed_algo2(params, 1 << 30, window, 3, 9).unwrap();
+        let early: Vec<u64> = (0..window)
+            .map(|i| if i % 2 == 0 { 9 } else { i })
+            .collect();
+        win.ingest(&early);
+        assert!(win.report().unwrap().contains(9));
+        let late: Vec<u64> = (0..4 * window)
+            .map(|i| if i % 2 == 0 { 4 } else { 200_000 + i })
+            .collect();
+        win.ingest(&late);
+        let r = win.report().unwrap();
+        assert!(r.contains(4), "current heavy item missing");
+        assert!(!r.contains(9), "expired window still reported");
+    }
+
+    #[test]
+    fn windowed_space_is_depth_windows_not_stream_length() {
+        use hh_space::SpaceUsage;
+        let window = 5_000u64;
+        let mut win = WindowedHh::new(window, 3, |_| MisraGriesBaseline::new(0.05, 0.2, 1 << 20));
+        let mut probe_bits = Vec::new();
+        for round in 0..10u64 {
+            let batch: Vec<u64> = (0..window).map(|i| (round * window + i) % 97).collect();
+            win.ingest(&batch);
+            probe_bits.push(win.model_bits());
+        }
+        // After the ring fills, space stops growing with stream length.
+        let late_max = *probe_bits[3..].iter().max().unwrap();
+        let late_min = *probe_bits[3..].iter().min().unwrap();
+        assert!(
+            late_max <= 2 * late_min,
+            "windowed space drifts: {probe_bits:?}"
+        );
     }
 }

@@ -94,7 +94,7 @@ impl SpaceUsage for BernoulliSampler {
 /// in expectation (the gap value), still `O(log log m + log(1/p))` — within
 /// the paper's budget since `1/p = O(m/ℓ)` and the countdown is charged to
 /// the `log log m` term in expectation by footnote 3's power-of-two form.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SkipSampler {
     k: u32,
     /// Items remaining to skip before the next accept; `0` means the next
@@ -182,6 +182,32 @@ impl SpaceUsage for SkipSampler {
     }
     fn heap_bytes(&self) -> usize {
         0
+    }
+}
+
+/// Field-wise snapshot: exponent, countdown, primed flag. Restoring
+/// resumes the trial sequence exactly where the snapshot left it.
+impl Serialize for SkipSampler {
+    fn serialize<S: serde::Serializer>(&self, mut serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.write_u64(self.k as u64)?;
+        serializer.write_u64(self.remaining)?;
+        serializer.write_bool(self.primed)?;
+        serializer.done()
+    }
+}
+
+impl<'de> Deserialize<'de> for SkipSampler {
+    fn deserialize<D: serde::Deserializer<'de>>(mut deserializer: D) -> Result<Self, D::Error> {
+        let k = deserializer.read_u64()?;
+        if k > 64 {
+            return Err(serde::de::Error::custom("SkipSampler exponent above 64"));
+        }
+        let remaining = deserializer.read_u64()?;
+        let primed = deserializer.read_bool()?;
+        let mut s = Self::with_exponent(k as u32);
+        s.remaining = remaining;
+        s.primed = primed;
+        Ok(s)
     }
 }
 

@@ -24,7 +24,7 @@ use serde::{Deserialize, Serialize};
 
 /// A buffered random-bit source: draws one `u64` at a time from the
 /// backing RNG and serves `k`-bit slices out of it.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BitBudget {
     word: u64,
     left: u32,
@@ -84,6 +84,30 @@ impl SpaceUsage for BitBudget {
     }
 }
 
+/// Field-wise snapshot: the buffered word and the fresh-bit count, so a
+/// restored budget hands out the exact slices the original would have.
+impl Serialize for BitBudget {
+    fn serialize<S: serde::Serializer>(&self, mut serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.write_u64(self.word)?;
+        serializer.write_u64(self.left as u64)?;
+        serializer.done()
+    }
+}
+
+impl<'de> Deserialize<'de> for BitBudget {
+    fn deserialize<D: serde::Deserializer<'de>>(mut deserializer: D) -> Result<Self, D::Error> {
+        let word = deserializer.read_u64()?;
+        let left = deserializer.read_u64()?;
+        if left > 64 {
+            return Err(serde::de::Error::custom("BitBudget has at most 64 bits"));
+        }
+        Ok(Self {
+            word,
+            left: left as u32,
+        })
+    }
+}
+
 /// Geometric-skip sampler for repeated Bernoulli(2⁻ᵏ) trials, driven by
 /// raw bits on the hot path.
 ///
@@ -101,7 +125,7 @@ impl SpaceUsage for BitBudget {
 /// point of skipping; large exponents instead draw the geometric gap in
 /// O(1) by inversion (`⌊ln U / ln(1−2⁻ᵏ)⌋`), exactly as
 /// [`crate::SkipSampler`] does for every `k`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BitSkipSampler {
     k: u32,
     /// Failing trials remaining before the next success; `0` means the
@@ -234,6 +258,33 @@ impl SpaceUsage for BitSkipSampler {
     }
     fn heap_bytes(&self) -> usize {
         0
+    }
+}
+
+/// Field-wise snapshot of the random state only — exponent, countdown,
+/// primed flag; the SWAR masks are derived from the exponent at restore
+/// time. Restoring resumes the trial sequence exactly.
+impl Serialize for BitSkipSampler {
+    fn serialize<S: serde::Serializer>(&self, mut serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.write_u64(self.k as u64)?;
+        serializer.write_u64(self.remaining)?;
+        serializer.write_bool(self.primed)?;
+        serializer.done()
+    }
+}
+
+impl<'de> Deserialize<'de> for BitSkipSampler {
+    fn deserialize<D: serde::Deserializer<'de>>(mut deserializer: D) -> Result<Self, D::Error> {
+        let k = deserializer.read_u64()?;
+        if k > 64 {
+            return Err(serde::de::Error::custom("BitSkipSampler exponent above 64"));
+        }
+        let remaining = deserializer.read_u64()?;
+        let primed = deserializer.read_bool()?;
+        let mut s = Self::with_exponent(k as u32);
+        s.remaining = remaining;
+        s.primed = primed;
+        Ok(s)
     }
 }
 

@@ -50,5 +50,8 @@ pub use bits::BitVec;
 pub use delta::DeltaVec;
 pub use gamma::{GammaDecoder, GammaVec};
 pub use packed::PackedIntVec;
-pub use space::{ceil_log2, gamma_bits, gamma_sum_bits, id_bits, sparse_slice_bits, SpaceUsage};
+pub use space::{
+    ceil_log2, gamma_bits, gamma_sum_bits, id_bits, merged_gamma_sum_bits,
+    merged_sparse_slice_bits, sparse_slice_bits, SpaceUsage,
+};
 pub use varcount::VarCounterArray;

@@ -71,6 +71,48 @@ pub fn sparse_slice_bits(counts: &[u64]) -> u64 {
     bits + 1
 }
 
+/// Dense gamma accounting of the **cell-wise sum** of two counter
+/// tables, without materializing the merged table: the model cost a
+/// merge of two seed-aligned summaries will charge for these rows.
+///
+/// Subadditivity makes merged summaries cheaper than the parts they
+/// came from: `gamma_bits(a + b) ≤ gamma_bits(a) + gamma_bits(b)` for
+/// all `a, b` (the gamma cost is `2⌊log₂(c+1)⌋ + 1` and
+/// `log(a + b + 1) ≤ log(a+1) + log(b+1)`), so the result is at most
+/// `gamma_sum_bits(a) + gamma_sum_bits(b)` — merging `K` shards costs
+/// at most the bits of one shard plus `K − 1` dense tables' headroom,
+/// never the sum of all `K`. The merge planners in `hh-pipeline` and
+/// the DESIGN.md space-cost argument use exactly this bound.
+///
+/// # Panics
+/// If the slices have different lengths (seed-aligned tables always
+/// agree on shape).
+#[inline]
+pub fn merged_gamma_sum_bits(a: &[u64], b: &[u64]) -> u64 {
+    assert_eq!(a.len(), b.len(), "merged tables must share their shape");
+    a.iter().zip(b).map(|(&x, &y)| gamma_bits(x + y)).sum()
+}
+
+/// Sparse accounting of the cell-wise sum of two mostly-empty tables
+/// (the merged-size companion of [`sparse_slice_bits`], used for
+/// Algorithm 2's T3 rows).
+///
+/// # Panics
+/// If the slices have different lengths.
+pub fn merged_sparse_slice_bits(a: &[u64], b: &[u64]) -> u64 {
+    assert_eq!(a.len(), b.len(), "merged tables must share their shape");
+    let mut bits = 0u64;
+    let mut last = 0usize;
+    for (i, (&x, &y)) in a.iter().zip(b).enumerate() {
+        let c = x + y;
+        if c > 0 {
+            bits += gamma_bits((i - last) as u64) + gamma_bits(c);
+            last = i + 1;
+        }
+    }
+    bits + 1
+}
+
 /// Cost in bits of storing `c` in the Elias-delta code,
 /// `⌊log₂(c+1)⌋ + 2⌊log₂(⌊log₂(c+1)⌋+1)⌋ + 1`. Slightly cheaper than gamma
 /// for large counters; used by the `log log` accounting of Lemma 1.
@@ -193,6 +235,37 @@ mod tests {
         assert_eq!(sparse_slice_bits(&counts), expected);
         assert_eq!(sparse_slice_bits(&[0u64; 10]), 1);
         assert_eq!(sparse_slice_bits(&[]), 1);
+    }
+
+    #[test]
+    fn merged_gamma_accounting_is_subadditive() {
+        let a = [0u64, 1, 2, 7, 100, 0];
+        let b = [3u64, 0, 2, 1, 100, 0];
+        let merged = merged_gamma_sum_bits(&a, &b);
+        let direct: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+        assert_eq!(merged, gamma_sum_bits(&direct));
+        assert!(merged <= gamma_sum_bits(&a) + gamma_sum_bits(&b));
+        // Pointwise subadditivity of the gamma cost itself.
+        for x in 0..50u64 {
+            for y in 0..50u64 {
+                assert!(
+                    gamma_bits(x + y) <= gamma_bits(x) + gamma_bits(y),
+                    "{x}+{y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merged_sparse_accounting_matches_materialized_sum() {
+        let mut a = vec![0u64; 64];
+        let mut b = vec![0u64; 64];
+        a[5] = 2;
+        b[5] = 1;
+        b[40] = 9;
+        let direct: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+        assert_eq!(merged_sparse_slice_bits(&a, &b), sparse_slice_bits(&direct));
+        assert_eq!(merged_sparse_slice_bits(&[], &[]), 1);
     }
 
     #[test]

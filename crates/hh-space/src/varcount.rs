@@ -15,11 +15,32 @@ use serde::{Deserialize, Serialize};
 
 /// An array of `u64` counters whose model space cost is the sum of the
 /// gamma-code lengths of the current values.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VarCounterArray {
     counts: Vec<u64>,
     /// Running Σ gamma_bits(c_i), kept in sync by every mutation.
     model_bit_sum: u64,
+}
+
+/// Snapshot of the raw counter values; the incremental gamma-bit sum is
+/// an invariant of the values and is recomputed at restore time rather
+/// than trusted from the wire.
+impl Serialize for VarCounterArray {
+    fn serialize<S: serde::Serializer>(&self, mut serializer: S) -> Result<S::Ok, S::Error> {
+        self.counts.serialize(&mut serializer)?;
+        serializer.done()
+    }
+}
+
+impl<'de> Deserialize<'de> for VarCounterArray {
+    fn deserialize<D: serde::Deserializer<'de>>(mut deserializer: D) -> Result<Self, D::Error> {
+        let counts: Vec<u64> = Vec::deserialize(&mut deserializer)?;
+        let model_bit_sum = counts.iter().map(|&c| gamma_bits(c)).sum();
+        Ok(Self {
+            counts,
+            model_bit_sum,
+        })
+    }
 }
 
 impl VarCounterArray {
@@ -171,6 +192,25 @@ impl VarCounterArray {
     /// Number of nonzero counters.
     pub fn nonzero(&self) -> usize {
         self.counts.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// Adds `other`'s counters cell-wise (the merge primitive for
+    /// seed-aligned sketch rows), resyncing the gamma accounting once at
+    /// the end — exactly the merged cost
+    /// [`crate::space::merged_gamma_sum_bits`] predicts.
+    ///
+    /// # Panics
+    /// If the arrays have different lengths.
+    pub fn merge_add(&mut self, other: &Self) {
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "merged counter arrays must share their shape"
+        );
+        for (c, &o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.resync_model_bits();
     }
 }
 

@@ -7,6 +7,7 @@
 #   batch_update_time   insert_batch on the same workload
 #   sharded_throughput  hh-pipeline key-sharded ingestion, 1/2/4 shards
 #   query_time          report() extraction at three universe sizes
+#   merge_serialize     summary merging and snapshot round trips
 #
 # Usage: scripts/bench.sh [output.json]   (default: BENCH_1.json)
 set -euo pipefail
@@ -26,7 +27,7 @@ case "${out}" in
 esac
 rm -f "${json}"
 
-for bench in update_time batch_update_time sharded_throughput query_time; do
+for bench in update_time batch_update_time sharded_throughput query_time merge_serialize; do
     CRITERION_JSON="${json}" cargo bench -p hh-bench --bench "${bench}"
 done
 

@@ -98,7 +98,7 @@ proptest! {
         a.insert_all(&left);
         b.insert_all(&right);
         use hh_baselines::Mergeable;
-        a.merge_from(b);
+        a.merge_from(&b).unwrap();
         let m = (left.len() + right.len()) as u64;
         let k = a.capacity() as u64;
         let combined: Vec<u64> = left.iter().chain(right.iter()).copied().collect();

@@ -146,7 +146,7 @@ pub mod test_runner {
 
 #[doc(hidden)]
 pub mod macro_support {
-    //! Internals used by the expansion of [`proptest!`].
+    //! Internals used by the expansion of [`proptest!`](crate::proptest).
 
     use rand::rngs::StdRng;
     use rand::SeedableRng;

@@ -427,6 +427,26 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// Captures the generator's raw xoshiro256++ state, for
+        /// checkpointing; feed it back to [`StdRng::from_state`] to
+        /// resume the stream exactly where it left off.
+        pub fn to_state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a state captured by
+        /// [`StdRng::to_state`]. An all-zero state (a xoshiro fixed
+        /// point, unreachable from any seeded generator) is nudged to
+        /// the same non-zero constants `from_seed` uses.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            if s == [0; 4] {
+                return Self::from_seed([0u8; 32]);
+            }
+            Self { s }
+        }
+    }
+
     impl SeedableRng for StdRng {
         type Seed = [u8; 32];
 

@@ -135,7 +135,7 @@ fn type_path(target: &Target) -> String {
     }
 }
 
-/// Derives a stub [`serde::Serialize`] impl (see crate docs).
+/// Derives a stub `serde::Serialize` impl (see crate docs).
 #[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let target = parse_target(input);
@@ -159,7 +159,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     .expect("serde_derive stub: generated impl must parse")
 }
 
-/// Derives a stub [`serde::Deserialize`] impl (see crate docs).
+/// Derives a stub `serde::Deserialize` impl (see crate docs).
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let target = parse_target(input);
