@@ -1,0 +1,112 @@
+//! BENCH_5 groups: `hot_query` and `mixed_read_write` — the serving
+//! shapes of the incremental query engine.
+//!
+//! `query_time` measures `report()` in a tight loop, which after PR 5 is
+//! the *cached* path from the second iteration on. These groups pin the
+//! two regimes that bound it:
+//!
+//! * **hot_query** — repeated reads against a quiescent summary (cache
+//!   hits by construction): the clone-of-materialized-report cost for
+//!   `report()`, and the candidate-table hit for point queries. This is
+//!   the per-query cost a serving process pays between batches.
+//! * **mixed_read_write** — one small batch then one report per
+//!   iteration: every read runs cold (the write invalidated it), so
+//!   this bounds the engine from the other side — invalidation overhead
+//!   plus the full rebuild (for Algorithm 2, the rep-major T2/T3
+//!   candidate scan). A regression here means either the write-path
+//!   hooks or the cold rebuild got slower.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hh_baselines::{MisraGriesBaseline, SpaceSaving};
+use hh_core::StreamSummary;
+use hh_core::{FrequencyEstimator, HeavyHitters, HhParams, OptimalListHh, SimpleListHh};
+use std::hint::black_box;
+use std::time::Duration;
+
+const M: usize = 1 << 21;
+const N: u64 = 1 << 32;
+const EPS: f64 = 0.05;
+const PHI: f64 = 0.2;
+const DELTA: f64 = 0.1;
+/// Write burst between reads in the mixed group: small enough that the
+/// read side dominates, large enough to always invalidate.
+const MIX_BATCH: usize = 1 << 10;
+
+fn stream() -> Vec<u64> {
+    hh_bench::zipf_stream(M, N, 1.2, 7)
+}
+
+fn bench_hot_query(c: &mut Criterion) {
+    let data = stream();
+    let params = HhParams::with_delta(EPS, PHI, DELTA).unwrap();
+    let mut g = c.benchmark_group("hot_query");
+
+    let mut algo1 = SimpleListHh::new(params, N, M as u64, 1).unwrap();
+    algo1.insert_all(&data);
+    let _ = algo1.report(); // warm
+    g.bench_function("algo1_report", |b| b.iter(|| black_box(algo1.report())));
+
+    let mut algo2 = OptimalListHh::new(params, N, M as u64, 2).unwrap();
+    algo2.insert_all(&data);
+    let _ = algo2.report();
+    g.bench_function("algo2_report", |b| b.iter(|| black_box(algo2.report())));
+    // Point query for a reported candidate: the cached-candidate hit.
+    let hot_item = algo2.report().top().map(|e| e.item).unwrap_or(1);
+    g.bench_function("algo2_estimate", |b| {
+        b.iter(|| black_box(algo2.estimate(black_box(hot_item))))
+    });
+
+    let mut mg = MisraGriesBaseline::new(EPS, PHI, N);
+    mg.insert_all(&data);
+    let _ = mg.report();
+    g.bench_function("misra_gries_report", |b| b.iter(|| black_box(mg.report())));
+
+    let mut ss = SpaceSaving::new(EPS, PHI, N);
+    ss.insert_all(&data);
+    let _ = ss.report();
+    g.bench_function("space_saving_report", |b| b.iter(|| black_box(ss.report())));
+    g.finish();
+}
+
+fn bench_mixed(c: &mut Criterion) {
+    let data = stream();
+    let params = HhParams::with_delta(EPS, PHI, DELTA).unwrap();
+    let mut g = c.benchmark_group("mixed_read_write");
+    g.throughput(Throughput::Elements(MIX_BATCH as u64));
+
+    macro_rules! mixed {
+        ($id:literal, $summary:expr) => {{
+            let mut s = $summary;
+            s.insert_all(&data);
+            let mut at = 0usize;
+            g.bench_function($id, |b| {
+                b.iter(|| {
+                    let chunk = &data[at..at + MIX_BATCH];
+                    at = (at + MIX_BATCH) % (data.len() - MIX_BATCH);
+                    s.insert_batch(black_box(chunk));
+                    black_box(s.report())
+                })
+            });
+        }};
+    }
+
+    mixed!("algo1", SimpleListHh::new(params, N, M as u64, 1).unwrap());
+    mixed!("algo2", OptimalListHh::new(params, N, M as u64, 2).unwrap());
+    mixed!("misra_gries", MisraGriesBaseline::new(EPS, PHI, N));
+    mixed!("space_saving", SpaceSaving::new(EPS, PHI, N));
+    g.finish();
+}
+
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_hot_query, bench_mixed
+}
+criterion_main!(benches);

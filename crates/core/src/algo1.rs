@@ -25,6 +25,7 @@
 //! "spreading" argument; the skip sampler makes the common path branch-
 //! free).
 
+use crate::cache::QueryCache;
 use crate::config::{Constants, HhParams};
 use crate::error::{MergeError, ParamError, SnapshotError};
 use crate::mergeable::{check_compatible, snapshot, MergeableSummary};
@@ -57,6 +58,10 @@ pub struct SimpleListHh {
     /// Number of sampled items `s = |S|`.
     samples: u64,
     rng: StdRng,
+    /// Materialized report, invalidated by the sampled-insert path and
+    /// `merge_from` (unsampled items change no query-visible state);
+    /// restore builds a fresh, cold value. See `QueryCache`.
+    cache: QueryCache<Report>,
 }
 
 impl SimpleListHh {
@@ -139,6 +144,7 @@ impl SimpleListHh {
             t2_cap,
             samples: 0,
             rng,
+            cache: QueryCache::new(),
         })
     }
 
@@ -236,6 +242,14 @@ impl StreamSummary for SimpleListHh {
             items.iter().all(|&x| x < self.universe),
             "item outside declared universe"
         );
+        // p = 1: nothing to skip — the scalar loop is the fast path
+        // (see `OptimalListHh::insert_batch`).
+        if self.sampler.exponent() == 0 {
+            for &x in items {
+                self.insert(x);
+            }
+            return;
+        }
         let mut i = 0usize;
         let n = items.len();
         while i < n {
@@ -255,6 +269,8 @@ impl SimpleListHh {
     /// The per-sample body shared by the scalar and batch insert paths.
     #[inline]
     fn sampled_insert(&mut self, item: u64) {
+        // Sampled items are query-visible; unsampled ones never get here.
+        self.cache.invalidate();
         self.samples += 1;
         let hashed = self.hash.hash(item);
         self.t1.insert(hashed);
@@ -264,7 +280,18 @@ impl SimpleListHh {
 }
 
 impl HeavyHitters for SimpleListHh {
+    /// The report; a cache hit (one clone of the materialized report)
+    /// after a quiescent period, a `T2`-scan rebuild on the first query
+    /// after a mutation.
     fn report(&self) -> Report {
+        self.cache.get_or_build(|| self.build_report()).clone()
+    }
+}
+
+impl SimpleListHh {
+    /// The cold report pass: every `T2` item whose merged-`T1` count
+    /// clears `(φ − ε/2)·s` is output at `count / p`.
+    fn build_report(&self) -> Report {
         if self.samples == 0 {
             return Report::default();
         }
@@ -304,8 +331,9 @@ impl SpaceUsage for SimpleListHh {
     }
 }
 
-/// Snapshot format version tag.
-const A1_TAG: &str = "hh.algo1.v1";
+/// Snapshot format version tag (v2: the embedded Misra–Gries table
+/// switched to the varint-slice wire format).
+const A1_TAG: &str = "hh.algo1.v2";
 
 /// Full-state snapshot: parameters, hash seed, both tables, the sample
 /// count, and the sampler/RNG state, so a restored instance reports
@@ -355,6 +383,7 @@ impl<'de> Deserialize<'de> for SimpleListHh {
             t2_cap,
             samples,
             rng,
+            cache: QueryCache::new(),
         })
     }
 }
@@ -373,6 +402,7 @@ impl MergeableSummary for SimpleListHh {
         check_compatible(&self.hash, &other.hash, "hash seeds")?;
         check_compatible(&self.p, &other.p, "sampling rates")?;
         check_compatible(&self.t2_cap, &other.t2_cap, "T2 capacities")?;
+        self.cache.invalidate();
         self.t1.merge_from(&other.t1)?;
         self.samples += other.samples;
         // Union of tracked raw ids, re-ranked by the merged T1 counts.

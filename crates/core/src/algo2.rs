@@ -58,6 +58,7 @@
 //! estimates from `T2` alone, exhibiting the variance blow-up §3.1.2
 //! warns about.
 
+use crate::cache::QueryCache;
 use crate::config::{Constants, HhParams};
 use crate::error::{MergeError, ParamError, SnapshotError};
 use crate::mergeable::{check_compatible, snapshot, MergeableSummary};
@@ -193,6 +194,26 @@ pub struct OptimalListHh {
     mode: EpochMode,
     samples: u64,
     rng: StdRng,
+    /// Materialized read-side results (the candidate estimates and the
+    /// thresholded report), invalidated by every query-visible mutation:
+    /// the sampled-insert path, `merge_from`, and (by construction,
+    /// since restore builds a fresh value) snapshot restore. Unsampled
+    /// inserts advance only sampler state, which no query reads, so they
+    /// leave the cache warm. See `QueryCache` and DESIGN.md §8.
+    cache: QueryCache<ReadCache>,
+}
+
+/// What a quiescent summary serves without touching T2/T3: the
+/// median-of-repetitions *sampled-stream* estimate for every current T1
+/// candidate, plus the finished report built from them.
+#[derive(Debug, Clone)]
+struct ReadCache {
+    /// `(item, median sampled estimate)` for every T1 candidate —
+    /// including the below-threshold ones, so cached point queries hit
+    /// for any candidate, not only reported items.
+    candidates: Vec<(u64, f64)>,
+    /// The thresholded report (stream-scale counts).
+    report: Report,
 }
 
 impl OptimalListHh {
@@ -291,6 +312,7 @@ impl OptimalListHh {
             mode,
             samples: 0,
             rng,
+            cache: QueryCache::new(),
         })
     }
 
@@ -382,6 +404,31 @@ impl OptimalListHh {
         n.checked_sub(1).map(|e| e as u32)
     }
 
+    /// The epoch byte for a T2 value `v`: the number of thresholds it
+    /// clears, minus one (zero wraps to [`EPOCH_NONE`]), with a
+    /// below-epoch-0 early out on the first threshold — the common case
+    /// on realistic workloads. The single source of truth for both bulk
+    /// recompute sites (snapshot restore and the merge fast path); must
+    /// agree with the [`OptimalListHh::epoch`] table lookup, which the
+    /// `bulk_epoch_recompute_matches_lookup` test pins.
+    #[inline]
+    fn epoch_of(v: u64, thresholds: &[u64]) -> u8 {
+        if v < thresholds[0] {
+            EPOCH_NONE
+        } else {
+            let cleared: u8 = thresholds.iter().map(|&t| u8::from(v >= t)).sum();
+            cleared.wrapping_sub(1)
+        }
+    }
+
+    /// Recomputes the whole epoch cache from a T2 table. Used by
+    /// snapshot restore (the cache is derived state and is not
+    /// serialized); the merge fast path applies [`OptimalListHh::epoch_of`]
+    /// selectively instead.
+    fn epochs_from_t2(t2: &[u64], thresholds: &[u64]) -> Vec<u8> {
+        t2.iter().map(|&v| Self::epoch_of(v, thresholds)).collect()
+    }
+
     /// Refreshes a cached epoch after its T2 counter reached `v`. The old
     /// value is a valid starting hint because epochs only grow, so the
     /// scan is O(1) amortized over a counter's lifetime.
@@ -400,42 +447,51 @@ impl OptimalListHh {
         }
     }
 
-    /// Per-repetition estimate `f̂_j(x)` of the sampled-stream count of
-    /// `x`'s bucket.
-    fn estimate_rep(&self, j: usize, item: u64) -> f64 {
-        let cell = j * self.buckets as usize + self.hashes[j].hash(item) as usize;
-        // 1/ε̂ = 2^k (exact in f64 for every admissible k).
-        let inv_eps_hat = (2f64).powi(self.k_eps as i32);
+    /// Sampled-stream estimate for one `(repetition, bucket)` cell of
+    /// the flat tables. All the `p_t = 2^{t−k}` rescalings are powers of
+    /// two, so the whole sum `Σ_t T3[t]/p_t` is formed as **integer
+    /// shifts** into a `u128` accumulator and converted to `f64` once —
+    /// no `powi` calls, no per-epoch float rounding. (The `u128` keeps
+    /// the `t << (k − t)` terms exact even at `k = 64`.)
+    #[inline]
+    fn cell_estimate(&self, cell: usize) -> f64 {
+        let k = self.k_eps;
+        // T2/ε̂ = T2 · 2^k, the flat-rate (and below-epoch-0 fallback)
+        // estimate: when the stream is shorter than the paper's
+        // m = poly(1/ε) regime a bucket may never reach epoch 0, leaving
+        // T3 empty; the ε̂-rate tracker T2 is an unbiased
+        // (higher-variance) estimate of the same count, and using it
+        // beats reporting zero (implementation hardening, DESIGN.md).
+        let flat = (self.t2[cell] as u128) << k;
         match self.mode {
-            EpochMode::Flat => self.t2[cell] as f64 * inv_eps_hat,
+            EpochMode::Flat => flat as f64,
             EpochMode::Accelerated => {
-                let base = cell * (self.k_eps as usize + 1);
-                let t3_sum: f64 = (0..=self.k_eps)
-                    .map(|t| {
-                        // p_t = 2^{t−k}; divide by it ⇒ multiply by 2^{k−t}.
-                        self.t3[base + t as usize] as f64 * (2f64).powi((self.k_eps - t) as i32)
-                    })
-                    .sum();
-                if t3_sum > 0.0 {
-                    t3_sum
+                let base = cell * (k as usize + 1);
+                let mut acc: u128 = 0;
+                for t in 0..=k {
+                    // p_t = 2^{t−k}; divide by it ⇒ shift left by k − t.
+                    acc += (self.t3[base + t as usize] as u128) << (k - t);
+                }
+                if acc > 0 {
+                    acc as f64
                 } else {
-                    // Below-epoch-0 fallback (implementation hardening,
-                    // documented in DESIGN.md): when the stream is shorter
-                    // than the paper's m = poly(1/ε) regime the bucket may
-                    // never reach epoch 0, leaving T3 empty. The ε̂-rate
-                    // tracker T2 is an unbiased (higher-variance) estimate
-                    // of the same count; using it beats reporting zero.
-                    self.t2[cell] as f64 * inv_eps_hat
+                    flat as f64
                 }
             }
         }
     }
 
+    /// Per-repetition estimate `f̂_j(x)` of the sampled-stream count of
+    /// `x`'s bucket.
+    fn estimate_rep(&self, j: usize, item: u64) -> f64 {
+        self.cell_estimate(j * self.buckets as usize + self.hashes[j].hash(item) as usize)
+    }
+
     /// Median-of-repetitions estimate of the sampled-stream count of
     /// `item`'s buckets. A stack scratch buffer and a linear-time
     /// selection replace the per-query allocation and full sort; queries
-    /// stay `&self`-pure (no interior mutability), so concurrent
-    /// read-only reporting over a shared reference keeps compiling.
+    /// stay `&self`-pure, so concurrent read-only reporting over a
+    /// shared reference keeps compiling.
     fn estimate_sampled(&self, item: u64) -> f64 {
         let r = self.hashes.len();
         // R = Θ(log φ⁻¹): 64 covers every reachable configuration down
@@ -451,9 +507,70 @@ impl OptimalListHh {
         for (j, e) in ests.iter_mut().enumerate() {
             *e = self.estimate_rep(j, item);
         }
-        let mid = r / 2;
+        Self::median(ests)
+    }
+
+    /// Median by linear-time selection (total order via `total_cmp`; the
+    /// estimates are never NaN — they are shifted integer counts).
+    fn median(ests: &mut [f64]) -> f64 {
+        let mid = ests.len() / 2;
         let (_, med, _) = ests.select_nth_unstable_by(mid, |a, b| a.total_cmp(b));
         *med
+    }
+
+    /// Builds the read cache: one **rep-major** pass over the flat
+    /// tables filling an `R × |candidates|` estimate matrix, then a
+    /// median per candidate and the `(φ − ε/2)s` threshold cut.
+    ///
+    /// Rep-major order matters on the cold path: repetition `j`'s hash
+    /// and its T2/T3 rows are read for *all* candidates before moving to
+    /// repetition `j + 1`, so each pass touches one contiguous row of
+    /// the big tables instead of striding the full `R`-row span per
+    /// item. Per-`(j, item)` arithmetic is `cell_estimate`,
+    /// the same function the single-item path uses, so cached and cold
+    /// answers are bit-identical.
+    fn build_read_cache(&self) -> ReadCache {
+        if self.samples == 0 {
+            return ReadCache {
+                candidates: Vec::new(),
+                report: Report::default(),
+            };
+        }
+        let items: Vec<u64> = self.t1.live_entries().map(|(item, _)| item).collect();
+        let r = self.hashes.len();
+        let b = self.buckets as usize;
+        // Estimate matrix, item-major rows filled in rep-major order
+        // (strided writes into a candidate-sized scratch, sequential
+        // reads from the table rows — the tables are the big side).
+        let mut ests = vec![0f64; items.len() * r];
+        for (j, h) in self.hashes.iter().enumerate() {
+            for (i, &item) in items.iter().enumerate() {
+                ests[i * r + j] = self.cell_estimate(j * b + h.hash(item) as usize);
+            }
+        }
+        let threshold = (self.params.phi() - self.params.eps() / 2.0) * self.samples as f64;
+        let mut candidates = Vec::with_capacity(items.len());
+        let mut reported = Vec::new();
+        for (i, &item) in items.iter().enumerate() {
+            let est = Self::median(&mut ests[i * r..(i + 1) * r]);
+            candidates.push((item, est));
+            if est >= threshold {
+                reported.push(ItemEstimate {
+                    item,
+                    count: est / self.p,
+                });
+            }
+        }
+        ReadCache {
+            candidates,
+            report: Report::new(reported),
+        }
+    }
+
+    /// The materialized read-side results, building them if a mutation
+    /// (or construction) left the cache cold.
+    fn read_cache(&self) -> &ReadCache {
+        self.cache.get_or_build(|| self.build_read_cache())
     }
 }
 
@@ -482,6 +599,17 @@ impl StreamSummary for OptimalListHh {
             items.iter().all(|&x| x < self.universe),
             "item outside declared universe"
         );
+        // Degenerate rate p = 1 (short advertised streams): every item
+        // is sampled, so there are no unsampled runs to skip and the
+        // `next_within` bookkeeping is pure overhead per element.
+        // Delegate to the scalar loop — identical state and RNG draws
+        // by the batch contract — so batching is never a pessimization.
+        if self.sampler.exponent() == 0 {
+            for &x in items {
+                self.insert(x);
+            }
+            return;
+        }
         let mut i = 0usize;
         let n = items.len();
         while i < n {
@@ -502,6 +630,10 @@ impl OptimalListHh {
     /// T2/T3 pass.
     #[inline(never)]
     fn sampled_insert(&mut self, item: u64) {
+        // Every sampled item is query-visible (it moves `samples`, T1,
+        // and the tables); unsampled items never reach this function, so
+        // they keep the read cache warm.
+        self.cache.invalidate();
         self.samples += 1;
         self.t1.insert(item);
 
@@ -568,22 +700,12 @@ impl OptimalListHh {
 }
 
 impl HeavyHitters for OptimalListHh {
+    /// The (ε, φ)-heavy-hitters report. After a quiescent period this is
+    /// a cache hit — one clone of the materialized report — instead of a
+    /// T2/T3 rescan; the first query after a mutation rebuilds the cache
+    /// with the rep-major batched candidate scan.
     fn report(&self) -> Report {
-        if self.samples == 0 {
-            return Report::default();
-        }
-        let threshold = (self.params.phi() - self.params.eps() / 2.0) * self.samples as f64;
-        self.t1
-            .entries()
-            .into_iter()
-            .filter_map(|(item, _)| {
-                let est = self.estimate_sampled(item);
-                (est >= threshold).then_some(ItemEstimate {
-                    item,
-                    count: est / self.p,
-                })
-            })
-            .collect()
+        self.read_cache().report.clone()
     }
 }
 
@@ -591,7 +713,18 @@ impl crate::traits::FrequencyEstimator for OptimalListHh {
     /// Point query: the median-of-repetitions bucket estimate scaled back
     /// by the sampling rate. Unlike the report path this works for any
     /// item, with accuracy `±(εm + collision mass of the item's buckets)`.
+    /// When the read cache is warm and `item` is a T1 candidate, the
+    /// answer is served from the cached candidate estimates (which hold
+    /// exactly the value the cold scan would produce); other items — or
+    /// a cold cache — fall through to the direct scan without building
+    /// the cache, since a single point query costs less than a full
+    /// candidate pass.
     fn estimate(&self, item: u64) -> f64 {
+        if let Some(cache) = self.cache.get() {
+            if let Some(&(_, est)) = cache.candidates.iter().find(|&&(i, _)| i == item) {
+                return est / self.p;
+            }
+        }
         self.estimate_sampled(item) / self.p
     }
 }
@@ -614,25 +747,36 @@ impl SpaceUsage for OptimalListHh {
     }
 }
 
-/// Snapshot format version tag.
-const A2_TAG: &str = "hh.algo2.v1";
+/// Snapshot format version tag. v2 re-encodes the big arrays through
+/// the codec's bulk byte channel: T2/T3 as varint blocks, the epoch
+/// cache as raw bytes, the (monotone) threshold table delta-coded.
+const A2_TAG: &str = "hh.algo2.v2";
 
 /// Full-state snapshot: parameters, every hash seed, the T1/T2/T3
 /// tables with their epoch caches, and the three randomness sources
 /// (front-end sampler, T2 skip, T3 bit budget, backing RNG). The
 /// branchless trial tables and the Lemire constants are derived from
-/// `ε̂` at restore time, not stored.
+/// `ε̂` at restore time, not stored — and neither is the read cache,
+/// which a restored instance rebuilds on first query.
+///
+/// The counter tables dominate the payload, so they go through the
+/// varint/delta slice helpers ([`snapshot::write_u64_slice`] and
+/// friends) as preallocated byte blocks instead of one codec call per
+/// cell; the `reserve` hint up front sizes the output buffer once so
+/// the whole snapshot is written into a single allocation.
 impl Serialize for OptimalListHh {
     fn serialize<S: serde::Serializer>(&self, mut serializer: S) -> Result<S::Ok, S::Error> {
+        // Preallocate: ~1 varint byte per counter cell plus a
+        // fixed-field allowance (the epoch cache is not on the wire).
+        serializer.reserve(self.t2.len() + self.t3.len() + 512);
         self.params.serialize(&mut serializer)?;
         serializer.write_u64(self.universe)?;
         self.sampler.serialize(&mut serializer)?;
         self.t1.serialize(&mut serializer)?;
         self.hashes.serialize(&mut serializer)?;
-        self.t2.serialize(&mut serializer)?;
-        self.t3.serialize(&mut serializer)?;
-        self.epochs.serialize(&mut serializer)?;
-        self.epoch_thresholds.serialize(&mut serializer)?;
+        snapshot::write_u64_slice(&self.t2, &mut serializer)?;
+        snapshot::write_u64_slice(&self.t3, &mut serializer)?;
+        snapshot::write_u64_slice_delta(&self.epoch_thresholds, &mut serializer)?;
         serializer.write_u64(self.k_eps as u64)?;
         self.t2_skip.serialize(&mut serializer)?;
         self.bits.serialize(&mut serializer)?;
@@ -653,10 +797,9 @@ impl<'de> Deserialize<'de> for OptimalListHh {
         let sampler = BitSkipSampler::deserialize(&mut deserializer)?;
         let t1 = MisraGries::deserialize(&mut deserializer)?;
         let hashes: Vec<MultiplyShift64Hash> = Vec::deserialize(&mut deserializer)?;
-        let t2: Vec<u64> = Vec::deserialize(&mut deserializer)?;
-        let t3: Vec<u64> = Vec::deserialize(&mut deserializer)?;
-        let epochs: Vec<u8> = Vec::deserialize(&mut deserializer)?;
-        let epoch_thresholds: Vec<u64> = Vec::deserialize(&mut deserializer)?;
+        let t2: Vec<u64> = snapshot::read_u64_slice(&mut deserializer)?;
+        let t3: Vec<u64> = snapshot::read_u64_slice(&mut deserializer)?;
+        let epoch_thresholds: Vec<u64> = snapshot::read_u64_slice_delta(&mut deserializer)?;
         let k_eps = deserializer.read_u64()?;
         if k_eps > 64 {
             return Err(serde::de::Error::custom("epsilon exponent above 64"));
@@ -677,15 +820,18 @@ impl<'de> Deserialize<'de> for OptimalListHh {
             return Err(serde::de::Error::custom("repetition ranges disagree"));
         }
         let cells = r * buckets as usize;
-        if t2.len() != cells
-            || epochs.len() != cells
-            || t3.len() != cells * (k_eps as usize + 1) + r
-        {
+        if t2.len() != cells || t3.len() != cells * (k_eps as usize + 1) + r {
             return Err(serde::de::Error::custom("table shapes inconsistent"));
         }
         if epoch_thresholds.len() != k_eps as usize + 1 {
             return Err(serde::de::Error::custom("epoch table shape inconsistent"));
         }
+        // The epoch cache is derived state (the threshold-table lookup
+        // of each T2 value, which `advance_epoch` maintains exactly):
+        // recomputing it here instead of trusting the wire keeps the
+        // snapshot smaller and guarantees the T3-row invariant the
+        // merge fast path relies on even for hand-crafted buffers.
+        let epochs = Self::epochs_from_t2(&t2, &epoch_thresholds);
         let (t3_mask, t3_add, t3_slot) = trial_tables(k_eps);
         Ok(Self {
             params,
@@ -712,6 +858,7 @@ impl<'de> Deserialize<'de> for OptimalListHh {
             },
             samples,
             rng,
+            cache: QueryCache::new(),
         })
     }
 }
@@ -724,9 +871,16 @@ impl MergeableSummary for OptimalListHh {
     /// subsample of its bucket's arrivals, so the unbiased estimator
     /// `Σ_t T3[i,j,t]/p_t` and the Claim-2 variance argument carry over
     /// with the combined sample count. The candidate table merges as
-    /// Misra–Gries, the epoch caches advance to the merged `T2` values
-    /// (epochs are monotone in `T2`, so the cached value is a valid
-    /// starting hint), and sample counts add.
+    /// Misra–Gries, the epoch caches are recomputed outright from the
+    /// merged `T2` values, and sample counts add.
+    ///
+    /// The pass is built for the read side's cadence (window rotations
+    /// and combiner trees issue merges constantly): `T2` adds and the
+    /// epoch recompute run fused over contiguous slices with a
+    /// below-epoch-0 early out, and the `T3` sweep consults *other*'s
+    /// epoch bytes to add only the rows that can carry mass — a bucket
+    /// below epoch 0 has an identically zero row, which on realistic
+    /// workloads is nearly all of them.
     ///
     /// # Example
     ///
@@ -756,20 +910,91 @@ impl MergeableSummary for OptimalListHh {
             "epoch thresholds",
         )?;
         check_compatible(&self.mode, &other.mode, "epoch modes")?;
+        self.cache.invalidate();
         self.t1.merge_from(&other.t1)?;
         self.samples += other.samples;
-        for (c, &o) in self.t2.iter_mut().zip(&other.t2) {
-            *c += o;
+        // T2 and the epoch cache, processed in 8-cell blocks. Per
+        // block: add the two T2 slices cell-wise while folding the
+        // running max (fixed-trip loops over fixed-width subslices, so
+        // the compiler unrolls and vectorizes them), then touch the
+        // epoch bytes **only when the block's max clears epoch 0**. The
+        // skip is sound because epochs are exact for the pre-merge
+        // values and monotone: a merged value below `thresholds[0]`
+        // forces both inputs below it, so the cached byte is already
+        // `EPOCH_NONE`. On realistic workloads nearly every bucket sits
+        // below epoch 0, which turns the data-dependent per-cell
+        // `advance_epoch` walk this replaces into one predictable
+        // branch per block; live blocks recompute outright through
+        // [`OptimalListHh::epoch_of`] (shared with snapshot restore).
+        let thresholds = self.epoch_thresholds.as_slice();
+        let thr0 = thresholds[0];
+        let blocks = self.t2.len() / 8;
+        for g in 0..blocks {
+            let base = g * 8;
+            let dst = &mut self.t2[base..base + 8];
+            let src = &other.t2[base..base + 8];
+            let mut max = 0u64;
+            for (c, &o) in dst.iter_mut().zip(src) {
+                let v = *c + o;
+                *c = v;
+                max = max.max(v);
+            }
+            if max >= thr0 {
+                for (e, &v) in self.epochs[base..base + 8].iter_mut().zip(dst.iter()) {
+                    *e = Self::epoch_of(v, thresholds);
+                }
+            }
         }
-        // T3 adds cell-wise; the trailing per-repetition sink cells add
-        // too, which keeps them what they are — discarded trials.
-        for (c, &o) in self.t3.iter_mut().zip(&other.t3) {
-            *c += o;
+        for cell in blocks * 8..self.t2.len() {
+            self.t2[cell] += other.t2[cell];
+            self.epochs[cell] = Self::epoch_of(self.t2[cell], thresholds);
         }
-        // Epoch caches: merged T2 only grew, so advancing from the
-        // cached epoch re-establishes the cache invariant.
-        for (e, &v) in self.epochs.iter_mut().zip(&self.t2) {
-            *e = Self::advance_epoch(&self.epoch_thresholds, *e, v);
+        // T3 adds cell-wise, but only for rows that can carry mass: a
+        // trial records into `T3[cell, ·]` only while the cell's cached
+        // epoch is live, and epochs never regress, so
+        // `other.epochs[cell] == EPOCH_NONE` proves other's whole
+        // `(k+1)`-slot row is zero. Other's epoch bytes are scanned 8
+        // at a time — an all-dead group is one `u64 == MAX` test (the
+        // sentinel is `0xFF`), the same SWAR shape as the sampler's
+        // zero-chunk scan — so the sweep costs 1/(8(k+1)) of the row
+        // table plus the touched rows, instead of an element-by-element
+        // pass over both full tables.
+        let kp1 = self.k_eps as usize + 1;
+        let groups = other.epochs.len() / 8 * 8;
+        for (g, chunk) in other.epochs[..groups].chunks_exact(8).enumerate() {
+            let packed = u64::from_le_bytes(chunk.try_into().expect("group width"));
+            if packed == u64::MAX {
+                continue;
+            }
+            for (i, _) in chunk.iter().enumerate().filter(|&(_, &e)| e != EPOCH_NONE) {
+                let base = (g * 8 + i) * kp1;
+                for (c, &o) in self.t3[base..base + kp1]
+                    .iter_mut()
+                    .zip(&other.t3[base..base + kp1])
+                {
+                    *c += o;
+                }
+            }
+        }
+        for (cell, _) in other.epochs[groups..]
+            .iter()
+            .enumerate()
+            .filter(|&(_, &e)| e != EPOCH_NONE)
+        {
+            let base = (groups + cell) * kp1;
+            for (c, &o) in self.t3[base..base + kp1]
+                .iter_mut()
+                .zip(&other.t3[base..base + kp1])
+            {
+                *c += o;
+            }
+        }
+        // The trailing per-repetition sink cells absorb mass regardless
+        // of any epoch, so they always add — which keeps them what they
+        // are, discarded trials.
+        let sink = self.t3.len() - self.hashes.len();
+        for (c, &o) in self.t3[sink..].iter_mut().zip(&other.t3[sink..]) {
+            *c += o;
         }
         Ok(())
     }
@@ -1004,6 +1229,29 @@ mod tests {
     }
 
     #[test]
+    fn saturated_rate_batch_delegates_and_stays_bit_identical() {
+        // A short advertised stream saturates p = 1 (exponent 0): the
+        // batch path must delegate to the scalar loop and still match
+        // element-wise insertion exactly.
+        let m = 2_000u64;
+        let params = HhParams::with_delta(0.1, 0.3, 0.1).unwrap();
+        let mut a = OptimalListHh::new(params, 1 << 20, m, 11).unwrap();
+        assert_eq!(a.sampling_probability(), 1.0, "test needs the p = 1 regime");
+        let stream: Vec<u64> = (0..m).map(|i| if i % 3 == 0 { 5 } else { i }).collect();
+        let mut b = OptimalListHh::new(params, 1 << 20, m, 11).unwrap();
+        for &x in &stream {
+            a.insert(x);
+        }
+        for chunk in stream.chunks(311) {
+            b.insert_batch(chunk);
+        }
+        assert_eq!(a.samples(), b.samples());
+        assert_eq!(a.t2, b.t2);
+        assert_eq!(a.t3, b.t3);
+        assert_eq!(a.report().entries(), b.report().entries());
+    }
+
+    #[test]
     fn point_queries_track_heavy_items() {
         use crate::traits::FrequencyEstimator;
         let m = 400_000u64;
@@ -1100,6 +1348,58 @@ mod tests {
             };
             assert_eq!(a.epochs[cell], expect, "cell {cell} cache stale");
         }
+    }
+
+    #[test]
+    fn bulk_epoch_recompute_matches_lookup() {
+        // `epochs_from_t2` (restore) and the merge fast path recompute
+        // epochs wholesale; both must agree with the threshold-table
+        // lookup cell for cell, including at every boundary.
+        let params = HhParams::with_delta(0.02, 0.1, 0.1).unwrap();
+        let a = OptimalListHh::new(params, 1 << 20, 1 << 20, 5).unwrap();
+        let mut probes: Vec<u64> = (0..5000).collect();
+        probes.extend(
+            a.epoch_thresholds
+                .iter()
+                .flat_map(|&t| [t.saturating_sub(1), t, t + 1]),
+        );
+        let recomputed = OptimalListHh::epochs_from_t2(&probes, &a.epoch_thresholds);
+        for (&v, &e) in probes.iter().zip(&recomputed) {
+            let expect = match a.epoch(v) {
+                None => EPOCH_NONE,
+                Some(t) => t as u8,
+            };
+            assert_eq!(e, expect, "v={v}");
+        }
+    }
+
+    #[test]
+    fn dead_epoch_rows_carry_no_t3_mass() {
+        // The merge fast path skips other's T3 rows whose cached epoch
+        // is EPOCH_NONE; that is sound only if such rows are identically
+        // zero. Check the invariant on a loaded summary.
+        let m = 400_000u64;
+        let (a, _) = run(
+            m,
+            &[(7, 0.3), (8, 0.16)],
+            0.05,
+            0.15,
+            77,
+            EpochMode::Accelerated,
+        );
+        let kp1 = a.k_eps as usize + 1;
+        let mut live = 0usize;
+        for (cell, &e) in a.epochs.iter().enumerate() {
+            if e == EPOCH_NONE {
+                assert!(
+                    a.t3[cell * kp1..(cell + 1) * kp1].iter().all(|&c| c == 0),
+                    "dead cell {cell} carries T3 mass"
+                );
+            } else {
+                live += 1;
+            }
+        }
+        assert!(live > 0, "workload never reached epoch 0 — test is vacuous");
     }
 
     #[test]

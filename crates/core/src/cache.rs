@@ -1,0 +1,130 @@
+//! The read-side cache primitive behind the incremental query engine.
+//!
+//! Every summary in the workspace answers `report()` (and often
+//! `estimate()`) by recomputing from its tables. The write path is
+//! hardware-fast after PRs 2–3, which makes recomputation the read
+//! side's whole cost: a serving process that takes millions of point
+//! queries against a quiescent summary pays the full table scan per
+//! query. [`QueryCache`] turns that scan into a one-time cost per
+//! *write epoch*: queries materialize their result once and reuse it
+//! until the next mutation invalidates it.
+//!
+//! # The invalidation contract (see DESIGN.md §8)
+//!
+//! * Queries take `&self` and must stay callable concurrently, so the
+//!   cache is a [`std::sync::OnceLock`]: the first query after a write
+//!   builds the value, racers block briefly, everyone shares the result.
+//! * Every mutation that can change a query answer **must** call
+//!   [`QueryCache::invalidate`]. Mutations take `&mut self`, so
+//!   invalidation is a plain (non-atomic) store — it costs nothing on
+//!   the update hot path beyond one branch when the cache is empty.
+//!   That covers `insert` (for summaries whose every insert is
+//!   query-visible), the *sampled* branch of sampling summaries (an
+//!   unsampled item changes only sampler state, which no query reads),
+//!   `insert_batch`, `merge_from`, and window rotation.
+//! * Restore (`from_bytes`) constructs a fresh value, which starts
+//!   cold by definition; snapshots never carry the cache.
+//! * [`Clone`] produces a **cold** clone. The cache is derived state, so
+//!   this preserves semantics, keeps clones cheap, and gives tests a
+//!   one-line way to compare a warm summary against a cold rebuild.
+
+use std::sync::OnceLock;
+
+/// A dirty-flag materialized query result: built lazily under `&self`,
+/// dropped eagerly under `&mut self`.
+///
+/// The type deliberately has no generation counter — mutations hold
+/// `&mut self`, so "bump the generation" and "drop the value" are the
+/// same operation, and a stale read is unrepresentable.
+#[derive(Default)]
+pub struct QueryCache<T> {
+    slot: OnceLock<T>,
+}
+
+impl<T> QueryCache<T> {
+    /// An empty (cold) cache.
+    pub const fn new() -> Self {
+        Self {
+            slot: OnceLock::new(),
+        }
+    }
+
+    /// The cached value, or `None` when cold.
+    #[inline]
+    pub fn get(&self) -> Option<&T> {
+        self.slot.get()
+    }
+
+    /// The cached value, building it with `build` on a cold cache.
+    #[inline]
+    pub fn get_or_build(&self, build: impl FnOnce() -> T) -> &T {
+        self.slot.get_or_init(build)
+    }
+
+    /// Drops the cached value. Every `&mut self` mutation whose effect a
+    /// query could observe must call this; see the module docs for the
+    /// full contract.
+    #[inline]
+    pub fn invalidate(&mut self) {
+        // `take` needs no atomics under `&mut`: on the common (already
+        // cold) update path this is one load and a branch.
+        self.slot.take();
+    }
+}
+
+/// Clones are cold: the cache holds derived state that the clone can
+/// rebuild on first query (and `OnceLock` clones would otherwise force
+/// `T: Clone` on every holder even where it is never used).
+impl<T> Clone for QueryCache<T> {
+    fn clone(&self) -> Self {
+        Self::new()
+    }
+}
+
+impl<T> std::fmt::Debug for QueryCache<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.get() {
+            Some(_) => f.write_str("QueryCache(warm)"),
+            None => f.write_str("QueryCache(cold)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_once_and_reuses() {
+        let cache: QueryCache<u64> = QueryCache::new();
+        assert_eq!(cache.get(), None);
+        let mut builds = 0;
+        for _ in 0..3 {
+            let v = *cache.get_or_build(|| {
+                builds += 1;
+                42
+            });
+            assert_eq!(v, 42);
+        }
+        assert_eq!(builds, 1);
+        assert_eq!(cache.get(), Some(&42));
+    }
+
+    #[test]
+    fn invalidate_forces_rebuild() {
+        let mut cache: QueryCache<u64> = QueryCache::new();
+        assert_eq!(*cache.get_or_build(|| 1), 1);
+        cache.invalidate();
+        assert_eq!(cache.get(), None);
+        assert_eq!(*cache.get_or_build(|| 2), 2);
+    }
+
+    #[test]
+    fn clones_are_cold() {
+        let cache: QueryCache<u64> = QueryCache::new();
+        cache.get_or_build(|| 7);
+        let cloned = cache.clone();
+        assert_eq!(cloned.get(), None);
+        assert_eq!(cache.get(), Some(&7));
+    }
+}

@@ -55,6 +55,7 @@
 
 pub mod algo1;
 pub mod algo2;
+pub mod cache;
 pub mod config;
 pub mod error;
 pub mod maximum;
@@ -67,6 +68,7 @@ pub mod unknown;
 
 pub use algo1::SimpleListHh;
 pub use algo2::{EpochMode, OptimalListHh};
+pub use cache::QueryCache;
 pub use config::{Constants, HhParams};
 pub use error::{MergeError, ParamError, SnapshotError};
 pub use maximum::EpsMaximum;

@@ -141,11 +141,15 @@ pub mod snapshot {
     ) -> Result<T, SnapshotError> {
         let mut r = bincode::Reader::new(bytes);
         use serde::Deserializer as _;
-        let found = r
-            .read_string()
+        // In-place tag comparison — the matching (hot) case allocates
+        // nothing; only a mismatch re-reads the tag for the error.
+        let matches = r
+            .check_str(tag)
             .map_err(|e| SnapshotError::Malformed(e.to_string()))?;
-        if found != tag {
-            let mut found = found;
+        if !matches {
+            let mut found = bincode::Reader::new(bytes)
+                .read_string()
+                .map_err(|e| SnapshotError::Malformed(e.to_string()))?;
             found.truncate(64);
             return Err(SnapshotError::WrongTag {
                 expected: tag,
@@ -153,6 +157,59 @@ pub mod snapshot {
             });
         }
         T::deserialize(&mut r).map_err(|e| SnapshotError::Malformed(e.to_string()))
+    }
+
+    /// Writes a `u64` counter slice as one varint block through the
+    /// codec's bulk byte channel: element count, then every value
+    /// LEB128-encoded into a single length-prefixed byte string. For
+    /// the counter tables of the paper's algorithms — tens of
+    /// thousands of cells worth `O(1)` expected bits each — this
+    /// replaces one codec call and 8 bytes per cell with one bulk call
+    /// and ~1 byte per cell.
+    pub fn write_u64_slice<S: serde::Serializer>(
+        values: &[u64],
+        serializer: &mut S,
+    ) -> Result<(), S::Error> {
+        serializer.write_seq_len(values.len())?;
+        serializer.write_byte_seq(&hh_space::encode_uvarints(values))
+    }
+
+    /// Reads back a slice written by [`write_u64_slice`], validating
+    /// the block exhaustively (count, truncation, overlong runs,
+    /// trailing bytes).
+    pub fn read_u64_slice<'de, D: serde::Deserializer<'de>>(
+        deserializer: &mut D,
+    ) -> Result<Vec<u64>, D::Error> {
+        let n = deserializer.read_seq_len()?;
+        let block = deserializer.read_byte_seq()?;
+        hh_space::decode_uvarints(&block, n)
+            .ok_or_else(|| serde::de::Error::custom("malformed varint counter block"))
+    }
+
+    /// Like [`write_u64_slice`] but delta-encoded, for **non-decreasing**
+    /// slices (threshold tables): first value, then LEB128 gaps.
+    ///
+    /// # Errors
+    /// If the slice decreases anywhere (a caller bug, surfaced as a
+    /// serialization error rather than silently mis-encoded).
+    pub fn write_u64_slice_delta<S: serde::Serializer>(
+        values: &[u64],
+        serializer: &mut S,
+    ) -> Result<(), S::Error> {
+        let block = hh_space::encode_deltas(values)
+            .ok_or_else(|| serde::ser::Error::custom("delta-encoding a decreasing slice"))?;
+        serializer.write_seq_len(values.len())?;
+        serializer.write_byte_seq(&block)
+    }
+
+    /// Reads back a slice written by [`write_u64_slice_delta`].
+    pub fn read_u64_slice_delta<'de, D: serde::Deserializer<'de>>(
+        deserializer: &mut D,
+    ) -> Result<Vec<u64>, D::Error> {
+        let n = deserializer.read_seq_len()?;
+        let block = deserializer.read_byte_seq()?;
+        hh_space::decode_deltas(&block, n)
+            .ok_or_else(|| serde::de::Error::custom("malformed delta counter block"))
     }
 
     /// Serializes a `[u64; 4]` RNG state (helper for the manual serde

@@ -139,6 +139,16 @@ impl MisraGries {
             .map(|(&k, &c)| (k, c))
     }
 
+    /// Live `(key, count)` pairs in **slot order** (unsorted, no
+    /// allocation). This is the read-side fast path for embedding
+    /// algorithms that only need the candidate key set — e.g.
+    /// Algorithm 2's report pass — and re-rank by their own estimates
+    /// anyway; use [`MisraGries::entries`] when decreasing-count order
+    /// matters.
+    pub fn live_entries(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.live()
+    }
+
     /// Current `(key, count)` pairs in decreasing count order.
     pub fn entries(&self) -> Vec<(u64, u64)> {
         let mut v: Vec<(u64, u64)> = self.live().collect();
@@ -184,53 +194,104 @@ impl MisraGries {
     /// standard mergeable-summaries construction, which preserves the
     /// error bound `s/(k+1)` for the combined stream).
     ///
-    /// The combined multiset is assembled in a side list, reduced, and
-    /// only then placed into the fixed-size slot array: `other` may hold
-    /// more live entries than this table has slots (capacities need not
-    /// match), so merging in-table could fill every slot and leave the
-    /// probe loops nowhere to terminate.
+    /// The counter sums run **in-table**: keys `other` shares with this
+    /// table add straight into their slots (one probe each, no sorting
+    /// or searching side structures), and only the keys this table has
+    /// never seen go to a scratch list. If everything then fits within
+    /// capacity the merge is done — the common case when the two tables
+    /// track similar key sets, e.g. two halves of one skewed stream. On
+    /// overflow the combined multiset is assembled in the (reused)
+    /// scratch buffer, the `(k+1)`-th largest count is selected in
+    /// place, and the survivors rebuild the slot array — `other` may
+    /// hold more live entries than this table has slots (capacities
+    /// need not match), so unconditional in-table *insertion* could
+    /// fill every slot and leave the probe loops nowhere to terminate.
+    /// Merges sit on the read side's window-rotation and combiner
+    /// cadence, so the whole path allocates nothing after the first
+    /// call.
     pub fn merge(&mut self, other: &MisraGries) {
-        let mut combined: Vec<(u64, u64)> = self.live().collect();
-        combined.sort_unstable();
+        self.processed += other.processed;
+        let mut extra = std::mem::take(&mut self.scratch);
+        extra.clear();
         for (k, c) in other.live() {
-            match combined.binary_search_by_key(&k, |&(key, _)| key) {
-                Ok(i) => combined[i].1 += c,
-                Err(i) => combined.insert(i, (k, c)),
+            if !self.add_if_present(k, c) {
+                extra.push((k, c));
             }
         }
-        self.processed += other.processed;
-        if combined.len() > self.capacity {
-            let mut counts: Vec<u64> = combined.iter().map(|&(_, c)| c).collect();
-            counts.sort_unstable_by(|a, b| b.cmp(a));
-            let cut = counts[self.capacity];
-            combined.retain_mut(|(_, c)| {
-                if *c > cut {
-                    *c -= cut;
-                    true
-                } else {
-                    false
-                }
-            });
+        if self.len + extra.len() <= self.capacity {
+            for &(k, c) in &extra {
+                self.place(k, c);
+            }
+            extra.clear();
+            self.scratch = extra;
+            return;
         }
+        // Overflow: reduce the combined multiset by the (k+1)-th
+        // largest count (the standard mergeable-summaries cut; key
+        // order is irrelevant from here on — the rebuild places by
+        // hash).
+        let mut combined = extra;
+        combined.extend(self.live());
+        let cap = self.capacity;
+        let (_, &mut (_, cut), _) = combined.select_nth_unstable_by(cap, |a, b| b.1.cmp(&a.1));
+        combined.retain_mut(|(_, c)| {
+            if *c > cut {
+                *c -= cut;
+                true
+            } else {
+                false
+            }
+        });
         self.scratch = combined;
         self.rebuild_from_scratch();
+    }
+
+    /// Adds `c` to `key`'s counter if the key is live; `false` leaves
+    /// the table untouched (merge helper).
+    #[inline]
+    fn add_if_present(&mut self, key: u64, c: u64) -> bool {
+        let mut i = self.home_slot(key);
+        loop {
+            let cc = self.counts[i];
+            if cc == 0 {
+                return false;
+            }
+            if self.keys[i] == key {
+                self.counts[i] = cc + c;
+                return true;
+            }
+            i = (i + 1) & self.mask;
+        }
     }
 }
 
 /// Snapshot format version tag (see [`MergeableSummary::to_bytes`]).
-const MG_TAG: &str = "hh.misra-gries.v1";
+/// v2 carries the keys and counts as two varint blocks through the
+/// codec's bulk byte channel instead of one codec call per pair.
+const MG_TAG: &str = "hh.misra-gries.v2";
 
 /// Content snapshot: parameters, stream position, and the live
-/// `(key, count)` entries. The physical slot layout is probe-history
-/// noise and is deliberately not captured — restore rebuilds a fresh
-/// table with identical content, estimates, and space accounting
-/// (equality on this type is content-based for the same reason).
+/// `(key, count)` entries as one interleaved varint block (key, count,
+/// key, count, …) in slot order — a single buffer built and written in
+/// one pass, which is what keeps the round trip cheap for the
+/// few-dozen-entry tables the algorithms embed. The physical slot
+/// layout is probe-history noise and is deliberately not captured —
+/// restore rebuilds a fresh table with identical content, estimates,
+/// and space accounting (equality on this type is content-based for
+/// the same reason).
 impl Serialize for MisraGries {
     fn serialize<S: serde::Serializer>(&self, mut serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.reserve(self.len * 6 + 64);
         serializer.write_u64(self.capacity as u64)?;
         serializer.write_u64(self.key_bits)?;
         serializer.write_u64(self.processed)?;
-        self.entries().serialize(&mut serializer)?;
+        serializer.write_seq_len(self.len)?;
+        let mut block = Vec::with_capacity(self.len * 6 + 8);
+        for (k, c) in self.live() {
+            hh_space::varint::push_uvarint(&mut block, k);
+            hh_space::varint::push_uvarint(&mut block, c);
+        }
+        serializer.write_byte_seq(&block)?;
         serializer.done()
     }
 }
@@ -247,23 +308,32 @@ impl<'de> Deserialize<'de> for MisraGries {
         }
         let key_bits = deserializer.read_u64()?;
         let processed = deserializer.read_u64()?;
-        let entries: Vec<(u64, u64)> = Vec::deserialize(&mut deserializer)?;
-        if entries.len() > capacity as usize {
+        let n = deserializer.read_seq_len()?;
+        if n > capacity as usize {
             return Err(serde::de::Error::custom(
                 "MisraGries entries exceed capacity",
             ));
         }
-        if entries.iter().any(|&(_, c)| c == 0) {
-            return Err(serde::de::Error::custom("MisraGries zero-count entry"));
+        let block = deserializer.read_byte_seq()?;
+        let mut table = MisraGries::new(capacity as usize, key_bits);
+        let mut keys = Vec::with_capacity(n);
+        let mut pos = 0usize;
+        for _ in 0..n {
+            let bad = || serde::de::Error::custom("MisraGries malformed entry block");
+            let k = hh_space::varint::read_uvarint(&block, &mut pos).ok_or_else(bad)?;
+            let c = hh_space::varint::read_uvarint(&block, &mut pos).ok_or_else(bad)?;
+            if c == 0 {
+                return Err(serde::de::Error::custom("MisraGries zero-count entry"));
+            }
+            keys.push(k);
+            table.place(k, c);
         }
-        let mut keys: Vec<u64> = entries.iter().map(|&(k, _)| k).collect();
+        if pos != block.len() {
+            return Err(serde::de::Error::custom("MisraGries trailing bytes"));
+        }
         keys.sort_unstable();
         if keys.windows(2).any(|w| w[0] == w[1]) {
             return Err(serde::de::Error::custom("MisraGries duplicate keys"));
-        }
-        let mut table = MisraGries::new(capacity as usize, key_bits);
-        for &(k, c) in &entries {
-            table.place(k, c);
         }
         table.processed = processed;
         Ok(table)

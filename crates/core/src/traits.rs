@@ -51,10 +51,18 @@ pub trait StreamSummary {
 }
 
 /// Summaries that can answer the (ε, φ)-heavy-hitters query of
-/// Definition 1 at the end of the stream.
+/// Definition 1 at the end of the stream (or at any point of it — the
+/// query does not disturb the summary).
 pub trait HeavyHitters: StreamSummary {
     /// The output set `S` with estimates. Reporting time is linear in the
     /// output size for the paper's algorithms (Theorems 1 and 2).
+    ///
+    /// Every implementation in this workspace additionally serves
+    /// repeated reports against an unchanged summary from a
+    /// materialized cache (see [`crate::QueryCache`] and DESIGN.md §8):
+    /// the first query after a mutation pays the scan, subsequent ones
+    /// pay a clone of the finished report. Callers may therefore query
+    /// freely between batches without budgeting for rescans.
     fn report(&self) -> Report;
 }
 

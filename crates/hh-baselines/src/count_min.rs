@@ -14,8 +14,8 @@
 
 use hh_core::mergeable::snapshot;
 use hh_core::{
-    FrequencyEstimator, HeavyHitters, ItemEstimate, MergeError, MergeableSummary, Report,
-    SnapshotError, StreamSummary,
+    FrequencyEstimator, HeavyHitters, ItemEstimate, MergeError, MergeableSummary, QueryCache,
+    Report, SnapshotError, StreamSummary,
 };
 use hh_hash::FastMap;
 use hh_hash::{CarterWegmanFamily, CarterWegmanHash, HashFamily, HashFunction};
@@ -39,6 +39,8 @@ pub struct CountMin {
     processed: u64,
     eps: f64,
     phi: f64,
+    /// Materialized report; every mutation invalidates (see DESIGN.md §8).
+    cache: QueryCache<Report>,
 }
 
 impl CountMin {
@@ -83,6 +85,7 @@ impl CountMin {
             processed: 0,
             eps,
             phi,
+            cache: QueryCache::new(),
         }
     }
 
@@ -148,6 +151,7 @@ impl CountMin {
 
 impl StreamSummary for CountMin {
     fn insert(&mut self, item: u64) {
+        self.cache.invalidate();
         self.processed += 1;
         if self.conservative {
             let current = self.query(item);
@@ -178,6 +182,9 @@ impl StreamSummary for CountMin {
     /// Final state and candidate decisions are bit-identical to
     /// element-wise insertion.
     fn insert_batch(&mut self, items: &[u64]) {
+        if !items.is_empty() {
+            self.cache.invalidate();
+        }
         if self.conservative {
             // The conservative-update ablation interleaves queries and
             // raises in a way the two-pass split cannot reproduce.
@@ -213,8 +220,9 @@ impl StreamSummary for CountMin {
     }
 }
 
-impl HeavyHitters for CountMin {
-    fn report(&self) -> Report {
+impl CountMin {
+    /// The cold report pass behind the cached [`HeavyHitters::report`].
+    fn build_report(&self) -> Report {
         let m = self.processed as f64;
         let threshold = self.phi * m;
         self.candidates
@@ -224,6 +232,14 @@ impl HeavyHitters for CountMin {
                 (est >= threshold).then_some(ItemEstimate { item, count: est })
             })
             .collect()
+    }
+}
+
+impl HeavyHitters for CountMin {
+    /// The report — a cache hit after a quiescent period, a candidate
+    /// re-query on the first query after a mutation.
+    fn report(&self) -> Report {
+        self.cache.get_or_build(|| self.build_report()).clone()
     }
 }
 
@@ -291,6 +307,7 @@ impl<'de> Deserialize<'de> for CountMin {
             processed,
             eps,
             phi,
+            cache: QueryCache::new(),
         })
     }
 }
@@ -335,6 +352,7 @@ impl MergeableSummary for CountMin {
         if self.key_bits != other.key_bits {
             return Err(MergeError::Incompatible("key widths"));
         }
+        self.cache.invalidate();
         for ((_, row), (_, orow)) in self.rows.iter_mut().zip(&other.rows) {
             row.merge_add(orow);
         }

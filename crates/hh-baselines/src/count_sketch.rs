@@ -9,8 +9,8 @@
 
 use hh_core::mergeable::snapshot;
 use hh_core::{
-    FrequencyEstimator, HeavyHitters, ItemEstimate, MergeError, MergeableSummary, Report,
-    SnapshotError, StreamSummary,
+    FrequencyEstimator, HeavyHitters, ItemEstimate, MergeError, MergeableSummary, QueryCache,
+    Report, SnapshotError, StreamSummary,
 };
 use hh_hash::FastMap;
 use hh_hash::{HashFamily, HashFunction, PolynomialFamily, PolynomialHash};
@@ -30,6 +30,8 @@ pub struct CountSketch {
     key_bits: u64,
     processed: u64,
     phi: f64,
+    /// Materialized report; every mutation invalidates (see DESIGN.md §8).
+    cache: QueryCache<Report>,
 }
 
 impl CountSketch {
@@ -66,6 +68,7 @@ impl CountSketch {
             key_bits: hh_space::id_bits(universe),
             processed: 0,
             phi,
+            cache: QueryCache::new(),
         }
     }
 
@@ -151,6 +154,7 @@ impl CountSketch {
     /// paid two for the update and two more for the tracking query.
     #[inline]
     fn insert_fused(&mut self, item: u64) {
+        self.cache.invalidate();
         self.processed += 1;
         let d = self.rows.len();
         let mut stack = [0i64; 16];
@@ -193,8 +197,9 @@ impl StreamSummary for CountSketch {
     }
 }
 
-impl HeavyHitters for CountSketch {
-    fn report(&self) -> Report {
+impl CountSketch {
+    /// The cold report pass behind the cached [`HeavyHitters::report`].
+    fn build_report(&self) -> Report {
         let threshold = self.phi * self.processed as f64;
         self.candidates
             .keys()
@@ -203,6 +208,14 @@ impl HeavyHitters for CountSketch {
                 (est >= threshold).then_some(ItemEstimate { item, count: est })
             })
             .collect()
+    }
+}
+
+impl HeavyHitters for CountSketch {
+    /// The report — a cache hit after a quiescent period, a candidate
+    /// re-query on the first query after a mutation.
+    fn report(&self) -> Report {
+        self.cache.get_or_build(|| self.build_report()).clone()
     }
 }
 
@@ -266,6 +279,7 @@ impl<'de> Deserialize<'de> for CountSketch {
             key_bits,
             processed,
             phi,
+            cache: QueryCache::new(),
         })
     }
 }
@@ -305,6 +319,7 @@ impl MergeableSummary for CountSketch {
         if self.key_bits != other.key_bits {
             return Err(MergeError::Incompatible("key widths"));
         }
+        self.cache.invalidate();
         for ((_, row), (_, orow)) in self.rows.iter_mut().zip(&other.rows) {
             for (c, &o) in row.iter_mut().zip(orow) {
                 *c += o;

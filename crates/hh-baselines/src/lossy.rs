@@ -13,8 +13,8 @@
 
 use hh_core::mergeable::snapshot;
 use hh_core::{
-    FrequencyEstimator, HeavyHitters, ItemEstimate, MergeError, MergeableSummary, Report,
-    SnapshotError, StreamSummary,
+    FrequencyEstimator, HeavyHitters, ItemEstimate, MergeError, MergeableSummary, QueryCache,
+    Report, SnapshotError, StreamSummary,
 };
 use hh_hash::FastMap;
 use hh_space::space::{gamma_bits, SpaceUsage};
@@ -32,6 +32,8 @@ pub struct LossyCounting {
     processed: u64,
     eps: f64,
     phi: f64,
+    /// Materialized report; every mutation invalidates (see DESIGN.md §8).
+    cache: QueryCache<Report>,
 }
 
 impl LossyCounting {
@@ -49,6 +51,7 @@ impl LossyCounting {
             processed: 0,
             eps,
             phi,
+            cache: QueryCache::new(),
         }
     }
 
@@ -75,6 +78,7 @@ impl LossyCounting {
 
 impl StreamSummary for LossyCounting {
     fn insert(&mut self, item: u64) {
+        self.cache.invalidate();
         self.processed += 1;
         self.in_window += 1;
         match self.entries.get_mut(&item) {
@@ -96,6 +100,9 @@ impl StreamSummary for LossyCounting {
     /// to once per window-aligned chunk. State after the batch is
     /// bit-identical to element-wise insertion.
     fn insert_batch(&mut self, items: &[u64]) {
+        if !items.is_empty() {
+            self.cache.invalidate();
+        }
         let mut rest = items;
         while !rest.is_empty() {
             let room = (self.window - self.in_window) as usize;
@@ -121,8 +128,9 @@ impl StreamSummary for LossyCounting {
     }
 }
 
-impl HeavyHitters for LossyCounting {
-    fn report(&self) -> Report {
+impl LossyCounting {
+    /// The cold report pass behind the cached [`HeavyHitters::report`].
+    fn build_report(&self) -> Report {
         // Standard rule: output items with count ≥ (φ − ε')m; estimates
         // compensated upward by Δ/2 would bias both ways, so report the
         // undercounting estimate and a threshold at (φ − ε/2 − ε'(=ε/2)).
@@ -136,6 +144,14 @@ impl HeavyHitters for LossyCounting {
                 count: c as f64,
             })
             .collect()
+    }
+}
+
+impl HeavyHitters for LossyCounting {
+    /// The report — a cache hit after a quiescent period, an entry scan
+    /// on the first query after a mutation.
+    fn report(&self) -> Report {
+        self.cache.get_or_build(|| self.build_report()).clone()
     }
 }
 
@@ -206,6 +222,7 @@ impl<'de> Deserialize<'de> for LossyCounting {
             processed,
             eps,
             phi,
+            cache: QueryCache::new(),
         })
     }
 }
@@ -239,27 +256,32 @@ impl MergeableSummary for LossyCounting {
         if self.key_bits != other.key_bits {
             return Err(MergeError::Incompatible("key widths"));
         }
+        self.cache.invalidate();
         // Untracked-mass bounds: an item absent from a summary has at
         // most (current_window) occurrences in its substream (the prune
         // invariant, counting the partial window conservatively).
         let b_self = self.current_window;
         let b_other = other.current_window;
+        // Items tracked only on our side could have had up to b_other
+        // occurrences in the other substream. Charge it to *every* own
+        // entry up front (a plain iteration, no hashing), then let the
+        // pass over `other` cancel the charge for the items it tracks —
+        // this replaces the seed implementation's second full pass with
+        // one hash lookup per own entry.
+        for (_, entry) in self.entries.iter_mut() {
+            entry.1 += b_other;
+        }
         for (item, &(c, d)) in other.entries.iter() {
             match self.entries.get_mut(item) {
                 Some((sc, sd)) => {
                     *sc += c;
-                    *sd += d;
+                    // The blanket b_other charge does not apply to items
+                    // other actually tracks; their own Δ adds instead.
+                    *sd = *sd + d - b_other;
                 }
                 None => {
                     self.entries.insert(*item, (c, d + b_self));
                 }
-            }
-        }
-        // Items tracked only on our side could have had up to b_other
-        // occurrences in the other substream.
-        for (item, entry) in self.entries.iter_mut() {
-            if !other.entries.contains_key(item) {
-                entry.1 += b_other;
             }
         }
         self.processed += other.processed;

@@ -3,8 +3,8 @@
 
 use hh_core::mergeable::snapshot;
 use hh_core::{
-    HeavyHitters, ItemEstimate, MergeError, MergeableSummary, MisraGries, Report, SnapshotError,
-    StreamSummary,
+    HeavyHitters, ItemEstimate, MergeError, MergeableSummary, MisraGries, QueryCache, Report,
+    SnapshotError, StreamSummary,
 };
 use hh_space::SpaceUsage;
 use serde::{Deserialize, Serialize};
@@ -22,6 +22,8 @@ pub struct MisraGriesBaseline {
     table: MisraGries,
     eps: f64,
     phi: f64,
+    /// Materialized report; every mutation invalidates (see DESIGN.md §8).
+    cache: QueryCache<Report>,
 }
 
 impl MisraGriesBaseline {
@@ -35,6 +37,7 @@ impl MisraGriesBaseline {
             table: MisraGries::for_universe(k, universe),
             eps,
             phi,
+            cache: QueryCache::new(),
         }
     }
 
@@ -48,27 +51,18 @@ impl MisraGriesBaseline {
         &self.table
     }
 
-    /// Mutable access to the underlying table (for merging).
+    /// Mutable access to the underlying table (for merging). Mutating
+    /// through it can change query answers, so the report cache drops.
     pub fn table_mut(&mut self) -> &mut MisraGries {
+        self.cache.invalidate();
         &mut self.table
     }
-}
 
-impl StreamSummary for MisraGriesBaseline {
-    fn insert(&mut self, item: u64) {
-        self.table.insert(item);
-    }
-
-    fn insert_batch(&mut self, items: &[u64]) {
-        self.table.insert_batch(items);
-    }
-}
-
-impl HeavyHitters for MisraGriesBaseline {
-    fn report(&self) -> Report {
+    /// The cold report pass behind the cached [`HeavyHitters::report`].
+    fn build_report(&self) -> Report {
         let m = self.table.processed() as f64;
-        // MG undercounts by at most m/(k+1) ≤ εm/2; compensate half the
-        // bias in the threshold so both sides of Definition 1 hold.
+        // MG undercounts by at most m/(k+1) <= eps*m/2; compensate half
+        // the bias in the threshold so both sides of Definition 1 hold.
         let threshold = (self.phi - self.eps / 2.0) * m;
         self.table
             .entries()
@@ -79,6 +73,26 @@ impl HeavyHitters for MisraGriesBaseline {
                 count: c as f64,
             })
             .collect()
+    }
+}
+
+impl StreamSummary for MisraGriesBaseline {
+    fn insert(&mut self, item: u64) {
+        self.cache.invalidate();
+        self.table.insert(item);
+    }
+
+    fn insert_batch(&mut self, items: &[u64]) {
+        self.cache.invalidate();
+        self.table.insert_batch(items);
+    }
+}
+
+impl HeavyHitters for MisraGriesBaseline {
+    /// The report — a cache hit after a quiescent period, a table scan
+    /// on the first query after a mutation.
+    fn report(&self) -> Report {
+        self.cache.get_or_build(|| self.build_report()).clone()
     }
 }
 
@@ -97,8 +111,9 @@ impl SpaceUsage for MisraGriesBaseline {
     }
 }
 
-/// Snapshot format version tag.
-const TAG: &str = "hh.baseline.misra-gries.v1";
+/// Snapshot format version tag (v2: the wrapped table switched to the
+/// varint-slice wire format).
+const TAG: &str = "hh.baseline.misra-gries.v2";
 
 impl Serialize for MisraGriesBaseline {
     fn serialize<S: serde::Serializer>(&self, mut serializer: S) -> Result<S::Ok, S::Error> {
@@ -117,7 +132,12 @@ impl<'de> Deserialize<'de> for MisraGriesBaseline {
             return Err(serde::de::Error::custom("invalid (eps, phi) in snapshot"));
         }
         let table = MisraGries::deserialize(&mut deserializer)?;
-        Ok(Self { table, eps, phi })
+        Ok(Self {
+            table,
+            eps,
+            phi,
+            cache: QueryCache::new(),
+        })
     }
 }
 
@@ -129,6 +149,7 @@ impl MergeableSummary for MisraGriesBaseline {
         if self.eps != other.eps || self.phi != other.phi {
             return Err(MergeError::Incompatible("(eps, phi) parameters"));
         }
+        self.cache.invalidate();
         self.table.merge_from(other.table())
     }
 

@@ -18,8 +18,8 @@
 
 use hh_core::mergeable::snapshot;
 use hh_core::{
-    FrequencyEstimator, HeavyHitters, ItemEstimate, MergeError, MergeableSummary, Report,
-    SnapshotError, StreamSummary,
+    FrequencyEstimator, HeavyHitters, ItemEstimate, MergeError, MergeableSummary, QueryCache,
+    Report, SnapshotError, StreamSummary,
 };
 use hh_hash::FastMap;
 use hh_space::space::{gamma_bits, SpaceUsage};
@@ -60,6 +60,8 @@ pub struct SpaceSaving {
     min_bucket: u32,
     processed: u64,
     phi: f64,
+    /// Materialized report; every mutation invalidates (see DESIGN.md §8).
+    cache: QueryCache<Report>,
 }
 
 impl SpaceSaving {
@@ -83,6 +85,7 @@ impl SpaceSaving {
             min_bucket: NONE,
             processed: 0,
             phi,
+            cache: QueryCache::new(),
         }
     }
 
@@ -232,6 +235,7 @@ impl SpaceSaving {
             min_bucket: NONE,
             processed: 0,
             phi: self.phi,
+            cache: QueryCache::new(),
         }
     }
 
@@ -244,29 +248,56 @@ impl SpaceSaving {
     pub fn restore_entries(&mut self, mut triples: Vec<(u64, u64, u64)>, processed: u64) {
         assert!(self.map.is_empty(), "restore requires an empty structure");
         assert!(triples.len() <= self.capacity, "too many entries");
+        // An empty *table* can still carry a warm (empty) report.
+        self.cache.invalidate();
+        // One bucket per distinct count at most: size the slab once so
+        // the build loop never reallocates it.
+        self.buckets.reserve(triples.len());
         triples.sort_unstable_by_key(|&(_, c, _)| c);
+        // Ascending order lets the bucket list be built linearly — each
+        // distinct count appends one bucket at the tail, repeats push
+        // onto the tail bucket's item list — with none of the general
+        // `attach_node` splicing (this path backs snapshot restore and
+        // the merge rebuild, both on the read side's serving cadence).
         let mut tail = NONE; // current maximum bucket
         let mut tail_count = 0u64;
         for (item, count, err) in triples {
             assert!(count > 0, "restored counts must be positive");
             let ni = self.nodes.len() as u32;
-            self.nodes.push(Node {
-                item,
-                err,
-                bucket: NONE,
-                prev: NONE,
-                next: NONE,
-            });
-            // Anchor so attach_node finds (or creates) the right bucket:
-            // a repeated count must anchor *before* the existing tail.
-            let after = if count == tail_count && tail != NONE {
-                self.buckets[tail as usize].prev
+            if tail == NONE || count != tail_count {
+                let bi = self.buckets.len() as u32;
+                self.buckets.push(Bucket {
+                    count,
+                    head: ni,
+                    prev: tail,
+                    next: NONE,
+                });
+                if tail == NONE {
+                    self.min_bucket = bi;
+                } else {
+                    self.buckets[tail as usize].next = bi;
+                }
+                self.nodes.push(Node {
+                    item,
+                    err,
+                    bucket: bi,
+                    prev: NONE,
+                    next: NONE,
+                });
+                tail = bi;
+                tail_count = count;
             } else {
-                tail
-            };
-            self.attach_node(ni, count, after);
-            tail = self.nodes[ni as usize].bucket;
-            tail_count = count;
+                let head = self.buckets[tail as usize].head;
+                self.nodes[head as usize].prev = ni;
+                self.nodes.push(Node {
+                    item,
+                    err,
+                    bucket: tail,
+                    prev: NONE,
+                    next: head,
+                });
+                self.buckets[tail as usize].head = ni;
+            }
             self.map.insert(item, ni);
         }
         self.processed = processed;
@@ -327,6 +358,7 @@ impl SpaceSaving {
 
 impl StreamSummary for SpaceSaving {
     fn insert(&mut self, item: u64) {
+        self.cache.invalidate();
         self.processed += 1;
         if let Some(&ni) = self.map.get(&item) {
             self.increment_fast(ni);
@@ -368,6 +400,7 @@ impl StreamSummary for SpaceSaving {
     /// insertion (the physical slab layout may differ, which no query
     /// observes).
     fn insert_batch(&mut self, items: &[u64]) {
+        self.cache.invalidate();
         self.processed += items.len() as u64;
         for &item in items {
             if let Some(&ni) = self.map.get(&item) {
@@ -400,8 +433,9 @@ impl StreamSummary for SpaceSaving {
     }
 }
 
-impl HeavyHitters for SpaceSaving {
-    fn report(&self) -> Report {
+impl SpaceSaving {
+    /// The cold report pass behind the cached [`HeavyHitters::report`].
+    fn build_report(&self) -> Report {
         let threshold = self.phi * self.processed as f64;
         self.entries()
             .into_iter()
@@ -414,6 +448,14 @@ impl HeavyHitters for SpaceSaving {
     }
 }
 
+impl HeavyHitters for SpaceSaving {
+    /// The report — a cache hit after a quiescent period, a
+    /// Stream-Summary scan on the first query after a mutation.
+    fn report(&self) -> Report {
+        self.cache.get_or_build(|| self.build_report()).clone()
+    }
+}
+
 impl FrequencyEstimator for SpaceSaving {
     fn estimate(&self, item: u64) -> f64 {
         self.map
@@ -423,25 +465,32 @@ impl FrequencyEstimator for SpaceSaving {
     }
 }
 
-/// Snapshot format version tag.
-const TAG: &str = "hh.baseline.space-saving.v1";
+/// Snapshot format version tag. v2 carries the monitored triples as
+/// one interleaved varint block through the codec's bulk byte channel
+/// instead of one codec call per field.
+const TAG: &str = "hh.baseline.space-saving.v2";
 
 /// Content snapshot: parameters, stream position, and the monitored
-/// `(item, count, err)` triples. The slab/bucket pointer graph is a
-/// word-RAM artifact and is rebuilt on restore; every query observes
-/// identical state.
+/// `(item, count, err)` triples as one interleaved varint block in
+/// decreasing-count order — a single buffer built and written in one
+/// pass. The slab/bucket pointer graph is a word-RAM artifact and is
+/// rebuilt on restore; every query observes identical state.
 impl Serialize for SpaceSaving {
     fn serialize<S: serde::Serializer>(&self, mut serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.reserve(self.map.len() * 10 + 96);
         serializer.write_u64(self.capacity as u64)?;
         serializer.write_u64(self.key_bits)?;
         serializer.write_f64(self.phi)?;
         serializer.write_u64(self.processed)?;
-        let triples: Vec<(u64, (u64, u64))> = self
-            .entries()
-            .into_iter()
-            .map(|(i, c, e)| (i, (c, e)))
-            .collect();
-        triples.serialize(&mut serializer)?;
+        let triples = self.entries();
+        serializer.write_seq_len(triples.len())?;
+        let mut block = Vec::with_capacity(triples.len() * 10 + 8);
+        for &(i, c, e) in &triples {
+            hh_space::varint::push_uvarint(&mut block, i);
+            hh_space::varint::push_uvarint(&mut block, c);
+            hh_space::varint::push_uvarint(&mut block, e);
+        }
+        serializer.write_byte_seq(&block)?;
         serializer.done()
     }
 }
@@ -463,16 +512,29 @@ impl<'de> Deserialize<'de> for SpaceSaving {
             return Err(serde::de::Error::custom("invalid phi in snapshot"));
         }
         let processed = deserializer.read_u64()?;
-        let triples: Vec<(u64, (u64, u64))> = Vec::deserialize(&mut deserializer)?;
-        if triples.len() > capacity {
+        let n = deserializer.read_seq_len()?;
+        if n > capacity {
             return Err(serde::de::Error::custom(
                 "SpaceSaving entries exceed capacity",
             ));
         }
-        if triples.iter().any(|&(_, (c, e))| c == 0 || e > c) {
-            return Err(serde::de::Error::custom("SpaceSaving malformed triple"));
+        let block = deserializer.read_byte_seq()?;
+        let mut triples: Vec<(u64, u64, u64)> = Vec::with_capacity(n);
+        let mut pos = 0usize;
+        for _ in 0..n {
+            let bad = || serde::de::Error::custom("SpaceSaving malformed entry block");
+            let i = hh_space::varint::read_uvarint(&block, &mut pos).ok_or_else(bad)?;
+            let c = hh_space::varint::read_uvarint(&block, &mut pos).ok_or_else(bad)?;
+            let e = hh_space::varint::read_uvarint(&block, &mut pos).ok_or_else(bad)?;
+            if c == 0 || e > c {
+                return Err(serde::de::Error::custom("SpaceSaving malformed triple"));
+            }
+            triples.push((i, c, e));
         }
-        let mut keys: Vec<u64> = triples.iter().map(|&(i, _)| i).collect();
+        if pos != block.len() {
+            return Err(serde::de::Error::custom("SpaceSaving trailing bytes"));
+        }
+        let mut keys: Vec<u64> = triples.iter().map(|&(i, _, _)| i).collect();
         keys.sort_unstable();
         if keys.windows(2).any(|w| w[0] == w[1]) {
             return Err(serde::de::Error::custom("SpaceSaving duplicate items"));
@@ -487,11 +549,9 @@ impl<'de> Deserialize<'de> for SpaceSaving {
             min_bucket: NONE,
             processed: 0,
             phi,
+            cache: QueryCache::new(),
         };
-        ss.restore_entries(
-            triples.into_iter().map(|(i, (c, e))| (i, c, e)).collect(),
-            processed,
-        );
+        ss.restore_entries(triples, processed);
         Ok(ss)
     }
 }
@@ -514,27 +574,41 @@ impl MergeableSummary for SpaceSaving {
         }
         let self_min = self.min_count();
         let other_min = other.min_count();
-        let a: std::collections::HashMap<u64, (u64, u64)> = self
-            .entries()
-            .into_iter()
-            .map(|(i, c, e)| (i, (c, e)))
-            .collect();
-        let b: std::collections::HashMap<u64, (u64, u64)> = other
-            .entries()
-            .into_iter()
-            .map(|(i, c, e)| (i, (c, e)))
-            .collect();
-        let mut combined: Vec<(u64, u64, u64)> = a
-            .keys()
-            .chain(b.keys())
-            .collect::<std::collections::HashSet<_>>()
-            .into_iter()
-            .map(|&item| {
-                let (ca, ea) = a.get(&item).copied().unwrap_or((self_min, self_min));
-                let (cb, eb) = b.get(&item).copied().unwrap_or((other_min, other_min));
-                (item, ca + cb, ea + eb)
-            })
-            .collect();
+        // Union by a two-pointer walk of the two item-sorted entry
+        // lists — no hash maps, no hashing per item; merges sit on the
+        // read side's combiner/rotation cadence, so their constant
+        // matters.
+        let mut a = self.entries();
+        a.sort_unstable_by_key(|&(i, _, _)| i);
+        let mut b = other.entries();
+        b.sort_unstable_by_key(|&(i, _, _)| i);
+        let mut combined: Vec<(u64, u64, u64)> = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            match a[i].0.cmp(&b[j].0) {
+                std::cmp::Ordering::Less => {
+                    let (it, c, e) = a[i];
+                    combined.push((it, c + other_min, e + other_min));
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    let (it, c, e) = b[j];
+                    combined.push((it, c + self_min, e + self_min));
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    combined.push((a[i].0, a[i].1 + b[j].1, a[i].2 + b[j].2));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        for &(it, c, e) in &a[i..] {
+            combined.push((it, c + other_min, e + other_min));
+        }
+        for &(it, c, e) in &b[j..] {
+            combined.push((it, c + self_min, e + self_min));
+        }
         combined.sort_unstable_by_key(|&(i, c, _)| (std::cmp::Reverse(c), i));
         combined.truncate(self.capacity);
         let total = self.processed + other.processed;

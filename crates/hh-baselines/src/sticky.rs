@@ -7,7 +7,7 @@
 //! distributed as if its item had been sampled at the *current* rate from
 //! the start. Tracked counts undercount by `ε'm` with probability `1 − δ`.
 
-use hh_core::{FrequencyEstimator, HeavyHitters, ItemEstimate, Report, StreamSummary};
+use hh_core::{FrequencyEstimator, HeavyHitters, ItemEstimate, QueryCache, Report, StreamSummary};
 use hh_hash::FastMap;
 use hh_space::space::{gamma_bits, SpaceUsage};
 use rand::rngs::StdRng;
@@ -28,6 +28,8 @@ pub struct StickySampling {
     eps: f64,
     phi: f64,
     rng: StdRng,
+    /// Materialized report; every mutation invalidates (see DESIGN.md §8).
+    cache: QueryCache<Report>,
 }
 
 impl StickySampling {
@@ -49,6 +51,7 @@ impl StickySampling {
             eps,
             phi,
             rng: StdRng::seed_from_u64(seed),
+            cache: QueryCache::new(),
         }
     }
 
@@ -96,6 +99,7 @@ impl StickySampling {
 
 impl StreamSummary for StickySampling {
     fn insert(&mut self, item: u64) {
+        self.cache.invalidate();
         self.processed += 1;
         if self.processed > self.window_end {
             self.halve_rate();
@@ -124,6 +128,9 @@ impl StreamSummary for StickySampling {
     /// draw order matches the element-wise path exactly, so same-seed
     /// batch runs are bit-identical.
     fn insert_batch(&mut self, items: &[u64]) {
+        if !items.is_empty() {
+            self.cache.invalidate();
+        }
         let mut rest = items;
         while !rest.is_empty() {
             // Items that cannot trigger a halving: the scalar path halves
@@ -156,8 +163,9 @@ impl StreamSummary for StickySampling {
     }
 }
 
-impl HeavyHitters for StickySampling {
-    fn report(&self) -> Report {
+impl StickySampling {
+    /// The cold report pass behind the cached [`HeavyHitters::report`].
+    fn build_report(&self) -> Report {
         let m = self.processed as f64;
         let threshold = (self.phi - self.eps) * m;
         self.entries
@@ -168,6 +176,14 @@ impl HeavyHitters for StickySampling {
                 count: c as f64,
             })
             .collect()
+    }
+}
+
+impl HeavyHitters for StickySampling {
+    /// The report — a cache hit after a quiescent period, an entry scan
+    /// on the first query after a mutation.
+    fn report(&self) -> Report {
+        self.cache.get_or_build(|| self.build_report()).clone()
     }
 }
 

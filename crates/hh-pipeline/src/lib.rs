@@ -67,8 +67,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use hh_core::{HeavyHitters, HhParams, ItemEstimate, OptimalListHh, ParamError, Report};
-use hh_core::{MergeError, MergeableSummary, SimpleListHh, StreamSummary};
+use hh_core::{FrequencyEstimator, HeavyHitters, HhParams, ItemEstimate, OptimalListHh};
+use hh_core::{MergeError, MergeableSummary, ParamError, QueryCache, Report};
+use hh_core::{SimpleListHh, StreamSummary};
 use std::collections::VecDeque;
 
 /// SplitMix64 finalizer: turns any seed (including 0) into a well-mixed
@@ -98,6 +99,16 @@ pub struct ShardedPipeline<S> {
     /// (callers pass the `φ − ε/2` of their summary's reporting rule).
     threshold: f64,
     total: u64,
+    /// Whether the host exposes more than one core. Decided once at
+    /// construction: on a single-core host the scoped-thread fan-out is
+    /// pure overhead (the OS serializes the shard work anyway, after
+    /// paying one thread spawn per non-empty shard per batch), so
+    /// ingestion falls back to driving the shards sequentially — same
+    /// partition pass, same per-shard state, no threads. BENCH_4's
+    /// negative shard scaling on the single-vCPU recording host was
+    /// exactly this overhead; DESIGN.md §8 records the measured
+    /// crossover.
+    parallel: bool,
 }
 
 impl<S: StreamSummary + Send> ShardedPipeline<S> {
@@ -128,6 +139,10 @@ impl<S: StreamSummary + Send> ShardedPipeline<S> {
             multiplier: mix64(seed) | 1,
             threshold,
             total: 0,
+            parallel: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                > 1,
         }
     }
 
@@ -178,6 +193,16 @@ impl<S: StreamSummary + Send> ShardedPipeline<S> {
         for &x in batch {
             let s = ((mul.wrapping_mul(x) as u128 * k as u128) >> 64) as usize;
             self.scratch[s].push(x);
+        }
+        if !self.parallel {
+            // Single-core host: identical routing and per-shard batch
+            // semantics, minus the thread spawns the core cannot use.
+            for (shard, buf) in self.shards.iter_mut().zip(&self.scratch) {
+                if !buf.is_empty() {
+                    shard.insert_batch(buf);
+                }
+            }
+            return;
         }
         std::thread::scope(|scope| {
             for (shard, buf) in self.shards.iter_mut().zip(&self.scratch) {
@@ -346,16 +371,70 @@ where
     Ok(acc)
 }
 
+/// An immutable, query-optimized view of a summary for serving.
+///
+/// Freezing materializes the report once; afterwards [`Frozen::report`]
+/// hands out a **borrow** of it — no clone, no lock, no rescan — and
+/// point queries go to the (warm, never-again-invalidated) summary.
+/// `Frozen` is the read-mostly serving shape: build one per window
+/// rotation or checkpoint, share it behind an `Arc` across however many
+/// query threads the service runs, and drop it when the next one is
+/// ready. Obtained from [`WindowedHh::frozen`] /
+/// [`PartitionedPipeline::frozen`], or [`Frozen::new`] for any summary.
+#[derive(Debug, Clone)]
+pub struct Frozen<S> {
+    summary: S,
+    report: Report,
+}
+
+impl<S: HeavyHitters> Frozen<S> {
+    /// Freezes a summary: runs (and stores) its report eagerly, so every
+    /// subsequent read is allocation-free.
+    pub fn new(summary: S) -> Self {
+        let report = summary.report();
+        Self { summary, report }
+    }
+
+    /// The materialized report, by reference.
+    pub fn report(&self) -> &Report {
+        &self.report
+    }
+
+    /// The frozen summary (read-only).
+    pub fn summary(&self) -> &S {
+        &self.summary
+    }
+
+    /// Unfreezes, returning the summary (e.g. to resume ingestion).
+    pub fn into_inner(self) -> S {
+        self.summary
+    }
+}
+
+impl<S: FrequencyEstimator> Frozen<S> {
+    /// Point query against the frozen summary.
+    pub fn estimate(&self, item: u64) -> f64 {
+        self.summary.estimate(item)
+    }
+}
+
 /// An incremental merge-based pipeline: a fixed bank of seed-aligned
 /// summaries that ingests batches round-robin (each call lands on the
 /// next part, simulating independent ingest nodes) and merges on
 /// demand. Unlike [`partition_and_merge`] the stream does not need to
 /// be materialized up front.
+///
+/// Queries run on the **cached path**: the merged summary is
+/// materialized once after a quiescent period and shared by every
+/// `merged`/`report` call until the next `ingest` invalidates it, so a
+/// query burst between batches pays one merge, not one per query.
 #[derive(Debug)]
 pub struct PartitionedPipeline<S> {
     parts: Vec<S>,
     next: usize,
     total: u64,
+    /// Materialized merge of the bank; dropped by every `ingest`.
+    merged_cache: QueryCache<S>,
 }
 
 impl<S: StreamSummary + MergeableSummary + Clone> PartitionedPipeline<S> {
@@ -369,6 +448,7 @@ impl<S: StreamSummary + MergeableSummary + Clone> PartitionedPipeline<S> {
             parts,
             next: 0,
             total: 0,
+            merged_cache: QueryCache::new(),
         }
     }
 
@@ -384,6 +464,7 @@ impl<S: StreamSummary + MergeableSummary + Clone> PartitionedPipeline<S> {
 
     /// Ingests one batch into the next part (round-robin).
     pub fn ingest(&mut self, batch: &[u64]) {
+        self.merged_cache.invalidate();
         self.total += batch.len() as u64;
         self.parts[self.next].insert_batch(batch);
         self.next = (self.next + 1) % self.parts.len();
@@ -394,22 +475,52 @@ impl<S: StreamSummary + MergeableSummary + Clone> PartitionedPipeline<S> {
         &self.parts
     }
 
-    /// Merges the bank into one summary of everything ingested so far
-    /// (the parts are left untouched, so ingestion can continue).
-    pub fn merged(&self) -> Result<S, MergeError> {
+    /// The cached merged summary, building it if an ingest left the
+    /// cache cold.
+    fn merged_ref(&self) -> Result<&S, MergeError> {
+        if let Some(s) = self.merged_cache.get() {
+            return Ok(s);
+        }
         let mut acc = self.parts[0].clone();
         for s in &self.parts[1..] {
             acc.merge_from(s)?;
         }
-        Ok(acc)
+        Ok(self.merged_cache.get_or_build(|| acc))
     }
 
-    /// The merged report (see [`PartitionedPipeline::merged`]).
+    /// Merges the bank into one summary of everything ingested so far
+    /// (the parts are left untouched, so ingestion can continue). A
+    /// clone of the cached merge on the quiescent path.
+    pub fn merged(&self) -> Result<S, MergeError> {
+        Ok(self.merged_ref()?.clone())
+    }
+
+    /// The merged report (see [`PartitionedPipeline::merged`]). Repeated
+    /// calls between ingests reuse both the cached merge *and* its own
+    /// materialized report.
     pub fn report(&self) -> Result<Report, MergeError>
     where
         S: HeavyHitters,
     {
-        Ok(self.merged()?.report())
+        Ok(self.merged_ref()?.report())
+    }
+
+    /// A [`Frozen`] serving view of everything ingested so far. Reuses
+    /// both cached artifacts: the materialized merge and (when a prior
+    /// query warmed it) its materialized report.
+    pub fn frozen(&self) -> Result<Frozen<S>, MergeError>
+    where
+        S: HeavyHitters,
+    {
+        let merged = self.merged_ref()?;
+        // Reporting through the cached instance warms (or hits) its
+        // report cache; the clone itself starts cold, but the view
+        // carries the finished report alongside it.
+        let report = merged.report();
+        Ok(Frozen {
+            summary: merged.clone(),
+            report,
+        })
     }
 }
 
@@ -462,6 +573,9 @@ pub struct WindowedHh<S, F> {
     window_index: u64,
     total: u64,
     make: F,
+    /// Materialized merge of the live windows; dropped by every
+    /// `ingest` (rotation included — it happens inside `ingest`).
+    merged_cache: QueryCache<S>,
 }
 
 impl<S, F> WindowedHh<S, F>
@@ -487,6 +601,7 @@ where
             window_index: 0,
             total: 0,
             make,
+            merged_cache: QueryCache::new(),
         }
     }
 
@@ -531,6 +646,9 @@ where
     /// Ingests one batch, rotating at every window boundary it crosses
     /// (a batch may span several windows).
     pub fn ingest(&mut self, batch: &[u64]) {
+        if !batch.is_empty() {
+            self.merged_cache.invalidate();
+        }
         let mut rest = batch;
         while !rest.is_empty() {
             let room = (self.window_len - self.in_window) as usize;
@@ -551,26 +669,57 @@ where
         self.completed.iter().chain(std::iter::once(&self.active))
     }
 
-    /// Merges the live windows into one summary of the last `≤ depth`
-    /// windows' traffic (windows are left untouched).
-    pub fn merged(&self) -> Result<S, MergeError>
+    /// The cached merge of the live windows, building it if an ingest
+    /// left the cache cold.
+    fn merged_ref(&self) -> Result<&S, MergeError>
     where
         S: Clone,
     {
+        if let Some(s) = self.merged_cache.get() {
+            return Ok(s);
+        }
         let mut acc = self.completed.front().unwrap_or(&self.active).clone();
         for s in self.live_windows().skip(1) {
             acc.merge_from(s)?;
         }
-        Ok(acc)
+        Ok(self.merged_cache.get_or_build(|| acc))
+    }
+
+    /// Merges the live windows into one summary of the last `≤ depth`
+    /// windows' traffic (windows are left untouched). A clone of the
+    /// cached merge on the quiescent path.
+    pub fn merged(&self) -> Result<S, MergeError>
+    where
+        S: Clone,
+    {
+        Ok(self.merged_ref()?.clone())
     }
 
     /// The heavy hitters of the last `≤ depth` windows (see
-    /// [`WindowedHh::merged`]).
+    /// [`WindowedHh::merged`]). Repeated calls between ingests reuse
+    /// both the cached merge *and* its own materialized report —
+    /// serving a query burst between batches costs one merge plus one
+    /// report build, total.
     pub fn report(&self) -> Result<Report, MergeError>
     where
         S: HeavyHitters + Clone,
     {
-        Ok(self.merged()?.report())
+        Ok(self.merged_ref()?.report())
+    }
+
+    /// A [`Frozen`] serving view of the last `≤ depth` windows. Reuses
+    /// both cached artifacts: the materialized merge and (when a prior
+    /// query warmed it) its materialized report.
+    pub fn frozen(&self) -> Result<Frozen<S>, MergeError>
+    where
+        S: HeavyHitters + Clone,
+    {
+        let merged = self.merged_ref()?;
+        let report = merged.report();
+        Ok(Frozen {
+            summary: merged.clone(),
+            report,
+        })
     }
 }
 
@@ -814,6 +963,115 @@ mod tests {
         let b = hh_core::OptimalListHh::with_seeds(params, 1 << 20, 10_000, 2, 2).unwrap();
         let stream: Vec<u64> = (0..10_000).collect();
         assert!(partition_and_merge(vec![a, b], &stream).is_err());
+    }
+
+    #[test]
+    fn sequential_fallback_matches_direct_shard_state() {
+        // Whatever ingestion mode the host picks (this CI box may have
+        // any core count), the per-shard state must equal routing the
+        // keys by hand and driving each shard's insert_batch directly.
+        let stream = planted(40_000, &[(7, 0.4)], 8);
+        let mut pipe =
+            ShardedPipeline::new(4, 21, 0.0, |_| MisraGriesBaseline::new(0.05, 0.2, 1 << 21));
+        let mut by_hand: Vec<Vec<u64>> = vec![Vec::new(); 4];
+        for chunk in stream.chunks(4096) {
+            pipe.ingest(chunk);
+        }
+        for &x in &stream {
+            by_hand[pipe.shard_of(x)].push(x);
+        }
+        for (j, keys) in by_hand.iter().enumerate() {
+            let mut direct = MisraGriesBaseline::new(0.05, 0.2, 1 << 21);
+            // Reproduce the per-batch chunking the pipeline saw.
+            let mut scratch: Vec<u64> = Vec::new();
+            for chunk in stream.chunks(4096) {
+                scratch.clear();
+                scratch.extend(chunk.iter().filter(|&&x| pipe.shard_of(x) == j));
+                direct.insert_batch(&scratch);
+            }
+            assert_eq!(
+                pipe.summaries()[j].report().entries(),
+                direct.report().entries(),
+                "shard {j} diverged (keys {})",
+                keys.len()
+            );
+        }
+    }
+
+    #[test]
+    fn partitioned_queries_ride_the_cached_merge() {
+        let m = 200_000u64;
+        let stream = planted(m, &[(7, 0.35)], 14);
+        let params = HhParams::with_delta(0.05, 0.15, 0.1).unwrap();
+        let bank = seed_aligned_algo2(params, 1 << 40, m, 3, 6).unwrap();
+        let mut pipe = PartitionedPipeline::new(bank);
+        for chunk in stream.chunks(8192) {
+            pipe.ingest(chunk);
+        }
+        // Quiescent burst: identical answers, and identical to a fresh
+        // (cache-cold, clone-based) merge.
+        let first = pipe.report().unwrap();
+        let burst = pipe.report().unwrap();
+        assert_eq!(first.entries(), burst.entries());
+        assert_eq!(first.entries(), pipe.merged().unwrap().report().entries());
+        // Ingest invalidates: the next report reflects the new batch.
+        let before_total = pipe.total();
+        pipe.ingest(&[7; 1000]);
+        assert_eq!(pipe.total(), before_total + 1000);
+        let after = pipe.report().unwrap();
+        assert_eq!(
+            after.entries(),
+            pipe.merged().unwrap().report().entries(),
+            "cached report went stale after ingest"
+        );
+    }
+
+    #[test]
+    fn frozen_view_serves_borrowed_reports_and_estimates() {
+        let m = 150_000u64;
+        let stream = planted(m, &[(7, 0.4), (8, 0.2)], 15);
+        let params = HhParams::with_delta(0.05, 0.15, 0.1).unwrap();
+        let bank = seed_aligned_algo2(params, 1 << 40, m, 2, 9).unwrap();
+        let mut pipe = PartitionedPipeline::new(bank);
+        for chunk in stream.chunks(4096) {
+            pipe.ingest(chunk);
+        }
+        let frozen = pipe.frozen().unwrap();
+        // Borrowed report, identical to the pipeline's.
+        assert_eq!(frozen.report().entries(), pipe.report().unwrap().entries());
+        assert!(frozen.report().contains(7));
+        // Point queries agree with the underlying summary.
+        let merged = pipe.merged().unwrap();
+        for probe in [7u64, 8, 999_999] {
+            assert_eq!(frozen.estimate(probe), merged.estimate(probe));
+        }
+        // The view is freely cloneable/shareable and unfreezes.
+        let again = frozen.clone();
+        let inner = again.into_inner();
+        assert_eq!(inner.report().entries(), frozen.report().entries());
+    }
+
+    #[test]
+    fn windowed_frozen_and_cached_report_track_rotation() {
+        let params = HhParams::with_delta(0.05, 0.2, 0.1).unwrap();
+        let window = 30_000u64;
+        let mut win = windowed_algo2(params, 1 << 30, window, 2, 11).unwrap();
+        let early: Vec<u64> = (0..window)
+            .map(|i| if i % 2 == 0 { 9 } else { i })
+            .collect();
+        win.ingest(&early);
+        let frozen = win.frozen().unwrap();
+        assert!(frozen.report().contains(9));
+        assert_eq!(frozen.report().entries(), win.report().unwrap().entries());
+        // Rotate item 9 out; the cached path must follow.
+        let late: Vec<u64> = (0..3 * window)
+            .map(|i| if i % 2 == 0 { 4 } else { 100_000 + i })
+            .collect();
+        win.ingest(&late);
+        let r = win.report().unwrap();
+        assert!(r.contains(4) && !r.contains(9));
+        // The old frozen view is unchanged — that is its point.
+        assert!(frozen.report().contains(9));
     }
 
     #[test]

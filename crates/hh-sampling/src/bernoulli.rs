@@ -124,6 +124,12 @@ impl SkipSampler {
         (0.5f64).powi(self.k as i32)
     }
 
+    /// The exponent `k` (inclusion probability is `2⁻ᵏ`); see
+    /// [`crate::BitSkipSampler::exponent`].
+    pub fn exponent(&self) -> u32 {
+        self.k
+    }
+
     fn draw_gap<R: Rng + ?Sized>(&mut self, rng: &mut R) {
         // Geometric(p): number of failures before the first success; for
         // k = 0 the gap is always 0.

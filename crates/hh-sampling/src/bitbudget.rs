@@ -169,6 +169,13 @@ impl BitSkipSampler {
         (0.5f64).powi(self.k as i32)
     }
 
+    /// The exponent `k` (success probability is `2⁻ᵏ`). Batch callers
+    /// use it to predict whether skip-ahead can pay: at `k = 0` every
+    /// trial succeeds and there are no runs to skip.
+    pub fn exponent(&self) -> u32 {
+        self.k
+    }
+
     /// Index of the first all-zero `k`-bit chunk of `w` (low to high),
     /// or `None` if none of the `⌊64/k⌋` covered chunks is zero.
     #[inline]

@@ -45,6 +45,7 @@ pub mod gamma;
 pub mod packed;
 pub mod space;
 pub mod varcount;
+pub mod varint;
 
 pub use bits::BitVec;
 pub use delta::DeltaVec;
@@ -55,3 +56,4 @@ pub use space::{
     merged_sparse_slice_bits, sparse_slice_bits, SpaceUsage,
 };
 pub use varcount::VarCounterArray;
+pub use varint::{decode_deltas, decode_uvarints, encode_deltas, encode_uvarints};

@@ -22,19 +22,27 @@ pub struct VarCounterArray {
     model_bit_sum: u64,
 }
 
-/// Snapshot of the raw counter values; the incremental gamma-bit sum is
-/// an invariant of the values and is recomputed at restore time rather
-/// than trusted from the wire.
+/// Snapshot of the raw counter values, as one varint block through the
+/// codec's bulk byte channel (element count, then the LEB128 bytes of
+/// every counter): counters are `O(1)` expected bits each, so the block
+/// is ~8× smaller than fixed-width words and is written/read with a
+/// single bulk call instead of one codec call per counter. The
+/// incremental gamma-bit sum is an invariant of the values and is
+/// recomputed at restore time rather than trusted from the wire.
 impl Serialize for VarCounterArray {
     fn serialize<S: serde::Serializer>(&self, mut serializer: S) -> Result<S::Ok, S::Error> {
-        self.counts.serialize(&mut serializer)?;
+        serializer.write_seq_len(self.counts.len())?;
+        serializer.write_byte_seq(&crate::varint::encode_uvarints(&self.counts))?;
         serializer.done()
     }
 }
 
 impl<'de> Deserialize<'de> for VarCounterArray {
     fn deserialize<D: serde::Deserializer<'de>>(mut deserializer: D) -> Result<Self, D::Error> {
-        let counts: Vec<u64> = Vec::deserialize(&mut deserializer)?;
+        let n = deserializer.read_seq_len()?;
+        let block = deserializer.read_byte_seq()?;
+        let counts = crate::varint::decode_uvarints(&block, n)
+            .ok_or_else(|| serde::de::Error::custom("malformed counter varint block"))?;
         let model_bit_sum = counts.iter().map(|&c| gamma_bits(c)).sum();
         Ok(Self {
             counts,

@@ -8,6 +8,7 @@
 #   sharded_throughput  hh-pipeline key-sharded ingestion, 1/2/4 shards
 #   query_time          report() extraction at three universe sizes
 #   merge_serialize     summary merging and snapshot round trips
+#   read_write_mix      hot (cached) queries and mixed write-then-read
 #
 # Usage: scripts/bench.sh [output.json]   (default: BENCH_1.json)
 set -euo pipefail
@@ -27,7 +28,7 @@ case "${out}" in
 esac
 rm -f "${json}"
 
-for bench in update_time batch_update_time sharded_throughput query_time merge_serialize; do
+for bench in update_time batch_update_time sharded_throughput query_time merge_serialize read_write_mix; do
     CRITERION_JSON="${json}" cargo bench -p hh-bench --bench "${bench}"
 done
 

@@ -56,6 +56,32 @@ pub trait Serializer: Sized {
     fn write_str(&mut self, v: &str) -> Result<(), Self::Error>;
     /// Marks the start of a sequence of `len` elements.
     fn write_seq_len(&mut self, len: usize) -> Result<(), Self::Error>;
+
+    /// Writes a length-prefixed opaque byte string in one call.
+    ///
+    /// This is the bulk channel for pre-encoded payloads (packed
+    /// counter arrays, varint blocks): the default widens each byte to
+    /// a `u64`, which round-trips against the default
+    /// [`Deserializer::read_byte_seq`] on any codec, while byte-oriented
+    /// codecs override **both** sides with a length-prefixed `memcpy`.
+    /// Overrides must come in write/read pairs — the two defaults agree
+    /// with each other, and the two overrides agree with each other,
+    /// but the formats are not interchangeable.
+    fn write_byte_seq(&mut self, v: &[u8]) -> Result<(), Self::Error> {
+        self.write_seq_len(v.len())?;
+        for &b in v {
+            self.write_u64(u64::from(b))?;
+        }
+        Ok(())
+    }
+
+    /// Reserves room for roughly `additional` more encoded bytes, when
+    /// the codec buffers in memory. A size *hint* for
+    /// preallocate-and-write-once encoders; the default does nothing.
+    fn reserve(&mut self, additional: usize) {
+        let _ = additional;
+    }
+
     /// Finishes serialization and produces the `Ok` value.
     fn done(self) -> Result<Self::Ok, Self::Error>;
 }
@@ -85,6 +111,15 @@ impl<S: Serializer> Serializer for &mut S {
     fn write_seq_len(&mut self, len: usize) -> Result<(), Self::Error> {
         (**self).write_seq_len(len)
     }
+    // The bulk channel must forward explicitly: falling back to the
+    // trait default here would silently re-encode byte strings
+    // element-wise even when the underlying codec has a fast pair.
+    fn write_byte_seq(&mut self, v: &[u8]) -> Result<(), Self::Error> {
+        (**self).write_byte_seq(v)
+    }
+    fn reserve(&mut self, additional: usize) {
+        (**self).reserve(additional);
+    }
     fn done(self) -> Result<(), Self::Error> {
         Ok(())
     }
@@ -107,6 +142,28 @@ pub trait Deserializer<'de>: Sized {
     fn read_string(&mut self) -> Result<String, Self::Error>;
     /// Reads a sequence-length marker.
     fn read_seq_len(&mut self) -> Result<usize, Self::Error>;
+
+    /// Reads a string written by [`Serializer::write_str`] and reports
+    /// whether it equals `expected` — the hot path of a format-tag
+    /// check. The default round-trips through [`Deserializer::read_string`];
+    /// byte-oriented codecs override it to compare in place, so the
+    /// (overwhelmingly common) matching case allocates nothing.
+    fn check_str(&mut self, expected: &str) -> Result<bool, Self::Error> {
+        Ok(self.read_string()? == expected)
+    }
+
+    /// Reads a byte string written by [`Serializer::write_byte_seq`].
+    /// Default and override pairing rules are documented there.
+    fn read_byte_seq(&mut self) -> Result<Vec<u8>, Self::Error> {
+        let len = self.read_seq_len()?;
+        let mut out = Vec::new();
+        for _ in 0..len {
+            let w = self.read_u64()?;
+            let b = u8::try_from(w).map_err(|_| de::Error::custom("byte out of range"))?;
+            out.push(b);
+        }
+        Ok(out)
+    }
 }
 
 impl<'de, D: Deserializer<'de>> Deserializer<'de> for &mut D {
@@ -129,6 +186,12 @@ impl<'de, D: Deserializer<'de>> Deserializer<'de> for &mut D {
     }
     fn read_seq_len(&mut self) -> Result<usize, Self::Error> {
         (**self).read_seq_len()
+    }
+    fn read_byte_seq(&mut self) -> Result<Vec<u8>, Self::Error> {
+        (**self).read_byte_seq()
+    }
+    fn check_str(&mut self, expected: &str) -> Result<bool, Self::Error> {
+        (**self).check_str(expected)
     }
 }
 
@@ -358,6 +421,18 @@ pub mod bincode {
         buf: Vec<u8>,
     }
 
+    impl Writer {
+        /// A writer whose buffer is preallocated for roughly
+        /// `capacity` encoded bytes, so a size-hinted snapshot is
+        /// written once into one allocation instead of growing through
+        /// reallocation-and-copy cycles.
+        pub fn with_capacity(capacity: usize) -> Self {
+            Self {
+                buf: Vec::with_capacity(capacity),
+            }
+        }
+    }
+
     impl Serializer for Writer {
         type Ok = Vec<u8>;
         type Error = Error;
@@ -385,6 +460,16 @@ pub mod bincode {
         }
         fn write_seq_len(&mut self, len: usize) -> Result<(), Error> {
             self.write_u64(len as u64)
+        }
+        fn write_byte_seq(&mut self, v: &[u8]) -> Result<(), Error> {
+            // Bulk pair with `Reader::read_byte_seq`: u64 length prefix,
+            // then the raw bytes in one `memcpy`.
+            self.write_u64(v.len() as u64)?;
+            self.buf.extend_from_slice(v);
+            Ok(())
+        }
+        fn reserve(&mut self, additional: usize) {
+            self.buf.reserve(additional);
         }
         fn done(self) -> Result<Vec<u8>, Error> {
             Ok(self.buf)
@@ -442,6 +527,14 @@ pub mod bincode {
         fn read_seq_len(&mut self) -> Result<usize, Error> {
             Ok(self.read_u64()? as usize)
         }
+        fn read_byte_seq(&mut self) -> Result<Vec<u8>, Error> {
+            let len = self.read_u64()? as usize;
+            Ok(self.take(len)?.to_vec())
+        }
+        fn check_str(&mut self, expected: &str) -> Result<bool, Error> {
+            let len = self.read_u64()? as usize;
+            Ok(self.take(len)? == expected.as_bytes())
+        }
     }
 
     /// Serializes `value` to bytes.
@@ -487,6 +580,24 @@ mod tests {
         let bytes = bincode::to_bytes(&vec![7u64; 3]).unwrap();
         let r: Result<Vec<u64>, _> = bincode::from_bytes(&bytes[..bytes.len() - 1]);
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn byte_seq_round_trip_via_bulk_pair() {
+        use super::{Deserializer as _, Serializer as _};
+        let payload: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        let mut w = bincode::Writer::with_capacity(payload.len() + 8);
+        w.write_byte_seq(&payload).unwrap();
+        w.write_u64(0xDEAD).unwrap();
+        let buf = w.done().unwrap();
+        // Length prefix + raw bytes + trailing word.
+        assert_eq!(buf.len(), 8 + payload.len() + 8);
+        let mut r = bincode::Reader::new(&buf);
+        assert_eq!(r.read_byte_seq().unwrap(), payload);
+        assert_eq!(r.read_u64().unwrap(), 0xDEAD);
+        // Truncated payloads are rejected, not zero-filled.
+        let mut r = bincode::Reader::new(&buf[..payload.len() / 2]);
+        assert!(r.read_byte_seq().is_err());
     }
 
     #[test]
