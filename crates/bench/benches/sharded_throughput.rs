@@ -5,11 +5,13 @@
 //! Each shard runs the unmodified algorithm on the substream of its keys
 //! (batch path, full advertised length, so the sampled work of the whole
 //! pipeline equals one unsharded run split across shards); scaling is
-//! the partition pass plus `std::thread::scope` fan-out. Shard scaling
+//! the partition pass plus the persistent shard runtime's dispatch (in
+//! `IngestMode::Auto`, so a single-core host ingests inline — see the
+//! `thread_scaling` group for the mode forced both ways). Shard scaling
 //! is bounded by the cores the host actually exposes — on a single-core
 //! container the 2- and 4-shard rates collapse onto the 1-shard rate
-//! plus partition overhead (the recorded BENCH_N notes the host's core
-//! count for exactly this reason).
+//! plus partition overhead (the recorded BENCH_N carries the host's
+//! core count as `_meta/host_cores` for exactly this reason).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use hh_core::HhParams;

@@ -69,7 +69,7 @@ use hh_hash::{HashFamily, HashFunction, MultiplyShift64Family, MultiplyShift64Ha
 use hh_sampling::{BitBudget, BitSkipSampler};
 use hh_space::{gamma_sum_bits, sparse_slice_bits, SpaceUsage};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// Whether the accelerated epoch counters (the paper's T3) are active.
@@ -141,6 +141,30 @@ fn trial_tables(k_eps: u32) -> (Box<[u64; 256]>, Box<[u64; 256]>, Box<[u8; 256]>
     (t3_mask, t3_add, t3_slot)
 }
 
+/// Most fresh 64-bit words the aligned coin schedule may spend on one
+/// sample's T3 slices. `⌈R / ⌊64/k⌋⌉` beyond this (huge `R` at large
+/// `k`) falls back to the legacy buffered-bit schedule.
+const MAX_COIN_WORDS: usize = 8;
+
+/// Derives the aligned coin layout for `(k_eps, r)`: per-repetition
+/// `(word, shift)` sources, the per-sample word budget `W`, and whether
+/// the layout is representable at all (`k ∈ [1, 64]`, `R ≤ 64` so the
+/// T2 coins fit one bitmask, `W ≤ MAX_COIN_WORDS`). Pure function of
+/// the parameters — recomputed on snapshot restore, never serialized.
+fn coin_layout(k_eps: u32, r: usize) -> (u32, bool) {
+    // `k = 64` is excluded so the fast path's slice sentinel `1 << k`
+    // stays a valid shift; that degenerate width keeps the legacy path.
+    if k_eps == 0 || k_eps >= 64 || r > 64 {
+        return (0, false);
+    }
+    let per = (64 / k_eps) as usize;
+    let words = r.div_ceil(per);
+    if words > MAX_COIN_WORDS {
+        return (0, false);
+    }
+    (words as u32, true)
+}
+
 /// Algorithm 2 of the paper (Theorem 2).
 ///
 /// Per-repetition state lives in flat rep-major arrays (`t2`, `t3`,
@@ -189,8 +213,21 @@ pub struct OptimalListHh {
     k_eps: u32,
     /// Geometric-skip source of the per-repetition Bernoulli(ε̂) T2 coins.
     t2_skip: BitSkipSampler,
-    /// Buffered k-bit slices for the T3 coins.
+    /// Buffered k-bit slices for the T3 coins (legacy coin schedule
+    /// only — the aligned schedule below draws whole words per sample;
+    /// the field stays live for the Flat ablation and for snapshot
+    /// format stability).
     bits: BitBudget,
+    /// Fresh words drawn per sample under the aligned coin schedule
+    /// (`⌈R / ⌊64/k⌋⌉` — `⌊64/k⌋` k-bit slices per word, remainders
+    /// discarded). Derived from `(k_eps, R)` at construction/restore,
+    /// never serialized.
+    slice_words: u32,
+    /// Whether the aligned coin schedule is in effect (accelerated mode
+    /// with a representable layout). Decides between the fast and the
+    /// legacy per-sample update on *both* the scalar and batch paths,
+    /// so the two stay draw-for-draw identical.
+    fast_coins: bool,
     mode: EpochMode,
     samples: u64,
     rng: StdRng,
@@ -289,6 +326,7 @@ impl OptimalListHh {
         let cells = r * buckets as usize;
 
         let (t3_mask, t3_add, t3_slot) = trial_tables(k_eps);
+        let (slice_words, layout_ok) = coin_layout(k_eps, r);
 
         Ok(Self {
             params,
@@ -309,6 +347,8 @@ impl OptimalListHh {
             k_eps,
             t2_skip: BitSkipSampler::with_exponent(k_eps),
             bits: BitBudget::new(),
+            slice_words,
+            fast_coins: layout_ok && mode == EpochMode::Accelerated,
             mode,
             samples: 0,
             rng,
@@ -592,8 +632,12 @@ impl StreamSummary for OptimalListHh {
     /// unsampled run costs one subtraction — its elements are never
     /// loaded — and all per-element work concentrates on the `s ≈ p·n`
     /// sampled items, which is the literal shape of the paper's
-    /// O(1)-amortized argument. RNG draw order matches the element-wise
-    /// path exactly: same-seed batch runs are bit-identical.
+    /// O(1)-amortized argument. Each sampled item runs the same fused
+    /// per-sample kernel as element-wise insertion (`apply_sample`
+    /// under the aligned coin schedule), so same-seed batch runs are
+    /// bit-identical to element-wise runs by construction; see
+    /// DESIGN.md §10 for why the fused form beats a separately staged
+    /// collect/apply split on L2-resident tables.
     fn insert_batch(&mut self, items: &[u64]) {
         debug_assert!(
             items.iter().all(|&x| x < self.universe),
@@ -610,6 +654,20 @@ impl StreamSummary for OptimalListHh {
             }
             return;
         }
+        self.skip_batch(items);
+    }
+}
+
+impl OptimalListHh {
+    /// Skip over unsampled runs, run the full per-sample update on each
+    /// hit; state and RNG draws are identical to element-wise insertion
+    /// by construction. (Deferring the T1 updates into one
+    /// `MisraGries::insert_batch` call at the end commutes — T1 shares
+    /// no state or coins with the tables — but measures ~4ms *slower*:
+    /// inline, T1's probe chain hides under the RNG latency; extracted,
+    /// it pays its full serial cost. Same shape as the staged-kernel
+    /// rejection in DESIGN.md §10.)
+    fn skip_batch(&mut self, items: &[u64]) {
         let mut i = 0usize;
         let n = items.len();
         while i < n {
@@ -625,6 +683,110 @@ impl StreamSummary for OptimalListHh {
     }
 }
 
+/// Draws one sample's R-bit T2 coin mask from the geometric-skip
+/// sampler: bit `j` set means repetition `j`'s Bernoulli(ε̂) coin came
+/// up heads. At rate `2^{-k}` the common case is a single compare-and-
+/// subtract covering all `R` trials — the per-trial `accept` chain this
+/// replaces cost a data-dependent RNG round trip per repetition.
+#[inline(always)]
+fn draw_t2_mask(skip: &mut BitSkipSampler, rng: &mut StdRng, r: usize) -> u64 {
+    let mut mask = 0u64;
+    let mut off = 0usize;
+    while off < r {
+        match skip.next_within((r - off) as u64, rng) {
+            None => break,
+            Some(gap) => {
+                off += gap as usize;
+                mask |= 1u64 << off;
+                off += 1;
+            }
+        }
+    }
+    mask
+}
+
+/// The shared per-sample T2/T3 update under the aligned coin schedule:
+/// one pass over the `R` repetitions with every coin pre-drawn (`t2_mask`
+/// bit `j` is repetition `j`'s T2 coin; the T3 slices sit `⌊64/k⌋` to a
+/// word in `words`, in repetition order). Every caller — the scalar
+/// fast path and, through it, the batch skip loop — computes this exact
+/// update, so element-wise and batched ingestion are bit-identical by
+/// construction.
+///
+/// Two restructurings keep the per-repetition trip lean:
+///
+/// - **T2 splits off.** Coins land at rate ε̂ = 2^{-k}, so almost every
+///   repetition's T2 test is dead weight. A pop-bits loop over the mask
+///   handles just the set bits, in ascending repetition order, *before*
+///   the T3 pass — each repetition's trial reads only its own row, and
+///   its own coin precedes it in both orders, so the final state
+///   matches the interleaved form exactly.
+/// - **Threshold-form trials.** A slice accepts at epoch `e` iff its
+///   low `k − e` bits are zero, i.e. iff `e ≥ k − tz(slice)` with `tz`
+///   clamped to `k` by a sentinel bit. One `tzcnt` and a signed byte
+///   compare replace the mask/veto table loads, and `EPOCH_NONE = 0xFF`
+///   read as `i8` is `−1`, below every threshold — the below-epoch-0
+///   veto costs nothing. Slices are consumed by shifting the current
+///   word in a register (`w >>= k`), so the pass never re-derives a
+///   (word, shift) source pair. The accept decision itself is a
+///   conditional move: the outcome tracks the data, and a branch there
+///   mispredicts its way to dominating the update cost.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn apply_sample(
+    hashes: &[MultiplyShift64Hash],
+    t2: &mut [u64],
+    t3: &mut [u64],
+    epochs: &mut [u8],
+    thresholds: &[u64],
+    b: usize,
+    kp1: usize,
+    item: u64,
+    t2_mask: u64,
+    words: &[u64],
+) {
+    let k = kp1 as u32 - 1;
+    let kmask = (1u64 << k) - 1;
+    let top = 1u64 << k;
+    let per = (64 / k) as usize;
+    let r = hashes.len();
+    let sink_base = t3.len() - r;
+    // T2 pass: only the heads, ascending repetition order.
+    let mut m = t2_mask;
+    while m != 0 {
+        let j = m.trailing_zeros() as usize;
+        m &= m - 1;
+        let cell = j * b + hashes[j].hash(item) as usize;
+        let v = t2[cell] + 1;
+        t2[cell] = v;
+        epochs[cell] = OptimalListHh::advance_epoch(thresholds, epochs[cell], v);
+    }
+    // T3 pass: trial at p_t = 2^{t−k} for the cached epoch t; accepted
+    // trials land in slot `e`, failures in the repetition's sink cell.
+    let mut j = 0usize;
+    'words: for &word in words {
+        let mut w = word;
+        for _ in 0..per {
+            if j == r {
+                break 'words;
+            }
+            let cell = j * b + hashes[j].hash(item) as usize;
+            let s = w & kmask | top;
+            w >>= k;
+            let thr = k as i32 - s.trailing_zeros() as i32;
+            let e = epochs[cell];
+            let accept = i32::from(e as i8) >= thr;
+            let idx = if accept {
+                cell * kp1 + e as usize
+            } else {
+                sink_base + j
+            };
+            t3[idx] += 1;
+            j += 1;
+        }
+    }
+}
+
 impl OptimalListHh {
     /// Full per-sample update: T1 candidate tracking plus the R-repetition
     /// T2/T3 pass.
@@ -636,7 +798,60 @@ impl OptimalListHh {
         self.cache.invalidate();
         self.samples += 1;
         self.t1.insert(item);
+        if self.fast_coins {
+            self.sampled_insert_fast(item);
+        } else {
+            self.sampled_insert_legacy(item);
+        }
+    }
 
+    /// Scalar fast path under the aligned coin schedule: draw the
+    /// sample's whole coin block up front — the T2 mask, then `W` fresh
+    /// slice words — and replay it through the shared [`apply_sample`]
+    /// body. Front-loading the draws takes the serial RNG chain off the
+    /// table pass entirely: the old interleaved order re-entered the
+    /// generator between every repetition, and each re-entry was a
+    /// data-dependent round trip the out-of-order window could not hide.
+    fn sampled_insert_fast(&mut self, item: u64) {
+        let b = self.buckets as usize;
+        let kp1 = self.k_eps as usize + 1;
+        let r = self.hashes.len();
+        let wn = self.slice_words as usize;
+        let Self {
+            hashes,
+            t2,
+            t3,
+            epochs,
+            epoch_thresholds,
+            t2_skip,
+            rng,
+            ..
+        } = self;
+        let mut skip = *t2_skip;
+        let t2_mask = draw_t2_mask(&mut skip, rng, r);
+        *t2_skip = skip;
+        let mut words = [0u64; MAX_COIN_WORDS];
+        for w in words[..wn].iter_mut() {
+            *w = rng.next_u64();
+        }
+        apply_sample(
+            hashes,
+            t2,
+            t3,
+            epochs,
+            epoch_thresholds,
+            b,
+            kp1,
+            item,
+            t2_mask,
+            &words[..wn],
+        );
+    }
+
+    /// Legacy per-sample update (Flat ablation and unrepresentable coin
+    /// layouts): per-repetition interleaved draws — T2 `accept`, then a
+    /// buffered k-bit T3 slice — against the same tables.
+    fn sampled_insert_legacy(&mut self, item: u64) {
         let b = self.buckets as usize;
         let k = self.k_eps;
         let kp1 = k as usize + 1;
@@ -676,14 +891,12 @@ impl OptimalListHh {
             if !accelerated {
                 continue;
             }
-            // T3 trial at p_t = 2^{t−k} for the cached epoch t. The whole
-            // decision is branchless — the epoch class of a bucket is
-            // data-random across repetitions, so a branch here
-            // mispredicts its way to dominating the update cost. A fixed
+            // T3 trial at p_t = 2^{t−k} for the cached epoch t. A fixed
             // k-bit slice is drawn either way (failed and below-epoch-0
             // trials just discard it), the mask/veto tables turn the
-            // epoch byte into an accept bit, and failed trials bounce
-            // their increment into the always-hot sink cell.
+            // epoch byte into an accept bit (a conditional move, not a
+            // branch), and failed trials bounce their increment into the
+            // per-repetition sink cell.
             let slice = buf.take(k, rng);
             let e = epochs[cell] as usize;
             let accept = (slice & t3_mask[e]).wrapping_add(t3_add[e]) == 0;
@@ -833,6 +1046,7 @@ impl<'de> Deserialize<'de> for OptimalListHh {
         // merge fast path relies on even for hand-crafted buffers.
         let epochs = Self::epochs_from_t2(&t2, &epoch_thresholds);
         let (t3_mask, t3_add, t3_slot) = trial_tables(k_eps);
+        let (slice_words, layout_ok) = coin_layout(k_eps, r);
         Ok(Self {
             params,
             universe,
@@ -851,6 +1065,8 @@ impl<'de> Deserialize<'de> for OptimalListHh {
             k_eps,
             t2_skip,
             bits,
+            slice_words,
+            fast_coins: layout_ok && accelerated,
             mode: if accelerated {
                 EpochMode::Accelerated
             } else {
@@ -1014,6 +1230,48 @@ mod tests {
     use hh_streams::{arrange, OrderPolicy};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    /// Timing probe for the fused fast path; run with
+    /// `cargo test --release -p hh-core kernel_probe -- --ignored --nocapture`.
+    #[test]
+    #[ignore = "manual perf probe, not a correctness test"]
+    fn kernel_probe() {
+        use std::time::Instant;
+        let m: u64 = 1 << 21;
+        let params = HhParams::new(0.05, 0.2).unwrap();
+        let mut zipf_rng = StdRng::seed_from_u64(7);
+        let n_items: u64 = 1 << 32;
+        // The batch_update_time bench's exact stream.
+        let mut gen = hh_streams::ZipfGenerator::new(n_items, 1.2).scrambled(&mut zipf_rng);
+        let stream: Vec<u64> = hh_streams::collect_stream(&mut gen, m as usize, &mut zipf_rng);
+        let mut a = OptimalListHh::new(params, n_items, m, 42).unwrap();
+        eprintln!(
+            "R={} buckets={} k_eps={} sampler_k={} p={}",
+            a.repetitions(),
+            a.buckets,
+            a.k_eps,
+            a.sampler.exponent(),
+            a.p
+        );
+        let t0 = Instant::now();
+        for chunk in stream.chunks(16384) {
+            a.insert_batch(chunk);
+        }
+        let full = t0.elapsed();
+        let r = a.hashes.len();
+        let sinks: u64 = a.t3[a.t3.len() - r..].iter().sum();
+        let accepts: u64 = a.t3[..a.t3.len() - r].iter().sum();
+        let coins: u64 = a.t2.iter().sum();
+        eprintln!(
+            "full={:?} samples={} pairs={} accepts={} sinks={} t2coins={}",
+            full,
+            a.samples(),
+            a.samples() * r as u64,
+            accepts,
+            sinks,
+            coins
+        );
+    }
 
     fn planted_stream(m: u64, heavy: &[(u64, f64)], seed: u64) -> Vec<u64> {
         let mut counts: Vec<(u64, u64)> = heavy

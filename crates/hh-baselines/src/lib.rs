@@ -23,8 +23,9 @@
 //! The mergeable baselines (Misra–Gries, Space-Saving, Lossy Counting,
 //! Count-Min, CountSketch) implement [`hh_core::MergeableSummary`] —
 //! merge plus binary snapshot/restore — next to their definitions;
-//! [`merge`] keeps the thread-per-shard [`shard_and_merge`] runner
-//! built on that trait (DESIGN.md §7).
+//! [`merge`] keeps the [`shard_and_merge`] convenience runner built on
+//! that trait, now a shim over the persistent shard runtime in
+//! `hh-pipeline` (DESIGN.md §7, §10).
 //!
 //! # Example
 //!

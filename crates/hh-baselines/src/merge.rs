@@ -5,7 +5,7 @@
 //! built on streams `A` and `B` combine into one capacity-`k` summary of
 //! `A ⊎ B` with the same `(|A|+|B|)/(k+1)` error bound. That turns a
 //! single-pass algorithm into a data-parallel one: shard the stream,
-//! summarize shards on separate threads (std scoped threads), merge.
+//! summarize shards on persistent worker threads, merge.
 //!
 //! The merge implementations themselves live with their summaries —
 //! [`crate::SpaceSaving`], [`crate::MisraGriesBaseline`],
@@ -13,9 +13,12 @@
 //! [`crate::LossyCounting`] all implement
 //! [`hh_core::MergeableSummary`], as do the paper algorithms in
 //! `hh-core`. `hh-pipeline` builds the general partition-and-merge and
-//! windowed runners on the same trait; this module keeps the original
-//! thread-per-shard convenience runner the `crossover` experiment and
-//! the property suites drive.
+//! windowed runners on the same trait; this module keeps the
+//! factory-closure convenience runner the `crossover` experiment and
+//! the property suites drive. Since the `ShardRuntime` port it is a
+//! thin shim over [`hh_pipeline::partition_and_merge`], so it inherits
+//! the runtime's single-core sequential fallback instead of spawning
+//! threads a 1-vCPU host cannot use.
 
 use hh_core::{MergeableSummary, StreamSummary};
 
@@ -38,34 +41,17 @@ pub use hh_core::MergeableSummary as Mergeable;
 /// via `with_seeds`).
 pub fn shard_and_merge<S, F>(stream: &[u64], shards: usize, make: F) -> S
 where
-    S: StreamSummary + MergeableSummary + Send,
-    F: Fn() -> S + Send + Sync,
+    S: StreamSummary + MergeableSummary + Send + 'static,
+    F: Fn() -> S,
 {
     assert!(shards >= 1, "need at least one shard");
-    let chunk = stream.len().div_ceil(shards).max(1);
-    let make = &make;
-    let mut summaries: Vec<S> = std::thread::scope(|scope| {
-        let handles: Vec<_> = stream
-            .chunks(chunk)
-            .map(|part| {
-                scope.spawn(move || {
-                    let mut s = make();
-                    s.insert_all(part);
-                    s
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("shard worker"))
-            .collect()
-    });
-    let mut acc = summaries.remove(0);
-    for s in &summaries {
-        acc.merge_from(s)
-            .expect("factory summaries must be merge-compatible");
-    }
-    acc
+    // The factory runs on the caller's thread (it need not be `Sync`);
+    // the runtime behind `partition_and_merge` owns the summaries from
+    // there on, picking persistent workers or the sequential fallback
+    // by core count.
+    let summaries: Vec<S> = (0..shards).map(|_| make()).collect();
+    hh_pipeline::partition_and_merge(summaries, stream)
+        .expect("factory summaries must be merge-compatible")
 }
 
 #[cfg(test)]

@@ -46,9 +46,12 @@
 //!
 //! Ingestion is batch-oriented: [`ShardedPipeline::ingest`] partitions a
 //! batch into per-shard scratch buffers with a fast-range over the shared
-//! hash, then drives every shard's
-//! [`StreamSummary::insert_batch`] on its own scoped thread
-//! (`std::thread::scope` — no detached state, panics propagate).
+//! hash, then hands each buffer to that shard's **persistent worker**
+//! ([`runtime::ShardRuntime`]): threads are spawned once at
+//! construction, batches travel through bounded queues, reads
+//! synchronize via a flush barrier, and worker panics propagate on
+//! join. Single-core hosts fall back to inline sequential ingestion —
+//! same state, no threads.
 //!
 //! # Example
 //!
@@ -66,6 +69,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod runtime;
+
+pub use runtime::{IngestMode, ShardRuntime};
 
 use hh_core::{FrequencyEstimator, HeavyHitters, HhParams, ItemEstimate, OptimalListHh};
 use hh_core::{MergeError, MergeableSummary, ParamError, QueryCache, Report};
@@ -88,8 +95,12 @@ fn mix64(mut z: u64) -> u64 {
 /// own (independently seeded) summary.
 #[derive(Debug)]
 pub struct ShardedPipeline<S> {
-    shards: Vec<S>,
-    /// Per-shard partition buffers, reused across `ingest` calls.
+    /// The persistent worker bank (or its inline sequential fallback);
+    /// see [`runtime::ShardRuntime`].
+    runtime: ShardRuntime<S>,
+    /// Per-shard partition buffers. In parallel mode each `dispatch`
+    /// swaps the filled buffer for a recycled one from the runtime's
+    /// free list, so the same few allocations circulate forever.
     scratch: Vec<Vec<u64>>,
     /// Odd multiplier of the shared routing hash (Dietzfelbinger's
     /// plain-universal multiply: `h(x) = a·x mod 2⁶⁴`, then a fast-range
@@ -99,19 +110,9 @@ pub struct ShardedPipeline<S> {
     /// (callers pass the `φ − ε/2` of their summary's reporting rule).
     threshold: f64,
     total: u64,
-    /// Whether the host exposes more than one core. Decided once at
-    /// construction: on a single-core host the scoped-thread fan-out is
-    /// pure overhead (the OS serializes the shard work anyway, after
-    /// paying one thread spawn per non-empty shard per batch), so
-    /// ingestion falls back to driving the shards sequentially — same
-    /// partition pass, same per-shard state, no threads. BENCH_4's
-    /// negative shard scaling on the single-vCPU recording host was
-    /// exactly this overhead; DESIGN.md §8 records the measured
-    /// crossover.
-    parallel: bool,
 }
 
-impl<S: StreamSummary + Send> ShardedPipeline<S> {
+impl<S: StreamSummary + Send + 'static> ShardedPipeline<S> {
     /// A pipeline of `num_shards ≥ 1` summaries built by `make(shard)`,
     /// routing keys with a universal hash drawn from `seed`. The final
     /// report keeps union entries with at least `threshold · total`
@@ -128,32 +129,44 @@ impl<S: StreamSummary + Send> ShardedPipeline<S> {
 
     /// A pipeline over prebuilt shard summaries (one per shard, in shard
     /// order); see [`ShardedPipeline::new`] for the routing and
-    /// threshold conventions.
+    /// threshold conventions. Workers (or the sequential fallback) are
+    /// chosen by [`IngestMode::Auto`]; use
+    /// [`ShardedPipeline::with_mode`] to force a mode.
     pub fn from_summaries(shards: Vec<S>, seed: u64, threshold: f64) -> Self {
+        Self::with_mode(shards, seed, threshold, IngestMode::Auto)
+    }
+
+    /// [`ShardedPipeline::from_summaries`] with an explicit ingest mode
+    /// (the equivalence suite pins [`IngestMode::Parallel`] against
+    /// [`IngestMode::Sequential`] on one host; everything else should
+    /// use [`IngestMode::Auto`]).
+    pub fn with_mode(shards: Vec<S>, seed: u64, threshold: f64, mode: IngestMode) -> Self {
         assert!(!shards.is_empty(), "need at least one shard");
         assert!(threshold >= 0.0, "threshold is a fraction of the stream");
         let scratch = vec![Vec::new(); shards.len()];
         Self {
-            shards,
+            runtime: ShardRuntime::new(shards, mode),
             scratch,
             multiplier: mix64(seed) | 1,
             threshold,
             total: 0,
-            parallel: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-                > 1,
         }
     }
 
     /// Number of shards.
     pub fn num_shards(&self) -> usize {
-        self.shards.len()
+        self.runtime.len()
     }
 
     /// Items ingested so far (across all shards).
     pub fn total(&self) -> u64 {
         self.total
+    }
+
+    /// Whether ingestion runs on persistent shard workers (false on the
+    /// single-core / single-shard sequential fallback).
+    pub fn is_parallel(&self) -> bool {
+        self.runtime.is_parallel()
     }
 
     /// The shard that owns `item` — every occurrence routes here.
@@ -163,28 +176,43 @@ impl<S: StreamSummary + Send> ShardedPipeline<S> {
         // Lemire fast-range of the full hashed word onto the shard count:
         // the same near-equal preimage classes as `h % shards` without
         // the division, and universality is inherited from the multiply.
-        ((h as u128 * self.shards.len() as u128) >> 64) as usize
+        ((h as u128 * self.runtime.len() as u128) >> 64) as usize
     }
 
-    /// The per-shard summaries (read-only; shard `j` holds exactly the
-    /// keys with `shard_of(key) == j`).
-    pub fn summaries(&self) -> &[S] {
-        &self.shards
+    /// Read access to shard `j`'s summary (shard `j` holds exactly the
+    /// keys with `shard_of(key) == j`). Waits for all dispatched batches
+    /// first, so the view is current.
+    pub fn with_summary<T>(&self, j: usize, f: impl FnOnce(&S) -> T) -> T {
+        self.runtime.flush();
+        self.runtime.with_summary(j, f)
+    }
+
+    /// Maps a read over every shard's summary, in shard order, after a
+    /// flush barrier.
+    pub fn map_summaries<T>(&self, f: impl FnMut(&S) -> T) -> Vec<T> {
+        self.runtime.flush();
+        self.runtime.map_summaries(f)
     }
 
     /// Ingests one batch: a partition pass scatters the batch into
-    /// per-shard buffers, then every shard with work runs its
-    /// [`StreamSummary::insert_batch`] on its own scoped thread. Calls
-    /// may be any size; summaries see their keys in stream order across
-    /// calls.
+    /// per-shard buffers, then each non-empty buffer is dispatched to
+    /// its shard's persistent worker (ingested inline on the sequential
+    /// fallback). Calls may be any size; summaries see their keys in
+    /// stream order across calls — per-shard queues are FIFO and a key
+    /// always routes to the same shard.
+    ///
+    /// Dispatch is asynchronous in parallel mode: the call returns once
+    /// the batch is *enqueued* (blocking only on a full shard queue for
+    /// back-pressure), and reads synchronize via the flush barrier every
+    /// read-side method takes.
     pub fn ingest(&mut self, batch: &[u64]) {
         self.total += batch.len() as u64;
-        if self.shards.len() == 1 {
+        if self.runtime.len() == 1 {
             // Single shard: the partition pass would be a copy.
-            self.shards[0].insert_batch(batch);
+            self.runtime.dispatch_ref(0, batch);
             return;
         }
-        let k = self.shards.len();
+        let k = self.runtime.len();
         for buf in &mut self.scratch {
             buf.clear();
             buf.reserve(batch.len() / k + batch.len() / (4 * k) + 16);
@@ -194,37 +222,27 @@ impl<S: StreamSummary + Send> ShardedPipeline<S> {
             let s = ((mul.wrapping_mul(x) as u128 * k as u128) >> 64) as usize;
             self.scratch[s].push(x);
         }
-        if !self.parallel {
-            // Single-core host: identical routing and per-shard batch
-            // semantics, minus the thread spawns the core cannot use.
-            for (shard, buf) in self.shards.iter_mut().zip(&self.scratch) {
-                if !buf.is_empty() {
-                    shard.insert_batch(buf);
-                }
-            }
-            return;
+        for (j, buf) in self.scratch.iter_mut().enumerate() {
+            self.runtime.dispatch(j, buf);
         }
-        std::thread::scope(|scope| {
-            for (shard, buf) in self.shards.iter_mut().zip(&self.scratch) {
-                if !buf.is_empty() {
-                    scope.spawn(move || shard.insert_batch(buf));
-                }
-            }
-        });
     }
 }
 
-impl<S: StreamSummary + HeavyHitters + Send> ShardedPipeline<S> {
+impl<S: StreamSummary + HeavyHitters + Send + 'static> ShardedPipeline<S> {
     /// The global report: the union of per-shard reports, re-thresholded
     /// against the global stream length. Shard reports threshold against
     /// their *own* (shorter) substreams, so they may include keys that
     /// are shard-heavy but globally light; the global cut removes them.
     /// Keys are disjoint across shards, so the union needs no combining.
+    ///
+    /// Waits for all dispatched batches (flush barrier) before reading.
     pub fn report(&self) -> Report {
+        self.runtime.flush();
         let bar = self.threshold * self.total as f64;
-        self.shards
+        self.runtime
+            .map_summaries(HeavyHitters::report)
             .iter()
-            .flat_map(|s| s.report().entries().to_vec())
+            .flat_map(|r| r.entries().to_vec())
             .filter(|e| e.count >= bar)
             .collect::<Vec<ItemEstimate>>()
             .into_iter()
@@ -232,9 +250,10 @@ impl<S: StreamSummary + HeavyHitters + Send> ShardedPipeline<S> {
     }
 
     /// The raw per-shard reports (before the global threshold), for
-    /// diagnostics and tests.
+    /// diagnostics and tests. Flushes first.
     pub fn shard_reports(&self) -> Vec<Report> {
-        self.shards.iter().map(HeavyHitters::report).collect()
+        self.runtime.flush();
+        self.runtime.map_summaries(HeavyHitters::report)
     }
 }
 
@@ -321,12 +340,13 @@ pub fn seed_aligned_algo2(
         .collect()
 }
 
-/// Splits `stream` into one positional chunk per summary, ingests every
-/// chunk on its own scoped thread, and merges the results left to
-/// right. This is the merge-based counterpart of [`ShardedPipeline`]:
-/// the partition is arbitrary (chunks here; any split works), so it
-/// models distributed ingestion where each node summarizes whatever
-/// reached it.
+/// Splits `stream` into one positional chunk per summary, ingests the
+/// chunks concurrently on a [`ShardRuntime`] worker bank (inline on the
+/// single-core fallback — no thread is ever spawned that the host
+/// cannot use), and merges the results left to right. This is the
+/// merge-based counterpart of [`ShardedPipeline`]: the partition is
+/// arbitrary (chunks here; any split works), so it models distributed
+/// ingestion where each node summarizes whatever reached it.
 ///
 /// # Errors
 /// [`MergeError`] if the summaries are not merge-compatible (randomized
@@ -348,24 +368,21 @@ pub fn seed_aligned_algo2(
 /// let merged = partition_and_merge(parts, &stream).unwrap();
 /// assert!(merged.report().contains(7)); // 50% item at phi = 20%
 /// ```
-pub fn partition_and_merge<S>(mut summaries: Vec<S>, stream: &[u64]) -> Result<S, MergeError>
+pub fn partition_and_merge<S>(summaries: Vec<S>, stream: &[u64]) -> Result<S, MergeError>
 where
-    S: StreamSummary + MergeableSummary + Send,
+    S: StreamSummary + MergeableSummary + Send + 'static,
 {
     assert!(!summaries.is_empty(), "need at least one part");
     let chunk = stream.len().div_ceil(summaries.len()).max(1);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = summaries
-            .iter_mut()
-            .zip(stream.chunks(chunk))
-            .map(|(s, part)| scope.spawn(move || s.insert_batch(part)))
-            .collect();
-        for h in handles {
-            h.join().expect("partition worker");
-        }
-    });
-    let mut acc = summaries.remove(0);
-    for s in &summaries {
+    let mut rt = ShardRuntime::new(summaries, IngestMode::Auto);
+    for (j, part) in stream.chunks(chunk).enumerate() {
+        rt.dispatch_ref(j, part);
+    }
+    // `into_summaries` joins the workers, which drains every queue — an
+    // implicit flush — and propagates any worker panic.
+    let mut parts = rt.into_summaries();
+    let mut acc = parts.remove(0);
+    for s in &parts {
         acc.merge_from(s)?;
     }
     Ok(acc)
@@ -430,22 +447,34 @@ impl<S: FrequencyEstimator> Frozen<S> {
 /// query burst between batches pays one merge, not one per query.
 #[derive(Debug)]
 pub struct PartitionedPipeline<S> {
-    parts: Vec<S>,
+    /// The part bank behind persistent workers (or the inline fallback);
+    /// round-robin ingestion means each part has its own worker and
+    /// consecutive batches pipeline across them.
+    runtime: ShardRuntime<S>,
     next: usize,
     total: u64,
     /// Materialized merge of the bank; dropped by every `ingest`.
     merged_cache: QueryCache<S>,
 }
 
-impl<S: StreamSummary + MergeableSummary + Clone> PartitionedPipeline<S> {
-    /// A pipeline over a prebuilt bank of merge-compatible summaries.
+impl<S: StreamSummary + MergeableSummary + Clone + Send + 'static> PartitionedPipeline<S> {
+    /// A pipeline over a prebuilt bank of merge-compatible summaries,
+    /// with workers (or the sequential fallback) chosen by
+    /// [`IngestMode::Auto`].
     ///
     /// # Panics
     /// If `parts` is empty.
     pub fn new(parts: Vec<S>) -> Self {
+        Self::with_mode(parts, IngestMode::Auto)
+    }
+
+    /// [`PartitionedPipeline::new`] with an explicit ingest mode (for
+    /// the mode-equivalence suite; everything else should use
+    /// [`IngestMode::Auto`]).
+    pub fn with_mode(parts: Vec<S>, mode: IngestMode) -> Self {
         assert!(!parts.is_empty(), "need at least one part");
         Self {
-            parts,
+            runtime: ShardRuntime::new(parts, mode),
             next: 0,
             total: 0,
             merged_cache: QueryCache::new(),
@@ -454,7 +483,7 @@ impl<S: StreamSummary + MergeableSummary + Clone> PartitionedPipeline<S> {
 
     /// Number of parts in the bank.
     pub fn num_parts(&self) -> usize {
-        self.parts.len()
+        self.runtime.len()
     }
 
     /// Items ingested so far across all parts.
@@ -462,17 +491,22 @@ impl<S: StreamSummary + MergeableSummary + Clone> PartitionedPipeline<S> {
         self.total
     }
 
-    /// Ingests one batch into the next part (round-robin).
+    /// Ingests one batch into the next part (round-robin). In parallel
+    /// mode the batch is handed to that part's persistent worker and the
+    /// call returns immediately — consecutive calls land on *different*
+    /// parts, so a stream of batches genuinely pipelines across the
+    /// bank; reads synchronize through the flush barrier.
     pub fn ingest(&mut self, batch: &[u64]) {
         self.merged_cache.invalidate();
         self.total += batch.len() as u64;
-        self.parts[self.next].insert_batch(batch);
-        self.next = (self.next + 1) % self.parts.len();
+        self.runtime.dispatch_ref(self.next, batch);
+        self.next = (self.next + 1) % self.runtime.len();
     }
 
-    /// The per-part summaries (read-only).
-    pub fn parts(&self) -> &[S] {
-        &self.parts
+    /// Read access to part `j`'s summary, after a flush barrier.
+    pub fn with_part<T>(&self, j: usize, f: impl FnOnce(&S) -> T) -> T {
+        self.runtime.flush();
+        self.runtime.with_summary(j, f)
     }
 
     /// The cached merged summary, building it if an ingest left the
@@ -481,9 +515,10 @@ impl<S: StreamSummary + MergeableSummary + Clone> PartitionedPipeline<S> {
         if let Some(s) = self.merged_cache.get() {
             return Ok(s);
         }
-        let mut acc = self.parts[0].clone();
-        for s in &self.parts[1..] {
-            acc.merge_from(s)?;
+        self.runtime.flush();
+        let mut acc = self.runtime.with_summary(0, S::clone);
+        for j in 1..self.runtime.len() {
+            self.runtime.with_summary(j, |s| acc.merge_from(s))?;
         }
         Ok(self.merged_cache.get_or_build(|| acc))
     }
@@ -823,7 +858,10 @@ mod tests {
         let mut direct = MisraGriesBaseline::new(0.05, 0.2, 1 << 21);
         direct.insert_all(&stream);
         for probe in [7u64, 1_000_001, 1_002_222] {
-            assert_eq!(pipe.summaries()[0].estimate(probe), direct.estimate(probe));
+            assert_eq!(
+                pipe.with_summary(0, |s| s.estimate(probe)),
+                direct.estimate(probe)
+            );
         }
         assert_eq!(pipe.total(), 50_000);
     }
@@ -843,15 +881,15 @@ mod tests {
         for item in [7u64, 8] {
             let shard = pipe.shard_of(item);
             let truth = stream.iter().filter(|&&x| x == item).count() as f64;
-            let est = pipe.summaries()[shard].estimate(item);
+            let est = pipe.with_summary(shard, |s| s.estimate(item));
             // Space-Saving never undercounts and its overshoot is bounded
             // by the SHARD substream length over capacity.
             assert!(est >= truth, "item {item}: {est} < {truth}");
             assert!(est <= truth + 60_000.0 / 64.0, "item {item}: {est}");
             // Other shards know nothing about the key.
-            for (j, s) in pipe.summaries().iter().enumerate() {
+            for (j, est) in pipe.map_summaries(|s| s.estimate(item)).iter().enumerate() {
                 if j != shard {
-                    assert_eq!(s.estimate(item), 0.0, "key leaked to shard {j}");
+                    assert_eq!(*est, 0.0, "key leaked to shard {j}");
                 }
             }
         }
@@ -990,7 +1028,7 @@ mod tests {
                 direct.insert_batch(&scratch);
             }
             assert_eq!(
-                pipe.summaries()[j].report().entries(),
+                pipe.with_summary(j, |s| s.report().entries().to_vec()),
                 direct.report().entries(),
                 "shard {j} diverged (keys {})",
                 keys.len()

@@ -1,0 +1,378 @@
+//! Persistent shard workers: the ingestion substrate behind
+//! [`crate::ShardedPipeline`], [`crate::PartitionedPipeline`], and
+//! [`crate::partition_and_merge`].
+//!
+//! The previous generation of these pipelines spawned scoped threads
+//! *per ingest call*. One spawn per shard per batch is invisible for
+//! whole-stream calls but dominates batch-oriented ingestion — BENCH_4
+//! measured the key-sharded pipeline *losing* to its own sequential
+//! fallback on exactly that overhead. [`ShardRuntime`] makes the
+//! regression structurally impossible: worker threads are spawned
+//! **once**, at construction, and batches travel through bounded
+//! per-worker queues for the runtime's whole life.
+//!
+//! # Shape
+//!
+//! Each shard pairs a worker thread with a [`std::sync::mpsc`] channel
+//! of [`QUEUE_DEPTH`] batch slots. The worker owns its summary behind
+//! an `Arc<Mutex<_>>` — the mutex is uncontended in steady state (the
+//! worker is the only writer; readers lock only after a
+//! [`ShardRuntime::flush`] barrier has drained the queues) and exists
+//! so quiescent reads need no channel round-trip. Drained batch buffers
+//! recycle through a free list back to the dispatcher, so steady-state
+//! ingestion allocates nothing: about `QUEUE_DEPTH + 2` buffers per
+//! shard circulate forever.
+//!
+//! The queue bound is deliberate back-pressure: a dispatcher that runs
+//! ahead of a slow shard blocks on that shard's queue instead of
+//! buffering the overflow, which caps in-flight memory at
+//! `shards × QUEUE_DEPTH` batches and keeps the partition pass from
+//! racing unboundedly ahead of ingestion.
+//!
+//! # Sequential fallback
+//!
+//! On a single-core host (or a single-shard configuration) the fan-out
+//! cannot win — the OS serializes the work anyway, after paying the
+//! queue hops. [`IngestMode::Auto`] therefore degrades to inline
+//! sequential ingestion: same cells, same per-shard state, no threads.
+//! Every caller inherits the guard by construction; DESIGN.md §10
+//! records the measured crossover. [`IngestMode::Parallel`] /
+//! [`IngestMode::Sequential`] force a mode, which is how the
+//! equivalence suite pins both paths on one host.
+//!
+//! # Panics propagate
+//!
+//! A worker that panics mid-batch drops its receiver as it unwinds, so
+//! the next dispatch to it fails fast — the runtime joins the dead
+//! worker and re-raises its payload — and an in-progress
+//! [`ShardRuntime::flush`] reports the death instead of waiting on an
+//! acknowledgement that will never come. Nothing deadlocks on a dead
+//! shard, and the panic is never swallowed: shutdown joins every worker
+//! and re-raises the first payload it finds.
+
+use hh_core::StreamSummary;
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+
+/// Batch slots per worker queue. Two slots give double-buffering — the
+/// dispatcher partitions batch `n + 1` while the worker drains batch
+/// `n` — and anything deeper only adds in-flight memory: the dispatcher
+/// and worker advance in lockstep once the pipe is full, so extra slots
+/// never fill except ahead of a stall they merely postpone.
+pub const QUEUE_DEPTH: usize = 2;
+
+/// How a [`ShardRuntime`] drives its shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestMode {
+    /// Persistent workers iff the host has more than one core *and*
+    /// there is more than one shard; inline otherwise. The right choice
+    /// everywhere outside of mode-equivalence tests.
+    Auto,
+    /// Inline ingestion on the calling thread, always.
+    Sequential,
+    /// Persistent workers, even on a single core (the equivalence suite
+    /// pins this against [`IngestMode::Sequential`] on one host).
+    Parallel,
+}
+
+/// Work sent to a shard worker.
+enum Job {
+    /// Ingest one batch (the buffer returns through the free list).
+    Batch(Vec<u64>),
+    /// Barrier acknowledgement: by channel FIFO, every batch enqueued
+    /// before this job has been fully ingested when the ack arrives.
+    Flush(Sender<()>),
+}
+
+struct Worker {
+    tx: SyncSender<Job>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// A fixed bank of summaries, each driven by its own persistent worker
+/// thread (or inline, in sequential mode). See the module docs for the
+/// design; see [`crate::ShardedPipeline`] for the primary consumer.
+pub struct ShardRuntime<S> {
+    cells: Vec<Arc<Mutex<S>>>,
+    /// Empty in sequential mode.
+    workers: Vec<Worker>,
+    /// Recycled batch buffers, refilled by workers after each drain
+    /// (always disconnected-empty on the sequential fallback, which
+    /// never allocates batch buffers at all).
+    free_rx: Receiver<Vec<u64>>,
+}
+
+impl<S> std::fmt::Debug for ShardRuntime<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardRuntime")
+            .field("shards", &self.cells.len())
+            .field("parallel", &!self.workers.is_empty())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Single-writer locks cannot poison each other, but a reader callback
+/// may panic while holding the lock; the state it saw is still
+/// consistent (readers do not mutate), so recovery is always sound.
+fn lock<S>(cell: &Mutex<S>) -> std::sync::MutexGuard<'_, S> {
+    cell.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl<S: StreamSummary + Send + 'static> ShardRuntime<S> {
+    /// A runtime over `summaries` (one shard each, in order) in the
+    /// given mode.
+    ///
+    /// # Panics
+    /// If `summaries` is empty, or a worker thread cannot be spawned.
+    pub fn new(summaries: Vec<S>, mode: IngestMode) -> Self {
+        assert!(!summaries.is_empty(), "need at least one shard");
+        let parallel = match mode {
+            IngestMode::Sequential => false,
+            // Unconditional, even for one shard: the mode exists so the
+            // equivalence and panic-propagation suites can force the
+            // worker path onto any host.
+            IngestMode::Parallel => true,
+            IngestMode::Auto => {
+                summaries.len() > 1
+                    && std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(1)
+                        > 1
+            }
+        };
+        let cells: Vec<Arc<Mutex<S>>> = summaries
+            .into_iter()
+            .map(|s| Arc::new(Mutex::new(s)))
+            .collect();
+        let (free_tx, free_rx) = channel();
+        let workers = if parallel {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(j, cell)| {
+                    let (tx, rx) = sync_channel::<Job>(QUEUE_DEPTH);
+                    let cell = Arc::clone(cell);
+                    let free = free_tx.clone();
+                    let handle = std::thread::Builder::new()
+                        .name(format!("hh-shard-{j}"))
+                        .spawn(move || {
+                            while let Ok(job) = rx.recv() {
+                                match job {
+                                    Job::Batch(buf) => {
+                                        lock(&cell).insert_batch(&buf);
+                                        // Free-list send fails only after
+                                        // the runtime dropped; then the
+                                        // buffer just deallocates here.
+                                        let _ = free.send(buf);
+                                    }
+                                    Job::Flush(ack) => {
+                                        let _ = ack.send(());
+                                    }
+                                }
+                            }
+                        })
+                        .expect("spawn shard worker");
+                    Worker {
+                        tx,
+                        handle: Some(handle),
+                    }
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        drop(free_tx); // workers hold the only senders
+        Self {
+            cells,
+            workers,
+            free_rx,
+        }
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the runtime holds no shards (never true: construction
+    /// requires at least one).
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Whether persistent workers are running (false on the sequential
+    /// fallback).
+    pub fn is_parallel(&self) -> bool {
+        !self.workers.is_empty()
+    }
+
+    /// A recycled batch buffer from the free list, or a fresh one.
+    fn recycled(&mut self) -> Vec<u64> {
+        let mut buf = self.free_rx.try_recv().unwrap_or_default();
+        buf.clear();
+        buf
+    }
+
+    /// Enqueues `batch` on shard `j`'s worker, leaving a recycled empty
+    /// buffer (with warm capacity) in its place — the caller's scratch
+    /// vector and the runtime's free list form one circulating pool. In
+    /// sequential mode the batch is ingested inline and left untouched.
+    ///
+    /// Blocks when shard `j`'s queue is full (back-pressure), and
+    /// propagates the worker's panic if it died.
+    pub fn dispatch(&mut self, j: usize, batch: &mut Vec<u64>) {
+        if batch.is_empty() {
+            return;
+        }
+        if self.workers.is_empty() {
+            lock(&self.cells[j]).insert_batch(batch);
+            return;
+        }
+        let mut owned = self.recycled();
+        std::mem::swap(batch, &mut owned);
+        if self.workers[j].tx.send(Job::Batch(owned)).is_err() {
+            self.join_dead_worker(j);
+        }
+    }
+
+    /// Like [`ShardRuntime::dispatch`] for borrowed batches: copies
+    /// `items` into a recycled buffer in parallel mode, ingests inline
+    /// (zero-copy) in sequential mode.
+    pub fn dispatch_ref(&mut self, j: usize, items: &[u64]) {
+        if items.is_empty() {
+            return;
+        }
+        if self.workers.is_empty() {
+            lock(&self.cells[j]).insert_batch(items);
+            return;
+        }
+        let mut owned = self.recycled();
+        owned.extend_from_slice(items);
+        if self.workers[j].tx.send(Job::Batch(owned)).is_err() {
+            self.join_dead_worker(j);
+        }
+    }
+
+    /// Barrier: returns once every batch dispatched so far has been
+    /// fully ingested. A no-op on the sequential fallback (ingestion is
+    /// synchronous there).
+    ///
+    /// # Panics
+    /// If any worker died — the queues of a dead shard would otherwise
+    /// hold batches no one will ever drain.
+    pub fn flush(&self) {
+        if self.workers.is_empty() {
+            return;
+        }
+        let (ack_tx, ack_rx) = channel();
+        let mut pending = 0usize;
+        let mut dead = false;
+        for w in &self.workers {
+            // A send error means the worker's receiver is gone — it
+            // panicked and unwound. Keep flushing the live shards so
+            // their state is quiescent before we report.
+            if w.tx.send(Job::Flush(ack_tx.clone())).is_ok() {
+                pending += 1;
+            } else {
+                dead = true;
+            }
+        }
+        drop(ack_tx);
+        for _ in 0..pending {
+            if ack_rx.recv().is_err() {
+                dead = true;
+                break;
+            }
+        }
+        assert!(
+            !dead,
+            "shard worker panicked; its batches cannot be recovered"
+        );
+    }
+
+    /// Read access to shard `j`'s summary. Callers that need to observe
+    /// all prior dispatches must [`ShardRuntime::flush`] first; the lock
+    /// alone only guarantees a consistent (not necessarily current)
+    /// view.
+    pub fn with_summary<T>(&self, j: usize, f: impl FnOnce(&S) -> T) -> T {
+        f(&lock(&self.cells[j]))
+    }
+
+    /// Maps a read over every shard's summary, in shard order. Same
+    /// flush caveat as [`ShardRuntime::with_summary`].
+    pub fn map_summaries<T>(&self, mut f: impl FnMut(&S) -> T) -> Vec<T> {
+        self.cells.iter().map(|c| f(&lock(c))).collect()
+    }
+
+    /// Shuts the workers down and returns the summaries (flushing
+    /// implicitly: shutdown drains every queue before the worker
+    /// exits). Propagates the first worker panic found.
+    pub fn into_summaries(mut self) -> Vec<S> {
+        self.shutdown();
+        self.cells
+            .drain(..)
+            .map(|c| {
+                Arc::try_unwrap(c)
+                    .ok()
+                    .expect("workers joined; no other Arc holders remain")
+                    .into_inner()
+                    .unwrap_or_else(PoisonError::into_inner)
+            })
+            .collect()
+    }
+
+    /// Joins worker `j` after its channel disconnected, re-raising its
+    /// panic payload.
+    fn join_dead_worker(&mut self, j: usize) -> ! {
+        let handle = self.workers[j]
+            .handle
+            .take()
+            .expect("dead worker joined twice");
+        match handle.join() {
+            Err(payload) => std::panic::resume_unwind(payload),
+            // The worker loop only exits when the sender drops, and the
+            // sender is alive in `self` — reaching this is a runtime
+            // invariant violation, not a summary failure.
+            Ok(()) => unreachable!("shard worker exited while its queue was live"),
+        }
+    }
+
+    /// Drops every queue sender (workers drain and exit) and joins the
+    /// threads, re-raising the first panic payload found.
+    fn shutdown(&mut self) {
+        if let Some(payload) = join_all(&mut self.workers) {
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Drains `workers`, dropping each queue sender **before** joining its
+/// thread (the worker's `recv` loop ends when the last sender
+/// disappears; joining first would deadlock). Returns the first panic
+/// payload found, if any.
+fn join_all(workers: &mut Vec<Worker>) -> Option<Box<dyn std::any::Any + Send>> {
+    let mut panicked = None;
+    for w in workers.drain(..) {
+        let Worker { tx, handle } = w;
+        drop(tx);
+        if let Some(handle) = handle {
+            if let Err(payload) = handle.join() {
+                panicked.get_or_insert(payload);
+            }
+        }
+    }
+    panicked
+}
+
+impl<S> Drop for ShardRuntime<S> {
+    fn drop(&mut self) {
+        // Re-raise a worker's panic unless we are already unwinding (a
+        // double panic would abort and mask the original).
+        if let Some(payload) = join_all(&mut self.workers) {
+            if !std::thread::panicking() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}

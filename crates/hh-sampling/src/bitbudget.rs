@@ -149,18 +149,12 @@ impl BitSkipSampler {
     /// Sampler with success probability `2⁻ᵏ`, `k ≤ 64`.
     pub fn with_exponent(k: u32) -> Self {
         assert!(k <= 64, "k must be at most 64");
-        let (mut lows, mut highs) = (0u64, 0u64);
-        let chunks = 64u32.checked_div(k).unwrap_or(0);
-        for c in 0..chunks {
-            lows |= 1u64 << (c * k);
-            highs |= 1u64 << (c * k + k - 1);
-        }
         Self {
             k,
             remaining: 0,
             primed: false,
-            lows,
-            highs,
+            lows: hh_space::swar::lane_lsbs(k),
+            highs: hh_space::swar::lane_msbs(k),
         }
     }
 
@@ -180,17 +174,14 @@ impl BitSkipSampler {
     /// or `None` if none of the `⌊64/k⌋` covered chunks is zero.
     #[inline]
     fn first_zero_chunk(&self, w: u64) -> Option<u64> {
-        let t = if self.k == 1 {
+        if self.k == 1 {
             // Width-1 chunks: a zero chunk is a zero bit.
-            !w
-        } else {
-            // Classic zero-field SWAR: the borrow of `chunk - 1` sets the
-            // chunk's high bit iff the chunk is zero; false positives can
-            // only appear *above* the first zero chunk, so the lowest set
-            // bit is exact — and the expression is zero iff no chunk is.
-            w.wrapping_sub(self.lows) & !w & self.highs
-        };
-        (t != 0).then(|| (t.trailing_zeros() / self.k) as u64)
+            return (w != u64::MAX).then(|| u64::from((!w).trailing_zeros()));
+        }
+        // Shared zero-lane SWAR scan (`hh_space::swar`); the cached
+        // `lows`/`highs` constants keep the per-word cost at three ALU
+        // operations plus a tzcnt.
+        hh_space::swar::first_zero_lane(w, self.k, self.lows, self.highs).map(u64::from)
     }
 
     #[inline]

@@ -44,6 +44,7 @@ pub mod delta;
 pub mod gamma;
 pub mod packed;
 pub mod space;
+pub mod swar;
 pub mod varcount;
 pub mod varint;
 

@@ -1,0 +1,130 @@
+//! SWAR (SIMD-within-a-register) lane primitives over `u64` words.
+//!
+//! A 64-bit word holds `⌊64/k⌋` independent `k`-bit lanes; with the
+//! right mask constants, one ALU operation answers a question about
+//! every lane at once. The geometric bit-scan sampler
+//! (`hh_sampling::BitSkipSampler`) resolves `⌊64/k⌋` Bernoulli(2⁻ᵏ)
+//! trials per word this way — the primitive sits on the batch-ingest
+//! hot path, where each skip gap costs about one word of randomness and
+//! one zero-lane scan.
+//!
+//! The constants are parameterized by lane width rather than hard-coded
+//! for bytes so the same helpers serve `k`-bit trial chunks (sampling)
+//! and byte-lane counters (epoch tables) alike. Callers that scan many
+//! words with one width should compute [`lane_lsbs`]/[`lane_msbs`] once
+//! and keep them in registers, as the sampler does.
+
+/// Ones at the **lowest** bit of each `k`-bit lane: the generalized
+/// `0x0101…01` constant. Covers the `⌊64/k⌋` complete lanes; leftover
+/// high bits (when `k ∤ 64`) stay zero and are excluded from every
+/// lane-wise answer built on this mask.
+///
+/// `k = 0` and `k > 64` yield an empty mask (no lanes).
+#[inline]
+pub const fn lane_lsbs(k: u32) -> u64 {
+    if k == 0 || k > 64 {
+        return 0;
+    }
+    let mut m = 0u64;
+    let mut c = 0;
+    while c < 64 / k {
+        m |= 1u64 << (c * k);
+        c += 1;
+    }
+    m
+}
+
+/// Ones at the **highest** bit of each `k`-bit lane: the generalized
+/// `0x8080…80` constant. Same lane coverage rules as [`lane_lsbs`].
+#[inline]
+pub const fn lane_msbs(k: u32) -> u64 {
+    if k == 0 || k > 64 {
+        return 0;
+    }
+    lane_lsbs(k) << (k - 1)
+}
+
+/// Flags the all-zero lanes of `w`: the classic zero-field SWAR test
+/// `(w − lsbs) & !w & msbs`. The borrow of `lane − 1` sets a lane's
+/// high bit iff the lane is zero.
+///
+/// **Exactness caveat**: a borrow propagating out of a zero lane can
+/// corrupt flags *above* it, so only the **lowest** set flag is exact —
+/// which is precisely what a first-match scan consumes. The result is
+/// zero iff no covered lane is zero, so emptiness is always exact.
+/// `lsbs`/`msbs` must come from [`lane_lsbs`]/[`lane_msbs`] for one
+/// width `k`.
+#[inline]
+pub const fn zero_lane_flags(w: u64, lsbs: u64, msbs: u64) -> u64 {
+    w.wrapping_sub(lsbs) & !w & msbs
+}
+
+/// Index of the lowest all-zero `k`-bit lane of `w` (lane 0 is the low
+/// end), or `None` when every covered lane is nonzero. Built on
+/// [`zero_lane_flags`], whose lowest flag is exact.
+#[inline]
+pub fn first_zero_lane(w: u64, k: u32, lsbs: u64, msbs: u64) -> Option<u32> {
+    let t = zero_lane_flags(w, lsbs, msbs);
+    (t != 0).then(|| t.trailing_zeros() / k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_constants_cover_whole_lanes_only() {
+        for k in 1..=64u32 {
+            let lsbs = lane_lsbs(k);
+            let msbs = lane_msbs(k);
+            let lanes = 64 / k;
+            assert_eq!(lsbs.count_ones(), lanes, "k={k}");
+            assert_eq!(msbs.count_ones(), lanes, "k={k}");
+            for c in 0..lanes {
+                assert_ne!(lsbs & (1 << (c * k)), 0, "k={k} lane {c} lsb");
+                assert_ne!(msbs & (1 << (c * k + k - 1)), 0, "k={k} lane {c} msb");
+            }
+            // Nothing above the last complete lane.
+            if lanes * k < 64 {
+                assert_eq!(lsbs >> (lanes * k), 0);
+                assert_eq!(msbs >> (lanes * k), 0);
+            }
+        }
+        assert_eq!(lane_lsbs(0), 0);
+        assert_eq!(lane_msbs(0), 0);
+    }
+
+    #[test]
+    fn first_zero_lane_matches_naive_scan() {
+        // Deterministic LCG keeps the test free of external RNG deps.
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state
+        };
+        for k in [1u32, 2, 3, 4, 5, 6, 7, 8, 13, 21, 32, 63, 64] {
+            let lsbs = lane_lsbs(k);
+            let msbs = lane_msbs(k);
+            let lanes = 64 / k;
+            for _ in 0..500 {
+                let w = next();
+                let naive = (0..lanes).find(|&c| {
+                    let lane = (w >> (c * k)) & (u64::MAX >> (64 - k));
+                    lane == 0
+                });
+                assert_eq!(first_zero_lane(w, k, lsbs, msbs), naive, "k={k} w={w:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_lane_flags_emptiness_is_exact() {
+        let (lsbs, msbs) = (lane_lsbs(8), lane_msbs(8));
+        assert_eq!(zero_lane_flags(u64::MAX, lsbs, msbs), 0);
+        assert_ne!(zero_lane_flags(0, lsbs, msbs), 0);
+        // Every byte nonzero → no flags, regardless of values.
+        assert_eq!(zero_lane_flags(0x0101_0101_0101_0101, lsbs, msbs), 0);
+    }
+}

@@ -6,6 +6,8 @@
 #   update_time         E6: scalar per-item insertion (all summaries)
 #   batch_update_time   insert_batch on the same workload
 #   sharded_throughput  hh-pipeline key-sharded ingestion, 1/2/4 shards
+#   thread_scaling      shard-runtime ingest, forced seq vs parallel,
+#                       1/2/4 shards (records _meta/host_cores)
 #   query_time          report() extraction at three universe sizes
 #   merge_serialize     summary merging and snapshot round trips
 #   read_write_mix      hot (cached) queries and mixed write-then-read
@@ -28,7 +30,7 @@ case "${out}" in
 esac
 rm -f "${json}"
 
-for bench in update_time batch_update_time sharded_throughput query_time merge_serialize read_write_mix; do
+for bench in update_time batch_update_time sharded_throughput thread_scaling query_time merge_serialize read_write_mix; do
     CRITERION_JSON="${json}" cargo bench -p hh-bench --bench "${bench}"
 done
 

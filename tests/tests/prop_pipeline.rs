@@ -34,7 +34,7 @@ fn planted_with_boundary(m: u64, phi: f64, eps: f64, seed: u64) -> Vec<u64> {
     arrange(&counts, OrderPolicy::Shuffled, &mut rng)
 }
 
-fn ingest_chunked<S: StreamSummary + Send>(
+fn ingest_chunked<S: StreamSummary + Send + 'static>(
     pipe: &mut ShardedPipeline<S>,
     stream: &[u64],
     chunk: usize,

@@ -38,6 +38,10 @@ pub struct Criterion {
     measurement_time: Duration,
     warm_up_time: Duration,
     records: Vec<Record>,
+    /// Host facts recorded alongside the measurements (core count,
+    /// etc.), written as `{"group": "_meta", "id": key, "value": v}`
+    /// lines so downstream tooling can condition comparisons on them.
+    metadata: Vec<(String, f64)>,
     test_mode: bool,
 }
 
@@ -49,6 +53,7 @@ impl Default for Criterion {
             measurement_time: Duration::from_secs(2),
             warm_up_time: Duration::from_millis(300),
             records: Vec::new(),
+            metadata: Vec::new(),
             test_mode: args.iter().any(|a| a == "--test"),
         }
     }
@@ -82,6 +87,17 @@ impl Criterion {
     #[must_use]
     pub fn configure_from_args(self) -> Self {
         self
+    }
+
+    /// Records a host fact (e.g. `host_cores`) to be written alongside
+    /// the benchmark records as a `{"group": "_meta", "id": key,
+    /// "value": v}` line. Scaling-sensitive comparisons key off these:
+    /// `bench_compare` refuses to rate a thread-scaling record against
+    /// a baseline taken on a host with a different core count.
+    /// Re-recording a key replaces its value.
+    pub fn record_metadata(&mut self, key: &str, value: f64) {
+        self.metadata.retain(|(k, _)| k != key);
+        self.metadata.push((key.to_string(), value));
     }
 
     /// Opens a named group of related benchmarks.
@@ -196,11 +212,16 @@ impl Criterion {
     /// so `CRITERION_JSON=perf.json cargo bench` accumulates across
     /// all bench binaries instead of keeping only the last one's.
     fn write_json(&self, path: &str) -> std::io::Result<()> {
-        let fresh: Vec<(String, String)> = self
+        let mut fresh: Vec<(String, String)> = self
             .records
             .iter()
             .map(|r| (r.group.clone(), r.id.clone()))
             .collect();
+        fresh.extend(
+            self.metadata
+                .iter()
+                .map(|(k, _)| ("_meta".to_string(), k.clone())),
+        );
         let mut lines: Vec<String> = match fs::read_to_string(path) {
             Ok(existing) => existing
                 .lines()
@@ -216,6 +237,11 @@ impl Criterion {
             Err(_) => Vec::new(),
         };
         lines.extend(self.records.iter().map(Self::render_record));
+        lines.extend(
+            self.metadata
+                .iter()
+                .map(|(k, v)| format!("{{\"group\": \"_meta\", \"id\": {k:?}, \"value\": {v}}}")),
+        );
         let mut out = String::from("[\n");
         for (i, line) in lines.iter().enumerate() {
             out.push_str("  ");
@@ -577,6 +603,36 @@ mod tests {
         assert_eq!(text.matches("\"second\"").count(), 1, "{text}");
         assert!(text.contains("\"mean_ns\": 3.0"), "{text}");
         assert!(text.trim_end().ends_with(']'));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn metadata_lines_round_trip_and_merge() {
+        let path = std::env::temp_dir().join("mini_criterion_meta_test.json");
+        let path = path.to_str().unwrap();
+        let _ = std::fs::remove_file(path);
+
+        let mut c = Criterion {
+            test_mode: false,
+            ..Criterion::default()
+        };
+        c.record_metadata("host_cores", 1.0);
+        c.record_metadata("host_cores", 4.0); // same-run re-record replaces
+        c.write_json(path).unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        assert_eq!(text.matches("\"host_cores\"").count(), 1, "{text}");
+        assert!(text.contains("\"value\": 4"), "{text}");
+
+        // A later run's metadata replaces the stored line, like records.
+        let mut c2 = Criterion {
+            test_mode: false,
+            ..Criterion::default()
+        };
+        c2.record_metadata("host_cores", 2.0);
+        c2.write_json(path).unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        assert_eq!(text.matches("\"host_cores\"").count(), 1, "{text}");
+        assert!(text.contains("\"value\": 2"), "{text}");
         let _ = std::fs::remove_file(path);
     }
 
