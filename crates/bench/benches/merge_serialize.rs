@@ -9,7 +9,7 @@
 //! workload — the checkpoint/restore path.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use hh_baselines::{LossyCounting, MisraGriesBaseline, SpaceSaving};
+use hh_baselines::{CountMin, CountSketch, LossyCounting, MisraGriesBaseline, SpaceSaving};
 use hh_core::{HhParams, MergeableSummary, OptimalListHh, SimpleListHh, StreamSummary};
 use std::hint::black_box;
 use std::time::Duration;
@@ -149,6 +149,66 @@ fn bench_serialize(c: &mut Criterion) {
     g.finish();
 }
 
+/// BENCH_7 group: `snapshot_decode` — the restore path alone, on
+/// pre-built snapshot buffers. This is the path PR 7 hardened (tag
+/// match, trailing-checksum verification, bounded length reads,
+/// restore-time invariant checks), so it gets its own group: the
+/// fail-closed codec must stay within the regression budget of the
+/// trusting one it replaced. Throughput is stated in snapshot bytes.
+fn bench_snapshot_decode(c: &mut Criterion) {
+    let data = stream();
+    let params = HhParams::with_delta(EPS, PHI, DELTA).unwrap();
+    let mut g = c.benchmark_group("snapshot_decode");
+
+    fn loaded_bytes<S: MergeableSummary>(data: &[u64], mut s: S) -> Vec<u8> {
+        s.insert_batch(data);
+        s.to_bytes().to_vec()
+    }
+
+    let b1 = loaded_bytes(&data, SimpleListHh::new(params, N, M as u64, 1).unwrap());
+    g.throughput(Throughput::Bytes(b1.len() as u64));
+    g.bench_function("algo1_decode", |b| {
+        b.iter(|| SimpleListHh::from_bytes(black_box(&b1)).unwrap())
+    });
+
+    let b2 = loaded_bytes(&data, OptimalListHh::new(params, N, M as u64, 2).unwrap());
+    g.throughput(Throughput::Bytes(b2.len() as u64));
+    g.bench_function("algo2_decode", |b| {
+        b.iter(|| OptimalListHh::from_bytes(black_box(&b2)).unwrap())
+    });
+
+    let bmg = loaded_bytes(&data, MisraGriesBaseline::new(EPS, PHI, N));
+    g.throughput(Throughput::Bytes(bmg.len() as u64));
+    g.bench_function("misra_gries_decode", |b| {
+        b.iter(|| MisraGriesBaseline::from_bytes(black_box(&bmg)).unwrap())
+    });
+
+    let bss = loaded_bytes(&data, SpaceSaving::new(EPS, PHI, N));
+    g.throughput(Throughput::Bytes(bss.len() as u64));
+    g.bench_function("space_saving_decode", |b| {
+        b.iter(|| SpaceSaving::from_bytes(black_box(&bss)).unwrap())
+    });
+
+    let bcm = loaded_bytes(&data, CountMin::new(EPS, PHI, DELTA, N, 3));
+    g.throughput(Throughput::Bytes(bcm.len() as u64));
+    g.bench_function("count_min_decode", |b| {
+        b.iter(|| CountMin::from_bytes(black_box(&bcm)).unwrap())
+    });
+
+    let bcs = loaded_bytes(&data, CountSketch::new(0.1, PHI, DELTA, N, 4));
+    g.throughput(Throughput::Bytes(bcs.len() as u64));
+    g.bench_function("count_sketch_decode", |b| {
+        b.iter(|| CountSketch::from_bytes(black_box(&bcs)).unwrap())
+    });
+
+    let blc = loaded_bytes(&data, LossyCounting::new(EPS, PHI, N));
+    g.throughput(Throughput::Bytes(blc.len() as u64));
+    g.bench_function("lossy_counting_decode", |b| {
+        b.iter(|| LossyCounting::from_bytes(black_box(&blc)).unwrap())
+    });
+    g.finish();
+}
+
 fn short() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -159,6 +219,6 @@ fn short() -> Criterion {
 criterion_group! {
     name = benches;
     config = short();
-    targets = bench_merge, bench_serialize
+    targets = bench_merge, bench_serialize, bench_snapshot_decode
 }
 criterion_main!(benches);

@@ -28,7 +28,7 @@
 use crate::cache::QueryCache;
 use crate::config::{Constants, HhParams};
 use crate::error::{MergeError, ParamError, SnapshotError};
-use crate::mergeable::{check_compatible, snapshot, MergeableSummary};
+use crate::mergeable::{check_compatible, snapshot, MergeableSummary, RestoreReport};
 use crate::mg::MisraGries;
 use crate::report::{ItemEstimate, Report};
 use crate::traits::{HeavyHitters, StreamSummary};
@@ -331,9 +331,16 @@ impl SpaceUsage for SimpleListHh {
     }
 }
 
-/// Snapshot format version tag (v2: the embedded Misra–Gries table
-/// switched to the varint-slice wire format).
-const A1_TAG: &str = "hh.algo1.v2";
+/// Snapshot format version tag (v3: a trailing FNV-1a/64 integrity
+/// checksum guards the whole buffer).
+const A1_TAG: &str = "hh.algo1.v3";
+/// Previous (checksum-less) format, still accepted for restore.
+const A1_TAG_V2: &str = "hh.algo1.v2";
+/// Largest `T2` capacity a snapshot may claim. Real capacities are
+/// `Θ(1/φ)` with `φ > ε > 0`, far below this; the bound exists so a
+/// forged snapshot cannot commit a restored instance to unbounded
+/// future growth.
+const T2_CAP_LIMIT: usize = 1 << 24;
 
 /// Full-state snapshot: parameters, hash seed, both tables, the sample
 /// count, and the sampler/RNG state, so a restored instance reports
@@ -359,15 +366,19 @@ impl<'de> Deserialize<'de> for SimpleListHh {
         let params = HhParams::deserialize(&mut deserializer)?;
         let universe = deserializer.read_u64()?;
         if universe == 0 {
-            return Err(serde::de::Error::custom("empty universe"));
+            return Err(serde::de::Error::invariant("empty universe"));
         }
         let sampler = SkipSampler::deserialize(&mut deserializer)?;
         let hash = CarterWegmanHash::deserialize(&mut deserializer)?;
         let t1 = MisraGries::deserialize(&mut deserializer)?;
         let t2: Vec<(u64, u64)> = Vec::deserialize(&mut deserializer)?;
-        let t2_cap = deserializer.read_u64()? as usize;
-        if t2_cap == 0 || t2.len() > t2_cap {
-            return Err(serde::de::Error::custom("T2 overflows its capacity"));
+        let t2_cap = deserializer.read_u64()?;
+        if t2_cap == 0 || t2_cap > T2_CAP_LIMIT as u64 {
+            return Err(serde::de::Error::invariant("T2 capacity out of range"));
+        }
+        let t2_cap = t2_cap as usize;
+        if t2.len() > t2_cap {
+            return Err(serde::de::Error::invariant("T2 overflows its capacity"));
         }
         let samples = deserializer.read_u64()?;
         let rng = StdRng::from_state(snapshot::read_rng_state(&mut deserializer)?);
@@ -404,7 +415,9 @@ impl MergeableSummary for SimpleListHh {
         check_compatible(&self.t2_cap, &other.t2_cap, "T2 capacities")?;
         self.cache.invalidate();
         self.t1.merge_from(&other.t1)?;
-        self.samples += other.samples;
+        // Saturating: counter accumulation must stay total even for
+        // near-u64::MAX counts smuggled in through a restored snapshot.
+        self.samples = self.samples.saturating_add(other.samples);
         // Union of tracked raw ids, re-ranked by the merged T1 counts.
         let mut merged = std::mem::take(&mut self.t2);
         for &(hashed, raw) in &other.t2 {
@@ -424,8 +437,8 @@ impl MergeableSummary for SimpleListHh {
         snapshot::encode(A1_TAG, self)
     }
 
-    fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
-        snapshot::decode(A1_TAG, bytes)
+    fn from_bytes_report(bytes: &[u8]) -> Result<(Self, RestoreReport), SnapshotError> {
+        snapshot::decode_compat(A1_TAG, &[A1_TAG_V2], bytes)
     }
 }
 

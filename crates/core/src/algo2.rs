@@ -61,7 +61,7 @@
 use crate::cache::QueryCache;
 use crate::config::{Constants, HhParams};
 use crate::error::{MergeError, ParamError, SnapshotError};
-use crate::mergeable::{check_compatible, snapshot, MergeableSummary};
+use crate::mergeable::{check_compatible, snapshot, MergeableSummary, RestoreReport};
 use crate::mg::MisraGries;
 use crate::report::{ItemEstimate, Report};
 use crate::traits::{HeavyHitters, StreamSummary};
@@ -960,10 +960,13 @@ impl SpaceUsage for OptimalListHh {
     }
 }
 
-/// Snapshot format version tag. v2 re-encodes the big arrays through
-/// the codec's bulk byte channel: T2/T3 as varint blocks, the epoch
-/// cache as raw bytes, the (monotone) threshold table delta-coded.
-const A2_TAG: &str = "hh.algo2.v2";
+/// Snapshot format version tag. v3 appends the trailing FNV-1a/64
+/// integrity checksum; v2 re-encoded the big arrays through the
+/// codec's bulk byte channel: T2/T3 as varint blocks, the epoch cache
+/// as raw bytes, the (monotone) threshold table delta-coded.
+const A2_TAG: &str = "hh.algo2.v3";
+/// Previous (checksum-less) format, still accepted for restore.
+const A2_TAG_V2: &str = "hh.algo2.v2";
 
 /// Full-state snapshot: parameters, every hash seed, the T1/T2/T3
 /// tables with their epoch caches, and the three randomness sources
@@ -1005,7 +1008,7 @@ impl<'de> Deserialize<'de> for OptimalListHh {
         let params = HhParams::deserialize(&mut deserializer)?;
         let universe = deserializer.read_u64()?;
         if universe == 0 {
-            return Err(serde::de::Error::custom("empty universe"));
+            return Err(serde::de::Error::invariant("empty universe"));
         }
         let sampler = BitSkipSampler::deserialize(&mut deserializer)?;
         let t1 = MisraGries::deserialize(&mut deserializer)?;
@@ -1015,7 +1018,7 @@ impl<'de> Deserialize<'de> for OptimalListHh {
         let epoch_thresholds: Vec<u64> = snapshot::read_u64_slice_delta(&mut deserializer)?;
         let k_eps = deserializer.read_u64()?;
         if k_eps > 64 {
-            return Err(serde::de::Error::custom("epsilon exponent above 64"));
+            return Err(serde::de::Error::invariant("epsilon exponent above 64"));
         }
         let k_eps = k_eps as u32;
         let t2_skip = BitSkipSampler::deserialize(&mut deserializer)?;
@@ -1026,18 +1029,32 @@ impl<'de> Deserialize<'de> for OptimalListHh {
 
         let r = hashes.len();
         if r == 0 {
-            return Err(serde::de::Error::custom("no repetitions"));
+            return Err(serde::de::Error::invariant("no repetitions"));
         }
         let buckets = hashes[0].range();
         if hashes.iter().any(|h| h.range() != buckets) {
-            return Err(serde::de::Error::custom("repetition ranges disagree"));
+            return Err(serde::de::Error::invariant("repetition ranges disagree"));
         }
-        let cells = r * buckets as usize;
-        if t2.len() != cells || t3.len() != cells * (k_eps as usize + 1) + r {
-            return Err(serde::de::Error::custom("table shapes inconsistent"));
+        // Shape arithmetic over wire-supplied dimensions must be
+        // checked: a forged `r`/`range` pair can overflow `usize`, and
+        // under overflow-checks builds an unchecked multiply would
+        // panic instead of returning `Err`.
+        let shape_err = || serde::de::Error::invariant("table shapes inconsistent");
+        let cells = usize::try_from(buckets)
+            .ok()
+            .and_then(|b| r.checked_mul(b))
+            .ok_or_else(shape_err)?;
+        let t3_cells = cells
+            .checked_mul(k_eps as usize + 1)
+            .and_then(|c| c.checked_add(r))
+            .ok_or_else(shape_err)?;
+        if t2.len() != cells || t3.len() != t3_cells {
+            return Err(shape_err());
         }
         if epoch_thresholds.len() != k_eps as usize + 1 {
-            return Err(serde::de::Error::custom("epoch table shape inconsistent"));
+            return Err(serde::de::Error::invariant(
+                "epoch table shape inconsistent",
+            ));
         }
         // The epoch cache is derived state (the threshold-table lookup
         // of each T2 value, which `advance_epoch` maintains exactly):
@@ -1128,7 +1145,11 @@ impl MergeableSummary for OptimalListHh {
         check_compatible(&self.mode, &other.mode, "epoch modes")?;
         self.cache.invalidate();
         self.t1.merge_from(&other.t1)?;
-        self.samples += other.samples;
+        // Counter accumulation saturates throughout this merge: counts
+        // near u64::MAX cannot occur for honestly ingested streams, but
+        // a restored snapshot may carry them, and the merge must stay
+        // total (no overflow panic) rather than trust them.
+        self.samples = self.samples.saturating_add(other.samples);
         // T2 and the epoch cache, processed in 8-cell blocks. Per
         // block: add the two T2 slices cell-wise while folding the
         // running max (fixed-trip loops over fixed-width subslices, so
@@ -1151,7 +1172,7 @@ impl MergeableSummary for OptimalListHh {
             let src = &other.t2[base..base + 8];
             let mut max = 0u64;
             for (c, &o) in dst.iter_mut().zip(src) {
-                let v = *c + o;
+                let v = c.saturating_add(o);
                 *c = v;
                 max = max.max(v);
             }
@@ -1162,7 +1183,7 @@ impl MergeableSummary for OptimalListHh {
             }
         }
         for cell in blocks * 8..self.t2.len() {
-            self.t2[cell] += other.t2[cell];
+            self.t2[cell] = self.t2[cell].saturating_add(other.t2[cell]);
             self.epochs[cell] = Self::epoch_of(self.t2[cell], thresholds);
         }
         // T3 adds cell-wise, but only for rows that can carry mass: a
@@ -1188,7 +1209,7 @@ impl MergeableSummary for OptimalListHh {
                     .iter_mut()
                     .zip(&other.t3[base..base + kp1])
                 {
-                    *c += o;
+                    *c = c.saturating_add(o);
                 }
             }
         }
@@ -1202,7 +1223,7 @@ impl MergeableSummary for OptimalListHh {
                 .iter_mut()
                 .zip(&other.t3[base..base + kp1])
             {
-                *c += o;
+                *c = c.saturating_add(o);
             }
         }
         // The trailing per-repetition sink cells absorb mass regardless
@@ -1210,7 +1231,7 @@ impl MergeableSummary for OptimalListHh {
         // are, discarded trials.
         let sink = self.t3.len() - self.hashes.len();
         for (c, &o) in self.t3[sink..].iter_mut().zip(&other.t3[sink..]) {
-            *c += o;
+            *c = c.saturating_add(o);
         }
         Ok(())
     }
@@ -1219,8 +1240,8 @@ impl MergeableSummary for OptimalListHh {
         snapshot::encode(A2_TAG, self)
     }
 
-    fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
-        snapshot::decode(A2_TAG, bytes)
+    fn from_bytes_report(bytes: &[u8]) -> Result<(Self, RestoreReport), SnapshotError> {
+        snapshot::decode_compat(A2_TAG, &[A2_TAG_V2], bytes)
     }
 }
 

@@ -29,7 +29,7 @@ impl<'de> Deserialize<'de> for HhParams {
         let eps = deserializer.read_f64()?;
         let phi = deserializer.read_f64()?;
         let delta = deserializer.read_f64()?;
-        Self::with_delta(eps, phi, delta).map_err(serde::de::Error::custom)
+        Self::with_delta(eps, phi, delta).map_err(serde::de::Error::invariant)
     }
 }
 

@@ -74,6 +74,13 @@ impl std::error::Error for MergeError {}
 
 /// Rejected snapshot restore (see
 /// [`crate::MergeableSummary::from_bytes`]).
+///
+/// Restore is a **total function over arbitrary bytes**: every decoder
+/// in the workspace classifies hostile input into one of these variants
+/// instead of panicking or allocating on its say-so. `Truncated`,
+/// `ChecksumMismatch`, and `LengthOverflow` describe damage to the
+/// buffer itself; `InvariantViolated` means the bytes decoded but the
+/// decoded value is structurally impossible for the target type.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SnapshotError {
     /// The buffer does not start with the expected type tag — it is a
@@ -85,8 +92,21 @@ pub enum SnapshotError {
         /// What the buffer actually started with (truncated).
         found: String,
     },
-    /// The payload after the tag is malformed (truncated buffer,
-    /// out-of-range field, inconsistent table shapes).
+    /// The buffer ended before the payload did.
+    Truncated,
+    /// The trailing integrity checksum does not match the buffer
+    /// contents: the snapshot was corrupted in storage or transit.
+    ChecksumMismatch,
+    /// A length prefix or element count exceeds what the remaining
+    /// buffer could possibly hold; rejected before any allocation is
+    /// sized from it.
+    LengthOverflow(String),
+    /// The payload decoded, but the decoded state violates a structural
+    /// invariant of the summary (impossible table shapes, out-of-range
+    /// parameters, inconsistent counters).
+    InvariantViolated(String),
+    /// Any other malformed payload (bad UTF-8, unknown field
+    /// encodings).
     Malformed(String),
 }
 
@@ -98,6 +118,16 @@ impl fmt::Display for SnapshotError {
                     f,
                     "snapshot tag mismatch: expected {expected:?}, found {found:?}"
                 )
+            }
+            SnapshotError::Truncated => write!(f, "snapshot truncated: input ended mid-payload"),
+            SnapshotError::ChecksumMismatch => {
+                write!(f, "snapshot checksum mismatch: buffer corrupted")
+            }
+            SnapshotError::LengthOverflow(why) => {
+                write!(f, "snapshot length prefix overflows its buffer: {why}")
+            }
+            SnapshotError::InvariantViolated(why) => {
+                write!(f, "snapshot violates a structural invariant: {why}")
             }
             SnapshotError::Malformed(why) => write!(f, "malformed snapshot: {why}"),
         }

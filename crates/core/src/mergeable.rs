@@ -103,27 +103,108 @@ pub trait MergeableSummary: StreamSummary + Sized {
     fn merge_from(&mut self, other: &Self) -> Result<(), MergeError>;
 
     /// Serializes the full summary state (tables, counters, hash seeds,
-    /// RNG and sampler state) into a tagged binary buffer.
+    /// RNG and sampler state) into a tagged binary buffer with a
+    /// trailing integrity checksum.
     fn to_bytes(&self) -> Bytes;
 
     /// Restores a summary from a buffer produced by
-    /// [`MergeableSummary::to_bytes`].
+    /// [`MergeableSummary::to_bytes`], reporting how the buffer was
+    /// verified: current-format buffers have their checksum validated
+    /// before a single payload byte is interpreted; legacy (pre-v3)
+    /// buffers carry no checksum and restore with
+    /// [`RestoreReport::checksum_verified`] `= false`.
+    ///
+    /// Restore is total over arbitrary input: corrupted, truncated, or
+    /// adversarially inflated bytes return a structured
+    /// [`SnapshotError`] — never a panic, never an allocation sized
+    /// from an unvalidated length prefix.
+    ///
+    /// # Errors
+    /// [`SnapshotError`] if the buffer carries another type's tag, a
+    /// bad checksum, or a malformed payload.
+    fn from_bytes_report(bytes: &[u8]) -> Result<(Self, RestoreReport), SnapshotError>;
+
+    /// Restores a summary from a buffer produced by
+    /// [`MergeableSummary::to_bytes`]; the verification report of
+    /// [`MergeableSummary::from_bytes_report`] is dropped.
     ///
     /// # Errors
     /// [`SnapshotError`] if the buffer carries another type's tag or a
     /// malformed payload.
-    fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError>;
+    fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        Ok(Self::from_bytes_report(bytes)?.0)
+    }
+}
+
+/// How a restored snapshot buffer was verified; returned by
+/// [`MergeableSummary::from_bytes_report`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RestoreReport {
+    /// Whether a trailing integrity checksum was present and matched.
+    /// `false` exactly when the buffer used a legacy (pre-checksum)
+    /// format version — such restores are best-effort: the payload
+    /// validations all ran, but bit rot cannot be ruled out.
+    pub checksum_verified: bool,
+    /// Whether the buffer used a legacy format version (an older tag
+    /// that is still accepted for restore).
+    pub legacy_format: bool,
 }
 
 /// Shared snapshot plumbing: the tagged-buffer encode/decode helpers
 /// every [`MergeableSummary`] implementation routes through.
+///
+/// # Wire format (v3)
+///
+/// ```text
+/// ┌──────────────────────┬─────────────────┬──────────────────────┐
+/// │ tag ("hh.<type>.vN") │ payload (serde) │ fnv1a64x4 trailer 8B │
+/// └──────────────────────┴─────────────────┴──────────────────────┘
+/// ```
+///
+/// The trailer is the striped FNV-1a/64 digest
+/// (`hh_space::checksum::fnv1a64x4`, four pipelined lanes — the
+/// scalar chain would dominate large-snapshot round-trips) of
+/// everything before it (tag included) and is verified **before** any
+/// payload byte is
+/// interpreted, so a corrupt buffer is rejected by one linear scan
+/// rather than by whichever decoder happens to trip over it. Legacy
+/// (pre-checksum) tags are still accepted through
+/// [`decode_compat`](snapshot::decode_compat)'s `legacy_tags` list —
+/// those buffers decode
+/// exactly as before and report `checksum_verified = false`.
 pub mod snapshot {
-    use super::{Bytes, SnapshotError};
+    use super::{Bytes, RestoreReport, SnapshotError};
     use serde::bincode;
     use serde::{Deserialize, Serialize};
 
+    /// Size of the trailing integrity checksum in bytes.
+    pub const CHECKSUM_LEN: usize = 8;
+
+    /// Maps a codec failure class onto the snapshot error taxonomy.
+    fn codec_err(e: bincode::Error) -> SnapshotError {
+        match e.kind() {
+            bincode::ErrorKind::Truncated => SnapshotError::Truncated,
+            bincode::ErrorKind::LengthOverflow => SnapshotError::LengthOverflow(e.to_string()),
+            bincode::ErrorKind::Invariant => SnapshotError::InvariantViolated(e.to_string()),
+            bincode::ErrorKind::Invalid => SnapshotError::Malformed(e.to_string()),
+        }
+    }
+
+    /// Whether `bytes` starts with the encoding `write_str(tag)`
+    /// produces (u64 length prefix + raw bytes). A bounded peek: no
+    /// allocation, no cursor, no trust in the prefix.
+    fn starts_with_tag(bytes: &[u8], tag: &str) -> bool {
+        let Some(prefix) = bytes.get(..8) else {
+            return false;
+        };
+        let len = u64::from_le_bytes(prefix.try_into().expect("8-byte slice"));
+        len == tag.len() as u64 && bytes[8..].starts_with(tag.as_bytes())
+    }
+
     /// Encodes `value` behind `tag` (a `"hh.<type>.v<N>"` string that
-    /// names the summary type and snapshot-format version).
+    /// names the summary type and snapshot-format version) and appends
+    /// the FNV-1a/64 digest of the whole buffer as an 8-byte
+    /// little-endian trailer.
     pub fn encode<T: Serialize>(tag: &str, value: &T) -> Bytes {
         let mut w = bincode::Writer::default();
         use serde::Serializer as _;
@@ -131,32 +212,93 @@ pub mod snapshot {
         value
             .serialize(&mut w)
             .expect("in-memory write cannot fail");
-        Bytes::from(w.done().expect("in-memory write cannot fail"))
+        let mut buf = w.done().expect("in-memory write cannot fail");
+        let digest = hh_space::checksum::fnv1a64x4(&buf);
+        buf.extend_from_slice(&digest.to_le_bytes());
+        Bytes::from(buf)
     }
 
-    /// Decodes a buffer produced by [`encode`] with the same `tag`.
+    /// Decodes a buffer produced by [`encode`] with the same `tag`,
+    /// accepting any of `legacy_tags` (older, checksum-less format
+    /// versions) as a fallback. Returns the value together with a
+    /// [`RestoreReport`] saying which path verified it.
+    pub fn decode_compat<T: for<'de> Deserialize<'de>>(
+        tag: &'static str,
+        legacy_tags: &[&'static str],
+        bytes: &[u8],
+    ) -> Result<(T, RestoreReport), SnapshotError> {
+        use serde::Deserializer as _;
+        if starts_with_tag(bytes, tag) {
+            // Current format: verify the trailer over everything before
+            // it, then decode the payload between tag and trailer.
+            let body_len = bytes
+                .len()
+                .checked_sub(CHECKSUM_LEN)
+                .ok_or(SnapshotError::Truncated)?;
+            let (body, trailer) = bytes.split_at(body_len);
+            if body.len() < 8 + tag.len() {
+                // The trailer split ate into the tag itself: the buffer
+                // lost bytes after encoding.
+                return Err(SnapshotError::Truncated);
+            }
+            let stored = u64::from_le_bytes(trailer.try_into().expect("8-byte trailer"));
+            if hh_space::checksum::fnv1a64x4(body) != stored {
+                return Err(SnapshotError::ChecksumMismatch);
+            }
+            let mut r = bincode::Reader::new(body);
+            let matched = r.check_str(tag).map_err(codec_err)?;
+            debug_assert!(matched, "starts_with_tag pre-checked the tag");
+            let value = T::deserialize(&mut r).map_err(codec_err)?;
+            if r.remaining() != 0 {
+                return Err(SnapshotError::InvariantViolated(format!(
+                    "{} trailing bytes after payload",
+                    r.remaining()
+                )));
+            }
+            return Ok((
+                value,
+                RestoreReport {
+                    checksum_verified: true,
+                    legacy_format: false,
+                },
+            ));
+        }
+        for &legacy in legacy_tags {
+            if !starts_with_tag(bytes, legacy) {
+                continue;
+            }
+            // Legacy format: no trailer to verify; the payload
+            // validations are the only line of defense, exactly as they
+            // were when this format was current.
+            let mut r = bincode::Reader::new(bytes);
+            let matched = r.check_str(legacy).map_err(codec_err)?;
+            debug_assert!(matched, "starts_with_tag pre-checked the tag");
+            let value = T::deserialize(&mut r).map_err(codec_err)?;
+            return Ok((
+                value,
+                RestoreReport {
+                    checksum_verified: false,
+                    legacy_format: true,
+                },
+            ));
+        }
+        let mut found = bincode::Reader::new(bytes)
+            .read_string()
+            .map_err(codec_err)?;
+        found.truncate(64);
+        Err(SnapshotError::WrongTag {
+            expected: tag,
+            found,
+        })
+    }
+
+    /// Decodes a buffer produced by [`encode`] with the same `tag` (no
+    /// legacy fallback; the verification report is dropped).
     pub fn decode<T: for<'de> Deserialize<'de>>(
         tag: &'static str,
         bytes: &[u8],
     ) -> Result<T, SnapshotError> {
-        let mut r = bincode::Reader::new(bytes);
-        use serde::Deserializer as _;
-        // In-place tag comparison — the matching (hot) case allocates
-        // nothing; only a mismatch re-reads the tag for the error.
-        let matches = r
-            .check_str(tag)
-            .map_err(|e| SnapshotError::Malformed(e.to_string()))?;
-        if !matches {
-            let mut found = bincode::Reader::new(bytes)
-                .read_string()
-                .map_err(|e| SnapshotError::Malformed(e.to_string()))?;
-            found.truncate(64);
-            return Err(SnapshotError::WrongTag {
-                expected: tag,
-                found,
-            });
-        }
-        T::deserialize(&mut r).map_err(|e| SnapshotError::Malformed(e.to_string()))
+        Ok(decode_compat(tag, &[], bytes)?.0)
     }
 
     /// Writes a `u64` counter slice as one varint block through the
@@ -183,7 +325,7 @@ pub mod snapshot {
         let n = deserializer.read_seq_len()?;
         let block = deserializer.read_byte_seq()?;
         hh_space::decode_uvarints(&block, n)
-            .ok_or_else(|| serde::de::Error::custom("malformed varint counter block"))
+            .ok_or_else(|| serde::de::Error::invariant("malformed varint counter block"))
     }
 
     /// Like [`write_u64_slice`] but delta-encoded, for **non-decreasing**
@@ -209,7 +351,7 @@ pub mod snapshot {
         let n = deserializer.read_seq_len()?;
         let block = deserializer.read_byte_seq()?;
         hh_space::decode_deltas(&block, n)
-            .ok_or_else(|| serde::de::Error::custom("malformed delta counter block"))
+            .ok_or_else(|| serde::de::Error::invariant("malformed delta counter block"))
     }
 
     /// Serializes a `[u64; 4]` RNG state (helper for the manual serde
@@ -262,8 +404,78 @@ mod tests {
         assert_eq!(back, v);
         let err = snapshot::decode::<Vec<u64>>("hh.other.v1", &buf).unwrap_err();
         assert!(matches!(err, SnapshotError::WrongTag { .. }));
+        // Losing trailing bytes shifts the trailer onto payload bytes:
+        // the digest cannot match.
         let err = snapshot::decode::<Vec<u64>>("hh.test.v1", &buf[..buf.len() - 3]).unwrap_err();
-        assert!(matches!(err, SnapshotError::Malformed(_)));
+        assert!(matches!(err, SnapshotError::ChecksumMismatch));
+    }
+
+    #[test]
+    fn snapshot_checksum_rejects_every_bit_flip() {
+        let v: Vec<u64> = vec![9, 8, 7, 6];
+        let buf = snapshot::encode("hh.test.v1", &v);
+        for i in 0..buf.len() {
+            let mut bad = buf.to_vec();
+            bad[i] ^= 1;
+            let err = snapshot::decode::<Vec<u64>>("hh.test.v1", &bad).unwrap_err();
+            // A flip in the tag region surfaces as WrongTag (or, when
+            // it lands in the tag's length prefix, as a bounded-length
+            // rejection); anywhere else the trailer catches it. Either
+            // way: structured Err, never a panic.
+            assert!(
+                matches!(
+                    err,
+                    SnapshotError::ChecksumMismatch
+                        | SnapshotError::WrongTag { .. }
+                        | SnapshotError::LengthOverflow(_)
+                        | SnapshotError::Truncated
+                ),
+                "offset {i}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn legacy_checksumless_buffers_restore_with_verified_false() {
+        // Hand-build a legacy buffer: tag + payload, no trailer.
+        let v: Vec<u64> = vec![4, 5];
+        let mut w = serde::bincode::Writer::default();
+        use serde::Serializer as _;
+        w.write_str("hh.test.v1").unwrap();
+        serde::Serialize::serialize(&v, &mut w).unwrap();
+        let legacy = w.done().unwrap();
+
+        let (back, report) =
+            snapshot::decode_compat::<Vec<u64>>("hh.test.v2", &["hh.test.v1"], &legacy).unwrap();
+        assert_eq!(back, v);
+        assert!(!report.checksum_verified);
+        assert!(report.legacy_format);
+
+        // The current format reports full verification.
+        let buf = snapshot::encode("hh.test.v2", &v);
+        let (back, report) =
+            snapshot::decode_compat::<Vec<u64>>("hh.test.v2", &["hh.test.v1"], &buf).unwrap();
+        assert_eq!(back, v);
+        assert!(report.checksum_verified);
+        assert!(!report.legacy_format);
+    }
+
+    #[test]
+    fn snapshot_rejects_trailing_garbage_and_empty_buffers() {
+        let v: Vec<u64> = vec![1];
+        let buf = snapshot::encode("hh.test.v1", &v);
+        // Appending bytes (with a recomputed trailer) is caught by the
+        // strict exact-consumption check.
+        let mut padded = buf[..buf.len() - snapshot::CHECKSUM_LEN].to_vec();
+        padded.extend_from_slice(&[0, 0, 0]);
+        let digest = hh_space::checksum::fnv1a64x4(&padded);
+        padded.extend_from_slice(&digest.to_le_bytes());
+        let err = snapshot::decode::<Vec<u64>>("hh.test.v1", &padded).unwrap_err();
+        assert!(matches!(err, SnapshotError::InvariantViolated(_)));
+        // Degenerate inputs are classified, not panicked on.
+        for bad in [&[][..], &[0u8; 3], &[0xFF; 16]] {
+            assert!(snapshot::decode::<Vec<u64>>("hh.test.v1", bad).is_err());
+        }
     }
 
     #[test]

@@ -28,7 +28,7 @@
 //! this table).
 
 use crate::error::{MergeError, SnapshotError};
-use crate::mergeable::{check_compatible, snapshot, MergeableSummary};
+use crate::mergeable::{check_compatible, snapshot, MergeableSummary, RestoreReport};
 use crate::traits::StreamSummary;
 use hh_space::space::{gamma_bits, SpaceUsage};
 use serde::{Deserialize, Serialize};
@@ -210,7 +210,9 @@ impl MisraGries {
     /// cadence, so the whole path allocates nothing after the first
     /// call.
     pub fn merge(&mut self, other: &MisraGries) {
-        self.processed += other.processed;
+        // Saturating: stays total even for near-u64::MAX stream
+        // positions carried in through a restored snapshot.
+        self.processed = self.processed.saturating_add(other.processed);
         let mut extra = std::mem::take(&mut self.scratch);
         extra.clear();
         for (k, c) in other.live() {
@@ -257,7 +259,7 @@ impl MisraGries {
                 return false;
             }
             if self.keys[i] == key {
-                self.counts[i] = cc + c;
+                self.counts[i] = cc.saturating_add(c);
                 return true;
             }
             i = (i + 1) & self.mask;
@@ -266,9 +268,12 @@ impl MisraGries {
 }
 
 /// Snapshot format version tag (see [`MergeableSummary::to_bytes`]).
-/// v2 carries the keys and counts as two varint blocks through the
-/// codec's bulk byte channel instead of one codec call per pair.
-const MG_TAG: &str = "hh.misra-gries.v2";
+/// v3 appends the trailing FNV-1a/64 integrity checksum; v2 carried
+/// the keys and counts as two varint blocks through the codec's bulk
+/// byte channel instead of one codec call per pair.
+const MG_TAG: &str = "hh.misra-gries.v3";
+/// Previous (checksum-less) format, still accepted for restore.
+const MG_TAG_V2: &str = "hh.misra-gries.v2";
 
 /// Content snapshot: parameters, stream position, and the live
 /// `(key, count)` entries as one interleaved varint block (key, count,
@@ -304,36 +309,60 @@ impl<'de> Deserialize<'de> for MisraGries {
         // any configuration the constructors produce.
         let capacity = deserializer.read_u64()?;
         if capacity == 0 || capacity > (1 << 20) {
-            return Err(serde::de::Error::custom("MisraGries capacity out of range"));
+            return Err(serde::de::Error::invariant(
+                "MisraGries capacity out of range",
+            ));
         }
         let key_bits = deserializer.read_u64()?;
+        if key_bits > 64 {
+            return Err(serde::de::Error::invariant(
+                "MisraGries key width above 64 bits",
+            ));
+        }
         let processed = deserializer.read_u64()?;
         let n = deserializer.read_seq_len()?;
         if n > capacity as usize {
-            return Err(serde::de::Error::custom(
+            return Err(serde::de::Error::invariant(
                 "MisraGries entries exceed capacity",
             ));
         }
         let block = deserializer.read_byte_seq()?;
-        let mut table = MisraGries::new(capacity as usize, key_bits);
-        let mut keys = Vec::with_capacity(n);
+        let mut entries = Vec::with_capacity(n);
+        let mut total = 0u64;
         let mut pos = 0usize;
         for _ in 0..n {
-            let bad = || serde::de::Error::custom("MisraGries malformed entry block");
+            let bad = || serde::de::Error::invariant("MisraGries malformed entry block");
             let k = hh_space::varint::read_uvarint(&block, &mut pos).ok_or_else(bad)?;
             let c = hh_space::varint::read_uvarint(&block, &mut pos).ok_or_else(bad)?;
             if c == 0 {
-                return Err(serde::de::Error::custom("MisraGries zero-count entry"));
+                return Err(serde::de::Error::invariant("MisraGries zero-count entry"));
             }
-            keys.push(k);
-            table.place(k, c);
+            total = total.checked_add(c).ok_or_else(|| {
+                serde::de::Error::invariant("MisraGries counts exceed stream position")
+            })?;
+            entries.push((k, c));
+        }
+        // Retained counts can never exceed the stream positions that
+        // funded them — a forged buffer violating this would poison
+        // every downstream threshold computation.
+        if total > processed {
+            return Err(serde::de::Error::invariant(
+                "MisraGries counts exceed stream position",
+            ));
         }
         if pos != block.len() {
-            return Err(serde::de::Error::custom("MisraGries trailing bytes"));
+            return Err(serde::de::Error::invariant("MisraGries trailing bytes"));
         }
+        // Validate key uniqueness *before* any entry is placed —
+        // `place()` requires absent keys.
+        let mut keys: Vec<u64> = entries.iter().map(|&(k, _)| k).collect();
         keys.sort_unstable();
         if keys.windows(2).any(|w| w[0] == w[1]) {
-            return Err(serde::de::Error::custom("MisraGries duplicate keys"));
+            return Err(serde::de::Error::invariant("MisraGries duplicate keys"));
+        }
+        let mut table = MisraGries::new(capacity as usize, key_bits);
+        for (k, c) in entries {
+            table.place(k, c);
         }
         table.processed = processed;
         Ok(table)
@@ -371,8 +400,8 @@ impl MergeableSummary for MisraGries {
         snapshot::encode(MG_TAG, self)
     }
 
-    fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
-        snapshot::decode(MG_TAG, bytes)
+    fn from_bytes_report(bytes: &[u8]) -> Result<(Self, RestoreReport), SnapshotError> {
+        snapshot::decode_compat(MG_TAG, &[MG_TAG_V2], bytes)
     }
 }
 

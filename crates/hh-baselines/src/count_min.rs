@@ -15,7 +15,7 @@
 use hh_core::mergeable::snapshot;
 use hh_core::{
     FrequencyEstimator, HeavyHitters, ItemEstimate, MergeError, MergeableSummary, QueryCache,
-    Report, SnapshotError, StreamSummary,
+    Report, RestoreReport, SnapshotError, StreamSummary,
 };
 use hh_hash::FastMap;
 use hh_hash::{CarterWegmanFamily, CarterWegmanHash, HashFamily, HashFunction};
@@ -250,7 +250,11 @@ impl FrequencyEstimator for CountMin {
 }
 
 /// Snapshot format version tag.
-const TAG: &str = "hh.baseline.count-min.v1";
+const TAG: &str = "hh.baseline.count-min.v2";
+/// Previous (checksum-less) tag, still accepted on restore.
+const TAG_V1: &str = "hh.baseline.count-min.v1";
+/// Decode-time ceiling on the candidate capacity a snapshot may claim.
+const CANDIDATE_CAP_LIMIT: usize = 1 << 24;
 
 impl Serialize for CountMin {
     fn serialize<S: serde::Serializer>(&self, mut serializer: S) -> Result<S::Ok, S::Error> {
@@ -271,27 +275,47 @@ impl<'de> Deserialize<'de> for CountMin {
     fn deserialize<D: serde::Deserializer<'de>>(mut deserializer: D) -> Result<Self, D::Error> {
         let rows: Vec<(CarterWegmanHash, VarCounterArray)> = Vec::deserialize(&mut deserializer)?;
         let width = deserializer.read_u64()?;
-        if rows.is_empty() {
-            return Err(serde::de::Error::custom("CountMin needs at least one row"));
+        if rows.is_empty() || width == 0 {
+            return Err(serde::de::Error::invariant(
+                "CountMin needs at least one row",
+            ));
         }
         if rows
             .iter()
             .any(|(h, row)| h.range() != width || row.len() as u64 != width)
         {
-            return Err(serde::de::Error::custom("CountMin row shapes inconsistent"));
+            return Err(serde::de::Error::invariant(
+                "CountMin row shapes inconsistent",
+            ));
         }
         let conservative = deserializer.read_bool()?;
         let cand: Vec<u64> = Vec::deserialize(&mut deserializer)?;
-        let candidate_cap = deserializer.read_u64()? as usize;
-        if candidate_cap == 0 || cand.len() > candidate_cap {
-            return Err(serde::de::Error::custom("CountMin candidates overflow"));
+        let candidate_cap = deserializer.read_u64()?;
+        if candidate_cap == 0 || candidate_cap > CANDIDATE_CAP_LIMIT as u64 {
+            return Err(serde::de::Error::invariant(
+                "CountMin candidate capacity out of range",
+            ));
+        }
+        let candidate_cap = candidate_cap as usize;
+        if cand.len() > candidate_cap {
+            return Err(serde::de::Error::invariant("CountMin candidates overflow"));
+        }
+        if cand.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(serde::de::Error::invariant(
+                "CountMin candidates not sorted",
+            ));
         }
         let key_bits = deserializer.read_u64()?;
+        if key_bits > 64 {
+            return Err(serde::de::Error::invariant("key width exceeds 64 bits"));
+        }
         let processed = deserializer.read_u64()?;
         let eps = deserializer.read_f64()?;
         let phi = deserializer.read_f64()?;
         if !(eps > 0.0 && eps < phi && phi <= 1.0) {
-            return Err(serde::de::Error::custom("invalid (eps, phi) in snapshot"));
+            return Err(serde::de::Error::invariant(
+                "invalid (eps, phi) in snapshot",
+            ));
         }
         let mut candidates = FastMap::default();
         for item in cand {
@@ -356,7 +380,7 @@ impl MergeableSummary for CountMin {
         for ((_, row), (_, orow)) in self.rows.iter_mut().zip(&other.rows) {
             row.merge_add(orow);
         }
-        self.processed += other.processed;
+        self.processed = self.processed.saturating_add(other.processed);
         for item in other.sorted_candidates() {
             self.candidates.insert(item, ());
         }
@@ -373,8 +397,8 @@ impl MergeableSummary for CountMin {
         snapshot::encode(TAG, self)
     }
 
-    fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
-        snapshot::decode(TAG, bytes)
+    fn from_bytes_report(bytes: &[u8]) -> Result<(Self, RestoreReport), SnapshotError> {
+        snapshot::decode_compat(TAG, &[TAG_V1], bytes)
     }
 }
 

@@ -10,7 +10,7 @@
 use hh_core::mergeable::snapshot;
 use hh_core::{
     FrequencyEstimator, HeavyHitters, ItemEstimate, MergeError, MergeableSummary, QueryCache,
-    Report, SnapshotError, StreamSummary,
+    Report, RestoreReport, SnapshotError, StreamSummary,
 };
 use hh_hash::FastMap;
 use hh_hash::{HashFamily, HashFunction, PolynomialFamily, PolynomialHash};
@@ -268,8 +268,14 @@ impl FrequencyEstimator for CountSketch {
     }
 }
 
-/// Snapshot format version tag.
-const TAG: &str = "hh.baseline.count-sketch.v1";
+/// Snapshot format version tag (v2: trailing FNV-1a/64 integrity
+/// checksum).
+const TAG: &str = "hh.baseline.count-sketch.v2";
+/// Previous (checksum-less) format, still accepted for restore.
+const TAG_V1: &str = "hh.baseline.count-sketch.v1";
+/// Largest candidate capacity a snapshot may claim (real capacities
+/// are `Θ(1/φ)`); bounds a restored instance's future growth.
+const CANDIDATE_CAP_LIMIT: usize = 1 << 24;
 
 impl Serialize for CountSketch {
     fn serialize<S: serde::Serializer>(&self, mut serializer: S) -> Result<S::Ok, S::Error> {
@@ -289,26 +295,60 @@ impl<'de> Deserialize<'de> for CountSketch {
         let rows: Vec<(PolynomialHash, Vec<i64>)> = Vec::deserialize(&mut deserializer)?;
         let width = deserializer.read_u64()?;
         if rows.is_empty() || rows.len() % 2 == 0 {
-            return Err(serde::de::Error::custom("CountSketch depth must be odd"));
+            return Err(serde::de::Error::invariant("CountSketch depth must be odd"));
         }
         if rows
             .iter()
             .any(|(h, row)| h.range() != width || row.len() as u64 != width)
         {
-            return Err(serde::de::Error::custom(
+            return Err(serde::de::Error::invariant(
                 "CountSketch row shapes inconsistent",
             ));
         }
         let cand: Vec<u64> = Vec::deserialize(&mut deserializer)?;
-        let candidate_cap = deserializer.read_u64()? as usize;
-        if candidate_cap == 0 || cand.len() > candidate_cap {
-            return Err(serde::de::Error::custom("CountSketch candidates overflow"));
+        let candidate_cap = deserializer.read_u64()?;
+        if candidate_cap == 0 || candidate_cap > CANDIDATE_CAP_LIMIT as u64 {
+            return Err(serde::de::Error::invariant(
+                "CountSketch candidate capacity out of range",
+            ));
+        }
+        let candidate_cap = candidate_cap as usize;
+        if cand.len() > candidate_cap {
+            return Err(serde::de::Error::invariant(
+                "CountSketch candidates overflow",
+            ));
+        }
+        if cand.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(serde::de::Error::invariant(
+                "CountSketch candidates unsorted or duplicated",
+            ));
         }
         let key_bits = deserializer.read_u64()?;
+        if key_bits > 64 {
+            return Err(serde::de::Error::invariant(
+                "CountSketch key width above 64 bits",
+            ));
+        }
         let processed = deserializer.read_u64()?;
+        // Every arrival adds ±1 to one cell per row, so |cell| ≤
+        // processed (and processed itself must fit the signed counter
+        // domain for that bound to mean anything).
+        if processed > i64::MAX as u64 {
+            return Err(serde::de::Error::invariant(
+                "CountSketch stream position overflows counters",
+            ));
+        }
+        if rows
+            .iter()
+            .any(|(_, row)| row.iter().any(|&c| c.unsigned_abs() > processed))
+        {
+            return Err(serde::de::Error::invariant(
+                "CountSketch cell exceeds stream position",
+            ));
+        }
         let phi = deserializer.read_f64()?;
         if !(phi > 0.0 && phi <= 1.0) {
-            return Err(serde::de::Error::custom("invalid phi in snapshot"));
+            return Err(serde::de::Error::invariant("invalid phi in snapshot"));
         }
         let mut candidates = FastMap::default();
         for item in cand {
@@ -362,13 +402,18 @@ impl MergeableSummary for CountSketch {
         if self.key_bits != other.key_bits {
             return Err(MergeError::Incompatible("key widths"));
         }
+        if self.candidate_cap != other.candidate_cap {
+            return Err(MergeError::Incompatible("candidate capacities"));
+        }
         self.cache.invalidate();
+        // Saturating: stays total for adversarial counts restored from
+        // a snapshot (honest counts are bounded by the stream length).
         for ((_, row), (_, orow)) in self.rows.iter_mut().zip(&other.rows) {
             for (c, &o) in row.iter_mut().zip(orow) {
-                *c += o;
+                *c = c.saturating_add(o);
             }
         }
-        self.processed += other.processed;
+        self.processed = self.processed.saturating_add(other.processed);
         for item in other.sorted_candidates() {
             self.candidates.insert(item, ());
         }
@@ -382,8 +427,8 @@ impl MergeableSummary for CountSketch {
         snapshot::encode(TAG, self)
     }
 
-    fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
-        snapshot::decode(TAG, bytes)
+    fn from_bytes_report(bytes: &[u8]) -> Result<(Self, RestoreReport), SnapshotError> {
+        snapshot::decode_compat(TAG, &[TAG_V1], bytes)
     }
 }
 

@@ -14,7 +14,7 @@
 use hh_core::mergeable::snapshot;
 use hh_core::{
     FrequencyEstimator, HeavyHitters, ItemEstimate, MergeError, MergeableSummary, QueryCache,
-    Report, SnapshotError, StreamSummary,
+    Report, RestoreReport, SnapshotError, StreamSummary,
 };
 use hh_hash::FastMap;
 use hh_space::space::{gamma_bits, SpaceUsage};
@@ -164,8 +164,11 @@ impl FrequencyEstimator for LossyCounting {
     }
 }
 
-/// Snapshot format version tag.
-const TAG: &str = "hh.baseline.lossy-counting.v1";
+/// Snapshot format version tag (v2: trailing FNV-1a/64 integrity
+/// checksum).
+const TAG: &str = "hh.baseline.lossy-counting.v2";
+/// Previous (checksum-less) format, still accepted for restore.
+const TAG_V1: &str = "hh.baseline.lossy-counting.v1";
 
 impl Serialize for LossyCounting {
     fn serialize<S: serde::Serializer>(&self, mut serializer: S) -> Result<S::Ok, S::Error> {
@@ -185,32 +188,46 @@ impl<'de> Deserialize<'de> for LossyCounting {
     fn deserialize<D: serde::Deserializer<'de>>(mut deserializer: D) -> Result<Self, D::Error> {
         let window = deserializer.read_u64()?;
         if window == 0 {
-            return Err(serde::de::Error::custom(
+            return Err(serde::de::Error::invariant(
                 "LossyCounting window must be positive",
             ));
         }
         let current_window = deserializer.read_u64()?;
         let in_window = deserializer.read_u64()?;
         if in_window >= window || current_window == 0 {
-            return Err(serde::de::Error::custom(
+            return Err(serde::de::Error::invariant(
                 "LossyCounting window state inconsistent",
             ));
         }
         let key_bits = deserializer.read_u64()?;
+        if key_bits > 64 {
+            return Err(serde::de::Error::invariant(
+                "LossyCounting key width above 64 bits",
+            ));
+        }
         let processed = deserializer.read_u64()?;
         let eps = deserializer.read_f64()?;
         let phi = deserializer.read_f64()?;
         if !(eps > 0.0 && eps < phi && phi <= 1.0) {
-            return Err(serde::de::Error::custom("invalid (eps, phi) in snapshot"));
+            return Err(serde::de::Error::invariant(
+                "invalid (eps, phi) in snapshot",
+            ));
         }
         let pairs: Vec<(u64, (u64, u64))> = Vec::deserialize(&mut deserializer)?;
         let mut entries = FastMap::default();
         for (item, cd) in pairs {
             if cd.0 == 0 {
-                return Err(serde::de::Error::custom("LossyCounting zero-count entry"));
+                return Err(serde::de::Error::invariant(
+                    "LossyCounting zero-count entry",
+                ));
+            }
+            if cd.0 > processed {
+                return Err(serde::de::Error::invariant(
+                    "LossyCounting count exceeds stream position",
+                ));
             }
             if entries.insert(item, cd).is_some() {
-                return Err(serde::de::Error::custom("LossyCounting duplicate items"));
+                return Err(serde::de::Error::invariant("LossyCounting duplicate items"));
             }
         }
         Ok(Self {
@@ -268,29 +285,34 @@ impl MergeableSummary for LossyCounting {
         // pass over `other` cancel the charge for the items it tracks —
         // this replaces the seed implementation's second full pass with
         // one hash lookup per own entry.
+        // All counter arithmetic below saturates: honestly built
+        // summaries sit far from u64::MAX, but a restored snapshot may
+        // not, and the merge must stay total (Δ is a conservative upper
+        // bound, so saturation only loosens it — never unsound).
         for (_, entry) in self.entries.iter_mut() {
-            entry.1 += b_other;
+            entry.1 = entry.1.saturating_add(b_other);
         }
         for (item, &(c, d)) in other.entries.iter() {
             match self.entries.get_mut(item) {
                 Some((sc, sd)) => {
-                    *sc += c;
+                    *sc = sc.saturating_add(c);
                     // The blanket b_other charge does not apply to items
                     // other actually tracks; their own Δ adds instead.
-                    *sd = *sd + d - b_other;
+                    *sd = sd.saturating_sub(b_other).saturating_add(d);
                 }
                 None => {
-                    self.entries.insert(*item, (c, d + b_self));
+                    self.entries.insert(*item, (c, d.saturating_add(b_self)));
                 }
             }
         }
-        self.processed += other.processed;
+        self.processed = self.processed.saturating_add(other.processed);
         // Combined window position: completed windows add; the partial
         // windows coalesce (their items are all accounted in c/Δ).
-        self.in_window = (self.in_window + other.in_window) % self.window;
-        self.current_window = self.processed / self.window + 1;
+        self.in_window = self.in_window.saturating_add(other.in_window) % self.window;
+        self.current_window = (self.processed / self.window).saturating_add(1);
         let b = self.current_window;
-        self.entries.retain(|_, &mut (c, d)| c + d > b);
+        self.entries
+            .retain(|_, &mut (c, d)| c.saturating_add(d) > b);
         Ok(())
     }
 
@@ -298,8 +320,8 @@ impl MergeableSummary for LossyCounting {
         snapshot::encode(TAG, self)
     }
 
-    fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
-        snapshot::decode(TAG, bytes)
+    fn from_bytes_report(bytes: &[u8]) -> Result<(Self, RestoreReport), SnapshotError> {
+        snapshot::decode_compat(TAG, &[TAG_V1], bytes)
     }
 }
 

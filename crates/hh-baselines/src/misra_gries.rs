@@ -4,7 +4,7 @@
 use hh_core::mergeable::snapshot;
 use hh_core::{
     HeavyHitters, ItemEstimate, MergeError, MergeableSummary, MisraGries, QueryCache, Report,
-    SnapshotError, StreamSummary,
+    RestoreReport, SnapshotError, StreamSummary,
 };
 use hh_space::SpaceUsage;
 use serde::{Deserialize, Serialize};
@@ -112,8 +112,10 @@ impl SpaceUsage for MisraGriesBaseline {
 }
 
 /// Snapshot format version tag (v2: the wrapped table switched to the
-/// varint-slice wire format).
-const TAG: &str = "hh.baseline.misra-gries.v2";
+/// varint-slice wire format; v3: trailing integrity checksum).
+const TAG: &str = "hh.baseline.misra-gries.v3";
+/// Previous (checksum-less) tag, still accepted on restore.
+const TAG_V2: &str = "hh.baseline.misra-gries.v2";
 
 impl Serialize for MisraGriesBaseline {
     fn serialize<S: serde::Serializer>(&self, mut serializer: S) -> Result<S::Ok, S::Error> {
@@ -129,7 +131,9 @@ impl<'de> Deserialize<'de> for MisraGriesBaseline {
         let eps = deserializer.read_f64()?;
         let phi = deserializer.read_f64()?;
         if !(eps > 0.0 && eps < phi && phi <= 1.0) {
-            return Err(serde::de::Error::custom("invalid (eps, phi) in snapshot"));
+            return Err(serde::de::Error::invariant(
+                "invalid (eps, phi) in snapshot",
+            ));
         }
         let table = MisraGries::deserialize(&mut deserializer)?;
         Ok(Self {
@@ -157,8 +161,8 @@ impl MergeableSummary for MisraGriesBaseline {
         snapshot::encode(TAG, self)
     }
 
-    fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
-        snapshot::decode(TAG, bytes)
+    fn from_bytes_report(bytes: &[u8]) -> Result<(Self, RestoreReport), SnapshotError> {
+        snapshot::decode_compat(TAG, &[TAG_V2], bytes)
     }
 }
 

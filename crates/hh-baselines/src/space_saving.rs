@@ -19,7 +19,7 @@
 use hh_core::mergeable::snapshot;
 use hh_core::{
     FrequencyEstimator, HeavyHitters, ItemEstimate, MergeError, MergeableSummary, QueryCache,
-    Report, SnapshotError, StreamSummary,
+    Report, RestoreReport, SnapshotError, StreamSummary,
 };
 use hh_hash::FastMap;
 use hh_space::space::{gamma_bits, SpaceUsage};
@@ -467,8 +467,11 @@ impl FrequencyEstimator for SpaceSaving {
 
 /// Snapshot format version tag. v2 carries the monitored triples as
 /// one interleaved varint block through the codec's bulk byte channel
-/// instead of one codec call per field.
-const TAG: &str = "hh.baseline.space-saving.v2";
+/// instead of one codec call per field; v3 appends the trailing
+/// integrity checksum.
+const TAG: &str = "hh.baseline.space-saving.v3";
+/// Previous (checksum-less) tag, still accepted on restore.
+const TAG_V2: &str = "hh.baseline.space-saving.v2";
 
 /// Content snapshot: parameters, stream position, and the monitored
 /// `(item, count, err)` triples as one interleaved varint block in
@@ -502,19 +505,22 @@ impl<'de> Deserialize<'de> for SpaceSaving {
         // so a crafted buffer cannot provoke a huge allocation.
         let capacity = deserializer.read_u64()? as usize;
         if capacity == 0 || capacity > (1 << 20) {
-            return Err(serde::de::Error::custom(
+            return Err(serde::de::Error::invariant(
                 "SpaceSaving capacity out of range",
             ));
         }
         let key_bits = deserializer.read_u64()?;
+        if key_bits > 64 {
+            return Err(serde::de::Error::invariant("key width exceeds 64 bits"));
+        }
         let phi = deserializer.read_f64()?;
         if !(phi > 0.0 && phi <= 1.0) {
-            return Err(serde::de::Error::custom("invalid phi in snapshot"));
+            return Err(serde::de::Error::invariant("invalid phi in snapshot"));
         }
         let processed = deserializer.read_u64()?;
         let n = deserializer.read_seq_len()?;
         if n > capacity {
-            return Err(serde::de::Error::custom(
+            return Err(serde::de::Error::invariant(
                 "SpaceSaving entries exceed capacity",
             ));
         }
@@ -522,22 +528,22 @@ impl<'de> Deserialize<'de> for SpaceSaving {
         let mut triples: Vec<(u64, u64, u64)> = Vec::with_capacity(n);
         let mut pos = 0usize;
         for _ in 0..n {
-            let bad = || serde::de::Error::custom("SpaceSaving malformed entry block");
+            let bad = || serde::de::Error::truncated();
             let i = hh_space::varint::read_uvarint(&block, &mut pos).ok_or_else(bad)?;
             let c = hh_space::varint::read_uvarint(&block, &mut pos).ok_or_else(bad)?;
             let e = hh_space::varint::read_uvarint(&block, &mut pos).ok_or_else(bad)?;
-            if c == 0 || e > c {
-                return Err(serde::de::Error::custom("SpaceSaving malformed triple"));
+            if c == 0 || e > c || c > processed {
+                return Err(serde::de::Error::invariant("SpaceSaving malformed triple"));
             }
             triples.push((i, c, e));
         }
         if pos != block.len() {
-            return Err(serde::de::Error::custom("SpaceSaving trailing bytes"));
+            return Err(serde::de::Error::invariant("SpaceSaving trailing bytes"));
         }
         let mut keys: Vec<u64> = triples.iter().map(|&(i, _, _)| i).collect();
         keys.sort_unstable();
         if keys.windows(2).any(|w| w[0] == w[1]) {
-            return Err(serde::de::Error::custom("SpaceSaving duplicate items"));
+            return Err(serde::de::Error::invariant("SpaceSaving duplicate items"));
         }
         let mut ss = SpaceSaving {
             capacity,
@@ -588,30 +594,34 @@ impl MergeableSummary for SpaceSaving {
             match a[i].0.cmp(&b[j].0) {
                 std::cmp::Ordering::Less => {
                     let (it, c, e) = a[i];
-                    combined.push((it, c + other_min, e + other_min));
+                    combined.push((it, c.saturating_add(other_min), e.saturating_add(other_min)));
                     i += 1;
                 }
                 std::cmp::Ordering::Greater => {
                     let (it, c, e) = b[j];
-                    combined.push((it, c + self_min, e + self_min));
+                    combined.push((it, c.saturating_add(self_min), e.saturating_add(self_min)));
                     j += 1;
                 }
                 std::cmp::Ordering::Equal => {
-                    combined.push((a[i].0, a[i].1 + b[j].1, a[i].2 + b[j].2));
+                    combined.push((
+                        a[i].0,
+                        a[i].1.saturating_add(b[j].1),
+                        a[i].2.saturating_add(b[j].2),
+                    ));
                     i += 1;
                     j += 1;
                 }
             }
         }
         for &(it, c, e) in &a[i..] {
-            combined.push((it, c + other_min, e + other_min));
+            combined.push((it, c.saturating_add(other_min), e.saturating_add(other_min)));
         }
         for &(it, c, e) in &b[j..] {
-            combined.push((it, c + self_min, e + self_min));
+            combined.push((it, c.saturating_add(self_min), e.saturating_add(self_min)));
         }
         combined.sort_unstable_by_key(|&(i, c, _)| (std::cmp::Reverse(c), i));
         combined.truncate(self.capacity);
-        let total = self.processed + other.processed;
+        let total = self.processed.saturating_add(other.processed);
         let mut fresh = self.clone_empty();
         fresh.restore_entries(combined, total);
         *self = fresh;
@@ -622,8 +632,8 @@ impl MergeableSummary for SpaceSaving {
         snapshot::encode(TAG, self)
     }
 
-    fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
-        snapshot::decode(TAG, bytes)
+    fn from_bytes_report(bytes: &[u8]) -> Result<(Self, RestoreReport), SnapshotError> {
+        snapshot::decode_compat(TAG, &[TAG_V2], bytes)
     }
 }
 

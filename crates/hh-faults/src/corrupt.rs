@@ -1,0 +1,171 @@
+//! Byte-level snapshot corruptors.
+//!
+//! Every generator is pure and deterministic: corrupted buffers are a
+//! function of the input bytes (and, for the sampled flips, an explicit
+//! seed), so a failing property-test case reproduces exactly. The
+//! corruptions mirror the decoder's threat model one-for-one:
+//!
+//! | generator                    | what it attacks                      |
+//! |------------------------------|--------------------------------------|
+//! | [`truncations`]              | every "ran out of bytes" code path   |
+//! | [`flip_bit`] / [`bit_flips`] | checksum coverage, field validation  |
+//! | [`inflate_length_prefixes`]  | pre-allocation from untrusted lengths|
+//! | [`swap_tag`]                 | type confusion between summaries     |
+
+/// Every strict prefix of `buf`, shortest first — one buffer per
+/// possible truncation point, including the empty buffer.
+///
+/// Feeding each to `from_bytes` exercises every early-EOF branch a
+/// decoder has; the contract is a structured `Err` at every length.
+pub fn truncations(buf: &[u8]) -> impl Iterator<Item = &[u8]> + '_ {
+    (0..buf.len()).map(move |end| &buf[..end])
+}
+
+/// `buf` with bit `bit` (counting from the LSB of byte 0) inverted.
+///
+/// # Panics
+/// If `bit >= 8 * buf.len()`.
+pub fn flip_bit(buf: &[u8], bit: usize) -> Vec<u8> {
+    assert!(bit < buf.len() * 8, "bit index out of range");
+    let mut out = buf.to_vec();
+    out[bit / 8] ^= 1 << (bit % 8);
+    out
+}
+
+/// `n` single-bit-flip corruptions of `buf` at deterministic
+/// pseudo-random positions derived from `seed` (splitmix64, so the
+/// positions are stable across platforms and runs). Duplicates are
+/// possible by design — the point is coverage volume, not a perfect
+/// design; pair with an exhaustive [`flip_bit`] sweep on small buffers.
+pub fn bit_flips(buf: &[u8], seed: u64, n: usize) -> Vec<Vec<u8>> {
+    let bits = buf.len() * 8;
+    if bits == 0 {
+        return Vec::new();
+    }
+    let mut state = seed;
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            flip_bit(buf, (z % bits as u64) as usize)
+        })
+        .collect()
+}
+
+/// Values stamped over candidate length prefixes by
+/// [`inflate_length_prefixes`]: just past the buffer, a mid-range lie,
+/// and the absolute worst case.
+const INFLATIONS: [u64; 3] = [0, u64::MAX / 2, u64::MAX];
+
+/// Corruptions that inflate plausible length prefixes.
+///
+/// The wire format writes lengths as little-endian `u64`s, so any
+/// 8-byte window whose value is at most the buffer length *could* be a
+/// length prefix. For each such window this stamps in adversarial
+/// values — `buf.len() + 1` (off-by-just-one), `u64::MAX / 2`, and
+/// `u64::MAX` — producing buffers that claim far more payload than
+/// they carry. A hardened decoder must reject each one *before*
+/// allocating; an unhardened one aborts the process trying to reserve
+/// exabytes, which is exactly the regression this generator pins.
+pub fn inflate_length_prefixes(buf: &[u8]) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    for offset in 0..buf.len().saturating_sub(7) {
+        let window: [u8; 8] = buf[offset..offset + 8].try_into().expect("8-byte window");
+        if u64::from_le_bytes(window) > buf.len() as u64 {
+            continue; // not a plausible length prefix
+        }
+        for &v in &INFLATIONS {
+            let lie = if v == 0 { buf.len() as u64 + 1 } else { v };
+            let mut bad = buf.to_vec();
+            bad[offset..offset + 8].copy_from_slice(&lie.to_le_bytes());
+            out.push(bad);
+        }
+    }
+    out
+}
+
+/// Replaces the leading length-prefixed `old_tag` with `new_tag`
+/// (keeping the payload bytes), or `None` if `buf` does not start with
+/// `old_tag`'s encoding. The result impersonates another summary type
+/// or format version; decoders must answer `WrongTag` (or a checksum
+/// failure), never misinterpret the payload.
+pub fn swap_tag(buf: &[u8], old_tag: &str, new_tag: &str) -> Option<Vec<u8>> {
+    let prefix = buf.get(..8)?;
+    let len = u64::from_le_bytes(prefix.try_into().expect("8-byte slice"));
+    if len != old_tag.len() as u64 || !buf[8..].starts_with(old_tag.as_bytes()) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(buf.len() - old_tag.len() + new_tag.len());
+    out.extend_from_slice(&(new_tag.len() as u64).to_le_bytes());
+    out.extend_from_slice(new_tag.as_bytes());
+    out.extend_from_slice(&buf[8 + old_tag.len()..]);
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncations_cover_every_prefix() {
+        let buf = [1u8, 2, 3, 4];
+        let all: Vec<&[u8]> = truncations(&buf).collect();
+        assert_eq!(all.len(), 4);
+        assert_eq!(all[0], &[] as &[u8]);
+        assert_eq!(all[3], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn flip_bit_inverts_exactly_one_bit() {
+        let buf = [0u8; 3];
+        for bit in 0..24 {
+            let bad = flip_bit(&buf, bit);
+            let ones: u32 = bad.iter().map(|b| b.count_ones()).sum();
+            assert_eq!(ones, 1, "bit {bit}");
+        }
+    }
+
+    #[test]
+    fn bit_flips_are_deterministic() {
+        let buf = [0xABu8; 16];
+        assert_eq!(bit_flips(&buf, 7, 10), bit_flips(&buf, 7, 10));
+        assert_eq!(bit_flips(&buf, 7, 10).len(), 10);
+        // Every output differs from the input in exactly one bit.
+        for bad in bit_flips(&buf, 7, 10) {
+            let diff: u32 = bad
+                .iter()
+                .zip(&buf)
+                .map(|(a, b)| (a ^ b).count_ones())
+                .sum();
+            assert_eq!(diff, 1);
+        }
+    }
+
+    #[test]
+    fn inflation_targets_only_plausible_prefixes() {
+        // A buffer starting with a tiny length prefix, then big values.
+        let mut buf = 3u64.to_le_bytes().to_vec();
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        let bad = inflate_length_prefixes(&buf);
+        assert!(!bad.is_empty());
+        // Every corruption stamps a value that exceeds the buffer.
+        for b in &bad {
+            assert_eq!(b.len(), buf.len());
+            assert_ne!(b, &buf);
+        }
+    }
+
+    #[test]
+    fn tag_swap_round_trips_shape() {
+        let mut buf = 7u64.to_le_bytes().to_vec();
+        buf.extend_from_slice(b"hh.a.v1");
+        buf.extend_from_slice(b"PAYLOAD");
+        let swapped = swap_tag(&buf, "hh.a.v1", "hh.b.v2").unwrap();
+        assert!(swapped[8..].starts_with(b"hh.b.v2"));
+        assert!(swapped.ends_with(b"PAYLOAD"));
+        assert!(swap_tag(&buf, "hh.c.v1", "hh.b.v2").is_none());
+    }
+}

@@ -1,0 +1,25 @@
+//! Deterministic fault injection for the workspace's robustness suites.
+//!
+//! Two failure surfaces, two modules:
+//!
+//! * [`corrupt`] — byte-level snapshot corruptors (truncation at every
+//!   offset, single-bit flips, length-prefix inflation, tag swaps) for
+//!   driving every `from_bytes` implementation through adversarial
+//!   input. Everything is deterministic — the same call always produces
+//!   the same corrupted buffers — so a failing case replays from its
+//!   test name alone, with no seed archaeology.
+//! * [`runtime`] — fault hooks for the shard runtime: a summary wrapper
+//!   that panics mid-ingest after an armed countdown, stalls to
+//!   simulate a slow worker, and hands out its switch so tests flip
+//!   faults on and off while the runtime is live.
+//!
+//! The crate is a *testkit*: it lives below `tests/` and `benches/` in
+//! the dependency graph on purpose, so integration suites and benches
+//! share one vocabulary of faults instead of re-rolling ad-hoc
+//! corruption loops.
+
+pub mod corrupt;
+pub mod runtime;
+
+pub use corrupt::{bit_flips, flip_bit, inflate_length_prefixes, swap_tag, truncations};
+pub use runtime::{FaultSwitch, FaultySummary};

@@ -76,7 +76,7 @@ impl<'de> Deserialize<'de> for CarterWegmanHash {
         let b = deserializer.read_u64()?;
         let range = deserializer.read_u64()?;
         if !(1..P).contains(&a) || b >= P || range == 0 || range >= P {
-            return Err(serde::de::Error::custom(
+            return Err(serde::de::Error::invariant(
                 "CarterWegmanHash snapshot outside the field",
             ));
         }

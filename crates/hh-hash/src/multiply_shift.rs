@@ -151,7 +151,7 @@ impl<'de> Deserialize<'de> for MultiplyShift64Hash {
         let a = deserializer.read_u64()?;
         let shift = deserializer.read_u64()?;
         if a & 1 == 0 || !(1..=63).contains(&shift) {
-            return Err(serde::de::Error::custom(
+            return Err(serde::de::Error::invariant(
                 "MultiplyShift64Hash snapshot malformed",
             ));
         }

@@ -75,7 +75,7 @@ impl<'de> Deserialize<'de> for PolynomialHash {
         let coeffs: Vec<u64> = Vec::deserialize(&mut deserializer)?;
         let range = deserializer.read_u64()?;
         if coeffs.is_empty() || coeffs.iter().any(|&c| c >= P) || range == 0 || range >= P {
-            return Err(serde::de::Error::custom(
+            return Err(serde::de::Error::invariant(
                 "PolynomialHash snapshot outside the field",
             ));
         }

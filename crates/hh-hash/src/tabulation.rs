@@ -75,7 +75,7 @@ mod table_serde {
     pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Vec<[u64; TABLE]>, D::Error> {
         let flat: Vec<u64> = Vec::deserialize(d)?;
         if flat.len() % TABLE != 0 {
-            return Err(serde::de::Error::custom("tabulation table length"));
+            return Err(serde::de::Error::invariant("tabulation table length"));
         }
         Ok(flat
             .chunks_exact(TABLE)

@@ -72,7 +72,9 @@
 
 pub mod runtime;
 
-pub use runtime::{IngestMode, ShardRuntime};
+pub use runtime::{
+    Backpressure, FailurePolicy, FlushError, IngestMode, RecoverError, RuntimeHealth, ShardRuntime,
+};
 
 use hh_core::{FrequencyEstimator, HeavyHitters, HhParams, ItemEstimate, OptimalListHh};
 use hh_core::{MergeError, MergeableSummary, ParamError, QueryCache, Report};
@@ -167,6 +169,26 @@ impl<S: StreamSummary + Send + 'static> ShardedPipeline<S> {
     /// single-core / single-shard sequential fallback).
     pub fn is_parallel(&self) -> bool {
         self.runtime.is_parallel()
+    }
+
+    /// A point-in-time health snapshot of the underlying shard runtime:
+    /// quarantined shards, shed items, available checkpoints. See
+    /// [`RuntimeHealth`] and [`FailurePolicy`].
+    pub fn health(&self) -> RuntimeHealth {
+        self.runtime.health()
+    }
+
+    /// Sets the runtime's worker-failure policy; see [`FailurePolicy`].
+    pub fn set_failure_policy(&mut self, policy: FailurePolicy) {
+        self.runtime.set_failure_policy(policy);
+    }
+
+    /// Direct access to the shard runtime, for failure-handling
+    /// operations ([`ShardRuntime::checkpoint`],
+    /// [`ShardRuntime::recover`], [`ShardRuntime::flush_timeout`])
+    /// beyond the pipeline's own surface.
+    pub fn runtime_mut(&mut self) -> &mut ShardRuntime<S> {
+        &mut self.runtime
     }
 
     /// The shard that owns `item` — every occurrence routes here.
@@ -489,6 +511,26 @@ impl<S: StreamSummary + MergeableSummary + Clone + Send + 'static> PartitionedPi
     /// Items ingested so far across all parts.
     pub fn total(&self) -> u64 {
         self.total
+    }
+
+    /// A point-in-time health snapshot of the underlying shard runtime;
+    /// see [`RuntimeHealth`] and [`FailurePolicy`].
+    pub fn health(&self) -> RuntimeHealth {
+        self.runtime.health()
+    }
+
+    /// Sets the runtime's worker-failure policy; see [`FailurePolicy`].
+    pub fn set_failure_policy(&mut self, policy: FailurePolicy) {
+        self.runtime.set_failure_policy(policy);
+    }
+
+    /// Direct access to the part runtime, for failure-handling
+    /// operations ([`ShardRuntime::checkpoint`],
+    /// [`ShardRuntime::recover`], [`ShardRuntime::flush_timeout`])
+    /// beyond the pipeline's own surface.
+    pub fn runtime_mut(&mut self) -> &mut ShardRuntime<S> {
+        self.merged_cache.invalidate();
+        &mut self.runtime
     }
 
     /// Ingests one batch into the next part (round-robin). In parallel

@@ -206,7 +206,7 @@ impl<'de> Deserialize<'de> for SkipSampler {
     fn deserialize<D: serde::Deserializer<'de>>(mut deserializer: D) -> Result<Self, D::Error> {
         let k = deserializer.read_u64()?;
         if k > 64 {
-            return Err(serde::de::Error::custom("SkipSampler exponent above 64"));
+            return Err(serde::de::Error::invariant("SkipSampler exponent above 64"));
         }
         let remaining = deserializer.read_u64()?;
         let primed = deserializer.read_bool()?;

@@ -99,7 +99,7 @@ impl<'de> Deserialize<'de> for BitBudget {
         let word = deserializer.read_u64()?;
         let left = deserializer.read_u64()?;
         if left > 64 {
-            return Err(serde::de::Error::custom("BitBudget has at most 64 bits"));
+            return Err(serde::de::Error::invariant("BitBudget has at most 64 bits"));
         }
         Ok(Self {
             word,
@@ -275,7 +275,9 @@ impl<'de> Deserialize<'de> for BitSkipSampler {
     fn deserialize<D: serde::Deserializer<'de>>(mut deserializer: D) -> Result<Self, D::Error> {
         let k = deserializer.read_u64()?;
         if k > 64 {
-            return Err(serde::de::Error::custom("BitSkipSampler exponent above 64"));
+            return Err(serde::de::Error::invariant(
+                "BitSkipSampler exponent above 64",
+            ));
         }
         let remaining = deserializer.read_u64()?;
         let primed = deserializer.read_bool()?;

@@ -40,6 +40,7 @@
 
 pub mod bits;
 pub mod bounds;
+pub mod checksum;
 pub mod delta;
 pub mod gamma;
 pub mod packed;
@@ -49,6 +50,7 @@ pub mod varcount;
 pub mod varint;
 
 pub use bits::BitVec;
+pub use checksum::{crc32, fnv1a64, fnv1a64x4};
 pub use delta::DeltaVec;
 pub use gamma::{GammaDecoder, GammaVec};
 pub use packed::PackedIntVec;

@@ -42,7 +42,7 @@ impl<'de> Deserialize<'de> for VarCounterArray {
         let n = deserializer.read_seq_len()?;
         let block = deserializer.read_byte_seq()?;
         let counts = crate::varint::decode_uvarints(&block, n)
-            .ok_or_else(|| serde::de::Error::custom("malformed counter varint block"))?;
+            .ok_or_else(|| serde::de::Error::invariant("malformed counter varint block"))?;
         let model_bit_sum = counts.iter().map(|&c| gamma_bits(c)).sum();
         Ok(Self {
             counts,
@@ -205,10 +205,14 @@ impl VarCounterArray {
     /// Adds `other`'s counters cell-wise (the merge primitive for
     /// seed-aligned sketch rows), resyncing the gamma accounting once at
     /// the end — exactly the merged cost
-    /// [`crate::space::merged_gamma_sum_bits`] predicts.
+    /// [`crate::space::merged_gamma_sum_bits`] predicts. Cells saturate
+    /// rather than wrap, so counter values restored from an adversarial
+    /// snapshot cannot panic the merge under overflow checks.
     ///
     /// # Panics
-    /// If the arrays have different lengths.
+    /// If the arrays have different lengths; callers must pre-check the
+    /// shapes (every sketch `merge_from` rejects mismatched dimensions
+    /// with a `MergeError` before reaching this point).
     pub fn merge_add(&mut self, other: &Self) {
         assert_eq!(
             self.counts.len(),
@@ -216,7 +220,7 @@ impl VarCounterArray {
             "merged counter arrays must share their shape"
         );
         for (c, &o) in self.counts.iter_mut().zip(&other.counts) {
-            *c += o;
+            *c = c.saturating_add(o);
         }
         self.resync_model_bits();
     }

@@ -9,7 +9,8 @@
 #   thread_scaling      shard-runtime ingest, forced seq vs parallel,
 #                       1/2/4 shards (records _meta/host_cores)
 #   query_time          report() extraction at three universe sizes
-#   merge_serialize     summary merging and snapshot round trips
+#   merge_serialize     summary merging, snapshot round trips, and the
+#                       decode-only restore path (snapshot_decode)
 #   read_write_mix      hot (cached) queries and mixed write-then-read
 #
 # Usage: scripts/bench.sh [output.json]   (default: BENCH_1.json)

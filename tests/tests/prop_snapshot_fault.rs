@@ -1,0 +1,278 @@
+//! Fault-injection suite for the snapshot codec (PR 7): every
+//! [`MergeableSummary`] in the workspace is driven through the
+//! `hh-faults` byte-level corruptors, and the contract is the same for
+//! all eight —
+//!
+//! 1. **truncation at every offset** returns a structured `Err`, never
+//!    a panic, for both the current (checksummed) and legacy
+//!    (checksum-less) wire formats;
+//! 2. **single-bit flips** of a current-format buffer are *always*
+//!    rejected (the trailing FNV-1a digest covers every body bit; tag
+//!    bits fail the tag match instead), and flips of a legacy buffer
+//!    never panic the decoder whatever they hit;
+//! 3. **inflated length prefixes** — a buffer rewritten to claim more
+//!    payload than it carries — are rejected without the decoder
+//!    allocating from the lie, even when the adversary *forges a valid
+//!    checksum* over the corrupted bytes, so the bound comes from the
+//!    decode layer itself rather than the digest;
+//! 4. **tag swaps** between summary types answer `WrongTag`;
+//! 5. a clean buffer **round-trips bit-identically**, and its restore
+//!    report says the checksum was verified.
+
+use hh_baselines::{CountMin, CountSketch, LossyCounting, MisraGriesBaseline, SpaceSaving};
+use hh_core::{
+    HhParams, MergeableSummary, MisraGries, OptimalListHh, SimpleListHh, SnapshotError,
+    StreamSummary,
+};
+use hh_faults::corrupt;
+use hh_integration::planted;
+
+// Kept modest on purpose: the truncation sweep decodes the buffer once
+// per byte offset, so suite time grows quadratically with snapshot
+// size. 5k items still populates every table, sampler, and RNG state.
+const M: u64 = 5_000;
+const EPS: f64 = 0.05;
+const PHI: f64 = 0.15;
+
+/// The workload every summary ingests before being snapshotted: two
+/// genuine heavies over a light tail, enough stream to populate every
+/// table, sampler, and RNG state.
+fn workload(seed: u64) -> Vec<u64> {
+    planted(M, &[(7, 0.30), (8, PHI + 0.02)], seed)
+}
+
+/// Re-stamps the trailing FNV-1a digest of `buf` so it matches the
+/// (corrupted) bytes before it — the forging adversary that strips the
+/// checksum of its protective value and leaves the decoder's own
+/// bounds as the only line of defense.
+fn forge_checksum(buf: &mut [u8]) {
+    let body_len = buf.len() - 8;
+    let digest = hh_space::fnv1a64x4(&buf[..body_len]);
+    buf[body_len..].copy_from_slice(&digest.to_le_bytes());
+}
+
+/// The full assault on one summary type: every corruption class from
+/// the module docs, over both wire formats.
+fn assault<S: MergeableSummary>(summary: &S, tag: &str, legacy_tag: &str, foreign_tag: &str) {
+    let buf = summary.to_bytes();
+
+    // (5) Clean round-trip: bit-identical bytes, verified checksum.
+    let (restored, report) = S::from_bytes_report(&buf).expect("clean buffer restores");
+    assert!(report.checksum_verified, "{tag}: checksum must verify");
+    assert!(!report.legacy_format, "{tag}: current format");
+    assert_eq!(
+        restored.to_bytes(),
+        buf,
+        "{tag}: restore → snapshot must be bit-identical"
+    );
+
+    // A legacy twin: same payload behind the previous tag, no trailer
+    // (the v(N−1) payload layout is unchanged; only tag and checksum
+    // were added).
+    let legacy = {
+        let swapped = corrupt::swap_tag(&buf, tag, legacy_tag).expect("buffer starts with its tag");
+        swapped[..swapped.len() - 8].to_vec()
+    };
+    let (from_legacy, report) = S::from_bytes_report(&legacy).expect("legacy buffer restores");
+    assert!(!report.checksum_verified, "{legacy_tag}: no checksum");
+    assert!(report.legacy_format, "{legacy_tag}: legacy format");
+    assert_eq!(
+        from_legacy.to_bytes(),
+        buf,
+        "{legacy_tag}: legacy restore re-snapshots to the current format"
+    );
+
+    // (1) Truncation at every offset, both formats: structured Err.
+    for t in corrupt::truncations(&buf) {
+        assert!(
+            S::from_bytes(t).is_err(),
+            "{tag}: truncation to {} bytes must fail",
+            t.len()
+        );
+    }
+    for t in corrupt::truncations(&legacy) {
+        assert!(
+            S::from_bytes(t).is_err(),
+            "{legacy_tag}: truncation to {} bytes must fail",
+            t.len()
+        );
+    }
+
+    // (2) Bit flips: the current format rejects every one (digest or
+    // tag); the legacy format must merely never panic.
+    for bad in corrupt::bit_flips(&buf, 0xF1A5, 200) {
+        assert!(
+            S::from_bytes(&bad).is_err(),
+            "{tag}: checksummed buffer must reject any bit flip"
+        );
+    }
+    for bad in corrupt::bit_flips(&legacy, 0xF1A6, 200) {
+        let _ = S::from_bytes(&bad); // Ok or Err — panics fail the test
+    }
+
+    // (3) Inflated length prefixes. Unforged: the digest no longer
+    // matches, so rejection is guaranteed. Forged: the decoder's own
+    // length bounds must reject the lie — each prefix now claims more
+    // bytes than the whole buffer holds, so an `Ok` would mean a
+    // decoder trusted (and allocated from) an impossible length.
+    for bad in corrupt::inflate_length_prefixes(&buf) {
+        assert!(
+            S::from_bytes(&bad).is_err(),
+            "{tag}: inflated prefix must fail the checksum"
+        );
+    }
+    for mut bad in corrupt::inflate_length_prefixes(&buf) {
+        forge_checksum(&mut bad);
+        let _ = S::from_bytes(&bad); // must not panic nor over-allocate
+    }
+    for bad in corrupt::inflate_length_prefixes(&legacy) {
+        let _ = S::from_bytes(&bad); // checksum-less: bounds only
+    }
+
+    // (4) Tag swap: impersonating another type answers WrongTag.
+    let foreign = corrupt::swap_tag(&buf, tag, foreign_tag).expect("tag present");
+    assert!(
+        matches!(
+            S::from_bytes(&foreign),
+            Err(SnapshotError::WrongTag { .. }) | Err(SnapshotError::ChecksumMismatch)
+        ),
+        "{tag}: foreign tag must be refused"
+    );
+}
+
+#[test]
+fn algo1_snapshot_survives_the_assault() {
+    let params = HhParams::new(EPS, PHI).unwrap();
+    let mut s = SimpleListHh::new(params, 1 << 40, M, 11).unwrap();
+    s.insert_batch(&workload(1));
+    assault(&s, "hh.algo1.v3", "hh.algo1.v2", "hh.algo2.v3");
+}
+
+#[test]
+fn algo2_snapshot_survives_the_assault() {
+    // Algorithm 2's snapshot is dominated by its level structures, not
+    // the stream: coarser (ε, φ) keep the buffer ~20 KB so the
+    // every-offset truncation sweep stays affordable.
+    let params = HhParams::new(0.2, 0.3).unwrap();
+    let mut s = OptimalListHh::new(params, 1 << 40, 2_000, 12).unwrap();
+    s.insert_batch(&planted(2_000, &[(7, 0.40), (8, 0.32)], 2));
+    assault(&s, "hh.algo2.v3", "hh.algo2.v2", "hh.algo1.v3");
+}
+
+#[test]
+fn misra_gries_snapshot_survives_the_assault() {
+    let mut s = MisraGries::new(64, 40);
+    s.insert_batch(&workload(3));
+    assault(&s, "hh.misra-gries.v3", "hh.misra-gries.v2", "hh.algo1.v3");
+}
+
+#[test]
+fn count_min_snapshot_survives_the_assault() {
+    let mut s = CountMin::new(EPS, PHI, 0.05, 1 << 40, 14);
+    s.insert_batch(&workload(4));
+    assault(
+        &s,
+        "hh.baseline.count-min.v2",
+        "hh.baseline.count-min.v1",
+        "hh.baseline.count-sketch.v2",
+    );
+}
+
+#[test]
+fn count_sketch_snapshot_survives_the_assault() {
+    let mut s = CountSketch::new(0.1, PHI, 0.1, 1 << 40, 15);
+    s.insert_batch(&workload(5));
+    assault(
+        &s,
+        "hh.baseline.count-sketch.v2",
+        "hh.baseline.count-sketch.v1",
+        "hh.baseline.count-min.v2",
+    );
+}
+
+#[test]
+fn lossy_counting_snapshot_survives_the_assault() {
+    let mut s = LossyCounting::new(EPS, PHI, 1 << 40);
+    s.insert_batch(&workload(6));
+    assault(
+        &s,
+        "hh.baseline.lossy-counting.v2",
+        "hh.baseline.lossy-counting.v1",
+        "hh.baseline.space-saving.v3",
+    );
+}
+
+#[test]
+fn misra_gries_baseline_snapshot_survives_the_assault() {
+    let mut s = MisraGriesBaseline::new(EPS, PHI, 1 << 40);
+    s.insert_batch(&workload(7));
+    assault(
+        &s,
+        "hh.baseline.misra-gries.v3",
+        "hh.baseline.misra-gries.v2",
+        "hh.misra-gries.v3",
+    );
+}
+
+#[test]
+fn space_saving_snapshot_survives_the_assault() {
+    let mut s = SpaceSaving::new(EPS, PHI, 1 << 40);
+    s.insert_batch(&workload(8));
+    assault(
+        &s,
+        "hh.baseline.space-saving.v3",
+        "hh.baseline.space-saving.v2",
+        "hh.baseline.lossy-counting.v2",
+    );
+}
+
+/// Structurally incompatible summaries smuggled through snapshots must
+/// still refuse to merge: restore validates shape, `merge_from`
+/// validates compatibility, and neither trusts the other to have done
+/// its half.
+#[test]
+fn restored_snapshots_still_refuse_incompatible_merges() {
+    let params = HhParams::new(EPS, PHI).unwrap();
+
+    // Different structure seeds ⇒ different hash draws ⇒ Err.
+    let mut a = SimpleListHh::with_seeds(params, 1 << 40, M, 1, 10).unwrap();
+    let b = SimpleListHh::with_seeds(params, 1 << 40, M, 2, 10).unwrap();
+    let b = SimpleListHh::from_bytes(&b.to_bytes()).unwrap();
+    assert!(a.merge_from(&b).is_err(), "mismatched structure seeds");
+
+    // Different candidate capacities in CountSketch ⇒ Err. No public
+    // constructor varies the cap independently of φ, so smuggle one
+    // through a crafted *legacy* (checksum-less) snapshot: locate the
+    // `[candidates = 0][candidate_cap]` run in the wire image and bump
+    // the cap. The restored sketch is structurally identical except
+    // for the cap, and the merge must still catch it.
+    let mut d = CountSketch::with_dimensions(64, 3, PHI, 1 << 40, 5);
+    let buf = d.to_bytes();
+    let legacy = corrupt::swap_tag(
+        &buf,
+        "hh.baseline.count-sketch.v2",
+        "hh.baseline.count-sketch.v1",
+    )
+    .unwrap();
+    let mut legacy = legacy[..legacy.len() - 8].to_vec();
+    let cap = ((8.0 / PHI).ceil() as u64).max(8);
+    let mut needle = 0u64.to_le_bytes().to_vec();
+    needle.extend_from_slice(&cap.to_le_bytes());
+    let at = legacy
+        .windows(16)
+        .rposition(|w| w == needle.as_slice())
+        .expect("empty-candidates + cap run is unique near the buffer tail");
+    legacy[at + 8..at + 16].copy_from_slice(&(cap + 1).to_le_bytes());
+    let smuggled = CountSketch::from_bytes(&legacy).expect("crafted cap is in range");
+    let err = d.merge_from(&smuggled).unwrap_err();
+    assert!(
+        err.to_string().contains("candidate"),
+        "mismatched candidate capacities must be refused, got: {err}"
+    );
+
+    // Different widths in Space-Saving ⇒ Err.
+    let e = SpaceSaving::new(EPS / 2.0, PHI, 1 << 40);
+    let mut f = SpaceSaving::new(EPS, PHI, 1 << 40);
+    let e = SpaceSaving::from_bytes(&e.to_bytes()).unwrap();
+    assert!(f.merge_from(&e).is_err(), "mismatched capacities");
+}

@@ -213,9 +213,34 @@ pub mod de {
     use core::fmt::Display;
 
     /// Errors a [`crate::Deserializer`] can produce.
+    ///
+    /// Besides the catch-all [`Error::custom`], decoders can classify
+    /// failures through the provided constructors so callers that care
+    /// (snapshot restore reporting `Truncated` vs `LengthOverflow` vs
+    /// `InvariantViolated`) can recover the class; error types that do
+    /// not track classes inherit the defaults, which fold everything
+    /// into `custom`.
     pub trait Error: Sized + Display {
         /// Builds an error from an arbitrary message.
         fn custom<T: Display>(msg: T) -> Self;
+
+        /// The input ended before the value did.
+        fn truncated() -> Self {
+            Self::custom("unexpected end of input")
+        }
+
+        /// A length prefix or element count exceeds what the remaining
+        /// input could possibly hold — adversarial or corrupt, and
+        /// rejected *before* any allocation sized from it.
+        fn length_overflow<T: Display>(msg: T) -> Self {
+            Self::custom(msg)
+        }
+
+        /// The bytes decoded, but the decoded value violates a
+        /// structural invariant of the target type.
+        fn invariant<T: Display>(msg: T) -> Self {
+            Self::custom(msg)
+        }
     }
 }
 
@@ -391,13 +416,49 @@ pub mod bincode {
     use super::{de, ser, Deserialize, Deserializer, Serialize, Serializer};
     use core::fmt;
 
-    /// Codec error (message only).
+    /// Failure class of a codec [`Error`], so callers can distinguish
+    /// "the buffer ended early" from "a length prefix is lying" from
+    /// "the decoded value is structurally impossible" without parsing
+    /// message strings.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum ErrorKind {
+        /// The input ended before the value did.
+        Truncated,
+        /// A length prefix or element count exceeds the remaining
+        /// input; rejected before any allocation sized from it.
+        LengthOverflow,
+        /// The bytes decoded but violate a structural invariant of the
+        /// target type.
+        Invariant,
+        /// Any other malformed input (bad UTF-8, out-of-range field,
+        /// serialization-side failure).
+        Invalid,
+    }
+
+    /// Codec error: a failure class plus a human-readable message.
     #[derive(Debug)]
-    pub struct Error(String);
+    pub struct Error {
+        kind: ErrorKind,
+        msg: String,
+    }
+
+    impl Error {
+        fn new(kind: ErrorKind, msg: impl Into<String>) -> Self {
+            Self {
+                kind,
+                msg: msg.into(),
+            }
+        }
+
+        /// The failure class.
+        pub fn kind(&self) -> ErrorKind {
+            self.kind
+        }
+    }
 
     impl fmt::Display for Error {
         fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-            write!(f, "bincode: {}", self.0)
+            write!(f, "bincode: {}", self.msg)
         }
     }
 
@@ -405,13 +466,22 @@ pub mod bincode {
 
     impl ser::Error for Error {
         fn custom<T: fmt::Display>(msg: T) -> Self {
-            Self(msg.to_string())
+            Self::new(ErrorKind::Invalid, msg.to_string())
         }
     }
 
     impl de::Error for Error {
         fn custom<T: fmt::Display>(msg: T) -> Self {
-            Self(msg.to_string())
+            Self::new(ErrorKind::Invalid, msg.to_string())
+        }
+        fn truncated() -> Self {
+            Self::new(ErrorKind::Truncated, "unexpected end of input")
+        }
+        fn length_overflow<T: fmt::Display>(msg: T) -> Self {
+            Self::new(ErrorKind::LengthOverflow, msg.to_string())
+        }
+        fn invariant<T: fmt::Display>(msg: T) -> Self {
+            Self::new(ErrorKind::Invariant, msg.to_string())
         }
     }
 
@@ -487,13 +557,34 @@ pub mod bincode {
             Self { buf }
         }
 
+        /// Bytes not yet consumed. Strict decoders use this to reject
+        /// buffers with trailing garbage after a complete payload.
+        pub fn remaining(&self) -> usize {
+            self.buf.len()
+        }
+
         fn take(&mut self, n: usize) -> Result<&'a [u8], Error> {
             if self.buf.len() < n {
-                return Err(Error("unexpected end of input".into()));
+                return Err(de::Error::truncated());
             }
             let (head, tail) = self.buf.split_at(n);
             self.buf = tail;
             Ok(head)
+        }
+
+        /// Reads a u64 length prefix and validates it against the
+        /// remaining input **before** the usize cast, so an untrusted
+        /// prefix can never drive an allocation (or a 32-bit
+        /// truncation) larger than the buffer that carried it.
+        fn bounded_len(&mut self, what: &str) -> Result<usize, Error> {
+            let len = self.read_u64()?;
+            if len > self.buf.len() as u64 {
+                return Err(de::Error::length_overflow(format!(
+                    "{what} length {len} exceeds {} remaining bytes",
+                    self.buf.len()
+                )));
+            }
+            Ok(len as usize)
         }
 
         fn word(&mut self) -> Result<[u8; 8], Error> {
@@ -520,19 +611,24 @@ pub mod bincode {
             Ok(f64::from_le_bytes(self.word()?))
         }
         fn read_string(&mut self) -> Result<String, Error> {
-            let len = self.read_u64()? as usize;
+            let len = self.bounded_len("string")?;
             let bytes = self.take(len)?;
-            String::from_utf8(bytes.to_vec()).map_err(|_| Error("invalid utf-8".into()))
+            String::from_utf8(bytes.to_vec())
+                .map_err(|_| Error::new(ErrorKind::Invalid, "invalid utf-8"))
         }
         fn read_seq_len(&mut self) -> Result<usize, Error> {
-            Ok(self.read_u64()? as usize)
+            // Every encoded element occupies at least one byte, so a
+            // valid count can never exceed the remaining input; bounding
+            // here makes `Vec::with_capacity(read_seq_len()?)` safe at
+            // every call site regardless of what the prefix claims.
+            self.bounded_len("sequence")
         }
         fn read_byte_seq(&mut self) -> Result<Vec<u8>, Error> {
-            let len = self.read_u64()? as usize;
+            let len = self.bounded_len("byte string")?;
             Ok(self.take(len)?.to_vec())
         }
         fn check_str(&mut self, expected: &str) -> Result<bool, Error> {
-            let len = self.read_u64()? as usize;
+            let len = self.bounded_len("tag string")?;
             Ok(self.take(len)? == expected.as_bytes())
         }
     }
@@ -598,6 +694,54 @@ mod tests {
         // Truncated payloads are rejected, not zero-filled.
         let mut r = bincode::Reader::new(&buf[..payload.len() / 2]);
         assert!(r.read_byte_seq().is_err());
+    }
+
+    #[test]
+    fn inflated_length_prefixes_are_rejected_before_allocation() {
+        use super::Deserializer as _;
+        // A buffer whose only content is a u64 length prefix claiming
+        // u64::MAX elements/bytes: every length-prefixed read must
+        // reject it as LengthOverflow without allocating.
+        let huge = u64::MAX.to_le_bytes();
+        let r: Result<Vec<u64>, _> = bincode::from_bytes(&huge);
+        assert_eq!(r.unwrap_err().kind(), bincode::ErrorKind::LengthOverflow);
+        let mut rd = bincode::Reader::new(&huge);
+        assert_eq!(
+            rd.read_byte_seq().unwrap_err().kind(),
+            bincode::ErrorKind::LengthOverflow
+        );
+        let mut rd = bincode::Reader::new(&huge);
+        assert_eq!(
+            rd.read_string().unwrap_err().kind(),
+            bincode::ErrorKind::LengthOverflow
+        );
+        let mut rd = bincode::Reader::new(&huge);
+        assert_eq!(
+            rd.check_str("hh.test.v1").unwrap_err().kind(),
+            bincode::ErrorKind::LengthOverflow
+        );
+        // A plausible-but-too-large count is also rejected: 100 claimed
+        // elements with 3 trailing bytes cannot be valid.
+        let mut buf = 100u64.to_le_bytes().to_vec();
+        buf.extend_from_slice(&[1, 2, 3]);
+        let r: Result<Vec<u64>, _> = bincode::from_bytes(&buf);
+        assert_eq!(r.unwrap_err().kind(), bincode::ErrorKind::LengthOverflow);
+    }
+
+    #[test]
+    fn error_kinds_classify_failures() {
+        use super::de::Error as _;
+        let bytes = bincode::to_bytes(&vec![7u64; 3]).unwrap();
+        let r: Result<Vec<u64>, _> = bincode::from_bytes(&bytes[..bytes.len() - 1]);
+        assert_eq!(r.unwrap_err().kind(), bincode::ErrorKind::Truncated);
+        assert_eq!(
+            bincode::Error::invariant("x").kind(),
+            bincode::ErrorKind::Invariant
+        );
+        assert_eq!(
+            bincode::Error::custom("x").kind(),
+            bincode::ErrorKind::Invalid
+        );
     }
 
     #[test]
