@@ -1,6 +1,6 @@
 //! Deterministic fault injection for the workspace's robustness suites.
 //!
-//! Two failure surfaces, two modules:
+//! Three failure surfaces, three modules:
 //!
 //! * [`corrupt`] — byte-level snapshot corruptors (truncation at every
 //!   offset, single-bit flips, length-prefix inflation, tag swaps) for
@@ -12,6 +12,10 @@
 //!   that panics mid-ingest after an armed countdown, stalls to
 //!   simulate a slow worker, and hands out its switch so tests flip
 //!   faults on and off while the runtime is live.
+//! * [`net`] — transport faults for the serving daemon: a `Read+Write`
+//!   wrapper that trickles partial I/O, stalls past deadlines, severs
+//!   the connection mid-frame, and corrupts bytes in flight, all keyed
+//!   to exact byte offsets so every failure point replays.
 //!
 //! The crate is a *testkit*: it lives below `tests/` and `benches/` in
 //! the dependency graph on purpose, so integration suites and benches
@@ -19,7 +23,9 @@
 //! corruption loops.
 
 pub mod corrupt;
+pub mod net;
 pub mod runtime;
 
 pub use corrupt::{bit_flips, flip_bit, inflate_length_prefixes, swap_tag, truncations};
+pub use net::{FaultyConn, Sever};
 pub use runtime::{FaultSwitch, FaultySummary};

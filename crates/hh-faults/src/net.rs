@@ -1,0 +1,259 @@
+//! Network fault injection: a transport wrapper that misbehaves on a
+//! deterministic schedule.
+//!
+//! [`FaultyConn`] wraps any `Read + Write` stream and injects the four
+//! transport-level faults a hardened daemon must survive, each keyed to
+//! a **cumulative byte offset** so a test names the exact failure point
+//! and replays it forever:
+//!
+//! * **partial I/O** — [`FaultyConn::chunk`] caps every read/write at
+//!   `n` bytes, so the peer sees the trickle that shakes out
+//!   short-read/short-write bugs;
+//! * **stalls** — [`FaultyConn::stall_at`] sleeps before the byte at a
+//!   given offset goes out, long enough to trip (or probe) the peer's
+//!   deadlines;
+//! * **mid-frame disconnects** — [`FaultyConn::sever_at`] hard-closes
+//!   the transport once the offset is reached, leaving the peer holding
+//!   a truncated frame;
+//! * **corruption** — [`FaultyConn::corrupt_at`] XORs the byte at an
+//!   offset as it passes, so a checksummed protocol must detect it.
+//!
+//! Like everything in this crate the schedule is pure state, no
+//! randomness: the same plan against the same traffic produces the same
+//! byte stream. Compose with [`crate::corrupt`] for payload-level
+//! attacks (this module corrupts *in flight*, that one corrupts *at
+//! rest*).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+/// A transport that can be hard-closed from the fault schedule.
+pub trait Sever {
+    /// Closes both directions immediately (best-effort).
+    fn sever(&mut self);
+}
+
+impl Sever for TcpStream {
+    fn sever(&mut self) {
+        let _ = self.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+impl Sever for UnixStream {
+    fn sever(&mut self) {
+        let _ = self.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+/// The deterministic fault schedule; see the module docs.
+#[derive(Debug, Clone, Default)]
+struct Plan {
+    /// Max bytes per read/write call.
+    chunk: Option<usize>,
+    /// `(write offset, pause)` pairs: sleep before that byte goes out.
+    stalls: Vec<(usize, Duration)>,
+    /// Hard-close once this many bytes have been written.
+    sever_at: Option<usize>,
+    /// `(write offset, xor mask)` pairs applied in flight.
+    corruptions: Vec<(usize, u8)>,
+}
+
+/// A `Read + Write + Sever` transport wrapped in a fault schedule.
+#[derive(Debug)]
+pub struct FaultyConn<S> {
+    inner: S,
+    plan: Plan,
+    /// Cumulative bytes written (the offset the schedule keys on).
+    written: usize,
+    severed: bool,
+}
+
+impl<S> FaultyConn<S> {
+    /// Wraps `inner` with an empty (fault-free) schedule.
+    pub fn new(inner: S) -> Self {
+        Self {
+            inner,
+            plan: Plan::default(),
+            written: 0,
+            severed: false,
+        }
+    }
+
+    /// Caps every read and write call at `n` bytes.
+    #[must_use]
+    pub fn chunk(mut self, n: usize) -> Self {
+        assert!(n >= 1, "a zero-byte chunk would stall forever");
+        self.plan.chunk = Some(n);
+        self
+    }
+
+    /// Sleeps `pause` immediately before the byte at write-offset
+    /// `offset` is sent.
+    #[must_use]
+    pub fn stall_at(mut self, offset: usize, pause: Duration) -> Self {
+        self.plan.stalls.push((offset, pause));
+        self
+    }
+
+    /// Hard-closes the transport once `offset` bytes have been written;
+    /// further writes fail with `BrokenPipe`.
+    #[must_use]
+    pub fn sever_at(mut self, offset: usize) -> Self {
+        self.plan.sever_at = Some(offset);
+        self
+    }
+
+    /// XORs the byte at write-offset `offset` with `mask` in flight.
+    #[must_use]
+    pub fn corrupt_at(mut self, offset: usize, mask: u8) -> Self {
+        self.plan.corruptions.push((offset, mask));
+        self
+    }
+
+    /// Total bytes written through the wrapper so far.
+    pub fn written(&self) -> usize {
+        self.written
+    }
+
+    /// The wrapped transport.
+    pub fn get_ref(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: Read> Read for FaultyConn<S> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let cap = self.plan.chunk.unwrap_or(buf.len()).min(buf.len());
+        if cap == 0 {
+            return Ok(0);
+        }
+        self.inner.read(&mut buf[..cap])
+    }
+}
+
+impl<S: Write + Sever> Write for FaultyConn<S> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        if self.severed {
+            return Err(std::io::ErrorKind::BrokenPipe.into());
+        }
+        if let Some(at) = self.plan.sever_at {
+            if self.written >= at {
+                self.inner.sever();
+                self.severed = true;
+                return Err(std::io::ErrorKind::BrokenPipe.into());
+            }
+        }
+        for &(at, pause) in &self.plan.stalls {
+            if self.written == at {
+                std::thread::sleep(pause);
+            }
+        }
+        // Bound this call so the next scheduled event lands exactly on
+        // a call boundary (a stall or sever must not hide mid-chunk).
+        let mut n = buf.len().min(self.plan.chunk.unwrap_or(buf.len()));
+        if let Some(at) = self.plan.sever_at {
+            n = n.min(at - self.written);
+        }
+        for &(at, _) in &self.plan.stalls {
+            if at > self.written {
+                n = n.min(at - self.written);
+            }
+        }
+        let mut chunk = buf[..n].to_vec();
+        for &(at, mask) in &self.plan.corruptions {
+            if (self.written..self.written + n).contains(&at) {
+                chunk[at - self.written] ^= mask;
+            }
+        }
+        let sent = self.inner.write(&chunk)?;
+        self.written += sent;
+        Ok(sent)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// A loopback pair plus a thread that drains the server side into a
+    /// buffer, returned on join.
+    fn sink_pair() -> (TcpStream, std::thread::JoinHandle<Vec<u8>>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let drain = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let mut buf = Vec::new();
+            let _ = s.read_to_end(&mut buf);
+            buf
+        });
+        (client, drain)
+    }
+
+    #[test]
+    fn chunking_trickles_but_delivers_everything() {
+        let (client, drain) = sink_pair();
+        let mut conn = FaultyConn::new(client).chunk(1);
+        let payload: Vec<u8> = (0..=255).collect();
+        conn.write_all(&payload).unwrap();
+        assert_eq!(conn.written(), payload.len());
+        drop(conn);
+        assert_eq!(drain.join().unwrap(), payload);
+    }
+
+    #[test]
+    fn sever_cuts_exactly_at_the_offset() {
+        let (client, drain) = sink_pair();
+        let mut conn = FaultyConn::new(client).sever_at(5);
+        let err = conn.write_all(&[9u8; 64]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::BrokenPipe);
+        assert_eq!(conn.written(), 5);
+        drop(conn);
+        assert_eq!(drain.join().unwrap(), vec![9u8; 5]);
+    }
+
+    #[test]
+    fn corruption_flips_exactly_the_scheduled_byte() {
+        let (client, drain) = sink_pair();
+        let mut conn = FaultyConn::new(client).corrupt_at(3, 0xFF);
+        conn.write_all(&[0u8; 8]).unwrap();
+        drop(conn);
+        let got = drain.join().unwrap();
+        assert_eq!(got, vec![0, 0, 0, 0xFF, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn stall_pauses_before_the_scheduled_byte() {
+        let (client, drain) = sink_pair();
+        let pause = Duration::from_millis(60);
+        let mut conn = FaultyConn::new(client).stall_at(4, pause);
+        let t0 = std::time::Instant::now();
+        conn.write_all(&[1u8; 8]).unwrap();
+        assert!(t0.elapsed() >= pause, "stall did not happen");
+        drop(conn);
+        assert_eq!(drain.join().unwrap(), vec![1u8; 8]);
+    }
+
+    #[test]
+    fn schedules_compose_deterministically() {
+        let (client, drain) = sink_pair();
+        let mut conn = FaultyConn::new(client)
+            .chunk(3)
+            .corrupt_at(2, 0x01)
+            .sever_at(7);
+        let err = conn.write_all(&[0u8; 32]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::BrokenPipe);
+        drop(conn);
+        assert_eq!(drain.join().unwrap(), vec![0, 0, 1, 0, 0, 0, 0]);
+    }
+}

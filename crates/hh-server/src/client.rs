@@ -1,0 +1,215 @@
+//! A blocking protocol client over TCP or Unix sockets.
+//!
+//! Thin by design: one request frame out, one response frame in, both
+//! under the same [`ConnLimits`] deadlines the server uses (a stalled
+//! *server* must not pin the client either). Every wire-level `Error`
+//! response is rehydrated into a [`ProtocolError`] via
+//! [`ProtocolError::from_wire`], so callers see one error type for
+//! local failures and remote refusals alike; a [`Response::RetryAfter`]
+//! received where the operation expected success becomes
+//! [`ProtocolError::Overloaded`], keeping backoff handling in one
+//! `match` arm.
+
+use crate::conn::{ConnLimits, DeadlineConn, Transport};
+use crate::facade::TenantSpec;
+use crate::proto::{ProtocolError, Request, Response, ServerHealth};
+use std::net::{SocketAddr, TcpStream};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// A connected protocol client.
+pub struct Client {
+    conn: DeadlineConn<Box<dyn Transport>>,
+}
+
+impl Client {
+    /// Connects over TCP with default deadlines.
+    pub fn connect_tcp(addr: SocketAddr) -> Result<Self, ProtocolError> {
+        Self::connect_tcp_with(addr, ConnLimits::default())
+    }
+
+    /// Connects over TCP with explicit deadlines.
+    pub fn connect_tcp_with(addr: SocketAddr, limits: ConnLimits) -> Result<Self, ProtocolError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self::from_transport(Box::new(stream), limits))
+    }
+
+    /// Connects over a Unix domain socket with default deadlines.
+    pub fn connect_uds(path: impl AsRef<Path>) -> Result<Self, ProtocolError> {
+        let stream = UnixStream::connect(path)?;
+        Ok(Self::from_transport(
+            Box::new(stream),
+            ConnLimits::default(),
+        ))
+    }
+
+    /// Wraps an already-connected transport.
+    pub fn from_transport(transport: Box<dyn Transport>, limits: ConnLimits) -> Self {
+        Self {
+            conn: DeadlineConn::new(transport, limits),
+        }
+    }
+
+    /// One request/response exchange. `Error` responses become `Err`;
+    /// every other response is returned as-is.
+    pub fn call(&mut self, req: &Request) -> Result<Response, ProtocolError> {
+        if let Err(e) = self.conn.write_frame(&req.encode()) {
+            // A server refusing at the door writes one parting frame
+            // (RetryAfter) and closes; our request write then breaks.
+            // Salvage that frame before reporting the transport error.
+            return match self.conn.read_frame() {
+                Ok(Some(body)) => Self::unwrap_response(&body),
+                _ => Err(e),
+            };
+        }
+        let body = self.conn.read_frame()?.ok_or(ProtocolError::Truncated)?;
+        Self::unwrap_response(&body)
+    }
+
+    fn unwrap_response(body: &[u8]) -> Result<Response, ProtocolError> {
+        match Response::decode(body)? {
+            Response::Error { code, message } => Err(ProtocolError::from_wire(code, message)),
+            rsp => Ok(rsp),
+        }
+    }
+
+    /// Folds a [`Response::RetryAfter`] into [`ProtocolError::Overloaded`]
+    /// for operations that expect a definite outcome.
+    fn call_expecting(&mut self, req: &Request) -> Result<Response, ProtocolError> {
+        match self.call(req)? {
+            Response::RetryAfter { millis } => Err(ProtocolError::Overloaded {
+                retry_after_ms: millis,
+            }),
+            rsp => Ok(rsp),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ProtocolError> {
+        match self.call_expecting(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            _ => Err(ProtocolError::UnexpectedResponse("ping wanted Pong")),
+        }
+    }
+
+    /// Creates a tenant.
+    pub fn create(&mut self, tenant: &str, spec: TenantSpec) -> Result<(), ProtocolError> {
+        let req = Request::Create {
+            tenant: tenant.to_string(),
+            spec,
+        };
+        match self.call_expecting(&req)? {
+            Response::Created => Ok(()),
+            _ => Err(ProtocolError::UnexpectedResponse("create wanted Created")),
+        }
+    }
+
+    /// Ingests a batch into one shard; returns items accepted.
+    /// Overload comes back as [`ProtocolError::Overloaded`] with the
+    /// server's backoff hint.
+    pub fn ingest(
+        &mut self,
+        tenant: &str,
+        shard: u32,
+        items: &[u64],
+    ) -> Result<u64, ProtocolError> {
+        let req = Request::Ingest {
+            tenant: tenant.to_string(),
+            shard,
+            items: items.to_vec(),
+        };
+        match self.call_expecting(&req)? {
+            Response::Ingested { accepted } => Ok(accepted),
+            _ => Err(ProtocolError::UnexpectedResponse("ingest wanted Ingested")),
+        }
+    }
+
+    /// Reads the tenant's report: `(item, estimate)` pairs plus the
+    /// serving epoch.
+    pub fn query(&mut self, tenant: &str) -> Result<(Vec<(u64, f64)>, u64), ProtocolError> {
+        let req = Request::Query {
+            tenant: tenant.to_string(),
+        };
+        match self.call_expecting(&req)? {
+            Response::Report { entries, epoch } => Ok((entries, epoch)),
+            _ => Err(ProtocolError::UnexpectedResponse("query wanted Report")),
+        }
+    }
+
+    /// Fetches server health.
+    pub fn health(&mut self) -> Result<ServerHealth, ProtocolError> {
+        match self.call_expecting(&Request::Health)? {
+            Response::Health(h) => Ok(h),
+            _ => Err(ProtocolError::UnexpectedResponse("health wanted Health")),
+        }
+    }
+
+    /// Forces a checkpoint round; returns tenants persisted.
+    pub fn checkpoint(&mut self) -> Result<u64, ProtocolError> {
+        match self.call_expecting(&Request::Checkpoint)? {
+            Response::Checkpointed { tenants } => Ok(tenants),
+            _ => Err(ProtocolError::UnexpectedResponse(
+                "checkpoint wanted Checkpointed",
+            )),
+        }
+    }
+
+    /// Fetches the tenant's merged summary as portable snapshot bytes.
+    pub fn snapshot(&mut self, tenant: &str) -> Result<Vec<u8>, ProtocolError> {
+        let req = Request::Snapshot {
+            tenant: tenant.to_string(),
+        };
+        match self.call_expecting(&req)? {
+            Response::Snapshot { bytes } => Ok(bytes),
+            _ => Err(ProtocolError::UnexpectedResponse(
+                "snapshot wanted Snapshot",
+            )),
+        }
+    }
+
+    /// Recovers a quarantined tenant; returns shards rebuilt.
+    pub fn recover(&mut self, tenant: &str) -> Result<u64, ProtocolError> {
+        let req = Request::Recover {
+            tenant: tenant.to_string(),
+        };
+        match self.call_expecting(&req)? {
+            Response::Recovered { shards } => Ok(shards),
+            _ => Err(ProtocolError::UnexpectedResponse(
+                "recover wanted Recovered",
+            )),
+        }
+    }
+
+    /// Asks the server to checkpoint and exit.
+    pub fn shutdown_server(&mut self) -> Result<(), ProtocolError> {
+        match self.call_expecting(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            _ => Err(ProtocolError::UnexpectedResponse(
+                "shutdown wanted ShuttingDown",
+            )),
+        }
+    }
+
+    /// Ingests with bounded retry on overload: sleeps the server's
+    /// hint and tries again, up to `attempts`.
+    pub fn ingest_retry(
+        &mut self,
+        tenant: &str,
+        shard: u32,
+        items: &[u64],
+        attempts: u32,
+    ) -> Result<u64, ProtocolError> {
+        let mut last = ProtocolError::Overloaded { retry_after_ms: 0 };
+        for _ in 0..attempts.max(1) {
+            match self.ingest(tenant, shard, items) {
+                Err(ProtocolError::Overloaded { retry_after_ms }) => {
+                    last = ProtocolError::Overloaded { retry_after_ms };
+                    std::thread::sleep(std::time::Duration::from_millis(retry_after_ms.min(250)));
+                }
+                other => return other,
+            }
+        }
+        Err(last)
+    }
+}

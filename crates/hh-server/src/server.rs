@@ -1,0 +1,963 @@
+//! The daemon: accept loops, admission control, the tenant registry,
+//! periodic checkpointing, and crash recovery.
+//!
+//! # Threads
+//!
+//! One acceptor thread per server, one handler thread per live
+//! connection, one checkpointer thread ticking at the configured
+//! cadence. Handler threads are bounded by
+//! [`ServerConfig::max_connections`] — a connection over that budget
+//! gets a single [`Response::RetryAfter`] frame and is closed before a
+//! handler thread is ever spawned, so a connection flood degrades into
+//! polite refusals instead of thread exhaustion.
+//!
+//! # Failure containment
+//!
+//! A connection can only hurt itself: protocol damage (bad checksum,
+//! hostile length, truncation) either gets a structured
+//! [`Response::Error`] on an intact frame boundary or drops that one
+//! connection; deadlines bound every read and write
+//! ([`crate::conn`]); tenant faults quarantine the tenant, not the
+//! server ([`crate::tenant`]); and corrupt on-disk state quarantines
+//! the tenant directory at boot ([`crate::store`]). [`ServerHealth`]
+//! surfaces every one of those events.
+//!
+//! # Lifecycle
+//!
+//! [`Server::start`] binds, recovers from the store, and returns once
+//! serving. [`Server::shutdown`] drains: the acceptor and checkpointer
+//! exit, handler threads wind down (they poll the stop flag between
+//! frames), and only then the final checkpoint runs — checkpoint
+//! rounds are single-flight, so it can never interleave with a round a
+//! handler started. [`Server::kill`] is the crash simulation:
+//! everything stops **without** a final checkpoint, so whatever
+//! ingested after the last checkpoint is lost — exactly the window the
+//! recovery tests measure.
+
+use crate::conn::{ConnLimits, DeadlineConn, Transport};
+use crate::facade::TenantSpec;
+use crate::proto::{validate_tenant_name, ProtocolError, Request, Response, ServerHealth};
+use crate::store::Store;
+use crate::tenant::{Tenant, RETRY_AFTER_MS};
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Where a server listens.
+#[derive(Debug, Clone)]
+pub enum Endpoint {
+    /// TCP; use port 0 to let the OS pick (see [`Server::local_addr`]).
+    Tcp(SocketAddr),
+    /// Unix domain socket at this path (stale socket files are
+    /// replaced).
+    Unix(PathBuf),
+}
+
+/// Tunables; the defaults are production-shaped, tests use
+/// [`ServerConfig::fast`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Snapshot directory for checkpoints and recovery.
+    pub store_root: PathBuf,
+    /// Per-connection deadlines.
+    pub limits: ConnLimits,
+    /// Handler-thread budget; connections over it are refused with
+    /// `RetryAfter`.
+    pub max_connections: usize,
+    /// Resident-summary budget; exceeding it evicts
+    /// least-recently-used tenants to snapshot.
+    pub memory_budget_bytes: u64,
+    /// Checkpoint cadence.
+    pub checkpoint_every: Duration,
+}
+
+impl ServerConfig {
+    /// A config rooted at `store_root` with default knobs.
+    pub fn new(store_root: impl Into<PathBuf>) -> Self {
+        Self {
+            store_root: store_root.into(),
+            limits: ConnLimits::default(),
+            max_connections: 64,
+            memory_budget_bytes: 256 << 20,
+            checkpoint_every: Duration::from_secs(30),
+        }
+    }
+
+    /// Test-shaped config: tight deadlines, fast checkpoints.
+    pub fn fast(store_root: impl Into<PathBuf>) -> Self {
+        Self {
+            limits: ConnLimits::fast(),
+            max_connections: 8,
+            checkpoint_every: Duration::from_millis(200),
+            ..Self::new(store_root)
+        }
+    }
+}
+
+/// A registry slot: a tenant is live in memory, evicted to disk, or
+/// broken (its disk state failed to rehydrate).
+enum Slot {
+    Live(Box<Tenant>),
+    /// On disk only; rehydrated on next touch.
+    Evicted,
+    /// Rehydration failed (reason recorded); requests are refused as
+    /// quarantined until an operator intervenes on disk.
+    Broken(String),
+}
+
+struct Registry {
+    slots: HashMap<String, Slot>,
+    /// Logical LRU clock: bumped on every touch.
+    clock: u64,
+}
+
+/// Monotonic event counters, shared across handler threads.
+#[derive(Default)]
+struct Stats {
+    accept_rejections: AtomicU64,
+    evictions: AtomicU64,
+    checkpoints: AtomicU64,
+    admission_shed: AtomicU64,
+}
+
+struct Shared {
+    config: ServerConfig,
+    store: Store,
+    registry: Mutex<Registry>,
+    stats: Stats,
+    active: AtomicU64,
+    /// Tenants lost at boot (quarantined on disk), surfaced in health.
+    boot_lost: Vec<String>,
+    recovered_tenants: u64,
+    /// Set by shutdown/kill; the acceptor, handlers, and checkpointer
+    /// all watch it. `Arc`'d so each connection's deadline machinery
+    /// can poll it between frames ([`DeadlineConn::with_stop`]).
+    stopping: Arc<AtomicBool>,
+    /// True on graceful shutdown only: the final checkpoint runs.
+    graceful: AtomicBool,
+    /// Wakes the checkpointer early on shutdown.
+    tick: Condvar,
+    tick_lock: Mutex<()>,
+    /// Serializes checkpoint rounds. Rounds from different threads
+    /// (periodic, protocol `Checkpoint`/`Shutdown`, eviction, final)
+    /// write through the same `<file>.tmp` paths; two rounds in flight
+    /// would steal each other's temp files mid-rename and one round's
+    /// saves would silently vanish.
+    ckpt_lock: Mutex<()>,
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    Unix(UnixListener),
+}
+
+impl Listener {
+    fn accept(&self) -> std::io::Result<Box<dyn Transport>> {
+        match self {
+            Self::Tcp(l) => {
+                let (s, _) = l.accept()?;
+                // Frames are written whole and waited on synchronously;
+                // leaving Nagle on costs a delayed-ACK round (~40ms)
+                // per request on loopback.
+                s.set_nodelay(true)?;
+                Ok(Box::new(s))
+            }
+            Self::Unix(l) => {
+                let (s, _) = l.accept()?;
+                Ok(Box::new(s))
+            }
+        }
+    }
+}
+
+/// A running daemon. Dropping without [`Server::shutdown`] /
+/// [`Server::kill`] behaves like a kill (no final checkpoint).
+pub struct Server {
+    shared: Arc<Shared>,
+    endpoint: Endpoint,
+    local_addr: Option<SocketAddr>,
+    acceptor: Option<JoinHandle<()>>,
+    checkpointer: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `endpoint`, recovers every verifiable tenant from the
+    /// store, and starts serving.
+    pub fn start(config: ServerConfig, endpoint: Endpoint) -> std::io::Result<Self> {
+        let store = Store::open(&config.store_root)?;
+        let boot = store.load_all()?;
+        let mut slots = HashMap::new();
+        let recovered_tenants = boot.recovered.len() as u64;
+        for t in boot.recovered {
+            match Tenant::from_bank(t.spec, t.shards) {
+                Ok(tenant) => {
+                    slots.insert(t.name, Slot::Live(Box::new(tenant)));
+                }
+                Err(e) => {
+                    slots.insert(t.name, Slot::Broken(e.to_string()));
+                }
+            }
+        }
+        let boot_lost = boot.lost.into_iter().map(|(name, _)| name).collect();
+
+        let listener = match &endpoint {
+            Endpoint::Tcp(addr) => Listener::Tcp(TcpListener::bind(addr)?),
+            Endpoint::Unix(path) => {
+                if path.exists() {
+                    std::fs::remove_file(path)?;
+                }
+                Listener::Unix(UnixListener::bind(path)?)
+            }
+        };
+        let local_addr = match &listener {
+            Listener::Tcp(l) => Some(l.local_addr()?),
+            Listener::Unix(_) => None,
+        };
+
+        let shared = Arc::new(Shared {
+            config,
+            store,
+            registry: Mutex::new(Registry { slots, clock: 0 }),
+            stats: Stats::default(),
+            active: AtomicU64::new(0),
+            boot_lost,
+            recovered_tenants,
+            stopping: Arc::new(AtomicBool::new(false)),
+            graceful: AtomicBool::new(false),
+            tick: Condvar::new(),
+            tick_lock: Mutex::new(()),
+            ckpt_lock: Mutex::new(()),
+        });
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("hh-server-accept".into())
+                .spawn(move || accept_loop(&shared, &listener))?
+        };
+        let checkpointer = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("hh-server-checkpoint".into())
+                .spawn(move || checkpoint_loop(&shared))?
+        };
+        Ok(Self {
+            shared,
+            endpoint,
+            local_addr,
+            acceptor: Some(acceptor),
+            checkpointer: Some(checkpointer),
+        })
+    }
+
+    /// The bound TCP address (None for Unix endpoints).
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.local_addr
+    }
+
+    /// A handle for in-process observation and fault drills.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Wakes the acceptor out of its blocking `accept` by connecting
+    /// once, and the checkpointer out of its wait.
+    fn wake(&self) {
+        match &self.endpoint {
+            Endpoint::Tcp(_) => {
+                if let Some(addr) = self.local_addr {
+                    let _ = TcpStream::connect(addr);
+                }
+            }
+            Endpoint::Unix(path) => {
+                let _ = UnixStream::connect(path);
+            }
+        }
+        self.shared.tick.notify_all();
+    }
+
+    fn stop(mut self, graceful: bool) {
+        self.shared.graceful.store(graceful, Ordering::SeqCst);
+        self.shared.stopping.store(true, Ordering::SeqCst);
+        self.wake();
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.checkpointer.take() {
+            let _ = h.join();
+        }
+        if graceful {
+            // Drain handler threads before the final checkpoint. They
+            // notice `stopping` within one io tick between frames (and
+            // within one frame budget mid-frame), but the one that
+            // served a protocol `Shutdown` may still be inside its own
+            // checkpoint round — if the final round below overlapped
+            // it, a restart could boot from files the straggler is
+            // still writing. The cap only guards against a stuck
+            // handler; it is never reached on the healthy path.
+            let limits = self.shared.config.limits;
+            let cap = Instant::now() + limits.idle + limits.frame + Duration::from_secs(10);
+            while self.shared.active.load(Ordering::SeqCst) > 0 && Instant::now() < cap {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            checkpoint_all(&self.shared);
+        }
+        if let Endpoint::Unix(path) = &self.endpoint {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, run a final checkpoint, join
+    /// the service threads.
+    pub fn shutdown(self) {
+        self.stop(true);
+    }
+
+    /// Crash simulation: stop everything with **no** final checkpoint.
+    /// State since the last periodic checkpoint is lost, exactly as in
+    /// a real `kill -9` — the recovery tests measure that window.
+    pub fn kill(self) {
+        self.stop(false);
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.acceptor.is_none() {
+            return; // already stopped
+        }
+        self.shared.stopping.store(true, Ordering::SeqCst);
+        // Best-effort wake so the joins below terminate.
+        match &self.endpoint {
+            Endpoint::Tcp(_) => {
+                if let Some(addr) = self.local_addr {
+                    let _ = TcpStream::connect(addr);
+                }
+            }
+            Endpoint::Unix(path) => {
+                let _ = UnixStream::connect(path);
+            }
+        }
+        self.shared.tick.notify_all();
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.checkpointer.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// In-process observation and drill hooks (tests, operators embedding
+/// the server).
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// The same health the `Health` protocol op serves.
+    pub fn health(&self) -> ServerHealth {
+        build_health(&self.shared)
+    }
+
+    /// Forces a checkpoint round now. Returns tenants persisted.
+    pub fn checkpoint_now(&self) -> u64 {
+        checkpoint_all(&self.shared)
+    }
+
+    /// Injects a quarantine fault into a live tenant (drills the
+    /// refuse-writes/serve-reads path deterministically). Errors if
+    /// the tenant is unknown or not resident.
+    pub fn inject_tenant_fault(&self, name: &str, reason: &str) -> Result<(), ProtocolError> {
+        let mut reg = lock_registry(&self.shared);
+        match reg.slots.get_mut(name) {
+            Some(Slot::Live(t)) => {
+                t.inject_fault(reason);
+                Ok(())
+            }
+            Some(_) => Err(ProtocolError::BadRequest(format!(
+                "tenant {name:?} is not resident"
+            ))),
+            None => Err(ProtocolError::UnknownTenant(name.to_string())),
+        }
+    }
+}
+
+fn lock_registry(shared: &Shared) -> std::sync::MutexGuard<'_, Registry> {
+    shared
+        .registry
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: &Listener) {
+    loop {
+        let conn = listener.accept();
+        if shared.stopping.load(Ordering::SeqCst) {
+            return;
+        }
+        let transport = match conn {
+            Ok(t) => t,
+            Err(_) => continue,
+        };
+        // Admission control: over-budget connections get one RetryAfter
+        // frame and the door, on the acceptor thread — no handler
+        // thread is spent on them.
+        let active = shared.active.load(Ordering::SeqCst);
+        if active >= shared.config.max_connections as u64 {
+            shared
+                .stats
+                .accept_rejections
+                .fetch_add(1, Ordering::Relaxed);
+            let mut conn = DeadlineConn::new(transport, shared.config.limits);
+            let rsp = Response::RetryAfter {
+                millis: RETRY_AFTER_MS,
+            };
+            let _ = conn.write_frame(&rsp.encode());
+            let _ = conn.get_ref().shutdown();
+            continue;
+        }
+        shared.active.fetch_add(1, Ordering::SeqCst);
+        let worker_shared = Arc::clone(shared);
+        let spawned = std::thread::Builder::new()
+            .name("hh-server-conn".into())
+            .spawn(move || {
+                serve_conn(&worker_shared, transport);
+                worker_shared.active.fetch_sub(1, Ordering::SeqCst);
+            });
+        if spawned.is_err() {
+            shared.active.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+fn serve_conn(shared: &Arc<Shared>, transport: Box<dyn Transport>) {
+    let mut conn =
+        DeadlineConn::new(transport, shared.config.limits).with_stop(Arc::clone(&shared.stopping));
+    loop {
+        if shared.stopping.load(Ordering::SeqCst) {
+            return;
+        }
+        let body = match conn.read_frame() {
+            Ok(Some(body)) => body,
+            // Clean hang-up between frames.
+            Ok(None) => return,
+            Err(e @ ProtocolError::FrameTooLarge { .. }) => {
+                // The stream position is known (nothing was read past
+                // the prefix), but the peer is mid-send of a frame we
+                // refuse to buffer: answer and cut it loose.
+                let _ = conn.write_frame(&Response::from_error(&e).encode());
+                let _ = conn.get_ref().shutdown();
+                return;
+            }
+            // Deadline expiry, truncation, transport failure: the
+            // stream is damaged or the peer is hostile — drop it.
+            Err(_) => {
+                let _ = conn.get_ref().shutdown();
+                return;
+            }
+        };
+        // The frame arrived whole, so the boundary is intact: a body
+        // that fails the codec gets a structured reply and the
+        // connection lives on.
+        let (rsp, stop_after) = match Request::decode(&body) {
+            Ok(Request::Shutdown) => (Response::ShuttingDown, true),
+            Ok(req) => (handle_request(shared, &req), false),
+            Err(e) => (Response::from_error(&e), false),
+        };
+        if conn.write_frame(&rsp.encode()).is_err() {
+            return;
+        }
+        if stop_after {
+            shared.graceful.store(true, Ordering::SeqCst);
+            shared.stopping.store(true, Ordering::SeqCst);
+            shared.tick.notify_all();
+            // Checkpoint here, on this handler thread, so a client
+            // whose `Shutdown` was acked gets durability even if the
+            // operator never calls `Server::shutdown`. The round is
+            // single-flight (`ckpt_lock`), and a concurrent graceful
+            // stop drains this thread before its own final round.
+            checkpoint_all(shared);
+            return;
+        }
+    }
+}
+
+fn handle_request(shared: &Arc<Shared>, req: &Request) -> Response {
+    match dispatch(shared, req) {
+        Ok(rsp) => rsp,
+        Err(e @ ProtocolError::Overloaded { retry_after_ms }) => {
+            let _ = e;
+            Response::RetryAfter {
+                millis: retry_after_ms,
+            }
+        }
+        Err(e) => Response::from_error(&e),
+    }
+}
+
+fn dispatch(shared: &Arc<Shared>, req: &Request) -> Result<Response, ProtocolError> {
+    match req {
+        Request::Ping => Ok(Response::Pong),
+        Request::Health => Ok(Response::Health(build_health(shared))),
+        Request::Checkpoint => Ok(Response::Checkpointed {
+            tenants: checkpoint_all(shared),
+        }),
+        Request::Create { tenant, spec } => {
+            validate_tenant_name(tenant)?;
+            spec.validate()?;
+            let mut reg = lock_registry(shared);
+            if reg.slots.contains_key(tenant) {
+                return Err(ProtocolError::TenantExists(tenant.clone()));
+            }
+            let mut t = Tenant::create(*spec)?;
+            // Persist immediately: a crash before the first periodic
+            // checkpoint must not forget the tenant exists.
+            let bytes = t.checkpoint();
+            shared.store.save_tenant(tenant, spec, &bytes)?;
+            touch(&mut reg, &mut t);
+            reg.slots.insert(tenant.clone(), Slot::Live(Box::new(t)));
+            drop(reg);
+            enforce_memory_budget(shared, Some(tenant));
+            Ok(Response::Created)
+        }
+        Request::Ingest {
+            tenant,
+            shard,
+            items,
+        } => {
+            let mut reg = lock_registry(shared);
+            let t = resident_tenant(shared, &mut reg, tenant)?;
+            let accepted = t.ingest(tenant, *shard, items).inspect_err(|e| {
+                if matches!(e, ProtocolError::Overloaded { .. }) {
+                    shared.stats.admission_shed.fetch_add(1, Ordering::Relaxed);
+                }
+            })?;
+            drop(reg);
+            enforce_memory_budget(shared, Some(tenant));
+            Ok(Response::Ingested { accepted })
+        }
+        Request::Query { tenant } => {
+            let mut reg = lock_registry(shared);
+            let t = resident_tenant(shared, &mut reg, tenant)?;
+            let (entries, epoch) = t.query()?;
+            Ok(Response::Report { entries, epoch })
+        }
+        Request::Snapshot { tenant } => {
+            let mut reg = lock_registry(shared);
+            let t = resident_tenant(shared, &mut reg, tenant)?;
+            let bytes = t.snapshot_merged()?.to_vec();
+            Ok(Response::Snapshot { bytes })
+        }
+        Request::Recover { tenant } => {
+            let mut reg = lock_registry(shared);
+            let t = resident_tenant(shared, &mut reg, tenant)?;
+            let shards = t.recover()? as u64;
+            Ok(Response::Recovered { shards })
+        }
+        // Handled before dispatch (it flips server state).
+        Request::Shutdown => Ok(Response::ShuttingDown),
+    }
+}
+
+/// Bumps the LRU clock onto `t`.
+fn touch(reg: &mut Registry, t: &mut Tenant) {
+    reg.clock += 1;
+    t.last_touch = reg.clock;
+}
+
+/// Resolves `name` to a live tenant, rehydrating from disk if it was
+/// evicted. Broken slots refuse as quarantined.
+fn resident_tenant<'a>(
+    shared: &Shared,
+    reg: &'a mut std::sync::MutexGuard<'_, Registry>,
+    name: &str,
+) -> Result<&'a mut Tenant, ProtocolError> {
+    match reg.slots.get(name) {
+        None => return Err(ProtocolError::UnknownTenant(name.to_string())),
+        Some(Slot::Broken(reason)) => {
+            return Err(ProtocolError::Quarantined(format!("{name} ({reason})")))
+        }
+        Some(Slot::Evicted) => {
+            let slot = match shared.store.load_tenant(name) {
+                Ok(rec) => match Tenant::from_bank(rec.spec, rec.shards) {
+                    Ok(t) => Slot::Live(Box::new(t)),
+                    Err(e) => Slot::Broken(e.to_string()),
+                },
+                Err(reason) => Slot::Broken(reason),
+            };
+            reg.slots.insert(name.to_string(), slot);
+            if matches!(reg.slots.get(name), Some(Slot::Broken(_))) {
+                return Err(ProtocolError::Quarantined(name.to_string()));
+            }
+        }
+        Some(Slot::Live(_)) => {}
+    }
+    let clock = {
+        reg.clock += 1;
+        reg.clock
+    };
+    match reg.slots.get_mut(name) {
+        Some(Slot::Live(t)) => {
+            t.last_touch = clock;
+            Ok(t)
+        }
+        _ => unreachable!("slot was just made live"),
+    }
+}
+
+/// Evicts least-recently-used tenants to snapshot until resident bytes
+/// fit the budget. `keep` (the tenant just touched) is never evicted.
+fn enforce_memory_budget(shared: &Shared, keep: Option<&str>) {
+    let budget = shared.config.memory_budget_bytes;
+    loop {
+        let mut reg = lock_registry(shared);
+        let mut resident: u64 = 0;
+        let mut lru: Option<(String, u64)> = None;
+        for (name, slot) in &reg.slots {
+            if let Slot::Live(t) = slot {
+                resident += t.resident_bytes();
+                if Some(name.as_str()) == keep {
+                    continue;
+                }
+                if lru.as_ref().is_none_or(|(_, stamp)| t.last_touch < *stamp) {
+                    lru = Some((name.clone(), t.last_touch));
+                }
+            }
+        }
+        let Some((victim, _)) = lru else { return };
+        if resident <= budget {
+            return;
+        }
+        let Some(Slot::Live(mut t)) = reg.slots.remove(&victim) else {
+            return;
+        };
+        let bytes = t.checkpoint();
+        let spec = t.spec;
+        reg.slots.insert(victim.clone(), Slot::Evicted);
+        drop(reg);
+        // Disk write outside the registry lock (but inside the
+        // checkpoint round lock, so it cannot race a concurrent
+        // round's temp files); a failed save falls back to keeping
+        // the tenant resident (no data loss).
+        let round = shared
+            .ckpt_lock
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let saved = shared.store.save_tenant(&victim, &spec, &bytes);
+        drop(round);
+        if saved.is_err() {
+            let mut reg = lock_registry(shared);
+            reg.slots.insert(victim, Slot::Live(t));
+            return;
+        }
+        shared.stats.evictions.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Checkpoints every resident tenant to disk. Returns tenants saved.
+///
+/// Single-flight: the whole round (collect + save) holds
+/// `Shared::ckpt_lock`, so concurrent callers queue instead of racing
+/// each other's temp files. Callers must not hold the registry lock —
+/// the round takes it internally.
+fn checkpoint_all(shared: &Shared) -> u64 {
+    let _round = shared
+        .ckpt_lock
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    // Collect bytes under the lock, write outside it.
+    let work: Vec<(String, TenantSpec, Vec<bytes::Bytes>)> = {
+        let mut reg = lock_registry(shared);
+        let names: Vec<String> = reg.slots.keys().cloned().collect();
+        let mut work = Vec::new();
+        for name in names {
+            if let Some(Slot::Live(t)) = reg.slots.get_mut(&name) {
+                work.push((name.clone(), t.spec, t.checkpoint()));
+            }
+        }
+        work
+    };
+    let mut saved = 0;
+    for (name, spec, bytes) in work {
+        if shared.store.save_tenant(&name, &spec, &bytes).is_ok() {
+            saved += 1;
+        }
+    }
+    if saved > 0 {
+        shared.stats.checkpoints.fetch_add(1, Ordering::Relaxed);
+    }
+    saved
+}
+
+fn checkpoint_loop(shared: &Arc<Shared>) {
+    loop {
+        {
+            let guard = shared
+                .tick_lock
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let _unused = shared
+                .tick
+                .wait_timeout(guard, shared.config.checkpoint_every);
+        }
+        if shared.stopping.load(Ordering::SeqCst) {
+            // The final checkpoint (graceful only) is run by whoever
+            // initiated the stop.
+            return;
+        }
+        checkpoint_all(shared);
+    }
+}
+
+fn build_health(shared: &Shared) -> ServerHealth {
+    let mut reg = lock_registry(shared);
+    let mut quarantined: Vec<String> = shared.boot_lost.clone();
+    let mut shed = 0;
+    let mut resident = 0;
+    let tenants = reg.slots.len() as u64;
+    for (name, slot) in reg.slots.iter_mut() {
+        match slot {
+            Slot::Live(t) => {
+                shed += t.shed_items();
+                resident += t.resident_bytes();
+                if t.quarantined() {
+                    quarantined.push(name.clone());
+                }
+            }
+            Slot::Broken(_) => quarantined.push(name.clone()),
+            Slot::Evicted => {}
+        }
+    }
+    quarantined.sort();
+    quarantined.dedup();
+    ServerHealth {
+        tenants,
+        active_connections: shared.active.load(Ordering::SeqCst),
+        accept_rejections: shared.stats.accept_rejections.load(Ordering::Relaxed),
+        shed_batches: shed + shared.stats.admission_shed.load(Ordering::Relaxed),
+        evictions: shared.stats.evictions.load(Ordering::Relaxed),
+        checkpoints: shared.stats.checkpoints.load(Ordering::Relaxed),
+        recovered_tenants: shared.recovered_tenants,
+        quarantined,
+        resident_bytes: resident,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use crate::facade::SummaryKind;
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("hh-server-srv-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn spec() -> TenantSpec {
+        TenantSpec {
+            kind: SummaryKind::SpaceSaving,
+            shards: 1,
+            m: 100_000,
+            universe: 1 << 20,
+            ..TenantSpec::default()
+        }
+    }
+
+    fn start_tcp(tag: &str) -> (Server, Client, PathBuf) {
+        let root = tmp_root(tag);
+        let server = Server::start(
+            ServerConfig::fast(&root),
+            Endpoint::Tcp("127.0.0.1:0".parse().unwrap()),
+        )
+        .unwrap();
+        let client = Client::connect_tcp(server.local_addr().unwrap()).unwrap();
+        (server, client, root)
+    }
+
+    #[test]
+    fn full_request_cycle_over_tcp() {
+        let (server, mut client, root) = start_tcp("cycle");
+        client.ping().unwrap();
+        client.create("alpha", spec()).unwrap();
+        let heavy: Vec<u64> = (0..4_000u64)
+            .map(|i| if i % 2 == 0 { 5 } else { i })
+            .collect();
+        assert_eq!(
+            client.ingest("alpha", 0, &heavy).unwrap(),
+            heavy.len() as u64
+        );
+        let (entries, _epoch) = client.query("alpha").unwrap();
+        assert!(entries.iter().any(|&(item, _)| item == 5));
+        let snapshot = client.snapshot("alpha").unwrap();
+        use hh_core::{HeavyHitters as _, MergeableSummary as _};
+        let restored = crate::facade::DynSummary::from_bytes(&snapshot).unwrap();
+        assert!(restored.report().contains(5));
+        let health = client.health().unwrap();
+        assert_eq!(health.tenants, 1);
+        assert!(health.quarantined.is_empty());
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn duplicate_create_and_unknown_tenant_are_structured() {
+        let (server, mut client, root) = start_tcp("errors");
+        client.create("a", spec()).unwrap();
+        assert!(matches!(
+            client.create("a", spec()).unwrap_err(),
+            ProtocolError::TenantExists(_)
+        ));
+        assert!(matches!(
+            client.query("ghost").unwrap_err(),
+            ProtocolError::UnknownTenant(_)
+        ));
+        assert!(matches!(
+            client.create("bad/../name", spec()).unwrap_err(),
+            ProtocolError::BadRequest(_)
+        ));
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn fault_drill_refuses_writes_serves_reads_then_recovers() {
+        let (server, mut client, root) = start_tcp("drill");
+        client.create("t", spec()).unwrap();
+        client.ingest("t", 0, &[7; 1000]).unwrap();
+        server.handle().inject_tenant_fault("t", "drill").unwrap();
+        assert!(matches!(
+            client.ingest("t", 0, &[8; 10]).unwrap_err(),
+            ProtocolError::Quarantined(_)
+        ));
+        let (entries, _) = client.query("t").unwrap();
+        assert!(
+            entries.iter().any(|&(item, _)| item == 7),
+            "reads must survive"
+        );
+        assert_eq!(client.health().unwrap().quarantined, vec!["t".to_string()]);
+        client.recover("t").unwrap();
+        client.ingest("t", 0, &[8; 10]).unwrap();
+        assert!(client.health().unwrap().quarantined.is_empty());
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn kill_loses_only_the_unchckpointed_window_and_recovery_serves_it() {
+        let root = tmp_root("kill");
+        let cfg = ServerConfig {
+            // Effectively disable the periodic checkpointer: the test
+            // controls checkpoint timing explicitly.
+            checkpoint_every: Duration::from_secs(3600),
+            ..ServerConfig::fast(&root)
+        };
+        let server =
+            Server::start(cfg.clone(), Endpoint::Tcp("127.0.0.1:0".parse().unwrap())).unwrap();
+        let mut client = Client::connect_tcp(server.local_addr().unwrap()).unwrap();
+        client.create("t", spec()).unwrap();
+        client.ingest("t", 0, &[42; 2_000]).unwrap();
+        client.checkpoint().unwrap();
+        // This window is ingested but never checkpointed: it dies with
+        // the server.
+        client.ingest("t", 0, &[99; 2_000]).unwrap();
+        server.kill();
+
+        let server = Server::start(cfg, Endpoint::Tcp("127.0.0.1:0".parse().unwrap())).unwrap();
+        let mut client = Client::connect_tcp(server.local_addr().unwrap()).unwrap();
+        let health = client.health().unwrap();
+        assert_eq!(health.recovered_tenants, 1);
+        assert!(health.quarantined.is_empty());
+        let (entries, _) = client.query("t").unwrap();
+        assert!(
+            entries.iter().any(|&(item, _)| item == 42),
+            "checkpointed item lost"
+        );
+        assert!(
+            !entries.iter().any(|&(item, _)| item == 99),
+            "un-checkpointed window survived a kill -9?"
+        );
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn connection_flood_gets_retry_after_not_thread_exhaustion() {
+        let root = tmp_root("flood");
+        let cfg = ServerConfig {
+            max_connections: 2,
+            ..ServerConfig::fast(&root)
+        };
+        let server = Server::start(cfg, Endpoint::Tcp("127.0.0.1:0".parse().unwrap())).unwrap();
+        let addr = server.local_addr().unwrap();
+        let _c1 = Client::connect_tcp(addr).unwrap();
+        let _c2 = Client::connect_tcp(addr).unwrap();
+        // Give the acceptor a beat to account for both handlers.
+        std::thread::sleep(Duration::from_millis(50));
+        let mut c3 = Client::connect_tcp(addr).unwrap();
+        match c3.ping() {
+            Err(ProtocolError::Overloaded { .. }) => {}
+            other => panic!("expected RetryAfter at the door, got {other:?}"),
+        }
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn memory_budget_evicts_lru_to_snapshot_and_rehydrates() {
+        let root = tmp_root("evict");
+        let cfg = ServerConfig {
+            // Small enough that two tenants cannot both stay resident.
+            memory_budget_bytes: 1,
+            ..ServerConfig::fast(&root)
+        };
+        let server = Server::start(cfg, Endpoint::Tcp("127.0.0.1:0".parse().unwrap())).unwrap();
+        let mut client = Client::connect_tcp(server.local_addr().unwrap()).unwrap();
+        client.create("old", spec()).unwrap();
+        client.ingest("old", 0, &[11; 2_000]).unwrap();
+        client.create("new", spec()).unwrap();
+        let health = client.health().unwrap();
+        assert!(health.evictions >= 1, "budget of 1 byte must evict");
+        // The evicted tenant rehydrates transparently, data intact.
+        let (entries, _) = client.query("old").unwrap();
+        assert!(entries.iter().any(|&(item, _)| item == 11));
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn protocol_shutdown_checkpoints_before_exit() {
+        let root = tmp_root("proto-shutdown");
+        let cfg = ServerConfig {
+            checkpoint_every: Duration::from_secs(3600),
+            ..ServerConfig::fast(&root)
+        };
+        let server =
+            Server::start(cfg.clone(), Endpoint::Tcp("127.0.0.1:0".parse().unwrap())).unwrap();
+        let mut client = Client::connect_tcp(server.local_addr().unwrap()).unwrap();
+        client.create("t", spec()).unwrap();
+        client.ingest("t", 0, &[5; 1_000]).unwrap();
+        client.shutdown_server().unwrap();
+        drop(client);
+        server.shutdown(); // joins; final checkpoint already ran
+
+        let server = Server::start(cfg, Endpoint::Tcp("127.0.0.1:0".parse().unwrap())).unwrap();
+        let mut client = Client::connect_tcp(server.local_addr().unwrap()).unwrap();
+        let (entries, _) = client.query("t").unwrap();
+        assert!(
+            entries.iter().any(|&(item, _)| item == 5),
+            "graceful shutdown must not lose acked data"
+        );
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

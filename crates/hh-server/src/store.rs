@@ -1,0 +1,324 @@
+//! Durable tenant state: the checkpoint directory layout, atomic
+//! writes, and the fail-closed boot scan.
+//!
+//! Layout under the store root:
+//!
+//! ```text
+//! <root>/<tenant>/spec.hhs      snapshot-codec TenantSpec ("hh.server.spec.v1")
+//! <root>/<tenant>/shard<j>.hhs  shard j's summary snapshot (its own tag)
+//! <root>/.quarantine/<tenant>/  tenants that failed verification at boot
+//! ```
+//!
+//! Every file is written `tmp → fsync → rename`, so a crash mid-write
+//! leaves either the old file or the new one — never a torn one. Every
+//! file is a tagged, checksummed snapshot-codec buffer, so the boot
+//! scan can verify integrity before trusting a byte of payload.
+//!
+//! The scan itself is *quarantine, don't refuse*: a tenant whose spec
+//! or any shard fails verification is moved aside into `.quarantine/`
+//! (forensics intact) and reported, and the server boots serving
+//! everyone else. Refusing to boot over one corrupt tenant would turn
+//! a partial loss into a total outage.
+
+use crate::facade::{DynSummary, TenantSpec};
+use crate::proto::{validate_tenant_name, ProtocolError};
+use bytes::Bytes;
+use hh_core::mergeable::snapshot;
+use hh_core::MergeableSummary;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Snapshot-codec tag for persisted tenant specs.
+pub const SPEC_TAG: &str = "hh.server.spec.v1";
+
+/// Directory (under the root) holding tenants that failed boot
+/// verification.
+pub const QUARANTINE_DIR: &str = ".quarantine";
+
+/// A tenant the boot scan restored successfully.
+#[derive(Debug)]
+pub struct RecoveredTenant {
+    /// Tenant name (the directory name, validated).
+    pub name: String,
+    /// The spec its bank was rebuilt from.
+    pub spec: TenantSpec,
+    /// The restored shard bank, in shard order.
+    pub shards: Vec<DynSummary>,
+}
+
+/// Everything the boot scan found.
+#[derive(Debug, Default)]
+pub struct BootReport {
+    /// Tenants restored and ready to serve.
+    pub recovered: Vec<RecoveredTenant>,
+    /// Tenants moved to quarantine, as `(name, reason)` pairs.
+    pub lost: Vec<(String, String)>,
+}
+
+/// The on-disk tenant store.
+#[derive(Debug)]
+pub struct Store {
+    root: PathBuf,
+}
+
+/// Writes `bytes` to `path` atomically: sibling temp file, fsync,
+/// rename over the target.
+fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = fs::File::create(&tmp)?;
+        use std::io::Write as _;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)
+}
+
+impl Store {
+    /// Opens (creating if needed) the store rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(Self { root })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn tenant_dir(&self, name: &str) -> PathBuf {
+        self.root.join(name)
+    }
+
+    /// Persists one tenant: its spec plus every shard's snapshot bytes,
+    /// each file written atomically. The tenant name must already have
+    /// passed [`validate_tenant_name`] (enforced again here — the name
+    /// becomes a path component).
+    pub fn save_tenant(
+        &self,
+        name: &str,
+        spec: &TenantSpec,
+        shard_bytes: &[Bytes],
+    ) -> Result<(), ProtocolError> {
+        validate_tenant_name(name)?;
+        let dir = self.tenant_dir(name);
+        fs::create_dir_all(&dir).map_err(ProtocolError::from)?;
+        write_atomic(&dir.join("spec.hhs"), &snapshot::encode(SPEC_TAG, spec))?;
+        for (j, bytes) in shard_bytes.iter().enumerate() {
+            write_atomic(&dir.join(format!("shard{j}.hhs")), bytes)?;
+        }
+        // Drop stale shard files past the current bank (shard counts
+        // never shrink today, but the scan must never see a mix).
+        let mut j = shard_bytes.len();
+        loop {
+            let stale = dir.join(format!("shard{j}.hhs"));
+            if !stale.exists() {
+                break;
+            }
+            fs::remove_file(&stale).map_err(ProtocolError::from)?;
+            j += 1;
+        }
+        Ok(())
+    }
+
+    /// Loads one tenant directory, verifying the spec and every shard.
+    /// Used by the boot scan and by eviction rehydration.
+    pub(crate) fn load_tenant(&self, name: &str) -> Result<RecoveredTenant, String> {
+        let dir = self.tenant_dir(name);
+        let spec_bytes =
+            fs::read(dir.join("spec.hhs")).map_err(|e| format!("spec unreadable: {e}"))?;
+        let spec: TenantSpec =
+            snapshot::decode(SPEC_TAG, &spec_bytes).map_err(|e| format!("spec rejected: {e}"))?;
+        spec.validate().map_err(|e| format!("spec invalid: {e}"))?;
+        let mut shards = Vec::with_capacity(spec.shards as usize);
+        for j in 0..spec.shards {
+            let path = dir.join(format!("shard{j}.hhs"));
+            let bytes = fs::read(&path).map_err(|e| format!("shard {j} unreadable: {e}"))?;
+            let (summary, _report) = DynSummary::from_bytes_report(&bytes)
+                .map_err(|e| format!("shard {j} rejected: {e}"))?;
+            if summary.kind() != spec.kind {
+                return Err(format!(
+                    "shard {j} restored as {:?} but the spec says {:?}",
+                    summary.kind(),
+                    spec.kind
+                ));
+            }
+            shards.push(summary);
+        }
+        Ok(RecoveredTenant {
+            name: name.to_string(),
+            spec,
+            shards,
+        })
+    }
+
+    /// Moves a failed tenant directory into [`QUARANTINE_DIR`],
+    /// suffixing the name if a previous quarantine already used it.
+    fn quarantine(&self, name: &str) -> std::io::Result<()> {
+        let pen = self.root.join(QUARANTINE_DIR);
+        fs::create_dir_all(&pen)?;
+        let mut target = pen.join(name);
+        let mut n = 1;
+        while target.exists() {
+            target = pen.join(format!("{name}.{n}"));
+            n += 1;
+        }
+        fs::rename(self.tenant_dir(name), target)
+    }
+
+    /// The boot scan: restores every verifiable tenant, quarantines the
+    /// rest, refuses to boot over nothing. Unknown files and the
+    /// quarantine pen itself are ignored.
+    pub fn load_all(&self) -> std::io::Result<BootReport> {
+        let mut report = BootReport::default();
+        for entry in fs::read_dir(&self.root)? {
+            let entry = entry?;
+            if !entry.file_type()?.is_dir() {
+                continue;
+            }
+            let Ok(name) = entry.file_name().into_string() else {
+                continue;
+            };
+            if validate_tenant_name(&name).is_err() {
+                continue; // includes the ".quarantine" pen
+            }
+            match self.load_tenant(&name) {
+                Ok(recovered) => report.recovered.push(recovered),
+                Err(reason) => {
+                    // Quarantine is best-effort: a rename failure must
+                    // not take the boot down with it.
+                    let penned = self.quarantine(&name).is_ok();
+                    let suffix = if penned { "" } else { " (left in place)" };
+                    report.lost.push((name, format!("{reason}{suffix}")));
+                }
+            }
+        }
+        report.recovered.sort_by(|a, b| a.name.cmp(&b.name));
+        report.lost.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::facade::SummaryKind;
+    use hh_core::StreamSummary;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("hh-server-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn spec() -> TenantSpec {
+        TenantSpec {
+            kind: SummaryKind::SpaceSaving,
+            shards: 2,
+            m: 10_000,
+            universe: 1 << 16,
+            ..TenantSpec::default()
+        }
+    }
+
+    fn bank_bytes(spec: &TenantSpec, feed: u64) -> (Vec<DynSummary>, Vec<Bytes>) {
+        let mut bank = spec.build_bank().unwrap();
+        for (j, s) in bank.iter_mut().enumerate() {
+            s.insert_batch(&vec![feed + j as u64; 100]);
+        }
+        let bytes = bank.iter().map(MergeableSummary::to_bytes).collect();
+        (bank, bytes)
+    }
+
+    #[test]
+    fn save_then_boot_restores_bit_identical_banks() {
+        let root = tmpdir("roundtrip");
+        let store = Store::open(&root).unwrap();
+        let spec = spec();
+        let (bank, bytes) = bank_bytes(&spec, 7);
+        store.save_tenant("alpha", &spec, &bytes).unwrap();
+        let report = store.load_all().unwrap();
+        assert!(report.lost.is_empty(), "{:?}", report.lost);
+        assert_eq!(report.recovered.len(), 1);
+        let back = &report.recovered[0];
+        assert_eq!(back.name, "alpha");
+        assert_eq!(back.spec, spec);
+        for (restored, original) in back.shards.iter().zip(&bank) {
+            assert_eq!(restored.to_bytes(), original.to_bytes());
+        }
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupt_shard_quarantines_the_tenant_and_spares_the_rest() {
+        let root = tmpdir("corrupt");
+        let store = Store::open(&root).unwrap();
+        let spec = spec();
+        let (_, bytes) = bank_bytes(&spec, 1);
+        store.save_tenant("good", &spec, &bytes).unwrap();
+        store.save_tenant("bad", &spec, &bytes).unwrap();
+        // Flip one byte in the middle of bad's shard 1.
+        let victim = root.join("bad").join("shard1.hhs");
+        let mut buf = fs::read(&victim).unwrap();
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0x10;
+        fs::write(&victim, &buf).unwrap();
+
+        let report = store.load_all().unwrap();
+        assert_eq!(report.recovered.len(), 1);
+        assert_eq!(report.recovered[0].name, "good");
+        assert_eq!(report.lost.len(), 1);
+        assert_eq!(report.lost[0].0, "bad");
+        assert!(
+            root.join(QUARANTINE_DIR).join("bad").exists(),
+            "forensics not preserved"
+        );
+        assert!(!root.join("bad").exists(), "corrupt tenant left live");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn truncated_spec_and_missing_shard_are_both_fatal_for_the_tenant() {
+        let root = tmpdir("partial");
+        let store = Store::open(&root).unwrap();
+        let spec = spec();
+        let (_, bytes) = bank_bytes(&spec, 2);
+        store.save_tenant("t1", &spec, &bytes).unwrap();
+        store.save_tenant("t2", &spec, &bytes).unwrap();
+        let spec_file = root.join("t1").join("spec.hhs");
+        let full = fs::read(&spec_file).unwrap();
+        fs::write(&spec_file, &full[..full.len() / 2]).unwrap();
+        fs::remove_file(root.join("t2").join("shard1.hhs")).unwrap();
+
+        let report = store.load_all().unwrap();
+        assert!(report.recovered.is_empty());
+        assert_eq!(report.lost.len(), 2);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn resaving_with_fewer_shards_drops_stale_files() {
+        let root = tmpdir("stale");
+        let store = Store::open(&root).unwrap();
+        let wide = TenantSpec {
+            shards: 3,
+            ..spec()
+        };
+        let (_, bytes3) = bank_bytes(&wide, 3);
+        store.save_tenant("t", &wide, &bytes3).unwrap();
+        let narrow = TenantSpec {
+            shards: 1,
+            ..spec()
+        };
+        let (_, bytes1) = bank_bytes(&narrow, 3);
+        store.save_tenant("t", &narrow, &bytes1).unwrap();
+        assert!(!root.join("t").join("shard1.hhs").exists());
+        assert!(!root.join("t").join("shard2.hhs").exists());
+        let report = store.load_all().unwrap();
+        assert_eq!(report.recovered.len(), 1);
+        assert_eq!(report.recovered[0].shards.len(), 1);
+        let _ = fs::remove_dir_all(&root);
+    }
+}

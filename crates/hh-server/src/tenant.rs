@@ -1,0 +1,356 @@
+//! One tenant: a shard bank behind a quarantining [`ShardRuntime`],
+//! with an epoch-swapped [`Frozen`] serving view.
+//!
+//! The write side and the read side never contend: ingest dispatches
+//! into the runtime's shards, while queries read a materialized
+//! [`Frozen`] view behind an [`Arc`]. A query against a stale view
+//! triggers a refresh — flush the runtime, merge clones of the shards,
+//! freeze the merge, swap the `Arc`, bump the epoch — and in-flight
+//! readers of the old view keep their borrowed reports until they drop
+//! it. Writers are blocked only for the flush barrier, never for the
+//! reads themselves.
+//!
+//! Failure containment is layered:
+//!
+//! * A shard whose summary panics is **quarantined** by the runtime
+//!   ([`FailurePolicy::Quarantine`]): its traffic is shed and counted,
+//!   every other shard keeps serving. [`Tenant::recover`] rebuilds it
+//!   from the runtime's last in-memory checkpoint.
+//! * Overload **sheds** instead of blocking
+//!   ([`Backpressure::Shed`]): a full shard queue drops the batch, and
+//!   [`Tenant::ingest`] turns the drop into a structured
+//!   [`ProtocolError::Overloaded`] so the client backs off.
+//! * [`Tenant::checkpoint`] produces the bytes the [`crate::store`]
+//!   persists. Poisoned shards keep their *last good* bytes — the
+//!   panic-interrupted state never reaches disk.
+
+use crate::facade::{DynSummary, TenantSpec};
+use crate::proto::ProtocolError;
+use bytes::Bytes;
+use hh_core::MergeableSummary;
+use hh_pipeline::{Backpressure, FailurePolicy, Frozen, IngestMode, ShardRuntime};
+use hh_space::SpaceUsage;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Backoff hint clients get with [`ProtocolError::Overloaded`].
+pub const RETRY_AFTER_MS: u64 = 50;
+
+/// How long a view refresh waits on the flush barrier before giving up
+/// and serving the previous epoch.
+const REFRESH_FLUSH_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// A live tenant: spec, shard bank, serving view, and bookkeeping.
+pub struct Tenant {
+    /// The spec the bank was built from (persisted alongside it).
+    pub spec: TenantSpec,
+    runtime: ShardRuntime<DynSummary>,
+    view: Arc<Frozen<DynSummary>>,
+    epoch: u64,
+    /// Items ingested since the last view refresh.
+    stale_items: u64,
+    /// Items accepted over the tenant's lifetime.
+    pub total_items: u64,
+    /// LRU stamp, maintained by the registry.
+    pub last_touch: u64,
+    /// Bytes most recently handed to the store, per shard. Poisoned
+    /// shards keep their last good entry here.
+    disk_bytes: Vec<Bytes>,
+    /// Operator-injected fault (testing and drills): while set, writes
+    /// are refused as [`ProtocolError::Quarantined`] and health reports
+    /// the tenant, without any shard actually dying.
+    forced_fault: Option<String>,
+}
+
+impl std::fmt::Debug for Tenant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tenant")
+            .field("spec", &self.spec)
+            .field("epoch", &self.epoch)
+            .field("total_items", &self.total_items)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Merges clones of `bank` into one summary (shard 0's clone
+/// accumulates the rest).
+fn merge_bank(bank: &[DynSummary]) -> Result<DynSummary, ProtocolError> {
+    let mut acc = bank.first().expect("banks are non-empty").clone();
+    for part in &bank[1..] {
+        acc.merge_from(part)?;
+    }
+    Ok(acc)
+}
+
+impl Tenant {
+    /// Builds a fresh tenant from its spec.
+    pub fn create(spec: TenantSpec) -> Result<Self, ProtocolError> {
+        let bank = spec.build_bank()?;
+        Self::from_bank(spec, bank)
+    }
+
+    /// Rehydrates a tenant around an existing bank (boot recovery).
+    pub fn from_bank(spec: TenantSpec, bank: Vec<DynSummary>) -> Result<Self, ProtocolError> {
+        debug_assert_eq!(bank.len(), spec.shards as usize);
+        let view = Arc::new(Frozen::new(merge_bank(&bank)?));
+        let disk_bytes = bank.iter().map(MergeableSummary::to_bytes).collect();
+        let mut runtime = ShardRuntime::new(bank, IngestMode::Auto);
+        runtime.set_failure_policy(FailurePolicy::Quarantine);
+        runtime.set_backpressure(Backpressure::Shed);
+        // Arm in-memory recovery immediately: a shard that dies before
+        // the first periodic checkpoint can still be rebuilt.
+        runtime.checkpoint();
+        Ok(Self {
+            spec,
+            runtime,
+            view,
+            epoch: 0,
+            stale_items: 0,
+            total_items: 0,
+            last_touch: 0,
+            disk_bytes,
+            forced_fault: None,
+        })
+    }
+
+    /// Appends `items` to shard `shard`. Returns the number accepted.
+    ///
+    /// # Errors
+    /// [`ProtocolError::ShardOutOfRange`] for a bad index,
+    /// [`ProtocolError::Quarantined`] if the shard (or the whole
+    /// tenant, via an injected fault) is quarantined, and
+    /// [`ProtocolError::Overloaded`] if the batch was shed on a full
+    /// queue.
+    pub fn ingest(&mut self, name: &str, shard: u32, items: &[u64]) -> Result<u64, ProtocolError> {
+        if shard >= self.spec.shards {
+            return Err(ProtocolError::ShardOutOfRange {
+                shard,
+                shards: self.spec.shards,
+            });
+        }
+        if self.forced_fault.is_some() {
+            return Err(ProtocolError::Quarantined(name.to_string()));
+        }
+        let j = shard as usize;
+        let before = self.runtime.health();
+        if before.poisoned.iter().any(|&(p, _)| p == j) {
+            return Err(ProtocolError::Quarantined(name.to_string()));
+        }
+        self.runtime.dispatch_ref(j, items);
+        let after = self.runtime.health();
+        if after.shed_items > before.shed_items {
+            // The dispatch itself shed the batch: either the queue was
+            // full or the worker died under our feet.
+            if after.poisoned.iter().any(|&(p, _)| p == j) {
+                return Err(ProtocolError::Quarantined(name.to_string()));
+            }
+            return Err(ProtocolError::Overloaded {
+                retry_after_ms: RETRY_AFTER_MS,
+            });
+        }
+        self.stale_items += items.len() as u64;
+        self.total_items += items.len() as u64;
+        Ok(items.len() as u64)
+    }
+
+    /// The serving view, refreshed first if ingestion has outrun it.
+    /// The returned `Arc` stays valid (and immutable) however long the
+    /// caller holds it, across any number of later refreshes.
+    pub fn view(&mut self) -> Result<Arc<Frozen<DynSummary>>, ProtocolError> {
+        if self.stale_items > 0 {
+            self.refresh_view()?;
+        }
+        Ok(Arc::clone(&self.view))
+    }
+
+    /// Current serving epoch (bumps on every refresh).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Reads the current report as protocol entries.
+    pub fn query(&mut self) -> Result<(Vec<(u64, f64)>, u64), ProtocolError> {
+        let view = self.view()?;
+        let entries = view
+            .report()
+            .entries()
+            .iter()
+            .map(|e| (e.item, e.count))
+            .collect();
+        Ok((entries, self.epoch))
+    }
+
+    /// Rebuilds the frozen view from the live bank.
+    fn refresh_view(&mut self) -> Result<(), ProtocolError> {
+        if let Err(e) = self.runtime.flush_timeout(REFRESH_FLUSH_TIMEOUT) {
+            // Quarantines were applied by the barrier; a timeout keeps
+            // the batches queued. Either way the bank is still
+            // readable — merge what is there rather than failing the
+            // read path.
+            let _ = e;
+        }
+        let bank = self.runtime.map_summaries(Clone::clone);
+        self.view = Arc::new(Frozen::new(merge_bank(&bank)?));
+        self.epoch += 1;
+        self.stale_items = 0;
+        Ok(())
+    }
+
+    /// The merged summary's portable snapshot bytes.
+    pub fn snapshot_merged(&mut self) -> Result<Bytes, ProtocolError> {
+        Ok(self.view()?.summary().to_bytes())
+    }
+
+    /// Checkpoints the bank: arms the runtime's in-memory recovery and
+    /// returns the per-shard bytes to persist. Poisoned shards
+    /// contribute their last good bytes.
+    pub fn checkpoint(&mut self) -> Vec<Bytes> {
+        self.runtime.checkpoint();
+        let health = self.runtime.health();
+        let fresh = self.runtime.map_summaries(MergeableSummary::to_bytes);
+        for (j, bytes) in fresh.into_iter().enumerate() {
+            if !health.poisoned.iter().any(|&(p, _)| p == j) {
+                self.disk_bytes[j] = bytes;
+            }
+        }
+        self.disk_bytes.clone()
+    }
+
+    /// Clears quarantine: rebuilds every poisoned shard from its last
+    /// in-memory checkpoint and lifts any injected fault. Returns how
+    /// many shards were rebuilt.
+    pub fn recover(&mut self) -> Result<usize, ProtocolError> {
+        self.forced_fault = None;
+        let poisoned: Vec<usize> = self
+            .runtime
+            .health()
+            .poisoned
+            .iter()
+            .map(|&(j, _)| j)
+            .collect();
+        let mut rebuilt = 0;
+        for j in poisoned {
+            self.runtime
+                .recover(j)
+                .map_err(|e| ProtocolError::BadRequest(format!("shard {j}: {e}")))?;
+            rebuilt += 1;
+        }
+        if rebuilt > 0 {
+            self.stale_items += 1; // force the next read to re-merge
+        }
+        Ok(rebuilt)
+    }
+
+    /// Whether writes are currently refused.
+    pub fn quarantined(&self) -> bool {
+        self.forced_fault.is_some() || !self.runtime.health().poisoned.is_empty()
+    }
+
+    /// Items shed by this tenant's runtime so far.
+    pub fn shed_items(&self) -> u64 {
+        self.runtime.health().shed_items
+    }
+
+    /// Heap bytes resident in the live bank (the memory-budget input).
+    pub fn resident_bytes(&self) -> u64 {
+        self.runtime
+            .map_summaries(|s| s.heap_bytes() as u64)
+            .into_iter()
+            .sum()
+    }
+
+    /// Injects an operator fault: writes fail as quarantined until
+    /// [`Tenant::recover`]. Deterministic drills for the failure
+    /// surface; no shard actually dies.
+    pub fn inject_fault(&mut self, reason: impl Into<String>) {
+        self.forced_fault = Some(reason.into());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::facade::SummaryKind;
+    use hh_core::HeavyHitters;
+
+    fn spec() -> TenantSpec {
+        TenantSpec {
+            kind: SummaryKind::SpaceSaving,
+            shards: 2,
+            m: 100_000,
+            universe: 1 << 20,
+            ..TenantSpec::default()
+        }
+    }
+
+    #[test]
+    fn ingest_then_query_sees_the_heavy_item_and_bumps_epochs() {
+        let mut t = Tenant::create(spec()).unwrap();
+        let heavy: Vec<u64> = (0..10_000u64)
+            .map(|i| if i % 2 == 0 { 5 } else { i })
+            .collect();
+        t.ingest("t", 0, &heavy[..5_000]).unwrap();
+        t.ingest("t", 1, &heavy[5_000..]).unwrap();
+        let (entries, epoch1) = t.query().unwrap();
+        assert!(entries.iter().any(|&(item, _)| item == 5));
+        // A quiescent re-query serves the same epoch; new data bumps it.
+        let (_, epoch2) = t.query().unwrap();
+        assert_eq!(epoch1, epoch2);
+        t.ingest("t", 0, &[5; 100]).unwrap();
+        let (_, epoch3) = t.query().unwrap();
+        assert!(epoch3 > epoch2);
+    }
+
+    #[test]
+    fn bad_shard_index_is_structured() {
+        let mut t = Tenant::create(spec()).unwrap();
+        assert_eq!(
+            t.ingest("t", 9, &[1]).unwrap_err(),
+            ProtocolError::ShardOutOfRange {
+                shard: 9,
+                shards: 2
+            }
+        );
+    }
+
+    #[test]
+    fn injected_fault_refuses_writes_until_recover() {
+        let mut t = Tenant::create(spec()).unwrap();
+        t.ingest("t", 0, &[1, 2, 3]).unwrap();
+        t.inject_fault("drill");
+        assert!(t.quarantined());
+        assert!(matches!(
+            t.ingest("t", 0, &[4]).unwrap_err(),
+            ProtocolError::Quarantined(_)
+        ));
+        // Reads keep working while quarantined.
+        assert!(t.query().is_ok());
+        t.recover().unwrap();
+        assert!(!t.quarantined());
+        t.ingest("t", 0, &[4]).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_bytes_restore_to_the_same_state() {
+        let mut t = Tenant::create(spec()).unwrap();
+        t.ingest("t", 0, &[7; 500]).unwrap();
+        t.ingest("t", 1, &[9; 300]).unwrap();
+        let bytes = t.checkpoint();
+        assert_eq!(bytes.len(), 2);
+        for b in &bytes {
+            let (restored, report) = DynSummary::from_bytes_report(b).unwrap();
+            assert!(report.checksum_verified);
+            assert_eq!(restored.kind(), SummaryKind::SpaceSaving);
+        }
+    }
+
+    #[test]
+    fn snapshot_merged_is_restorable_and_reports_the_heavy_item() {
+        let mut t = Tenant::create(spec()).unwrap();
+        t.ingest("t", 0, &[3; 4_000]).unwrap();
+        t.ingest("t", 1, &[3; 4_000]).unwrap();
+        let bytes = t.snapshot_merged().unwrap();
+        let restored = DynSummary::from_bytes(&bytes).unwrap();
+        assert!(restored.report().contains(3));
+    }
+}

@@ -12,6 +12,9 @@
 #   merge_serialize     summary merging, snapshot round trips, and the
 #                       decode-only restore path (snapshot_decode)
 #   read_write_mix      hot (cached) queries and mixed write-then-read
+#   serve_throughput    hh-server loopback TCP: ping RTT, wire ingest,
+#                       wire query (records _meta/serve_query_p50_ns,
+#                       _meta/serve_query_p99_ns)
 #
 # Usage: scripts/bench.sh [output.json]   (default: BENCH_1.json)
 set -euo pipefail
@@ -31,7 +34,7 @@ case "${out}" in
 esac
 rm -f "${json}"
 
-for bench in update_time batch_update_time sharded_throughput thread_scaling query_time merge_serialize read_write_mix; do
+for bench in update_time batch_update_time sharded_throughput thread_scaling query_time merge_serialize read_write_mix serve_throughput; do
     CRITERION_JSON="${json}" cargo bench -p hh-bench --bench "${bench}"
 done
 

@@ -1,0 +1,368 @@
+//! Fault-injection suite for the serving daemon (PR 8): the whole
+//! `hh-server` stack — framing, protocol decode, admission, tenant
+//! runtime, checkpointing — is driven through the `hh-faults`
+//! corruptors and the [`hh_faults::net::FaultyConn`] transport faults,
+//! and the contract is:
+//!
+//! 1. **fuzzed request frames** (truncation at every offset, sampled
+//!    bit flips, inflated length prefixes, tag swaps) get a structured
+//!    `Error` response or a clean close — never a panic, never a stuck
+//!    connection — and the server stays fully serviceable afterwards;
+//! 2. an **oversized frame prefix** is refused with `FrameTooLarge`
+//!    before the server allocates from the lie, and the connection is
+//!    closed;
+//! 3. **mid-frame disconnects** and **stalls past the frame deadline**
+//!    leave the server healthy: the victim connection is reaped, fresh
+//!    clients are served;
+//! 4. a **concurrent soak** with injected mid-request disconnects ends
+//!    with every tenant byte-identical to a sequential oracle fed only
+//!    the acknowledged batches;
+//! 5. **kill -9** (abrupt process death, simulated by `Server::kill`)
+//!    loses at most the un-checkpointed window: a restart over the same
+//!    store serves exactly the last checkpoint, bit-for-bit;
+//! 6. the same protocol works over a **Unix domain socket**.
+
+use hh_faults::corrupt;
+use hh_faults::net::FaultyConn;
+use hh_server::client::Client;
+use hh_server::facade::{DynSummary, SummaryKind, TenantSpec};
+use hh_server::proto::{read_frame, write_frame, ProtocolError, Request, Response, MAX_FRAME_LEN};
+use hh_server::server::{Endpoint, Server, ServerConfig};
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn tmp_root(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hh-server-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn spec() -> TenantSpec {
+    TenantSpec {
+        kind: SummaryKind::SpaceSaving,
+        shards: 1,
+        m: 100_000,
+        universe: 1 << 20,
+        ..TenantSpec::default()
+    }
+}
+
+fn start_tcp(tag: &str) -> (Server, PathBuf) {
+    let root = tmp_root(tag);
+    let server = Server::start(
+        ServerConfig::fast(&root),
+        Endpoint::Tcp("127.0.0.1:0".parse().unwrap()),
+    )
+    .unwrap();
+    (server, root)
+}
+
+fn raw_conn(server: &Server) -> TcpStream {
+    let stream = TcpStream::connect(server.local_addr().unwrap()).unwrap();
+    stream.set_nodelay(true).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream
+}
+
+/// Sends one (possibly corrupt) body as a well-formed frame and returns
+/// what came back: a decoded response, or `None` if the server closed
+/// or errored the connection. The 5-second read timeout turns a stuck
+/// connection into a test failure rather than a hang.
+fn exchange(server: &Server, body: &[u8]) -> Option<Response> {
+    let mut stream = raw_conn(server);
+    if write_frame(&mut stream, body).is_err() {
+        return None;
+    }
+    match read_frame(&mut stream) {
+        Ok(Some(rsp)) => Response::decode(&rsp).ok(),
+        _ => None,
+    }
+}
+
+#[test]
+fn fuzzed_request_frames_never_kill_the_server() {
+    let (server, root) = start_tcp("fuzz");
+    let mut client = Client::connect_tcp(server.local_addr().unwrap()).unwrap();
+    client.create("canary", spec()).unwrap();
+    client.ingest("canary", 0, &[7; 2_000]).unwrap();
+
+    let valid = Request::Query {
+        tenant: "canary".to_string(),
+    }
+    .encode();
+
+    // (1a) Truncation at every offset: well-formed frame, short body.
+    for cut in corrupt::truncations(&valid) {
+        match exchange(&server, cut) {
+            Some(Response::Error { .. }) | None => {}
+            Some(other) => panic!("truncated body answered {other:?}"),
+        }
+    }
+
+    // (1b) Sampled single-bit flips: the checksum trailer (or the tag
+    // match, or the decode bounds) must catch every one; a flip may
+    // also land harmlessly and still decode, but never panic. 128
+    // deterministic samples cover tag, payload, and trailer regions.
+    for flipped in corrupt::bit_flips(&valid, 0x5EED_F00D, 128) {
+        let _ = exchange(&server, &flipped);
+    }
+
+    // (1c) Inflated length prefixes inside the body: the decoder's own
+    // bounds must refuse before allocating from the lie.
+    for inflated in corrupt::inflate_length_prefixes(&valid) {
+        match exchange(&server, &inflated) {
+            Some(Response::Error { .. }) | None => {}
+            Some(other) => panic!("inflated prefix answered {other:?}"),
+        }
+    }
+
+    // (1d) Tag swap: a response body where a request belongs.
+    let swapped = corrupt::swap_tag(&valid, "hh.proto.req.v1", "hh.proto.rsp.v1")
+        .expect("request bodies start with the request tag");
+    assert!(
+        matches!(
+            exchange(&server, &swapped),
+            Some(Response::Error { .. }) | None
+        ),
+        "tag-swapped body must be refused"
+    );
+
+    // After the whole assault the server still serves: the canary
+    // tenant is intact and reachable from a fresh connection.
+    let mut after = Client::connect_tcp(server.local_addr().unwrap()).unwrap();
+    after.ping().unwrap();
+    let (entries, _) = after.query("canary").unwrap();
+    assert!(entries.iter().any(|&(item, _)| item == 7));
+    let health = after.health().unwrap();
+    assert_eq!(health.tenants, 1);
+    assert!(health.quarantined.is_empty());
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn oversized_frame_prefix_is_refused_then_closed() {
+    let (server, root) = start_tcp("bigframe");
+    let mut stream = raw_conn(&server);
+    let lie = (MAX_FRAME_LEN as u32) + 1;
+    stream.write_all(&lie.to_le_bytes()).unwrap();
+
+    // The server answers with a structured FrameTooLarge error...
+    let body = read_frame(&mut stream)
+        .expect("error frame arrives")
+        .expect("connection not silently closed");
+    match Response::decode(&body).unwrap() {
+        Response::Error { code, message } => {
+            let err = ProtocolError::from_wire(code, message);
+            assert!(matches!(err, ProtocolError::FrameTooLarge { .. }), "{err}");
+        }
+        other => panic!("wanted Error, got {other:?}"),
+    }
+    // ...and then closes: the next read sees EOF, not a hang.
+    assert!(matches!(read_frame(&mut stream), Ok(None) | Err(_)));
+
+    let mut client = Client::connect_tcp(server.local_addr().unwrap()).unwrap();
+    client.ping().unwrap();
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn mid_frame_disconnects_leave_the_server_serviceable() {
+    let (server, root) = start_tcp("sever");
+    let body = Request::Ingest {
+        tenant: "ghost".to_string(),
+        shard: 0,
+        items: vec![1; 4_096],
+    }
+    .encode();
+
+    // Sever at the prefix boundary, just inside the body, and deep
+    // inside the batch payload: the server must reap each half-frame.
+    for &offset in &[2usize, 4, 5, 64, body.len() / 2] {
+        let mut conn = FaultyConn::new(raw_conn(&server)).sever_at(offset);
+        let mut framed = Vec::with_capacity(4 + body.len());
+        framed.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        framed.extend_from_slice(&body);
+        let err = conn.write_all(&framed).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::BrokenPipe);
+    }
+
+    let mut client = Client::connect_tcp(server.local_addr().unwrap()).unwrap();
+    client.ping().unwrap();
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn stalled_writer_is_reaped_past_the_frame_deadline() {
+    let (server, root) = start_tcp("stall");
+    let body = Request::Ping.encode();
+    let mut framed = Vec::with_capacity(4 + body.len());
+    framed.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    framed.extend_from_slice(&body);
+
+    // The fast profile allows 200ms per frame; stall 800ms after the
+    // length prefix. The server must abandon the connection instead of
+    // waiting forever, so either our writes start failing or the
+    // response never comes — but a fresh client is served immediately.
+    let mut conn = FaultyConn::new(raw_conn(&server))
+        .chunk(1)
+        .stall_at(4, Duration::from_millis(800));
+    let write = conn.write_all(&framed);
+    let reply = match write {
+        Ok(()) => read_frame(&mut conn).ok().flatten(),
+        Err(_) => None,
+    };
+    assert!(
+        reply.is_none(),
+        "a byte-trickling staller must not be answered"
+    );
+
+    let mut client = Client::connect_tcp(server.local_addr().unwrap()).unwrap();
+    client.ping().unwrap();
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn concurrent_soak_matches_sequential_oracle() {
+    let (server, root) = start_tcp("soak");
+    let addr = server.local_addr().unwrap();
+    const CLIENTS: usize = 3;
+    const BATCHES: u64 = 16;
+    const BATCH_LEN: u64 = 400;
+
+    // One single-shard tenant per client thread, so each tenant sees a
+    // deterministic batch order and "byte-identical" is well-defined.
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let tenant = format!("soak{t}");
+                let mut client = Client::connect_tcp(addr).unwrap();
+                client.create(&tenant, spec()).unwrap();
+                let mut oracle = spec().build_bank().unwrap().remove(0);
+                for i in 0..BATCHES {
+                    let items: Vec<u64> = (0..BATCH_LEN)
+                        .map(|k| (t as u64) * 1_000_003 + i * 131 + k % 97)
+                        .collect();
+                    // Every third batch first rides a doomed connection
+                    // that dies mid-request: the server never sees a
+                    // complete frame, so the batch is NOT applied and
+                    // the oracle must not count the failed attempt.
+                    if i % 3 == 0 {
+                        let body = Request::Ingest {
+                            tenant: tenant.clone(),
+                            shard: 0,
+                            items: items.clone(),
+                        }
+                        .encode();
+                        let doomed = TcpStream::connect(addr).unwrap();
+                        let mut conn = FaultyConn::new(doomed).sever_at(7 + (i as usize % 40));
+                        let mut framed = Vec::with_capacity(4 + body.len());
+                        framed.extend_from_slice(&(body.len() as u32).to_le_bytes());
+                        framed.extend_from_slice(&body);
+                        assert!(conn.write_all(&framed).is_err());
+                    }
+                    // The real attempt, retried through overload hints.
+                    let accepted = client.ingest_retry(&tenant, 0, &items, 10).unwrap();
+                    assert_eq!(accepted, items.len() as u64);
+                    use hh_core::StreamSummary as _;
+                    oracle.insert_batch(&items);
+                }
+                let served = client.snapshot(&tenant).unwrap();
+                use hh_core::MergeableSummary as _;
+                assert_eq!(
+                    served,
+                    oracle.to_bytes().as_ref(),
+                    "tenant {tenant}: served state diverged from the acked-batch oracle"
+                );
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+
+    let mut client = Client::connect_tcp(addr).unwrap();
+    let health = client.health().unwrap();
+    assert_eq!(health.tenants, CLIENTS as u64);
+    assert!(health.quarantined.is_empty());
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn kill_loses_at_most_the_uncheckpointed_window() {
+    let root = tmp_root("kill");
+    // Periodic checkpointing pushed out of the test's way: only the
+    // explicit checkpoint below persists anything post-create.
+    let mut config = ServerConfig::fast(&root);
+    config.checkpoint_every = Duration::from_secs(3_600);
+    let server = Server::start(config, Endpoint::Tcp("127.0.0.1:0".parse().unwrap())).unwrap();
+    let mut client = Client::connect_tcp(server.local_addr().unwrap()).unwrap();
+
+    let durable: Vec<u64> = (0..3_000u64)
+        .map(|i| if i % 2 == 0 { 42 } else { i })
+        .collect();
+    let doomed: Vec<u64> = vec![99_999; 3_000];
+    client.create("ten", spec()).unwrap();
+    client.ingest("ten", 0, &durable).unwrap();
+    assert_eq!(client.checkpoint().unwrap(), 1);
+    client.ingest("ten", 0, &doomed).unwrap();
+    server.kill(); // abrupt: no final checkpoint, like SIGKILL
+
+    let mut oracle = spec().build_bank().unwrap().remove(0);
+    {
+        use hh_core::StreamSummary as _;
+        oracle.insert_batch(&durable);
+    }
+
+    let server = Server::start(
+        ServerConfig::fast(&root),
+        Endpoint::Tcp("127.0.0.1:0".parse().unwrap()),
+    )
+    .unwrap();
+    let mut client = Client::connect_tcp(server.local_addr().unwrap()).unwrap();
+    let health = client.health().unwrap();
+    assert_eq!(health.tenants, 1);
+    assert_eq!(
+        health.recovered_tenants, 1,
+        "boot must surface the recovery"
+    );
+    assert!(health.quarantined.is_empty());
+
+    // Exactly the checkpointed window survives — bit-for-bit — and the
+    // un-checkpointed batch is gone.
+    use hh_core::MergeableSummary as _;
+    let served = client.snapshot("ten").unwrap();
+    assert_eq!(served, oracle.to_bytes().as_ref());
+    let restored = DynSummary::from_bytes(&served).unwrap();
+    use hh_core::HeavyHitters as _;
+    assert!(restored.report().contains(42));
+    assert!(!restored.report().contains(99_999));
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn unix_domain_socket_smoke() {
+    let root = tmp_root("uds");
+    std::fs::create_dir_all(&root).unwrap();
+    let sock = root.join("hh.sock");
+    let server = Server::start(ServerConfig::fast(&root), Endpoint::Unix(sock.clone())).unwrap();
+    let mut client = Client::connect_uds(&sock).unwrap();
+    client.ping().unwrap();
+    client.create("udst", spec()).unwrap();
+    client.ingest("udst", 0, &[5; 2_000]).unwrap();
+    let (entries, _) = client.query("udst").unwrap();
+    assert!(entries.iter().any(|&(item, _)| item == 5));
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
