@@ -701,17 +701,41 @@ impl<S: MergeableSummary + Send + 'static> ShardRuntime<S> {
     /// snapshot codec.
     pub fn checkpoint(&mut self) -> usize {
         self.flush();
+        self.capture_checkpoints(&[]).len()
+    }
+
+    /// [`ShardRuntime::checkpoint`] with a bounded flush barrier.
+    /// Shards still pending when `timeout` hits are skipped entirely —
+    /// their queued batches stay queued, their recovery slot keeps its
+    /// previous bytes, and (crucially) their cell lock is never taken,
+    /// so a worker wedged mid-batch cannot stall the caller. Returns
+    /// the `(shard, bytes)` pairs actually captured.
+    pub fn checkpoint_timeout(&mut self, timeout: Duration) -> Vec<(usize, Bytes)> {
+        let pending = match self.flush_timeout(timeout) {
+            Ok(()) => Vec::new(),
+            Err(FlushError::TimedOut { pending }) => pending,
+            // Dead workers were quarantined by the barrier; the
+            // poisoned filter below already excludes them.
+            Err(FlushError::WorkerPanicked { .. }) => Vec::new(),
+        };
+        self.capture_checkpoints(&pending)
+    }
+
+    /// Snapshots every shard except poisoned ones and `skip` into the
+    /// recovery slots, returning what was captured.
+    fn capture_checkpoints(&mut self, skip: &[usize]) -> Vec<(usize, Bytes)> {
         let poisoned: Vec<bool> = {
             let state = lock(&self.health);
             state.poisoned.iter().map(|p| p.is_some()).collect()
         };
-        let mut captured = 0;
+        let mut captured = Vec::new();
         for (j, cell) in self.cells.iter().enumerate() {
-            if poisoned[j] {
+            if poisoned[j] || skip.contains(&j) {
                 continue;
             }
-            self.checkpoints[j] = Some(lock(cell).to_bytes());
-            captured += 1;
+            let bytes = lock(cell).to_bytes();
+            self.checkpoints[j] = Some(bytes.clone());
+            captured.push((j, bytes));
         }
         captured
     }

@@ -148,6 +148,10 @@ struct Shared {
     /// write through the same `<file>.tmp` paths; two rounds in flight
     /// would steal each other's temp files mid-rename and one round's
     /// saves would silently vanish.
+    ///
+    /// Lock order: `ckpt_lock` before `registry`, everywhere both are
+    /// held (`checkpoint_all`, the eviction path). Never acquire
+    /// `ckpt_lock` while holding the registry lock.
     ckpt_lock: Mutex<()>,
 }
 
@@ -397,6 +401,16 @@ fn lock_registry(shared: &Shared) -> std::sync::MutexGuard<'_, Registry> {
         .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
+/// Releases one admission slot on drop, so a handler that unwinds
+/// (a panic anywhere under `serve_conn`) cannot leak capacity.
+struct ActiveSlot(Arc<Shared>);
+
+impl Drop for ActiveSlot {
+    fn drop(&mut self) {
+        self.0.active.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 fn accept_loop(shared: &Arc<Shared>, listener: &Listener) {
     loop {
         let conn = listener.accept();
@@ -405,7 +419,13 @@ fn accept_loop(shared: &Arc<Shared>, listener: &Listener) {
         }
         let transport = match conn {
             Ok(t) => t,
-            Err(_) => continue,
+            Err(_) => {
+                // A persistent accept failure (EMFILE under fd
+                // exhaustion, say) must degrade into a paced retry,
+                // not a 100%-CPU busy loop on the acceptor.
+                std::thread::sleep(Duration::from_millis(20));
+                continue;
+            }
         };
         // Admission control: over-budget connections get one RetryAfter
         // frame and the door, on the acceptor thread — no handler
@@ -429,10 +449,14 @@ fn accept_loop(shared: &Arc<Shared>, listener: &Listener) {
         let spawned = std::thread::Builder::new()
             .name("hh-server-conn".into())
             .spawn(move || {
+                // Built before serve_conn so the decrement fires even
+                // if the handler unwinds.
+                let _slot = ActiveSlot(Arc::clone(&worker_shared));
                 serve_conn(&worker_shared, transport);
-                worker_shared.active.fetch_sub(1, Ordering::SeqCst);
             });
         if spawned.is_err() {
+            // The closure never ran (and its guard was never built):
+            // release the slot here.
             shared.active.fetch_sub(1, Ordering::SeqCst);
         }
     }
@@ -618,6 +642,34 @@ fn resident_tenant<'a>(
 fn enforce_memory_budget(shared: &Shared, keep: Option<&str>) {
     let budget = shared.config.memory_budget_bytes;
     loop {
+        // Fast path — the common case touches only the registry lock.
+        {
+            let reg = lock_registry(shared);
+            let resident: u64 = reg
+                .slots
+                .values()
+                .map(|s| match s {
+                    Slot::Live(t) => t.resident_bytes(),
+                    _ => 0,
+                })
+                .sum();
+            if resident <= budget {
+                return;
+            }
+        }
+        // Eviction round. Lock order is ckpt_lock → registry, matching
+        // checkpoint_all, and the registry stays held through the disk
+        // write: `Slot::Evicted` must never be observable before the
+        // victim's fresh bytes have landed. If it were, a concurrent
+        // request could rehydrate the tenant from the *stale* on-disk
+        // checkpoint; once the eviction save then landed, that stale
+        // resident tenant would shadow it and the next checkpoint
+        // round would persist the stale state over the fresh bytes —
+        // silently losing acked ingests.
+        let _round = shared
+            .ckpt_lock
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let mut reg = lock_registry(shared);
         let mut resident: u64 = 0;
         let mut lru: Option<(String, u64)> = None;
@@ -632,33 +684,26 @@ fn enforce_memory_budget(shared: &Shared, keep: Option<&str>) {
                 }
             }
         }
-        let Some((victim, _)) = lru else { return };
+        // Re-checked under both locks: a concurrent round may have
+        // already evicted enough.
         if resident <= budget {
             return;
         }
+        let Some((victim, _)) = lru else { return };
         let Some(Slot::Live(mut t)) = reg.slots.remove(&victim) else {
             return;
         };
         let bytes = t.checkpoint();
         let spec = t.spec;
-        reg.slots.insert(victim.clone(), Slot::Evicted);
-        drop(reg);
-        // Disk write outside the registry lock (but inside the
-        // checkpoint round lock, so it cannot race a concurrent
-        // round's temp files); a failed save falls back to keeping
-        // the tenant resident (no data loss).
-        let round = shared
-            .ckpt_lock
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        let saved = shared.store.save_tenant(&victim, &spec, &bytes);
-        drop(round);
-        if saved.is_err() {
-            let mut reg = lock_registry(shared);
+        if shared.store.save_tenant(&victim, &spec, &bytes).is_ok() {
+            reg.slots.insert(victim, Slot::Evicted);
+            shared.stats.evictions.fetch_add(1, Ordering::Relaxed);
+        } else {
+            // A failed save keeps the tenant resident (no data loss).
             reg.slots.insert(victim, Slot::Live(t));
             return;
         }
-        shared.stats.evictions.fetch_add(1, Ordering::Relaxed);
+        // Both locks drop here; loop to re-check the budget.
     }
 }
 
@@ -930,6 +975,57 @@ mod tests {
         // The evicted tenant rehydrates transparently, data intact.
         let (entries, _) = client.query("old").unwrap();
         assert!(entries.iter().any(|&(item, _)| item == 11));
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn eviction_churn_with_concurrent_rehydration_loses_no_acked_items() {
+        let root = tmp_root("churn");
+        let cfg = ServerConfig {
+            // Nothing fits: every touch evicts the other tenant, so
+            // eviction saves and rehydrations interleave constantly.
+            memory_budget_bytes: 1,
+            ..ServerConfig::fast(&root)
+        };
+        let server = Server::start(cfg, Endpoint::Tcp("127.0.0.1:0".parse().unwrap())).unwrap();
+        let addr = server.local_addr().unwrap();
+        {
+            let mut c = Client::connect_tcp(addr).unwrap();
+            c.create("a", spec()).unwrap();
+            c.create("b", spec()).unwrap();
+        }
+        // The regression this guards: `Slot::Evicted` published before
+        // the eviction save reached disk let a concurrent request
+        // rehydrate the stale on-disk checkpoint, which then shadowed
+        // the fresh bytes — acked ingests silently lost.
+        let workers: Vec<_> = [("a", 1u64), ("b", 2u64)]
+            .into_iter()
+            .map(|(name, item)| {
+                std::thread::spawn(move || {
+                    let mut c = Client::connect_tcp(addr).unwrap();
+                    let mut acked = 0u64;
+                    for _ in 0..40 {
+                        acked += c.ingest_retry(name, 0, &[item; 25], 20).unwrap();
+                        c.query(name).unwrap();
+                    }
+                    (name, item, acked)
+                })
+            })
+            .collect();
+        let mut c = Client::connect_tcp(addr).unwrap();
+        for w in workers {
+            let (name, item, acked) = w.join().unwrap();
+            let (entries, _) = c.query(name).unwrap();
+            let count = entries
+                .iter()
+                .find(|&&(i, _)| i == item)
+                .map_or(0.0, |&(_, n)| n);
+            assert_eq!(
+                count as u64, acked,
+                "tenant {name}: acked ingests lost in eviction churn"
+            );
+        }
         server.shutdown();
         let _ = std::fs::remove_dir_all(&root);
     }

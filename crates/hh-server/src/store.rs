@@ -9,8 +9,9 @@
 //! <root>/.quarantine/<tenant>/  tenants that failed verification at boot
 //! ```
 //!
-//! Every file is written `tmp → fsync → rename`, so a crash mid-write
-//! leaves either the old file or the new one — never a torn one. Every
+//! Every file is written `tmp → fsync → rename → fsync(dir)`, so a
+//! crash — or a power cut — mid-write leaves either the old file or
+//! the new one, durably, and never a torn one. Every
 //! file is a tagged, checksummed snapshot-codec buffer, so the boot
 //! scan can verify integrity before trusting a byte of payload.
 //!
@@ -61,8 +62,9 @@ pub struct Store {
     root: PathBuf,
 }
 
-/// Writes `bytes` to `path` atomically: sibling temp file, fsync,
-/// rename over the target.
+/// Writes `bytes` to `path` atomically and durably: sibling temp
+/// file, fsync, rename over the target, fsync of the parent
+/// directory.
 fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
     let tmp = path.with_extension("tmp");
     {
@@ -71,7 +73,14 @@ fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
         f.write_all(bytes)?;
         f.sync_all()?;
     }
-    fs::rename(&tmp, path)
+    fs::rename(&tmp, path)?;
+    // The rename is only durable once the directory entry is: without
+    // this, a power failure (unlike a mere process crash) could revert
+    // to the old file after the server already counted the save.
+    if let Some(dir) = path.parent() {
+        fs::File::open(dir)?.sync_all()?;
+    }
+    Ok(())
 }
 
 impl Store {

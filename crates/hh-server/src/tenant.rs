@@ -40,6 +40,13 @@ pub const RETRY_AFTER_MS: u64 = 50;
 /// and serving the previous epoch.
 const REFRESH_FLUSH_TIMEOUT: Duration = Duration::from_secs(2);
 
+/// How long a checkpoint waits on the flush barrier before falling
+/// back to last-good bytes for the shards still pending. Checkpoint
+/// rounds run under the server's registry lock, so this bound is what
+/// keeps one wedged shard worker from stalling every request on the
+/// server.
+const CHECKPOINT_FLUSH_TIMEOUT: Duration = Duration::from_secs(2);
+
 /// A live tenant: spec, shard bank, serving view, and bookkeeping.
 pub struct Tenant {
     /// The spec the bank was built from (persisted alongside it).
@@ -202,16 +209,13 @@ impl Tenant {
     }
 
     /// Checkpoints the bank: arms the runtime's in-memory recovery and
-    /// returns the per-shard bytes to persist. Poisoned shards
-    /// contribute their last good bytes.
+    /// returns the per-shard bytes to persist. The flush barrier is
+    /// bounded (`CHECKPOINT_FLUSH_TIMEOUT`); poisoned shards and
+    /// shards whose worker missed the deadline contribute their last
+    /// good bytes — a wedged worker's cell lock is never even taken.
     pub fn checkpoint(&mut self) -> Vec<Bytes> {
-        self.runtime.checkpoint();
-        let health = self.runtime.health();
-        let fresh = self.runtime.map_summaries(MergeableSummary::to_bytes);
-        for (j, bytes) in fresh.into_iter().enumerate() {
-            if !health.poisoned.iter().any(|&(p, _)| p == j) {
-                self.disk_bytes[j] = bytes;
-            }
+        for (j, bytes) in self.runtime.checkpoint_timeout(CHECKPOINT_FLUSH_TIMEOUT) {
+            self.disk_bytes[j] = bytes;
         }
         self.disk_bytes.clone()
     }
