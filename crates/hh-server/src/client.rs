@@ -12,7 +12,7 @@
 
 use crate::conn::{ConnLimits, DeadlineConn, Transport};
 use crate::facade::TenantSpec;
-use crate::proto::{ProtocolError, Request, Response, ServerHealth};
+use crate::proto::{ProtocolError, RangeEntry, Request, Response, ServerHealth};
 use std::net::{SocketAddr, TcpStream};
 use std::os::unix::net::UnixStream;
 use std::path::Path;
@@ -134,6 +134,46 @@ impl Client {
         match self.call_expecting(&req)? {
             Response::Report { entries, epoch } => Ok((entries, epoch)),
             _ => Err(ProtocolError::UnexpectedResponse("query wanted Report")),
+        }
+    }
+
+    /// Estimates the mass of the inclusive id range `[lo, hi]` on a
+    /// dyadic tenant. Returns `(estimate, epoch)`.
+    pub fn range_query(
+        &mut self,
+        tenant: &str,
+        lo: u64,
+        hi: u64,
+    ) -> Result<(f64, u64), ProtocolError> {
+        let req = Request::RangeQuery {
+            tenant: tenant.to_string(),
+            lo,
+            hi,
+        };
+        match self.call_expecting(&req)? {
+            Response::RangeEstimate { estimate, epoch } => Ok((estimate, epoch)),
+            _ => Err(ProtocolError::UnexpectedResponse(
+                "range_query wanted RangeEstimate",
+            )),
+        }
+    }
+
+    /// Reads a dyadic tenant's heavy intervals at threshold `phi` as
+    /// `(level, lo, hi, estimate)` entries plus the serving epoch.
+    pub fn heavy_ranges(
+        &mut self,
+        tenant: &str,
+        phi: f64,
+    ) -> Result<(Vec<RangeEntry>, u64), ProtocolError> {
+        let req = Request::HeavyRanges {
+            tenant: tenant.to_string(),
+            phi,
+        };
+        match self.call_expecting(&req)? {
+            Response::Ranges { entries, epoch } => Ok((entries, epoch)),
+            _ => Err(ProtocolError::UnexpectedResponse(
+                "heavy_ranges wanted Ranges",
+            )),
         }
     }
 

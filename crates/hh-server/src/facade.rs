@@ -1,9 +1,9 @@
-//! The object-safe serving facade: one summary type for all eight
+//! The object-safe serving facade: one summary type for all nine
 //! implementations.
 //!
 //! The server hosts tenants whose summary *kind* is chosen per tenant
 //! at `Create` time, so its banks cannot be generic over a summary
-//! type — they need one runtime type that any of the workspace's eight
+//! type — they need one runtime type that any of the workspace's nine
 //! [`MergeableSummary`] implementations can stand behind.
 //! [`DynSummary`] is that type: a boxed [`ErasedSummary`] that
 //! implements the full summary contract (`StreamSummary`,
@@ -37,10 +37,11 @@ use hh_core::{
     HeavyHitters, HhParams, ItemEstimate, MergeError, MergeableSummary, MisraGries, OptimalListHh,
     Report, RestoreReport, SimpleListHh, SnapshotError, StreamSummary,
 };
+use hh_dyadic::{DyadicHh, HeavyRange};
 use hh_space::SpaceUsage;
 use std::any::Any;
 
-/// Which of the eight mergeable summary implementations a tenant runs.
+/// Which of the nine mergeable summary implementations a tenant runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SummaryKind {
     /// The paper's Algorithm 1 ([`SimpleListHh`]).
@@ -59,11 +60,15 @@ pub enum SummaryKind {
     CountMin,
     /// CountSketch \[CCFC04\] ([`CountSketch`]).
     CountSketch,
+    /// Dyadic range/prefix bank over Count-Min levels ([`DyadicHh`]) —
+    /// the only kind that answers `RangeQuery`/`HeavyRanges`.
+    Dyadic,
 }
 
 impl SummaryKind {
-    /// Every servable kind, in wire-discriminant order.
-    pub const ALL: [SummaryKind; 8] = [
+    /// Every servable kind, in wire-discriminant order (new kinds are
+    /// appended — existing codes never move).
+    pub const ALL: [SummaryKind; 9] = [
         SummaryKind::Algo1,
         SummaryKind::Algo2,
         SummaryKind::MisraGries,
@@ -72,6 +77,7 @@ impl SummaryKind {
         SummaryKind::LossyCounting,
         SummaryKind::CountMin,
         SummaryKind::CountSketch,
+        SummaryKind::Dyadic,
     ];
 
     /// Stable wire discriminant.
@@ -98,6 +104,7 @@ impl SummaryKind {
             SummaryKind::LossyCounting => "baseline.lossy-counting",
             SummaryKind::CountMin => "baseline.count-min",
             SummaryKind::CountSketch => "baseline.count-sketch",
+            SummaryKind::Dyadic => "dyadic",
         }
     }
 }
@@ -261,6 +268,18 @@ impl TenantSpec {
                     self.structure_seed,
                 ),
             ),
+            // The Count-Min bank is deterministic given the structure
+            // seed, so every shard is identical and merge-compatible.
+            SummaryKind::Dyadic => DynSummary::new(
+                SummaryKind::Dyadic,
+                DyadicHh::count_min(
+                    self.eps,
+                    self.phi,
+                    self.delta,
+                    self.universe,
+                    self.structure_seed,
+                )?,
+            ),
         })
     }
 
@@ -279,7 +298,7 @@ impl TenantSpec {
 }
 
 /// The object-safe method set [`DynSummary`] erases to. Implemented by
-/// the private `Cell` wrapper for each of the eight kinds; not meant
+/// the private `Cell` wrapper for each of the nine kinds; not meant
 /// to be implemented outside this module.
 pub trait ErasedSummary: Send + Sync {
     /// Which implementation is behind the box.
@@ -301,6 +320,16 @@ pub trait ErasedSummary: Send + Sync {
     fn heap_bytes_dyn(&self) -> usize;
     /// [`SpaceUsage::model_bits`].
     fn model_bits_dyn(&self) -> u64;
+    /// [`DyadicHh::range_estimate`], for the kinds that answer range
+    /// queries; `None` from every point summary.
+    fn range_estimate_dyn(&self, _lo: u64, _hi: u64) -> Option<f64> {
+        None
+    }
+    /// [`DyadicHh::heavy_ranges`], for the kinds that answer prefix
+    /// queries; `None` from every point summary.
+    fn heavy_ranges_dyn(&self, _phi: f64) -> Option<Vec<HeavyRange>> {
+        None
+    }
 }
 
 /// A concrete summary paired with its kind tag.
@@ -310,11 +339,11 @@ struct Cell<S> {
 }
 
 /// The facade bound: everything the serving surface needs from a
-/// concrete summary. All eight kinds satisfy it; `report` is supplied
+/// concrete summary. All nine kinds satisfy it; `report` is supplied
 /// per-kind by the macro below because [`MisraGries`] exposes entries
 /// instead of implementing [`HeavyHitters`].
 macro_rules! erase {
-    ($ty:ty, $report:expr) => {
+    ($ty:ty, $report:expr $(, $extra:item)*) => {
         impl ErasedSummary for Cell<$ty> {
             fn kind(&self) -> SummaryKind {
                 self.kind
@@ -350,6 +379,7 @@ macro_rules! erase {
             fn model_bits_dyn(&self) -> u64 {
                 self.inner.model_bits()
             }
+            $($extra)*
         }
     };
 }
@@ -369,8 +399,18 @@ erase!(SpaceSaving, HeavyHitters::report);
 erase!(LossyCounting, HeavyHitters::report);
 erase!(CountMin, HeavyHitters::report);
 erase!(CountSketch, HeavyHitters::report);
+erase!(
+    DyadicHh<CountMin>,
+    HeavyHitters::report,
+    fn range_estimate_dyn(&self, lo: u64, hi: u64) -> Option<f64> {
+        Some(self.inner.range_estimate(lo, hi))
+    },
+    fn heavy_ranges_dyn(&self, phi: f64) -> Option<Vec<HeavyRange>> {
+        Some(self.inner.heavy_ranges(phi))
+    }
+);
 
-/// Any of the eight summary implementations behind one runtime type.
+/// Any of the nine summary implementations behind one runtime type.
 ///
 /// Implements the whole summary contract by delegation, so the shard
 /// runtime, frozen serving views, and the snapshot/checkpoint machinery
@@ -406,6 +446,18 @@ impl DynSummary {
         self.0.kind()
     }
 
+    /// Estimated mass of the inclusive id range `[lo, hi]`; `None`
+    /// unless the tenant runs the [`SummaryKind::Dyadic`] kind.
+    pub fn range_estimate(&self, lo: u64, hi: u64) -> Option<f64> {
+        self.0.range_estimate_dyn(lo, hi)
+    }
+
+    /// Heavy dyadic intervals at threshold `phi`; `None` unless the
+    /// tenant runs the [`SummaryKind::Dyadic`] kind.
+    pub fn heavy_ranges(&self, phi: f64) -> Option<Vec<HeavyRange>> {
+        self.0.heavy_ranges_dyn(phi)
+    }
+
     /// Restores whichever kind's snapshot tag `bytes` carries; tried in
     /// [`SummaryKind::ALL`] order.
     fn restore_any(bytes: &[u8]) -> Result<(Self, RestoreReport), SnapshotError> {
@@ -434,6 +486,8 @@ impl DynSummary {
                     SummaryKind::CountSketch => {
                         CountSketch::from_bytes_report(bytes).map(|(s, r)| (Self::new(kind, s), r))
                     }
+                    SummaryKind::Dyadic => DyadicHh::<CountMin>::from_bytes_report(bytes)
+                        .map(|(s, r)| (Self::new(kind, s), r)),
                 };
             match outcome {
                 Ok(restored) => return Ok(restored),

@@ -14,7 +14,7 @@
 //!   panic or an allocation sized from hostile bytes.
 //! * **Deadlines** ([`conn`]): idle/io/frame budgets on every
 //!   connection; slow-loris clients are reaped, stalls are bounded.
-//! * **Tenancy** ([`facade`], [`tenant`]): any of the eight
+//! * **Tenancy** ([`facade`], [`tenant`]): any of the nine
 //!   `MergeableSummary` implementations behind one object-safe
 //!   [`DynSummary`]; ingest rides `ShardRuntime` with quarantine-and-
 //!   shed failure handling, reads ride epoch-swapped `Frozen` views.
@@ -51,7 +51,7 @@ pub use client::Client;
 pub use conn::{ConnLimits, DeadlineConn, Transport};
 pub use facade::{DynSummary, SummaryKind, TenantSpec, MAX_SHARDS};
 pub use proto::{
-    read_frame, write_frame, ProtocolError, Request, Response, ServerHealth, MAX_BATCH,
+    read_frame, write_frame, ProtocolError, RangeEntry, Request, Response, ServerHealth, MAX_BATCH,
     MAX_FRAME_LEN, MAX_TENANT_NAME, REQUEST_TAG, RESPONSE_TAG,
 };
 pub use server::{Endpoint, Server, ServerConfig, ServerHandle};

@@ -284,7 +284,29 @@ pub enum Request {
     },
     /// Asks the server to drain, checkpoint, and exit.
     Shutdown,
+    /// Estimates the mass of an inclusive id range `[lo, hi]` from the
+    /// tenant's frozen serving view. Only tenants of the
+    /// [`SummaryKind::Dyadic`] kind can answer.
+    RangeQuery {
+        /// Target tenant.
+        tenant: String,
+        /// First id of the range (inclusive).
+        lo: u64,
+        /// Last id of the range (inclusive).
+        hi: u64,
+    },
+    /// Reads the tenant's heavy dyadic intervals (prefixes) at the
+    /// given threshold. Only [`SummaryKind::Dyadic`] tenants answer.
+    HeavyRanges {
+        /// Target tenant.
+        tenant: String,
+        /// Heaviness threshold as a fraction of the stream.
+        phi: f64,
+    },
 }
+
+/// One heavy dyadic interval on the wire: `(level, lo, hi, estimate)`.
+pub type RangeEntry = (u32, u64, u64, f64);
 
 /// A server response.
 #[derive(Debug, Clone, PartialEq)]
@@ -338,6 +360,21 @@ pub enum Response {
         code: u64,
         /// Human-readable description.
         message: String,
+    },
+    /// Reply to [`Request::RangeQuery`].
+    RangeEstimate {
+        /// Estimated range mass, in stream counts.
+        estimate: f64,
+        /// Serving-view epoch the estimate was read from.
+        epoch: u64,
+    },
+    /// Reply to [`Request::HeavyRanges`].
+    Ranges {
+        /// `(level, lo, hi, estimate)` per heavy dyadic interval,
+        /// level-major (coarsest first), then by lower endpoint.
+        entries: Vec<RangeEntry>,
+        /// Serving-view epoch the ranges were read from.
+        epoch: u64,
     },
 }
 
@@ -464,6 +501,17 @@ impl Serialize for Request {
                 s.write_str(tenant)?;
             }
             Self::Shutdown => s.write_u64(8)?,
+            Self::RangeQuery { tenant, lo, hi } => {
+                s.write_u64(9)?;
+                s.write_str(tenant)?;
+                s.write_u64(*lo)?;
+                s.write_u64(*hi)?;
+            }
+            Self::HeavyRanges { tenant, phi } => {
+                s.write_u64(10)?;
+                s.write_str(tenant)?;
+                s.write_f64(*phi)?;
+            }
         }
         s.done()
     }
@@ -521,6 +569,27 @@ impl<'de> Deserialize<'de> for Request {
                 tenant: read_tenant(&mut d)?,
             },
             8 => Self::Shutdown,
+            9 => {
+                let tenant = read_tenant(&mut d)?;
+                let lo = d.read_u64()?;
+                let hi = d.read_u64()?;
+                if lo > hi {
+                    return Err(de::Error::invariant(format!(
+                        "range lower bound {lo} above upper bound {hi}"
+                    )));
+                }
+                Self::RangeQuery { tenant, lo, hi }
+            }
+            10 => {
+                let tenant = read_tenant(&mut d)?;
+                let phi = d.read_f64()?;
+                if !(phi > 0.0 && phi <= 1.0) {
+                    return Err(de::Error::invariant(format!(
+                        "range threshold {phi} outside (0, 1]"
+                    )));
+                }
+                Self::HeavyRanges { tenant, phi }
+            }
             op => return Err(de::Error::invariant(format!("unknown request op {op}"))),
         })
     }
@@ -601,6 +670,22 @@ impl Serialize for Response {
                 s.write_u64(*code)?;
                 s.write_str(message)?;
             }
+            Self::RangeEstimate { estimate, epoch } => {
+                s.write_u64(11)?;
+                s.write_f64(*estimate)?;
+                s.write_u64(*epoch)?;
+            }
+            Self::Ranges { entries, epoch } => {
+                s.write_u64(12)?;
+                s.write_seq_len(entries.len())?;
+                for &(level, lo, hi, estimate) in entries {
+                    s.write_u64(u64::from(level))?;
+                    s.write_u64(lo)?;
+                    s.write_u64(hi)?;
+                    s.write_f64(estimate)?;
+                }
+                s.write_u64(*epoch)?;
+            }
         }
         s.done()
     }
@@ -645,6 +730,30 @@ impl<'de> Deserialize<'de> for Response {
             10 => Self::Recovered {
                 shards: d.read_u64()?,
             },
+            11 => Self::RangeEstimate {
+                estimate: d.read_f64()?,
+                epoch: d.read_u64()?,
+            },
+            12 => {
+                let n = d.read_seq_len()?;
+                let mut entries = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    let level = d.read_u64()?;
+                    if level > 64 {
+                        return Err(de::Error::invariant(format!(
+                            "dyadic level {level} above 64"
+                        )));
+                    }
+                    let lo = d.read_u64()?;
+                    let hi = d.read_u64()?;
+                    let estimate = d.read_f64()?;
+                    entries.push((level as u32, lo, hi, estimate));
+                }
+                Self::Ranges {
+                    entries,
+                    epoch: d.read_u64()?,
+                }
+            }
             op => return Err(de::Error::invariant(format!("unknown response op {op}"))),
         })
     }
@@ -758,6 +867,15 @@ mod tests {
                 tenant: "alpha".into(),
             },
             Request::Shutdown,
+            Request::RangeQuery {
+                tenant: "alpha".into(),
+                lo: 1 << 24,
+                hi: (1 << 25) - 1,
+            },
+            Request::HeavyRanges {
+                tenant: "alpha".into(),
+                phi: 0.05,
+            },
         ]
     }
 
@@ -786,6 +904,14 @@ mod tests {
             Response::Error {
                 code: 7,
                 message: "unknown tenant".into(),
+            },
+            Response::RangeEstimate {
+                estimate: 123.5,
+                epoch: 4,
+            },
+            Response::Ranges {
+                entries: vec![(8, 0, (1 << 24) - 1, 400.0), (32, 7, 7, 90.25)],
+                epoch: 4,
             },
         ]
     }

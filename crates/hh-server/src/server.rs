@@ -580,6 +580,18 @@ fn dispatch(shared: &Arc<Shared>, req: &Request) -> Result<Response, ProtocolErr
             let bytes = t.snapshot_merged()?.to_vec();
             Ok(Response::Snapshot { bytes })
         }
+        Request::RangeQuery { tenant, lo, hi } => {
+            let mut reg = lock_registry(shared);
+            let t = resident_tenant(shared, &mut reg, tenant)?;
+            let (estimate, epoch) = t.range_query(*lo, *hi)?;
+            Ok(Response::RangeEstimate { estimate, epoch })
+        }
+        Request::HeavyRanges { tenant, phi } => {
+            let mut reg = lock_registry(shared);
+            let t = resident_tenant(shared, &mut reg, tenant)?;
+            let (entries, epoch) = t.heavy_ranges(*phi)?;
+            Ok(Response::Ranges { entries, epoch })
+        }
         Request::Recover { tenant } => {
             let mut reg = lock_registry(shared);
             let t = resident_tenant(shared, &mut reg, tenant)?;
@@ -850,6 +862,57 @@ mod tests {
         let health = client.health().unwrap();
         assert_eq!(health.tenants, 1);
         assert!(health.quarantined.is_empty());
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn dyadic_tenant_serves_range_queries_over_the_wire() {
+        let (server, mut client, root) = start_tcp("ranges");
+        let dyadic = TenantSpec {
+            kind: SummaryKind::Dyadic,
+            shards: 2,
+            m: 100_000,
+            universe: 1 << 16,
+            ..TenantSpec::default()
+        };
+        client.create("net", dyadic).unwrap();
+        // Half the traffic lands in the block [0x4000, 0x7FFF].
+        let stream: Vec<u64> = (0..8_000u64)
+            .map(|i| {
+                if i % 2 == 0 {
+                    0x4000 + (i % 64)
+                } else {
+                    i % 0x4000
+                }
+            })
+            .collect();
+        client.ingest("net", 0, &stream[..4_000]).unwrap();
+        client.ingest("net", 1, &stream[4_000..]).unwrap();
+        let (estimate, epoch) = client.range_query("net", 0x4000, 0x7FFF).unwrap();
+        assert!(
+            (estimate - 4_000.0).abs() <= 0.05 * 8_000.0,
+            "block mass {estimate}"
+        );
+        let (ranges, epoch2) = client.heavy_ranges("net", 0.4).unwrap();
+        assert_eq!(epoch, epoch2, "quiescent reads share an epoch");
+        assert!(
+            ranges
+                .iter()
+                .any(|&(_, lo, hi, _)| lo <= 0x4000 && 0x7FFF <= hi),
+            "no reported range covers the planted block: {ranges:?}"
+        );
+        // A point-summary tenant refuses range ops with a structured error.
+        client.create("points", spec()).unwrap();
+        client.ingest("points", 0, &[5; 100]).unwrap();
+        assert!(matches!(
+            client.range_query("points", 0, 10).unwrap_err(),
+            ProtocolError::BadRequest(_)
+        ));
+        assert!(matches!(
+            client.heavy_ranges("points", 0.1).unwrap_err(),
+            ProtocolError::BadRequest(_)
+        ));
         server.shutdown();
         let _ = std::fs::remove_dir_all(&root);
     }

@@ -25,7 +25,7 @@
 //!   panic-interrupted state never reaches disk.
 
 use crate::facade::{DynSummary, TenantSpec};
-use crate::proto::ProtocolError;
+use crate::proto::{ProtocolError, RangeEntry};
 use bytes::Bytes;
 use hh_core::MergeableSummary;
 use hh_pipeline::{Backpressure, FailurePolicy, Frozen, IngestMode, ShardRuntime};
@@ -183,6 +183,38 @@ impl Tenant {
             .entries()
             .iter()
             .map(|e| (e.item, e.count))
+            .collect();
+        Ok((entries, self.epoch))
+    }
+
+    /// Estimates the mass of the inclusive id range `[lo, hi]` from
+    /// the serving view. Only dyadic tenants can answer; every other
+    /// kind refuses with [`ProtocolError::BadRequest`].
+    pub fn range_query(&mut self, lo: u64, hi: u64) -> Result<(f64, u64), ProtocolError> {
+        let view = self.view()?;
+        let estimate = view.summary().range_estimate(lo, hi).ok_or_else(|| {
+            ProtocolError::BadRequest(format!(
+                "kind {:?} does not answer range queries (only dyadic tenants do)",
+                self.spec.kind
+            ))
+        })?;
+        Ok((estimate, self.epoch))
+    }
+
+    /// Reads the heavy dyadic intervals at threshold `phi` from the
+    /// serving view, as `(level, lo, hi, estimate)` protocol entries.
+    /// Only dyadic tenants can answer.
+    pub fn heavy_ranges(&mut self, phi: f64) -> Result<(Vec<RangeEntry>, u64), ProtocolError> {
+        let view = self.view()?;
+        let ranges = view.summary().heavy_ranges(phi).ok_or_else(|| {
+            ProtocolError::BadRequest(format!(
+                "kind {:?} does not answer range queries (only dyadic tenants do)",
+                self.spec.kind
+            ))
+        })?;
+        let entries = ranges
+            .iter()
+            .map(|r| (r.level, r.lo, r.hi, r.count))
             .collect();
         Ok((entries, self.epoch))
     }

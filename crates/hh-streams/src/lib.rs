@@ -34,10 +34,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cidr;
 pub mod generators;
 pub mod oracle;
 pub mod zipf;
 
+pub use cidr::CidrZipf;
 pub use generators::{
     arrange, collect_stream, threshold_adversary, OrderPolicy, PlantedGenerator, UniformGenerator,
 };

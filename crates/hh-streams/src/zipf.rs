@@ -16,7 +16,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// Zipf(`a`) sampler over `[0, n)`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ZipfGenerator {
     n: u64,
     exponent: f64,

@@ -16,6 +16,17 @@ pub fn count_with_share(count: f64, m: u64) -> String {
     )
 }
 
+/// Formats the low 32 bits of `addr` as an IPv4 dotted quad.
+pub fn dotted_quad(addr: u64) -> String {
+    format!(
+        "{}.{}.{}.{}",
+        (addr >> 24) & 0xFF,
+        (addr >> 16) & 0xFF,
+        (addr >> 8) & 0xFF,
+        addr & 0xFF
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -25,5 +36,11 @@ mod tests {
         let s = count_with_share(250.0, 1000);
         assert!(s.contains("250"));
         assert!(s.contains("25.00%"));
+    }
+
+    #[test]
+    fn quad_formatting() {
+        assert_eq!(dotted_quad(0x0A00_0001), "10.0.0.1");
+        assert_eq!(dotted_quad(0xC0A8_0005), "192.168.0.5");
     }
 }

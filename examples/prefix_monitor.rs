@@ -1,0 +1,130 @@
+//! Hierarchical heavy hitters over an IPv4 packet stream — the
+//! network-telemetry scenario for the dyadic range machinery.
+//!
+//! ```text
+//! cargo run --release -p hh-examples --bin prefix_monitor
+//! ```
+//!
+//! A router sees packets, not prefixes: the operator wants to know which
+//! *address blocks* are hot — a data-center /8, a campus NAT /16, a
+//! scanner's /24 — without keeping 2³² counters or deciding the prefix
+//! lengths up front. The monitor keeps one small sketch per dyadic
+//! level; any CIDR block is at most two canonical nodes per level, so
+//! `range_estimate` answers arbitrary block queries in ≤ 2·32 point
+//! lookups, and `heavy_ranges` finds every hot prefix at every length
+//! at once by a top-down descent that only opens children of heavy
+//! parents.
+
+use hh_core::StreamSummary;
+use hh_dyadic::{DyadicHh, HeavyRange};
+use hh_examples::{banner, count_with_share, dotted_quad};
+use hh_space::SpaceUsage;
+use hh_streams::cidr::KEY_BITS;
+use hh_streams::{collect_stream, CidrZipf};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+/// CIDR rendering of a heavy dyadic node (`10.0.0.0/8` style).
+fn cidr(r: &HeavyRange) -> String {
+    format!("{}/{}", dotted_quad(r.lo), r.level)
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(0x1F);
+    let m: usize = 300_000;
+
+    banner("traffic model");
+    // Three planted blocks with exact marginal masses; hosts inside
+    // each block are Zipf(1.1), background is uniform outside them.
+    let planted: [(u64, u32, f64, &str); 3] = [
+        (10, 8, 0.30, "data-center (10.0.0.0/8)"),
+        (0xC0A8, 16, 0.18, "campus NAT (192.168.0.0/16)"),
+        (0xC00002, 24, 0.08, "scanner (192.0.2.0/24)"),
+    ];
+    for &(_, len, mass, label) in &planted {
+        println!("  /{len:<2} block  {:>4.0}%  {label}", mass * 100.0);
+    }
+    println!("  remaining mass: uniform background outside every block");
+    let mut source = CidrZipf::new(planted.iter().map(|&(v, l, p, _)| (v, l, p)).collect(), 1.1);
+
+    banner("monitor configuration");
+    // Report blocks above 5% of traffic; the per-level sketches split
+    // the 2% range-error budget across the 32 levels.
+    let (eps, phi, delta) = (0.02, 0.05, 0.01);
+    let mut monitor =
+        DyadicHh::count_min(eps, phi, delta, 1u64 << KEY_BITS, 0xDAD1C).expect("valid parameters");
+    println!("  (eps, phi, delta) = ({eps}, {phi}, {delta})");
+    println!("  {} dyadic levels over the IPv4 space", monitor.key_bits());
+
+    banner("processing packets");
+    let stream = collect_stream(&mut source, m, &mut rng);
+    monitor.insert_batch(&stream);
+    let exact = |lo: u64, hi: u64| stream.iter().filter(|&&a| lo <= a && a <= hi).count() as u64;
+    println!("  processed {m} packets");
+
+    banner("heavy-prefix forest (maximal leaves)");
+    // The full forest is downward-closed (ancestors of a heavy block
+    // are heavy by containment); the leaves — heavy nodes with no heavy
+    // child — are where the traffic stops concentrating, i.e. the
+    // narrowest prefixes still above phi.
+    let forest = monitor.heavy_ranges(phi);
+    let nodes: HashSet<(u32, u64)> = forest.iter().map(|r| (r.level, r.index)).collect();
+    for leaf in forest.iter().filter(|r| {
+        !nodes.contains(&(r.level + 1, r.index << 1))
+            && !nodes.contains(&(r.level + 1, (r.index << 1) | 1))
+    }) {
+        println!(
+            "  {:<20} {}",
+            cidr(leaf),
+            count_with_share(leaf.count, m as u64)
+        );
+    }
+    println!("  ({} nodes in the full forest)", forest.len());
+
+    banner("audit: planted blocks vs the forest");
+    let mut ok = true;
+    for &(value, len, mass, label) in &planted {
+        let found = nodes.contains(&(len, value));
+        println!(
+            "  {label:<28} mass {:>4.0}%: in forest = {found}",
+            mass * 100.0
+        );
+        ok &= found;
+    }
+    assert!(ok, "a planted block above phi was missed");
+
+    banner("range queries (<= 2 nodes per level each)");
+    // The planted blocks, the hot half of the data-center block, and a
+    // block nobody planted — estimates must track exact counts within
+    // eps * m = 2% of the stream.
+    let mut ranges: Vec<(u64, u64, &str)> = planted
+        .iter()
+        .map(|&(v, len, _, label)| {
+            let lo = v << (KEY_BITS - len);
+            (lo, lo + ((1u64 << (KEY_BITS - len)) - 1), label)
+        })
+        .collect();
+    ranges.push((0x0A00_0000, 0x0A00_FFFF, "hottest /16 of the data-center"));
+    ranges.push((0xAC10_0000, 0xAC1F_FFFF, "172.16.0.0/12 (nothing planted)"));
+    for (lo, hi, label) in ranges {
+        let est = monitor.range_estimate(lo, hi);
+        let truth = exact(lo, hi);
+        let err = (est - truth as f64).abs() / m as f64;
+        println!(
+            "  [{:>15} .. {:<15}] est {est:>9.0}  exact {truth:>7}  err {:>5.2}% of m  {label}",
+            dotted_quad(lo),
+            dotted_quad(hi),
+            err * 100.0
+        );
+        assert!(err <= eps, "range error above eps * m");
+    }
+
+    banner("space");
+    println!(
+        "  monitor state: {} model bits (~{:.1} KiB heap) vs 2^32 exact counters",
+        monitor.model_bits(),
+        monitor.heap_bytes() as f64 / 1024.0
+    );
+    println!("  all planted blocks recovered, all range errors within eps - OK");
+}

@@ -15,6 +15,9 @@
 #   serve_throughput    hh-server loopback TCP: ping RTT, wire ingest,
 #                       wire query (records _meta/serve_query_p50_ns,
 #                       _meta/serve_query_p99_ns)
+#   dyadic              hierarchical range-query bank: L-fold ingest,
+#                       warm/cold heavy-prefix descent, canonical range
+#                       decomposition, bank merge + snapshot
 #
 # Usage: scripts/bench.sh [output.json]   (default: BENCH_1.json)
 set -euo pipefail
@@ -34,7 +37,7 @@ case "${out}" in
 esac
 rm -f "${json}"
 
-for bench in update_time batch_update_time sharded_throughput thread_scaling query_time merge_serialize read_write_mix serve_throughput; do
+for bench in update_time batch_update_time sharded_throughput thread_scaling query_time merge_serialize read_write_mix serve_throughput dyadic; do
     CRITERION_JSON="${json}" cargo bench -p hh-bench --bench "${bench}"
 done
 

@@ -66,7 +66,9 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
     #[test]
-    fn all_eight_summaries_batch_equals_element_wise(
+    // The dyadic bank's batch ≡ scalar contract lives in prop_dyadic.rs
+    // (its levels need a folded key space to stay affordable here).
+    fn all_point_summaries_batch_equals_element_wise(
         seed in 0u64..1 << 32,
         chunk in 1usize..20_000,
     ) {

@@ -219,6 +219,46 @@ proptest! {
     }
 
     #[test]
+    fn dyadic_bank_merge_of_partitions_matches_single_stream(
+        seed in 0u64..1 << 32,
+        parts in 2usize..6,
+    ) {
+        // The ninth summary. The Count-Min bank is deterministic given
+        // its seed, so partition-and-merge is *exact*: estimates,
+        // range estimates, and the heavy forest all match the
+        // single-stream bank (prop_dyadic.rs covers the sampled bank
+        // and the dyadic-specific guarantees in depth).
+        let stream = workload(seed, false);
+        let mut banks =
+            hh_dyadic::seed_aligned_count_min(EPS, PHI, 0.05, 1 << 16, parts, seed ^ 0xA9)
+                .unwrap();
+        let chunks = random_partition(&stream, parts, seed ^ 0x9A);
+        for (b, chunk) in banks.iter_mut().zip(&chunks) {
+            // The planted workload's light tail lives at 9_000_000+;
+            // fold it into the 16-bit space the bank covers.
+            let folded: Vec<u64> = chunk.iter().map(|&x| x & 0xFFFF).collect();
+            b.insert_batch(&folded);
+        }
+        let mut merged = banks.remove(0);
+        for b in &banks {
+            merged.merge_from(b).expect("seed-aligned banks must merge");
+        }
+        let mut single =
+            hh_dyadic::DyadicHh::count_min(EPS, PHI, 0.05, 1 << 16, seed ^ 0xA9).unwrap();
+        let folded: Vec<u64> = stream.iter().map(|&x| x & 0xFFFF).collect();
+        single.insert_batch(&folded);
+        for probe in [7u64, 8, 55, 12345] {
+            prop_assert_eq!(merged.estimate(probe), single.estimate(probe));
+        }
+        prop_assert_eq!(merged.heavy_ranges(PHI), single.heavy_ranges(PHI));
+        prop_assert_eq!(
+            merged.range_estimate(0, 63).to_bits(),
+            single.range_estimate(0, 63).to_bits()
+        );
+        assert_snapshot_identity(&merged, &[7, 8, 55]);
+    }
+
+    #[test]
     fn misra_gries_table_merge_keeps_classic_bound(
         seed in 0u64..1 << 32,
         parts in 2usize..8,

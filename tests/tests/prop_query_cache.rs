@@ -2,7 +2,8 @@
 //! `report()` / `estimate()` results must be **bit-identical** to a
 //! freshly rebuilt summary across randomly interleaved
 //! insert / batch-insert / merge / snapshot-restore / query sequences,
-//! for all eight implementations.
+//! for all nine implementations (the dyadic banks cache the heavy
+//! forest on top of the usual report path).
 //!
 //! The cold rebuild comes for free from the cache design: `Clone`
 //! produces a summary with a cold read cache (the cache holds derived
@@ -21,6 +22,7 @@ use hh_core::{
     FrequencyEstimator, HeavyHitters, HhParams, MergeableSummary, OptimalListHh, SimpleListHh,
     StreamSummary,
 };
+use hh_dyadic::DyadicHh;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -217,6 +219,26 @@ proptest! {
     }
 
     #[test]
+    fn dyadic_banks_cache_coherent_under_interleaving(
+        seed in 0u64..1 << 32,
+        ops in 20usize..40,
+    ) {
+        drive_mergeable(
+            |_| DyadicHh::count_min(EPS, PHI, 0.05, 1 << 16, seed ^ 0xE6).unwrap(),
+            seed,
+            ops,
+            "dyadic-cm",
+        );
+        let params = HhParams::with_delta(EPS, PHI, 0.1).unwrap();
+        drive_mergeable(
+            |j| DyadicHh::optimal(params, 1 << 16, M, seed ^ 0xE7, 300 + j as u64).unwrap(),
+            seed,
+            ops,
+            "dyadic-algo2",
+        );
+    }
+
+    #[test]
     fn sticky_sampling_cache_coherent_under_interleaving(
         seed in 0u64..1 << 32,
         ops in 20usize..60,
@@ -228,6 +250,52 @@ proptest! {
             "sticky",
         );
     }
+}
+
+/// The dyadic-specific cached path: `heavy_ranges(φ)` at the
+/// configured threshold is memoized, so after every mutation kind the
+/// warm forest must equal a cold clone's.
+#[test]
+fn warm_heavy_forest_sees_every_mutation_kind() {
+    let mut bank = DyadicHh::count_min(0.05, 0.2, 0.05, 1 << 16, 77).unwrap();
+    bank.insert_batch(&vec![0x4242u64; 500]);
+    let warm = bank.heavy_ranges(0.2);
+    assert_eq!(warm, bank.clone().heavy_ranges(0.2));
+    assert!(warm.iter().any(|r| r.level == 16 && r.index == 0x4242));
+
+    // Scalar inserts shift the heavy set to a different leaf entirely.
+    for _ in 0..2_000 {
+        bank.insert(0x1111);
+    }
+    let after = bank.heavy_ranges(0.2);
+    assert_eq!(
+        after,
+        bank.clone().heavy_ranges(0.2),
+        "stale forest after inserts"
+    );
+    assert!(after.iter().any(|r| r.level == 16 && r.index == 0x1111));
+
+    // Merge: the donor's mass must appear in the warm forest.
+    let mut donor = DyadicHh::count_min(0.05, 0.2, 0.05, 1 << 16, 77).unwrap();
+    donor.insert_batch(&vec![0x9999u64; 4_000]);
+    bank.merge_from(&donor).unwrap();
+    let merged = bank.heavy_ranges(0.2);
+    assert_eq!(
+        merged,
+        bank.clone().heavy_ranges(0.2),
+        "stale forest after merge"
+    );
+    assert!(merged.iter().any(|r| r.level == 16 && r.index == 0x9999));
+
+    // Restore-then-continue starts cold and keeps tracking.
+    let mut r = DyadicHh::<CountMin>::from_bytes(&bank.to_bytes()).unwrap();
+    assert_eq!(r.heavy_ranges(0.2), merged);
+    r.insert_batch(&vec![0x7777u64; 20_000]);
+    assert_eq!(
+        r.heavy_ranges(0.2),
+        r.clone().heavy_ranges(0.2),
+        "stale forest after restore-then-continue"
+    );
 }
 
 /// A directed regression for the exact failure mode a missing

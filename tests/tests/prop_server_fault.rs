@@ -352,6 +352,89 @@ fn kill_loses_at_most_the_uncheckpointed_window() {
 }
 
 #[test]
+fn fuzzed_range_requests_never_kill_a_dyadic_tenant() {
+    // The ninth kind as the canary: a dyadic tenant keeps serving
+    // range queries while its own RangeQuery/HeavyRanges frames are
+    // corrupted, and a kill/restart cycle preserves the checkpointed
+    // heavy forest.
+    let (server, root) = start_tcp("dyadic-fuzz");
+    let mut client = Client::connect_tcp(server.local_addr().unwrap()).unwrap();
+    let dyadic = TenantSpec {
+        kind: SummaryKind::Dyadic,
+        shards: 1,
+        m: 100_000,
+        universe: 1 << 16,
+        ..TenantSpec::default()
+    };
+    client.create("net", dyadic).unwrap();
+    let stream: Vec<u64> = (0..6_000u64)
+        .map(|i| {
+            if i % 2 == 0 {
+                0xAB00 + (i % 256)
+            } else {
+                i % 0x4000
+            }
+        })
+        .collect();
+    client.ingest("net", 0, &stream).unwrap();
+
+    let valid = Request::RangeQuery {
+        tenant: "net".to_string(),
+        lo: 0xAB00,
+        hi: 0xABFF,
+    }
+    .encode();
+    for cut in corrupt::truncations(&valid) {
+        match exchange(&server, cut) {
+            Some(Response::Error { .. }) | None => {}
+            Some(other) => panic!("truncated range request answered {other:?}"),
+        }
+    }
+    for flipped in corrupt::bit_flips(&valid, 0x00D1_AD1C, 128) {
+        let _ = exchange(&server, &flipped);
+    }
+    let heavy = Request::HeavyRanges {
+        tenant: "net".to_string(),
+        phi: 0.25,
+    }
+    .encode();
+    for flipped in corrupt::bit_flips(&heavy, 0x00D1_AD1D, 128) {
+        let _ = exchange(&server, &flipped);
+    }
+
+    // The tenant answered none of that damage with corrupted state.
+    let (estimate, _) = client.range_query("net", 0xAB00, 0xABFF).unwrap();
+    assert!(
+        (estimate - 3_000.0).abs() <= 0.05 * 6_000.0,
+        "block mass {estimate} after fuzzing"
+    );
+    client.checkpoint().unwrap();
+    server.kill();
+
+    let server = Server::start(
+        ServerConfig::fast(&root),
+        Endpoint::Tcp("127.0.0.1:0".parse().unwrap()),
+    )
+    .unwrap();
+    let mut client = Client::connect_tcp(server.local_addr().unwrap()).unwrap();
+    let (restored, _) = client.range_query("net", 0xAB00, 0xABFF).unwrap();
+    assert_eq!(
+        estimate.to_bits(),
+        restored.to_bits(),
+        "checkpointed range estimate must survive a kill bit-for-bit"
+    );
+    let (ranges, _) = client.heavy_ranges("net", 0.25).unwrap();
+    assert!(
+        ranges
+            .iter()
+            .any(|&(_, lo, hi, _)| lo <= 0xAB00 && 0xABFF <= hi),
+        "heavy forest lost across recovery: {ranges:?}"
+    );
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
 fn unix_domain_socket_smoke() {
     let root = tmp_root("uds");
     std::fs::create_dir_all(&root).unwrap();

@@ -23,6 +23,7 @@ use hh_baselines::{
 };
 use hh_core::{FrequencyEstimator, HeavyHitters, HhParams, OptimalListHh, SimpleListHh};
 use hh_core::{Report, StreamSummary};
+use hh_dyadic::DyadicHh;
 use hh_pipeline::{IngestMode, ShardRuntime};
 use hh_streams::{collect_stream, ZipfGenerator};
 use proptest::prelude::*;
@@ -119,7 +120,7 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
     #[test]
-    fn all_eight_summaries_parallel_equals_sequential(
+    fn all_point_summaries_parallel_equals_sequential(
         seed in 0u64..1 << 32,
         shards in 1usize..5,
         batch in 1usize..8192,
@@ -158,6 +159,34 @@ proptest! {
         );
         assert_modes_agree(
             || CountSketch::new(EPS, PHI, DELTA, N, seed),
+            &stream, shards, batch, flush_every, &probes,
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    #[test]
+    fn dyadic_banks_parallel_equals_sequential(
+        seed in 0u64..1 << 32,
+        shards in 1usize..4,
+        batch in 1usize..4096,
+        flush_every in 0usize..6,
+    ) {
+        // The ninth summary, folded into a 16-bit key space so the
+        // 16-level banks stay affordable at proptest scale. Coarser ε
+        // than the point summaries: the bank splits it across levels.
+        let (stream, probes) = workload(seed);
+        let stream: Vec<u64> = stream.iter().map(|&x| x & 0xFFFF).collect();
+        let probes: Vec<u64> = probes.iter().map(|&x| x & 0xFFFF).collect();
+        assert_modes_agree(
+            || DyadicHh::count_min(0.1, PHI, DELTA, 1 << 16, seed).unwrap(),
+            &stream, shards, batch, flush_every, &probes,
+        );
+        let params = HhParams::with_delta(0.1, PHI, DELTA).unwrap();
+        assert_modes_agree(
+            || DyadicHh::optimal(params, 1 << 16, M as u64, seed, seed ^ 1).unwrap(),
             &stream, shards, batch, flush_every, &probes,
         );
     }

@@ -1,7 +1,7 @@
 //! Fault-injection suite for the snapshot codec (PR 7): every
 //! [`MergeableSummary`] in the workspace is driven through the
 //! `hh-faults` byte-level corruptors, and the contract is the same for
-//! all eight —
+//! all nine —
 //!
 //! 1. **truncation at every offset** returns a structured `Err`, never
 //!    a panic, for both the current (checksummed) and legacy
@@ -140,6 +140,57 @@ fn assault<S: MergeableSummary>(summary: &S, tag: &str, legacy_tag: &str, foreig
     );
 }
 
+/// The dyadic variant of the assault: `hh.dyadic.v1` is a first-format
+/// tag (no legacy twin exists), so the checksum-less lanes drop out and
+/// every corruption class must be rejected outright.
+fn assault_first_format<S: MergeableSummary>(summary: &S, tag: &str, foreign_tag: &str) {
+    let buf = summary.to_bytes();
+
+    let (restored, report) = S::from_bytes_report(&buf).expect("clean buffer restores");
+    assert!(report.checksum_verified, "{tag}: checksum must verify");
+    assert!(!report.legacy_format, "{tag}: current format");
+    assert_eq!(
+        restored.to_bytes(),
+        buf,
+        "{tag}: restore → snapshot must be bit-identical"
+    );
+
+    for t in corrupt::truncations(&buf) {
+        assert!(
+            S::from_bytes(t).is_err(),
+            "{tag}: truncation to {} bytes must fail",
+            t.len()
+        );
+    }
+
+    for bad in corrupt::bit_flips(&buf, 0xF1A7, 200) {
+        assert!(
+            S::from_bytes(&bad).is_err(),
+            "{tag}: checksummed buffer must reject any bit flip"
+        );
+    }
+
+    for bad in corrupt::inflate_length_prefixes(&buf) {
+        assert!(
+            S::from_bytes(&bad).is_err(),
+            "{tag}: inflated prefix must fail the checksum"
+        );
+    }
+    for mut bad in corrupt::inflate_length_prefixes(&buf) {
+        forge_checksum(&mut bad);
+        let _ = S::from_bytes(&bad); // must not panic nor over-allocate
+    }
+
+    let foreign = corrupt::swap_tag(&buf, tag, foreign_tag).expect("tag present");
+    assert!(
+        matches!(
+            S::from_bytes(&foreign),
+            Err(SnapshotError::WrongTag { .. }) | Err(SnapshotError::ChecksumMismatch)
+        ),
+        "{tag}: foreign tag must be refused"
+    );
+}
+
 #[test]
 fn algo1_snapshot_survives_the_assault() {
     let params = HhParams::new(EPS, PHI).unwrap();
@@ -224,6 +275,26 @@ fn space_saving_snapshot_survives_the_assault() {
         "hh.baseline.space-saving.v2",
         "hh.baseline.lossy-counting.v2",
     );
+}
+
+#[test]
+fn dyadic_bank_snapshot_survives_the_assault() {
+    // Two banks through the first-format assault. Coarse parameters
+    // and a small key space keep the buffers in the tens of kilobytes
+    // (the truncation sweep is quadratic in snapshot size): a Count-Min
+    // bank over 4 levels, and a Misra–Gries bank through the generic
+    // level builder — the corruption contract is per-wire-image, so
+    // any inner type must behave identically.
+    let mut cm = hh_dyadic::DyadicHh::count_min(0.3, 0.4, 0.2, 1 << 4, 31).unwrap();
+    cm.insert_batch(&workload(9).iter().map(|x| x & 0xF).collect::<Vec<_>>());
+    assault_first_format(&cm, "hh.dyadic.v1", "hh.algo1.v3");
+
+    let mut mg = hh_dyadic::DyadicHh::with_level_builder(0.2, 0.3, 1 << 8, |_, u_k| {
+        Ok(MisraGriesBaseline::new(0.2, 0.3, u_k))
+    })
+    .unwrap();
+    mg.insert_batch(&workload(10).iter().map(|x| x & 0xFF).collect::<Vec<_>>());
+    assault_first_format(&mg, "hh.dyadic.v1", "hh.baseline.count-min.v2");
 }
 
 /// Structurally incompatible summaries smuggled through snapshots must
