@@ -21,6 +21,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use hh_server::client::Client;
+use hh_server::durability::Durability;
 use hh_server::facade::{SummaryKind, TenantSpec};
 use hh_server::server::{Endpoint, Server, ServerConfig};
 use std::hint::black_box;
@@ -37,6 +38,10 @@ fn serving_pair() -> (Server, Client, std::path::PathBuf) {
     let _ = std::fs::remove_dir_all(&root);
     let mut config = ServerConfig::new(&root);
     config.checkpoint_every = Duration::from_secs(3_600);
+    // This group's trajectory predates the write-ahead log; it keeps
+    // measuring the bare serving path. The WAL's ingest tax has its own
+    // gated group (`wal/serve_ingest_wal`, benches/wal.rs).
+    config.durability = Durability::CheckpointOnly;
     let server = Server::start(config, Endpoint::Tcp("127.0.0.1:0".parse().unwrap()))
         .expect("bind loopback");
     let mut client = Client::connect_tcp(server.local_addr().unwrap()).expect("connect");

@@ -305,7 +305,7 @@ const SUB_FLOOR_MAX_RATIO: f64 = 3.0;
 
 /// Groups the gate refuses to lose: if one of these exists in the old
 /// record, the new record must still measure it (see module docs).
-const GATED_GROUPS: [&str; 11] = [
+const GATED_GROUPS: [&str; 12] = [
     "update_time",
     "batch_update_time",
     "sharded_throughput",
@@ -317,6 +317,7 @@ const GATED_GROUPS: [&str; 11] = [
     "mixed_read_write",
     "serve_throughput",
     "dyadic",
+    "wal",
 ];
 
 /// Groups whose ratios measure shard scaling and therefore only compare

@@ -1,0 +1,281 @@
+//! Disk fault injection: a file wrapper that loses power on a
+//! deterministic schedule.
+//!
+//! [`FaultyFile`] wraps a [`std::fs::File`] opened for append and
+//! injects the storage-level faults a durable log must survive, each
+//! keyed to a **cumulative byte offset** (mirroring
+//! [`crate::net::FaultyConn`]) so a test names the exact failure point
+//! and replays it forever:
+//!
+//! * **partial writes** — [`FaultyFile::chunk`] caps every write call
+//!   at `n` bytes, exposing short-write handling;
+//! * **kill mid-write** — [`FaultyFile::kill_after`] fails every write
+//!   once the offset is reached, leaving a torn tail exactly there;
+//! * **bit rot** — [`FaultyFile::flip_at`] XORs the byte at an offset
+//!   as it lands, so checksummed records must catch it;
+//! * **lying fsync** — [`FaultyFile::drop_syncs`] makes
+//!   [`FaultyFile::sync`] report success without making anything
+//!   durable, the classic misbehaving-disk scenario.
+//!
+//! The wrapper tracks two watermarks: [`FaultyFile::written`] (bytes
+//! the process handed to the OS) and [`FaultyFile::durable`] (bytes an
+//! honored sync has committed). [`FaultyFile::power_cut`] is the
+//! oracle's guillotine: it truncates the file back to the durable
+//! watermark, producing exactly the byte prefix a real power loss
+//! guarantees — everything fsynced, nothing after. Tests append, cut,
+//! and then assert replay equals the durable prefix.
+//!
+//! Like everything in this crate the schedule is pure state, no
+//! randomness: the same plan over the same appends produces the same
+//! file bytes.
+
+use std::fs::File;
+use std::io::Write;
+
+/// The deterministic fault schedule; see the module docs.
+#[derive(Debug, Clone, Default)]
+struct Plan {
+    /// Max bytes per write call.
+    chunk: Option<usize>,
+    /// Fail every write once this many bytes have been written.
+    kill_after: Option<usize>,
+    /// `(write offset, xor mask)` pairs applied as bytes land.
+    flips: Vec<(usize, u8)>,
+    /// Report sync success without committing anything.
+    drop_syncs: bool,
+}
+
+/// An append-mode file wrapped in a power-loss fault schedule.
+#[derive(Debug)]
+pub struct FaultyFile {
+    inner: File,
+    plan: Plan,
+    /// File length when wrapped; faults key on offsets past this.
+    base_len: u64,
+    /// Cumulative bytes written through the wrapper.
+    written: usize,
+    /// Bytes of `written` covered by an honored sync.
+    durable: usize,
+    killed: bool,
+}
+
+impl FaultyFile {
+    /// Wraps `inner` (opened for append) with an empty schedule.
+    /// Everything already in the file counts as durable.
+    ///
+    /// # Errors
+    /// If the file's current length cannot be read.
+    pub fn new(inner: File) -> std::io::Result<Self> {
+        let base_len = inner.metadata()?.len();
+        Ok(Self {
+            inner,
+            plan: Plan::default(),
+            base_len,
+            written: 0,
+            durable: 0,
+            killed: false,
+        })
+    }
+
+    /// Caps every write call at `n` bytes.
+    #[must_use]
+    pub fn chunk(mut self, n: usize) -> Self {
+        assert!(n >= 1, "a zero-byte chunk would stall forever");
+        self.plan.chunk = Some(n);
+        self
+    }
+
+    /// Fails every write once `offset` bytes have been written — the
+    /// process dies mid-append with a torn tail exactly there.
+    #[must_use]
+    pub fn kill_after(mut self, offset: usize) -> Self {
+        self.plan.kill_after = Some(offset);
+        self
+    }
+
+    /// XORs the byte at write-offset `offset` with `mask` as it lands
+    /// on disk.
+    #[must_use]
+    pub fn flip_at(mut self, offset: usize, mask: u8) -> Self {
+        self.plan.flips.push((offset, mask));
+        self
+    }
+
+    /// Makes [`FaultyFile::sync`] report success without committing —
+    /// the durable watermark stops advancing.
+    #[must_use]
+    pub fn drop_syncs(mut self) -> Self {
+        self.plan.drop_syncs = true;
+        self
+    }
+
+    /// Bytes written through the wrapper so far.
+    pub fn written(&self) -> usize {
+        self.written
+    }
+
+    /// Bytes of [`FaultyFile::written`] an honored sync has committed —
+    /// what survives [`FaultyFile::power_cut`].
+    pub fn durable(&self) -> usize {
+        self.durable
+    }
+
+    /// The wrapped file.
+    pub fn get_ref(&self) -> &File {
+        &self.inner
+    }
+
+    /// Fsyncs the file and advances the durable watermark — unless the
+    /// schedule says the disk lies ([`FaultyFile::drop_syncs`]), in
+    /// which case this succeeds and commits nothing.
+    ///
+    /// # Errors
+    /// If the honored fsync fails.
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        if self.plan.drop_syncs {
+            return Ok(());
+        }
+        self.inner.sync_data()?;
+        self.durable = self.written;
+        Ok(())
+    }
+
+    /// Simulates power loss: truncates the file to the durable
+    /// watermark (base content plus every honored-synced byte) and
+    /// returns the surviving length. What a scan of the file finds
+    /// afterwards is exactly what a real crash would leave.
+    ///
+    /// # Errors
+    /// If the truncation fails.
+    pub fn power_cut(self) -> std::io::Result<u64> {
+        let survives = self.base_len + self.durable as u64;
+        self.inner.set_len(survives)?;
+        self.inner.sync_data()?;
+        Ok(survives)
+    }
+}
+
+impl Write for FaultyFile {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        if self.killed {
+            return Err(std::io::ErrorKind::Other.into());
+        }
+        if let Some(at) = self.plan.kill_after {
+            if self.written >= at {
+                self.killed = true;
+                return Err(std::io::ErrorKind::Other.into());
+            }
+        }
+        // Bound this call so the kill lands exactly on a call boundary
+        // (a partial write up to the kill offset, then the failure).
+        let mut n = buf.len().min(self.plan.chunk.unwrap_or(buf.len()));
+        if let Some(at) = self.plan.kill_after {
+            n = n.min(at - self.written);
+        }
+        let mut chunk = buf[..n].to_vec();
+        for &(at, mask) in &self.plan.flips {
+            if (self.written..self.written + n).contains(&at) {
+                chunk[at - self.written] ^= mask;
+            }
+        }
+        let sent = self.inner.write(&chunk)?;
+        self.written += sent;
+        Ok(sent)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn scratch(tag: &str) -> (File, PathBuf) {
+        let path =
+            std::env::temp_dir().join(format!("hh-faults-disk-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let f = std::fs::OpenOptions::new()
+            .create_new(true)
+            .append(true)
+            .open(&path)
+            .unwrap();
+        (f, path)
+    }
+
+    #[test]
+    fn unsynced_bytes_vanish_at_the_power_cut() {
+        let (f, path) = scratch("unsynced");
+        let mut file = FaultyFile::new(f).unwrap();
+        file.write_all(b"durable").unwrap();
+        file.sync().unwrap();
+        file.write_all(b" and lost").unwrap();
+        assert_eq!(file.written(), 16);
+        assert_eq!(file.durable(), 7);
+        let survives = file.power_cut().unwrap();
+        assert_eq!(survives, 7);
+        assert_eq!(std::fs::read(&path).unwrap(), b"durable");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn kill_tears_exactly_at_the_offset() {
+        let (f, path) = scratch("kill");
+        let mut file = FaultyFile::new(f).unwrap().kill_after(5);
+        let err = file.write_all(&[7u8; 64]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::Other);
+        assert_eq!(file.written(), 5);
+        assert_eq!(std::fs::read(&path).unwrap(), vec![7u8; 5]);
+        // The kill latches: later writes keep failing.
+        assert!(file.write_all(b"again").is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn flips_land_on_exactly_the_scheduled_byte() {
+        let (f, path) = scratch("flip");
+        let mut file = FaultyFile::new(f).unwrap().chunk(3).flip_at(4, 0xFF);
+        file.write_all(&[0u8; 8]).unwrap();
+        file.sync().unwrap();
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            vec![0, 0, 0, 0, 0xFF, 0, 0, 0]
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn a_lying_disk_commits_nothing() {
+        let (f, path) = scratch("liar");
+        let mut file = FaultyFile::new(f).unwrap().drop_syncs();
+        file.write_all(b"acked but gone").unwrap();
+        file.sync().unwrap();
+        assert_eq!(file.durable(), 0);
+        let survives = file.power_cut().unwrap();
+        assert_eq!(survives, 0);
+        assert!(std::fs::read(&path).unwrap().is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn preexisting_content_is_always_durable() {
+        let (f, path) = scratch("base");
+        drop(f);
+        std::fs::write(&path, b"seeded").unwrap();
+        let f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        let mut file = FaultyFile::new(f).unwrap();
+        file.write_all(b" + tail").unwrap();
+        let survives = file.power_cut().unwrap();
+        assert_eq!(survives, 6);
+        assert_eq!(std::fs::read(&path).unwrap(), b"seeded");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -16,6 +16,11 @@
 //!   wrapper that trickles partial I/O, stalls past deadlines, severs
 //!   the connection mid-frame, and corrupts bytes in flight, all keyed
 //!   to exact byte offsets so every failure point replays.
+//! * [`disk`] — power-loss faults for the write-ahead log: an
+//!   append-file wrapper that tracks a durable (fsynced) watermark,
+//!   tears writes at exact offsets, rots committed bytes, lies about
+//!   fsync, and can cut power — truncating to exactly what a real
+//!   crash would leave.
 //!
 //! The crate is a *testkit*: it lives below `tests/` and `benches/` in
 //! the dependency graph on purpose, so integration suites and benches
@@ -23,9 +28,11 @@
 //! corruption loops.
 
 pub mod corrupt;
+pub mod disk;
 pub mod net;
 pub mod runtime;
 
 pub use corrupt::{bit_flips, flip_bit, inflate_length_prefixes, swap_tag, truncations};
+pub use disk::FaultyFile;
 pub use net::{FaultyConn, Sever};
 pub use runtime::{FaultSwitch, FaultySummary};

@@ -9,17 +9,86 @@
 //! received where the operation expected success becomes
 //! [`ProtocolError::Overloaded`], keeping backoff handling in one
 //! `match` arm.
+//!
+//! # Exactly-once retries
+//!
+//! Every client carries a process-unique identity and numbers its
+//! ingest requests. A transport failure after the request left is
+//! ambiguous — the server may or may not have applied the batch — so
+//! [`Client::ingest_reliable`] reconnects and resends under the **same**
+//! request number: the server's dedup table replays the original ack if
+//! the batch landed, applies it if it did not, and either way the batch
+//! counts exactly once. Overload is honored too (the server's
+//! `RetryAfter` hint), with jittered exponential backoff between
+//! attempts so a thundering herd of retriers spreads out.
 
 use crate::conn::{ConnLimits, DeadlineConn, Transport};
 use crate::facade::TenantSpec;
 use crate::proto::{ProtocolError, RangeEntry, Request, Response, ServerHealth};
 use std::net::{SocketAddr, TcpStream};
 use std::os::unix::net::UnixStream;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Per-process client counter; mixed with the pid into client ids.
+static NEXT_CLIENT: AtomicU64 = AtomicU64::new(1);
+
+/// SplitMix64 finalizer: one invertible shuffle, so distinct
+/// `(pid, counter)` pairs become well-spread nonzero ids.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn fresh_client_id() -> u64 {
+    let n = NEXT_CLIENT.fetch_add(1, Ordering::Relaxed);
+    let id = mix64((u64::from(std::process::id()) << 32) | n);
+    // Id 0 is the anonymous (never-deduplicated) client on the wire.
+    id.max(1)
+}
+
+/// How [`Client::ingest_reliable`] paces itself.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included).
+    pub attempts: u32,
+    /// Backoff before the second attempt; doubles each retry.
+    pub base: Duration,
+    /// Backoff ceiling.
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            attempts: 8,
+            base: Duration::from_millis(10),
+            cap: Duration::from_secs(1),
+        }
+    }
+}
+
+/// How to re-establish the transport after a failure.
+enum Remote {
+    Tcp(SocketAddr),
+    Uds(PathBuf),
+    /// Handed a raw transport; reconnect is impossible.
+    Opaque,
+}
 
 /// A connected protocol client.
 pub struct Client {
     conn: DeadlineConn<Box<dyn Transport>>,
+    limits: ConnLimits,
+    remote: Remote,
+    /// Process-unique identity for server-side exactly-once dedup.
+    client_id: u64,
+    /// Next ingest request number (fresh per logical batch, reused
+    /// across retries of the same batch).
+    next_req_seq: u64,
 }
 
 impl Client {
@@ -32,23 +101,55 @@ impl Client {
     pub fn connect_tcp_with(addr: SocketAddr, limits: ConnLimits) -> Result<Self, ProtocolError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(Self::from_transport(Box::new(stream), limits))
+        let mut c = Self::from_transport(Box::new(stream), limits);
+        c.remote = Remote::Tcp(addr);
+        Ok(c)
     }
 
     /// Connects over a Unix domain socket with default deadlines.
     pub fn connect_uds(path: impl AsRef<Path>) -> Result<Self, ProtocolError> {
-        let stream = UnixStream::connect(path)?;
-        Ok(Self::from_transport(
-            Box::new(stream),
-            ConnLimits::default(),
-        ))
+        let stream = UnixStream::connect(&path)?;
+        let mut c = Self::from_transport(Box::new(stream), ConnLimits::default());
+        c.remote = Remote::Uds(path.as_ref().to_path_buf());
+        Ok(c)
     }
 
-    /// Wraps an already-connected transport.
+    /// Wraps an already-connected transport (no reconnect support —
+    /// [`Client::ingest_reliable`] still retries over the live
+    /// connection).
     pub fn from_transport(transport: Box<dyn Transport>, limits: ConnLimits) -> Self {
         Self {
             conn: DeadlineConn::new(transport, limits),
+            limits,
+            remote: Remote::Opaque,
+            client_id: fresh_client_id(),
+            next_req_seq: 1,
         }
+    }
+
+    /// This client's identity as the server's dedup table sees it.
+    pub fn client_id(&self) -> u64 {
+        self.client_id
+    }
+
+    /// Re-establishes the transport to the remembered endpoint.
+    fn reconnect(&mut self) -> Result<(), ProtocolError> {
+        let transport: Box<dyn Transport> = match &self.remote {
+            Remote::Tcp(addr) => {
+                let stream = TcpStream::connect(addr)?;
+                stream.set_nodelay(true)?;
+                Box::new(stream)
+            }
+            Remote::Uds(path) => Box::new(UnixStream::connect(path)?),
+            Remote::Opaque => {
+                return Err(ProtocolError::Io(
+                    std::io::ErrorKind::NotConnected,
+                    "client has no endpoint to reconnect to".to_string(),
+                ))
+            }
+        };
+        self.conn = DeadlineConn::new(transport, self.limits);
+        Ok(())
     }
 
     /// One request/response exchange. `Error` responses become `Err`;
@@ -107,22 +208,96 @@ impl Client {
 
     /// Ingests a batch into one shard; returns items accepted.
     /// Overload comes back as [`ProtocolError::Overloaded`] with the
-    /// server's backoff hint.
+    /// server's backoff hint. The request is numbered (so a later
+    /// manual resend under [`Client::ingest_reliable`] semantics is
+    /// possible) but *not* retried here.
     pub fn ingest(
         &mut self,
         tenant: &str,
         shard: u32,
         items: &[u64],
     ) -> Result<u64, ProtocolError> {
+        let req_seq = self.next_req_seq;
+        self.next_req_seq += 1;
+        self.ingest_with_seq(tenant, shard, req_seq, items)
+    }
+
+    /// One wire exchange under an explicit request number.
+    fn ingest_with_seq(
+        &mut self,
+        tenant: &str,
+        shard: u32,
+        req_seq: u64,
+        items: &[u64],
+    ) -> Result<u64, ProtocolError> {
         let req = Request::Ingest {
             tenant: tenant.to_string(),
             shard,
+            client: self.client_id,
+            req_seq,
             items: items.to_vec(),
         };
         match self.call_expecting(&req)? {
             Response::Ingested { accepted } => Ok(accepted),
             _ => Err(ProtocolError::UnexpectedResponse("ingest wanted Ingested")),
         }
+    }
+
+    /// Ingests with reconnect-and-retry: transport failures
+    /// (connection severed, truncation, missed deadline) reconnect and
+    /// resend under the **same** request number, so the server's dedup
+    /// applies the batch exactly once no matter where the first attempt
+    /// died; overload honors the server's backoff hint. Backoff between
+    /// attempts is exponential with deterministic jitter. Every other
+    /// error is definitive and returned immediately.
+    pub fn ingest_reliable(
+        &mut self,
+        tenant: &str,
+        shard: u32,
+        items: &[u64],
+        policy: &RetryPolicy,
+    ) -> Result<u64, ProtocolError> {
+        let req_seq = self.next_req_seq;
+        self.next_req_seq += 1;
+        // Deterministic jitter stream, de-correlated across clients and
+        // batches.
+        let mut rng = mix64(self.client_id ^ req_seq.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut backoff = policy.base;
+        let mut last = ProtocolError::Overloaded { retry_after_ms: 0 };
+        for attempt in 0..policy.attempts.max(1) {
+            if attempt > 0 {
+                // Full jitter over [backoff/2, backoff]: spread without
+                // ever retrying effectively immediately.
+                rng = mix64(rng);
+                let half = backoff.as_micros() as u64 / 2;
+                let wait = Duration::from_micros(half + rng % half.max(1));
+                std::thread::sleep(wait);
+                backoff = (backoff * 2).min(policy.cap);
+            }
+            match self.ingest_with_seq(tenant, shard, req_seq, items) {
+                Ok(accepted) => return Ok(accepted),
+                Err(e) => match e {
+                    ProtocolError::Io(..)
+                    | ProtocolError::Truncated
+                    | ProtocolError::DeadlineExceeded => {
+                        last = e;
+                        // Ambiguous outcome: reconnect and let the
+                        // dedup table disambiguate. A failed reconnect
+                        // just burns this attempt; the next one tries
+                        // again.
+                        let _ = self.reconnect();
+                    }
+                    ProtocolError::Overloaded { retry_after_ms } => {
+                        // The server asked for a specific pause; take
+                        // the longer of its hint and our backoff.
+                        backoff = backoff.max(Duration::from_millis(retry_after_ms.min(250)));
+                        last = ProtocolError::Overloaded { retry_after_ms };
+                    }
+                    definitive => return Err(definitive),
+                },
+            }
+        }
+        Err(last)
     }
 
     /// Reads the tenant's report: `(item, estimate)` pairs plus the

@@ -1,0 +1,441 @@
+//! The durability contract: what gets logged, what gets deduplicated,
+//! and what a checkpoint bundle carries.
+//!
+//! Three pieces, all consumed by [`crate::tenant`] and
+//! [`crate::store`]:
+//!
+//! * [`Durability`] — the server-level knob: checkpoint-only (PR 8's
+//!   contract, lose at most the un-checkpointed window) or a per-tenant
+//!   WAL (this PR's contract, lose nothing acked).
+//! * [`IngestFrame`] — the WAL record payload: one acked ingest batch
+//!   with its shard, the client's identity, and the client's request
+//!   sequence number. Replay re-applies it; the identity pair re-arms
+//!   dedup so a retry that straddles a crash is still exactly-once.
+//! * [`DedupTable`] — per-tenant request dedup: the last request
+//!   sequence number seen from each client, with the ack it earned.
+//!   A retried `(client, req_seq)` returns the original ack instead of
+//!   double-applying. Bounded FIFO (oldest client evicted), and
+//!   persisted inside the checkpoint bundle so exactly-once survives
+//!   recovery.
+//! * [`BankSnapshot`] — the one-file checkpoint bundle: every shard's
+//!   summary bytes, the per-shard WAL high-water marks those bytes
+//!   reflect, and the dedup table. One file because the pieces are
+//!   meaningless apart: shard bytes without their high-water marks
+//!   either double-apply or drop the replay tail.
+
+use crate::proto::MAX_BATCH;
+use hh_wal::FsyncPolicy;
+use serde::{de, Deserialize, Deserializer, Serialize, Serializer};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+/// What the server promises about acked ingests across a crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Durability {
+    /// Periodic checkpoints only (PR 8's contract): a kill loses at
+    /// most the un-checkpointed window.
+    CheckpointOnly,
+    /// Write-ahead log every acked ingest: a kill loses nothing acked.
+    Wal {
+        /// When acks become power-loss durable (see [`FsyncPolicy`]).
+        fsync: FsyncPolicy,
+        /// WAL segment rotation threshold in bytes.
+        segment_bytes: u64,
+    },
+}
+
+/// Hard ceiling on dedup entries per tenant (one per distinct client;
+/// FIFO eviction beyond it).
+pub const DEDUP_CAP: usize = 4096;
+
+/// One acked ingest batch, as logged to (and replayed from) the WAL.
+///
+/// The encoding is plain little-endian — `[u32 shard][u64 client]
+/// [u64 req_seq][u32 count][count × u64 items]` — not the snapshot
+/// codec: the WAL record layer already owns framing and checksumming,
+/// so the payload only needs to be unambiguous and bounded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IngestFrame {
+    /// Target shard in the tenant's bank.
+    pub shard: u32,
+    /// Client identity (0 = anonymous, no dedup).
+    pub client: u64,
+    /// Client's request sequence number (dedup key with `client`).
+    pub req_seq: u64,
+    /// The batch items.
+    pub items: Vec<u64>,
+}
+
+/// Encodes an ingest frame from its parts into `out` (cleared first) —
+/// the hot-path form, no [`IngestFrame`] allocation.
+pub fn encode_frame(shard: u32, client: u64, req_seq: u64, items: &[u64], out: &mut Vec<u8>) {
+    out.clear();
+    out.reserve(24 + items.len() * 8);
+    out.extend_from_slice(&shard.to_le_bytes());
+    out.extend_from_slice(&client.to_le_bytes());
+    out.extend_from_slice(&req_seq.to_le_bytes());
+    out.extend_from_slice(&(items.len() as u32).to_le_bytes());
+    for &item in items {
+        out.extend_from_slice(&item.to_le_bytes());
+    }
+}
+
+impl IngestFrame {
+    /// Encodes into `out` (cleared first).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        encode_frame(self.shard, self.client, self.req_seq, &self.items, out);
+    }
+
+    /// Decodes a WAL record payload. Fail-closed: the item count is
+    /// bounded by [`MAX_BATCH`] and checked against the remaining bytes
+    /// before any allocation; trailing garbage is an error. A payload
+    /// that fails here inside a checksum-valid record is structural
+    /// damage, not a torn tail.
+    pub fn decode(buf: &[u8]) -> Result<Self, String> {
+        if buf.len() < 24 {
+            return Err(format!("ingest frame of {} bytes is too short", buf.len()));
+        }
+        let shard = u32::from_le_bytes(buf[0..4].try_into().expect("sized"));
+        let client = u64::from_le_bytes(buf[4..12].try_into().expect("sized"));
+        let req_seq = u64::from_le_bytes(buf[12..20].try_into().expect("sized"));
+        let count = u32::from_le_bytes(buf[20..24].try_into().expect("sized")) as usize;
+        if count > MAX_BATCH {
+            return Err(format!(
+                "ingest frame claims {count} items, above the {MAX_BATCH}-item cap"
+            ));
+        }
+        if buf.len() != 24 + count * 8 {
+            return Err(format!(
+                "ingest frame length {} does not match {count} items",
+                buf.len()
+            ));
+        }
+        let items = buf[24..]
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("chunks_exact(8)")))
+            .collect();
+        Ok(Self {
+            shard,
+            client,
+            req_seq,
+            items,
+        })
+    }
+}
+
+/// What dedup remembers about a client's latest request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DedupEntry {
+    /// The client's request sequence number.
+    pub req_seq: u64,
+    /// The ack the request earned (items accepted).
+    pub accepted: u64,
+    /// The WAL sequence number the batch was logged under (0 when the
+    /// tenant runs without a WAL).
+    pub wal_seq: u64,
+}
+
+/// Per-tenant exactly-once request dedup; see the module docs.
+#[derive(Debug, Default)]
+pub struct DedupTable {
+    entries: HashMap<u64, DedupEntry>,
+    /// Clients in admission order, for FIFO eviction at [`DEDUP_CAP`].
+    order: VecDeque<u64>,
+    hits: u64,
+}
+
+impl DedupTable {
+    /// Looks up a retry: returns the original ack if `(client,
+    /// req_seq)` matches the client's latest request. `client` 0 is
+    /// anonymous and never deduplicated.
+    pub fn check(&mut self, client: u64, req_seq: u64) -> Option<DedupEntry> {
+        if client == 0 {
+            return None;
+        }
+        let entry = self.entries.get(&client)?;
+        if entry.req_seq == req_seq {
+            self.hits += 1;
+            return Some(*entry);
+        }
+        None
+    }
+
+    /// Records the ack for a client's latest request (replacing any
+    /// earlier one). Evicts the oldest-admitted client beyond
+    /// [`DEDUP_CAP`].
+    pub fn admit(&mut self, client: u64, entry: DedupEntry) {
+        if client == 0 {
+            return;
+        }
+        if self.entries.insert(client, entry).is_none() {
+            self.order.push_back(client);
+            if self.order.len() > DEDUP_CAP {
+                if let Some(oldest) = self.order.pop_front() {
+                    self.entries.remove(&oldest);
+                }
+            }
+        }
+    }
+
+    /// Admission for WAL replay: only takes the entry if it is newer
+    /// (higher `req_seq`) than what the checkpoint bundle already
+    /// restored — a replayed record must never regress a client's
+    /// entry, or a later retry of the newer request would miss dedup
+    /// and double-apply.
+    pub fn admit_replay(&mut self, client: u64, entry: DedupEntry) {
+        if client == 0 {
+            return;
+        }
+        if let Some(cur) = self.entries.get(&client) {
+            if cur.req_seq >= entry.req_seq {
+                return;
+            }
+        }
+        self.admit(client, entry);
+    }
+
+    /// Retries answered from the table so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Entries as `(client, entry)` in admission order, for the
+    /// checkpoint bundle.
+    pub fn snapshot(&self) -> Vec<(u64, DedupEntry)> {
+        self.order
+            .iter()
+            .filter_map(|c| self.entries.get(c).map(|e| (*c, *e)))
+            .collect()
+    }
+
+    /// Rebuilds a table from a checkpoint bundle's entries.
+    pub fn from_snapshot(entries: &[(u64, DedupEntry)]) -> Self {
+        let mut t = Self::default();
+        for &(client, entry) in entries {
+            t.admit(client, entry);
+        }
+        t
+    }
+}
+
+/// The one-file checkpoint bundle a tenant persists; see the module
+/// docs. Serialized under the store's bank tag through the v3 snapshot
+/// codec, so it inherits tagging, checksumming, and fail-closed
+/// decoding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BankSnapshot {
+    /// Each shard's summary snapshot bytes, in shard order.
+    pub shards: Vec<Vec<u8>>,
+    /// Per-shard WAL high-water marks: shard `j`'s bytes reflect every
+    /// WAL record for `j` with sequence number at or below `hwms[j]`.
+    /// All zeros when the tenant runs without a WAL.
+    pub hwms: Vec<u64>,
+    /// The dedup table at checkpoint time.
+    pub dedup: Vec<(u64, DedupEntry)>,
+}
+
+impl Serialize for BankSnapshot {
+    fn serialize<S: Serializer>(&self, mut s: S) -> Result<S::Ok, S::Error> {
+        s.write_seq_len(self.shards.len())?;
+        for bytes in &self.shards {
+            s.write_byte_seq(bytes)?;
+        }
+        s.write_seq_len(self.hwms.len())?;
+        for &hwm in &self.hwms {
+            s.write_u64(hwm)?;
+        }
+        s.write_seq_len(self.dedup.len())?;
+        for &(client, e) in &self.dedup {
+            s.write_u64(client)?;
+            s.write_u64(e.req_seq)?;
+            s.write_u64(e.accepted)?;
+            s.write_u64(e.wal_seq)?;
+        }
+        s.done()
+    }
+}
+
+impl<'de> Deserialize<'de> for BankSnapshot {
+    fn deserialize<D: Deserializer<'de>>(mut d: D) -> Result<Self, D::Error> {
+        let n = d.read_seq_len()?;
+        if n == 0 || n > crate::facade::MAX_SHARDS as usize {
+            return Err(de::Error::invariant(format!(
+                "bank claims {n} shards outside 1..={}",
+                crate::facade::MAX_SHARDS
+            )));
+        }
+        let mut shards = Vec::with_capacity(n);
+        for _ in 0..n {
+            shards.push(d.read_byte_seq()?);
+        }
+        let h = d.read_seq_len()?;
+        if h != n {
+            return Err(de::Error::invariant(format!(
+                "bank has {n} shards but {h} high-water marks"
+            )));
+        }
+        let mut hwms = Vec::with_capacity(h);
+        for _ in 0..h {
+            hwms.push(d.read_u64()?);
+        }
+        let k = d.read_seq_len()?;
+        if k > DEDUP_CAP {
+            return Err(de::Error::length_overflow(format!(
+                "bank carries {k} dedup entries, above the {DEDUP_CAP} cap"
+            )));
+        }
+        let mut dedup = Vec::with_capacity(k);
+        for _ in 0..k {
+            let client = d.read_u64()?;
+            let req_seq = d.read_u64()?;
+            let accepted = d.read_u64()?;
+            let wal_seq = d.read_u64()?;
+            dedup.push((
+                client,
+                DedupEntry {
+                    req_seq,
+                    accepted,
+                    wal_seq,
+                },
+            ));
+        }
+        Ok(Self {
+            shards,
+            hwms,
+            dedup,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ingest_frame_roundtrips_and_rejects_damage() {
+        let frame = IngestFrame {
+            shard: 3,
+            client: 0xDEAD_BEEF,
+            req_seq: 42,
+            items: vec![1, 2, 3, u64::MAX],
+        };
+        let mut buf = Vec::new();
+        frame.encode_into(&mut buf);
+        assert_eq!(IngestFrame::decode(&buf).unwrap(), frame);
+        // Truncations and extensions both fail (exact length required).
+        assert!(IngestFrame::decode(&buf[..buf.len() - 1]).is_err());
+        let mut long = buf.clone();
+        long.push(0);
+        assert!(IngestFrame::decode(&long).is_err());
+        // A hostile count is rejected before sizing anything from it.
+        let mut evil = buf.clone();
+        evil[20..24].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(IngestFrame::decode(&evil).is_err());
+    }
+
+    #[test]
+    fn dedup_answers_retries_and_forgets_superseded_seqs() {
+        let mut t = DedupTable::default();
+        assert!(t.check(7, 1).is_none());
+        t.admit(
+            7,
+            DedupEntry {
+                req_seq: 1,
+                accepted: 100,
+                wal_seq: 5,
+            },
+        );
+        let hit = t.check(7, 1).unwrap();
+        assert_eq!((hit.accepted, hit.wal_seq), (100, 5));
+        assert_eq!(t.hits(), 1);
+        // A newer request from the same client supersedes the entry.
+        t.admit(
+            7,
+            DedupEntry {
+                req_seq: 2,
+                accepted: 50,
+                wal_seq: 6,
+            },
+        );
+        assert!(t.check(7, 1).is_none());
+        assert!(t.check(7, 2).is_some());
+        // Client 0 is anonymous.
+        t.admit(
+            0,
+            DedupEntry {
+                req_seq: 9,
+                accepted: 9,
+                wal_seq: 9,
+            },
+        );
+        assert!(t.check(0, 9).is_none());
+    }
+
+    #[test]
+    fn dedup_evicts_fifo_at_the_cap() {
+        let mut t = DedupTable::default();
+        for c in 1..=(DEDUP_CAP as u64 + 10) {
+            t.admit(
+                c,
+                DedupEntry {
+                    req_seq: 1,
+                    accepted: 1,
+                    wal_seq: c,
+                },
+            );
+        }
+        assert!(t.check(1, 1).is_none(), "oldest client evicted");
+        assert!(t.check(DEDUP_CAP as u64 + 10, 1).is_some());
+        assert!(t.snapshot().len() <= DEDUP_CAP);
+    }
+
+    #[test]
+    fn dedup_survives_a_snapshot_roundtrip() {
+        let mut t = DedupTable::default();
+        for c in [3u64, 9, 27] {
+            t.admit(
+                c,
+                DedupEntry {
+                    req_seq: c * 2,
+                    accepted: c * 3,
+                    wal_seq: c * 4,
+                },
+            );
+        }
+        let back = DedupTable::from_snapshot(&t.snapshot());
+        for c in [3u64, 9, 27] {
+            let e = {
+                let mut b = DedupTable::from_snapshot(&back.snapshot());
+                b.check(c, c * 2).unwrap()
+            };
+            assert_eq!((e.accepted, e.wal_seq), (c * 3, c * 4));
+        }
+    }
+
+    #[test]
+    fn bank_snapshot_roundtrips_through_the_codec() {
+        use hh_core::mergeable::snapshot;
+        let bank = BankSnapshot {
+            shards: vec![vec![1, 2, 3], vec![], vec![0xFF; 64]],
+            hwms: vec![10, 0, 7],
+            dedup: vec![(
+                5,
+                DedupEntry {
+                    req_seq: 1,
+                    accepted: 2,
+                    wal_seq: 3,
+                },
+            )],
+        };
+        let bytes = snapshot::encode("hh.test.bank", &bank);
+        let back: BankSnapshot = snapshot::decode("hh.test.bank", &bytes).unwrap();
+        assert_eq!(back, bank);
+        // Mismatched hwm count is an invariant violation, not a panic.
+        let bent = BankSnapshot {
+            hwms: vec![1],
+            ..bank.clone()
+        };
+        let bytes = snapshot::encode("hh.test.bank", &bent);
+        assert!(snapshot::decode::<BankSnapshot>("hh.test.bank", &bytes).is_err());
+    }
+}

@@ -18,11 +18,15 @@
 //!   `MergeableSummary` implementations behind one object-safe
 //!   [`DynSummary`]; ingest rides `ShardRuntime` with quarantine-and-
 //!   shed failure handling, reads ride epoch-swapped `Frozen` views.
-//! * **Durability** ([`store`], [`server`]): periodic checkpoints of
-//!   every tenant bank, atomic file writes, and a boot scan that
-//!   restores every verifiable tenant and quarantines — rather than
-//!   dies on — the rest. Overload degrades to `RetryAfter` replies and
-//!   LRU eviction-to-snapshot, all surfaced in [`ServerHealth`].
+//! * **Durability** ([`durability`], [`store`], [`server`]): every
+//!   acked ingest is write-ahead logged (`hh-wal`) before the ack, so
+//!   a kill at any point loses nothing acked — recovery restores the
+//!   atomic checkpoint bundle and replays the log tail over it,
+//!   idempotently. Numbered requests give exactly-once retry semantics
+//!   ([`Client::ingest_reliable`]); atomic file writes and a boot scan
+//!   restore every verifiable tenant and quarantine — rather than die
+//!   on — the rest. Overload degrades to `RetryAfter` replies and LRU
+//!   eviction-to-snapshot, all surfaced in [`ServerHealth`].
 //!
 //! ```no_run
 //! use hh_server::{Client, Endpoint, Server, ServerConfig, SummaryKind, TenantSpec};
@@ -41,19 +45,24 @@
 
 pub mod client;
 pub mod conn;
+pub mod durability;
 pub mod facade;
 pub mod proto;
 pub mod server;
 pub mod store;
 pub mod tenant;
 
-pub use client::Client;
+pub use client::{Client, RetryPolicy};
 pub use conn::{ConnLimits, DeadlineConn, Transport};
+pub use durability::{BankSnapshot, DedupEntry, Durability, IngestFrame, DEDUP_CAP};
 pub use facade::{DynSummary, SummaryKind, TenantSpec, MAX_SHARDS};
+// Re-exported so embedders can configure `Durability::Wal` without
+// depending on hh-wal directly.
+pub use hh_wal::{FsyncPolicy, WalStats};
 pub use proto::{
     read_frame, write_frame, ProtocolError, RangeEntry, Request, Response, ServerHealth, MAX_BATCH,
     MAX_FRAME_LEN, MAX_TENANT_NAME, REQUEST_TAG, RESPONSE_TAG,
 };
 pub use server::{Endpoint, Server, ServerConfig, ServerHandle};
 pub use store::{BootReport, RecoveredTenant, Store};
-pub use tenant::Tenant;
+pub use tenant::{IngestOutcome, Tenant};

@@ -259,6 +259,14 @@ pub enum Request {
         tenant: String,
         /// Target shard in `0..spec.shards`.
         shard: u32,
+        /// Client identity for exactly-once dedup (0 = anonymous:
+        /// no dedup, the batch is applied every time it arrives).
+        client: u64,
+        /// Client request sequence number. Retrying a transport-failed
+        /// ingest with the **same** `(client, req_seq)` is exactly-once:
+        /// if the original was applied, the server replies with the
+        /// original ack instead of applying again.
+        req_seq: u64,
         /// Stream items (at most [`MAX_BATCH`]).
         items: Vec<u64>,
     },
@@ -402,6 +410,24 @@ pub struct ServerHealth {
     pub quarantined: Vec<String>,
     /// Heap bytes currently held by resident tenant summaries.
     pub resident_bytes: u64,
+    /// WAL records appended across resident tenants (0 when running
+    /// checkpoint-only).
+    pub wal_appended: u64,
+    /// WAL records not yet covered by a checkpoint — the replay debt a
+    /// crash right now would incur.
+    pub wal_depth: u64,
+    /// WAL fsyncs issued (group commit amortizes these across acks).
+    pub wal_fsyncs: u64,
+    /// Worst single commit wait observed, in microseconds — the fsync
+    /// lag an acked ingest paid.
+    pub wal_max_commit_wait_us: u64,
+    /// WAL records replayed into summaries at boot/rehydration.
+    pub wal_replayed: u64,
+    /// Retried ingests answered from the dedup table instead of
+    /// re-applied.
+    pub dedup_hits: u64,
+    /// Live WAL segment files across resident tenants.
+    pub wal_segments: u64,
 }
 
 // --- manual serde impls (the vendored derive is a compile-time stub) ---
@@ -479,11 +505,15 @@ impl Serialize for Request {
             Self::Ingest {
                 tenant,
                 shard,
+                client,
+                req_seq,
                 items,
             } => {
                 s.write_u64(2)?;
                 s.write_str(tenant)?;
                 s.write_u64(u64::from(*shard))?;
+                s.write_u64(*client)?;
+                s.write_u64(*req_seq)?;
                 snapshot::write_u64_slice(items, &mut s)?;
             }
             Self::Query { tenant } => {
@@ -544,6 +574,8 @@ impl<'de> Deserialize<'de> for Request {
                         "shard index {shard} outside any legal bank"
                     )));
                 }
+                let client = d.read_u64()?;
+                let req_seq = d.read_u64()?;
                 let items = snapshot::read_u64_slice(&mut d)?;
                 if items.len() > MAX_BATCH {
                     return Err(de::Error::length_overflow(format!(
@@ -554,6 +586,8 @@ impl<'de> Deserialize<'de> for Request {
                 Self::Ingest {
                     tenant,
                     shard: shard as u32,
+                    client,
+                    req_seq,
                     items,
                 }
             }
@@ -606,6 +640,13 @@ impl Serialize for ServerHealth {
         s.write_u64(self.recovered_tenants)?;
         write_string_seq(&self.quarantined, &mut s)?;
         s.write_u64(self.resident_bytes)?;
+        s.write_u64(self.wal_appended)?;
+        s.write_u64(self.wal_depth)?;
+        s.write_u64(self.wal_fsyncs)?;
+        s.write_u64(self.wal_max_commit_wait_us)?;
+        s.write_u64(self.wal_replayed)?;
+        s.write_u64(self.dedup_hits)?;
+        s.write_u64(self.wal_segments)?;
         s.done()
     }
 }
@@ -622,6 +663,13 @@ impl<'de> Deserialize<'de> for ServerHealth {
             recovered_tenants: d.read_u64()?,
             quarantined: read_string_seq(&mut d)?,
             resident_bytes: d.read_u64()?,
+            wal_appended: d.read_u64()?,
+            wal_depth: d.read_u64()?,
+            wal_fsyncs: d.read_u64()?,
+            wal_max_commit_wait_us: d.read_u64()?,
+            wal_replayed: d.read_u64()?,
+            dedup_hits: d.read_u64()?,
+            wal_segments: d.read_u64()?,
         })
     }
 }
@@ -853,6 +901,8 @@ mod tests {
             Request::Ingest {
                 tenant: "alpha".into(),
                 shard: 3,
+                client: 0x9E37_79B9,
+                req_seq: 17,
                 items: vec![1, 2, 3, u64::MAX],
             },
             Request::Query {
@@ -893,6 +943,13 @@ mod tests {
                 tenants: 2,
                 quarantined: vec!["bad".into()],
                 resident_bytes: 4096,
+                wal_appended: 12,
+                wal_depth: 3,
+                wal_fsyncs: 4,
+                wal_max_commit_wait_us: 1500,
+                wal_replayed: 7,
+                dedup_hits: 2,
+                wal_segments: 2,
                 ..ServerHealth::default()
             }),
             Response::Checkpointed { tenants: 2 },
@@ -990,6 +1047,8 @@ mod tests {
         let shard0_items = |n: usize| Request::Ingest {
             tenant: "t".into(),
             shard: 0,
+            client: 0,
+            req_seq: 0,
             items: vec![7; n],
         };
         assert!(Request::decode(&shard0_items(MAX_BATCH).encode()).is_ok());

@@ -30,15 +30,20 @@
 //! frames), and only then the final checkpoint runs — checkpoint
 //! rounds are single-flight, so it can never interleave with a round a
 //! handler started. [`Server::kill`] is the crash simulation:
-//! everything stops **without** a final checkpoint, so whatever
-//! ingested after the last checkpoint is lost — exactly the window the
-//! recovery tests measure.
+//! everything stops **without** a final checkpoint. Under
+//! [`Durability::Wal`] (the default) that loses *nothing acked* —
+//! recovery restores the last checkpoint bundle and replays the WAL
+//! tail over it; under [`Durability::CheckpointOnly`] whatever
+//! ingested after the last checkpoint is lost — exactly the windows
+//! the recovery tests measure.
 
 use crate::conn::{ConnLimits, DeadlineConn, Transport};
+use crate::durability::{BankSnapshot, Durability, IngestFrame};
 use crate::facade::TenantSpec;
 use crate::proto::{validate_tenant_name, ProtocolError, Request, Response, ServerHealth};
-use crate::store::Store;
+use crate::store::{RecoveredTenant, Store};
 use crate::tenant::{Tenant, RETRY_AFTER_MS};
+use hh_wal::{Wal, WalConfig};
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -74,6 +79,15 @@ pub struct ServerConfig {
     pub memory_budget_bytes: u64,
     /// Checkpoint cadence.
     pub checkpoint_every: Duration,
+    /// How long one checkpoint round waits on a tenant's flush barrier
+    /// before falling back to last-good bytes for the shards still
+    /// pending. Rounds run under the registry lock, so this bound is
+    /// what keeps one wedged shard worker from stalling every request
+    /// on the server.
+    pub checkpoint_timeout: Duration,
+    /// Whether acked ingests are write-ahead logged (zero acked loss
+    /// on a kill) or only as durable as the last checkpoint.
+    pub durability: Durability,
 }
 
 impl ServerConfig {
@@ -85,16 +99,41 @@ impl ServerConfig {
             max_connections: 64,
             memory_budget_bytes: 256 << 20,
             checkpoint_every: Duration::from_secs(30),
+            checkpoint_timeout: Duration::from_secs(2),
+            durability: Durability::Wal {
+                fsync: hh_wal::FsyncPolicy::GroupCommit(Duration::from_millis(1)),
+                segment_bytes: 4 << 20,
+            },
         }
     }
 
-    /// Test-shaped config: tight deadlines, fast checkpoints.
+    /// Test-shaped config: tight deadlines, fast checkpoints, per-batch
+    /// fsync over small segments so kill tests cross rotations.
     pub fn fast(store_root: impl Into<PathBuf>) -> Self {
         Self {
             limits: ConnLimits::fast(),
             max_connections: 8,
             checkpoint_every: Duration::from_millis(200),
+            durability: Durability::Wal {
+                fsync: hh_wal::FsyncPolicy::PerBatch,
+                segment_bytes: 64 << 10,
+            },
             ..Self::new(store_root)
+        }
+    }
+
+    fn wal_config(&self, dir: PathBuf) -> Option<WalConfig> {
+        match self.durability {
+            Durability::CheckpointOnly => None,
+            Durability::Wal {
+                fsync,
+                segment_bytes,
+            } => {
+                let mut cfg = WalConfig::new(dir);
+                cfg.fsync = fsync;
+                cfg.segment_bytes = segment_bytes;
+                Some(cfg)
+            }
         }
     }
 }
@@ -198,12 +237,13 @@ impl Server {
         let mut slots = HashMap::new();
         let recovered_tenants = boot.recovered.len() as u64;
         for t in boot.recovered {
-            match Tenant::from_bank(t.spec, t.shards) {
+            let name = t.name.clone();
+            match hydrate(&config, &store, t) {
                 Ok(tenant) => {
-                    slots.insert(t.name, Slot::Live(Box::new(tenant)));
+                    slots.insert(name, Slot::Live(Box::new(tenant)));
                 }
                 Err(e) => {
-                    slots.insert(t.name, Slot::Broken(e.to_string()));
+                    slots.insert(name, Slot::Broken(e));
                 }
             }
         }
@@ -401,6 +441,48 @@ fn lock_registry(shared: &Shared) -> std::sync::MutexGuard<'_, Registry> {
         .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
+/// Rebuilds a tenant from its recovered checkpoint bundle and — when
+/// the server runs with a WAL — replays the log tail over it. Shared
+/// by the boot scan and eviction rehydration, so a kill at *any* point
+/// recovers through exactly one code path.
+///
+/// Fail-closed: a WAL that fails structural validation, or a
+/// crc-valid record whose frame does not decode or contradicts the
+/// spec, turns the whole tenant into an error — the caller marks the
+/// slot `Broken` (write-and-read quarantine) and every other tenant
+/// keeps serving.
+fn hydrate(config: &ServerConfig, store: &Store, rec: RecoveredTenant) -> Result<Tenant, String> {
+    let RecoveredTenant {
+        name,
+        spec,
+        shards,
+        hwms,
+        dedup,
+    } = rec;
+    let mut tenant = Tenant::from_bank(spec, shards).map_err(|e| e.to_string())?;
+    tenant.restore_durability(&hwms, &dedup);
+    if let Some(wal_cfg) = config.wal_config(store.wal_dir(&name)) {
+        // A log reopened after a crash must never re-issue a sequence
+        // number the bundle's marks already cover — the hint floors
+        // the next sequence past them even if the tail itself was
+        // never durable (checkpoint syncs the log first, so durable
+        // tails always reach at least the marks; the hint guards the
+        // fresh-log edge).
+        let hint = hwms.iter().copied().max().unwrap_or(0) + 1;
+        let (wal, replay) =
+            Wal::open(wal_cfg, hint).map_err(|e| format!("wal recovery failed: {e}"))?;
+        for record in &replay.records {
+            let frame = IngestFrame::decode(&record.payload)
+                .map_err(|e| format!("wal record {} carries a malformed frame: {e}", record.seq))?;
+            tenant
+                .replay_frame(record.seq, &frame)
+                .map_err(|e| format!("wal replay failed: {e}"))?;
+        }
+        tenant.attach_wal(Arc::new(wal));
+    }
+    Ok(tenant)
+}
+
 /// Releases one admission slot on drop, so a handler that unwinds
 /// (a panic anywhere under `serve_conn`) cannot leak capacity.
 struct ActiveSlot(Arc<Shared>);
@@ -542,10 +624,16 @@ fn dispatch(shared: &Arc<Shared>, req: &Request) -> Result<Response, ProtocolErr
                 return Err(ProtocolError::TenantExists(tenant.clone()));
             }
             let mut t = Tenant::create(*spec)?;
+            if let Some(wal_cfg) = shared.config.wal_config(shared.store.wal_dir(tenant)) {
+                let (wal, _replay) = Wal::open(wal_cfg, 1).map_err(|e| {
+                    ProtocolError::Io(std::io::ErrorKind::Other, format!("wal open failed: {e}"))
+                })?;
+                t.attach_wal(Arc::new(wal));
+            }
             // Persist immediately: a crash before the first periodic
             // checkpoint must not forget the tenant exists.
-            let bytes = t.checkpoint();
-            shared.store.save_tenant(tenant, spec, &bytes)?;
+            let bank = t.checkpoint(shared.config.checkpoint_timeout);
+            shared.store.save_tenant(tenant, spec, &bank)?;
             touch(&mut reg, &mut t);
             reg.slots.insert(tenant.clone(), Slot::Live(Box::new(t)));
             drop(reg);
@@ -555,18 +643,36 @@ fn dispatch(shared: &Arc<Shared>, req: &Request) -> Result<Response, ProtocolErr
         Request::Ingest {
             tenant,
             shard,
+            client,
+            req_seq,
             items,
         } => {
             let mut reg = lock_registry(shared);
             let t = resident_tenant(shared, &mut reg, tenant)?;
-            let accepted = t.ingest(tenant, *shard, items).inspect_err(|e| {
-                if matches!(e, ProtocolError::Overloaded { .. }) {
-                    shared.stats.admission_shed.fetch_add(1, Ordering::Relaxed);
-                }
-            })?;
+            let outcome = t
+                .ingest_logged(tenant, *shard, *client, *req_seq, items)
+                .inspect_err(|e| {
+                    if matches!(e, ProtocolError::Overloaded { .. }) {
+                        shared.stats.admission_shed.fetch_add(1, Ordering::Relaxed);
+                    }
+                })?;
             drop(reg);
+            // The durability point: the ack below must not leave until
+            // the logged record is fsynced under the policy. Committed
+            // *after* the registry lock drops so a group-commit wait
+            // stalls only this request, not the whole server.
+            if let Some((wal, seq)) = &outcome.commit {
+                wal.commit(*seq).map_err(|e| {
+                    ProtocolError::Io(
+                        std::io::ErrorKind::Other,
+                        format!("wal commit failed, batch not acked: {e}"),
+                    )
+                })?;
+            }
             enforce_memory_budget(shared, Some(tenant));
-            Ok(Response::Ingested { accepted })
+            Ok(Response::Ingested {
+                accepted: outcome.accepted,
+            })
         }
         Request::Query { tenant } => {
             let mut reg = lock_registry(shared);
@@ -623,9 +729,9 @@ fn resident_tenant<'a>(
         }
         Some(Slot::Evicted) => {
             let slot = match shared.store.load_tenant(name) {
-                Ok(rec) => match Tenant::from_bank(rec.spec, rec.shards) {
+                Ok(rec) => match hydrate(&shared.config, &shared.store, rec) {
                     Ok(t) => Slot::Live(Box::new(t)),
-                    Err(e) => Slot::Broken(e.to_string()),
+                    Err(e) => Slot::Broken(e),
                 },
                 Err(reason) => Slot::Broken(reason),
             };
@@ -705,9 +811,15 @@ fn enforce_memory_budget(shared: &Shared, keep: Option<&str>) {
         let Some(Slot::Live(mut t)) = reg.slots.remove(&victim) else {
             return;
         };
-        let bytes = t.checkpoint();
+        let bank = t.checkpoint(shared.config.checkpoint_timeout);
         let spec = t.spec;
-        if shared.store.save_tenant(&victim, &spec, &bytes).is_ok() {
+        if shared.store.save_tenant(&victim, &spec, &bank).is_ok() {
+            // The bundle covers everything up to the marks; retire the
+            // sealed WAL segments it makes redundant before the tenant
+            // (and its log handle) leaves memory.
+            if let Some(wal) = t.wal() {
+                let _ = wal.compact(t.covered_seq());
+            }
             reg.slots.insert(victim, Slot::Evicted);
             shared.stats.evictions.fetch_add(1, Ordering::Relaxed);
         } else {
@@ -730,22 +842,31 @@ fn checkpoint_all(shared: &Shared) -> u64 {
         .ckpt_lock
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner);
-    // Collect bytes under the lock, write outside it.
-    let work: Vec<(String, TenantSpec, Vec<bytes::Bytes>)> = {
+    // Collect bundles under the lock, write outside it.
+    type Round = (String, TenantSpec, BankSnapshot, Option<(Arc<Wal>, u64)>);
+    let work: Vec<Round> = {
         let mut reg = lock_registry(shared);
         let names: Vec<String> = reg.slots.keys().cloned().collect();
         let mut work = Vec::new();
         for name in names {
             if let Some(Slot::Live(t)) = reg.slots.get_mut(&name) {
-                work.push((name.clone(), t.spec, t.checkpoint()));
+                let bank = t.checkpoint(shared.config.checkpoint_timeout);
+                let wal = t.wal().map(|w| (Arc::clone(w), t.covered_seq()));
+                work.push((name.clone(), t.spec, bank, wal));
             }
         }
         work
     };
     let mut saved = 0;
-    for (name, spec, bytes) in work {
-        if shared.store.save_tenant(&name, &spec, &bytes).is_ok() {
+    for (name, spec, bank, wal) in work {
+        if shared.store.save_tenant(&name, &spec, &bank).is_ok() {
             saved += 1;
+            // Only after the bundle durably covers them may the sealed
+            // segments below the marks be retired; a failed save keeps
+            // every segment (replay still needs them).
+            if let Some((wal, covered)) = wal {
+                let _ = wal.compact(covered);
+            }
         }
     }
     if saved > 0 {
@@ -779,12 +900,27 @@ fn build_health(shared: &Shared) -> ServerHealth {
     let mut quarantined: Vec<String> = shared.boot_lost.clone();
     let mut shed = 0;
     let mut resident = 0;
+    let mut wal_appended = 0;
+    let mut wal_depth = 0;
+    let mut wal_fsyncs = 0;
+    let mut wal_max_commit_wait_us = 0;
+    let mut wal_replayed = 0;
+    let mut dedup_hits = 0;
+    let mut wal_segments = 0;
     let tenants = reg.slots.len() as u64;
     for (name, slot) in reg.slots.iter_mut() {
         match slot {
             Slot::Live(t) => {
                 shed += t.shed_items();
                 resident += t.resident_bytes();
+                let ws = t.wal_stats();
+                wal_appended += ws.appended_records;
+                wal_depth += ws.depth_records;
+                wal_fsyncs += ws.fsyncs;
+                wal_max_commit_wait_us = wal_max_commit_wait_us.max(ws.max_commit_wait_us);
+                wal_segments += ws.segments;
+                wal_replayed += t.wal_replayed();
+                dedup_hits += t.dedup_hits();
                 if t.quarantined() {
                     quarantined.push(name.clone());
                 }
@@ -805,6 +941,13 @@ fn build_health(shared: &Shared) -> ServerHealth {
         recovered_tenants: shared.recovered_tenants,
         quarantined,
         resident_bytes: resident,
+        wal_appended,
+        wal_depth,
+        wal_fsyncs,
+        wal_max_commit_wait_us,
+        wal_replayed,
+        dedup_hits,
+        wal_segments,
     }
 }
 
@@ -965,8 +1108,11 @@ mod tests {
         let root = tmp_root("kill");
         let cfg = ServerConfig {
             // Effectively disable the periodic checkpointer: the test
-            // controls checkpoint timing explicitly.
+            // controls checkpoint timing explicitly. Checkpoint-only
+            // durability: this test measures the *un-logged* loss
+            // window; the WAL variant below closes it.
             checkpoint_every: Duration::from_secs(3600),
+            durability: Durability::CheckpointOnly,
             ..ServerConfig::fast(&root)
         };
         let server =
@@ -994,6 +1140,52 @@ mod tests {
             !entries.iter().any(|&(item, _)| item == 99),
             "un-checkpointed window survived a kill -9?"
         );
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn kill_with_wal_loses_nothing_acked() {
+        let root = tmp_root("kill-wal");
+        let cfg = ServerConfig {
+            // No periodic checkpoints: every acked batch after the one
+            // explicit checkpoint lives only in the WAL when the server
+            // dies.
+            checkpoint_every: Duration::from_secs(3600),
+            ..ServerConfig::fast(&root)
+        };
+        let server =
+            Server::start(cfg.clone(), Endpoint::Tcp("127.0.0.1:0".parse().unwrap())).unwrap();
+        let mut client = Client::connect_tcp(server.local_addr().unwrap()).unwrap();
+        client.create("t", spec()).unwrap();
+        client.ingest("t", 0, &[42; 2_000]).unwrap();
+        client.checkpoint().unwrap();
+        // Acked after the checkpoint: only the log holds it now.
+        client.ingest("t", 0, &[99; 2_000]).unwrap();
+        server.kill();
+
+        let server = Server::start(cfg, Endpoint::Tcp("127.0.0.1:0".parse().unwrap())).unwrap();
+        let mut client = Client::connect_tcp(server.local_addr().unwrap()).unwrap();
+        let health = client.health().unwrap();
+        assert_eq!(health.recovered_tenants, 1);
+        assert!(health.quarantined.is_empty());
+        assert!(health.wal_replayed >= 1, "replay did no work: {health:?}");
+        let (entries, _) = client.query("t").unwrap();
+        let count_of = |item: u64| {
+            entries
+                .iter()
+                .find(|&&(i, _)| i == item)
+                .map_or(0.0, |&(_, n)| n)
+        };
+        assert_eq!(count_of(42) as u64, 2_000, "checkpointed batch lost");
+        assert_eq!(
+            count_of(99) as u64,
+            2_000,
+            "acked batch lost despite the WAL"
+        );
+        // And the replayed state keeps accepting + checkpointing.
+        client.ingest("t", 0, &[7; 100]).unwrap();
+        client.checkpoint().unwrap();
         server.shutdown();
         let _ = std::fs::remove_dir_all(&root);
     }

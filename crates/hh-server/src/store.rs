@@ -5,9 +5,19 @@
 //!
 //! ```text
 //! <root>/<tenant>/spec.hhs      snapshot-codec TenantSpec ("hh.server.spec.v1")
-//! <root>/<tenant>/shard<j>.hhs  shard j's summary snapshot (its own tag)
+//! <root>/<tenant>/bank.hhs      checkpoint bundle ("hh.server.bank.v1"):
+//!                               every shard's snapshot + per-shard WAL
+//!                               high-water marks + the dedup table
+//! <root>/<tenant>/wal/          segmented write-ahead log (hh-wal)
 //! <root>/.quarantine/<tenant>/  tenants that failed verification at boot
 //! ```
+//!
+//! The bundle is **one file on purpose**: the shard bytes, the marks
+//! that say which WAL records those bytes already cover, and the dedup
+//! table that says which acks stand, must advance together. Split
+//! across files, a crash between writes could pair new bytes with old
+//! marks (records replayed twice) or old bytes with new marks (acked
+//! records never replayed — silent loss).
 //!
 //! Every file is written `tmp → fsync → rename → fsync(dir)`, so a
 //! crash — or a power cut — mid-write leaves either the old file or
@@ -16,14 +26,14 @@
 //! scan can verify integrity before trusting a byte of payload.
 //!
 //! The scan itself is *quarantine, don't refuse*: a tenant whose spec
-//! or any shard fails verification is moved aside into `.quarantine/`
-//! (forensics intact) and reported, and the server boots serving
-//! everyone else. Refusing to boot over one corrupt tenant would turn
-//! a partial loss into a total outage.
+//! or bundle fails verification is moved aside into `.quarantine/`
+//! (forensics intact, WAL included) and reported, and the server boots
+//! serving everyone else. Refusing to boot over one corrupt tenant
+//! would turn a partial loss into a total outage.
 
+use crate::durability::{BankSnapshot, DedupEntry};
 use crate::facade::{DynSummary, TenantSpec};
 use crate::proto::{validate_tenant_name, ProtocolError};
-use bytes::Bytes;
 use hh_core::mergeable::snapshot;
 use hh_core::MergeableSummary;
 use std::fs;
@@ -32,9 +42,15 @@ use std::path::{Path, PathBuf};
 /// Snapshot-codec tag for persisted tenant specs.
 pub const SPEC_TAG: &str = "hh.server.spec.v1";
 
+/// Snapshot-codec tag for the checkpoint bundle.
+pub const BANK_TAG: &str = "hh.server.bank.v1";
+
 /// Directory (under the root) holding tenants that failed boot
 /// verification.
 pub const QUARANTINE_DIR: &str = ".quarantine";
+
+/// Name of the per-tenant WAL directory (managed by `hh-wal`).
+pub const WAL_DIR: &str = "wal";
 
 /// A tenant the boot scan restored successfully.
 #[derive(Debug)]
@@ -45,6 +61,10 @@ pub struct RecoveredTenant {
     pub spec: TenantSpec,
     /// The restored shard bank, in shard order.
     pub shards: Vec<DynSummary>,
+    /// Per-shard WAL high-water marks from the bundle.
+    pub hwms: Vec<u64>,
+    /// The dedup table from the bundle.
+    pub dedup: Vec<(u64, DedupEntry)>,
 }
 
 /// Everything the boot scan found.
@@ -100,39 +120,33 @@ impl Store {
         self.root.join(name)
     }
 
-    /// Persists one tenant: its spec plus every shard's snapshot bytes,
-    /// each file written atomically. The tenant name must already have
+    /// The tenant's WAL directory (whether or not it exists yet).
+    pub fn wal_dir(&self, name: &str) -> PathBuf {
+        self.tenant_dir(name).join(WAL_DIR)
+    }
+
+    /// Persists one tenant: its spec plus the checkpoint bundle, each
+    /// file written atomically. The tenant name must already have
     /// passed [`validate_tenant_name`] (enforced again here — the name
     /// becomes a path component).
     pub fn save_tenant(
         &self,
         name: &str,
         spec: &TenantSpec,
-        shard_bytes: &[Bytes],
+        bank: &BankSnapshot,
     ) -> Result<(), ProtocolError> {
         validate_tenant_name(name)?;
         let dir = self.tenant_dir(name);
         fs::create_dir_all(&dir).map_err(ProtocolError::from)?;
         write_atomic(&dir.join("spec.hhs"), &snapshot::encode(SPEC_TAG, spec))?;
-        for (j, bytes) in shard_bytes.iter().enumerate() {
-            write_atomic(&dir.join(format!("shard{j}.hhs")), bytes)?;
-        }
-        // Drop stale shard files past the current bank (shard counts
-        // never shrink today, but the scan must never see a mix).
-        let mut j = shard_bytes.len();
-        loop {
-            let stale = dir.join(format!("shard{j}.hhs"));
-            if !stale.exists() {
-                break;
-            }
-            fs::remove_file(&stale).map_err(ProtocolError::from)?;
-            j += 1;
-        }
+        write_atomic(&dir.join("bank.hhs"), &snapshot::encode(BANK_TAG, bank))?;
         Ok(())
     }
 
-    /// Loads one tenant directory, verifying the spec and every shard.
-    /// Used by the boot scan and by eviction rehydration.
+    /// Loads one tenant directory, verifying the spec and the bundle.
+    /// Used by the boot scan and by eviction rehydration. WAL replay is
+    /// the *server's* job — this only restores what the checkpoint
+    /// covers.
     pub(crate) fn load_tenant(&self, name: &str) -> Result<RecoveredTenant, String> {
         let dir = self.tenant_dir(name);
         let spec_bytes =
@@ -140,11 +154,20 @@ impl Store {
         let spec: TenantSpec =
             snapshot::decode(SPEC_TAG, &spec_bytes).map_err(|e| format!("spec rejected: {e}"))?;
         spec.validate().map_err(|e| format!("spec invalid: {e}"))?;
+        let bank_bytes =
+            fs::read(dir.join("bank.hhs")).map_err(|e| format!("bank unreadable: {e}"))?;
+        let bank: BankSnapshot =
+            snapshot::decode(BANK_TAG, &bank_bytes).map_err(|e| format!("bank rejected: {e}"))?;
+        if bank.shards.len() != spec.shards as usize {
+            return Err(format!(
+                "bank holds {} shards but the spec says {}",
+                bank.shards.len(),
+                spec.shards
+            ));
+        }
         let mut shards = Vec::with_capacity(spec.shards as usize);
-        for j in 0..spec.shards {
-            let path = dir.join(format!("shard{j}.hhs"));
-            let bytes = fs::read(&path).map_err(|e| format!("shard {j} unreadable: {e}"))?;
-            let (summary, _report) = DynSummary::from_bytes_report(&bytes)
+        for (j, bytes) in bank.shards.iter().enumerate() {
+            let (summary, _report) = DynSummary::from_bytes_report(bytes)
                 .map_err(|e| format!("shard {j} rejected: {e}"))?;
             if summary.kind() != spec.kind {
                 return Err(format!(
@@ -159,12 +182,15 @@ impl Store {
             name: name.to_string(),
             spec,
             shards,
+            hwms: bank.hwms,
+            dedup: bank.dedup,
         })
     }
 
     /// Moves a failed tenant directory into [`QUARANTINE_DIR`],
     /// suffixing the name if a previous quarantine already used it.
-    fn quarantine(&self, name: &str) -> std::io::Result<()> {
+    /// The WAL directory rides along — forensics keep the whole story.
+    pub(crate) fn quarantine(&self, name: &str) -> std::io::Result<()> {
         let pen = self.root.join(QUARANTINE_DIR);
         fs::create_dir_all(&pen)?;
         let mut target = pen.join(name);
@@ -213,7 +239,7 @@ impl Store {
 mod tests {
     use super::*;
     use crate::facade::SummaryKind;
-    use hh_core::StreamSummary;
+    use hh_core::{MergeableSummary, StreamSummary};
 
     fn tmpdir(tag: &str) -> PathBuf {
         let dir =
@@ -232,44 +258,57 @@ mod tests {
         }
     }
 
-    fn bank_bytes(spec: &TenantSpec, feed: u64) -> (Vec<DynSummary>, Vec<Bytes>) {
-        let mut bank = spec.build_bank().unwrap();
-        for (j, s) in bank.iter_mut().enumerate() {
+    fn bank(spec: &TenantSpec, feed: u64) -> (Vec<DynSummary>, BankSnapshot) {
+        let mut shards = spec.build_bank().unwrap();
+        for (j, s) in shards.iter_mut().enumerate() {
             s.insert_batch(&vec![feed + j as u64; 100]);
         }
-        let bytes = bank.iter().map(MergeableSummary::to_bytes).collect();
-        (bank, bytes)
+        let bundle = BankSnapshot {
+            shards: shards.iter().map(|s| s.to_bytes().to_vec()).collect(),
+            hwms: vec![feed; shards.len()],
+            dedup: vec![(
+                9,
+                DedupEntry {
+                    req_seq: 3,
+                    accepted: 100,
+                    wal_seq: feed,
+                },
+            )],
+        };
+        (shards, bundle)
     }
 
     #[test]
-    fn save_then_boot_restores_bit_identical_banks() {
+    fn save_then_boot_restores_bit_identical_banks_and_marks() {
         let root = tmpdir("roundtrip");
         let store = Store::open(&root).unwrap();
         let spec = spec();
-        let (bank, bytes) = bank_bytes(&spec, 7);
-        store.save_tenant("alpha", &spec, &bytes).unwrap();
+        let (shards, bundle) = bank(&spec, 7);
+        store.save_tenant("alpha", &spec, &bundle).unwrap();
         let report = store.load_all().unwrap();
         assert!(report.lost.is_empty(), "{:?}", report.lost);
         assert_eq!(report.recovered.len(), 1);
         let back = &report.recovered[0];
         assert_eq!(back.name, "alpha");
         assert_eq!(back.spec, spec);
-        for (restored, original) in back.shards.iter().zip(&bank) {
+        assert_eq!(back.hwms, bundle.hwms);
+        assert_eq!(back.dedup, bundle.dedup);
+        for (restored, original) in back.shards.iter().zip(&shards) {
             assert_eq!(restored.to_bytes(), original.to_bytes());
         }
         let _ = fs::remove_dir_all(&root);
     }
 
     #[test]
-    fn corrupt_shard_quarantines_the_tenant_and_spares_the_rest() {
+    fn corrupt_bundle_quarantines_the_tenant_and_spares_the_rest() {
         let root = tmpdir("corrupt");
         let store = Store::open(&root).unwrap();
         let spec = spec();
-        let (_, bytes) = bank_bytes(&spec, 1);
-        store.save_tenant("good", &spec, &bytes).unwrap();
-        store.save_tenant("bad", &spec, &bytes).unwrap();
-        // Flip one byte in the middle of bad's shard 1.
-        let victim = root.join("bad").join("shard1.hhs");
+        let (_, bundle) = bank(&spec, 1);
+        store.save_tenant("good", &spec, &bundle).unwrap();
+        store.save_tenant("bad", &spec, &bundle).unwrap();
+        // Flip one byte in the middle of bad's bundle.
+        let victim = root.join("bad").join("bank.hhs");
         let mut buf = fs::read(&victim).unwrap();
         let mid = buf.len() / 2;
         buf[mid] ^= 0x10;
@@ -289,17 +328,17 @@ mod tests {
     }
 
     #[test]
-    fn truncated_spec_and_missing_shard_are_both_fatal_for_the_tenant() {
+    fn truncated_spec_and_missing_bundle_are_both_fatal_for_the_tenant() {
         let root = tmpdir("partial");
         let store = Store::open(&root).unwrap();
         let spec = spec();
-        let (_, bytes) = bank_bytes(&spec, 2);
-        store.save_tenant("t1", &spec, &bytes).unwrap();
-        store.save_tenant("t2", &spec, &bytes).unwrap();
+        let (_, bundle) = bank(&spec, 2);
+        store.save_tenant("t1", &spec, &bundle).unwrap();
+        store.save_tenant("t2", &spec, &bundle).unwrap();
         let spec_file = root.join("t1").join("spec.hhs");
         let full = fs::read(&spec_file).unwrap();
         fs::write(&spec_file, &full[..full.len() / 2]).unwrap();
-        fs::remove_file(root.join("t2").join("shard1.hhs")).unwrap();
+        fs::remove_file(root.join("t2").join("bank.hhs")).unwrap();
 
         let report = store.load_all().unwrap();
         assert!(report.recovered.is_empty());
@@ -308,26 +347,22 @@ mod tests {
     }
 
     #[test]
-    fn resaving_with_fewer_shards_drops_stale_files() {
-        let root = tmpdir("stale");
+    fn bundle_that_contradicts_the_spec_is_rejected() {
+        let root = tmpdir("mismatch");
         let store = Store::open(&root).unwrap();
-        let wide = TenantSpec {
-            shards: 3,
-            ..spec()
-        };
-        let (_, bytes3) = bank_bytes(&wide, 3);
-        store.save_tenant("t", &wide, &bytes3).unwrap();
-        let narrow = TenantSpec {
-            shards: 1,
-            ..spec()
-        };
-        let (_, bytes1) = bank_bytes(&narrow, 3);
-        store.save_tenant("t", &narrow, &bytes1).unwrap();
-        assert!(!root.join("t").join("shard1.hhs").exists());
-        assert!(!root.join("t").join("shard2.hhs").exists());
+        let spec = spec();
+        let (_, mut bundle) = bank(&spec, 4);
+        bundle.shards.pop();
+        bundle.hwms.pop();
+        store.save_tenant("t", &spec, &bundle).unwrap();
         let report = store.load_all().unwrap();
-        assert_eq!(report.recovered.len(), 1);
-        assert_eq!(report.recovered[0].shards.len(), 1);
+        assert!(report.recovered.is_empty());
+        assert_eq!(report.lost.len(), 1);
+        assert!(
+            report.lost[0].1.contains("holds 1 shards"),
+            "{:?}",
+            report.lost
+        );
         let _ = fs::remove_dir_all(&root);
     }
 }

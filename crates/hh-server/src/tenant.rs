@@ -20,16 +20,26 @@
 //!   ([`Backpressure::Shed`]): a full shard queue drops the batch, and
 //!   [`Tenant::ingest`] turns the drop into a structured
 //!   [`ProtocolError::Overloaded`] so the client backs off.
-//! * [`Tenant::checkpoint`] produces the bytes the [`crate::store`]
+//! * [`Tenant::checkpoint`] produces the bundle the [`crate::store`]
 //!   persists. Poisoned shards keep their *last good* bytes — the
 //!   panic-interrupted state never reaches disk.
+//! * With a WAL attached ([`Tenant::attach_wal`]), every accepted
+//!   batch is appended to the log *before* the ack
+//!   ([`Tenant::ingest_logged`]), per-shard high-water marks track
+//!   what the last checkpoint covers, and [`Tenant::replay_frame`]
+//!   re-applies the tail idempotently on recovery. A failed append is
+//!   **fail-stop**: the batch is already in the shard but not in the
+//!   log, so the tenant latches a write-quarantine rather than ack
+//!   data it could silently lose.
 
+use crate::durability::{encode_frame, BankSnapshot, DedupEntry, DedupTable, IngestFrame};
 use crate::facade::{DynSummary, TenantSpec};
 use crate::proto::{ProtocolError, RangeEntry};
 use bytes::Bytes;
 use hh_core::MergeableSummary;
 use hh_pipeline::{Backpressure, FailurePolicy, Frozen, IngestMode, ShardRuntime};
 use hh_space::SpaceUsage;
+use hh_wal::{Wal, WalStats};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -40,12 +50,21 @@ pub const RETRY_AFTER_MS: u64 = 50;
 /// and serving the previous epoch.
 const REFRESH_FLUSH_TIMEOUT: Duration = Duration::from_secs(2);
 
-/// How long a checkpoint waits on the flush barrier before falling
-/// back to last-good bytes for the shards still pending. Checkpoint
-/// rounds run under the server's registry lock, so this bound is what
-/// keeps one wedged shard worker from stalling every request on the
-/// server.
-const CHECKPOINT_FLUSH_TIMEOUT: Duration = Duration::from_secs(2);
+/// What [`Tenant::ingest_logged`] hands back: the ack payload plus the
+/// durability obligation the *server* must discharge before sending it.
+#[derive(Debug)]
+pub struct IngestOutcome {
+    /// Items accepted (the ack payload).
+    pub accepted: u64,
+    /// When set, `wal.commit(seq)` must succeed before the ack leaves
+    /// the server. Returned instead of committed inline so the server
+    /// can drop the registry lock first — group-commit waits must not
+    /// serialize every other tenant.
+    pub commit: Option<(Arc<Wal>, u64)>,
+    /// Whether this ack was replayed from the dedup table rather than
+    /// applied.
+    pub deduplicated: bool,
+}
 
 /// A live tenant: spec, shard bank, serving view, and bookkeeping.
 pub struct Tenant {
@@ -65,8 +84,22 @@ pub struct Tenant {
     disk_bytes: Vec<Bytes>,
     /// Operator-injected fault (testing and drills): while set, writes
     /// are refused as [`ProtocolError::Quarantined`] and health reports
-    /// the tenant, without any shard actually dying.
+    /// the tenant, without any shard actually dying. Also latched by a
+    /// failed WAL append (fail-stop — see the module docs).
     forced_fault: Option<String>,
+    /// The write-ahead log, when the server runs with one.
+    wal: Option<Arc<Wal>>,
+    /// Exactly-once request dedup (client → latest acked request).
+    dedup: DedupTable,
+    /// Highest WAL sequence number *dispatched* to each shard.
+    applied: Vec<u64>,
+    /// Highest WAL sequence number each shard's persisted bytes cover
+    /// (advanced by [`Tenant::checkpoint`] for shards that flushed).
+    disk_hwm: Vec<u64>,
+    /// WAL records re-applied during recovery.
+    wal_replayed: u64,
+    /// Reused frame-encode buffer for the append hot path.
+    wal_scratch: Vec<u8>,
 }
 
 impl std::fmt::Debug for Tenant {
@@ -107,6 +140,7 @@ impl Tenant {
         // Arm in-memory recovery immediately: a shard that dies before
         // the first periodic checkpoint can still be rebuilt.
         runtime.checkpoint();
+        let shards = spec.shards as usize;
         Ok(Self {
             spec,
             runtime,
@@ -117,7 +151,30 @@ impl Tenant {
             last_touch: 0,
             disk_bytes,
             forced_fault: None,
+            wal: None,
+            dedup: DedupTable::default(),
+            applied: vec![0; shards],
+            disk_hwm: vec![0; shards],
+            wal_replayed: 0,
+            wal_scratch: Vec::new(),
         })
+    }
+
+    /// Restores the durability metadata persisted in a checkpoint
+    /// bundle: per-shard high-water marks and the dedup table. Must run
+    /// before [`Tenant::replay_frame`] so replay can skip records the
+    /// bundle already covers.
+    pub fn restore_durability(&mut self, hwms: &[u64], dedup: &[(u64, DedupEntry)]) {
+        debug_assert_eq!(hwms.len(), self.spec.shards as usize);
+        self.disk_hwm.copy_from_slice(hwms);
+        self.applied.copy_from_slice(hwms);
+        self.dedup = DedupTable::from_snapshot(dedup);
+    }
+
+    /// Attaches the write-ahead log. Every later accepted batch routes
+    /// through it ([`Tenant::ingest_logged`]).
+    pub fn attach_wal(&mut self, wal: Arc<Wal>) {
+        self.wal = Some(wal);
     }
 
     /// Appends `items` to shard `shard`. Returns the number accepted.
@@ -129,10 +186,51 @@ impl Tenant {
     /// [`ProtocolError::Overloaded`] if the batch was shed on a full
     /// queue.
     pub fn ingest(&mut self, name: &str, shard: u32, items: &[u64]) -> Result<u64, ProtocolError> {
+        self.ingest_logged(name, shard, 0, 0, items)
+            .map(|o| o.accepted)
+    }
+
+    /// The full ingest path: exactly-once dedup, dispatch, WAL append.
+    ///
+    /// Ordering is load-bearing: dedup lookup first (a retry of an
+    /// acked request replays the ack without touching the shards), then
+    /// dispatch (a shed batch is *never* logged — the client will
+    /// retry it), then the WAL append, then dedup admission. The
+    /// returned [`IngestOutcome::commit`] obligation must be
+    /// discharged by the caller before acking.
+    ///
+    /// # Errors
+    /// Everything [`Tenant::ingest`] returns, plus
+    /// [`ProtocolError::Io`] when the WAL append fails — in which case
+    /// the tenant latches a write-quarantine (fail-stop): the batch
+    /// reached the shard but not the log, and an un-logged ack is a
+    /// promise recovery cannot keep.
+    pub fn ingest_logged(
+        &mut self,
+        name: &str,
+        shard: u32,
+        client: u64,
+        req_seq: u64,
+        items: &[u64],
+    ) -> Result<IngestOutcome, ProtocolError> {
         if shard >= self.spec.shards {
             return Err(ProtocolError::ShardOutOfRange {
                 shard,
                 shards: self.spec.shards,
+            });
+        }
+        if let Some(hit) = self.dedup.check(client, req_seq) {
+            // Replay the original ack — but only after the log entry it
+            // stands on is durable (the first attempt may have died
+            // between append and commit).
+            let commit = match (&self.wal, hit.wal_seq) {
+                (Some(wal), seq) if seq > 0 => Some((Arc::clone(wal), seq)),
+                _ => None,
+            };
+            return Ok(IngestOutcome {
+                accepted: hit.accepted,
+                commit,
+                deduplicated: true,
             });
         }
         if self.forced_fault.is_some() {
@@ -155,9 +253,83 @@ impl Tenant {
                 retry_after_ms: RETRY_AFTER_MS,
             });
         }
+        let mut wal_seq = 0;
+        let commit = if let Some(wal) = &self.wal {
+            let mut scratch = std::mem::take(&mut self.wal_scratch);
+            encode_frame(shard, client, req_seq, items, &mut scratch);
+            let appended = wal.append(&scratch);
+            self.wal_scratch = scratch;
+            match appended {
+                Ok(seq) => {
+                    wal_seq = seq;
+                    self.applied[j] = seq;
+                    Some((Arc::clone(wal), seq))
+                }
+                Err(e) => {
+                    self.forced_fault = Some(format!("wal append failed: {e}"));
+                    return Err(ProtocolError::Io(
+                        std::io::ErrorKind::Other,
+                        format!("wal append failed, tenant write-quarantined: {e}"),
+                    ));
+                }
+            }
+        } else {
+            None
+        };
+        self.dedup.admit(
+            client,
+            DedupEntry {
+                req_seq,
+                accepted: items.len() as u64,
+                wal_seq,
+            },
+        );
         self.stale_items += items.len() as u64;
         self.total_items += items.len() as u64;
-        Ok(items.len() as u64)
+        Ok(IngestOutcome {
+            accepted: items.len() as u64,
+            commit,
+            deduplicated: false,
+        })
+    }
+
+    /// Re-applies one WAL record during recovery. Idempotent against
+    /// the checkpoint bundle: a record whose sequence number is at or
+    /// below its shard's high-water mark is already reflected in the
+    /// restored bytes and is skipped (its dedup entry is still
+    /// re-armed if newer than what the bundle carried). Returns whether
+    /// the record was applied.
+    ///
+    /// # Errors
+    /// [`ProtocolError::BadRequest`] if the frame names a shard the
+    /// spec does not have — a crc-valid record that contradicts the
+    /// spec is structural damage, and the caller quarantines the
+    /// tenant.
+    pub fn replay_frame(&mut self, seq: u64, frame: &IngestFrame) -> Result<bool, ProtocolError> {
+        if frame.shard >= self.spec.shards {
+            return Err(ProtocolError::BadRequest(format!(
+                "wal record {seq} names shard {} but the spec has {}",
+                frame.shard, self.spec.shards
+            )));
+        }
+        let j = frame.shard as usize;
+        self.dedup.admit_replay(
+            frame.client,
+            DedupEntry {
+                req_seq: frame.req_seq,
+                accepted: frame.items.len() as u64,
+                wal_seq: seq,
+            },
+        );
+        if seq <= self.disk_hwm[j] {
+            return Ok(false);
+        }
+        self.runtime.dispatch_ref(j, &frame.items);
+        self.applied[j] = seq;
+        self.stale_items += frame.items.len() as u64;
+        self.total_items += frame.items.len() as u64;
+        self.wal_replayed += 1;
+        Ok(true)
     }
 
     /// The serving view, refreshed first if ingestion has outrun it.
@@ -241,15 +413,66 @@ impl Tenant {
     }
 
     /// Checkpoints the bank: arms the runtime's in-memory recovery and
-    /// returns the per-shard bytes to persist. The flush barrier is
-    /// bounded (`CHECKPOINT_FLUSH_TIMEOUT`); poisoned shards and
-    /// shards whose worker missed the deadline contribute their last
-    /// good bytes — a wedged worker's cell lock is never even taken.
-    pub fn checkpoint(&mut self) -> Vec<Bytes> {
-        for (j, bytes) in self.runtime.checkpoint_timeout(CHECKPOINT_FLUSH_TIMEOUT) {
-            self.disk_bytes[j] = bytes;
+    /// returns the bundle to persist. The flush barrier is bounded by
+    /// `timeout` ([`crate::server::ServerConfig::checkpoint_timeout`]);
+    /// poisoned shards and shards whose worker missed the deadline
+    /// contribute their last good bytes *and keep their old high-water
+    /// mark* — a wedged worker's cell lock is never even taken, and
+    /// recovery replays its tail from the WAL instead.
+    ///
+    /// With a WAL attached the log is fsynced first, so the bundle's
+    /// marks never reference sequence numbers the log could lose: a
+    /// reopened log's next sequence number is always past every mark,
+    /// and fresh appends can never be shadowed by a stale mark. If
+    /// that sync fails the whole bundle falls back to last-good (bytes
+    /// *and* marks) and the tenant latches a write-quarantine — the
+    /// same fail-stop as a failed append.
+    pub fn checkpoint(&mut self, timeout: Duration) -> BankSnapshot {
+        let wal_ok = match &self.wal {
+            Some(wal) => wal.sync().is_ok(),
+            None => true,
+        };
+        if wal_ok {
+            for (j, bytes) in self.runtime.checkpoint_timeout(timeout) {
+                self.disk_bytes[j] = bytes;
+                self.disk_hwm[j] = self.applied[j];
+            }
+        } else {
+            self.forced_fault
+                .get_or_insert_with(|| "wal sync failed at checkpoint".to_string());
         }
-        self.disk_bytes.clone()
+        BankSnapshot {
+            shards: self.disk_bytes.iter().map(|b| b.to_vec()).collect(),
+            hwms: self.disk_hwm.clone(),
+            dedup: self.dedup.snapshot(),
+        }
+    }
+
+    /// The WAL sequence number every shard's persisted bytes cover —
+    /// the safe compaction bound: segments whose records all sit at or
+    /// below it can be retired.
+    pub fn covered_seq(&self) -> u64 {
+        self.disk_hwm.iter().copied().min().unwrap_or(0)
+    }
+
+    /// The attached WAL, if any.
+    pub fn wal(&self) -> Option<&Arc<Wal>> {
+        self.wal.as_ref()
+    }
+
+    /// The attached WAL's counters (zeroed defaults without one).
+    pub fn wal_stats(&self) -> WalStats {
+        self.wal.as_ref().map(|w| w.stats()).unwrap_or_default()
+    }
+
+    /// Retries answered from the dedup table.
+    pub fn dedup_hits(&self) -> u64 {
+        self.dedup.hits()
+    }
+
+    /// WAL records re-applied during recovery.
+    pub fn wal_replayed(&self) -> u64 {
+        self.wal_replayed
     }
 
     /// Clears quarantine: rebuilds every poisoned shard from its last
@@ -371,13 +594,55 @@ mod tests {
         let mut t = Tenant::create(spec()).unwrap();
         t.ingest("t", 0, &[7; 500]).unwrap();
         t.ingest("t", 1, &[9; 300]).unwrap();
-        let bytes = t.checkpoint();
-        assert_eq!(bytes.len(), 2);
-        for b in &bytes {
+        let bank = t.checkpoint(Duration::from_secs(2));
+        assert_eq!(bank.shards.len(), 2);
+        assert_eq!(bank.hwms, vec![0, 0], "no WAL, marks stay zero");
+        for b in &bank.shards {
             let (restored, report) = DynSummary::from_bytes_report(b).unwrap();
             assert!(report.checksum_verified);
             assert_eq!(restored.kind(), SummaryKind::SpaceSaving);
         }
+    }
+
+    #[test]
+    fn logged_ingest_appends_dedups_and_replays() {
+        let dir = std::env::temp_dir().join(format!("hh-tenant-wal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (wal, replay) = hh_wal::Wal::open(hh_wal::WalConfig::new(&dir), 1).unwrap();
+        assert!(replay.records.is_empty());
+        let wal = Arc::new(wal);
+        let mut t = Tenant::create(spec()).unwrap();
+        t.attach_wal(Arc::clone(&wal));
+
+        let out = t.ingest_logged("t", 0, 42, 1, &[7, 7, 9]).unwrap();
+        assert_eq!(out.accepted, 3);
+        assert!(!out.deduplicated);
+        let (_, seq) = out.commit.expect("logged ingest owes a commit");
+        wal.commit(seq).unwrap();
+
+        // A retry of the same (client, req_seq) replays the ack
+        // without dispatching again.
+        let retry = t.ingest_logged("t", 0, 42, 1, &[7, 7, 9]).unwrap();
+        assert!(retry.deduplicated);
+        assert_eq!(retry.accepted, 3);
+        assert_eq!(t.total_items, 3, "the retry never reached the shards");
+        assert_eq!(t.dedup_hits(), 1);
+
+        // Recovery: a fresh tenant replays the record once; marks make
+        // a second replay of the same record a no-op.
+        let (_, replay) = hh_wal::Wal::open(hh_wal::WalConfig::new(&dir), 1).unwrap();
+        assert_eq!(replay.records.len(), 1);
+        let mut fresh = Tenant::create(spec()).unwrap();
+        for rec in &replay.records {
+            let frame = IngestFrame::decode(&rec.payload).unwrap();
+            assert!(fresh.replay_frame(rec.seq, &frame).unwrap());
+        }
+        assert_eq!(fresh.total_items, 3);
+        assert_eq!(fresh.wal_replayed(), 1);
+        // And the replayed dedup entry still answers the retry.
+        let retry = fresh.ingest_logged("t", 0, 42, 1, &[7, 7, 9]).unwrap();
+        assert!(retry.deduplicated);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,32 @@
+//! Segmented write-ahead log for the serving daemon.
+//!
+//! PR 8's daemon bounded crash loss to "at most the un-checkpointed
+//! window"; this crate closes that window. Every acked ingest is
+//! appended here as a checksummed record *before* the ack, so recovery
+//! can replay `snapshot + WAL tail` and lose nothing that was ever
+//! acknowledged.
+//!
+//! The BDW16 setting makes this unusually cheap: the entire recovery
+//! state is an O(ε⁻¹ log n)-word snapshot plus a log whose depth is
+//! bounded by the checkpoint cadence — so real group-commit durability
+//! costs one amortized fsync per interval, not per ack.
+//!
+//! The layers, bottom up:
+//!
+//! * [`record`] — one checksummed unit: `[len][seq + payload][crc32]`,
+//!   fail-closed decode (bounded lengths, no panic on any byte soup).
+//! * [`segment`] — header format, naming, and the scan that separates
+//!   legal torn tails (active segment, truncate) from structural
+//!   damage (sealed segment, quarantine).
+//! * [`wal`] — the log: append / commit under an [`FsyncPolicy`],
+//!   group-commit thread, rotation, replay, and checkpoint-gated
+//!   [`Wal::compact`].
+
+pub mod record;
+pub mod segment;
+pub mod wal;
+
+pub use record::{Record, RecordFault, MAX_RECORD_LEN};
+pub use wal::{
+    record_disk_len, replay_dir, FsyncPolicy, Wal, WalConfig, WalError, WalReplay, WalStats,
+};

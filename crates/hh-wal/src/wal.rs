@@ -1,0 +1,865 @@
+//! The log itself: append, commit (durability wait), replay, segment
+//! rotation, and checkpoint-gated compaction.
+//!
+//! # Durability model
+//!
+//! [`Wal::append`] assigns the next sequence number and buffers the
+//! record into the active segment (one `write` syscall, no fsync).
+//! [`Wal::commit`] then makes a sequence number *durable* according to
+//! the configured [`FsyncPolicy`]:
+//!
+//! * [`FsyncPolicy::PerBatch`] — `commit` fsyncs the active segment
+//!   inline. Every acked batch survives power loss; every ack pays a
+//!   full fsync (cheap on the battery-backed or tmpfs stores the tests
+//!   use, expensive on spinning metal).
+//! * [`FsyncPolicy::GroupCommit`] — a dedicated committer thread
+//!   fsyncs at most once per interval; `commit` blocks until the
+//!   group fsync covering its sequence number lands. Concurrent acks
+//!   share one fsync, so the per-ack cost amortizes to near zero while
+//!   the power-loss guarantee is unchanged — acked means fsynced.
+//! * [`FsyncPolicy::OsBuffered`] — `commit` returns immediately.
+//!   Acked data survives a *process* crash (the page cache outlives
+//!   the process) but not power loss. The fastest policy, and the
+//!   honest name for what many systems silently do.
+//!
+//! # Failure handling
+//!
+//! The log is **fail-stop**: the first append or fsync error latches
+//! [`WalError::Failed`] and every later operation refuses. A
+//! half-written record from a failed append is rolled back with
+//! `set_len` where possible so the latch, not interleaved garbage, is
+//! what the next reader finds. Replay damage policy lives in
+//! [`crate::segment`]: torn active tails truncate, anything else is
+//! structural and surfaces as [`WalError::Structural`] for the caller
+//! to quarantine.
+//!
+//! # Compaction invariant
+//!
+//! [`Wal::compact`]`(covered)` deletes a sealed segment only when
+//! *every* sequence number it holds is at most `covered` — the
+//! caller's promise that a durable checkpoint already reflects those
+//! records. The active segment is never deleted, so the sequence
+//! numbering never loses its anchor.
+
+use crate::record::{encode_record, encoded_len, Record};
+use crate::segment::{
+    encode_header, parse_segment_file_name, scan_segment, segment_file_name, SEGMENT_HEADER_LEN,
+};
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// When acked appends reach the platter; see the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Fsync inline in every [`Wal::commit`].
+    PerBatch,
+    /// A committer thread fsyncs at most once per this interval;
+    /// commits block until their group fsync lands.
+    GroupCommit(Duration),
+    /// Never fsync on the append path (process-crash durability only).
+    OsBuffered,
+}
+
+/// Log tunables.
+#[derive(Debug, Clone)]
+pub struct WalConfig {
+    /// Directory holding the segment files (created if absent).
+    pub dir: PathBuf,
+    /// Rotate the active segment once it reaches this many bytes.
+    pub segment_bytes: u64,
+    /// Durability policy for [`Wal::commit`].
+    pub fsync: FsyncPolicy,
+}
+
+impl WalConfig {
+    /// A config rooted at `dir` with production-shaped defaults
+    /// (4 MiB segments, 1 ms group commit).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            segment_bytes: 4 << 20,
+            fsync: FsyncPolicy::GroupCommit(Duration::from_millis(1)),
+        }
+    }
+}
+
+/// Everything that can go wrong operating the log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalError {
+    /// A filesystem operation failed (kind plus context).
+    Io(std::io::ErrorKind, String),
+    /// Replay found damage that cannot be a legal torn tail; the log
+    /// cannot be trusted and its tenant should be quarantined.
+    Structural(String),
+    /// The log latched fail-stop after an earlier error; no further
+    /// appends or commits are accepted.
+    Failed(String),
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(kind, what) => write!(f, "wal io failure ({kind:?}): {what}"),
+            Self::Structural(what) => write!(f, "wal structurally damaged: {what}"),
+            Self::Failed(what) => write!(f, "wal is fail-stopped: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e.kind(), e.to_string())
+    }
+}
+
+/// What [`Wal::open`] salvaged from disk.
+#[derive(Debug, Default)]
+pub struct WalReplay {
+    /// Every surviving record, in sequence order. The caller filters
+    /// against its checkpoint high-water marks for idempotent replay.
+    pub records: Vec<Record>,
+    /// Torn-tail bytes truncated from the active segment.
+    pub truncated_bytes: u64,
+    /// Segment files scanned.
+    pub segments: u64,
+}
+
+/// A point-in-time stats snapshot (all counters since open).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Records appended.
+    pub appended_records: u64,
+    /// On-disk bytes appended (framing included).
+    pub appended_bytes: u64,
+    /// Highest sequence number appended (0 if none ever).
+    pub appended_seq: u64,
+    /// Highest sequence number known durable under the policy.
+    pub durable_seq: u64,
+    /// Fsync calls issued.
+    pub fsyncs: u64,
+    /// Live segment files (sealed plus active).
+    pub segments: u64,
+    /// Bytes across all live segment files.
+    pub log_bytes: u64,
+    /// Records appended but not yet covered by a checkpoint
+    /// (`appended_seq - covered_seq`): the replay debt a crash incurs.
+    pub depth_records: u64,
+    /// Worst single [`Wal::commit`] wait observed, in microseconds —
+    /// the fsync lag an acked ingest paid.
+    pub max_commit_wait_us: u64,
+    /// Sealed segments retired by compaction.
+    pub compacted_segments: u64,
+}
+
+/// A sealed (rotated, fully fsynced) segment still on disk.
+struct SealedSeg {
+    first_seq: u64,
+    path: PathBuf,
+    bytes: u64,
+}
+
+struct WalState {
+    /// Active segment file, opened for append.
+    file: File,
+    active_path: PathBuf,
+    active_first_seq: u64,
+    active_len: u64,
+    /// Sequence number the next append receives.
+    next_seq: u64,
+    appended_seq: u64,
+    durable_seq: u64,
+    /// Highest sequence number a checkpoint covers (compaction input).
+    covered_seq: u64,
+    sealed: Vec<SealedSeg>,
+    /// Fail-stop latch; set by the first irrecoverable error.
+    failed: Option<String>,
+    // Counters (snapshotted by `stats`).
+    appended_records: u64,
+    appended_bytes: u64,
+    fsyncs: u64,
+    max_commit_wait_us: u64,
+    compacted_segments: u64,
+    /// Scratch buffer for record encoding (reused across appends).
+    scratch: Vec<u8>,
+}
+
+struct WalShared {
+    config: WalConfig,
+    state: Mutex<WalState>,
+    /// Signaled when `durable_seq` advances or the log fail-stops
+    /// (commit waiters), and to nudge the committer thread.
+    cond: Condvar,
+    stop: AtomicBool,
+}
+
+/// One tenant's write-ahead log. Internally synchronized: share it as
+/// `Arc<Wal>` and call [`Wal::append`] / [`Wal::commit`] from any
+/// thread.
+pub struct Wal {
+    shared: Arc<WalShared>,
+    committer: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal")
+            .field("dir", &self.shared.config.dir)
+            .field("fsync", &self.shared.config.fsync)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Fsyncs a directory so entry creations/deletions inside it are
+/// durable (the same discipline as the store's atomic writes).
+fn sync_dir(dir: &Path) -> std::io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
+/// Creates a fresh segment file (header written and fsynced, directory
+/// entry fsynced) and returns it opened for append.
+fn create_segment(dir: &Path, first_seq: u64) -> std::io::Result<(File, PathBuf)> {
+    let path = dir.join(segment_file_name(first_seq));
+    let mut f = OpenOptions::new()
+        .create_new(true)
+        .write(true)
+        .open(&path)?;
+    f.write_all(&encode_header(first_seq))?;
+    f.sync_all()?;
+    sync_dir(dir)?;
+    Ok((f, path))
+}
+
+impl Wal {
+    /// Opens (creating if needed) the log in `config.dir` and replays
+    /// every surviving record. `next_seq_hint` seeds the numbering of
+    /// an *empty* directory (a fresh tenant passes 1; a caller
+    /// re-creating a wiped log passes its checkpoint high-water mark
+    /// plus one); a non-empty log derives its numbering from disk.
+    ///
+    /// # Errors
+    /// [`WalError::Structural`] on damage outside a legal torn tail —
+    /// the caller should quarantine, not retry. [`WalError::Io`] on
+    /// filesystem failure.
+    pub fn open(config: WalConfig, next_seq_hint: u64) -> Result<(Self, WalReplay), WalError> {
+        std::fs::create_dir_all(&config.dir)?;
+        let mut firsts: Vec<u64> = Vec::new();
+        for entry in std::fs::read_dir(&config.dir)? {
+            let entry = entry?;
+            let Ok(name) = entry.file_name().into_string() else {
+                continue;
+            };
+            if let Some(first) = parse_segment_file_name(&name) {
+                firsts.push(first);
+            }
+        }
+        firsts.sort_unstable();
+        firsts.dedup();
+
+        let mut replay = WalReplay::default();
+        let mut sealed = Vec::new();
+        let (file, active_path, active_first_seq, active_len, next_seq) = if firsts.is_empty() {
+            let first = next_seq_hint.max(1);
+            let (f, path) = create_segment(&config.dir, first)?;
+            (f, path, first, SEGMENT_HEADER_LEN as u64, first)
+        } else {
+            let mut expect = firsts[0];
+            let mut active = None;
+            for (i, &first) in firsts.iter().enumerate() {
+                let is_last = i + 1 == firsts.len();
+                let path = config.dir.join(segment_file_name(first));
+                if first != expect {
+                    return Err(WalError::Structural(format!(
+                        "segment {} breaks continuity (expected first seq {expect})",
+                        path.display()
+                    )));
+                }
+                let bytes = std::fs::read(&path)?;
+                let scan = scan_segment(&bytes, !is_last, expect)
+                    .map_err(|e| WalError::Structural(format!("{}: {e}", path.display())))?;
+                if !is_last && scan.records.is_empty() {
+                    return Err(WalError::Structural(format!(
+                        "sealed segment {} holds no records",
+                        path.display()
+                    )));
+                }
+                expect += scan.records.len() as u64;
+                replay.segments += 1;
+                replay.records.extend(scan.records);
+                if is_last {
+                    if scan.discarded_bytes > 0 {
+                        // Torn tail: cut the file back to the last whole
+                        // record so appends resume on a clean boundary.
+                        let f = OpenOptions::new().write(true).open(&path)?;
+                        f.set_len(scan.valid_len)?;
+                        f.sync_all()?;
+                        replay.truncated_bytes = scan.discarded_bytes;
+                    }
+                    active = Some((path, first, scan.valid_len));
+                } else {
+                    sealed.push(SealedSeg {
+                        first_seq: first,
+                        path,
+                        bytes: bytes.len() as u64,
+                    });
+                }
+            }
+            let (path, first, len) = active.expect("non-empty segment list");
+            let f = OpenOptions::new().append(true).open(&path)?;
+            (f, path, first, len, expect)
+        };
+
+        let appended_seq = next_seq.saturating_sub(1);
+        let covered_seq = sealed
+            .first()
+            .map_or(active_first_seq, |s| s.first_seq)
+            .saturating_sub(1);
+        let shared = Arc::new(WalShared {
+            state: Mutex::new(WalState {
+                file,
+                active_path,
+                active_first_seq,
+                active_len,
+                next_seq,
+                appended_seq,
+                // Whatever survived to be replayed is as durable as it
+                // will ever get.
+                durable_seq: appended_seq,
+                covered_seq,
+                sealed,
+                failed: None,
+                appended_records: 0,
+                appended_bytes: 0,
+                fsyncs: 0,
+                max_commit_wait_us: 0,
+                compacted_segments: 0,
+                scratch: Vec::new(),
+            }),
+            cond: Condvar::new(),
+            stop: AtomicBool::new(false),
+            config,
+        });
+        let committer = match shared.config.fsync {
+            FsyncPolicy::GroupCommit(interval) => {
+                let shared = Arc::clone(&shared);
+                Some(
+                    std::thread::Builder::new()
+                        .name("hh-wal-commit".into())
+                        .spawn(move || group_commit_loop(&shared, interval))
+                        .map_err(WalError::from)?,
+                )
+            }
+            _ => None,
+        };
+        Ok((Self { shared, committer }, replay))
+    }
+
+    fn lock(&self) -> MutexGuard<'_, WalState> {
+        self.shared
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Appends `payload` as the next record and returns its sequence
+    /// number. Buffered only — pair with [`Wal::commit`] before acking.
+    ///
+    /// # Errors
+    /// [`WalError::Failed`] once fail-stopped; [`WalError::Io`] on the
+    /// write that latches it.
+    pub fn append(&self, payload: &[u8]) -> Result<u64, WalError> {
+        let mut st = self.lock();
+        if let Some(why) = &st.failed {
+            return Err(WalError::Failed(why.clone()));
+        }
+        // Rotate first so a record never straddles the size threshold
+        // by more than one record.
+        if st.active_len >= self.shared.config.segment_bytes {
+            if let Err(e) = rotate(&mut st, &self.shared.config) {
+                let why = format!("rotation failed: {e}");
+                st.failed = Some(why.clone());
+                self.shared.cond.notify_all();
+                return Err(WalError::Failed(why));
+            }
+        }
+        let seq = st.next_seq;
+        let mut scratch = std::mem::take(&mut st.scratch);
+        scratch.clear();
+        encode_record(seq, payload, &mut scratch);
+        let wrote = st.file.write_all(&scratch);
+        let rec_len = scratch.len() as u64;
+        st.scratch = scratch;
+        if let Err(e) = wrote {
+            // Roll the file back to the last record boundary; if even
+            // that fails the latch still protects correctness (replay
+            // truncates the torn tail).
+            let _ = st.file.set_len(st.active_len);
+            let why = format!("append of seq {seq} failed: {e}");
+            st.failed = Some(why.clone());
+            self.shared.cond.notify_all();
+            return Err(WalError::Failed(why));
+        }
+        st.active_len += rec_len;
+        st.next_seq += 1;
+        st.appended_seq = seq;
+        st.appended_records += 1;
+        st.appended_bytes += rec_len;
+        if matches!(self.shared.config.fsync, FsyncPolicy::GroupCommit(_)) {
+            // Nudge the committer so an idle-interval wait does not add
+            // a full interval of latency to a lone append.
+            self.shared.cond.notify_all();
+        }
+        Ok(seq)
+    }
+
+    /// Blocks until `seq` is durable under the configured policy (see
+    /// the module docs). Acking a client before `commit` returns
+    /// forfeits the zero-acked-loss guarantee.
+    ///
+    /// # Errors
+    /// [`WalError::Failed`] if the log fail-stopped before durability
+    /// was reached.
+    pub fn commit(&self, seq: u64) -> Result<(), WalError> {
+        let t0 = Instant::now();
+        let mut st = self.lock();
+        let result = match self.shared.config.fsync {
+            FsyncPolicy::OsBuffered => Ok(()),
+            FsyncPolicy::PerBatch => sync_active(&mut st, seq),
+            FsyncPolicy::GroupCommit(_) => loop {
+                if st.durable_seq >= seq.min(st.appended_seq) {
+                    break Ok(());
+                }
+                if let Some(why) = &st.failed {
+                    break Err(WalError::Failed(why.clone()));
+                }
+                // Bounded wait: if the committer thread died (or was
+                // never there), fall back to syncing inline rather
+                // than hanging an ack forever.
+                let (guard, timeout) = self
+                    .shared
+                    .cond
+                    .wait_timeout(st, Duration::from_millis(50))
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                st = guard;
+                if timeout.timed_out() && st.durable_seq < seq.min(st.appended_seq) {
+                    break sync_active(&mut st, seq);
+                }
+            },
+        };
+        let waited = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        st.max_commit_wait_us = st.max_commit_wait_us.max(waited);
+        result
+    }
+
+    /// Forces everything appended so far to disk, regardless of
+    /// policy.
+    pub fn sync(&self) -> Result<(), WalError> {
+        let mut st = self.lock();
+        let up_to = st.appended_seq;
+        sync_active(&mut st, up_to)
+    }
+
+    /// Retires every sealed segment whose records are all at or below
+    /// `covered` (the caller's durable checkpoint high-water mark).
+    /// Returns segments deleted. The active segment always survives.
+    pub fn compact(&self, covered: u64) -> Result<u64, WalError> {
+        let mut st = self.lock();
+        st.covered_seq = st.covered_seq.max(covered);
+        let mut removed = 0;
+        while let Some(front) = st.sealed.first() {
+            // The front sealed segment ends where its successor starts.
+            let end = st
+                .sealed
+                .get(1)
+                .map_or(st.active_first_seq, |next| next.first_seq)
+                .saturating_sub(1);
+            if end > covered {
+                break;
+            }
+            let path = front.path.clone();
+            std::fs::remove_file(&path)?;
+            st.sealed.remove(0);
+            st.compacted_segments += 1;
+            removed += 1;
+        }
+        if removed > 0 {
+            sync_dir(&self.shared.config.dir)?;
+        }
+        Ok(removed)
+    }
+
+    /// Point-in-time counters.
+    pub fn stats(&self) -> WalStats {
+        let st = self.lock();
+        WalStats {
+            appended_records: st.appended_records,
+            appended_bytes: st.appended_bytes,
+            appended_seq: st.appended_seq,
+            durable_seq: st.durable_seq,
+            fsyncs: st.fsyncs,
+            segments: st.sealed.len() as u64 + 1,
+            log_bytes: st.sealed.iter().map(|s| s.bytes).sum::<u64>() + st.active_len,
+            depth_records: st.appended_seq.saturating_sub(st.covered_seq),
+            max_commit_wait_us: st.max_commit_wait_us,
+            compacted_segments: st.compacted_segments,
+        }
+    }
+
+    /// The sequence number the next append will receive.
+    pub fn next_seq(&self) -> u64 {
+        self.lock().next_seq
+    }
+
+    /// The on-disk byte offset durability has reached in the active
+    /// segment (everything before it survives power loss; the tail
+    /// past it may tear). Test oracles cut files here.
+    pub fn durable_active_bytes(&self) -> u64 {
+        let st = self.lock();
+        match self.shared.config.fsync {
+            // Never fsynced: only what the OS happened to flush — the
+            // conservative answer is the header alone.
+            FsyncPolicy::OsBuffered if st.fsyncs == 0 => SEGMENT_HEADER_LEN as u64,
+            _ if st.durable_seq >= st.appended_seq => st.active_len,
+            _ => {
+                // Durability lags: conservatively, nothing past the
+                // last explicit fsync point is promised. Policies that
+                // ack only after commit never expose this window.
+                SEGMENT_HEADER_LEN as u64
+            }
+        }
+    }
+}
+
+impl Drop for Wal {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.cond.notify_all();
+        if let Some(h) = self.committer.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Fsyncs the active segment and advances `durable_seq`; latches
+/// fail-stop on error. `seq` is only used to short-circuit when the
+/// work is already done.
+fn sync_active(st: &mut WalState, seq: u64) -> Result<(), WalError> {
+    if let Some(why) = &st.failed {
+        return Err(WalError::Failed(why.clone()));
+    }
+    if st.durable_seq >= seq.min(st.appended_seq) {
+        return Ok(());
+    }
+    match st.file.sync_data() {
+        Ok(()) => {
+            st.durable_seq = st.appended_seq;
+            st.fsyncs += 1;
+            Ok(())
+        }
+        Err(e) => {
+            let why = format!("fsync failed: {e}");
+            st.failed = Some(why.clone());
+            Err(WalError::Failed(why))
+        }
+    }
+}
+
+/// Seals the active segment (fsynced whole — the invariant replay's
+/// damage policy rests on) and starts a new one.
+fn rotate(st: &mut WalState, config: &WalConfig) -> std::io::Result<()> {
+    st.file.sync_all()?;
+    st.durable_seq = st.appended_seq;
+    st.fsyncs += 1;
+    let (file, path) = create_segment(&config.dir, st.next_seq)?;
+    let old_path = std::mem::replace(&mut st.active_path, path);
+    st.sealed.push(SealedSeg {
+        first_seq: st.active_first_seq,
+        path: old_path,
+        bytes: st.active_len,
+    });
+    st.file = file;
+    st.active_first_seq = st.next_seq;
+    st.active_len = SEGMENT_HEADER_LEN as u64;
+    Ok(())
+}
+
+fn group_commit_loop(shared: &WalShared, interval: Duration) {
+    loop {
+        let mut st = shared
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // Tick: wake early if nudged by an append or a drop.
+        let (guard, _) = shared
+            .cond
+            .wait_timeout(st, interval)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        st = guard;
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        if st.failed.is_none() && st.appended_seq > st.durable_seq {
+            let up_to = st.appended_seq;
+            let _ = sync_active(&mut st, up_to);
+            drop(st);
+            shared.cond.notify_all();
+        }
+    }
+}
+
+/// A convenience for tests and tooling: replays a directory without
+/// constructing a live log (no truncation side effects, no committer
+/// thread).
+pub fn replay_dir(dir: &Path) -> Result<WalReplay, WalError> {
+    let mut firsts: Vec<u64> = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let Ok(name) = entry.file_name().into_string() else {
+            continue;
+        };
+        if let Some(first) = parse_segment_file_name(&name) {
+            firsts.push(first);
+        }
+    }
+    firsts.sort_unstable();
+    let mut replay = WalReplay::default();
+    let mut expect = firsts.first().copied().unwrap_or(1);
+    for (i, &first) in firsts.iter().enumerate() {
+        let is_last = i + 1 == firsts.len();
+        let path = dir.join(segment_file_name(first));
+        if first != expect {
+            return Err(WalError::Structural(format!(
+                "segment {} breaks continuity (expected first seq {expect})",
+                path.display()
+            )));
+        }
+        let bytes = std::fs::read(&path)?;
+        let scan = scan_segment(&bytes, !is_last, expect)
+            .map_err(|e| WalError::Structural(format!("{}: {e}", path.display())))?;
+        expect += scan.records.len() as u64;
+        replay.segments += 1;
+        replay.truncated_bytes += scan.discarded_bytes;
+        replay.records.extend(scan.records);
+    }
+    Ok(replay)
+}
+
+/// The on-disk size of a record with this payload length (exposed so
+/// tests can compute exact cut offsets).
+pub fn record_disk_len(payload_len: usize) -> usize {
+    encoded_len(payload_len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("hh-wal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn cfg(dir: &Path, fsync: FsyncPolicy) -> WalConfig {
+        WalConfig {
+            dir: dir.to_path_buf(),
+            segment_bytes: 256, // tiny: rotation every few records
+            fsync,
+        }
+    }
+
+    #[test]
+    fn append_commit_reopen_replays_everything() {
+        let dir = tmpdir("roundtrip");
+        let payloads: Vec<Vec<u8>> = (0..20u8).map(|i| vec![i; 1 + i as usize]).collect();
+        {
+            let (wal, replay) = Wal::open(cfg(&dir, FsyncPolicy::PerBatch), 1).unwrap();
+            assert!(replay.records.is_empty());
+            for p in &payloads {
+                let seq = wal.append(p).unwrap();
+                wal.commit(seq).unwrap();
+            }
+            let stats = wal.stats();
+            assert_eq!(stats.appended_records, 20);
+            assert_eq!(stats.durable_seq, 20);
+            assert!(stats.segments > 1, "tiny segments must rotate");
+        }
+        let (wal, replay) = Wal::open(cfg(&dir, FsyncPolicy::PerBatch), 1).unwrap();
+        assert_eq!(replay.records.len(), 20);
+        for (i, rec) in replay.records.iter().enumerate() {
+            assert_eq!(rec.seq, i as u64 + 1);
+            assert_eq!(rec.payload, payloads[i]);
+        }
+        assert_eq!(wal.next_seq(), 21);
+        drop(wal);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn group_commit_blocks_until_durable_and_shares_fsyncs() {
+        let dir = tmpdir("group");
+        let (wal, _) = Wal::open(
+            cfg(&dir, FsyncPolicy::GroupCommit(Duration::from_millis(2))),
+            1,
+        )
+        .unwrap();
+        let wal = Arc::new(wal);
+        let workers: Vec<_> = (0..4)
+            .map(|w| {
+                let wal = Arc::clone(&wal);
+                std::thread::spawn(move || {
+                    for i in 0..25u8 {
+                        let seq = wal.append(&[w, i]).unwrap();
+                        wal.commit(seq).unwrap();
+                        assert!(wal.stats().durable_seq >= seq, "acked before durable");
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        let stats = wal.stats();
+        assert_eq!(stats.appended_records, 100);
+        assert!(
+            stats.fsyncs < 100,
+            "group commit must batch fsyncs, saw {}",
+            stats.fsyncs
+        );
+        drop(wal);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn os_buffered_acks_without_fsync() {
+        let dir = tmpdir("buffered");
+        let (wal, _) = Wal::open(cfg(&dir, FsyncPolicy::OsBuffered), 1).unwrap();
+        let seq = wal.append(b"fast").unwrap();
+        wal.commit(seq).unwrap();
+        assert_eq!(wal.stats().fsyncs, 0);
+        drop(wal);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_retires_only_fully_covered_sealed_segments() {
+        let dir = tmpdir("compact");
+        let (wal, _) = Wal::open(cfg(&dir, FsyncPolicy::PerBatch), 1).unwrap();
+        for i in 0..30u8 {
+            let seq = wal.append(&[i; 16]).unwrap();
+            wal.commit(seq).unwrap();
+        }
+        let before = wal.stats();
+        assert!(before.segments >= 3);
+        // Cover nothing: nothing may go.
+        assert_eq!(wal.compact(0).unwrap(), 0);
+        // Cover everything: all sealed segments go, the active stays.
+        let removed = wal.compact(30).unwrap();
+        assert_eq!(removed, before.segments - 1);
+        assert_eq!(wal.stats().segments, 1);
+        assert_eq!(wal.stats().depth_records, 0);
+        // Appends keep their numbering after full compaction.
+        let seq = wal.append(b"after").unwrap();
+        assert_eq!(seq, 31);
+        wal.commit(seq).unwrap();
+        drop(wal);
+        let (_, replay) = Wal::open(cfg(&dir, FsyncPolicy::PerBatch), 1).unwrap();
+        let seqs: Vec<u64> = replay.records.iter().map(|r| r.seq).collect();
+        assert!(seqs.contains(&31));
+        assert!(seqs.iter().all(|&s| s > 0), "seq anchor survived");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn partial_compaction_never_drops_uncovered_records() {
+        let dir = tmpdir("partial-compact");
+        let (wal, _) = Wal::open(cfg(&dir, FsyncPolicy::PerBatch), 1).unwrap();
+        for i in 0..30u8 {
+            let seq = wal.append(&[i; 16]).unwrap();
+            wal.commit(seq).unwrap();
+        }
+        for covered in [5u64, 12, 19, 26] {
+            wal.compact(covered).unwrap();
+            let replay = replay_dir(&dir).unwrap();
+            let min_seq = replay.records.iter().map(|r| r.seq).min().unwrap();
+            assert!(
+                min_seq <= covered + 1,
+                "compact({covered}) dropped uncovered seq {min_seq}"
+            );
+            let max_seq = replay.records.iter().map(|r| r.seq).max().unwrap();
+            assert_eq!(max_seq, 30);
+        }
+        drop(wal);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appends_resume_cleanly() {
+        let dir = tmpdir("torn");
+        let disk_len = record_disk_len(16);
+        {
+            let (wal, _) = Wal::open(cfg(&dir, FsyncPolicy::PerBatch), 1).unwrap();
+            for i in 0..3u8 {
+                let seq = wal.append(&[i; 16]).unwrap();
+                wal.commit(seq).unwrap();
+            }
+        }
+        // Tear the last record in half.
+        let seg = dir.join(segment_file_name(1));
+        let len = std::fs::metadata(&seg).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&seg).unwrap();
+        f.set_len(len - disk_len as u64 / 2).unwrap();
+        drop(f);
+
+        let (wal, replay) = Wal::open(cfg(&dir, FsyncPolicy::PerBatch), 1).unwrap();
+        assert_eq!(replay.records.len(), 2, "torn record dropped");
+        assert!(replay.truncated_bytes > 0);
+        // The next append takes over the torn record's seq.
+        assert_eq!(wal.append(b"recovered").unwrap(), 3);
+        wal.commit(3).unwrap();
+        drop(wal);
+        let (_, replay) = Wal::open(cfg(&dir, FsyncPolicy::PerBatch), 1).unwrap();
+        assert_eq!(replay.records.len(), 3);
+        assert_eq!(replay.records[2].payload, b"recovered");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn damage_in_a_sealed_segment_is_structural() {
+        let dir = tmpdir("sealed-damage");
+        {
+            let (wal, _) = Wal::open(cfg(&dir, FsyncPolicy::PerBatch), 1).unwrap();
+            for i in 0..30u8 {
+                let seq = wal.append(&[i; 16]).unwrap();
+                wal.commit(seq).unwrap();
+            }
+            assert!(wal.stats().segments >= 2);
+        }
+        let first = dir.join(segment_file_name(1));
+        let mut bytes = std::fs::read(&first).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x08;
+        std::fs::write(&first, &bytes).unwrap();
+        match Wal::open(cfg(&dir, FsyncPolicy::PerBatch), 1) {
+            Err(WalError::Structural(_)) => {}
+            other => panic!("expected structural damage, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_dir_honors_the_seq_hint() {
+        let dir = tmpdir("hint");
+        let (wal, replay) = Wal::open(cfg(&dir, FsyncPolicy::PerBatch), 1000).unwrap();
+        assert!(replay.records.is_empty());
+        assert_eq!(wal.append(b"x").unwrap(), 1000);
+        drop(wal);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -18,6 +18,8 @@
 #   dyadic              hierarchical range-query bank: L-fold ingest,
 #                       warm/cold heavy-prefix descent, canonical range
 #                       decomposition, bank merge + snapshot
+#   wal                 write-ahead log: append+commit per fsync policy,
+#                       cold replay, acked-ingest RTT with/without WAL
 #
 # Usage: scripts/bench.sh [output.json]   (default: BENCH_1.json)
 set -euo pipefail
@@ -37,7 +39,7 @@ case "${out}" in
 esac
 rm -f "${json}"
 
-for bench in update_time batch_update_time sharded_throughput thread_scaling query_time merge_serialize read_write_mix serve_throughput dyadic; do
+for bench in update_time batch_update_time sharded_throughput thread_scaling query_time merge_serialize read_write_mix serve_throughput dyadic wal; do
     CRITERION_JSON="${json}" cargo bench -p hh-bench --bench "${bench}"
 done
 

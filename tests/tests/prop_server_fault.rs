@@ -18,16 +18,22 @@
 //!    with every tenant byte-identical to a sequential oracle fed only
 //!    the acknowledged batches;
 //! 5. **kill -9** (abrupt process death, simulated by `Server::kill`)
-//!    loses at most the un-checkpointed window: a restart over the same
-//!    store serves exactly the last checkpoint, bit-for-bit;
+//!    under checkpoint-only durability loses at most the
+//!    un-checkpointed window: a restart over the same store serves
+//!    exactly the last checkpoint, bit-for-bit — and under the
+//!    write-ahead log (PR 10) it loses **nothing acked**: the restart
+//!    serves the bundle plus the replayed log tail, byte-identical to
+//!    an oracle fed every acked batch;
 //! 6. the same protocol works over a **Unix domain socket**.
 
 use hh_faults::corrupt;
 use hh_faults::net::FaultyConn;
 use hh_server::client::Client;
+use hh_server::durability::Durability;
 use hh_server::facade::{DynSummary, SummaryKind, TenantSpec};
 use hh_server::proto::{read_frame, write_frame, ProtocolError, Request, Response, MAX_FRAME_LEN};
 use hh_server::server::{Endpoint, Server, ServerConfig};
+use hh_server::RetryPolicy;
 use std::io::Write as _;
 use std::net::TcpStream;
 use std::path::PathBuf;
@@ -178,6 +184,8 @@ fn mid_frame_disconnects_leave_the_server_serviceable() {
     let body = Request::Ingest {
         tenant: "ghost".to_string(),
         shard: 0,
+        client: 0,
+        req_seq: 0,
         items: vec![1; 4_096],
     }
     .encode();
@@ -259,6 +267,8 @@ fn concurrent_soak_matches_sequential_oracle() {
                         let body = Request::Ingest {
                             tenant: tenant.clone(),
                             shard: 0,
+                            client: 0,
+                            req_seq: 0,
                             items: items.clone(),
                         }
                         .encode();
@@ -301,9 +311,13 @@ fn concurrent_soak_matches_sequential_oracle() {
 fn kill_loses_at_most_the_uncheckpointed_window() {
     let root = tmp_root("kill");
     // Periodic checkpointing pushed out of the test's way: only the
-    // explicit checkpoint below persists anything post-create.
+    // explicit checkpoint below persists anything post-create. This
+    // variant runs WITHOUT the write-ahead log: it measures the
+    // checkpoint-only loss window that `kill_with_wal_recovers_every_
+    // acked_batch` closes.
     let mut config = ServerConfig::fast(&root);
     config.checkpoint_every = Duration::from_secs(3_600);
+    config.durability = Durability::CheckpointOnly;
     let server = Server::start(config, Endpoint::Tcp("127.0.0.1:0".parse().unwrap())).unwrap();
     let mut client = Client::connect_tcp(server.local_addr().unwrap()).unwrap();
 
@@ -323,11 +337,9 @@ fn kill_loses_at_most_the_uncheckpointed_window() {
         oracle.insert_batch(&durable);
     }
 
-    let server = Server::start(
-        ServerConfig::fast(&root),
-        Endpoint::Tcp("127.0.0.1:0".parse().unwrap()),
-    )
-    .unwrap();
+    let mut config = ServerConfig::fast(&root);
+    config.durability = Durability::CheckpointOnly;
+    let server = Server::start(config, Endpoint::Tcp("127.0.0.1:0".parse().unwrap())).unwrap();
     let mut client = Client::connect_tcp(server.local_addr().unwrap()).unwrap();
     let health = client.health().unwrap();
     assert_eq!(health.tenants, 1);
@@ -347,6 +359,100 @@ fn kill_loses_at_most_the_uncheckpointed_window() {
     assert!(restored.report().contains(42));
     assert!(!restored.report().contains(99_999));
 
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn kill_with_wal_recovers_every_acked_batch() {
+    let root = tmp_root("kill-wal");
+    // No periodic checkpoints and no final one (kill): after the single
+    // explicit checkpoint mid-stream, every acked batch lives only in
+    // the write-ahead log when the server dies. The oracle is fed every
+    // acked batch — the contract is zero acked loss, byte-identical.
+    let mut config = ServerConfig::fast(&root);
+    config.checkpoint_every = Duration::from_secs(3_600);
+    let server = Server::start(
+        config.clone(),
+        Endpoint::Tcp("127.0.0.1:0".parse().unwrap()),
+    )
+    .unwrap();
+    let mut client = Client::connect_tcp(server.local_addr().unwrap()).unwrap();
+    client.create("ten", spec()).unwrap();
+
+    let mut oracle = spec().build_bank().unwrap().remove(0);
+    for i in 0..12u64 {
+        let items: Vec<u64> = (0..500).map(|k| i * 131 + k % 17).collect();
+        assert_eq!(client.ingest("ten", 0, &items).unwrap(), 500);
+        use hh_core::StreamSummary as _;
+        oracle.insert_batch(&items);
+        if i == 4 {
+            // One checkpoint mid-stream: batches 0..=4 live in the
+            // bundle, 5..=11 only in the log.
+            assert_eq!(client.checkpoint().unwrap(), 1);
+        }
+    }
+    server.kill();
+
+    let server = Server::start(config, Endpoint::Tcp("127.0.0.1:0".parse().unwrap())).unwrap();
+    let mut client = Client::connect_tcp(server.local_addr().unwrap()).unwrap();
+    let health = client.health().unwrap();
+    assert_eq!(health.recovered_tenants, 1);
+    assert!(health.quarantined.is_empty());
+    assert!(
+        health.wal_replayed >= 7,
+        "expected the 7 post-checkpoint batches replayed, health: {health:?}"
+    );
+    use hh_core::MergeableSummary as _;
+    let served = client.snapshot("ten").unwrap();
+    assert_eq!(
+        served,
+        oracle.to_bytes().as_ref(),
+        "recovered state diverged from the every-acked-batch oracle"
+    );
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn wal_soak_reliable_ingest_survives_kill_cycles_exactly() {
+    // Three kill/recover cycles under WAL durability with NO
+    // checkpoints at all besides create: every cycle's acked batches
+    // must accumulate across restarts, exactly once each, matching a
+    // sequential oracle byte-for-byte.
+    let root = tmp_root("wal-cycles");
+    let mut config = ServerConfig::fast(&root);
+    config.checkpoint_every = Duration::from_secs(3_600);
+    let mut oracle = spec().build_bank().unwrap().remove(0);
+    let policy = RetryPolicy::default();
+    for cycle in 0..3u64 {
+        let server = Server::start(
+            config.clone(),
+            Endpoint::Tcp("127.0.0.1:0".parse().unwrap()),
+        )
+        .unwrap();
+        let mut client = Client::connect_tcp(server.local_addr().unwrap()).unwrap();
+        if cycle == 0 {
+            client.create("ten", spec()).unwrap();
+        }
+        for i in 0..6u64 {
+            let items: Vec<u64> = (0..300).map(|k| cycle * 977 + i * 131 + k % 13).collect();
+            let accepted = client.ingest_reliable("ten", 0, &items, &policy).unwrap();
+            assert_eq!(accepted, items.len() as u64);
+            use hh_core::StreamSummary as _;
+            oracle.insert_batch(&items);
+        }
+        server.kill();
+    }
+    let server = Server::start(config, Endpoint::Tcp("127.0.0.1:0".parse().unwrap())).unwrap();
+    let mut client = Client::connect_tcp(server.local_addr().unwrap()).unwrap();
+    use hh_core::MergeableSummary as _;
+    let served = client.snapshot("ten").unwrap();
+    assert_eq!(
+        served,
+        oracle.to_bytes().as_ref(),
+        "acked batches lost or double-applied across kill cycles"
+    );
     server.shutdown();
     let _ = std::fs::remove_dir_all(&root);
 }
